@@ -1,0 +1,32 @@
+# Convenience targets for the ffault reproduction.
+
+.PHONY: all build test experiments experiments-quick bench examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest --force --no-buffer
+
+experiments:
+	dune exec bin/main.exe -- experiment
+
+experiments-quick:
+	dune exec bin/main.exe -- experiment --quick
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/leader_election.exe
+	dune exec examples/replicated_log.exe
+	dune exec examples/fault_lab.exe
+	dune exec examples/hierarchy_tour.exe
+	dune exec examples/degradation_study.exe
+	dune exec examples/relaxed_queue.exe
+
+clean:
+	dune clean
