@@ -1,0 +1,421 @@
+(* ffault — command-line driver for the Functional Faults reproduction.
+
+   Subcommands: experiment (run E1..E14 and print their report tables),
+   list, trace (render one adversarial execution), explore (bounded
+   exhaustive model checking, with witness shrinking), replay (re-run a
+   witness decision vector), falsify (portfolio search), critical (the
+   executable valency walk), severity (fault order), hierarchy
+   (consensus-number table), and multicore (domains + atomics runs). *)
+
+open Cmdliner
+module Experiments = Ffault_experiments
+module Consensus = Ffault_consensus
+module Protocol = Consensus.Protocol
+module Check = Ffault_verify.Consensus_check
+module Dfs = Ffault_verify.Dfs
+module Fault = Ffault_fault
+module Sim = Ffault_sim
+
+(* ---- shared options ---- *)
+
+let seed_arg =
+  let doc = "Root seed for randomized schedules and fault plans." in
+  Arg.(value & opt int 0xF417 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let quick_arg =
+  let doc = "Smaller sweeps and fewer runs (CI-friendly)." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let f_arg =
+  let doc = "Fault budget f (maximum number of faulty objects)." in
+  Arg.(value & opt int 2 & info [ "f" ] ~docv:"F" ~doc)
+
+let t_arg =
+  let doc = "Fault bound t per faulty object (omit for unbounded)." in
+  Arg.(value & opt (some int) None & info [ "t" ] ~docv:"T" ~doc)
+
+let n_arg =
+  let doc = "Number of processes." in
+  Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc)
+
+let protocol_arg =
+  let doc =
+    "Protocol under test: fig1 (two-process single CAS), fig2 (f-tolerant sweep, f+1 \
+     objects), fig3 (bounded-faults staged, f objects), herlihy (fault-free baseline), \
+     silent-retry, tas (2-process test-and-set consensus), or sweepN (the Fig. 2 sweep \
+     over exactly N objects, e.g. sweep2)."
+  in
+  Arg.(value & opt string "fig2" & info [ "protocol"; "p" ] ~docv:"PROTO" ~doc)
+
+let resolve_protocol name =
+  match String.lowercase_ascii name with
+  | "fig1" -> Ok Consensus.Single_cas.two_process
+  | "fig2" -> Ok Consensus.F_tolerant.protocol
+  | "fig3" -> Ok Consensus.Bounded_faults.protocol
+  | "herlihy" -> Ok Consensus.Single_cas.herlihy
+  | "silent-retry" -> Ok Consensus.Silent_retry.protocol
+  | "tas" -> Ok Consensus.Tas_consensus.protocol
+  | s when String.length s > 5 && String.sub s 0 5 = "sweep" -> (
+      match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
+      | Some m when m >= 1 -> Ok (Consensus.F_tolerant.with_objects m)
+      | Some _ | None -> Error (`Msg (Fmt.str "bad sweep object count in %S" s)))
+  | _ -> Error (`Msg (Fmt.str "unknown protocol %S" name))
+
+let with_protocol name k =
+  match resolve_protocol name with
+  | Ok p -> k p
+  | Error (`Msg m) ->
+      Fmt.epr "error: %s@." m;
+      1
+
+(* ---- experiment ---- *)
+
+let experiment_cmd =
+  let ids_arg =
+    let doc = "Experiment ids to run (e.g. E3 E5); all when omitted." in
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
+  in
+  let run ids quick seed =
+    let seed = Int64.of_int seed in
+    let entries =
+      if ids = [] then Experiments.Registry.all
+      else
+        List.filter_map
+          (fun id ->
+            match Experiments.Registry.find id with
+            | Some e -> Some e
+            | None ->
+                Fmt.epr "warning: unknown experiment %S (try `ffault list')@." id;
+                None)
+          ids
+    in
+    let reports = List.map (fun e -> e.Experiments.Registry.run ~quick ~seed) entries in
+    List.iter (fun r -> Fmt.pr "%a@." Experiments.Report.pp r) reports;
+    let failed =
+      List.filter (fun r -> not r.Experiments.Report.passed) reports
+    in
+    if failed = [] then begin
+      Fmt.pr "@.All %d experiments reproduced.@." (List.length reports);
+      0
+    end
+    else begin
+      Fmt.pr "@.%d experiment(s) NOT reproduced: %s@." (List.length failed)
+        (String.concat ", " (List.map (fun r -> r.Experiments.Report.id) failed));
+      1
+    end
+  in
+  let doc = "Run the paper-reproduction and extension experiments (E1..E14)." in
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ ids_arg $ quick_arg $ seed_arg)
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e -> Fmt.pr "%-4s %s@." e.Experiments.Registry.id e.Experiments.Registry.title)
+      Experiments.Registry.all;
+    0
+  in
+  let doc = "List the available experiments." in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* ---- trace ---- *)
+
+let trace_cmd =
+  let rate_arg =
+    let doc = "Overriding-fault rate in [0,1]; 1.0 = worst case." in
+    Arg.(value & opt float 1.0 & info [ "rate" ] ~docv:"P" ~doc)
+  in
+  let run proto f t n rate seed =
+    with_protocol proto (fun protocol ->
+        let params = Protocol.params ?t ~n_procs:n ~f () in
+        let setup = Check.setup protocol params in
+        let seed64 = Int64.of_int seed in
+        let injector =
+          if rate >= 1.0 then Fault.Injector.always Fault.Fault_kind.Overriding
+          else if rate <= 0.0 then Fault.Injector.never
+          else Fault.Injector.probabilistic ~seed:seed64 ~p:rate Fault.Fault_kind.Overriding
+        in
+        let report =
+          Check.run setup ~scheduler:(Sim.Scheduler.random ~seed:seed64) ~injector ()
+        in
+        let world = Check.world setup in
+        Fmt.pr "%s under %a, seed %d:@.@.%a@." report.Check.setup_name Protocol.pp_params
+          params seed (Sim.Trace.pp ~world)
+          report.Check.result.Sim.Engine.trace;
+        if Check.ok report then begin
+          Fmt.pr "@.No violations: all processes decided consistently.@.";
+          0
+        end
+        else begin
+          Fmt.pr "@.Violations:@.";
+          List.iter (fun v -> Fmt.pr "  %a@." Check.pp_violation v) report.Check.violations;
+          1
+        end)
+  in
+  let doc = "Run one adversarial execution and print its trace." in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run $ protocol_arg $ f_arg $ t_arg $ n_arg $ rate_arg $ seed_arg)
+
+(* ---- explore ---- *)
+
+let explore_cmd =
+  let max_exec_arg =
+    let doc = "Execution cap for the exhaustive search." in
+    Arg.(value & opt int 500_000 & info [ "max-executions" ] ~docv:"N" ~doc)
+  in
+  let shrink_arg =
+    let doc = "Minimize the witness decision vector before printing its trace." in
+    Arg.(value & flag & info [ "shrink" ] ~doc)
+  in
+  let run proto f t n max_exec shrink =
+    with_protocol proto (fun protocol ->
+        let params = Protocol.params ?t ~n_procs:n ~f () in
+        let setup = Check.setup protocol params in
+        let stats = Dfs.explore ~max_executions:max_exec ~max_witnesses:3 setup in
+        Fmt.pr "%s %a: %a@." protocol.Protocol.name Protocol.pp_params params Dfs.pp_stats
+          stats;
+        (match stats.Dfs.witnesses with
+        | [] ->
+            if stats.Dfs.truncated then
+              Fmt.pr "No witness found, but the search was truncated (inconclusive).@."
+            else Fmt.pr "Exhaustively verified: no consensus violation exists in this model.@."
+        | w :: _ ->
+            let decisions, report =
+              if shrink then Ffault_verify.Shrink.witness_report setup w.Dfs.decisions
+              else (w.Dfs.decisions, w.Dfs.report)
+            in
+            let world = Check.world setup in
+            Fmt.pr
+              "@.%s witness (decisions [%a] \xe2\x80\x94 replay with `ffault \
+               replay'):@.%a@.@.Violations:@."
+              (if shrink then "Shrunk" else "First")
+              (Fmt.array ~sep:Fmt.comma Fmt.int)
+              decisions (Sim.Trace.pp ~world) report.Check.result.Sim.Engine.trace;
+            List.iter (fun v -> Fmt.pr "  %a@." Check.pp_violation v) report.Check.violations);
+        if stats.Dfs.witnesses = [] then 0 else 1)
+  in
+  let doc = "Bounded-exhaustive model checking over schedules and fault choices." in
+  Cmd.v (Cmd.info "explore" ~doc)
+    Term.(const run $ protocol_arg $ f_arg $ t_arg $ n_arg $ max_exec_arg $ shrink_arg)
+
+(* ---- replay ---- *)
+
+let replay_cmd =
+  let decisions_arg =
+    let doc = "Comma-separated decision vector from a previous `explore' witness." in
+    Arg.(value & opt string "" & info [ "decisions" ] ~docv:"D,D,..." ~doc)
+  in
+  let run proto f t n decisions =
+    with_protocol proto (fun protocol ->
+        let params = Protocol.params ?t ~n_procs:n ~f () in
+        let setup = Check.setup protocol params in
+        match
+          if decisions = "" then Ok [||]
+          else
+            try
+              Ok
+                (String.split_on_char ',' decisions
+                |> List.map (fun s -> int_of_string (String.trim s))
+                |> Array.of_list)
+            with Failure _ -> Error ()
+        with
+        | Error () ->
+            Fmt.epr "error: --decisions expects a comma-separated list of integers@.";
+            1
+        | Ok vector ->
+            let report = Dfs.replay setup vector in
+            let world = Check.world setup in
+            Fmt.pr "%a@." (Sim.Trace.pp ~world) report.Check.result.Sim.Engine.trace;
+            if Check.ok report then begin
+              Fmt.pr "@.No violations.@.";
+              0
+            end
+            else begin
+              Fmt.pr "@.Violations:@.";
+              List.iter (fun v -> Fmt.pr "  %a@." Check.pp_violation v) report.Check.violations;
+              1
+            end)
+  in
+  let doc = "Replay a decision vector (an `explore' witness) and print its trace." in
+  Cmd.v (Cmd.info "replay" ~doc)
+    Term.(const run $ protocol_arg $ f_arg $ t_arg $ n_arg $ decisions_arg)
+
+(* ---- falsify ---- *)
+
+let falsify_cmd =
+  let attempts_arg =
+    let doc = "Attempt cap for the portfolio search." in
+    Arg.(value & opt int 10_000 & info [ "max-attempts" ] ~docv:"N" ~doc)
+  in
+  let run proto f t n attempts seed =
+    with_protocol proto (fun protocol ->
+        let params = Protocol.params ?t ~n_procs:n ~f () in
+        let setup = Check.setup protocol params in
+        let o =
+          Ffault_verify.Falsify.falsify ~max_attempts:attempts ~seed:(Int64.of_int seed)
+            setup
+        in
+        Fmt.pr "%s %a: %a@." protocol.Protocol.name Protocol.pp_params params
+          Ffault_verify.Falsify.pp_outcome o;
+        match o.Ffault_verify.Falsify.witness with
+        | None -> 0
+        | Some (_, _, report) ->
+            let world = Check.world setup in
+            Fmt.pr "@.%a@.@.Violations:@." (Sim.Trace.pp ~world)
+              report.Check.result.Sim.Engine.trace;
+            List.iter (fun v -> Fmt.pr "  %a@." Check.pp_violation v) report.Check.violations;
+            1)
+  in
+  let doc = "Randomized portfolio falsification (for instances too large for `explore')." in
+  Cmd.v (Cmd.info "falsify" ~doc)
+    Term.(const run $ protocol_arg $ f_arg $ t_arg $ n_arg $ attempts_arg $ seed_arg)
+
+(* ---- critical ---- *)
+
+let critical_cmd =
+  let reduced_arg =
+    let doc = "Run in the reduced model with this process always faulty." in
+    Arg.(value & opt (some int) None & info [ "reduced" ] ~docv:"PROC" ~doc)
+  in
+  let run proto f t n reduced =
+    with_protocol proto (fun protocol ->
+        let params = Protocol.params ?t ~n_procs:n ~f () in
+        let setup = Check.setup protocol params in
+        let result =
+          Ffault_impossibility.Critical.find ?reduced_faulty_proc:reduced setup
+        in
+        Fmt.pr "%s %a:@.%a@." protocol.Protocol.name Protocol.pp_params params
+          Ffault_impossibility.Critical.pp_result result;
+        match result with
+        | Ffault_impossibility.Critical.Critical _
+        | Ffault_impossibility.Critical.Disagreement _ ->
+            0
+        | Ffault_impossibility.Critical.Not_found _ -> 1)
+  in
+  let doc =
+    "Walk the valency tree to a critical state (or to a disagreeing execution) \xe2\x80\x94 \
+     the Theorem 18 proof, executable."
+  in
+  Cmd.v (Cmd.info "critical" ~doc)
+    Term.(const run $ protocol_arg $ f_arg $ t_arg $ n_arg $ reduced_arg)
+
+(* ---- severity ---- *)
+
+let severity_cmd =
+  let run () =
+    let module Severity = Ffault_hoare.Severity in
+    let names = [ "standard"; "overriding"; "silent"; "invisible"; "arbitrary" ] in
+    let matrix = Severity.taxonomy_matrix () in
+    Fmt.pr "Semantic severity relations between the CAS postconditions@.";
+    Fmt.pr "(row vs column: < less severe, > more severe, \xe2\x89\xa1 equivalent, \xe2\x88\xa5 \
+            incomparable)@.@.";
+    (* pad by display width: the relation glyphs are multibyte UTF-8 *)
+    let pad w s =
+      let display =
+        let n = ref 0 in
+        String.iter (fun c -> if Char.code c land 0xC0 <> 0x80 then incr n) s;
+        !n
+      in
+      s ^ String.make (max 0 (w - display)) ' '
+    in
+    Fmt.pr "%s" (pad 12 "");
+    List.iter (fun n -> Fmt.pr "%s" (pad 12 n)) names;
+    Fmt.pr "@.";
+    List.iter
+      (fun a ->
+        Fmt.pr "%s" (pad 12 a);
+        List.iter
+          (fun b ->
+            let _, _, r = List.find (fun (x, y, _) -> x = a && y = b) matrix in
+            Fmt.pr "%s" (pad 12 (Fmt.str "%a" Severity.pp_relation r)))
+          names;
+        Fmt.pr "@.")
+      names;
+    0
+  in
+  let doc = "Print the fault-severity matrix (decided exhaustively over a finite universe)." in
+  Cmd.v (Cmd.info "severity" ~doc) Term.(const run $ const ())
+
+(* ---- hierarchy ---- *)
+
+let hierarchy_cmd =
+  let max_f_arg =
+    let doc = "Largest f to tabulate." in
+    Arg.(value & opt int 4 & info [ "max-f" ] ~docv:"F" ~doc)
+  in
+  let runs_arg =
+    let doc = "Randomized runs per construction check." in
+    Arg.(value & opt int 300 & info [ "runs" ] ~docv:"N" ~doc)
+  in
+  let run max_f runs t seed =
+    let t = Option.value t ~default:1 in
+    let rows =
+      Ffault_impossibility.Hierarchy.table ~runs ~seed:(Int64.of_int seed) ~t ~max_f ()
+    in
+    List.iter (fun r -> Fmt.pr "%a@." Ffault_impossibility.Hierarchy.pp_row r) rows;
+    if List.for_all (fun r -> r.Ffault_impossibility.Hierarchy.consensus_number <> None) rows
+    then 0
+    else 1
+  in
+  let doc = "Compute the faulty-CAS consensus hierarchy table." in
+  Cmd.v (Cmd.info "hierarchy" ~doc)
+    Term.(const run $ max_f_arg $ runs_arg $ t_arg $ seed_arg)
+
+(* ---- multicore ---- *)
+
+let multicore_cmd =
+  let domains_arg =
+    let doc = "Number of domains (hardware threads)." in
+    Arg.(value & opt int 4 & info [ "domains" ] ~docv:"D" ~doc)
+  in
+  let runs_arg =
+    let doc = "Parallel consensus instances to execute." in
+    Arg.(value & opt int 1000 & info [ "runs" ] ~docv:"N" ~doc)
+  in
+  let rate_arg =
+    let doc = "Per-CAS overriding-fault probability." in
+    Arg.(value & opt float 0.3 & info [ "rate" ] ~docv:"P" ~doc)
+  in
+  let run f t domains runs rate seed =
+    let module R = Ffault_runtime in
+    let t = Option.value t ~default:1 in
+    let protocol = R.Consensus_mc.Staged { f; t } in
+    let violations = ref 0 in
+    let faults = ref 0 in
+    let started = Unix.gettimeofday () in
+    for i = 1 to runs do
+      let cfg =
+        R.Consensus_mc.config
+          ~plan_for:(fun o ->
+            R.Faulty_cas.plan_probabilistic
+              ~seed:(Int64.of_int ((seed * 1_000_003) + (i * 31) + o))
+              ~p:rate)
+          ~n_domains:domains protocol
+      in
+      let r = R.Consensus_mc.execute cfg in
+      if not (r.R.Consensus_mc.agreed && r.R.Consensus_mc.valid) then incr violations;
+      faults := !faults + Array.fold_left ( + ) 0 r.R.Consensus_mc.faults_per_object
+    done;
+    let elapsed = Unix.gettimeofday () -. started in
+    Fmt.pr
+      "%a on %d domains: %d runs, %d violations, %d observable faults, %.2f s (%.0f \
+       decides/s)@."
+      R.Consensus_mc.pp_protocol protocol domains runs !violations !faults elapsed
+      (float_of_int runs /. elapsed);
+    if !violations = 0 then 0 else 1
+  in
+  let doc = "Run the Fig. 3 protocol on real domains with injected overriding faults." in
+  Cmd.v (Cmd.info "multicore" ~doc)
+    Term.(const run $ f_arg $ t_arg $ domains_arg $ runs_arg $ rate_arg $ seed_arg)
+
+let main_cmd =
+  let doc = "reproduction of \"Functional Faults\" (Sheffi & Petrank, 2020)" in
+  let info = Cmd.info "ffault" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [
+      experiment_cmd; list_cmd; trace_cmd; explore_cmd; replay_cmd; falsify_cmd; critical_cmd;
+      severity_cmd; hierarchy_cmd; multicore_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/degradation_study.ml: Ffault_consensus Ffault_fault Ffault_prng Ffault_verify Fmt Int64 List

@@ -1,0 +1,1 @@
+examples/fault_lab.ml: Ffault_consensus Ffault_fault Ffault_sim Ffault_verify Fmt List String

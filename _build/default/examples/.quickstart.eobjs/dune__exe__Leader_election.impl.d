@@ -1,0 +1,1 @@
+examples/leader_election.ml: Array Ffault_runtime Fmt Int64

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ffault_consensus Ffault_fault Ffault_objects Ffault_sim Ffault_verify Fmt List

@@ -1,0 +1,1 @@
+examples/relaxed_queue.ml: Array Ffault_fault Ffault_hoare Ffault_objects Ffault_prng Ffault_sim Fmt Kind List Obj_id Op Option Value

@@ -1,0 +1,1 @@
+examples/replicated_log.ml: Array Ffault_consensus Ffault_fault Ffault_objects Ffault_sim Fmt Kind List Op Value

@@ -1,0 +1,60 @@
+(* Degradation study: what actually breaks when a construction is pushed
+   past its fault budget? Overriding faults keep responses truthful and
+   only ever write values some process proposed, so the constructions
+   degrade gracefully: consistency can fall, validity and wait-freedom
+   never do. This example charts the fall.
+
+     dune exec examples/degradation_study.exe *)
+
+module Consensus = Ffault_consensus
+module Protocol = Consensus.Protocol
+module Check = Ffault_verify.Consensus_check
+module Degradation = Ffault_verify.Degradation
+module Fault = Ffault_fault
+module Rng = Ffault_prng.Rng
+
+let injector p rng =
+  Fault.Injector.probabilistic ~seed:(Rng.next_seed rng) ~p Fault.Fault_kind.Overriding
+
+let () =
+  Fmt.pr "Pushing the Fig. 2 sweep past its budget (1000 runs per row, p = 0.5 faults):@.@.";
+  Fmt.pr "%-28s %-36s graceful?@." "configuration" "profile";
+  (* The sweep over m objects, with ALL m allowed to fault: designed for
+     f = m - 1, driven at f = m. *)
+  List.iter
+    (fun m ->
+      let setup =
+        Check.setup (Consensus.F_tolerant.with_objects m)
+          (Protocol.params ~n_procs:3 ~f:m ())
+      in
+      let prof =
+        Degradation.measure ~runs:1000 ~seed:(Int64.of_int (100 + m)) ~injector:(injector 0.5)
+          setup
+      in
+      Fmt.pr "%-28s %-36s %b@."
+        (Fmt.str "sweep over %d object(s)" m)
+        (Fmt.str "%a" Degradation.pp_profile prof)
+        (Degradation.graceful prof))
+    [ 1; 2; 3; 4 ];
+  Fmt.pr
+    "@.Consistency failures thin out as objects are added (compare E12's curves), and in \
+     every single run the decided values were genuine inputs and every process terminated: \
+     the damage class never escalates beyond lost agreement.@.@.";
+  (* Contrast: an arbitrary-fault adversary with the same budget destroys
+     validity too — the degradation is NOT graceful. *)
+  let setup =
+    Check.setup
+      ~allowed_faults:[ Fault.Fault_kind.Arbitrary ]
+      (Consensus.F_tolerant.with_objects 2)
+      (Protocol.params ~n_procs:3 ~f:2 ())
+  in
+  let arbitrary_injector rng =
+    Fault.Injector.probabilistic ~seed:(Rng.next_seed rng) ~p:0.5 Fault.Fault_kind.Arbitrary
+  in
+  let prof = Degradation.measure ~runs:1000 ~seed:7L ~injector:arbitrary_injector setup in
+  Fmt.pr "Same budget, arbitrary faults instead: %a -> graceful? %b@."
+    Degradation.pp_profile prof (Degradation.graceful prof);
+  Fmt.pr
+    "@.That contrast is the severity order at work (see `ffault severity'): arbitrary \
+     strictly dominates overriding, and the extra power shows up exactly as validity \
+     violations.@."

@@ -1,0 +1,31 @@
+(* A tour of the faulty-CAS consensus hierarchy (paper §5.2): for each f,
+   the Fig. 3 construction works at n = f + 1 and the covering adversary
+   of Theorem 19 defeats it at n = f + 2 — so f bounded-fault CAS objects
+   sit at level f + 1 of Herlihy's hierarchy. For f = 1 the covering
+   witness execution is printed in full.
+
+     dune exec examples/hierarchy_tour.exe *)
+
+module Impossibility = Ffault_impossibility
+module Consensus = Ffault_consensus
+module Protocol = Consensus.Protocol
+module Check = Ffault_verify.Consensus_check
+module Sim = Ffault_sim
+
+let () =
+  Fmt.pr "A correct CAS object has consensus number \xe2\x88\x9e.@.";
+  Fmt.pr "How far does it fall with overriding faults (bounded t)?@.@.";
+  let rows = Impossibility.Hierarchy.table ~runs:200 ~t:1 ~max_f:4 () in
+  List.iter (fun r -> Fmt.pr "  %a@." Impossibility.Hierarchy.pp_row r) rows;
+  Fmt.pr "@.The n = f + 2 witness for f = 1, step by step:@.@.";
+  let params = Protocol.params ~t:1 ~n_procs:3 ~f:1 () in
+  let setup = Check.setup Consensus.Bounded_faults.protocol params in
+  let o = Impossibility.Covering.run setup in
+  let world = Check.world setup in
+  Fmt.pr "%a@.@." (Sim.Trace.pp ~world) o.Impossibility.Covering.report.Check.result.Sim.Engine.trace;
+  List.iter
+    (fun v -> Fmt.pr "  %a@." Check.pp_violation v)
+    o.Impossibility.Covering.report.Check.violations;
+  Fmt.pr
+    "@.p0 decided solo; p1's single overriding fault erased every trace p0 left; p2 then \
+     ran as if p0 never existed (Claim 20's indistinguishability) and decided differently.@."

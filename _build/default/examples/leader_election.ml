@@ -1,0 +1,46 @@
+(* Leader election on degraded hardware: real OCaml domains elect a
+   leader each round through the paper's (f, t, f+1)-tolerant consensus
+   (Fig. 3), running on atomics whose CAS comparator "glitches" — every
+   glitch is an overriding fault injected at the exact architectural
+   point the paper identifies (the comparison inside CAS).
+
+     dune exec examples/leader_election.exe *)
+
+module R = Ffault_runtime
+
+let rounds = 8
+let workers = 4 (* n = f + 1 with f = 3 *)
+let f = 3
+let t = 2
+
+let () =
+  Fmt.pr "Electing a leader among %d workers, %d rounds.@." workers rounds;
+  Fmt.pr "Hardware model: every CAS comparator may glitch (p = 0.25), at most %d objects@." f;
+  Fmt.pr "ever misbehave, at most %d observable glitches each (budget enforced).@.@." t;
+  let all_agreed = ref true in
+  for round = 1 to rounds do
+    (* Each worker proposes itself (id offset to keep inputs distinct from
+       round numbers). *)
+    let inputs = Array.init workers (fun w -> (round * 10) + w) in
+    let cfg =
+      R.Consensus_mc.config
+        ~plan_for:(fun obj ->
+          R.Faulty_cas.plan_probabilistic
+            ~seed:(Int64.of_int ((round * 97) + obj))
+            ~p:0.25)
+        ~inputs ~n_domains:workers
+        (R.Consensus_mc.Staged { f; t })
+    in
+    let r = R.Consensus_mc.execute cfg in
+    let leader = R.Packed.to_int r.R.Consensus_mc.decisions.(0) in
+    let faults = Array.fold_left ( + ) 0 r.R.Consensus_mc.faults_per_object in
+    if not (r.R.Consensus_mc.agreed && r.R.Consensus_mc.valid) then all_agreed := false;
+    Fmt.pr "round %d: leader = worker %d (proposal %d), agreed=%b valid=%b, %d glitches \
+            committed %a@."
+      round (leader mod 10) leader r.R.Consensus_mc.agreed r.R.Consensus_mc.valid faults
+      (Fmt.array ~sep:Fmt.comma Fmt.int)
+      r.R.Consensus_mc.faults_per_object
+  done;
+  if !all_agreed then
+    Fmt.pr "@.Every round elected a unique leader despite the glitching comparators.@."
+  else Fmt.pr "@.DISAGREEMENT OBSERVED — this should never happen within budget!@."

@@ -1,0 +1,1 @@
+lib/consensus/bounded_faults.ml: Ffault_objects Ffault_sim Fmt Kind List Op Protocol Sim_impl Trace Value World

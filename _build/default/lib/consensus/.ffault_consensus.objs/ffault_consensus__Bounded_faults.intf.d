@@ -1,0 +1,1 @@
+lib/consensus/bounded_faults.mli: Ffault_sim Protocol

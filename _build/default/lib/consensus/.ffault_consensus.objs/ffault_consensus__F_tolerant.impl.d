@@ -1,0 +1,1 @@
+lib/consensus/f_tolerant.ml: Ffault_objects Ffault_sim Fmt Kind List Protocol Sim_impl World

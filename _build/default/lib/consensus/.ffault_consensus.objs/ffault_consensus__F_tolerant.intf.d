@@ -1,0 +1,1 @@
+lib/consensus/f_tolerant.mli: Protocol

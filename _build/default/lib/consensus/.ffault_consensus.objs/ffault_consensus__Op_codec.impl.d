@@ -1,0 +1,1 @@
+lib/consensus/op_codec.ml: Ffault_objects Fmt Op Value

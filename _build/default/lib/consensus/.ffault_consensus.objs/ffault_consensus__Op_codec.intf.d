@@ -1,0 +1,1 @@
+lib/consensus/op_codec.mli: Ffault_objects Op Value

@@ -1,0 +1,1 @@
+lib/consensus/protocol.ml: Array Ffault_objects Ffault_sim Fmt Value World

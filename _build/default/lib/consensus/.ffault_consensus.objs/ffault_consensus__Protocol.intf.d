@@ -1,0 +1,1 @@
+lib/consensus/protocol.mli: Ffault_objects Ffault_sim Format Value World

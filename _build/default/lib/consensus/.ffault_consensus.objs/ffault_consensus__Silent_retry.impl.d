@@ -1,0 +1,1 @@
+lib/consensus/silent_retry.ml: Ffault_objects Ffault_sim Kind Protocol Sim_impl World

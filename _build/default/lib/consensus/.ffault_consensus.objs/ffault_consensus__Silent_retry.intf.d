@@ -1,0 +1,1 @@
+lib/consensus/silent_retry.mli: Protocol

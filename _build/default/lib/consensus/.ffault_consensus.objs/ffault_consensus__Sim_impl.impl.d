@@ -1,0 +1,1 @@
+lib/consensus/sim_impl.ml: Algorithms Ffault_objects Ffault_sim Obj_id Proc Value

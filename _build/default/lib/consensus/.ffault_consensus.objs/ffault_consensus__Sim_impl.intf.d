@@ -1,0 +1,1 @@
+lib/consensus/sim_impl.mli: Ffault_objects Value

@@ -1,0 +1,1 @@
+lib/consensus/single_cas.ml: Ffault_objects Ffault_sim Kind Protocol Sim_impl World

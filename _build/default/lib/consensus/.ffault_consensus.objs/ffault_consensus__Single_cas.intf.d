@@ -1,0 +1,1 @@
+lib/consensus/single_cas.mli: Protocol

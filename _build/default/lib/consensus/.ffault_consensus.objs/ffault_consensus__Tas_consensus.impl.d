@@ -1,0 +1,1 @@
+lib/consensus/tas_consensus.ml: Ffault_objects Ffault_sim Kind Obj_id Proc Protocol World

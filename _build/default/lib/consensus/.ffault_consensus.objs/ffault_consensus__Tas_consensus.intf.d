@@ -1,0 +1,1 @@
+lib/consensus/tas_consensus.mli: Ffault_objects Protocol

@@ -1,0 +1,1 @@
+lib/consensus/universal.ml: Ffault_objects Ffault_sim Fmt Kind List Obj_id Op Op_codec Proc Semantics Value World

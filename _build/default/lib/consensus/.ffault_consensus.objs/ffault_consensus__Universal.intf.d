@@ -1,0 +1,1 @@
+lib/consensus/universal.mli: Ffault_objects Ffault_sim Kind Op Value World

@@ -1,0 +1,94 @@
+module type SUBSTRATE = sig
+  type value
+
+  val bottom : value
+  val equal : value -> value -> bool
+  val mk_staged : value -> int -> value
+  val stage_of : value -> int
+  val unstage : value -> value
+  val cas : int -> expected:value -> desired:value -> value
+end
+
+module Make (S : SUBSTRATE) = struct
+  (* Fig. 1: decide(val) = let old = CAS(O, ⊥, val) in
+     if old ≠ ⊥ then old else val *)
+  let single_cas_decide ~input =
+    let old = S.cas 0 ~expected:S.bottom ~desired:input in
+    if S.equal old S.bottom then input else old
+
+  (* Fig. 2: sweep the objects in order, installing the current estimate
+     and adopting any non-⊥ content found. *)
+  let sweep_decide ~objects ~input =
+    let output = ref input in
+    for i = 0 to objects - 1 do
+      let old = S.cas i ~expected:S.bottom ~desired:!output in
+      if not (S.equal old S.bottom) then output := old
+    done;
+    !output
+
+  (* Fig. 3, line by line (line numbers in comments refer to the paper's
+     figure). The paper's [exp.stage ← s] (line 17) on a non-staged exp —
+     only possible right after a stage-0 success — guesses ⟨output, s⟩;
+     guesses are self-correcting via line 15, so only performance, not
+     correctness, depends on them. *)
+  let staged_decide ~f ~max_stage ~input =
+    let output = ref input in
+    let exp = ref S.bottom in
+    let s = ref 0 in
+    let result = ref None in
+    (* lines 3-18: the first maxStage stages *)
+    while !result = None && !s < max_stage do
+      let i = ref 0 in
+      while !result = None && !i < f do
+        let inner = ref true in
+        while !result = None && !inner do
+          (* line 6 *)
+          let old = S.cas !i ~expected:!exp ~desired:(S.mk_staged !output !s) in
+          if not (S.equal old !exp) then begin
+            (* line 7: failed, or "succeeded" via an overriding fault *)
+            if S.stage_of old >= !s then begin
+              (* lines 8-14: someone got here at our stage or later *)
+              output := S.unstage old;
+              s := S.stage_of old;
+              if !s = max_stage then result := Some !output (* lines 11-12 *)
+              else begin
+                exp := S.mk_staged (S.unstage old) (S.stage_of old - 1) (* line 13 *);
+                inner := false (* line 14: no need to update O_i *)
+              end
+            end
+            else exp := old (* line 15: still needs to update O_i *)
+          end
+          else inner := false (* line 16: a successful CAS execution *)
+        done;
+        if !result = None then begin
+          (* line 17: exp.stage ← s *)
+          let base = if S.stage_of !exp >= 0 then S.unstage !exp else !output in
+          exp := S.mk_staged base !s;
+          incr i
+        end
+      done;
+      if !result = None then incr s (* line 18 *)
+    done;
+    match !result with
+    | Some v -> v
+    | None ->
+        (* lines 19-23: the final stage, on O_0 *)
+        let continue_final = ref true in
+        while !continue_final do
+          let old = S.cas 0 ~expected:!exp ~desired:(S.mk_staged !output max_stage) in
+          if (not (S.equal old !exp)) && S.stage_of old < max_stage then exp := old
+            (* line 22 *)
+          else continue_final := false (* line 23 *)
+        done;
+        !output (* line 24 *)
+
+  (* §3.4: while the object holds ⊥, every CAS either installs a value or
+     burns one silent fault from the budget; the winner's own success is
+     invisible, so it too loops until it reads back a value. *)
+  let silent_retry_decide ~input =
+    let rec loop () =
+      let old = S.cas 0 ~expected:S.bottom ~desired:input in
+      if S.equal old S.bottom then loop () else old
+    in
+    loop ()
+end

@@ -1,0 +1,48 @@
+(** The paper's protocol logic, written once over an abstract substrate.
+
+    Both execution substrates — the deterministic simulator
+    ({!Ffault_sim}) and the real-multicore runtime ([Ffault_runtime]) —
+    instantiate this functor, so the algorithm text that is model-checked
+    is the very text that runs on hardware atomics. A substrate supplies
+    the value domain (⊥, plain values, ⟨value, stage⟩ pairs) and the CAS
+    operation over an indexed family of objects. *)
+
+module type SUBSTRATE = sig
+  type value
+
+  val bottom : value
+  (** ⊥, the initial content; never a process input. *)
+
+  val equal : value -> value -> bool
+  (** The comparison CAS performs; also how a process detects "my CAS
+      appears to have succeeded" ([old = exp]). *)
+
+  val mk_staged : value -> int -> value
+  (** ⟨v, s⟩ construction (Fig. 3 values). [v] must be a plain value. *)
+
+  val stage_of : value -> int
+  (** Stage of a ⟨v, s⟩ pair; [-1] for ⊥ and plain values. *)
+
+  val unstage : value -> value
+  (** The v of ⟨v, s⟩; identity on plain values and ⊥. *)
+
+  val cas : int -> expected:value -> desired:value -> value
+  (** [cas i ~expected ~desired] performs CAS on object i and returns the
+      {e original} content (paper §2). May be faulty. *)
+end
+
+module Make (S : SUBSTRATE) : sig
+  val single_cas_decide : input:S.value -> S.value
+  (** Fig. 1 (= Herlihy's protocol): one CAS on object 0, adopt a non-⊥
+      old value, else decide own input. *)
+
+  val sweep_decide : objects:int -> input:S.value -> S.value
+  (** Fig. 2 over [objects] objects (Theorem 5 uses objects = f + 1). *)
+
+  val staged_decide : f:int -> max_stage:int -> input:S.value -> S.value
+  (** Fig. 3 over f objects with the given stage bound (Theorem 6 uses
+      max_stage = t·(4f + f²)). *)
+
+  val silent_retry_decide : input:S.value -> S.value
+  (** §3.4 retry loop on object 0 (tolerates bounded silent faults). *)
+end

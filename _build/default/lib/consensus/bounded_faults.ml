@@ -1,0 +1,69 @@
+open Ffault_objects
+open Ffault_sim
+
+let max_stage ~f ~t = t * ((4 * f) + (f * f))
+
+let body ~f ~ms ~input () = Sim_impl.staged_decide ~f ~max_stage:ms ~input
+
+let require_bounded_t ps =
+  match ps.Protocol.t with
+  | Some t -> t
+  | None -> invalid_arg "Bounded_faults: requires a bounded t (faults per object)"
+
+let objects ps =
+  if ps.Protocol.f < 1 then invalid_arg "Bounded_faults: requires f >= 1";
+  List.init ps.Protocol.f (fun _ -> World.obj Kind.Cas_only)
+
+(* Worst-case operations per process: each of its (maxStage + 2) ·
+   f installation attempts can be retried once per interfering write, and
+   total writes in the system are bounded by the same quantity summed over
+   processes. The quadratic-in-n bound below is loose but safe; the
+   checkers use it only as a cut-off for declaring non-termination. *)
+let steps_hint ~f ~n ~ms = (4 * n * n * (ms + 2) * f) + 64
+
+let make_protocol ~name ~description ~ms_of ~envelope =
+  {
+    Protocol.name;
+    description;
+    objects;
+    body =
+      (fun ps ~me:_ ~input ->
+        let f = ps.Protocol.f in
+        body ~f ~ms:(ms_of ps) ~input);
+    in_envelope = envelope;
+    max_steps_hint =
+      (fun ps -> steps_hint ~f:ps.Protocol.f ~n:ps.Protocol.n_procs ~ms:(ms_of ps));
+  }
+
+let protocol =
+  make_protocol ~name:"fig3-bounded-faults"
+    ~description:
+      "Paper Fig. 3 / Theorem 6: (f, t, f+1)-tolerant consensus from f CAS objects, all \
+       possibly faulty, maxStage = t(4f+f\xc2\xb2)"
+    ~ms_of:(fun ps -> max_stage ~f:ps.Protocol.f ~t:(require_bounded_t ps))
+    ~envelope:(fun ps ->
+      ps.Protocol.f >= 1 && ps.Protocol.t <> None
+      && ps.Protocol.n_procs <= ps.Protocol.f + 1)
+
+let with_max_stage m =
+  if m < 1 then invalid_arg "Bounded_faults.with_max_stage: need m >= 1";
+  make_protocol
+    ~name:(Fmt.str "fig3-maxstage-%d" m)
+    ~description:
+      (Fmt.str "the Fig. 3 protocol with an explicit stage bound of %d (ablation)" m)
+    ~ms_of:(fun _ -> m)
+    ~envelope:(fun ps ->
+      ps.Protocol.f >= 1
+      && (match ps.Protocol.t with
+         | None -> false
+         | Some t -> m >= max_stage ~f:ps.Protocol.f ~t)
+      && ps.Protocol.n_procs <= ps.Protocol.f + 1)
+
+let stages_reached trace =
+  List.fold_left
+    (fun acc ev ->
+      match ev with
+      | Trace.Op_step { op = Op.Cas { desired = Value.Staged { stage; _ }; _ }; _ } ->
+          max acc stage
+      | _ -> acc)
+    (-1) trace

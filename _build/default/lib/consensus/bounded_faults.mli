@@ -1,0 +1,36 @@
+(** The bounded-faults construction (paper Fig. 3 / Theorem 6).
+
+    Uses only f CAS objects O₀ … O₍f₋₁₎ — {e all} of which may suffer
+    overriding faults, at most t each — and tolerates up to f + 1
+    processes. The execution proceeds in maxStage + 1 stages with
+    maxStage = t·(4f + f²): in each stage every process tries to install
+    ⟨output, stage⟩ into each object in order, adopting the value of any
+    object it finds at a later-or-equal stage; the final stage installs
+    ⟨output, maxStage⟩ into O₀.
+
+    Because a CAS object offers no read, the only success signal is
+    [old = exp]; on a mismatch a process cannot distinguish "my CAS
+    failed" from "my CAS overrode the content" — both are handled by
+    adopting or retrying, and the stage machinery guarantees (Observation
+    10) a long-enough fault-free window for one value to sweep all
+    objects and win.
+
+    Theorem 19 shows this is tight: with n = f + 2 processes, f objects
+    do not suffice (see the covering adversary in
+    [Ffault_impossibility.Covering]). *)
+
+val protocol : Protocol.t
+(** Envelope: f ≥ 1, bounded t, n ≤ f + 1. *)
+
+val max_stage : f:int -> t:int -> int
+(** t·(4f + f²), the paper's stage bound (line 2 of Fig. 3). *)
+
+val with_max_stage : int -> Protocol.t
+(** [with_max_stage m] runs the protocol with an explicit stage bound
+    instead of the paper's t·(4f + f²) — used by the ablation experiment
+    that probes how small the bound can get before consistency breaks. Its
+    envelope requires [m >= max_stage ~f ~t]. *)
+
+val stages_reached : Ffault_sim.Trace.t -> int
+(** The largest stage value appearing in any CAS desired-value across the
+    trace — measured against the maxStage bound in experiment E3. *)

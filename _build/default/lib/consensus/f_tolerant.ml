@@ -1,0 +1,33 @@
+open Ffault_objects
+open Ffault_sim
+
+let sweep_body m ~input () = Sim_impl.sweep_decide ~objects:m ~input
+
+let objects_n m _params = List.init m (fun _ -> World.obj Kind.Cas_only)
+
+let protocol =
+  {
+    Protocol.name = "fig2-f-tolerant";
+    description =
+      "Paper Fig. 2 / Theorem 5: f-tolerant consensus from f+1 CAS objects, unbounded \
+       overriding faults per faulty object";
+    objects = (fun ps -> objects_n (ps.Protocol.f + 1) ps);
+    body = (fun ps ~me:_ ~input -> sweep_body (ps.Protocol.f + 1) ~input);
+    in_envelope = (fun _ -> true);
+    max_steps_hint = (fun ps -> ps.Protocol.f + 1);
+  }
+
+let with_objects m =
+  if m < 1 then invalid_arg "F_tolerant.with_objects: need at least one object";
+  {
+    Protocol.name = Fmt.str "fig2-sweep-%d-objects" m;
+    description =
+      Fmt.str
+        "the Fig. 2 sweep over exactly %d objects (under-provisioned when f >= %d; used as \
+         impossibility-experiment prey)"
+        m m;
+    objects = objects_n m;
+    body = (fun _ps ~me:_ ~input -> sweep_body m ~input);
+    in_envelope = (fun ps -> m >= ps.Protocol.f + 1);
+    max_steps_hint = (fun _ -> m);
+  }

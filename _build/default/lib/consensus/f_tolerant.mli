@@ -1,0 +1,33 @@
+(** The f-tolerant construction (paper Fig. 2 / Theorem 5).
+
+    Uses f + 1 CAS objects O₀ … O_f, of which at most f may suffer
+    overriding faults — each an {e unbounded} number of times. Every
+    process sweeps the objects in order, trying to install its current
+    estimate and adopting whatever non-⊥ value it finds instead:
+
+    {v
+    decide(val):
+      output ← val
+      for i = 0 to f:
+        old ← CAS(O_i, ⊥, output)
+        if old ≠ ⊥ then output ← old
+      return output
+    v}
+
+    Consistency hinges on the one guaranteed-correct object O_j: the first
+    value written there sticks, every later process adopts it at O_j, and
+    from then on all processes push the same value (so even faulty later
+    objects cannot introduce disagreement).
+
+    Theorem 18 shows f + 1 objects are necessary: this very protocol run
+    with only f objects is a standard counterexample input for the E4
+    impossibility experiment. *)
+
+val protocol : Protocol.t
+(** Envelope: any n, any t, f ≥ 0 faulty objects among the f + 1 used. *)
+
+val with_objects : int -> Protocol.t
+(** [with_objects m] is the same sweep over exactly [m] objects,
+    {e ignoring} [params.f] for object allocation. Used to run the
+    under-provisioned variants (m ≤ f) that the impossibility experiments
+    defeat; its envelope is [m >= f + 1]. *)

@@ -1,0 +1,29 @@
+open Ffault_objects
+
+let encode (op : Op.t) : Value.t =
+  match op with
+  | Cas { expected; desired } -> Pair (Str "cas", Pair (expected, desired))
+  | Read -> Pair (Str "read", Bottom)
+  | Write v -> Pair (Str "write", v)
+  | Test_and_set -> Pair (Str "tas", Bottom)
+  | Reset -> Pair (Str "reset", Bottom)
+  | Fetch_and_add n -> Pair (Str "faa", Int n)
+  | Enqueue v -> Pair (Str "enq", v)
+  | Dequeue -> Pair (Str "deq", Bottom)
+
+let decode (v : Value.t) : Op.t option =
+  match v with
+  | Pair (Str "cas", Pair (expected, desired)) -> Some (Op.Cas { expected; desired })
+  | Pair (Str "read", Bottom) -> Some Op.Read
+  | Pair (Str "write", v) -> Some (Op.Write v)
+  | Pair (Str "tas", Bottom) -> Some Op.Test_and_set
+  | Pair (Str "reset", Bottom) -> Some Op.Reset
+  | Pair (Str "faa", Int n) -> Some (Op.Fetch_and_add n)
+  | Pair (Str "enq", v) when not (Value.is_bottom v) -> Some (Op.Enqueue v)
+  | Pair (Str "deq", Bottom) -> Some Op.Dequeue
+  | _ -> None
+
+let decode_exn v =
+  match decode v with
+  | Some op -> op
+  | None -> invalid_arg (Fmt.str "Op_codec.decode_exn: %a is not an encoded operation" Value.pp v)

@@ -1,0 +1,14 @@
+(** Encoding of shared-object operations as {!Ffault_objects.Value.t}, so
+    they can travel through consensus objects (the universal construction
+    agrees on {e operations}). *)
+
+open Ffault_objects
+
+val encode : Op.t -> Value.t
+
+val decode : Value.t -> Op.t option
+(** Inverse of {!encode}; [None] on values that are not encoded
+    operations. *)
+
+val decode_exn : Value.t -> Op.t
+(** @raise Invalid_argument when {!decode} returns [None]. *)

@@ -1,0 +1,32 @@
+open Ffault_objects
+open Ffault_sim
+
+type params = { n_procs : int; f : int; t : int option }
+
+let params ?t ~n_procs ~f () =
+  if n_procs < 1 then invalid_arg "Protocol.params: n_procs < 1";
+  if f < 0 then invalid_arg "Protocol.params: f < 0";
+  (match t with Some t when t < 1 -> invalid_arg "Protocol.params: t < 1" | _ -> ());
+  { n_procs; f; t }
+
+let pp_params ppf p =
+  let t_str = match p.t with None -> "\xe2\x88\x9e" | Some t -> string_of_int t in
+  Fmt.pf ppf "(f=%d, t=%s, n=%d)" p.f t_str p.n_procs
+
+type t = {
+  name : string;
+  description : string;
+  objects : params -> World.obj_decl list;
+  body : params -> me:int -> input:Value.t -> unit -> Value.t;
+  in_envelope : params -> bool;
+  max_steps_hint : params -> int;
+}
+
+let world p ps = World.make ~n_procs:ps.n_procs (p.objects ps)
+
+let bodies p ps ~inputs =
+  if Array.length inputs <> ps.n_procs then
+    invalid_arg "Protocol.bodies: inputs count differs from n_procs";
+  Array.mapi (fun i input -> p.body ps ~me:i ~input) inputs
+
+let default_inputs ps = Array.init ps.n_procs (fun i -> Value.Int (100 + i))

@@ -1,0 +1,48 @@
+(** Common shape of the paper's consensus constructions.
+
+    A protocol is parameterized by the fault setting (f, t, n) of
+    Definition 3 and provides: the shared objects it needs, a process body
+    (to be run under the simulator engine), the envelope of settings its
+    theorem covers, and a worst-case step bound used as the wait-freedom
+    budget by the checkers. *)
+
+open Ffault_objects
+open Ffault_sim
+
+type params = {
+  n_procs : int;  (** n — number of participating processes *)
+  f : int;  (** f — maximum number of faulty objects *)
+  t : int option;  (** t — faults per faulty object; [None] is the paper's ∞ *)
+}
+
+val params : ?t:int -> n_procs:int -> f:int -> unit -> params
+(** @raise Invalid_argument if [n_procs < 1], [f < 0] or [t < 1]. *)
+
+val pp_params : Format.formatter -> params -> unit
+
+type t = {
+  name : string;
+  description : string;
+  objects : params -> World.obj_decl list;
+      (** the base objects the construction consumes *)
+  body : params -> me:int -> input:Value.t -> unit -> Value.t;
+      (** process [me]'s program; returns its decision. Runs under the
+          engine (performs {!Ffault_sim.Proc} effects). *)
+  in_envelope : params -> bool;
+      (** whether the construction's theorem guarantees correctness for
+          these parameters (given overriding faults within budget) *)
+  max_steps_hint : params -> int;
+      (** an upper bound on any process's operation count in any covered
+          execution; checkers use it as the wait-freedom budget *)
+}
+
+val world : t -> params -> World.t
+(** The simulator world for this protocol instance. *)
+
+val bodies : t -> params -> inputs:Value.t array -> (unit -> Value.t) array
+(** One body per process with the given inputs.
+    @raise Invalid_argument if [Array.length inputs <> n_procs]. *)
+
+val default_inputs : params -> Value.t array
+(** Distinct inputs [Int 100], [Int 101], … — distinct from ⊥ and from
+    each other, as the theorems assume in the interesting case. *)

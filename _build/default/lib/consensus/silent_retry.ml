@@ -1,0 +1,20 @@
+open Ffault_objects
+open Ffault_sim
+
+let body _ps ~me:_ ~input () = Sim_impl.silent_retry_decide ~input
+
+let protocol =
+  {
+    Protocol.name = "silent-retry";
+    description =
+      "\xc2\xa73.4 retry protocol: one CAS object, tolerates any bounded number of silent \
+       faults";
+    objects = (fun _ -> [ World.obj ~label:"O" Kind.Cas_only ]);
+    body;
+    in_envelope = (fun ps -> ps.Protocol.t <> None);
+    max_steps_hint =
+      (fun ps ->
+        (* While the object holds ⊥, each CAS either installs a value or
+           burns one fault; afterwards one more CAS suffices. *)
+        (match ps.Protocol.t with Some t -> t | None -> 0) + 4);
+  }

@@ -1,0 +1,28 @@
+(** Retry consensus under the silent CAS fault (paper §3.4, "A Silent
+    Fault").
+
+    A silent fault suppresses the write of a CAS whose comparison
+    succeeded. With a {e bounded} number of faults, the original Herlihy
+    protocol retried in a loop still works: while the object holds ⊥,
+    every CAS either installs a value or burns one fault from the budget,
+    so after at most t wasted attempts some value lands and everyone
+    adopts it:
+
+    {v
+    decide(val):
+      loop
+        old ← CAS(O, ⊥, val)
+        if old ≠ ⊥ then return old
+    v}
+
+    Note the winner also loops: its successful CAS returns ⊥ (success is
+    invisible!), and its next CAS returns its own value.
+
+    With an {e unbounded} number of silent faults the loop never
+    terminates — the E8 experiment exhibits the non-termination witness,
+    matching the paper's remark that the unbounded case reduces to
+    nonresponsive data faults. *)
+
+val protocol : Protocol.t
+(** Envelope: bounded t (any f, any n — a single object is used, so at
+    most one object is ever faulty). *)

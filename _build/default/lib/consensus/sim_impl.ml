@@ -1,0 +1,15 @@
+open Ffault_objects
+open Ffault_sim
+
+module Substrate = struct
+  type value = Value.t
+
+  let bottom = Value.Bottom
+  let equal = Value.equal
+  let mk_staged value stage = Value.Staged { value; stage }
+  let stage_of = function Value.Staged { stage; _ } -> stage | _ -> -1
+  let unstage = function Value.Staged { value; _ } -> value | v -> v
+  let cas i ~expected ~desired = Proc.cas (Obj_id.of_int i) ~expected ~desired
+end
+
+include Algorithms.Make (Substrate)

@@ -1,0 +1,11 @@
+(** The {!Algorithms} functor instantiated on the simulator substrate:
+    objects are the engine's indexed CAS objects, accessed through
+    {!Ffault_sim.Proc} effects. The protocol modules build their bodies
+    from these functions. *)
+
+open Ffault_objects
+
+val single_cas_decide : input:Value.t -> Value.t
+val sweep_decide : objects:int -> input:Value.t -> Value.t
+val staged_decide : f:int -> max_stage:int -> input:Value.t -> Value.t
+val silent_retry_decide : input:Value.t -> Value.t

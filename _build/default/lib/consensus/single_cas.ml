@@ -1,0 +1,28 @@
+open Ffault_objects
+open Ffault_sim
+
+let body _params ~me:_ ~input () = Sim_impl.single_cas_decide ~input
+
+let objects _params = [ World.obj ~label:"O" Kind.Cas_only ]
+
+let herlihy =
+  {
+    Protocol.name = "herlihy-single-cas";
+    description = "Herlihy's one-object CAS consensus; correct only without faults";
+    objects;
+    body;
+    in_envelope = (fun ps -> ps.Protocol.f = 0);
+    max_steps_hint = (fun _ -> 1);
+  }
+
+let two_process =
+  {
+    Protocol.name = "fig1-two-process";
+    description =
+      "Paper Fig. 1 / Theorem 4: (f, \xe2\x88\x9e, 2)-tolerant consensus from a single \
+       possibly-overriding CAS object";
+    objects;
+    body;
+    in_envelope = (fun ps -> ps.Protocol.n_procs <= 2);
+    max_steps_hint = (fun _ -> 1);
+  }

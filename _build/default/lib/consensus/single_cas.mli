@@ -1,0 +1,23 @@
+(** Single-CAS consensus (paper Fig. 1 and the classic fault-free
+    baseline).
+
+    The protocol is Herlihy's: each process CASes its input into a single
+    object initialized to ⊥ and decides the first value written.
+
+    {!herlihy} is the fault-free baseline — its envelope is f = 0 with any
+    number of processes (the consensus number of a correct CAS object is
+    ∞, §2).
+
+    {!two_process} is the paper's Theorem 4: the {e same} code is
+    (f, ∞, 2)-tolerant against overriding faults — with two processes an
+    overriding fault can only make the second CAS "succeed", which writes
+    the loser's value but still returns the winner's value as [old], so
+    both decide the first value written. The anomaly disappears for n > 2
+    (see the E4 witnesses). *)
+
+val herlihy : Protocol.t
+(** Envelope: f = 0, any t, any n. *)
+
+val two_process : Protocol.t
+(** Envelope: n ≤ 2, any f, any t (Theorem 4 uses one object, so at most
+    one object can be faulty anyway). *)

@@ -1,0 +1,32 @@
+open Ffault_objects
+open Ffault_sim
+
+let r0 = Obj_id.of_int 0
+let r1 = Obj_id.of_int 1
+let tas_object = Obj_id.of_int 2
+
+let body ps ~me ~input () =
+  if ps.Protocol.n_procs > 2 then
+    invalid_arg "Tas_consensus: the construction is for two processes";
+  Proc.write (if me = 0 then r0 else r1) input;
+  let old_bit = Proc.test_and_set tas_object in
+  if not old_bit then input (* flipped the bit: won *)
+  else Proc.read (if me = 0 then r1 else r0)
+
+let protocol =
+  {
+    Protocol.name = "tas-two-process";
+    description =
+      "classic 2-process consensus from registers + one test-and-set bit (consensus number \
+       of TAS is 2); fault rows of E13 measure its collapse under structured TAS faults";
+    objects =
+      (fun _ ->
+        [
+          World.obj ~label:"R0" Kind.Register;
+          World.obj ~label:"R1" Kind.Register;
+          World.obj ~label:"T" Kind.Test_and_set;
+        ]);
+    body;
+    in_envelope = (fun ps -> ps.Protocol.n_procs <= 2 && ps.Protocol.f = 0);
+    max_steps_hint = (fun _ -> 3);
+  }

@@ -1,0 +1,22 @@
+(** Two-process consensus from test-and-set (the classic construction),
+    as a second primitive for the functional-fault framework (paper §7:
+    "examine other widely used functions with natural faults").
+
+    Objects: two registers R₀, R₁ and one TAS bit T. Process i writes its
+    input to Rᵢ, then performs TAS; the process that flips the bit
+    (old = false) wins and decides its own input, the loser decides the
+    winner's registered value. Correct for n = 2 with no faults — TAS has
+    consensus number 2.
+
+    Experiment E13 charts what each structured TAS fault
+    ({!Ffault_hoare.Tas_spec}) does to it: a single silent-set or
+    phantom-win fault already produces two winners, collapsing the
+    consensus number below 2 — the TAS mirror of the paper's headline
+    that one natural fault collapses CAS from consensus number ∞. *)
+
+val protocol : Protocol.t
+(** Envelope: n ≤ 2 and f = 0 (the classic construction makes no fault
+    claims; the faulty rows of E13 are the measurement). *)
+
+val tas_object : Ffault_objects.Obj_id.t
+(** The TAS bit's object id (2) — for pinning fault victims. *)

@@ -1,0 +1,67 @@
+open Ffault_objects
+open Ffault_sim
+
+type config = { kind : Kind.t; init : Value.t; slots : int; f : int }
+
+let config ?(f = 1) ?(slots = 64) ~kind ~init () =
+  if f < 0 then invalid_arg "Universal.config: f < 0";
+  if slots < 1 then invalid_arg "Universal.config: slots < 1";
+  { kind; init; slots; f }
+
+let world_objects cfg =
+  List.init
+    (cfg.slots * (cfg.f + 1))
+    (fun i ->
+      World.obj
+        ~label:(Fmt.str "slot%d.O%d" (i / (cfg.f + 1)) (i mod (cfg.f + 1)))
+        Kind.Cas_only)
+
+type handle = {
+  cfg : config;
+  me : int;
+  mutable next_slot : int;
+  mutable state : Value.t;
+  mutable seq : int;  (* per-process proposal counter, makes proposals unique *)
+  mutable log_rev : (int * Op.t) list;
+}
+
+let create cfg ~me = { cfg; me; next_slot = 0; state = cfg.init; seq = 0; log_rev = [] }
+
+(* The Fig. 2 sweep over slot k's own f + 1 objects. Latecomers re-running
+   an already-decided instance adopt its settled value (the Theorem 5
+   consistency argument does not depend on when deciders arrive). *)
+let slot_decide cfg ~slot ~proposal =
+  let base = slot * (cfg.f + 1) in
+  let output = ref proposal in
+  for i = 0 to cfg.f do
+    let old =
+      Proc.cas (Obj_id.of_int (base + i)) ~expected:Value.Bottom ~desired:!output
+    in
+    if not (Value.is_bottom old) then output := old
+  done;
+  !output
+
+let encode_proposal ~me ~seq op = Value.Pair (Pair (Int me, Int seq), Op_codec.encode op)
+
+let decode_proposal v =
+  match v with
+  | Value.Pair (Pair (Int me, Int _seq), op_v) -> (me, Op_codec.decode_exn op_v)
+  | _ -> invalid_arg (Fmt.str "Universal: undecodable slot winner %a" Value.pp v)
+
+let apply h op =
+  let proposal = encode_proposal ~me:h.me ~seq:h.seq op in
+  h.seq <- h.seq + 1;
+  let rec go () =
+    if h.next_slot >= h.cfg.slots then failwith "Universal.apply: log capacity exhausted";
+    let winner = slot_decide h.cfg ~slot:h.next_slot ~proposal in
+    h.next_slot <- h.next_slot + 1;
+    let proposer, winner_op = decode_proposal winner in
+    let outcome = Semantics.apply_exn h.cfg.kind ~state:h.state winner_op in
+    h.state <- outcome.Semantics.post_state;
+    h.log_rev <- (proposer, winner_op) :: h.log_rev;
+    if Value.equal winner proposal then outcome.Semantics.response else go ()
+  in
+  go ()
+
+let local_state h = h.state
+let log h = List.rev h.log_rev

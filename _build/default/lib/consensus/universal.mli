@@ -1,0 +1,56 @@
+(** A universal construction over fault-tolerant consensus (paper §1/§2:
+    consensus is universal — it implements any wait-free object).
+
+    This is a slot-log universal object in the style of Herlihy's
+    construction, adapted to one-shot consensus instances: the object's
+    history is a log of operations, one per slot, and slot k's operation
+    is agreed through a dedicated f-tolerant consensus instance (the
+    Fig. 2 sweep over f + 1 CAS objects, which remains correct for
+    latecomers re-deciding an already-settled instance). To apply an
+    operation, a process proposes it for the next slot it has not yet
+    replayed; if another operation wins the slot, the process applies that
+    winner to its replica and retries at the next slot. Every lost slot
+    carries someone else's operation, so with a bounded number of
+    operations in flight every apply terminates.
+
+    Because the base objects are only overriding-faulty CAS objects within
+    an (f, t) budget, the whole object inherits the construction's fault
+    tolerance: at most f of any slot's f + 1 objects can be faulty.
+
+    Runs under the simulator engine (bodies perform {!Ffault_sim.Proc}
+    effects). Experiment E9 builds a fetch-and-add counter on top and
+    checks linearizability. *)
+
+open Ffault_objects
+open Ffault_sim
+
+type config = {
+  kind : Kind.t;  (** sequential type of the implemented object *)
+  init : Value.t;  (** its initial state *)
+  slots : int;  (** log capacity ≥ total operations ever applied *)
+  f : int;  (** fault budget per Definition 3; each slot uses f + 1 CAS objects *)
+}
+
+val config : ?f:int -> ?slots:int -> kind:Kind.t -> init:Value.t -> unit -> config
+(** Defaults: f = 1, slots = 64. *)
+
+val world_objects : config -> World.obj_decl list
+(** The flat base-object declarations: [slots × (f + 1)] CAS objects. *)
+
+type handle
+(** A process's view of the universal object: its replica state and log
+    position. Create one per process, inside its body. *)
+
+val create : config -> me:int -> handle
+
+val apply : handle -> Op.t -> Value.t
+(** Agree on a slot for the operation, replay intervening winners, and
+    return the operation's response at its agreed position.
+    @raise Failure if the log capacity is exhausted. *)
+
+val local_state : handle -> Value.t
+(** The replica state after everything this handle has replayed. *)
+
+val log : handle -> (int * Op.t) list
+(** The (proposer, operation) log this handle has replayed, oldest
+    first. *)

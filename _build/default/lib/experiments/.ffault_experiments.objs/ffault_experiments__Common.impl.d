@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Ffault_consensus Ffault_fault Ffault_prng Ffault_sim Ffault_verify Fmt List String

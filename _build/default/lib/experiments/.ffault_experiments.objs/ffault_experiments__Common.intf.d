@@ -1,0 +1,1 @@
+lib/experiments/common.mli: Ffault_consensus Ffault_fault Ffault_prng Ffault_verify

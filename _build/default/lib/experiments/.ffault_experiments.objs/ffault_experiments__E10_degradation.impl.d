@@ -1,0 +1,1 @@
+lib/experiments/e10_degradation.ml: Check Common Consensus Ffault_hoare Ffault_stats Ffault_verify Fmt List Report

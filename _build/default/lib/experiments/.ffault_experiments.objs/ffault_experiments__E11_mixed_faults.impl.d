@@ -1,0 +1,1 @@
+lib/experiments/e11_mixed_faults.ml: Check Common Consensus Fault Ffault_prng Ffault_stats Ffault_verify Fmt List Report

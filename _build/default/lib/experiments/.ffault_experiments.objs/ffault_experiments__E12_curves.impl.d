@@ -1,0 +1,1 @@
+lib/experiments/e12_curves.ml: Array Check Common Consensus Ffault_sim Ffault_stats Ffault_verify Int64 List Report

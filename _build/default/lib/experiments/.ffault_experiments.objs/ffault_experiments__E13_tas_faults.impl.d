@@ -1,0 +1,1 @@
+lib/experiments/e13_tas_faults.ml: Check Common Consensus Fault Ffault_objects Ffault_stats Ffault_verify List Option Report String Value

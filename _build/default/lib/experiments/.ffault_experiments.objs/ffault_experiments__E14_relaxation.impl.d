@@ -1,0 +1,1 @@
+lib/experiments/e14_relaxation.ml: Array Common Fault Ffault_hoare Ffault_objects Ffault_prng Ffault_sim Ffault_stats Fmt Int64 Kind List Obj_id Op Option Report Value

@@ -1,0 +1,1 @@
+lib/experiments/e1_two_process.ml: Check Common Consensus Ffault_stats Ffault_verify Fmt List Report

@@ -1,0 +1,1 @@
+lib/experiments/e1_two_process.mli: Report

@@ -1,0 +1,1 @@
+lib/experiments/e2_f_tolerant.ml: Check Common Consensus Ffault_stats Ffault_verify Fmt List Report

@@ -1,0 +1,1 @@
+lib/experiments/e3_bounded_faults.ml: Check Common Consensus Ffault_sim Ffault_stats Ffault_verify Fmt Int64 List Report

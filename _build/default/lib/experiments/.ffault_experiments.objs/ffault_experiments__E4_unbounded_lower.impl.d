@@ -1,0 +1,1 @@
+lib/experiments/e4_unbounded_lower.ml: Check Common Consensus Ffault_impossibility Ffault_stats Ffault_verify Fmt List Option Report

@@ -1,0 +1,1 @@
+lib/experiments/e5_covering.ml: Check Common Consensus Ffault_fault Ffault_impossibility Ffault_sim Ffault_stats List Report

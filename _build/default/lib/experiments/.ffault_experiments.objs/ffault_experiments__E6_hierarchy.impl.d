@@ -1,0 +1,1 @@
+lib/experiments/e6_hierarchy.ml: Ffault_impossibility Ffault_stats Fmt Int64 List Report

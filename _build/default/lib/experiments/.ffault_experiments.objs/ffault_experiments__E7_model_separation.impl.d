@@ -1,0 +1,1 @@
+lib/experiments/e7_model_separation.ml: Check Common Consensus Ffault_fault Ffault_objects Ffault_sim Ffault_stats Ffault_verify Fmt List Report

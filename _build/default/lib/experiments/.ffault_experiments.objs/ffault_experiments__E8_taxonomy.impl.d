@@ -1,0 +1,1 @@
+lib/experiments/e8_taxonomy.ml: Check Common Consensus Ffault_fault Ffault_sim Ffault_stats Ffault_verify Fmt List Report

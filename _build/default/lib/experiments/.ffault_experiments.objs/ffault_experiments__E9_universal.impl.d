@@ -1,0 +1,1 @@
+lib/experiments/e9_universal.ml: Array Common Consensus Ffault_fault Ffault_objects Ffault_sim Ffault_stats History Int Int64 Kind Linearizability List Op Report Value

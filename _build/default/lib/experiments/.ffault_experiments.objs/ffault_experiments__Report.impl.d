@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Ffault_stats Fmt List

@@ -1,0 +1,27 @@
+(** Shared helpers for the experiment modules. *)
+
+module Fault = Ffault_fault
+module Consensus = Ffault_consensus
+module Check = Ffault_verify.Consensus_check
+
+val always_overriding : Ffault_prng.Rng.t -> Fault.Injector.t
+val probabilistic_overriding : p:float -> Ffault_prng.Rng.t -> Fault.Injector.t
+
+val mass :
+  ?injector:(Ffault_prng.Rng.t -> Fault.Injector.t) ->
+  ?on_report:(seed:int64 -> Check.report -> unit) ->
+  runs:int ->
+  seed:int64 ->
+  Check.setup ->
+  Ffault_verify.Mass.summary
+(** Mass randomized testing with the always-overriding adversary by
+    default. *)
+
+val violation_cell : Ffault_verify.Mass.summary -> string
+(** "0" or "N (!!)". *)
+
+val first_witness_trace : Ffault_verify.Dfs.stats -> Check.setup -> string option
+(** Render the first witness's trace, if any, for a report note. *)
+
+val trace_note : Check.setup -> Check.report -> string
+(** Render a report's trace with its violations for a note. *)

@@ -1,0 +1,18 @@
+(** E10 — beyond the paper (§6/§7 future work): fault severity and
+    graceful degradation of the overriding-CAS constructions.
+
+    Two artifacts. First, the severity matrix: the semantic order between
+    the taxonomy's deviating postconditions, decided exhaustively over a
+    finite value universe (arbitrary strictly dominates standard Φ,
+    overriding and silent; invisible is incomparable with everything).
+    Second, degradation profiles: each construction is pushed {e past}
+    its design budget (an extra faulty object, or more faults per object
+    than maxStage was sized for) under worst-case overriding adversaries,
+    and every failure is classified. The signature of graceful
+    degradation: consistency may fall, but validity and wait-freedom
+    never do — overriding faults return truthful values and only write
+    values some process actually proposed, so the construction degrades
+    into a weaker-but-sane agreement object rather than producing
+    garbage. *)
+
+val run : ?quick:bool -> ?seed:int64 -> unit -> Report.t

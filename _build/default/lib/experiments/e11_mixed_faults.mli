@@ -1,0 +1,17 @@
+(** E11 — beyond the paper (§3.2 remark): Definition 3 "allows us to
+    present a discussion about a mix of object types and a mix of
+    functional faults". This experiment runs the constructions under
+    adversaries that mix fault kinds per invocation.
+
+    The claim tested: Fig. 2 tolerates any mix of {e overriding and
+    silent} faults within its budget — its consistency argument only
+    needs one correct object and truthful [old] responses, both of which
+    survive either kind; silent faults never write at all, so they cannot
+    introduce foreign values either. The Fig. 3 row is exploratory: its
+    stage machinery was proved for overriding faults only, and the
+    portfolio falsifier reports what actually happens under a mix
+    (silent faults can make a process believe an installation succeeded
+    when nothing was written, invalidating Claim 9's write-ordering) —
+    the experiment records the finding either way. *)
+
+val run : ?quick:bool -> ?seed:int64 -> unit -> Report.t

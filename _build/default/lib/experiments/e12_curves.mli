@@ -1,0 +1,17 @@
+(** E12 — figure-style quantitative series (the paper proves worst-case
+    statements; these curves chart the average case the theory brackets):
+
+    - {e failure-probability curves}: Monte-Carlo rate of consensus
+      violation for the unprotected single-CAS protocol as the
+      overriding-fault rate p sweeps 0 → 0.9, and as the number of sweep
+      objects grows at a fixed fault rate (all objects faulty — the
+      Theorem 18 regime, where no object count is ever fully safe but
+      random failure probability falls geometrically);
+    - {e cost scaling}: operations per process of the Fig. 3 protocol as
+      f and t grow, against its O(t·f²)-stage budget.
+
+    Shapes expected: monotone-increasing failure rate in p; geometric
+    decay in the object count; superlinear growth of Fig. 3's cost in f
+    and linear growth in t. *)
+
+val run : ?quick:bool -> ?seed:int64 -> unit -> Report.t

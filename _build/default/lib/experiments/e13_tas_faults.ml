@@ -1,0 +1,67 @@
+open Common
+module Protocol = Consensus.Protocol
+module Table = Ffault_stats.Table
+module Dfs = Ffault_verify.Dfs
+module Fault_kind = Fault.Fault_kind
+open Ffault_objects
+
+let setup ~f ~t ~allowed ~palette =
+  let victims = if f > 0 then Some [ Consensus.Tas_consensus.tas_object ] else None in
+  Check.setup ~allowed_faults:allowed ~payload_palette:palette ?victims
+    Consensus.Tas_consensus.protocol
+    (Protocol.params ?t ~n_procs:2 ~f ())
+
+let run ?(quick = false) ?(seed = 0xE13L) () =
+  ignore quick;
+  ignore seed;
+  let table =
+    Table.create
+      ~columns:[ "TAS fault"; "budget"; "executions"; "witness"; "violation kind" ]
+  in
+  let ok = ref true in
+  let notes = ref [] in
+  let row ~label ~budget ~expect_witness ~allowed ~palette ~f ~t =
+    let s = setup ~f ~t ~allowed ~palette in
+    let stats = Dfs.explore ~max_executions:200_000 s in
+    let found = stats.Dfs.witnesses <> [] in
+    if found <> expect_witness || stats.Dfs.truncated then ok := false;
+    let violation_kind =
+      match stats.Dfs.witnesses with
+      | [] -> "-"
+      | w :: _ ->
+          String.concat "+"
+            (List.sort_uniq String.compare
+               (List.map
+                  (function
+                    | Check.Consistency _ -> "consistency"
+                    | Check.Validity _ -> "validity"
+                    | Check.Wait_freedom _ -> "wait-freedom")
+                  w.Dfs.report.Check.violations))
+    in
+    if found && List.length !notes < 1 then
+      Option.iter (fun tr -> notes := [ label ^ ": " ^ tr ]) (first_witness_trace stats s);
+    Table.add_row table
+      [
+        label; budget; Table.cell_int stats.Dfs.executions; Table.cell_bool found;
+        violation_kind;
+      ]
+  in
+  row ~label:"none (control)" ~budget:"f=0" ~expect_witness:false ~allowed:[] ~palette:[]
+    ~f:0 ~t:None;
+  row ~label:"silent-set" ~budget:"f=1, t=1" ~expect_witness:true
+    ~allowed:[ Fault_kind.Silent ] ~palette:[] ~f:1 ~t:(Some 1);
+  row ~label:"phantom-win" ~budget:"f=1, t=1" ~expect_witness:true
+    ~allowed:[ Fault_kind.Invisible ]
+    ~palette:[ Value.Bool false; Value.Bool true ]
+    ~f:1 ~t:(Some 1);
+  row ~label:"nonresponsive" ~budget:"f=1, t=1" ~expect_witness:true
+    ~allowed:[ Fault_kind.Nonresponsive ] ~palette:[] ~f:1 ~t:(Some 1);
+  Report.make ~id:"E13" ~title:"Structured faults of a second primitive: test-and-set (\xc2\xa77)"
+    ~claim:
+      "The functional-fault framework transfers beyond CAS: natural structured TAS faults \
+       are expressible as \xce\xa6' formulas, and a single silent-set or phantom-win fault \
+       collapses the classic 2-process TAS consensus \xe2\x80\x94 TAS falls from consensus \
+       number 2 to 1, mirroring CAS falling from \xe2\x88\x9e (E6)."
+    ~passed:!ok
+    ~tables:[ ("Model checking 2-process TAS consensus (victim: the TAS bit)", table) ]
+    ~notes:!notes ()

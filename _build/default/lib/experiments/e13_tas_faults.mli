@@ -1,0 +1,19 @@
+(** E13 — beyond the paper (§7 future work): the framework applied to a
+    second primitive. Structured test-and-set faults — silent-set (the
+    bit is not set), phantom-win (correct transition, forged old value) —
+    are defined as Φ′ formulas, injected by the same engine, audited by
+    the same Hoare layer, and the classic 2-process TAS consensus is
+    model-checked under each:
+
+    - fault-free: exhaustively correct (consensus number of TAS is 2);
+    - one silent-set fault: disagreement witness (both processes flip
+      "successfully");
+    - one phantom-win fault: disagreement witness (a loser is told it
+      won);
+    - one nonresponsive fault: wait-freedom lost.
+
+    The TAS mirror of the paper's headline: a single natural structured
+    fault collapses a primitive's consensus number — CAS falls from ∞ to
+    a finite level (E6), TAS falls from 2 to 1. *)
+
+val run : ?quick:bool -> ?seed:int64 -> unit -> Report.t

@@ -1,0 +1,145 @@
+open Common
+module Table = Ffault_stats.Table
+module Engine = Ffault_sim.Engine
+module World = Ffault_sim.World
+module Scheduler = Ffault_sim.Scheduler
+module Proc = Ffault_sim.Proc
+module Trace = Ffault_sim.Trace
+module Budget = Fault.Budget
+module Fault_kind = Fault.Fault_kind
+module Injector = Fault.Injector
+module Queue_spec = Ffault_hoare.Queue_spec
+module Triple = Ffault_hoare.Triple
+open Ffault_objects
+
+type run_stats = {
+  conserved : bool;  (** dequeued multiset = enqueued multiset *)
+  max_distance : int;  (** deepest relaxed removal observed *)
+  relaxed_steps : int;
+  audit_mismatches : int;
+  all_decided : bool;
+}
+
+(* n producers/consumers over one shared queue: each enqueues its m items,
+   then dequeues m items (retrying on empty). *)
+let run_workload ~n ~items ~k ~p ~seed =
+  let world = World.make ~n_procs:n [ World.obj ~label:"Q" Kind.Queue ] in
+  let q = Obj_id.of_int 0 in
+  let got = Array.make n [] in
+  let body me () =
+    for j = 1 to items do
+      Proc.enqueue q (Value.Int ((100 * me) + j))
+    done;
+    let taken = ref 0 in
+    while !taken < items do
+      let v = Proc.dequeue q in
+      if not (Value.is_bottom v) then begin
+        got.(me) <- v :: got.(me);
+        incr taken
+      end
+    done;
+    Value.Int 0
+  in
+  let budget = Budget.create ~max_faulty_objects:1 ~max_faults_per_object:None () in
+  let cfg =
+    Engine.config ~allowed_faults:[ Fault_kind.Relaxation ]
+      ~max_steps_per_proc:(64 * items * n) ~world ~budget ()
+  in
+  let rng = Ffault_prng.Rng.make ~seed in
+  let payload _ctx = Value.Int (1 + Ffault_prng.Rng.int rng (k - 1)) in
+  let injector =
+    if p >= 1.0 then Injector.always ~payload Fault_kind.Relaxation
+    else
+      Injector.custom ~name:"relaxer" (fun ctx ->
+          if Op.equal ctx.Injector.op Op.Dequeue && Ffault_prng.Rng.bernoulli rng ~p then
+            Injector.Fault { kind = Fault_kind.Relaxation; payload = Some (payload ctx) }
+          else Injector.No_fault)
+  in
+  let result =
+    Engine.run cfg
+      ~scheduler:(Scheduler.random ~seed:(Int64.add seed 13L))
+      ~injector ~bodies:(Array.init n body) ()
+  in
+  let enqueued =
+    List.concat_map
+      (fun me -> List.init items (fun j -> Value.Int ((100 * me) + (j + 1))))
+      (List.init n (fun i -> i))
+  in
+  let dequeued = List.concat_map (fun me -> got.(me)) (List.init n (fun i -> i)) in
+  let sort = List.sort Value.compare in
+  let conserved =
+    List.length enqueued = List.length dequeued
+    && List.for_all2 Value.equal (sort enqueued) (sort dequeued)
+  in
+  let max_distance, relaxed_steps =
+    List.fold_left
+      (fun (dmax, count) ev ->
+        match ev with
+        | Trace.Op_step { op = Op.Dequeue; pre_state; post_state; response; injected; _ } ->
+            let step =
+              { Triple.kind = Kind.Queue; pre_state; op = Op.Dequeue; post_state; response }
+            in
+            let d = Option.value ~default:0 (Queue_spec.dequeue_distance step) in
+            (max dmax d, if injected <> None then count + 1 else count)
+        | _ -> (dmax, count))
+      (0, 0) result.Engine.trace
+  in
+  {
+    conserved;
+    max_distance;
+    relaxed_steps;
+    audit_mismatches = List.length (Trace.audit ~world result.Engine.trace);
+    all_decided = Engine.all_decided result;
+  }
+
+let run ?(quick = false) ?(seed = 0xE14L) () =
+  let trials = if quick then 30 else 150 in
+  let table =
+    Table.create
+      ~columns:
+        [ "k"; "relax rate"; "trials"; "conserved"; "max distance (\xe2\x89\xa4 k-1?)";
+          "relaxed steps"; "audit mismatches" ]
+  in
+  let ok = ref true in
+  List.iter
+    (fun (k, p) ->
+      let conserved_all = ref true and decided_all = ref true in
+      let dist = ref 0 and relaxed = ref 0 and mismatches = ref 0 in
+      for i = 1 to trials do
+        let s =
+          run_workload ~n:3 ~items:3 ~k ~p ~seed:(Int64.add seed (Int64.of_int (i * 7919)))
+        in
+        if not s.conserved then conserved_all := false;
+        if not s.all_decided then decided_all := false;
+        if s.max_distance > !dist then dist := s.max_distance;
+        relaxed := !relaxed + s.relaxed_steps;
+        mismatches := !mismatches + s.audit_mismatches
+      done;
+      let within = !dist <= k - 1 in
+      if not (!conserved_all && !decided_all && within && !mismatches = 0) then ok := false;
+      Table.add_row table
+        [
+          Table.cell_int k;
+          Table.cell_float ~decimals:2 p;
+          Table.cell_int trials;
+          Table.cell_bool !conserved_all;
+          Fmt.str "%d (%s)" !dist (if within then "yes" else "NO");
+          Table.cell_int !relaxed;
+          Table.cell_int !mismatches;
+        ])
+    [ (2, 0.3); (2, 1.0); (4, 0.5); (8, 0.5) ];
+  Report.make ~id:"E14" ~title:"Relaxed data structures as functional faults (\xc2\xa76)"
+    ~claim:
+      "A k-relaxed dequeue is an \xe2\x9f\xa8Dequeue, \xce\xa6'\xe2\x82\x96\xe2\x9f\xa9-fault: the \
+       Definition-1 machinery injects, budgets and classifies relaxations unchanged; element \
+       conservation survives any relaxation rate while only FIFO order degrades, within the \
+       injected distance bound."
+    ~passed:!ok
+    ~tables:[ ("Producer/consumer over a relaxed queue (n=3, 3 items each)", table) ]
+    ~notes:
+      [
+        "\"audit mismatches = 0\" means every relaxed step was independently re-recognized \
+         from the trace as a structured \xe2\x9f\xa8Dequeue, \xce\xa6'\xe2\x9f\xa9-fault \
+         (Definition 1), with no unlabeled deviations.";
+      ]
+    ()

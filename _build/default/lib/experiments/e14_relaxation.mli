@@ -1,0 +1,14 @@
+(** E14 — beyond the paper (§6): relaxed data structures are a special
+    case of functional faults.
+
+    A k-relaxed dequeue (it may remove any of the first k elements) is
+    exactly an ⟨O, Φ′ₖ⟩-fault of the Dequeue operation, so the entire
+    Definition-1 machinery applies unchanged: the engine injects
+    relaxations under an (f, t) budget, the Hoare layer classifies every
+    relaxed step as a structured fault, and the trace auditor verifies
+    the bookkeeping. A producer/consumer workload measures the semantic
+    damage: element conservation (nothing lost, nothing duplicated)
+    survives arbitrary relaxation — only FIFO order degrades, and the
+    measured dequeue distance stays within the injected k. *)
+
+val run : ?quick:bool -> ?seed:int64 -> unit -> Report.t

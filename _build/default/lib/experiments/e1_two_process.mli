@@ -1,0 +1,9 @@
+(** E1 — Fig. 1 / Theorem 4: a single (possibly overriding-faulty) CAS
+    object solves consensus for two processes, for any number of faults.
+
+    Randomized adversaries at several fault rates, plus a fully exhaustive
+    DFS over all schedules and fault choices (the two-process state space
+    is tiny), plus a control showing the same protocol breaking at
+    n = 3. *)
+
+val run : ?quick:bool -> ?seed:int64 -> unit -> Report.t

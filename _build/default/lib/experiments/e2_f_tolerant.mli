@@ -1,0 +1,10 @@
+(** E2 — Fig. 2 / Theorem 5: f-tolerant consensus from f + 1 CAS objects,
+    with an unbounded number of overriding faults per faulty object, for
+    any number of processes.
+
+    Sweeps f and n under the worst-case (always-fault) adversary; checks
+    the protocol's exact step complexity (each process performs exactly
+    f + 1 CAS operations) alongside correctness; adds an exhaustive DFS
+    at a small instance. *)
+
+val run : ?quick:bool -> ?seed:int64 -> unit -> Report.t

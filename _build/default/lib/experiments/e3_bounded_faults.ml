@@ -1,0 +1,99 @@
+open Common
+module Protocol = Consensus.Protocol
+module Bounded = Consensus.Bounded_faults
+module Table = Ffault_stats.Table
+module Mass = Ffault_verify.Mass
+module Engine = Ffault_sim.Engine
+
+let run ?(quick = false) ?(seed = 0xE3L) () =
+  let runs = if quick then 200 else 1000 in
+  let settings =
+    if quick then [ (1, 1); (1, 2); (2, 1); (2, 2) ]
+    else [ (1, 1); (1, 2); (1, 4); (2, 1); (2, 2); (2, 3); (3, 1); (3, 2); (4, 1) ]
+  in
+  let table =
+    Table.create
+      ~columns:
+        [ "f"; "t"; "n"; "maxStage bound"; "max stage seen"; "runs"; "violations";
+          "max steps/proc" ]
+  in
+  let ok = ref true in
+  List.iter
+    (fun (f, t) ->
+      let n = f + 1 in
+      let params = Protocol.params ~t ~n_procs:n ~f () in
+      let setup = Check.setup Consensus.Bounded_faults.protocol params in
+      let max_stage_seen = ref (-1) in
+      let on_report ~seed:_ (report : Check.report) =
+        let s = Bounded.stages_reached report.Check.result.Engine.trace in
+        if s > !max_stage_seen then max_stage_seen := s
+      in
+      let s = mass ~on_report ~runs ~seed setup in
+      let bound = Bounded.max_stage ~f ~t in
+      if s.Mass.failure_count > 0 || !max_stage_seen > bound then ok := false;
+      Table.add_row table
+        [
+          Table.cell_int f;
+          Table.cell_int t;
+          Table.cell_int n;
+          Table.cell_int bound;
+          Table.cell_int !max_stage_seen;
+          Table.cell_int s.Mass.runs;
+          violation_cell s;
+          Table.cell_int s.Mass.max_steps_one_proc;
+        ])
+    settings;
+  (* Exhaustive verification of the smallest instance: every schedule and
+     every budget-permitted fault pattern of Fig. 3 at f = 1, t = 1,
+     n = 2. *)
+  let setup_dfs =
+    Check.setup Consensus.Bounded_faults.protocol (Protocol.params ~t:1 ~n_procs:2 ~f:1 ())
+  in
+  let dfs =
+    Ffault_verify.Dfs.explore ~max_executions:100_000 ~max_branch_depth:128 ~max_witnesses:5
+      setup_dfs
+  in
+  let dfs_ok = dfs.Ffault_verify.Dfs.witnesses = [] && not dfs.Ffault_verify.Dfs.truncated in
+  if not dfs_ok then ok := false;
+  (* Ablation: how small can maxStage get before randomized adversaries
+     break consistency? (f = 2, t = 1, bound = 12.) *)
+  let ablation =
+    Table.create ~columns:[ "maxStage"; "runs"; "violations"; "max steps/proc" ]
+  in
+  let ablation_runs = if quick then 300 else 2000 in
+  List.iter
+    (fun m ->
+      let params = Protocol.params ~t:1 ~n_procs:3 ~f:2 () in
+      let setup = Check.setup (Bounded.with_max_stage m) params in
+      let s = mass ~runs:ablation_runs ~seed:(Int64.add seed (Int64.of_int m)) setup in
+      Table.add_row ablation
+        [
+          Table.cell_int m;
+          Table.cell_int s.Mass.runs;
+          violation_cell s;
+          Table.cell_int s.Mass.max_steps_one_proc;
+        ])
+    [ 1; 2; 4; 8; 12 ];
+  Report.make ~id:"E3"
+    ~title:"(f, t, f+1)-tolerant consensus from f all-faulty CAS objects (Fig. 3, Thm 6)"
+    ~claim:
+      "With f CAS objects (all possibly faulty, at most t overriding faults each) and at most \
+       f + 1 processes, the staged protocol with maxStage = t(4f + f\xc2\xb2) is a correct \
+       consensus, and no execution exceeds the stage bound."
+    ~passed:!ok
+    ~tables:
+      [
+        ("Adversarial runs at n = f + 1 (always-overriding within budget)", table);
+        ("Ablation at f=2, t=1 (paper bound: maxStage = 12)", ablation);
+      ]
+    ~notes:
+      [
+        Fmt.str
+          "exhaustive model check of the smallest instance (f=1, t=1, n=2, every schedule \
+           \xc3\x97 every fault pattern): %a"
+          Ffault_verify.Dfs.pp_stats dfs;
+        "The paper picks maxStage = t(4f + f\xc2\xb2) for provability and notes an earlier \
+         maximal stage might work; the ablation reports what randomized adversaries find at \
+         smaller bounds (absence of violations there is sampling, not proof).";
+      ]
+    ()

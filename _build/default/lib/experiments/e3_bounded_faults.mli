@@ -1,0 +1,11 @@
+(** E3 — Fig. 3 / Theorem 6: (f, t, f + 1)-tolerant consensus from f CAS
+    objects, all possibly faulty, with maxStage = t·(4f + f²).
+
+    Sweeps (f, t) at n = f + 1 under adversarial injection, measuring the
+    highest stage any execution actually reaches against the paper's
+    bound, and the worst per-process operation count. A second, ablation
+    table shrinks maxStage below the bound and reports whether randomized
+    adversaries can then break consistency (the paper chose the bound for
+    provability, noting "an earlier maximal stage might work"). *)
+
+val run : ?quick:bool -> ?seed:int64 -> unit -> Report.t

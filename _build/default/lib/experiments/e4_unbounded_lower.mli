@@ -1,0 +1,13 @@
+(** E4 — Theorem 18: with unboundedly many faults per faulty object and
+    n > 2 processes, f CAS objects cannot implement consensus; f + 1 are
+    necessary (Fig. 2 is tight).
+
+    Under-provisioned sweep protocols (m objects, all m possibly faulty)
+    are defeated by the bounded-exhaustive model checker, which produces
+    concrete disagreement witnesses; the reduced model of the proof (one
+    designated process whose CASes always override) is run where it
+    yields a witness directly; properly provisioned controls (m = f + 1)
+    are exhaustively verified clean. A valency note exhibits the initial
+    state's multivalence — the launching point of the proof. *)
+
+val run : ?quick:bool -> ?seed:int64 -> unit -> Report.t

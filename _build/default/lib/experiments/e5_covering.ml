@@ -1,0 +1,72 @@
+open Common
+module Protocol = Consensus.Protocol
+module Table = Ffault_stats.Table
+module Covering = Ffault_impossibility.Covering
+module Budget = Ffault_fault.Budget
+module Engine = Ffault_sim.Engine
+
+let run ?(quick = false) ?(seed = 0xE5L) () =
+  ignore seed;
+  let table =
+    Table.create
+      ~columns:
+        [ "protocol"; "objects"; "f"; "t"; "n"; "violation"; "faults"; "max faults/object" ]
+  in
+  let ok = ref true in
+  let note = ref [] in
+  let fs = if quick then [ 1; 2; 3 ] else [ 1; 2; 3; 4 ] in
+  List.iter
+    (fun f ->
+      let params = Protocol.params ~t:1 ~n_procs:(f + 2) ~f () in
+      let setup = Check.setup Consensus.Bounded_faults.protocol params in
+      let o = Covering.run setup in
+      let budget = o.Covering.report.Check.result.Engine.budget in
+      let per_object =
+        List.fold_left
+          (fun acc obj -> max acc (Budget.faults_on budget obj))
+          0 (Budget.faulty_objects budget)
+      in
+      let faults = Budget.total_faults budget in
+      if (not o.Covering.violation_found) || faults <> f || per_object > 1 then ok := false;
+      if f = 1 && o.Covering.violation_found then
+        note := [ trace_note setup o.Covering.report ];
+      Table.add_row table
+        [
+          "fig3 (under-provisioned n)";
+          Table.cell_int f;
+          Table.cell_int f;
+          "1";
+          Table.cell_int (f + 2);
+          Table.cell_bool o.Covering.violation_found;
+          Table.cell_int faults;
+          Table.cell_int per_object;
+        ])
+    fs;
+  (* Control: the adversary cannot defeat a properly provisioned Fig. 2. *)
+  List.iter
+    (fun f ->
+      let params = Protocol.params ~t:1 ~n_procs:(f + 2) ~f () in
+      let setup = Check.setup Consensus.F_tolerant.protocol params in
+      let o = Covering.run setup in
+      if o.Covering.violation_found then ok := false;
+      let budget = o.Covering.report.Check.result.Engine.budget in
+      Table.add_row table
+        [
+          "fig2 (control, f+1 objects)";
+          Table.cell_int (f + 1);
+          Table.cell_int f;
+          "1";
+          Table.cell_int (f + 2);
+          Table.cell_bool o.Covering.violation_found;
+          Table.cell_int (Budget.total_faults budget);
+          "-";
+        ])
+    (if quick then [ 1; 2 ] else [ 1; 2; 3 ]);
+  Report.make ~id:"E5" ~title:"The covering adversary defeats f objects at n = f + 2 (Thm 19)"
+    ~claim:
+      "For any f, t \xe2\x89\xa5 1, no (f, t, f + 2)-tolerant consensus exists from f CAS \
+       objects: the staged covering execution (one overriding fault per object, erasing \
+       p\xe2\x82\x80's traces) forces disagreement."
+    ~passed:!ok
+    ~tables:[ ("Covering executions", table) ]
+    ~notes:!note ()

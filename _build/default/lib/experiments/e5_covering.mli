@@ -1,0 +1,11 @@
+(** E5 — Theorem 19 / Claim 20: with a bounded number of faults per
+    object, f CAS objects cannot serve f + 2 processes — one overriding
+    fault per object suffices to defeat any protocol.
+
+    Runs the paper's covering adversary against Fig. 3 instances at
+    n = f + 2 (outside the theorem-6 envelope) and verifies a consistency
+    violation using exactly one fault per object; the same adversary run
+    against properly provisioned Fig. 2 (f + 1 objects) is the control
+    that finds nothing. *)
+
+val run : ?quick:bool -> ?seed:int64 -> unit -> Report.t

@@ -1,0 +1,10 @@
+(** E6 — §5.2 corollary: the consensus number of f bounded-fault
+    overriding CAS objects is exactly f + 1, populating every level of
+    Herlihy's hierarchy with a faulty setting.
+
+    For each f, the construction half (Fig. 3 at n = f + 1, randomized
+    adversaries) and the impossibility half (covering adversary at
+    n = f + 2) are both exercised; the diagonal of the resulting table is
+    the hierarchy. *)
+
+val run : ?quick:bool -> ?seed:int64 -> unit -> Report.t

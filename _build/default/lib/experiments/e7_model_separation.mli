@@ -1,0 +1,15 @@
+(** E7 — functional faults are more expressive than data faults (§1, §4):
+    the same (f, t) budget that the Fig. 3 construction tolerates in the
+    functional-fault model is fatal in the data-fault model of Afek et
+    al., because a data fault can forge values (e.g. a ⟨v, maxStage⟩ pair
+    or a non-input junk value) that no overriding CAS fault can produce —
+    an overriding fault only ever writes a value some process actually
+    passed to CAS.
+
+    Three measurements under identical budgets: (1) Fig. 3 survives the
+    worst-case functional adversary; (2) a data-fault adversary that
+    forges a final-stage pair breaks Fig. 3's consistency with a single
+    corruption; (3) a data-fault adversary that injects junk breaks even
+    Fig. 2's validity. *)
+
+val run : ?quick:bool -> ?seed:int64 -> unit -> Report.t

@@ -1,0 +1,120 @@
+open Common
+module Protocol = Consensus.Protocol
+module Table = Ffault_stats.Table
+module Mass = Ffault_verify.Mass
+module Reduction = Ffault_verify.Reduction
+module Fault_kind = Ffault_fault.Fault_kind
+module Injector = Ffault_fault.Injector
+module Scheduler = Ffault_sim.Scheduler
+module Engine = Ffault_sim.Engine
+
+let always kind _rng = Injector.always kind
+
+let run ?(quick = false) ?(seed = 0xE8L) () =
+  let runs = if quick then 200 else 1000 in
+  let table =
+    Table.create ~columns:[ "fault"; "t"; "protocol"; "paper's prediction"; "observed" ]
+  in
+  let ok = ref true in
+  let row ~fault ~t ~protocol ~prediction ~observed ~matches =
+    if not matches then ok := false;
+    Table.add_row table [ fault; t; protocol; prediction; observed ]
+  in
+  (* Silent, bounded: retry decides within t + O(1) steps. *)
+  List.iter
+    (fun t ->
+      let params = Protocol.params ~t ~n_procs:3 ~f:1 () in
+      let setup =
+        Check.setup ~allowed_faults:[ Fault_kind.Silent ] Consensus.Silent_retry.protocol
+          params
+      in
+      let s = mass ~injector:(always Fault_kind.Silent) ~runs ~seed setup in
+      let matches = s.Mass.failure_count = 0 && s.Mass.max_steps_one_proc <= t + 4 in
+      row ~fault:"silent" ~t:(Table.cell_int t) ~protocol:"retry loop"
+        ~prediction:"consensus in \xe2\x89\xa4 t+O(1) steps/proc"
+        ~observed:
+          (Fmt.str "%s violations, \xe2\x89\xa4 %d steps/proc" (violation_cell s)
+             s.Mass.max_steps_one_proc)
+        ~matches)
+    [ 1; 3; 5 ];
+  (* Silent, unbounded: non-termination. *)
+  let params_inf = Protocol.params ~n_procs:3 ~f:1 () in
+  let setup_inf =
+    Check.setup ~allowed_faults:[ Fault_kind.Silent ] Consensus.Silent_retry.protocol
+      params_inf
+  in
+  let s_inf = mass ~injector:(always Fault_kind.Silent) ~runs:(runs / 4) ~seed setup_inf in
+  let all_diverge = s_inf.Mass.failure_count = s_inf.Mass.runs in
+  row ~fault:"silent" ~t:"\xe2\x88\x9e" ~protocol:"retry loop"
+    ~prediction:"never terminates"
+    ~observed:
+      (Fmt.str "%d/%d runs hit the step budget without deciding" s_inf.Mass.failure_count
+         s_inf.Mass.runs)
+    ~matches:all_diverge;
+  (* Invisible: executable reduction to data faults. *)
+  let params_inv = Protocol.params ~t:2 ~n_procs:3 ~f:1 () in
+  let setup_inv =
+    Check.setup ~allowed_faults:[ Fault_kind.Invisible ] Consensus.Single_cas.herlihy
+      params_inv
+  in
+  let report_inv =
+    Check.run setup_inv
+      ~scheduler:(Scheduler.round_robin ())
+      ~injector:(Injector.always Fault_kind.Invisible)
+      ()
+  in
+  let original = report_inv.Check.result.Engine.trace in
+  let rewritten = Reduction.invisible_to_data original in
+  let check = Reduction.verify ~world:(Check.world setup_inv) ~original ~rewritten in
+  let reduction_ok =
+    check.Reduction.responses_preserved && check.Reduction.steps_all_correct
+    && check.Reduction.corruptions_added > 0
+  in
+  row ~fault:"invisible" ~t:"2" ~protocol:"herlihy (trace rewriting)"
+    ~prediction:"reducible to a data-fault execution"
+    ~observed:(Fmt.str "%a" Reduction.pp_check check)
+    ~matches:reduction_ok;
+  (* Arbitrary: defeats Fig. 2 (validity breaks). *)
+  let params_arb = Protocol.params ~t:1 ~n_procs:3 ~f:1 () in
+  let setup_arb =
+    Check.setup ~allowed_faults:[ Fault_kind.Arbitrary ] Consensus.F_tolerant.protocol
+      params_arb
+  in
+  let s_arb = mass ~injector:(always Fault_kind.Arbitrary) ~runs ~seed setup_arb in
+  let arb_breaks = s_arb.Mass.failure_count > 0 in
+  row ~fault:"arbitrary" ~t:"1" ~protocol:"fig2 (f+1 objects)"
+    ~prediction:"not tolerated (needs the O(f log f) construction of [30])"
+    ~observed:(Fmt.str "%s violations in %d runs" (violation_cell s_arb) s_arb.Mass.runs)
+    ~matches:arb_breaks;
+  (* Nonresponsive: one fault removes wait-freedom. *)
+  let params_nr = Protocol.params ~t:1 ~n_procs:3 ~f:1 () in
+  let setup_nr =
+    Check.setup ~allowed_faults:[ Fault_kind.Nonresponsive ] Consensus.Single_cas.herlihy
+      params_nr
+  in
+  let report_nr =
+    Check.run setup_nr
+      ~scheduler:(Scheduler.round_robin ())
+      ~injector:
+        (Injector.on_invocations
+           [ (0, Injector.Fault { kind = Fault_kind.Nonresponsive; payload = None }) ])
+      ()
+  in
+  let hung =
+    List.exists
+      (function
+        | Check.Wait_freedom { outcome = Engine.Hung; _ } -> true | _ -> false)
+      report_nr.Check.violations
+  in
+  row ~fault:"nonresponsive" ~t:"1" ~protocol:"herlihy"
+    ~prediction:"wait-freedom lost (impossibility per [30])"
+    ~observed:(if hung then "process hung forever" else "UNEXPECTEDLY COMPLETED")
+    ~matches:hung;
+  Report.make ~id:"E8" ~title:"The CAS functional-fault taxonomy (\xc2\xa73.4)"
+    ~claim:
+      "Silent faults with bounded t are overcome by retrying; unbounded silent faults prevent \
+       termination; invisible faults reduce to data faults; arbitrary faults defeat the \
+       overriding-fault constructions; one nonresponsive fault removes wait-freedom."
+    ~passed:!ok
+    ~tables:[ ("Fault taxonomy", table) ]
+    ()

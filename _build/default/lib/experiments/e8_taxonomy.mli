@@ -1,0 +1,17 @@
+(** E8 — the §3.4 CAS fault taxonomy, each case exercised:
+
+    - {e silent}, bounded t: the retry protocol decides within t + O(1)
+      steps per process;
+    - {e silent}, unbounded: non-termination (every process exhausts its
+      step budget while the object stays ⊥) — matching the paper's remark
+      that the unbounded case is as hard as nonresponsive faults;
+    - {e invisible}: the executable reduction to data faults — the trace
+      is rewritten into corrupt/correct-CAS/corrupt and checked
+      indistinguishable;
+    - {e arbitrary}: defeats even the Fig. 2 construction (validity
+      breaks — arbitrary faults can inject non-input values); the paper
+      defers to Jayanti et al.'s O(f log f) construction for this class;
+    - {e nonresponsive}: a single such fault removes wait-freedom
+      (reducing to the impossibility of [30]). *)
+
+val run : ?quick:bool -> ?seed:int64 -> unit -> Report.t

@@ -1,0 +1,10 @@
+(** E9 — universality (§1, §2): consensus built from faulty CAS objects
+    is still universal. A wait-free fetch-and-add counter is constructed
+    over the slot-log universal object (each slot agreed by an f-tolerant
+    consensus instance running on overriding-faulty CAS), and checked
+    three ways: FAA(1) responses must be a permutation of 0..K−1 (a
+    complete linearizability criterion for increment-only histories),
+    all replicas' logs must be prefix-consistent, and a small recorded
+    history is run through the Wing–Gong linearizability checker. *)
+
+val run : ?quick:bool -> ?seed:int64 -> unit -> Report.t

@@ -1,0 +1,23 @@
+type t = {
+  id : string;
+  title : string;
+  claim : string;
+  passed : bool;
+  tables : (string * Ffault_stats.Table.t) list;
+  notes : string list;
+}
+
+let make ~id ~title ~claim ~passed ?(tables = []) ?(notes = []) () =
+  { id; title; claim; passed; tables; notes }
+
+let pp ppf r =
+  Fmt.pf ppf "@.## %s — %s@." r.id r.title;
+  Fmt.pf ppf "@.Claim: %s@." r.claim;
+  Fmt.pf ppf "Verdict: %s@." (if r.passed then "REPRODUCED" else "NOT REPRODUCED");
+  List.iter
+    (fun (caption, table) -> Fmt.pf ppf "@.%s@.@.%a" caption Ffault_stats.Table.pp table)
+    r.tables;
+  if r.notes <> [] then begin
+    Fmt.pf ppf "@.Notes:@.";
+    List.iter (fun n -> Fmt.pf ppf "- %s@." n) r.notes
+  end

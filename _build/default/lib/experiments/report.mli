@@ -1,0 +1,29 @@
+(** Structured experiment reports: what the CLI prints and what
+    EXPERIMENTS.md records.
+
+    Every experiment produces one report: a pass/fail verdict (measured
+    outcome vs. the paper's claim), one or more tables, and free-form
+    notes (witness traces, caveats). *)
+
+type t = {
+  id : string;  (** "E1" … "E9" *)
+  title : string;
+  claim : string;  (** the paper statement under test *)
+  passed : bool;  (** measured outcome matches the claim *)
+  tables : (string * Ffault_stats.Table.t) list;  (** (caption, table) *)
+  notes : string list;
+}
+
+val make :
+  id:string ->
+  title:string ->
+  claim:string ->
+  passed:bool ->
+  ?tables:(string * Ffault_stats.Table.t) list ->
+  ?notes:string list ->
+  unit ->
+  t
+
+val pp : Format.formatter -> t -> unit
+(** Render for the terminal / EXPERIMENTS.md: header with verdict,
+    captioned tables, notes. *)

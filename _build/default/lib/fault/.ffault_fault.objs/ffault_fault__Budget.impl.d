@@ -1,0 +1,1 @@
+lib/fault/budget.ml: Ffault_objects Fmt Hashtbl Int List Obj_id Option

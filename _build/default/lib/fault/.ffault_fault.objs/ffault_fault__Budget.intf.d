@@ -1,0 +1,1 @@
+lib/fault/budget.mli: Ffault_objects Format Obj_id

@@ -1,0 +1,1 @@
+lib/fault/data_fault.ml: Array Budget Ffault_objects Ffault_prng Fmt List Obj_id Value

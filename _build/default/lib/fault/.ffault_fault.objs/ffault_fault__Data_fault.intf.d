@@ -1,0 +1,1 @@
+lib/fault/data_fault.mli: Budget Ffault_objects Format Obj_id Value

@@ -1,0 +1,1 @@
+lib/fault/fault_kind.ml: Ffault_hoare Ffault_objects Fmt

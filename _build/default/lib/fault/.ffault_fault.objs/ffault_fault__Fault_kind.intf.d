@@ -1,0 +1,1 @@
+lib/fault/fault_kind.mli: Ffault_hoare Ffault_objects Format

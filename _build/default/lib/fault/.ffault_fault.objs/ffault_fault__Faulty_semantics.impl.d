@@ -1,0 +1,1 @@
+lib/fault/faulty_semantics.ml: Fault_kind Ffault_objects Fmt Op Semantics Value Vqueue

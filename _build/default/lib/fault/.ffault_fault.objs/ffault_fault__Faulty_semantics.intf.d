@@ -1,0 +1,1 @@
+lib/fault/faulty_semantics.mli: Fault_kind Ffault_objects Format Kind Op Semantics Value

@@ -1,0 +1,1 @@
+lib/fault/injector.ml: Budget Fault_kind Ffault_objects Ffault_prng Fmt Hashtbl List Obj_id Op Option Value

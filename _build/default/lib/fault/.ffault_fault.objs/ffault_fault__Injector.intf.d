@@ -1,0 +1,1 @@
+lib/fault/injector.mli: Budget Fault_kind Ffault_objects Format Obj_id Op Value

@@ -1,0 +1,67 @@
+open Ffault_objects
+
+type t = {
+  max_faulty_objects : int;
+  max_faults_per_object : int option;
+  victims : int list option; (* sorted object ids allowed to fault *)
+  counts : (int, int) Hashtbl.t; (* object id -> observable faults charged *)
+}
+
+let create ?victims ~max_faulty_objects ~max_faults_per_object () =
+  if max_faulty_objects < 0 then invalid_arg "Budget.create: max_faulty_objects < 0";
+  (match max_faults_per_object with
+  | Some t when t < 1 -> invalid_arg "Budget.create: max_faults_per_object < 1"
+  | _ -> ());
+  let victims =
+    Option.map
+      (fun l ->
+        let ids = List.sort_uniq Int.compare (List.map Obj_id.to_int l) in
+        if List.length ids > max_faulty_objects then
+          invalid_arg "Budget.create: more victims than max_faulty_objects";
+        ids)
+      victims
+  in
+  { max_faulty_objects; max_faults_per_object; victims; counts = Hashtbl.create 8 }
+
+let unlimited () =
+  { max_faulty_objects = max_int; max_faults_per_object = None; victims = None;
+    counts = Hashtbl.create 8 }
+
+let none () = create ~max_faulty_objects:0 ~max_faults_per_object:None ()
+
+let copy b = { b with counts = Hashtbl.copy b.counts }
+
+let f b = b.max_faulty_objects
+let t_bound b = b.max_faults_per_object
+
+let faults_on b o = Option.value ~default:0 (Hashtbl.find_opt b.counts (Obj_id.to_int o))
+
+let num_faulty b = Hashtbl.length b.counts
+
+let victim_ok b o =
+  match b.victims with None -> true | Some ids -> List.mem (Obj_id.to_int o) ids
+
+let can_fault b o =
+  victim_ok b o
+  &&
+  let n = faults_on b o in
+  let per_object_ok = match b.max_faults_per_object with None -> true | Some t -> n < t in
+  per_object_ok && (n > 0 || num_faulty b < b.max_faulty_objects)
+
+let charge b o =
+  if not (can_fault b o) then
+    invalid_arg (Fmt.str "Budget.charge: fault on %a exceeds budget" Obj_id.pp o);
+  Hashtbl.replace b.counts (Obj_id.to_int o) (faults_on b o + 1)
+
+let faulty_objects b =
+  Hashtbl.fold (fun id _ acc -> id :: acc) b.counts []
+  |> List.sort Int.compare
+  |> List.map Obj_id.of_int
+
+let total_faults b = Hashtbl.fold (fun _ n acc -> acc + n) b.counts 0
+
+let pp ppf b =
+  let t_str = match b.max_faults_per_object with None -> "\xe2\x88\x9e" | Some t -> string_of_int t in
+  let f_str = if b.max_faulty_objects = max_int then "\xe2\x88\x9e" else string_of_int b.max_faulty_objects in
+  Fmt.pf ppf "budget(f=%s, t=%s; charged %d faults on %d objects)" f_str t_str (total_faults b)
+    (num_faulty b)

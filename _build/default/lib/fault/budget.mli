@@ -1,0 +1,51 @@
+(** (f, t) fault-budget accounting (paper §3.2, Definition 3).
+
+    [f] bounds the number of {e faulty objects} in the execution — an
+    object becomes faulty the first time one of its operations commits an
+    observable fault. [t] bounds the number of faults {e per faulty
+    object}; [None] means unbounded (the paper's t = ∞).
+
+    Optionally a victim set restricts which objects are even allowed to
+    fault (used to stage specific adversarial scenarios: "objects O₁ and
+    O₃ are the bad ones"). Budgets are mutable per-execution records; use
+    {!copy} for exploration snapshots. *)
+
+open Ffault_objects
+
+type t
+
+val create :
+  ?victims:Obj_id.t list -> max_faulty_objects:int -> max_faults_per_object:int option -> unit -> t
+(** @raise Invalid_argument if [max_faulty_objects < 0], a bounded
+    [max_faults_per_object] is [< 1], or the victim list exceeds
+    [max_faulty_objects]. *)
+
+val unlimited : unit -> t
+(** No restriction: every object may fault arbitrarily often. *)
+
+val none : unit -> t
+(** f = 0: the fault-free world. *)
+
+val copy : t -> t
+
+val f : t -> int
+val t_bound : t -> int option
+
+val can_fault : t -> Obj_id.t -> bool
+(** Whether charging one more observable fault to this object is allowed:
+    the object is in the victim set (if any), and either it is already
+    faulty with remaining per-object budget, or fewer than [f] objects are
+    faulty so far. *)
+
+val charge : t -> Obj_id.t -> unit
+(** Record one observable fault.
+    @raise Invalid_argument if [can_fault] is false. *)
+
+val faulty_objects : t -> Obj_id.t list
+(** Objects charged at least once, ascending. *)
+
+val faults_on : t -> Obj_id.t -> int
+
+val total_faults : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+open Ffault_objects
+
+type event = { obj : Obj_id.t; value : Value.t }
+
+let pp_event ppf e = Fmt.pf ppf "%a := %a" Obj_id.pp e.obj Value.pp e.value
+
+type ctx = { step : int; state_of : Obj_id.t -> Value.t; budget : Budget.t }
+
+type t = { name : string; decide : ctx -> event list }
+
+let never = { name = "never"; decide = (fun _ -> []) }
+
+let scripted plan =
+  {
+    name = "scripted";
+    decide =
+      (fun ctx -> match List.assoc_opt ctx.step plan with Some evs -> evs | None -> []);
+  }
+
+let probabilistic ~seed ~p ~objects ~values =
+  let rng = Ffault_prng.Rng.make ~seed in
+  let objects = Array.of_list objects in
+  let values = Array.of_list values in
+  {
+    name = Fmt.str "p=%.3f-random-corruption" p;
+    decide =
+      (fun _ctx ->
+        if
+          Array.length objects > 0
+          && Array.length values > 0
+          && Ffault_prng.Rng.bernoulli rng ~p
+        then
+          [ { obj = Ffault_prng.Rng.pick rng objects; value = Ffault_prng.Rng.pick rng values } ]
+        else []);
+  }
+
+let custom ~name decide = { name; decide }

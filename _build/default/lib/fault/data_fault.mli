@@ -1,0 +1,39 @@
+(** The memory data-fault model (Afek et al. 1995; Jayanti et al. 1998,
+    responsive-arbitrary), as a comparison baseline (paper §3.1, and the
+    model-separation experiment E7).
+
+    A data fault is a spontaneous replacement of an object's content,
+    occurring at an arbitrary point between steps, independent of the
+    executing processes. The engine polls the adversary after every
+    scheduler step and applies the returned corruption events, charging
+    them to the same (f, t) budget machinery as functional faults — which
+    lets us run both models under identical budgets and compare. *)
+
+open Ffault_objects
+
+type event = { obj : Obj_id.t; value : Value.t }
+(** "Replace the content of [obj] by [value] now." *)
+
+val pp_event : Format.formatter -> event -> unit
+
+type ctx = {
+  step : int;
+      (** the number of scheduler steps executed so far — the poll after
+          the first step sees [step = 1] *)
+  state_of : Obj_id.t -> Value.t;  (** current object contents *)
+  budget : Budget.t;  (** read-only by convention *)
+}
+
+type t = { name : string; decide : ctx -> event list }
+
+val never : t
+
+val scripted : (int * event list) list -> t
+(** [scripted plan] corrupts exactly at the listed step counters. *)
+
+val probabilistic :
+  seed:int64 -> p:float -> objects:Obj_id.t list -> values:Value.t list -> t
+(** After each step, with probability [p], corrupt one uniformly chosen
+    object to one uniformly chosen value. *)
+
+val custom : name:string -> (ctx -> event list) -> t

@@ -1,0 +1,47 @@
+type t = Overriding | Silent | Invisible | Arbitrary | Nonresponsive | Relaxation
+
+let equal (a : t) b = a = b
+
+let to_string = function
+  | Overriding -> "overriding"
+  | Silent -> "silent"
+  | Invisible -> "invisible"
+  | Arbitrary -> "arbitrary"
+  | Nonresponsive -> "nonresponsive"
+  | Relaxation -> "relaxation"
+
+let of_string = function
+  | "overriding" -> Some Overriding
+  | "silent" -> Some Silent
+  | "invisible" -> Some Invisible
+  | "arbitrary" -> Some Arbitrary
+  | "nonresponsive" -> Some Nonresponsive
+  | "relaxation" -> Some Relaxation
+  | _ -> None
+
+let pp ppf k = Fmt.string ppf (to_string k)
+
+let all = [ Overriding; Silent; Invisible; Arbitrary; Nonresponsive; Relaxation ]
+
+let is_responsive = function
+  | Overriding | Silent | Invisible | Arbitrary | Relaxation -> true
+  | Nonresponsive -> false
+
+let phi' = function
+  | Overriding -> Some Ffault_hoare.Cas_spec.overriding
+  | Silent -> Some Ffault_hoare.Cas_spec.silent
+  | Invisible -> Some Ffault_hoare.Cas_spec.invisible
+  | Arbitrary -> Some Ffault_hoare.Cas_spec.arbitrary
+  | Nonresponsive | Relaxation -> None
+
+let phi'_for kind (op : Ffault_objects.Op.t) =
+  match kind, op with
+  | _, Cas _ -> phi' kind
+  | Silent, Test_and_set -> Some Ffault_hoare.Tas_spec.silent_set
+  | Silent, Reset -> Some Ffault_hoare.Tas_spec.sticky_bit
+  | Invisible, Test_and_set -> Some Ffault_hoare.Tas_spec.phantom_win
+  | Arbitrary, (Test_and_set | Reset) -> Some Ffault_hoare.Tas_spec.arbitrary
+  | Relaxation, Dequeue -> Some Ffault_hoare.Queue_spec.relaxed_any
+  | (Overriding | Silent | Invisible | Arbitrary | Nonresponsive | Relaxation),
+    (Test_and_set | Reset | Read | Write _ | Fetch_and_add _ | Enqueue _ | Dequeue) ->
+      None

@@ -1,0 +1,50 @@
+(** The CAS functional-fault taxonomy of the paper (§3.3–3.4).
+
+    Each kind names a deviating postcondition Φ′; the executable semantics
+    live in {!Faulty_semantics} and the matching predicates in
+    {!Ffault_hoare.Cas_spec}. *)
+
+type t =
+  | Overriding
+      (** the paper's case study: the new value is written even when the
+          register content differs from the expected value; the returned
+          old value is correct (Φ′ = [R = val ∧ old = R′]) *)
+  | Silent
+      (** the new value is not written even on a match; the returned old
+          value is correct *)
+  | Invisible
+      (** the state transitions correctly but the returned old value is
+          wrong (reducible to a data fault, §3.4) *)
+  | Arbitrary
+      (** an arbitrary value is written regardless of the inputs
+          (equivalent in power to responsive-arbitrary data faults) *)
+  | Nonresponsive
+      (** the operation never returns (strictly: outside the paper's
+          total-correctness faults; kept for the §3.4 discussion and the
+          impossibility cross-checks) *)
+  | Relaxation
+      (** a dequeue that removes a non-head element (paper §6: relaxed
+          data structures as a special case of functional faults); the
+          payload selects the removed position *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val of_string : string -> t option
+val all : t list
+
+val is_responsive : t -> bool
+(** All kinds except [Nonresponsive]. *)
+
+val phi' : t -> Ffault_hoare.Triple.post option
+(** The deviating postcondition recognized by the Hoare layer for CAS
+    operations, or [None] for [Nonresponsive] (no response step exists to
+    judge). *)
+
+val phi'_for : t -> Ffault_objects.Op.t -> Ffault_hoare.Triple.post option
+(** The deviating postcondition this kind denotes on the given operation:
+    the §3.3–3.4 formulas for CAS, their {!Ffault_hoare.Tas_spec}
+    analogues for test-and-set/reset (silent ↦ silent-set / sticky-bit,
+    invisible ↦ phantom-win), [None] where no faulty semantics is
+    defined. Used by the trace auditor to check every engine label
+    against Definition 1. *)

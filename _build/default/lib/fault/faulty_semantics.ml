@@ -1,0 +1,108 @@
+open Ffault_objects
+
+type application = Outcome of Semantics.outcome | Hangs
+
+type error =
+  | Not_applicable of { fault : Fault_kind.t; op : Op.t }
+  | Payload_required of Fault_kind.t
+  | Invalid_payload of { fault : Fault_kind.t; payload : Value.t; reason : string }
+
+let pp_error ppf = function
+  | Not_applicable { fault; op } ->
+      Fmt.pf ppf "fault %a not applicable to operation %a" Fault_kind.pp fault Op.pp op
+  | Payload_required fault -> Fmt.pf ppf "fault %a requires a payload value" Fault_kind.pp fault
+  | Invalid_payload { fault; payload; reason } ->
+      Fmt.pf ppf "invalid payload %a for fault %a: %s" Value.pp payload Fault_kind.pp fault
+        reason
+
+let invisible ~fault ~payload ~kind ~state op =
+  match payload with
+  | None -> Error (Payload_required fault)
+  | Some wrong_old ->
+      if Value.equal wrong_old state then
+        Error
+          (Invalid_payload
+             { fault; payload = wrong_old; reason = "response equal to true old value" })
+      else
+        let correct = Semantics.apply_exn kind ~state op in
+        Ok (Outcome { correct with response = wrong_old })
+
+let apply fault ?payload ~kind ~state (op : Op.t) =
+  match fault, op with
+  | Fault_kind.Nonresponsive, _ -> Ok Hangs
+  (* --- CAS: the paper's §3.3-3.4 taxonomy --- *)
+  | Overriding, Cas { desired; _ } ->
+      Ok (Outcome { Semantics.post_state = desired; response = state })
+  | Silent, Cas _ -> Ok (Outcome { Semantics.post_state = state; response = state })
+  | Invisible, Cas _ -> invisible ~fault ~payload ~kind ~state op
+  | Arbitrary, Cas _ -> (
+      match payload with
+      | None -> Error (Payload_required fault)
+      | Some written -> Ok (Outcome { Semantics.post_state = written; response = state }))
+  (* --- test-and-set analogues (§7: other primitives) ---
+     silent = suppressed set / suppressed reset ("sticky bit");
+     invisible = correct transition, forged response ("phantom win");
+     arbitrary = arbitrary post-state, truthful response. *)
+  | Silent, (Test_and_set | Reset) ->
+      let response =
+        match (Semantics.apply_exn kind ~state op).Semantics.response with r -> r
+      in
+      Ok (Outcome { Semantics.post_state = state; response })
+  | Invisible, Test_and_set -> invisible ~fault ~payload ~kind ~state op
+  | Arbitrary, (Test_and_set | Reset) -> (
+      match payload with
+      | None -> Error (Payload_required fault)
+      | Some written ->
+          let correct = Semantics.apply_exn kind ~state op in
+          Ok (Outcome { Semantics.post_state = written; response = correct.Semantics.response }))
+  (* --- k-relaxed dequeue (§6: relaxation as a functional fault) --- *)
+  | Relaxation, Dequeue -> (
+      match payload with
+      | None -> Error (Payload_required fault)
+      | Some (Value.Int i) -> (
+          match Vqueue.dequeue_at state i with
+          | Some (element, remaining) ->
+              Ok (Outcome { Semantics.post_state = remaining; response = element })
+          | None ->
+              Error
+                (Invalid_payload
+                   { fault; payload = Value.Int i; reason = "index out of queue range" }))
+      | Some payload ->
+          Error (Invalid_payload { fault; payload; reason = "index payload must be an Int" }))
+  | Overriding, (Test_and_set | Reset)
+  | Invisible, Reset
+  | Relaxation, (Test_and_set | Reset | Enqueue _)
+  | (Overriding | Silent | Invisible | Arbitrary), (Enqueue _ | Dequeue)
+  | (Overriding | Silent | Invisible | Arbitrary | Relaxation),
+    (Read | Write _ | Fetch_and_add _)
+  | Relaxation, Cas _ ->
+      Error (Not_applicable { fault; op })
+
+let is_observable fault ~state (op : Op.t) =
+  match fault, op with
+  | Fault_kind.Nonresponsive, _ -> true
+  | Overriding, Cas { expected; desired } ->
+      (* A successful CAS already writes [desired]; flipping the comparison
+         changes nothing unless the comparison would have failed — and even
+         then only if writing [desired] changes the state. *)
+      (not (Semantics.cas_success ~state ~expected)) && not (Value.equal state desired)
+  | Silent, Cas { expected; desired } ->
+      (* Suppressing the write only matters if the write would happen and
+         would change the state. *)
+      Semantics.cas_success ~state ~expected && not (Value.equal state desired)
+  | Silent, Test_and_set -> Value.equal state (Bool false)
+  | Silent, Reset -> Value.equal state (Bool true)
+  | Invisible, (Cas _ | Test_and_set) -> true
+  | Arbitrary, (Cas _ | Test_and_set | Reset) ->
+      (* Observable unless the payload coincides with the correct
+         post-state; the engine compares actual outcomes at injection
+         time, so stay conservative here. *)
+      true
+  | Relaxation, Dequeue -> true
+  | Overriding, (Test_and_set | Reset)
+  | Invisible, Reset
+  | Relaxation, (Test_and_set | Reset | Enqueue _ | Cas _)
+  | (Overriding | Silent | Invisible | Arbitrary), (Enqueue _ | Dequeue)
+  | (Overriding | Silent | Invisible | Arbitrary | Relaxation),
+    (Read | Write _ | Fetch_and_add _) ->
+      false

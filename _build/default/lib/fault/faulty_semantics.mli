@@ -1,0 +1,60 @@
+(** Executable faulty semantics: what actually happens when a functional
+    fault fires during an operation.
+
+    These are the Φ′-realizations: given the pre-state and the operation,
+    produce the (deterministic, except where a payload supplies the
+    adversarial choice) post-state and response of the faulty execution.
+    The Hoare layer can then re-derive the classification from the
+    resulting trace step — engine bookkeeping and trace evidence must
+    agree. *)
+
+open Ffault_objects
+
+type application =
+  | Outcome of Semantics.outcome  (** the faulty step's post-state and response *)
+  | Hangs  (** nonresponsive: the invocation never returns *)
+
+type error =
+  | Not_applicable of { fault : Fault_kind.t; op : Op.t }
+      (** this fault kind has no semantics for this operation (overriding
+          is CAS-specific; reads and writes have no structured faults
+          defined here) *)
+  | Payload_required of Fault_kind.t
+      (** [Invisible] and [Arbitrary] need an adversarial payload value *)
+  | Invalid_payload of { fault : Fault_kind.t; payload : Value.t; reason : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val apply :
+  Fault_kind.t ->
+  ?payload:Value.t ->
+  kind:Kind.t ->
+  state:Value.t ->
+  Op.t ->
+  (application, error) result
+(** [apply fault ?payload ~kind ~state op]:
+
+    - [Overriding] on [Cas]: post-state = desired, response = state —
+      regardless of the comparison.
+    - [Silent] on [Cas]: post-state = state, response = state — regardless
+      of the comparison.
+    - [Invisible] on [Cas]: state transitions per the correct semantics;
+      response = [payload], which must differ from [state] (otherwise the
+      step would satisfy Φ and be no fault at all).
+    - [Arbitrary] on [Cas]: post-state = [payload]; response = state.
+    - [Nonresponsive]: [Hangs], for any operation.
+
+    Test-and-set analogues (§7's "other widely used functions"; the Φ′
+    predicates live in {!Ffault_hoare.Tas_spec}):
+    - [Silent] on [Test_and_set]/[Reset]: the transition is suppressed
+      (silent set / sticky bit); the response stays truthful.
+    - [Invisible] on [Test_and_set]: correct transition, forged response
+      — the "phantom win" when the payload is [Bool false] on a set bit.
+    - [Arbitrary] on [Test_and_set]/[Reset]: post-state = [payload],
+      truthful response. *)
+
+val is_observable : Fault_kind.t -> state:Value.t -> Op.t -> bool
+(** Whether firing this fault on this invocation can produce a step that
+    violates Φ — e.g. an overriding fault on a CAS whose comparison would
+    succeed anyway is a no-op (the step satisfies Φ), hence unobservable.
+    Budget accounting only charges observable faults. *)

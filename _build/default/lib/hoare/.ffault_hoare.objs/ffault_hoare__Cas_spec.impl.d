@@ -1,0 +1,1 @@
+lib/hoare/cas_spec.ml: Ffault_objects Kind Op Triple Value

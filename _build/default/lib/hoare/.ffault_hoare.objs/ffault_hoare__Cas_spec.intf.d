@@ -1,0 +1,1 @@
+lib/hoare/cas_spec.mli: Triple

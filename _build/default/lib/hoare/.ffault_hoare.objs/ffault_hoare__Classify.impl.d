@@ -1,0 +1,1 @@
+lib/hoare/classify.ml: Cas_spec Ffault_objects Fmt List Queue_spec String Tas_spec Triple

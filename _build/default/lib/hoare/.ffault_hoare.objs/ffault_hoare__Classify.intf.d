@@ -1,0 +1,1 @@
+lib/hoare/classify.mli: Format Triple

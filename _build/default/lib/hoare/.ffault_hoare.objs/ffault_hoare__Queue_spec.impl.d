@@ -1,0 +1,1 @@
+lib/hoare/queue_spec.ml: Ffault_objects List Op Triple Value Vqueue

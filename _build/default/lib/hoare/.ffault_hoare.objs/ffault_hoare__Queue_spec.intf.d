@@ -1,0 +1,1 @@
+lib/hoare/queue_spec.mli: Triple

@@ -1,0 +1,1 @@
+lib/hoare/severity.ml: Cas_spec Ffault_objects Fmt Kind List Op Triple Value

@@ -1,0 +1,1 @@
+lib/hoare/severity.mli: Ffault_objects Format Triple

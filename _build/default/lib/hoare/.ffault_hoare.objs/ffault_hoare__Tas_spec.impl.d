@@ -1,0 +1,1 @@
+lib/hoare/tas_spec.ml: Ffault_objects Op Semantics Triple Value

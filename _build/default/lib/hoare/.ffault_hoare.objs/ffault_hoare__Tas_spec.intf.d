@@ -1,0 +1,1 @@
+lib/hoare/tas_spec.mli: Triple

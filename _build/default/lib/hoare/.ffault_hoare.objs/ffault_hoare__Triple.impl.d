@@ -1,0 +1,1 @@
+lib/hoare/triple.ml: Ffault_objects Fmt Kind Op Semantics Value

@@ -1,0 +1,1 @@
+lib/hoare/triple.mli: Ffault_objects Format Kind Op Value

@@ -1,0 +1,38 @@
+open Ffault_objects
+
+let on_cas f (step : Triple.step) =
+  match step.op with
+  | Op.Cas { expected; desired } ->
+      f ~expected ~desired ~pre:step.pre_state ~post:step.post_state ~old:step.response
+  | Op.Read | Op.Write _ | Op.Test_and_set | Op.Reset | Op.Fetch_and_add _ | Op.Enqueue _
+  | Op.Dequeue ->
+      false
+
+let standard =
+  on_cas (fun ~expected ~desired ~pre ~post ~old ->
+      if Value.equal pre expected then Value.equal post desired && Value.equal old pre
+      else Value.equal post pre && Value.equal old pre)
+
+let overriding =
+  on_cas (fun ~expected:_ ~desired ~pre ~post ~old ->
+      Value.equal post desired && Value.equal old pre)
+
+let silent =
+  on_cas (fun ~expected:_ ~desired:_ ~pre ~post ~old ->
+      Value.equal post pre && Value.equal old pre)
+
+let invisible =
+  on_cas (fun ~expected ~desired ~pre ~post ~old ->
+      let state_ok =
+        if Value.equal pre expected then Value.equal post desired else Value.equal post pre
+      in
+      state_ok && not (Value.equal old pre))
+
+let arbitrary = on_cas (fun ~expected:_ ~desired:_ ~pre ~post:_ ~old -> Value.equal old pre)
+
+let strictly_faulty phi' step = phi' step && not (standard step)
+
+let cas_pre kind ~state:_ (op : Op.t) =
+  match op with Op.Cas _ -> Kind.allows kind op | _ -> false
+
+let triple ~name post = { Triple.name; pre = cas_pre; post }

@@ -1,0 +1,41 @@
+(** The paper's CAS postcondition formulas, as executable predicates.
+
+    With R′ the register value on entry and R on return (paper §3.3):
+
+    - standard Φ:   [R′ = exp ? (R = val ∧ old = R′) : (R = R′ ∧ old = R′)]
+    - overriding Φ′: [R = val ∧ old = R′]
+    - silent Φ′:     [R = R′ ∧ old = R′]  (new value never written)
+    - invisible Φ′:  [R′ = exp ? R = val : R = R′] with [old ≠ R′]
+      (state transitions correctly but the returned old value is wrong)
+    - arbitrary Φ′:  [old = R′] (some value, possibly unrelated to the
+      inputs, was written)
+
+    All predicates are vacuously false on non-CAS steps. *)
+
+val standard : Triple.post
+(** Φ of a correct CAS. Identical to the CAS case of {!Triple.correct}. *)
+
+val overriding : Triple.post
+(** Φ′ of the overriding fault: the new value is written unconditionally;
+    the returned [old] is still correct. *)
+
+val silent : Triple.post
+(** Φ′ of the silent fault: the register is left unchanged even on a match;
+    the returned [old] is still correct. *)
+
+val invisible : Triple.post
+(** Φ′ of the invisible fault: state transitions per Φ, but the response
+    differs from the true original content. *)
+
+val arbitrary : Triple.post
+(** Φ′ of the arbitrary fault: any post-state, correct [old] response. *)
+
+val strictly_faulty : Triple.post -> Triple.step -> bool
+(** [strictly_faulty phi' step]: Φ′ holds and Φ does {e not} — i.e. the
+    step is a genuine ⟨CAS, Φ′⟩-fault per Definition 1 (a successful
+    correct CAS also satisfies the overriding formula; it is not a
+    fault). *)
+
+val triple : name:string -> Triple.post -> Triple.t
+(** Wrap a Φ′ into a triple with the standard CAS precondition (the object
+    supports CAS). *)

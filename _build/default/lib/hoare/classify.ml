@@ -1,0 +1,48 @@
+type verdict =
+  | Correct
+  | Structured_fault of string
+  | Unstructured
+  | Precondition_violated
+
+let pp_verdict ppf = function
+  | Correct -> Fmt.string ppf "correct"
+  | Structured_fault name -> Fmt.pf ppf "fault:%s" name
+  | Unstructured -> Fmt.string ppf "unstructured"
+  | Precondition_violated -> Fmt.string ppf "precondition-violated"
+
+let equal_verdict a b =
+  match a, b with
+  | Correct, Correct | Unstructured, Unstructured -> true
+  | Precondition_violated, Precondition_violated -> true
+  | Structured_fault x, Structured_fault y -> String.equal x y
+  | (Correct | Structured_fault _ | Unstructured | Precondition_violated), _ -> false
+
+let classify ~alternatives (step : Triple.step) =
+  if not (Triple.precondition_met Triple.correct step) then Precondition_violated
+  else if Triple.correct.post step then Correct
+  else
+    match List.find_opt (fun (_, phi') -> phi' step) alternatives with
+    | Some (name, _) -> Structured_fault name
+    | None -> Unstructured
+
+let cas_alternatives =
+  [
+    ("overriding", Cas_spec.overriding);
+    ("silent", Cas_spec.silent);
+    ("invisible", Cas_spec.invisible);
+    ("arbitrary", Cas_spec.arbitrary);
+  ]
+
+let classify_cas = classify ~alternatives:cas_alternatives
+
+let tas_alternatives = Tas_spec.tas_alternatives
+
+let classify_step (step : Triple.step) =
+  match step.Triple.op with
+  | Ffault_objects.Op.Cas _ -> classify ~alternatives:cas_alternatives step
+  | Ffault_objects.Op.Test_and_set | Ffault_objects.Op.Reset ->
+      classify ~alternatives:tas_alternatives step
+  | Ffault_objects.Op.Enqueue _ | Ffault_objects.Op.Dequeue ->
+      classify ~alternatives:Queue_spec.queue_alternatives step
+  | Ffault_objects.Op.Read | Ffault_objects.Op.Write _ | Ffault_objects.Op.Fetch_and_add _ ->
+      classify ~alternatives:[] step

@@ -1,0 +1,42 @@
+(** Classification of trace steps against Φ and a family of Φ′
+    (Definition 1, executable).
+
+    Given one operation execution (a {!Triple.step}) and a set of named
+    deviating postconditions, decide whether the step was correct, a
+    recognized structured fault, or an unstructured deviation (which would
+    put us back in the arbitrary data-fault world). Used as an independent
+    audit of the fault injector: the engine's claim "I injected an
+    overriding fault here" must match what the state transition shows. *)
+
+type verdict =
+  | Correct  (** the step satisfies Φ (the sequential specification) *)
+  | Structured_fault of string
+      (** Φ fails but the named Φ′ holds — an ⟨O,Φ′⟩-fault per Def. 1 *)
+  | Unstructured
+      (** Φ fails and no registered Φ′ holds — outside the functional-fault
+          model *)
+  | Precondition_violated
+      (** Ψ failed on entry; the triple asserts nothing about this step *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val equal_verdict : verdict -> verdict -> bool
+
+val classify : alternatives:(string * Triple.post) list -> Triple.step -> verdict
+(** [classify ~alternatives step] checks Φ first, then each Φ′ in order and
+    returns the first that holds. *)
+
+val cas_alternatives : (string * Triple.post) list
+(** The paper's §3.3–3.4 CAS fault taxonomy, in specificity order:
+    overriding, silent, invisible, arbitrary. *)
+
+val classify_cas : Triple.step -> verdict
+(** [classify ~alternatives:cas_alternatives]. *)
+
+val tas_alternatives : (string * Triple.post) list
+(** The test-and-set deviations of {!Tas_spec}: silent-set, phantom-win,
+    sticky-bit. *)
+
+val classify_step : Triple.step -> verdict
+(** Dispatch on the operation: CAS steps against {!cas_alternatives}, TAS
+    and Reset steps against {!tas_alternatives}, queue steps against
+    {!Queue_spec.queue_alternatives}, anything else against Φ alone. *)

@@ -1,0 +1,73 @@
+open Ffault_objects
+
+let on_dequeue f (step : Triple.step) =
+  match step.op with
+  | Op.Dequeue -> (
+      match Vqueue.to_list step.pre_state, Vqueue.to_list step.post_state with
+      | Some pre, Some post -> f ~pre ~post ~response:step.response
+      | _ -> false)
+  | _ -> false
+
+let standard_dequeue =
+  on_dequeue (fun ~pre ~post ~response ->
+      match pre with
+      | [] -> Value.is_bottom response && post = []
+      | head :: tail ->
+          Value.equal response head
+          && List.length post = List.length tail
+          && List.for_all2 Value.equal post tail)
+
+let standard_enqueue (step : Triple.step) =
+  match step.op with
+  | Op.Enqueue v -> (
+      match Vqueue.to_list step.pre_state, Vqueue.to_list step.post_state with
+      | Some pre, Some post ->
+          Value.is_bottom step.response
+          && List.length post = List.length pre + 1
+          && List.for_all2 Value.equal post (pre @ [ v ])
+      | _ -> false)
+  | _ -> false
+
+(* The removed element's position, if the step removed exactly one
+   occurrence of [response] from [pre] leaving [post]. *)
+let removal_position ~pre ~post ~response =
+  if Value.is_bottom response then None
+  else
+    let rec go i before = function
+      | [] -> None
+      | x :: rest ->
+          if Value.equal x response then
+            let candidate = List.rev_append before rest in
+            if
+              List.length candidate = List.length post
+              && List.for_all2 Value.equal candidate post
+            then Some i
+            else go (i + 1) (x :: before) rest
+          else go (i + 1) (x :: before) rest
+    in
+    go 0 [] pre
+
+let dequeue_distance (step : Triple.step) =
+  match step.op with
+  | Op.Dequeue -> (
+      match Vqueue.to_list step.pre_state, Vqueue.to_list step.post_state with
+      | Some pre, Some post -> removal_position ~pre ~post ~response:step.response
+      | _ -> None)
+  | _ -> None
+
+let relaxed_dequeue ~k =
+  on_dequeue (fun ~pre ~post ~response ->
+      match pre with
+      | [] -> Value.is_bottom response && post = []
+      | _ -> (
+          match removal_position ~pre ~post ~response with
+          | Some i -> i < k
+          | None -> false))
+
+let relaxed_any =
+  on_dequeue (fun ~pre ~post ~response ->
+      match pre with
+      | [] -> Value.is_bottom response && post = []
+      | _ -> removal_position ~pre ~post ~response <> None)
+
+let queue_alternatives = [ ("relaxation", relaxed_any) ]

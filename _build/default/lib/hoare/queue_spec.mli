@@ -1,0 +1,34 @@
+(** Relaxed queue semantics as functional faults (paper §6: relaxed data
+    structures "form a special case of the general functional faults
+    model").
+
+    A k-relaxed dequeue (SprayList / quasi-linearizability style) may
+    return any of the first k elements instead of the head. In this
+    framework that is simply an ⟨O, Φ′⟩-fault of the Dequeue operation:
+    Φ requires the head to be removed; Φ′ₖ permits removal of any element
+    among the first k. The machinery of Definition 1 — injection,
+    budgets, trace classification — applies unchanged; experiment E14
+    exercises it. *)
+
+val standard_dequeue : Triple.post
+(** Φ: the head is returned and removed ([Bottom] and no change on an
+    empty queue). *)
+
+val standard_enqueue : Triple.post
+(** Φ: the element is appended at the tail; response [Bottom]. *)
+
+val relaxed_dequeue : k:int -> Triple.post
+(** Φ′ₖ: some element among the first [k] is returned and removed (the
+    head included — Φ implies Φ′ₖ for k ≥ 1). *)
+
+val relaxed_any : Triple.post
+(** Φ′_∞: some element of the queue is returned and removed. Used by the
+    trace auditor for [Relaxation]-labeled steps. *)
+
+val dequeue_distance : Triple.step -> int option
+(** For a dequeue step satisfying {!relaxed_any}: the position of the
+    removed element in the pre-state queue (0 = head = FIFO-correct).
+    [None] for non-dequeue or malformed steps. *)
+
+val queue_alternatives : (string * Triple.post) list
+(** For {!Classify.classify}: just ["relaxation"] ↦ {!relaxed_any}. *)

@@ -1,0 +1,78 @@
+open Ffault_objects
+
+type relation = Equivalent | Less_severe | More_severe | Incomparable
+
+let pp_relation ppf = function
+  | Equivalent -> Fmt.string ppf "\xe2\x89\xa1"
+  | Less_severe -> Fmt.string ppf "<"
+  | More_severe -> Fmt.string ppf ">"
+  | Incomparable -> Fmt.string ppf "\xe2\x88\xa5"
+
+let equal_relation (a : relation) b = a = b
+
+let default_universe =
+  [ Value.Bottom; Value.Int 1; Value.Int 2; Value.Int 3; Value.Int 4; Value.Int 5 ]
+
+(* Enumerate every CAS step shape over the universe and fold [f] over the
+   accepted/rejected verdicts of both predicates. *)
+let fold_steps universe f init =
+  List.fold_left
+    (fun acc pre ->
+      List.fold_left
+        (fun acc expected ->
+          List.fold_left
+            (fun acc desired ->
+              List.fold_left
+                (fun acc post ->
+                  List.fold_left
+                    (fun acc response ->
+                      let step =
+                        {
+                          Triple.kind = Kind.Cas_only;
+                          pre_state = pre;
+                          op = Op.Cas { expected; desired };
+                          post_state = post;
+                          response;
+                        }
+                      in
+                      f acc step)
+                    acc universe)
+                acc universe)
+            acc universe)
+        acc universe)
+    init universe
+
+let compare_post ?(universe = default_universe) phi_a phi_b =
+  let a_only, b_only =
+    fold_steps universe
+      (fun (a_only, b_only) step ->
+        let a = phi_a step and b = phi_b step in
+        ((a_only || (a && not b)), (b_only || (b && not a))))
+      (false, false)
+  in
+  match a_only, b_only with
+  | false, false -> Equivalent
+  | false, true -> Less_severe
+  | true, false -> More_severe
+  | true, true -> Incomparable
+
+let implies ?universe phi_a phi_b =
+  match compare_post ?universe phi_a phi_b with
+  | Equivalent | Less_severe -> true
+  | More_severe | Incomparable -> false
+
+let matrix ?universe named =
+  List.concat_map
+    (fun (na, pa) ->
+      List.map (fun (nb, pb) -> (na, nb, compare_post ?universe pa pb)) named)
+    named
+
+let taxonomy_matrix () =
+  matrix
+    [
+      ("standard", Cas_spec.standard);
+      ("overriding", Cas_spec.overriding);
+      ("silent", Cas_spec.silent);
+      ("invisible", Cas_spec.invisible);
+      ("arbitrary", Cas_spec.arbitrary);
+    ]

@@ -1,0 +1,56 @@
+(** A severity order on CAS functional faults (paper §6/§7: Jayanti et
+    al. classify fault severity and study graceful degradation; the paper
+    poses severity levels for functional faults as future work).
+
+    We order deviating postconditions semantically: Φ′ₐ is {e at most as
+    severe} as Φ′ᵦ when every step permitted by Φ′ₐ is also permitted by
+    Φ′ᵦ — the weaker (more permissive) postcondition is the more severe
+    fault, since an adversary gets strictly more behaviours. The
+    comparison is decided {e exhaustively} over a finite value universe:
+    all CAS steps (pre-state, expected, desired, post-state, response)
+    drawn from a small closed set of values. Because every predicate in
+    {!Cas_spec} only tests equalities between these five components, a
+    universe with enough distinct values (≥ 5, so that "all distinct"
+    configurations exist) decides the implication for the full value
+    domain.
+
+    The computed order for the paper's taxonomy: {e arbitrary} (old = R′,
+    any post-state) strictly dominates the standard Φ, {e overriding} and
+    {e silent} formulas, which are pairwise incomparable (each constrains
+    the post-state differently); {e invisible} is incomparable with every
+    other formula, being the only one that requires old ≠ R′. This
+    matches the paper's informal reading that the arbitrary fault is the
+    worst-case responsive fault (§3.4 defers it to the data-fault
+    machinery of Jayanti et al.). *)
+
+type relation =
+  | Equivalent  (** the predicates accept exactly the same steps *)
+  | Less_severe  (** strictly fewer behaviours than the right-hand side *)
+  | More_severe  (** strictly more behaviours *)
+  | Incomparable
+
+val pp_relation : Format.formatter -> relation -> unit
+val equal_relation : relation -> relation -> bool
+
+val compare_post :
+  ?universe:Ffault_objects.Value.t list -> Triple.post -> Triple.post -> relation
+(** [compare_post phi_a phi_b] decides the inclusion of accepted-step sets
+    over the given universe (default: ⊥ and five distinct ints, which is
+    exhaustive for equality-based predicates — see above). *)
+
+val implies :
+  ?universe:Ffault_objects.Value.t list -> Triple.post -> Triple.post -> bool
+(** [implies phi_a phi_b]: every step accepted by [phi_a] is accepted by
+    [phi_b]. *)
+
+val default_universe : Ffault_objects.Value.t list
+
+val matrix :
+  ?universe:Ffault_objects.Value.t list ->
+  (string * Triple.post) list ->
+  (string * string * relation) list
+(** All pairwise relations, row-major. *)
+
+val taxonomy_matrix : unit -> (string * string * relation) list
+(** The matrix over the paper's named CAS postconditions: standard Φ,
+    overriding, silent, invisible, arbitrary. *)

@@ -1,0 +1,38 @@
+open Ffault_objects
+
+let on_tas f (step : Triple.step) =
+  match step.op, step.pre_state, step.post_state, step.response with
+  | Op.Test_and_set, Value.Bool pre, Value.Bool post, Value.Bool old ->
+      f ~pre ~post ~old
+  | _ -> false
+
+let on_reset f (step : Triple.step) =
+  match step.op, step.pre_state, step.post_state with
+  | Op.Reset, Value.Bool pre, Value.Bool post -> f ~pre ~post
+  | _ -> false
+
+let standard_tas = on_tas (fun ~pre ~post ~old -> post && old = pre)
+
+let standard_reset = on_reset (fun ~pre:_ ~post -> not post)
+
+let silent_set = on_tas (fun ~pre ~post ~old -> post = pre && old = pre)
+
+let phantom_win = on_tas (fun ~pre ~post ~old -> post && old <> pre)
+
+let sticky_bit = on_reset (fun ~pre ~post -> pre && post)
+
+let arbitrary (step : Triple.step) =
+  match step.op with
+  | Op.Test_and_set | Op.Reset -> (
+      match Semantics.apply step.kind ~state:step.pre_state step.op with
+      | Ok o -> Value.equal step.response o.Semantics.response
+      | Error _ -> false)
+  | Op.Cas _ | Op.Read | Op.Write _ | Op.Fetch_and_add _ | Op.Enqueue _ | Op.Dequeue -> false
+
+let tas_alternatives =
+  [
+    ("silent-set", silent_set);
+    ("phantom-win", phantom_win);
+    ("sticky-bit", sticky_bit);
+    ("arbitrary", arbitrary);
+  ]

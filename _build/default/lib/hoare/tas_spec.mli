@@ -1,0 +1,42 @@
+(** Deviating postconditions for the test-and-set primitive — the
+    framework of §3 applied to a second widely-used function (the §7
+    future-work direction "examine other widely used functions with
+    natural faults").
+
+    With B′ the bit on entry and B on return, correct TAS satisfies
+    Φ = [B = true ∧ old = B′]; correct Reset satisfies [B = false].
+    Natural structured deviations:
+
+    - {e silent set}: the bit is not set ([B = B′ ∧ old = B′]) — the
+      write-suppression analogue of the silent CAS fault;
+    - {e phantom win}: the bit transitions correctly but the returned old
+      value is wrong ([B = true ∧ old ≠ B′]) — the invisible-fault
+      analogue; with B′ = true it makes a loser believe it won, the TAS
+      counterpart of the overriding CAS's "both sides think they
+      succeeded" ambiguity;
+    - {e sticky bit}: a Reset that leaves the bit set ([B = B′ = true]).
+
+    All predicates are vacuously false on non-TAS/Reset steps. *)
+
+val standard_tas : Triple.post
+(** Φ of a correct test-and-set. *)
+
+val standard_reset : Triple.post
+(** Φ of a correct reset. *)
+
+val silent_set : Triple.post
+(** Φ′: the set is suppressed; the response stays truthful. *)
+
+val phantom_win : Triple.post
+(** Φ′: correct state transition, forged response. *)
+
+val sticky_bit : Triple.post
+(** Φ′: a reset that does not clear the bit. *)
+
+val arbitrary : Triple.post
+(** Φ′: any post-state, truthful response — the TAS/Reset analogue of the
+    arbitrary CAS fault. *)
+
+val tas_alternatives : (string * Triple.post) list
+(** For {!Classify.classify}, in specificity order: silent-set,
+    phantom-win, sticky-bit, arbitrary. *)

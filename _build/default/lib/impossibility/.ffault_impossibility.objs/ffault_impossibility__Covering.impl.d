@@ -1,0 +1,1 @@
+lib/impossibility/covering.ml: Array Ffault_fault Ffault_objects Ffault_sim Ffault_verify List Obj_id Op

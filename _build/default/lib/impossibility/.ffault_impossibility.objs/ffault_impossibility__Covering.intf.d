@@ -1,0 +1,1 @@
+lib/impossibility/covering.mli: Ffault_objects Ffault_verify Obj_id

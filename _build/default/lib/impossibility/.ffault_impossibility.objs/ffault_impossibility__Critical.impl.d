@@ -1,0 +1,1 @@
+lib/impossibility/critical.ml: Array Ffault_fault Ffault_objects Ffault_sim Ffault_verify Fmt List Option Reduced_model Valency

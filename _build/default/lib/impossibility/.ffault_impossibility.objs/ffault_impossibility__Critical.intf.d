@@ -1,0 +1,1 @@
+lib/impossibility/critical.mli: Consensus_check Ffault_objects Ffault_sim Ffault_verify Format Valency

@@ -1,0 +1,1 @@
+lib/impossibility/hierarchy.ml: Covering Ffault_consensus Ffault_fault Ffault_prng Ffault_verify Fmt List

@@ -1,0 +1,1 @@
+lib/impossibility/hierarchy.mli: Format

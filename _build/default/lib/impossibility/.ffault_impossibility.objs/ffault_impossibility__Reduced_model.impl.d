@@ -1,0 +1,1 @@
+lib/impossibility/reduced_model.ml: Ffault_fault Ffault_sim Ffault_verify List

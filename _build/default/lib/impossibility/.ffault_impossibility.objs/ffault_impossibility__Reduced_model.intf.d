@@ -1,0 +1,1 @@
+lib/impossibility/reduced_model.mli: Ffault_fault Ffault_sim Ffault_verify

@@ -1,0 +1,1 @@
+lib/impossibility/valency.ml: Ffault_objects Ffault_sim Ffault_verify Fmt List Option Reduced_model Value

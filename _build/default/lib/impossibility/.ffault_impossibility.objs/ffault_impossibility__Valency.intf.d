@@ -1,0 +1,1 @@
+lib/impossibility/valency.mli: Ffault_objects Ffault_verify Format Value

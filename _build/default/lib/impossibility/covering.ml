@@ -1,0 +1,68 @@
+open Ffault_objects
+module Engine = Ffault_sim.Engine
+module Injector = Ffault_fault.Injector
+module Fault_kind = Ffault_fault.Fault_kind
+module Check = Ffault_verify.Consensus_check
+
+type outcome = {
+  report : Check.report;
+  faults_committed : (int * Obj_id.t) list;
+  violation_found : bool;
+}
+
+(* Driver state machine. [stage] is the current soloist: 0, then 1..f
+   (each halted after its covering fault), then f+1, then cleanup (the
+   halted processes are released and finish correctly). *)
+let run (setup : Check.setup) =
+  let f = setup.Check.params.f in
+  let n = setup.Check.params.n_procs in
+  if f < 1 then invalid_arg "Covering.run: requires f >= 1";
+  if n < f + 2 then invalid_arg "Covering.run: requires n >= f + 2";
+  let n_objects = List.length (setup.Check.protocol.objects setup.Check.params) in
+  let written = Array.make n_objects false in
+  let halted = Array.make n false in
+  let stage = ref 0 in
+  let faults = ref [] in
+  let choose_proc ~enabled ~step:_ =
+    let rec target () =
+      if !stage > f + 1 then List.hd enabled (* cleanup: release everyone *)
+      else
+        let p = !stage in
+        if (p >= 1 && p <= f && halted.(p)) || not (List.mem p enabled) then begin
+          incr stage;
+          target ()
+        end
+        else p
+    in
+    target ()
+  in
+  let choose_outcome (ctx : Injector.ctx) ~options =
+    let p = ctx.proc in
+    let oid = Obj_id.to_int ctx.obj in
+    if p >= 1 && p <= f && !stage = p && Op.is_cas ctx.op && not written.(oid) then begin
+      (* pᵢ's first CAS on an object untouched by p₁..pᵢ₋₁: commit the
+         covering fault and halt pᵢ. *)
+      written.(oid) <- true;
+      halted.(p) <- true;
+      let inject = Engine.Inject (Fault_kind.Overriding, None) in
+      if List.exists (Engine.equal_outcome_choice inject) options then begin
+        faults := (p, ctx.obj) :: !faults;
+        inject
+      end
+      else
+        (* The fault is unobservable here (the CAS succeeds anyway, or
+           writes the value already present): the write lands regardless,
+           which is all the construction needs. *)
+        Engine.Correct_outcome
+    end
+    else Engine.Correct_outcome
+  in
+  let driver =
+    { Engine.choose_proc; choose_outcome; after_step = (fun _ -> []) }
+  in
+  let report = Check.run_with_driver setup driver in
+  {
+    report;
+    faults_committed = List.rev !faults;
+    violation_found = not (Check.ok report);
+  }

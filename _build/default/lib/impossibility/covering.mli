@@ -1,0 +1,37 @@
+(** The covering adversary of Theorem 19 / Claim 20, executable.
+
+    Against any consensus protocol over f CAS objects with n ≥ f + 2
+    processes, the adversary builds the paper's staged execution:
+
+    + p₀ runs solo until it decides (say v₀).
+    + For i = 1 … f: pᵢ runs solo until it is about to CAS an object not
+      yet written by p₁ … pᵢ₋₁; that CAS suffers an overriding fault
+      (erasing whatever p₀ left there), and pᵢ is halted.
+    + p₍f₊₁₎ runs solo. Every trace p₀ left in the objects has been
+      overridden, so this run is indistinguishable from one in which p₀
+      never took a step — by validity and wait-freedom, p₍f₊₁₎ must decide
+      some value in {v₁ … v₍f₊₁₎} ≠ v₀. Consistency is violated with
+      exactly one fault per object (t = 1).
+    + (Beyond the proof: the halted processes are then released and run
+      correctly to completion, so the engine result is a complete
+      execution.)
+
+    The adversary is protocol-agnostic: it only watches which objects have
+    been CASed. Running it against a protocol {e inside} its envelope
+    (n ≤ f + 1) simply fails to produce a violation — which is itself a
+    datum the E5 experiment reports. *)
+
+open Ffault_objects
+
+type outcome = {
+  report : Ffault_verify.Consensus_check.report;
+  faults_committed : (int * Obj_id.t) list;
+      (** (process, object) pairs of the staged overriding faults *)
+  violation_found : bool;
+}
+
+val run : Ffault_verify.Consensus_check.setup -> outcome
+(** The setup's params must have n ≥ f + 2 and f ≥ 1 for the classic
+    construction; other settings are allowed (see above).
+    The setup's budget should permit overriding faults on f objects
+    (t ≥ 1). *)

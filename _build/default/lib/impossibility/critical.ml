@@ -1,0 +1,146 @@
+module Engine = Ffault_sim.Engine
+module Check = Ffault_verify.Consensus_check
+module Injector = Ffault_fault.Injector
+
+type choice_desc = Schedule of int | Outcome of Engine.outcome_choice
+
+let pp_choice_desc ppf = function
+  | Schedule p -> Fmt.pf ppf "schedule p%d" p
+  | Outcome c -> Fmt.pf ppf "outcome %a" Engine.pp_outcome_choice c
+
+type child = { decision : int; desc : choice_desc; verdict : Valency.verdict }
+
+type result =
+  | Critical of { prefix : int array; depth : int; children : child list }
+  | Disagreement of { prefix : int array; depth : int; values : Ffault_objects.Value.t list }
+  | Not_found of { reason : string }
+
+let pp_result ppf = function
+  | Critical { prefix; depth; children } ->
+      Fmt.pf ppf "@[<v>critical state at depth %d (prefix %a):@,%a@]" depth
+        (Fmt.array ~sep:Fmt.comma Fmt.int)
+        prefix
+        (Fmt.list ~sep:Fmt.cut (fun ppf c ->
+             Fmt.pf ppf "  choice %d (%a) \xe2\x86\x92 %a" c.decision pp_choice_desc c.desc
+               Valency.pp_verdict c.verdict))
+        children
+  | Disagreement { prefix; depth; values } ->
+      Fmt.pf ppf
+        "multivalent walk bottomed out in a disagreeing execution at depth %d (prefix %a): \
+         decided {%a}"
+        depth
+        (Fmt.array ~sep:Fmt.comma Fmt.int)
+        prefix
+        (Fmt.list ~sep:Fmt.comma Ffault_objects.Value.pp)
+        values
+  | Not_found { reason } -> Fmt.pf ppf "no critical state found: %s" reason
+
+(* Instrumented replay: follow [decisions], recording at each branchable
+   point its option count and the description of the option taken. The
+   recording mirrors Dfs.run_once's decision discipline exactly (points
+   with a single option consume no slot; forced outcomes are not
+   branchable). *)
+let replay_describe setup ~forced_outcome decisions =
+  let records = ref [] in
+  let idx = ref 0 in
+  let next n describe =
+    if n <= 1 then describe 0
+    else begin
+      let d = if !idx < Array.length decisions then decisions.(!idx) else 0 in
+      let d = if d < n then d else 0 in
+      let desc = describe d in
+      records := (n, desc) :: !records;
+      incr idx;
+      desc
+    end
+  in
+  let driver =
+    {
+      Engine.choose_proc =
+        (fun ~enabled ~step:_ ->
+          match next (List.length enabled) (fun c -> Schedule (List.nth enabled c)) with
+          | Schedule p -> p
+          | Outcome _ -> assert false);
+      choose_outcome =
+        (fun ctx ~options ->
+          match forced_outcome with
+          | Some policy -> policy ctx ~options
+          | None -> (
+              match next (List.length options) (fun c -> Outcome (List.nth options c)) with
+              | Outcome o -> o
+              | Schedule _ -> assert false));
+      after_step = (fun _ -> []);
+    }
+  in
+  let report = Check.run_with_driver setup driver in
+  (report, Array.of_list (List.rev !records))
+
+let find ?reduced_faulty_proc ?(max_depth = 32) ?(valency_budget = 50_000) setup =
+  let forced_outcome =
+    Option.map (fun p -> Reduced_model.forced ~faulty_proc:p) reduced_faulty_proc
+  in
+  let valency prefix =
+    Valency.analyze ~max_executions:valency_budget ?reduced_faulty_proc ~prefix setup
+  in
+  (* Option count and per-option description at the frontier of [prefix]. *)
+  let frontier prefix =
+    let _, records = replay_describe setup ~forced_outcome prefix in
+    if Array.length records <= Array.length prefix then None
+    else begin
+      let n, _ = records.(Array.length prefix) in
+      let describe c =
+        let _, records' =
+          replay_describe setup ~forced_outcome (Array.append prefix [| c |])
+        in
+        snd records'.(Array.length prefix)
+      in
+      Some (List.init n (fun c -> (c, describe c)))
+    end
+  in
+  let rec descend prefix depth =
+    if depth > max_depth then Not_found { reason = Fmt.str "max depth %d reached" max_depth }
+    else
+      match frontier prefix with
+      | None -> (
+          (* The default continuation of [prefix] has no further branch
+             points: the walk bottomed out in one completed execution. If
+             it disagrees, that is the contradiction itself. *)
+          let report, _ = replay_describe setup ~forced_outcome prefix in
+          let values =
+            List.sort_uniq Ffault_objects.Value.compare
+              (List.map snd (Engine.decided_values report.Check.result))
+          in
+          match values with
+          | _ :: _ :: _ -> Disagreement { prefix; depth; values }
+          | _ ->
+              Not_found
+                { reason = "execution completed while still multivalent (budget artifact)" })
+      | Some options -> (
+          let children =
+            List.map
+              (fun (c, desc) ->
+                { decision = c; desc; verdict = valency (Array.append prefix [| c |]) })
+              options
+          in
+          let multivalent_child =
+            List.find_opt
+              (fun ch ->
+                match ch.verdict with Valency.Multivalent _ -> true | _ -> false)
+              children
+          in
+          match multivalent_child with
+          | Some ch -> descend (Array.append prefix [| ch.decision |]) (depth + 1)
+          | None ->
+              if
+                List.exists
+                  (fun ch ->
+                    match ch.verdict with Valency.Indeterminate -> true | _ -> false)
+                  children
+              then Not_found { reason = "a child's valency was indeterminate (budget)" }
+              else Critical { prefix; depth; children })
+  in
+  match valency [||] with
+  | Valency.Multivalent _ -> descend [||] 0
+  | v ->
+      Not_found
+        { reason = Fmt.str "initial state is not multivalent (%a)" Valency.pp_verdict v }

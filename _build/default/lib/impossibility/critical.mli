@@ -1,0 +1,64 @@
+(** The critical-state analysis at the heart of the Theorem 18 proof,
+    executable.
+
+    The FLP/Herlihy argument the paper adapts walks a protocol to a
+    {e critical} configuration: a multivalent state every one of whose
+    immediate extensions is univalent — so the very next step decides the
+    outcome, and the case analysis on what those pending steps are (reads,
+    writes to distinct objects, CASes on the same faulty object) yields
+    the indistinguishability contradiction.
+
+    This module performs that walk on a concrete protocol instance:
+    starting from the (multivalent) initial state it descends through the
+    decision tree of {!Ffault_verify.Dfs}, keeping to multivalent
+    branches, until it reaches a state where every available choice is
+    univalent — and reports the choices with their valencies and
+    descriptions (which process steps, or which fault fires). Against a
+    protocol that does {e not} solve consensus, the multivalent walk
+    instead bottoms out in a disagreeing execution ({!Disagreement}) —
+    the proof's contradiction, materialized. Experiment E4 prints both
+    shapes. *)
+
+open Ffault_verify
+
+type choice_desc =
+  | Schedule of int  (** this decision schedules process i *)
+  | Outcome of Ffault_sim.Engine.outcome_choice
+      (** this decision picks a step outcome (correct or a fault) *)
+
+val pp_choice_desc : Format.formatter -> choice_desc -> unit
+
+type child = {
+  decision : int;  (** the branch index taken at the critical point *)
+  desc : choice_desc;
+  verdict : Valency.verdict;
+}
+
+type result =
+  | Critical of {
+      prefix : int array;  (** decisions reaching the critical state *)
+      depth : int;
+      children : child list;  (** all immediate extensions, each univalent *)
+    }
+  | Disagreement of {
+      prefix : int array;
+      depth : int;
+      values : Ffault_objects.Value.t list;  (** the conflicting decisions *)
+    }
+      (** the multivalent walk bottomed out in a completed execution whose
+          processes decided differently — for an incorrect protocol the
+          descent does not find a critical state, it finds the
+          contradiction itself (the executable form of the proof's
+          conclusion) *)
+  | Not_found of { reason : string }
+
+val pp_result : Format.formatter -> result -> unit
+
+val find :
+  ?reduced_faulty_proc:int ->
+  ?max_depth:int ->
+  ?valency_budget:int ->
+  Consensus_check.setup ->
+  result
+(** Defaults: full fault model, depth 32, 50_000 executions per valency
+    query. Assumes the initial state is multivalent (distinct inputs). *)

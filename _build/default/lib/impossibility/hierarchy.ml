@@ -1,0 +1,57 @@
+module Consensus = Ffault_consensus
+module Protocol = Consensus.Protocol
+module Check = Ffault_verify.Consensus_check
+module Mass = Ffault_verify.Mass
+module Fault_kind = Ffault_fault.Fault_kind
+module Injector = Ffault_fault.Injector
+module Rng = Ffault_prng.Rng
+
+type row = {
+  f : int;
+  t : int;
+  n_ok : int;
+  construction_runs : int;
+  construction_failures : int;
+  witness_found : bool;
+  consensus_number : int option;
+}
+
+let pp_row ppf r =
+  Fmt.pf ppf "f=%d t=%d: n=%d ok (%d/%d runs clean), n=%d witness %s -> consensus number %a"
+    r.f r.t r.n_ok
+    (r.construction_runs - r.construction_failures)
+    r.construction_runs (r.f + 2)
+    (if r.witness_found then "found" else "NOT FOUND")
+    (Fmt.option ~none:(Fmt.any "?") Fmt.int)
+    r.consensus_number
+
+let compute_row ?(runs = 300) ?(seed = 0x5EEDL) ~t ~f () =
+  (* Construction half: Fig. 3 at n = f + 1 under randomized overriding
+     adversaries within budget (f, t). *)
+  let params_ok = Protocol.params ~t ~n_procs:(f + 1) ~f () in
+  let setup_ok = Check.setup Consensus.Bounded_faults.protocol params_ok in
+  let summary =
+    Mass.run
+      ~injector:(fun rng ->
+        Injector.probabilistic ~seed:(Rng.next_seed rng) ~p:0.4 Fault_kind.Overriding)
+      ~n_runs:runs ~base_seed:seed setup_ok
+  in
+  (* Impossibility half: covering adversary at n = f + 2 against the same
+     protocol instance (now outside its envelope). *)
+  let params_bad = Protocol.params ~t ~n_procs:(f + 2) ~f () in
+  let setup_bad = Check.setup Consensus.Bounded_faults.protocol params_bad in
+  let covering = Covering.run setup_bad in
+  let construction_ok = summary.Mass.failure_count = 0 in
+  {
+    f;
+    t;
+    n_ok = f + 1;
+    construction_runs = summary.Mass.runs;
+    construction_failures = summary.Mass.failure_count;
+    witness_found = covering.Covering.violation_found;
+    consensus_number =
+      (if construction_ok && covering.Covering.violation_found then Some (f + 1) else None);
+  }
+
+let table ?runs ?seed ?(t = 1) ~max_f () =
+  List.init max_f (fun i -> compute_row ?runs ?seed ~t ~f:(i + 1) ())

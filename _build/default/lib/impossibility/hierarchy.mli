@@ -1,0 +1,29 @@
+(** The faulty-CAS consensus hierarchy (§5.2 corollary).
+
+    A set of f overriding-faulty CAS objects with a bounded number t of
+    faults per object has consensus number exactly f + 1: the Fig. 3
+    construction works for n = f + 1 processes, and the Theorem 19
+    covering adversary defeats any protocol (we exercise Fig. 3 itself)
+    for n = f + 2. Sweeping f therefore places a faulty setting at every
+    level of Herlihy's consensus hierarchy — experiment E6's table. *)
+
+type row = {
+  f : int;  (** objects (all possibly faulty) *)
+  t : int;  (** fault bound per object *)
+  n_ok : int;  (** f + 1: largest n the construction handles *)
+  construction_runs : int;  (** randomized adversarial runs performed at n_ok *)
+  construction_failures : int;  (** must be 0 *)
+  witness_found : bool;  (** covering adversary violation at n = f + 2 *)
+  consensus_number : int option;
+      (** [Some (f + 1)] when both halves confirm, [None] otherwise *)
+}
+
+val pp_row : Format.formatter -> row -> unit
+
+val compute_row : ?runs:int -> ?seed:int64 -> t:int -> f:int -> unit -> row
+(** Verify both halves for one f: mass randomized adversarial testing of
+    Fig. 3 at n = f + 1 (within budget (f, t)), and the covering adversary
+    at n = f + 2. *)
+
+val table : ?runs:int -> ?seed:int64 -> ?t:int -> max_f:int -> unit -> row list
+(** Rows for f = 1 … max_f. Defaults: 300 runs per row, t = 1. *)

@@ -1,0 +1,16 @@
+module Engine = Ffault_sim.Engine
+module Fault_kind = Ffault_fault.Fault_kind
+module Injector = Ffault_fault.Injector
+module Dfs = Ffault_verify.Dfs
+
+let injector ~faulty_proc = Injector.by_process ~procs:[ faulty_proc ] Fault_kind.Overriding
+
+let forced ~faulty_proc (ctx : Injector.ctx) ~options =
+  let inject = Engine.Inject (Fault_kind.Overriding, None) in
+  if ctx.Injector.proc = faulty_proc && List.exists (Engine.equal_outcome_choice inject) options
+  then inject
+  else Engine.Correct_outcome
+
+let explore ?max_executions ?max_branch_depth ?max_witnesses ~faulty_proc setup =
+  Dfs.explore ?max_executions ?max_branch_depth ?max_witnesses
+    ~forced_outcome:(forced ~faulty_proc) setup

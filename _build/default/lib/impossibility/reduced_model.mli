@@ -1,0 +1,43 @@
+(** The reduced model of Theorem 18: a designated process whose CAS
+    executions are {e always} faulty (overriding), all other processes
+    correct.
+
+    The paper uses this restricted adversary to port the FLP/Herlihy
+    valency argument to a nondeterministic fault setting: since faults in
+    the reduced model are deterministic (they always happen, and only via
+    one process), a decision step is well-defined and the classic
+    indistinguishability contradiction goes through. Impossibility in the
+    reduced model implies impossibility in the full functional-fault
+    model, because the reduced adversary is one of the full model's
+    adversaries.
+
+    Operationally this module explores all schedules of a protocol under
+    the reduced-model fault rule. Note the asymmetry with the proof: the
+    proof shows {e no} protocol survives the reduced model, via a
+    non-constructive valency argument; replaying the reduced rule against
+    one {e specific} protocol may or may not yield a concrete violation —
+    some protocols (e.g. the Fig. 2 sweep with f objects, f ≥ 2) are
+    breakable only by faults spread over several processes, which the
+    full-model explorer ({!Ffault_verify.Dfs} with fault branching) finds.
+    Experiment E4 reports both. *)
+
+val injector : faulty_proc:int -> Ffault_fault.Injector.t
+(** Strategy-mode injector implementing the reduced rule. *)
+
+val forced :
+  faulty_proc:int ->
+  Ffault_fault.Injector.ctx ->
+  options:Ffault_sim.Engine.outcome_choice list ->
+  Ffault_sim.Engine.outcome_choice
+(** The reduced rule as a forced-outcome policy for
+    {!Ffault_verify.Dfs.explore} (also used by {!Valency}). *)
+
+val explore :
+  ?max_executions:int ->
+  ?max_branch_depth:int ->
+  ?max_witnesses:int ->
+  faulty_proc:int ->
+  Ffault_verify.Consensus_check.setup ->
+  Ffault_verify.Dfs.stats
+(** Exhaustive schedule exploration with the reduced fault rule forced
+    (fault choices are not branch points). *)

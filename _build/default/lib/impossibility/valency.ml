@@ -1,0 +1,31 @@
+open Ffault_objects
+module Dfs = Ffault_verify.Dfs
+module Check = Ffault_verify.Consensus_check
+module Engine = Ffault_sim.Engine
+
+type verdict = Univalent of Value.t | Multivalent of Value.t list | Indeterminate
+
+let pp_verdict ppf = function
+  | Univalent v -> Fmt.pf ppf "univalent(%a)" Value.pp v
+  | Multivalent vs ->
+      Fmt.pf ppf "multivalent{%a}" (Fmt.list ~sep:Fmt.comma Value.pp) vs
+  | Indeterminate -> Fmt.string ppf "indeterminate"
+
+let analyze ?(max_executions = 100_000) ?(max_branch_depth = 64) ?reduced_faulty_proc ~prefix
+    setup =
+  let values = ref [] in
+  let add v = if not (List.exists (Value.equal v) !values) then values := v :: !values in
+  let on_report _decisions (report : Check.report) =
+    List.iter (fun (_, v) -> add v) (Engine.decided_values report.Check.result)
+  in
+  let forced_outcome =
+    Option.map (fun p -> Reduced_model.forced ~faulty_proc:p) reduced_faulty_proc
+  in
+  let stats =
+    Dfs.explore ~max_executions ~max_branch_depth ~max_witnesses:max_int ?forced_outcome
+      ~initial_prefix:prefix ~on_report setup
+  in
+  match List.sort_uniq Value.compare !values with
+  | [] -> Indeterminate
+  | [ v ] -> if stats.Dfs.truncated then Indeterminate else Univalent v
+  | vs -> Multivalent vs

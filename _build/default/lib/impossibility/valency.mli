@@ -1,0 +1,34 @@
+(** Valency analysis (§5.1): classify execution states as univalent or
+    multivalent by bounded exhaustive lookahead.
+
+    A state — identified here by the decision prefix that reaches it in
+    the {!Ffault_verify.Dfs} search tree — is x-valent if every extension
+    decides x, and multivalent if at least two different decision values
+    are reachable. This makes the vocabulary of the Theorem 18 proof
+    executable: experiment E4 exhibits the initial state's multivalence
+    and tracks how adversarial steps steer valency. *)
+
+open Ffault_objects
+
+type verdict =
+  | Univalent of Value.t  (** every explored extension decides this value *)
+  | Multivalent of Value.t list
+      (** at least two reachable decision values (sorted, deduplicated) *)
+  | Indeterminate
+      (** exploration truncated before any decision, or no extension
+          decided (e.g. all hit step limits) *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val analyze :
+  ?max_executions:int ->
+  ?max_branch_depth:int ->
+  ?reduced_faulty_proc:int ->
+  prefix:int array ->
+  Ffault_verify.Consensus_check.setup ->
+  verdict
+(** Explore all extensions of [prefix] (in the full fault model, or the
+    reduced model if [reduced_faulty_proc] is given) and collect the
+    decision values reached. A verdict of [Univalent] is exact only if the
+    exploration was exhaustive within the bounds; callers compare
+    [max_executions] against their expected tree size. *)

@@ -1,0 +1,1 @@
+lib/objects/history.ml: Array Fmt Hashtbl Int Kind List Op Value

@@ -1,0 +1,1 @@
+lib/objects/history.mli: Format Kind Op Value

@@ -1,0 +1,1 @@
+lib/objects/kind.ml: Fmt Op Value

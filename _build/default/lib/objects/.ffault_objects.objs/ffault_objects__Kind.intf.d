@@ -1,0 +1,1 @@
+lib/objects/kind.mli: Format Op Value

@@ -1,0 +1,1 @@
+lib/objects/linearizability.ml: Array Hashtbl History List Option Semantics Value

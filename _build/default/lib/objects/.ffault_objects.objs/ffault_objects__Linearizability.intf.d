@@ -1,0 +1,1 @@
+lib/objects/linearizability.mli: History

@@ -1,0 +1,1 @@
+lib/objects/obj_id.mli: Format

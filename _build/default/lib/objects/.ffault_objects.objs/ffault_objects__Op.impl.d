@@ -1,0 +1,1 @@
+lib/objects/op.ml: Fmt Int Value

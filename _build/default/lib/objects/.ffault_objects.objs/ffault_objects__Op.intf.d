@@ -1,0 +1,1 @@
+lib/objects/op.mli: Format Value

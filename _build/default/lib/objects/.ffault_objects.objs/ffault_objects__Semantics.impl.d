@@ -1,0 +1,1 @@
+lib/objects/semantics.ml: Fmt Kind Op Value Vqueue

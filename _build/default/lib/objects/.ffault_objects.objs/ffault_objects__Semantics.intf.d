@@ -1,0 +1,1 @@
+lib/objects/semantics.mli: Format Kind Op Value

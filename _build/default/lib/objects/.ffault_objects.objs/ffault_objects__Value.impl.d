@@ -1,0 +1,1 @@
+lib/objects/value.ml: Bool Fmt Hashtbl Int String

@@ -1,0 +1,1 @@
+lib/objects/value.mli: Format

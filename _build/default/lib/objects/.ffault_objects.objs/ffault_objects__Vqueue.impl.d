@@ -1,0 +1,1 @@
+lib/objects/vqueue.ml: Fmt List Option Value

@@ -1,0 +1,82 @@
+type operation = { proc : int; op : Op.t; response : Value.t; call : int; return : int }
+
+type t = { kind : Kind.t; init : Value.t; ops : operation array }
+
+let pp_operation ppf o =
+  Fmt.pf ppf "p%d: %a -> %a @[%d,%d]" o.proc Op.pp o.op Value.pp o.response o.call o.return
+
+let pp ppf h =
+  Fmt.pf ppf "@[<v>history on %a (init %a):@,%a@]" Kind.pp h.kind Value.pp h.init
+    (Fmt.list ~sep:Fmt.cut pp_operation)
+    (Array.to_list h.ops)
+
+let precedes a b = a.return < b.call
+
+let overlap a b = not (precedes a b) && not (precedes b a)
+
+let make ~kind ~init ops =
+  let stamps = List.concat_map (fun o -> [ o.call; o.return ]) ops in
+  let sorted = List.sort_uniq Int.compare stamps in
+  if List.length sorted <> List.length stamps then
+    invalid_arg "History.make: duplicate timestamps";
+  List.iter
+    (fun o -> if o.call >= o.return then invalid_arg "History.make: call must precede return")
+    ops;
+  let rec check_pairs = function
+    | [] -> ()
+    | o :: rest ->
+        List.iter
+          (fun o' ->
+            if o.proc = o'.proc && overlap o o' then
+              invalid_arg "History.make: overlapping operations on one process")
+          rest;
+        check_pairs rest
+  in
+  check_pairs ops;
+  let arr = Array.of_list ops in
+  Array.sort (fun a b -> Int.compare a.call b.call) arr;
+  { kind; init; ops = arr }
+
+let is_sequential h =
+  let n = Array.length h.ops in
+  let ok = ref true in
+  for i = 0 to n - 2 do
+    (* sorted by call time; sequential iff each returns before the next call *)
+    if h.ops.(i).return > h.ops.(i + 1).call then ok := false
+  done;
+  !ok
+
+module Builder = struct
+  type history = t
+
+  type pending = { p_op : Op.t; p_call : int }
+
+  type t = {
+    kind : Kind.t;
+    init : Value.t;
+    mutable clock : int;
+    pending : (int, pending) Hashtbl.t;
+    mutable done_ : operation list;
+  }
+
+  let create ~kind ~init = { kind; init; clock = 0; pending = Hashtbl.create 8; done_ = [] }
+
+  let tick b =
+    let t = b.clock in
+    b.clock <- t + 1;
+    t
+
+  let call b ~proc ~op =
+    if Hashtbl.mem b.pending proc then
+      invalid_arg "History.Builder.call: process already has a pending operation";
+    Hashtbl.replace b.pending proc { p_op = op; p_call = tick b }
+
+  let return b ~proc ~response =
+    match Hashtbl.find_opt b.pending proc with
+    | None -> invalid_arg "History.Builder.return: no pending operation for process"
+    | Some { p_op; p_call } ->
+        Hashtbl.remove b.pending proc;
+        b.done_ <- { proc; op = p_op; response; call = p_call; return = tick b } :: b.done_
+
+  let finish b = make ~kind:b.kind ~init:b.init (List.rev b.done_)
+end

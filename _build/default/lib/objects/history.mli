@@ -1,0 +1,51 @@
+(** Concurrent histories of operations on a single object.
+
+    A history records, for each completed operation, its invoking process,
+    the operation, the observed response, and the (global, totally ordered)
+    timestamps of its call and return events. Histories are the input to
+    the {!Linearizability} checker and are produced from engine traces.
+
+    Only {e complete} histories are represented: every call has a matching
+    return. Pending operations at the end of a run should be dropped or
+    completed by the caller before checking. *)
+
+type operation = {
+  proc : int;
+  op : Op.t;
+  response : Value.t;
+  call : int;  (** timestamp of the invocation event *)
+  return : int;  (** timestamp of the response event; [call < return] *)
+}
+
+type t = { kind : Kind.t; init : Value.t; ops : operation array }
+
+val pp : Format.formatter -> t -> unit
+
+val make : kind:Kind.t -> init:Value.t -> operation list -> t
+(** Validates timestamps: each op has [call < return], all timestamps are
+    distinct, and no process has two overlapping operations.
+    @raise Invalid_argument on violation. *)
+
+val precedes : operation -> operation -> bool
+(** Real-time order: [precedes a b] iff [a.return < b.call]. *)
+
+val is_sequential : t -> bool
+(** No two operations overlap. *)
+
+module Builder : sig
+  (** Incremental construction from an event stream. *)
+
+  type history = t
+  type t
+
+  val create : kind:Kind.t -> init:Value.t -> t
+
+  val call : t -> proc:int -> op:Op.t -> unit
+  (** @raise Invalid_argument if [proc] already has a pending call. *)
+
+  val return : t -> proc:int -> response:Value.t -> unit
+  (** @raise Invalid_argument if [proc] has no pending call. *)
+
+  val finish : t -> history
+  (** Completed operations only; pending calls are discarded. *)
+end

@@ -1,0 +1,37 @@
+type t = Cas_only | Register | Cas_register | Test_and_set | Fetch_and_add | Queue
+
+let equal (a : t) b = a = b
+
+let to_string = function
+  | Cas_only -> "cas-only"
+  | Register -> "register"
+  | Cas_register -> "cas-register"
+  | Test_and_set -> "test-and-set"
+  | Fetch_and_add -> "fetch-and-add"
+  | Queue -> "queue"
+
+let pp ppf k = Fmt.string ppf (to_string k)
+
+let allows kind (op : Op.t) =
+  match kind, op with
+  | Cas_only, Cas _ -> true
+  | Cas_only, (Read | Write _ | Test_and_set | Reset | Fetch_and_add _ | Enqueue _ | Dequeue)
+    ->
+      false
+  | Register, (Read | Write _) -> true
+  | Register, (Cas _ | Test_and_set | Reset | Fetch_and_add _ | Enqueue _ | Dequeue) -> false
+  | Cas_register, (Read | Write _ | Cas _) -> true
+  | Cas_register, (Test_and_set | Reset | Fetch_and_add _ | Enqueue _ | Dequeue) -> false
+  | Test_and_set, (Test_and_set | Reset | Read) -> true
+  | Test_and_set, (Cas _ | Write _ | Fetch_and_add _ | Enqueue _ | Dequeue) -> false
+  | Fetch_and_add, (Fetch_and_add _ | Read) -> true
+  | Fetch_and_add, (Cas _ | Write _ | Test_and_set | Reset | Enqueue _ | Dequeue) -> false
+  | Queue, (Enqueue _ | Dequeue) -> true
+  | Queue, (Cas _ | Read | Write _ | Test_and_set | Reset | Fetch_and_add _) -> false
+
+let default_init = function
+  | Cas_only | Register | Cas_register | Queue -> Value.Bottom
+  | Test_and_set -> Value.Bool false
+  | Fetch_and_add -> Value.Int 0
+
+let all = [ Cas_only; Register; Cas_register; Test_and_set; Fetch_and_add; Queue ]

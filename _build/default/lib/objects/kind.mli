@@ -1,0 +1,29 @@
+(** Object kinds (types in the paper's sense, §2).
+
+    A kind fixes the set of operations an object supports and its default
+    initial state. [Cas_only] matches the paper's CAS object exactly: it
+    supports {e only} the CAS operation — in particular no read (paper
+    §3.3), which is what makes fault detection subtle. *)
+
+type t =
+  | Cas_only  (** the paper's CAS object: CAS is the only operation *)
+  | Register  (** atomic read/write register *)
+  | Cas_register  (** register with read, write and CAS (used by baselines) *)
+  | Test_and_set  (** test-and-set bit with reset *)
+  | Fetch_and_add  (** integer fetch-and-add cell with read *)
+  | Queue  (** FIFO queue with enqueue/dequeue (the Â§6 relaxation case study) *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val allows : t -> Op.t -> bool
+(** [allows kind op] is whether an object of [kind] supports [op]. *)
+
+val default_init : t -> Value.t
+(** Default initial state: [Bottom] for CAS/registers (and the empty
+    queue, encoded as [Bottom] — see {!Vqueue}), [Bool false] for
+    test-and-set, [Int 0] for fetch-and-add. *)
+
+val all : t list
+(** Every kind, for exhaustive tests. *)

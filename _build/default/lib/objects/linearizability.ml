@@ -1,0 +1,75 @@
+type verdict = Linearizable of History.operation list | Not_linearizable
+
+(* Wing & Gong style search: repeatedly pick a "minimal" remaining operation
+   (one whose call precedes every remaining operation's return — i.e. no
+   remaining op ends before it begins), check that the sequential semantics
+   yields its recorded response, and recurse. Memoize failed (state,
+   remaining-set) configurations. *)
+
+module Memo_key = struct
+  type t = int * int (* Value.hash of state, bitmask of remaining ops *)
+
+  let equal (h1, m1) (h2, m2) = h1 = h2 && m1 = m2
+  let hash (h, m) = (h * 31) + m
+end
+
+module Memo = Hashtbl.Make (Memo_key)
+
+let check (h : History.t) =
+  let ops = h.ops in
+  let n = Array.length ops in
+  if n > 62 then invalid_arg "Linearizability.check: history too large (> 62 ops)";
+  let failed = Memo.create 64 in
+  (* visited set keyed by state hash + mask; collisions on the state hash
+     are resolved by storing the states themselves. *)
+  let seen_states : (int, (Value.t * int) list) Hashtbl.t = Hashtbl.create 64 in
+  let already_failed state mask =
+    let key = (Value.hash state, mask) in
+    Memo.mem failed key
+    &&
+    match Hashtbl.find_opt seen_states (Value.hash state) with
+    | None -> false
+    | Some l -> List.exists (fun (s, m) -> m = mask && Value.equal s state) l
+  in
+  let record_failure state mask =
+    let hk = Value.hash state in
+    Memo.replace failed (hk, mask) ();
+    let prev = Option.value ~default:[] (Hashtbl.find_opt seen_states hk) in
+    Hashtbl.replace seen_states hk ((state, mask) :: prev)
+  in
+  let minimal mask i =
+    (* op i is minimal if no remaining op returns before op i's call *)
+    let rec go j =
+      if j = n then true
+      else if j <> i && mask land (1 lsl j) <> 0 && ops.(j).return < ops.(i).call then false
+      else go (j + 1)
+    in
+    go 0
+  in
+  let rec search state mask acc =
+    if mask = 0 then Some (List.rev acc)
+    else if already_failed state mask then None
+    else begin
+      let result = ref None in
+      let i = ref 0 in
+      while !result = None && !i < n do
+        let idx = !i in
+        if mask land (1 lsl idx) <> 0 && minimal mask idx then begin
+          let o = ops.(idx) in
+          match Semantics.apply h.kind ~state o.op with
+          | Error _ -> ()
+          | Ok { post_state; response } ->
+              if Value.equal response o.response then
+                result := search post_state (mask land lnot (1 lsl idx)) (o :: acc)
+        end;
+        incr i
+      done;
+      if !result = None then record_failure state mask;
+      !result
+    end
+  in
+  match search h.init ((1 lsl n) - 1) [] with
+  | Some order -> Linearizable order
+  | None -> Not_linearizable
+
+let is_linearizable h = match check h with Linearizable _ -> true | Not_linearizable -> false

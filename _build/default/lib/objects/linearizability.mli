@@ -1,0 +1,21 @@
+(** Linearizability checking for small histories (Wing–Gong search with
+    memoization).
+
+    Used by the universal-construction experiments (E9) to spot-check that
+    objects built on top of fault-tolerant consensus behave atomically, and
+    by tests as an independent oracle for the sequential semantics.
+
+    Complexity is exponential in the number of overlapping operations;
+    intended for histories of up to a few dozen operations. *)
+
+type verdict =
+  | Linearizable of History.operation list
+      (** a witness linearization order, respecting real-time order and the
+          object's sequential semantics *)
+  | Not_linearizable
+
+val check : History.t -> verdict
+(** [check h] decides whether [h] is linearizable with respect to the
+    sequential semantics of [h.kind] starting from [h.init]. *)
+
+val is_linearizable : History.t -> bool

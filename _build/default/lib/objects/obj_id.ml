@@ -1,0 +1,10 @@
+type t = int
+
+let of_int i =
+  if i < 0 then invalid_arg "Obj_id.of_int: negative id";
+  i
+
+let to_int i = i
+let equal = Int.equal
+let compare = Int.compare
+let pp ppf i = Fmt.pf ppf "O%d" i

@@ -1,0 +1,16 @@
+(** Identifiers of shared objects in a world.
+
+    An id is a dense small integer assigned at world-construction time, so
+    engine state can live in arrays. Ids carry an optional name for trace
+    rendering (e.g. ["O2"]). *)
+
+type t = private int
+
+val of_int : int -> t
+(** @raise Invalid_argument on negative input. *)
+
+val to_int : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+(** Renders as [O<i>], matching the paper's O₀ … O₍f₋₁₎ notation. *)

@@ -1,0 +1,59 @@
+type t =
+  | Cas of { expected : Value.t; desired : Value.t }
+  | Read
+  | Write of Value.t
+  | Test_and_set
+  | Reset
+  | Fetch_and_add of int
+  | Enqueue of Value.t
+  | Dequeue
+
+let equal a b =
+  match a, b with
+  | Cas x, Cas y -> Value.equal x.expected y.expected && Value.equal x.desired y.desired
+  | Read, Read | Test_and_set, Test_and_set | Reset, Reset -> true
+  | Write x, Write y -> Value.equal x y
+  | Fetch_and_add x, Fetch_and_add y -> x = y
+  | Enqueue x, Enqueue y -> Value.equal x y
+  | Dequeue, Dequeue -> true
+  | (Cas _ | Read | Write _ | Test_and_set | Reset | Fetch_and_add _ | Enqueue _ | Dequeue), _
+    ->
+      false
+
+let tag = function
+  | Cas _ -> 0
+  | Read -> 1
+  | Write _ -> 2
+  | Test_and_set -> 3
+  | Reset -> 4
+  | Fetch_and_add _ -> 5
+  | Enqueue _ -> 6
+  | Dequeue -> 7
+
+let compare a b =
+  match a, b with
+  | Cas x, Cas y ->
+      let c = Value.compare x.expected y.expected in
+      if c <> 0 then c else Value.compare x.desired y.desired
+  | Write x, Write y -> Value.compare x y
+  | Fetch_and_add x, Fetch_and_add y -> Int.compare x y
+  | Enqueue x, Enqueue y -> Value.compare x y
+  | _, _ -> Int.compare (tag a) (tag b)
+
+let pp ppf = function
+  | Cas { expected; desired } -> Fmt.pf ppf "CAS(%a \xe2\x86\x92 %a)" Value.pp expected Value.pp desired
+  | Read -> Fmt.string ppf "Read"
+  | Write v -> Fmt.pf ppf "Write(%a)" Value.pp v
+  | Test_and_set -> Fmt.string ppf "TAS"
+  | Reset -> Fmt.string ppf "Reset"
+  | Fetch_and_add n -> Fmt.pf ppf "FAA(%d)" n
+  | Enqueue v -> Fmt.pf ppf "Enq(%a)" Value.pp v
+  | Dequeue -> Fmt.string ppf "Deq"
+
+let to_string op = Fmt.str "%a" pp op
+
+let is_cas = function Cas _ -> true | _ -> false
+
+let writes = function
+  | Cas _ | Write _ | Test_and_set | Reset | Fetch_and_add _ | Enqueue _ | Dequeue -> true
+  | Read -> false

@@ -1,0 +1,32 @@
+(** Operations on shared objects.
+
+    Response conventions (the value returned by a correct execution):
+    - [Cas] returns the {e original} register content, whether or not the
+      swap happened (paper §2, "The CAS primitive").
+    - [Read] returns the content; [Write] returns {!Value.Bottom}.
+    - [Test_and_set] returns the previous bit as [Bool]; [Reset] returns
+      [Bottom].
+    - [Fetch_and_add] returns the previous content as [Int].
+    - [Enqueue] returns [Bottom]; [Dequeue] returns the removed element,
+      or [Bottom] on an empty queue. *)
+
+type t =
+  | Cas of { expected : Value.t; desired : Value.t }
+  | Read
+  | Write of Value.t
+  | Test_and_set
+  | Reset
+  | Fetch_and_add of int
+  | Enqueue of Value.t
+  | Dequeue
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val is_cas : t -> bool
+
+val writes : t -> bool
+(** [writes op] is [true] if a correct execution of [op] can modify the
+    object state (CAS, write, test-and-set, reset, fetch-and-add). *)

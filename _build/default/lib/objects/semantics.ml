@@ -1,0 +1,56 @@
+type outcome = { post_state : Value.t; response : Value.t }
+
+type error =
+  | Op_not_supported of { kind : Kind.t; op : Op.t }
+  | Type_error of { op : Op.t; state : Value.t; expected : string }
+
+let pp_error ppf = function
+  | Op_not_supported { kind; op } ->
+      Fmt.pf ppf "operation %a not supported by %a objects" Op.pp op Kind.pp kind
+  | Type_error { op; state; expected } ->
+      Fmt.pf ppf "operation %a on state %a: expected %s" Op.pp op Value.pp state expected
+
+let cas_success ~state ~expected = Value.equal state expected
+
+let apply kind ~state (op : Op.t) : (outcome, error) result =
+  if not (Kind.allows kind op) then Error (Op_not_supported { kind; op })
+  else
+    match op with
+    | Cas { expected; desired } ->
+        (* Returns the original content regardless of success (paper §2). *)
+        if cas_success ~state ~expected then Ok { post_state = desired; response = state }
+        else Ok { post_state = state; response = state }
+    | Read -> Ok { post_state = state; response = state }
+    | Write v -> Ok { post_state = v; response = Value.Bottom }
+    | Test_and_set -> (
+        match state with
+        | Bool b -> Ok { post_state = Bool true; response = Bool b }
+        | _ -> Error (Type_error { op; state; expected = "Bool state" }))
+    | Reset -> (
+        match state with
+        | Bool _ -> Ok { post_state = Bool false; response = Value.Bottom }
+        | _ -> Error (Type_error { op; state; expected = "Bool state" }))
+    | Fetch_and_add n -> (
+        match state with
+        | Int i -> Ok { post_state = Int (i + n); response = Int i }
+        | _ -> Error (Type_error { op; state; expected = "Int state" }))
+    | Enqueue v -> (
+        if Value.is_bottom v then
+          Error (Type_error { op; state; expected = "non-Bottom element" })
+        else
+          match Vqueue.to_list state with
+          | Some _ -> Ok { post_state = Vqueue.enqueue state v; response = Value.Bottom }
+          | None -> Error (Type_error { op; state; expected = "queue state" }))
+    | Dequeue -> (
+        match Vqueue.to_list state with
+        | None -> Error (Type_error { op; state; expected = "queue state" })
+        | Some [] -> Ok { post_state = state; response = Value.Bottom }
+        | Some _ -> (
+            match Vqueue.dequeue_at state 0 with
+            | Some (element, remaining) -> Ok { post_state = remaining; response = element }
+            | None -> Error (Type_error { op; state; expected = "queue state" })))
+
+let apply_exn kind ~state op =
+  match apply kind ~state op with
+  | Ok o -> o
+  | Error e -> invalid_arg (Fmt.str "Semantics.apply_exn: %a" pp_error e)

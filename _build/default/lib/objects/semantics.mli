@@ -1,0 +1,25 @@
+(** Sequential (correct) semantics of each object kind.
+
+    [apply] is the object's sequential specification: given the current
+    state and an operation, it produces the post-state and the response a
+    {e correct} execution must yield. Faulty semantics live in the fault
+    library; the Hoare layer checks traces against both. *)
+
+type outcome = { post_state : Value.t; response : Value.t }
+
+type error =
+  | Op_not_supported of { kind : Kind.t; op : Op.t }
+  | Type_error of { op : Op.t; state : Value.t; expected : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val apply : Kind.t -> state:Value.t -> Op.t -> (outcome, error) result
+(** [apply kind ~state op] is the unique correct outcome (object types here
+    are deterministic in the paper's sense, §2). *)
+
+val apply_exn : Kind.t -> state:Value.t -> Op.t -> outcome
+(** Like {!apply}; @raise Invalid_argument on error. *)
+
+val cas_success : state:Value.t -> expected:Value.t -> bool
+(** The comparison a correct CAS performs: [Value.equal state expected].
+    This is the exact branch the overriding fault flips. *)

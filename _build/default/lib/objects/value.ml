@@ -1,0 +1,68 @@
+type t =
+  | Bottom
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Pair of t * t
+  | Staged of { value : t; stage : int }
+
+let rec equal a b =
+  match a, b with
+  | Bottom, Bottom -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Str x, Str y -> String.equal x y
+  | Pair (x1, y1), Pair (x2, y2) -> equal x1 x2 && equal y1 y2
+  | Staged a, Staged b -> a.stage = b.stage && equal a.value b.value
+  | (Bottom | Bool _ | Int _ | Str _ | Pair _ | Staged _), _ -> false
+
+let tag = function
+  | Bottom -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Str _ -> 3
+  | Pair _ -> 4
+  | Staged _ -> 5
+
+let rec compare a b =
+  match a, b with
+  | Bottom, Bottom -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Str x, Str y -> String.compare x y
+  | Pair (x1, y1), Pair (x2, y2) ->
+      let c = compare x1 x2 in
+      if c <> 0 then c else compare y1 y2
+  | Staged a, Staged b ->
+      let c = Int.compare a.stage b.stage in
+      if c <> 0 then c else compare a.value b.value
+  | _, _ -> Int.compare (tag a) (tag b)
+
+let rec hash v =
+  match v with
+  | Bottom -> 17
+  | Bool b -> if b then 31 else 37
+  | Int i -> (i * 0x9E3779B1) lxor 41
+  | Str s -> Hashtbl.hash s lxor 43
+  | Pair (a, b) -> (hash a * 31) + hash b + 47
+  | Staged { value; stage } -> (hash value * 31) + (stage * 131) + 53
+
+let rec pp ppf = function
+  | Bottom -> Fmt.string ppf "\xe2\x8a\xa5" (* ⊥ *)
+  | Bool b -> Fmt.bool ppf b
+  | Int i -> Fmt.int ppf i
+  | Str s -> Fmt.pf ppf "%S" s
+  | Pair (a, b) -> Fmt.pf ppf "(%a, %a)" pp a pp b
+  | Staged { value; stage } -> Fmt.pf ppf "\xe2\x9f\xa8%a,%d\xe2\x9f\xa9" pp value stage
+
+let to_string v = Fmt.str "%a" pp v
+
+let is_bottom = function Bottom -> true | _ -> false
+
+let stage = function Staged { stage; _ } -> Some stage | _ -> None
+
+let staged_value = function Staged { value; _ } -> Some value | _ -> None
+
+let int_exn = function
+  | Int i -> i
+  | v -> invalid_arg (Fmt.str "Value.int_exn: %a is not an Int" pp v)

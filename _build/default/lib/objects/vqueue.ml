@@ -1,0 +1,36 @@
+let empty = Value.Bottom
+
+let is_empty = Value.is_bottom
+
+let rec of_list = function
+  | [] -> Value.Bottom
+  | v :: rest ->
+      if Value.is_bottom v then invalid_arg "Vqueue.of_list: Bottom element";
+      Value.Pair (v, of_list rest)
+
+let rec to_list = function
+  | Value.Bottom -> Some []
+  | Value.Pair (v, rest) when not (Value.is_bottom v) ->
+      Option.map (fun tl -> v :: tl) (to_list rest)
+  | Value.Pair _ | Value.Bool _ | Value.Int _ | Value.Str _ | Value.Staged _ -> None
+
+let to_list_exn v =
+  match to_list v with
+  | Some l -> l
+  | None -> invalid_arg (Fmt.str "Vqueue.to_list_exn: %a is not a queue" Value.pp v)
+
+let enqueue q v =
+  if Value.is_bottom v then invalid_arg "Vqueue.enqueue: Bottom element";
+  of_list (to_list_exn q @ [ v ])
+
+let dequeue_at q i =
+  match to_list q with
+  | None -> None
+  | Some l ->
+      if i < 0 || i >= List.length l then None
+      else
+        let element = List.nth l i in
+        let remaining = List.filteri (fun j _ -> j <> i) l in
+        Some (element, of_list remaining)
+
+let length q = match to_list q with Some l -> List.length l | None -> 0

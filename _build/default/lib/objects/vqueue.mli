@@ -1,0 +1,30 @@
+(** FIFO queue states encoded in the {!Value} domain.
+
+    A queue is a [Pair] chain terminated by [Bottom]:
+    [Pair (x, Pair (y, Bottom))] is the queue ⟨x, y⟩ with head x; the
+    empty queue is [Bottom]. Elements may be any value except — by
+    convention — [Bottom] itself, since a [Dequeue] signals emptiness by
+    returning [Bottom]. *)
+
+val empty : Value.t
+val is_empty : Value.t -> bool
+
+val of_list : Value.t list -> Value.t
+(** Head first. @raise Invalid_argument if an element is [Bottom]. *)
+
+val to_list : Value.t -> Value.t list option
+(** [None] if the value is not a well-formed queue encoding. *)
+
+val to_list_exn : Value.t -> Value.t list
+
+val enqueue : Value.t -> Value.t -> Value.t
+(** [enqueue q v] appends [v] at the tail.
+    @raise Invalid_argument on [Bottom] elements or malformed queues. *)
+
+val dequeue_at : Value.t -> int -> (Value.t * Value.t) option
+(** [dequeue_at q i] removes the element at position [i] (0 = head) and
+    returns [(element, remaining queue)]; [None] if out of range or
+    malformed. [dequeue_at q 0] is the correct FIFO dequeue. *)
+
+val length : Value.t -> int
+(** 0 for malformed values. *)

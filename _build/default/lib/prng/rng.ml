@@ -1,0 +1,80 @@
+type t = Splitmix.t
+
+let make ~seed = Splitmix.create seed
+
+let split = Splitmix.split
+
+let copy = Splitmix.copy
+
+let next_seed = Splitmix.next
+
+let int g bound = Splitmix.next_int g ~bound
+
+let int_in g ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.int_in: hi < lo";
+  lo + int g (hi - lo + 1)
+
+let float = Splitmix.next_float
+
+let bool = Splitmix.next_bool
+
+let bernoulli g ~p =
+  if p <= 0.0 then false else if p >= 1.0 then true else float g < p
+
+let pick g a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int g (Array.length a))
+
+let pick_list g l =
+  match l with
+  | [] -> invalid_arg "Rng.pick_list: empty list"
+  | _ -> List.nth l (int g (List.length l))
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let shuffled_list g l =
+  let a = Array.of_list l in
+  shuffle g a;
+  Array.to_list a
+
+let sample_without_replacement g ~k ~n =
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
+  (* Reservoir-free selection sampling (Knuth algorithm S). *)
+  let rec go i remaining acc =
+    if remaining = 0 then List.rev acc
+    else if int g (n - i) < remaining then go (i + 1) (remaining - 1) (i :: acc)
+    else go (i + 1) remaining acc
+  in
+  go 0 k []
+
+let weighted_index g w =
+  let n = Array.length w in
+  if n = 0 then invalid_arg "Rng.weighted_index: empty weights";
+  let total = Array.fold_left (fun acc x ->
+      if x < 0.0 then invalid_arg "Rng.weighted_index: negative weight";
+      acc +. x) 0.0 w
+  in
+  if total <= 0.0 then invalid_arg "Rng.weighted_index: zero total weight";
+  let target = float g *. total in
+  let rec scan i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. w.(i) in
+      if target < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.0
+
+let seed_of_string s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    s;
+  !h

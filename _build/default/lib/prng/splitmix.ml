@@ -1,0 +1,40 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let copy g = { state = g.state }
+
+(* The standard splitmix64 finalizer: two xor-shift-multiply rounds. *)
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let next_int g ~bound =
+  if bound <= 0 then invalid_arg "Splitmix.next_int: bound must be positive";
+  (* Keep 62 bits so the value fits OCaml's 63-bit native int without
+     wrapping negative; modulo bias is negligible for our bounds (all far
+     below 2^62). *)
+  let v = Int64.to_int (Int64.shift_right_logical (next g) 2) in
+  v mod bound
+
+let next_float g =
+  (* 53 random bits into the mantissa range. *)
+  let bits = Int64.to_int (Int64.shift_right_logical (next g) 11) in
+  float_of_int bits *. (1.0 /. 9007199254740992.0)
+
+let next_bool g = Int64.logand (next g) 1L = 1L
+
+let hash z = mix (Int64.add z golden_gamma)
+
+let split g = { state = next g }
+
+let state g = g.state
+
+let of_state s = { state = s }

@@ -1,0 +1,30 @@
+(** Xoshiro256** pseudo-random number generator.
+
+    Blackman & Vigna's general-purpose 256-bit-state generator. Used where
+    long non-overlapping streams matter (per-domain generators in the
+    multicore runtime). Seeded from a single [int64] via SplitMix64, per the
+    authors' recommendation. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] expands [seed] through SplitMix64 into the 256-bit
+    state. *)
+
+val copy : t -> t
+(** [copy g] is an independent continuation of [g]'s current state. *)
+
+val next : t -> int64
+(** [next g] advances [g] and returns the next 64-bit output. *)
+
+val next_int : t -> bound:int -> int
+(** [next_int g ~bound] is a uniform integer in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val next_float : t -> float
+(** [next_float g] is a uniform float in [\[0, 1)]. *)
+
+val jump : t -> unit
+(** [jump g] advances [g] by 2{^128} steps; calling it [k] times on copies
+    yields [k] non-overlapping subsequences for parallel use. *)

@@ -1,0 +1,1 @@
+lib/runtime/consensus_mc.ml: Array Faulty_cas Ffault_consensus Fmt Option Packed Runner

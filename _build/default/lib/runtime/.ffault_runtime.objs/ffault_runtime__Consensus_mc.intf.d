@@ -1,0 +1,1 @@
+lib/runtime/consensus_mc.mli: Faulty_cas Format Packed

@@ -1,0 +1,1 @@
+lib/runtime/faulty_cas.ml: Atomic Ffault_prng Int64 Packed Printf

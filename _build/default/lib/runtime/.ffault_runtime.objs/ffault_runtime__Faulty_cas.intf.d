@@ -1,0 +1,1 @@
+lib/runtime/faulty_cas.mli: Packed

@@ -1,0 +1,1 @@
+lib/runtime/packed.ml: Ffault_objects Fmt

@@ -1,0 +1,1 @@
+lib/runtime/packed.mli: Ffault_objects Format

@@ -1,0 +1,104 @@
+module Algorithms = Ffault_consensus.Algorithms
+module Bounded_faults = Ffault_consensus.Bounded_faults
+
+type protocol = Single_cas | Sweep of int | Staged of { f : int; t : int } | Silent_retry
+
+let pp_protocol ppf = function
+  | Single_cas -> Fmt.string ppf "single-cas"
+  | Sweep m -> Fmt.pf ppf "sweep-%d" m
+  | Staged { f; t } -> Fmt.pf ppf "staged(f=%d,t=%d)" f t
+  | Silent_retry -> Fmt.string ppf "silent-retry"
+
+let objects_needed = function
+  | Single_cas | Silent_retry -> 1
+  | Sweep m -> m
+  | Staged { f; _ } -> f
+
+type config = {
+  protocol : protocol;
+  n_domains : int;
+  inputs : int array;
+  plan_for : int -> Faulty_cas.plan;
+  style : Faulty_cas.style;
+  t_bound : int option;
+}
+
+let config ?plan_for ?(style = Faulty_cas.Override) ?t_bound ?inputs ~n_domains protocol =
+  if n_domains < 1 then invalid_arg "Consensus_mc.config: n_domains < 1";
+  let inputs =
+    match inputs with Some i -> i | None -> Array.init n_domains (fun i -> 100 + i)
+  in
+  if Array.length inputs <> n_domains then
+    invalid_arg "Consensus_mc.config: inputs count differs from n_domains";
+  let t_bound =
+    match t_bound, protocol with
+    | Some t, _ -> Some t
+    | None, Staged { t; _ } -> Some t
+    | None, (Single_cas | Sweep _ | Silent_retry) -> None
+  in
+  let plan_for = Option.value plan_for ~default:(fun _ -> Faulty_cas.plan_never) in
+  { protocol; n_domains; inputs; plan_for; style; t_bound }
+
+type result = {
+  decisions : Packed.t array;
+  faults_per_object : int array;
+  ops_per_object : int array;
+  agreed : bool;
+  valid : bool;
+}
+
+module type DECIDERS = sig
+  val single_cas_decide : input:Packed.t -> Packed.t
+  val sweep_decide : objects:int -> input:Packed.t -> Packed.t
+  val staged_decide : f:int -> max_stage:int -> input:Packed.t -> Packed.t
+  val silent_retry_decide : input:Packed.t -> Packed.t
+end
+
+let deciders cells : (module DECIDERS) =
+  (module Algorithms.Make (struct
+    type value = Packed.t
+
+    let bottom = Packed.bottom
+    let equal = Packed.equal
+    let mk_staged v s = Packed.staged ~value:(Packed.to_int v) ~stage:s
+    let stage_of = Packed.stage_of
+    let unstage = Packed.unstage
+    let cas i ~expected ~desired = Faulty_cas.cas cells.(i) ~expected ~desired
+  end))
+
+let execute cfg =
+  let n_objects = objects_needed cfg.protocol in
+  let cells =
+    Array.init n_objects (fun i ->
+        Faulty_cas.make ~plan:(cfg.plan_for i) ~style:cfg.style ?t_bound:cfg.t_bound
+          ~init:Packed.bottom ())
+  in
+  let (module D) = deciders cells in
+  let decide me =
+    let input = Packed.of_int cfg.inputs.(me) in
+    match cfg.protocol with
+    | Single_cas -> D.single_cas_decide ~input
+    | Sweep m -> D.sweep_decide ~objects:m ~input
+    | Staged { f; t } ->
+        D.staged_decide ~f ~max_stage:(Bounded_faults.max_stage ~f ~t) ~input
+    | Silent_retry -> D.silent_retry_decide ~input
+  in
+  let decisions = Runner.run_parallel ~domains:cfg.n_domains decide in
+  let agreed =
+    Array.for_all (fun d -> Packed.equal d decisions.(0)) decisions
+  in
+  let valid =
+    Array.for_all
+      (fun d ->
+        (not (Packed.is_staged d))
+        && (not (Packed.is_bottom d))
+        && Array.exists (fun i -> i = Packed.to_int d) cfg.inputs)
+      decisions
+  in
+  {
+    decisions;
+    faults_per_object = Array.map Faulty_cas.observable_faults cells;
+    ops_per_object = Array.map Faulty_cas.ops_performed cells;
+    agreed;
+    valid;
+  }

@@ -1,0 +1,49 @@
+(** The paper's consensus protocols on the real-multicore substrate.
+
+    The algorithm code is shared with the simulator — the
+    {!Ffault_consensus.Algorithms} functor instantiated over
+    {!Faulty_cas} cells — so what runs on hardware atomics is the very
+    text that was model-checked. Used by experiment B3 and the multicore
+    integration tests. *)
+
+type protocol =
+  | Single_cas  (** Fig. 1 / Herlihy: one object *)
+  | Sweep of int  (** Fig. 2 over the given number of objects *)
+  | Staged of { f : int; t : int }
+      (** Fig. 3: f objects, maxStage = t·(4f + f²) *)
+  | Silent_retry  (** §3.4 retry loop; pair with a bounded fault plan *)
+
+val pp_protocol : Format.formatter -> protocol -> unit
+
+val objects_needed : protocol -> int
+
+type config = {
+  protocol : protocol;
+  n_domains : int;
+  inputs : int array;  (** plain non-negative inputs, one per domain *)
+  plan_for : int -> Faulty_cas.plan;  (** fault plan per object index *)
+  style : Faulty_cas.style;  (** overriding or silent injections *)
+  t_bound : int option;  (** per-object observable-fault cap *)
+}
+
+val config :
+  ?plan_for:(int -> Faulty_cas.plan) ->
+  ?style:Faulty_cas.style ->
+  ?t_bound:int ->
+  ?inputs:int array ->
+  n_domains:int ->
+  protocol ->
+  config
+(** Defaults: no faults, overriding style, unbounded t, inputs 100, 101,
+    …. For [Staged] protocols [t_bound] defaults to the protocol's t. *)
+
+type result = {
+  decisions : Packed.t array;
+  faults_per_object : int array;  (** observable faults committed *)
+  ops_per_object : int array;
+  agreed : bool;  (** all decisions equal *)
+  valid : bool;  (** every decision is some domain's input *)
+}
+
+val execute : config -> result
+(** One full parallel consensus: spawn the domains, decide, audit. *)

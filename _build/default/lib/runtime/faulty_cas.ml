@@ -1,0 +1,91 @@
+type plan = { plan_name : string; fire : op_index:int -> bool }
+
+let plan_never = { plan_name = "never"; fire = (fun ~op_index:_ -> false) }
+let plan_always = { plan_name = "always"; fire = (fun ~op_index:_ -> true) }
+
+let plan_probabilistic ~seed ~p =
+  let threshold = Int64.of_float (p *. 9.223372036854775807e18) in
+  {
+    plan_name = Printf.sprintf "p=%.3f" p;
+    fire =
+      (fun ~op_index ->
+        let h = Ffault_prng.Splitmix.hash (Int64.add seed (Int64.of_int op_index)) in
+        (* use the low 63 bits as a uniform non-negative draw *)
+        Int64.shift_right_logical h 1 < threshold);
+  }
+
+let plan_first_n n = { plan_name = Printf.sprintf "first-%d" n; fire = (fun ~op_index -> op_index < n) }
+
+let plan_every_kth k =
+  if k < 1 then invalid_arg "Faulty_cas.plan_every_kth: k < 1";
+  { plan_name = Printf.sprintf "every-%dth" k; fire = (fun ~op_index -> op_index mod k = 0) }
+
+type style = Override | Suppress
+
+type t = {
+  cell : Packed.t Atomic.t;
+  plan : plan;
+  style : style;
+  t_bound : int option;
+  charged : int Atomic.t;
+  ops : int Atomic.t;
+}
+
+let make ?(plan = plan_never) ?(style = Override) ?t_bound ~init () =
+  {
+    cell = Atomic.make init;
+    plan;
+    style;
+    t_bound;
+    charged = Atomic.make 0;
+    ops = Atomic.make 0;
+  }
+
+(* Reserve one fault from the budget; refunded if the injection turns out
+   unobservable. *)
+let try_reserve c =
+  match c.t_bound with
+  | None ->
+      Atomic.incr c.charged;
+      true
+  | Some t ->
+      let rec go () =
+        let cur = Atomic.get c.charged in
+        if cur >= t then false
+        else if Atomic.compare_and_set c.charged cur (cur + 1) then true
+        else go ()
+      in
+      go ()
+
+let refund c = ignore (Atomic.fetch_and_add c.charged (-1))
+
+let correct_cas cell ~expected ~desired =
+  let rec go () =
+    let cur = Atomic.get cell in
+    if Packed.equal cur expected then
+      if Atomic.compare_and_set cell expected desired then cur else go ()
+    else cur
+  in
+  go ()
+
+let cas c ~expected ~desired =
+  let op_index = Atomic.fetch_and_add c.ops 1 in
+  if c.plan.fire ~op_index && try_reserve c then begin
+    match c.style with
+    | Override ->
+        let old = Atomic.exchange c.cell desired in
+        (* Unobservable injections (Φ still holds) are not faults: refund. *)
+        if Packed.equal old expected || Packed.equal old desired then refund c;
+        old
+    | Suppress ->
+        (* The write is dropped: the operation linearizes at this read.
+           Observable only if a correct CAS would have changed the value. *)
+        let old = Atomic.get c.cell in
+        if not (Packed.equal old expected && not (Packed.equal old desired)) then refund c;
+        old
+  end
+  else correct_cas c.cell ~expected ~desired
+
+let observable_faults c = Atomic.get c.charged
+let ops_performed c = Atomic.get c.ops
+let peek c = Atomic.get c.cell

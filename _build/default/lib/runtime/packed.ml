@@ -1,0 +1,72 @@
+type t = int
+
+let tag_bottom = 0
+let tag_plain = 1
+let tag_staged = 2
+let staged_bits = 24
+let staged_limit = 1 lsl staged_bits
+let plain_limit = 1 lsl 56
+
+let bottom = tag_bottom
+
+let of_int v =
+  if v < 0 || v >= plain_limit then invalid_arg "Packed.of_int: out of range";
+  (v lsl 2) lor tag_plain
+
+(* Stages are stored offset by one so the protocol's ⟨v, −1⟩ expectation
+   values (Fig. 3 line 13) are representable. *)
+let staged ~value ~stage =
+  if value < 0 || value >= staged_limit then invalid_arg "Packed.staged: value out of range";
+  if stage < -1 || stage >= staged_limit - 1 then
+    invalid_arg "Packed.staged: stage out of range";
+  ((((stage + 1) lsl staged_bits) lor value) lsl 2) lor tag_staged
+
+let tag x = x land 3
+let payload x = x lsr 2
+
+let is_bottom x = tag x = tag_bottom
+let is_staged x = tag x = tag_staged
+
+let stage_of x = if is_staged x then (payload x lsr staged_bits) - 1 else -1
+
+let unstage x =
+  if is_staged x then (payload x land (staged_limit - 1)) lsl 2 lor tag_plain else x
+
+let to_int x =
+  if tag x <> tag_plain then invalid_arg "Packed.to_int: not a plain value";
+  payload x
+
+let equal (a : t) b = a = b
+
+let pp ppf x =
+  match tag x with
+  | 0 -> Fmt.string ppf "\xe2\x8a\xa5"
+  | 1 -> Fmt.int ppf (payload x)
+  | 2 ->
+      Fmt.pf ppf "\xe2\x9f\xa8%d,%d\xe2\x9f\xa9"
+        (payload x land (staged_limit - 1))
+        ((payload x lsr staged_bits) - 1)
+  | _ -> Fmt.pf ppf "<invalid:%d>" x
+
+let to_value x =
+  let open Ffault_objects.Value in
+  match tag x with
+  | 0 -> Bottom
+  | 1 -> Int (payload x)
+  | 2 ->
+      Staged
+        {
+          value = Int (payload x land (staged_limit - 1));
+          stage = (payload x lsr staged_bits) - 1;
+        }
+  | _ -> invalid_arg "Packed.to_value: corrupt representation"
+
+let of_value v =
+  let open Ffault_objects.Value in
+  match v with
+  | Bottom -> Some bottom
+  | Int i when i >= 0 && i < plain_limit -> Some (of_int i)
+  | Staged { value = Int i; stage }
+    when i >= 0 && i < staged_limit && stage >= -1 && stage < staged_limit - 1 ->
+      Some (staged ~value:i ~stage)
+  | Int _ | Staged _ | Bool _ | Str _ | Pair _ -> None

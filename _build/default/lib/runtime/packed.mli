@@ -1,0 +1,43 @@
+(** Protocol values packed into OCaml immediates.
+
+    On the multicore substrate, object contents live in [int Atomic.t]:
+    immediates make [Atomic.compare_and_set]'s physical equality coincide
+    with value equality and keep the hot path allocation-free. The domain
+    mirrors the simulator's: ⊥, plain values, and ⟨value, stage⟩ pairs.
+
+    Layout (in a 63-bit OCaml int): 2 tag bits (0 = ⊥, 1 = plain,
+    2 = staged), then for staged values 24 bits of stage over 24 bits of
+    payload. Plain payloads up to 2⁵⁶ are representable; stages and staged
+    payloads up to 2²⁴ − 1, far beyond any protocol's range (maxStage for
+    f = t = 100 is 1.04 × 10⁶ < 2²⁴). *)
+
+type t = private int
+
+val bottom : t
+val of_int : int -> t
+(** A plain value. @raise Invalid_argument if negative or ≥ 2⁵⁶. *)
+
+val staged : value:int -> stage:int -> t
+(** ⟨value, stage⟩. @raise Invalid_argument if either is negative or
+    ≥ 2²⁴. *)
+
+val is_bottom : t -> bool
+val is_staged : t -> bool
+
+val stage_of : t -> int
+(** Stage of a staged value; [-1] otherwise. *)
+
+val unstage : t -> t
+(** ⟨v, s⟩ ↦ plain v; identity on ⊥ and plain values. *)
+
+val to_int : t -> int
+(** Payload of a plain value. @raise Invalid_argument on ⊥ or staged. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val to_value : t -> Ffault_objects.Value.t
+(** Round-trip into the simulator's domain (for reuse of its checkers). *)
+
+val of_value : Ffault_objects.Value.t -> t option
+(** [None] for values outside the packable subset. *)

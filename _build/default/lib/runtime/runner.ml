@@ -1,0 +1,21 @@
+let run_parallel ~domains f =
+  if domains < 1 then invalid_arg "Runner.run_parallel: domains < 1";
+  if domains = 1 then [| f 0 |]
+  else begin
+    let arrived = Atomic.make 0 in
+    let work i () =
+      (* spin barrier: start all workers as simultaneously as possible *)
+      Atomic.incr arrived;
+      while Atomic.get arrived < domains do
+        Domain.cpu_relax ()
+      done;
+      f i
+    in
+    let handles = Array.init (domains - 1) (fun i -> Domain.spawn (work (i + 1))) in
+    let r0 = work 0 () in
+    let results = Array.make domains r0 in
+    Array.iteri (fun i h -> results.(i + 1) <- Domain.join h) handles;
+    results
+  end
+
+let recommended_domains () = min 8 (Domain.recommended_domain_count ())

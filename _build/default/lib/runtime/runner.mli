@@ -1,0 +1,14 @@
+(** Parallel execution over OCaml 5 domains.
+
+    [run_parallel] spawns one domain per process, releases them through a
+    spin barrier (so they hit the shared objects together, maximizing real
+    contention), and joins the results. *)
+
+val run_parallel : domains:int -> (int -> 'a) -> 'a array
+(** [run_parallel ~domains f] runs [f i] on domain i for i in
+    [\[0, domains)]. Exceptions in a worker propagate on join.
+    @raise Invalid_argument if [domains < 1]. *)
+
+val recommended_domains : unit -> int
+(** [Domain.recommended_domain_count], capped at 8 — a sensible default
+    for the benches. *)

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Effect Ffault_fault Ffault_objects Fmt List Obj_id Op Option Printexc Proc Scheduler Semantics Trace Value World

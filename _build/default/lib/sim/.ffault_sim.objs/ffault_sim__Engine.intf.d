@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Ffault_fault Ffault_objects Format Scheduler Trace Value World

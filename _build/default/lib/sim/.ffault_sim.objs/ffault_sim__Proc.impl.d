@@ -1,0 +1,1 @@
+lib/sim/proc.ml: Effect Ffault_objects Fmt Obj_id Op Value

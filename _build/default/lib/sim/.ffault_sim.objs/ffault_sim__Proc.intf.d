@@ -1,0 +1,1 @@
+lib/sim/proc.mli: Effect Ffault_objects Obj_id Op Value

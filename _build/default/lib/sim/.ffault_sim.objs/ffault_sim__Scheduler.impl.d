@@ -1,0 +1,1 @@
+lib/sim/scheduler.ml: Array Ffault_prng Fmt List

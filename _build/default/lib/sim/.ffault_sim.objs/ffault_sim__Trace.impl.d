@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Ffault_fault Ffault_hoare Ffault_objects Fmt List Obj_id Op Value World

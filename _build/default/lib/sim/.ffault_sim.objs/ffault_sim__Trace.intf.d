@@ -1,0 +1,1 @@
+lib/sim/trace.mli: Ffault_fault Ffault_objects Format Obj_id Op Value World

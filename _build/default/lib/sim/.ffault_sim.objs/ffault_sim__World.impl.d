@@ -1,0 +1,1 @@
+lib/sim/world.ml: Array Ffault_objects Fmt Kind List Obj_id Option Value

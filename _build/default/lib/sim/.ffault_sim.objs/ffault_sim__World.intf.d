@@ -1,0 +1,1 @@
+lib/sim/world.mli: Ffault_objects Format Kind Obj_id Value

@@ -1,0 +1,323 @@
+open Ffault_objects
+module Fault = Ffault_fault
+module Fault_kind = Fault.Fault_kind
+module Injector = Fault.Injector
+module Budget = Fault.Budget
+module Data_fault = Fault.Data_fault
+module Faulty_semantics = Fault.Faulty_semantics
+
+type outcome_choice = Correct_outcome | Inject of Fault_kind.t * Value.t option
+
+let pp_outcome_choice ppf = function
+  | Correct_outcome -> Fmt.string ppf "correct"
+  | Inject (k, payload) ->
+      Fmt.pf ppf "inject:%a%a" Fault_kind.pp k
+        (Fmt.option (fun ppf v -> Fmt.pf ppf "(%a)" Value.pp v))
+        payload
+
+let equal_outcome_choice a b =
+  match a, b with
+  | Correct_outcome, Correct_outcome -> true
+  | Inject (k1, p1), Inject (k2, p2) ->
+      Fault_kind.equal k1 k2 && Option.equal Value.equal p1 p2
+  | (Correct_outcome | Inject _), _ -> false
+
+type driver = {
+  choose_proc : enabled:int list -> step:int -> int;
+  choose_outcome : Injector.ctx -> options:outcome_choice list -> outcome_choice;
+  after_step : Data_fault.ctx -> Data_fault.event list;
+}
+
+type proc_outcome = Decided of Value.t | Hung | Step_limited | Crashed of string
+
+let pp_proc_outcome ppf = function
+  | Decided v -> Fmt.pf ppf "decided %a" Value.pp v
+  | Hung -> Fmt.string ppf "hung"
+  | Step_limited -> Fmt.string ppf "step-limited"
+  | Crashed msg -> Fmt.pf ppf "crashed: %s" msg
+
+type result = {
+  outcomes : proc_outcome array;
+  final_states : Value.t array;
+  steps_taken : int array;
+  total_steps : int;
+  trace : Trace.t;
+  budget : Budget.t;
+  total_limit_hit : bool;
+}
+
+let decided_values r =
+  let acc = ref [] in
+  Array.iteri
+    (fun i o -> match o with Decided v -> acc := (i, v) :: !acc | _ -> ())
+    r.outcomes;
+  List.rev !acc
+
+let all_decided r = Array.for_all (function Decided _ -> true | _ -> false) r.outcomes
+
+type config = {
+  world : World.t;
+  budget : Budget.t;
+  allowed_faults : Fault_kind.t list;
+  payload_palette : Value.t list;
+  max_steps_per_proc : int;
+  max_total_steps : int;
+}
+
+let config ?(allowed_faults = [ Fault_kind.Overriding ]) ?(payload_palette = [])
+    ?(max_steps_per_proc = 10_000) ?(max_total_steps = 1_000_000) ~world ~budget () =
+  { world; budget; allowed_faults; payload_palette; max_steps_per_proc; max_total_steps }
+
+(* Per-process runtime status. *)
+type status =
+  | Pending of { obj : Obj_id.t; op : Op.t; k : (Value.t, unit) Effect.Deep.continuation }
+  | Finished of Value.t
+  | Hung_at of { obj : Obj_id.t; op : Op.t }
+  | Limited
+  | Failed of string
+
+let outcome_differs (a : Semantics.outcome) (b : Semantics.outcome) =
+  not (Value.equal a.post_state b.post_state && Value.equal a.response b.response)
+
+let run_with_driver cfg driver ~bodies =
+  let world = cfg.world in
+  let n = World.n_procs world in
+  if Array.length bodies <> n then
+    invalid_arg "Engine.run_with_driver: bodies count differs from world process count";
+  let n_objs = World.n_objects world in
+  let obj_states = Array.init n_objs (fun i -> World.init_of world (Obj_id.of_int i)) in
+  let statuses = Array.make n (Failed "not started") in
+  let steps_taken = Array.make n 0 in
+  let trace_rev = ref [] in
+  let step_counter = ref 0 in
+  let op_counter = ref 0 in
+  let emit ev = trace_rev := ev :: !trace_rev in
+
+  (* Launch a body; it runs to its first operation (captured as Pending),
+     to completion, or to an exception. Resumptions via
+     [Effect.Deep.continue] re-enter the same handler. *)
+  let start proc body =
+    let open Effect.Deep in
+    match_with body ()
+      {
+        retc = (fun v -> statuses.(proc) <- Finished v);
+        exnc = (fun e -> statuses.(proc) <- Failed (Printexc.to_string e));
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Proc.Invoke (obj, op) ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    statuses.(proc) <- Pending { obj; op; k })
+            | _ -> None);
+      }
+  in
+  Array.iteri
+    (fun i body ->
+      start i body;
+      match statuses.(i) with
+      | Finished v -> emit (Trace.Decided { step = !step_counter; proc = i; value = v })
+      | Failed msg -> emit (Trace.Crashed { step = !step_counter; proc = i; error = msg })
+      | Pending _ | Hung_at _ | Limited -> ())
+    bodies;
+
+  let enabled () =
+    let acc = ref [] in
+    for i = n - 1 downto 0 do
+      match statuses.(i) with Pending _ -> acc := i :: !acc | _ -> ()
+    done;
+    !acc
+  in
+
+  (* Menu of observable, budget-permitted faulty outcomes for this step,
+     headed by the correct outcome. *)
+  let options_for obj op pre correct =
+    let kind = World.kind_of world obj in
+    if not (Budget.can_fault cfg.budget obj) then [ Correct_outcome ]
+    else
+      let faulty_differs fk payload =
+        match Faulty_semantics.apply fk ?payload ~kind ~state:pre op with
+        | Ok (Faulty_semantics.Outcome o) -> outcome_differs o correct
+        | Ok Faulty_semantics.Hangs -> true
+        | Error _ -> false
+      in
+      let per_kind fk =
+        match fk with
+        | Fault_kind.Overriding | Fault_kind.Silent ->
+            if faulty_differs fk None then [ Inject (fk, None) ] else []
+        | Fault_kind.Nonresponsive -> [ Inject (fk, None) ]
+        | Fault_kind.Invisible | Fault_kind.Arbitrary | Fault_kind.Relaxation ->
+            List.filter_map
+              (fun payload ->
+                if faulty_differs fk (Some payload) then Some (Inject (fk, Some payload))
+                else None)
+              cfg.payload_palette
+      in
+      Correct_outcome :: List.concat_map per_kind cfg.allowed_faults
+  in
+
+  (* A driver choice is honored if it is in the menu, or if it is a
+     payload-carrying fault that the engine can validate directly (lets
+     strategy-mode injectors use payloads outside the exploration
+     palette). Anything else executes correctly. *)
+  let validate_choice choice options obj op pre correct =
+    match choice with
+    | Correct_outcome -> Correct_outcome
+    | Inject (fk, payload) -> (
+        if List.exists (equal_outcome_choice choice) options then choice
+        else
+          match fk with
+          | Fault_kind.Invisible | Fault_kind.Arbitrary | Fault_kind.Relaxation
+            when List.mem fk cfg.allowed_faults && Budget.can_fault cfg.budget obj -> (
+              let kind = World.kind_of world obj in
+              match Faulty_semantics.apply fk ?payload ~kind ~state:pre op with
+              | Ok (Faulty_semantics.Outcome o) when outcome_differs o correct -> choice
+              | Ok _ | Error _ -> Correct_outcome)
+          | Fault_kind.Overriding | Fault_kind.Silent | Fault_kind.Nonresponsive
+          | Fault_kind.Invisible | Fault_kind.Arbitrary | Fault_kind.Relaxation ->
+              Correct_outcome)
+  in
+
+  let exec_step proc =
+    match statuses.(proc) with
+    | Pending { obj; op; k } -> (
+        let oi = Obj_id.to_int obj in
+        let pre = obj_states.(oi) in
+        let kind = World.kind_of world obj in
+        match Semantics.apply kind ~state:pre op with
+        | Error e ->
+            let error = Fmt.str "illegal operation: %a" Semantics.pp_error e in
+            statuses.(proc) <- Failed error;
+            emit (Trace.Crashed { step = !step_counter; proc; error })
+        | Ok correct ->
+            let ctx =
+              {
+                Injector.obj;
+                op;
+                state = pre;
+                proc;
+                step = !step_counter;
+                op_index = !op_counter;
+                budget = cfg.budget;
+              }
+            in
+            let options = options_for obj op pre correct in
+            let choice = driver.choose_outcome ctx ~options in
+            let choice = validate_choice choice options obj op pre correct in
+            incr op_counter;
+            let continue_with outcome injected =
+              obj_states.(oi) <- outcome.Semantics.post_state;
+              emit
+                (Trace.Op_step
+                   {
+                     step = !step_counter;
+                     proc;
+                     obj;
+                     op;
+                     pre_state = pre;
+                     post_state = outcome.Semantics.post_state;
+                     response = outcome.Semantics.response;
+                     injected;
+                   });
+              Effect.Deep.continue k outcome.Semantics.response;
+              match statuses.(proc) with
+              | Finished v -> emit (Trace.Decided { step = !step_counter; proc; value = v })
+              | Failed msg -> emit (Trace.Crashed { step = !step_counter; proc; error = msg })
+              | Pending _ | Hung_at _ | Limited -> ()
+            in
+            (match choice with
+            | Correct_outcome -> continue_with correct None
+            | Inject (fk, payload) -> (
+                match Faulty_semantics.apply fk ?payload ~kind ~state:pre op with
+                | Error e ->
+                    invalid_arg
+                      (Fmt.str "Engine: validated fault failed to apply: %a"
+                         Faulty_semantics.pp_error e)
+                | Ok Faulty_semantics.Hangs ->
+                    Budget.charge cfg.budget obj;
+                    statuses.(proc) <- Hung_at { obj; op };
+                    emit (Trace.Hang { step = !step_counter; proc; obj; op })
+                | Ok (Faulty_semantics.Outcome o) ->
+                    Budget.charge cfg.budget obj;
+                    continue_with o (Some fk))))
+    | Finished _ | Hung_at _ | Limited | Failed _ ->
+        invalid_arg "Engine.exec_step: process not pending"
+  in
+
+  let apply_data_faults () =
+    let ctx =
+      {
+        Data_fault.step = !step_counter;
+        state_of = (fun id -> obj_states.(Obj_id.to_int id));
+        budget = cfg.budget;
+      }
+    in
+    List.iter
+      (fun { Data_fault.obj; value } ->
+        let oi = Obj_id.to_int obj in
+        let before = obj_states.(oi) in
+        (* No-op corruptions are unobservable; over-budget ones throttle. *)
+        if (not (Value.equal before value)) && Budget.can_fault cfg.budget obj then begin
+          Budget.charge cfg.budget obj;
+          obj_states.(oi) <- value;
+          emit (Trace.Corruption { step = !step_counter; obj; before; after = value })
+        end)
+      (driver.after_step ctx)
+  in
+
+  let total_limit_hit = ref false in
+  let rec loop () =
+    match enabled () with
+    | [] -> ()
+    | en ->
+        if !step_counter >= cfg.max_total_steps then total_limit_hit := true
+        else begin
+          let proc = driver.choose_proc ~enabled:en ~step:!step_counter in
+          if not (List.mem proc en) then
+            invalid_arg (Fmt.str "Engine: scheduler picked disabled process p%d" proc);
+          steps_taken.(proc) <- steps_taken.(proc) + 1;
+          if steps_taken.(proc) > cfg.max_steps_per_proc then begin
+            statuses.(proc) <- Limited;
+            emit (Trace.Step_limit_hit { step = !step_counter; proc })
+          end
+          else exec_step proc;
+          incr step_counter;
+          apply_data_faults ();
+          loop ()
+        end
+  in
+  loop ();
+
+  let outcomes =
+    Array.map
+      (function
+        | Finished v -> Decided v
+        | Hung_at _ -> Hung
+        | Limited -> Step_limited
+        | Failed msg -> Crashed msg
+        | Pending _ -> Step_limited (* total-step budget ran out while runnable *))
+      statuses
+  in
+  {
+    outcomes;
+    final_states = obj_states;
+    steps_taken;
+    total_steps = !step_counter;
+    trace = List.rev !trace_rev;
+    budget = cfg.budget;
+    total_limit_hit = !total_limit_hit;
+  }
+
+let run cfg ~scheduler ~injector ?(data_faults = Data_fault.never) ~bodies () =
+  let driver =
+    {
+      choose_proc = scheduler.Scheduler.pick;
+      choose_outcome =
+        (fun ctx ~options:_ ->
+          match injector.Injector.decide ctx with
+          | Injector.No_fault -> Correct_outcome
+          | Injector.Fault { kind; payload } -> Inject (kind, payload));
+      after_step = data_faults.Data_fault.decide;
+    }
+  in
+  run_with_driver cfg driver ~bodies

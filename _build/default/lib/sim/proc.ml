@@ -1,0 +1,27 @@
+open Ffault_objects
+
+type _ Effect.t += Invoke : Obj_id.t * Op.t -> Value.t Effect.t
+
+let invoke obj op = Effect.perform (Invoke (obj, op))
+
+let cas obj ~expected ~desired = invoke obj (Op.Cas { expected; desired })
+
+let read obj = invoke obj Op.Read
+
+let write obj v = ignore (invoke obj (Op.Write v))
+
+let test_and_set obj =
+  match invoke obj Op.Test_and_set with
+  | Value.Bool b -> b
+  | v -> invalid_arg (Fmt.str "Proc.test_and_set: non-boolean response %a" Value.pp v)
+
+let reset obj = ignore (invoke obj Op.Reset)
+
+let enqueue obj v = ignore (invoke obj (Op.Enqueue v))
+
+let dequeue obj = invoke obj Op.Dequeue
+
+let fetch_and_add obj n =
+  match invoke obj (Op.Fetch_and_add n) with
+  | Value.Int i -> i
+  | v -> invalid_arg (Fmt.str "Proc.fetch_and_add: non-integer response %a" Value.pp v)

@@ -1,0 +1,39 @@
+(** Process-side API: the effects a protocol body performs.
+
+    Protocol code runs inside the engine's effect handler; every shared-
+    memory access goes through {!invoke} (or the typed shorthands below),
+    which suspends the process until the scheduler grants it a step. Local
+    computation between invocations is free, matching the paper's model in
+    which only shared-object operations are (atomic) steps that the
+    adversarial scheduler can interleave.
+
+    Calling these functions outside an engine run raises
+    [Effect.Unhandled]. *)
+
+open Ffault_objects
+
+type _ Effect.t +=
+  | Invoke : Obj_id.t * Op.t -> Value.t Effect.t
+        (** exposed so the engine can install its handler; protocol code
+            should use the wrappers below *)
+
+val invoke : Obj_id.t -> Op.t -> Value.t
+(** Perform one operation on a shared object; returns its response. *)
+
+val cas : Obj_id.t -> expected:Value.t -> desired:Value.t -> Value.t
+(** [cas o ~expected ~desired] returns the {e original} content of [o]
+    (paper §2): comparison success is detected by
+    [Value.equal old expected] — under an overriding fault this test can
+    be positive while the write overrode a different value, which is
+    exactly the ambiguity the Fig. 3 protocol wrestles with. *)
+
+val read : Obj_id.t -> Value.t
+val write : Obj_id.t -> Value.t -> unit
+val test_and_set : Obj_id.t -> bool
+val reset : Obj_id.t -> unit
+val fetch_and_add : Obj_id.t -> int -> int
+
+val enqueue : Obj_id.t -> Value.t -> unit
+val dequeue : Obj_id.t -> Value.t
+(** Returns the removed element, or [Bottom] on an empty queue. Under a
+    relaxation fault the element may come from deeper in the queue. *)

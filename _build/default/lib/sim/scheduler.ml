@@ -1,0 +1,79 @@
+type t = { name : string; pick : enabled:int list -> step:int -> int }
+
+let round_robin () =
+  let last = ref (-1) in
+  {
+    name = "round-robin";
+    pick =
+      (fun ~enabled ~step:_ ->
+        (* smallest enabled id strictly greater than [last], else wrap *)
+        let next =
+          match List.find_opt (fun p -> p > !last) enabled with
+          | Some p -> p
+          | None -> List.hd enabled
+        in
+        last := next;
+        next);
+  }
+
+let random ~seed =
+  let rng = Ffault_prng.Rng.make ~seed in
+  {
+    name = "random";
+    pick = (fun ~enabled ~step:_ -> Ffault_prng.Rng.pick_list rng enabled);
+  }
+
+let solo_runs ~order =
+  let remaining = ref order in
+  let rr = round_robin () in
+  {
+    name = "solo-runs";
+    pick =
+      (fun ~enabled ~step ->
+        let rec go () =
+          match !remaining with
+          | [] -> rr.pick ~enabled ~step
+          | p :: rest ->
+              if List.mem p enabled then p
+              else begin
+                remaining := rest;
+                go ()
+              end
+        in
+        go ());
+  }
+
+let scripted picks ~fallback =
+  let script = ref picks in
+  {
+    name = Fmt.str "scripted+%s" fallback.name;
+    pick =
+      (fun ~enabled ~step ->
+        match !script with
+        | p :: rest when List.mem p enabled ->
+            script := rest;
+            p
+        | p :: rest ->
+            (* scheduled process not enabled: drop the entry and fall back *)
+            ignore p;
+            script := rest;
+            fallback.pick ~enabled ~step
+        | [] -> fallback.pick ~enabled ~step);
+  }
+
+let prioritized ~weights ~seed =
+  let rng = Ffault_prng.Rng.make ~seed in
+  {
+    name = "prioritized";
+    pick =
+      (fun ~enabled ~step:_ ->
+        let ws =
+          Array.of_list
+            (List.map (fun p -> if p < Array.length weights then weights.(p) else 1.0) enabled)
+        in
+        let total = Array.fold_left ( +. ) 0.0 ws in
+        if total <= 0.0 then Ffault_prng.Rng.pick_list rng enabled
+        else
+          let idx = Ffault_prng.Rng.weighted_index rng ws in
+          List.nth enabled idx);
+  }

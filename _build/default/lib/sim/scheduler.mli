@@ -1,0 +1,30 @@
+(** Scheduling strategies: who takes the next step.
+
+    A scheduler picks one process among the currently enabled ones (those
+    with a pending operation). Schedulers may carry internal state (round-
+    robin position, PRNG); construct a fresh one per run for exact
+    replay. *)
+
+type t = { name : string; pick : enabled:int list -> step:int -> int }
+(** [pick ~enabled ~step] must return a member of [enabled] (the engine
+    validates this). [enabled] is non-empty and ascending. *)
+
+val round_robin : unit -> t
+(** Cycle fairly through processes. *)
+
+val random : seed:int64 -> t
+(** Uniform among enabled, seeded. *)
+
+val solo_runs : order:int list -> t
+(** Run each listed process to completion (or a hang) before the next —
+    the "solo run" building block of the impossibility constructions.
+    Processes not listed run (round-robin) after the listed ones are done. *)
+
+val scripted : int list -> fallback:t -> t
+(** Follow the given pick list (skipping entries that are not enabled,
+    falling back on mismatch), then delegate to [fallback]. *)
+
+val prioritized : weights:float array -> seed:int64 -> t
+(** Pick enabled process [i] with probability proportional to
+    [weights.(i)] — used for unfair "starvation-ish" schedules that stress
+    wait-freedom. *)

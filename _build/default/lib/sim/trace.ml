@@ -1,0 +1,109 @@
+open Ffault_objects
+module Fault_kind = Ffault_fault.Fault_kind
+module Classify = Ffault_hoare.Classify
+module Triple = Ffault_hoare.Triple
+
+type event =
+  | Op_step of {
+      step : int;
+      proc : int;
+      obj : Obj_id.t;
+      op : Op.t;
+      pre_state : Value.t;
+      post_state : Value.t;
+      response : Value.t;
+      injected : Fault_kind.t option;
+    }
+  | Hang of { step : int; proc : int; obj : Obj_id.t; op : Op.t }
+  | Corruption of { step : int; obj : Obj_id.t; before : Value.t; after : Value.t }
+  | Decided of { step : int; proc : int; value : Value.t }
+  | Step_limit_hit of { step : int; proc : int }
+  | Crashed of { step : int; proc : int; error : string }
+
+type t = event list
+
+let pp_event ~world ppf = function
+  | Op_step { step; proc; obj; op; pre_state; post_state; response; injected } ->
+      Fmt.pf ppf "[%4d] p%d %s.%a : %a \xe2\x86\x92 %a, returns %a%a" step proc
+        (World.label_of world obj) Op.pp op Value.pp pre_state Value.pp post_state Value.pp
+        response
+        (Fmt.option (fun ppf k -> Fmt.pf ppf "   !! %a fault" Fault_kind.pp k))
+        injected
+  | Hang { step; proc; obj; op } ->
+      Fmt.pf ppf "[%4d] p%d %s.%a : hangs (nonresponsive fault)" step proc
+        (World.label_of world obj) Op.pp op
+  | Corruption { step; obj; before; after } ->
+      Fmt.pf ppf "[%4d] data fault: %s : %a \xe2\x86\x92 %a" step (World.label_of world obj)
+        Value.pp before Value.pp after
+  | Decided { step; proc; value } ->
+      Fmt.pf ppf "[%4d] p%d decides %a" step proc Value.pp value
+  | Step_limit_hit { step; proc } -> Fmt.pf ppf "[%4d] p%d exceeded its step budget" step proc
+  | Crashed { step; proc; error } -> Fmt.pf ppf "[%4d] p%d crashed: %s" step proc error
+
+let pp ~world ppf t = Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut (pp_event ~world)) t
+
+let op_steps t =
+  List.fold_left (fun acc -> function Op_step _ -> acc + 1 | _ -> acc) 0 t
+
+let injected_faults t =
+  List.filter_map
+    (function
+      | Op_step { obj; injected = Some k; _ } -> Some (obj, k)
+      | Hang { obj; _ } -> Some (obj, Fault_kind.Nonresponsive)
+      | Op_step _ | Corruption _ | Decided _ | Step_limit_hit _ | Crashed _ -> None)
+    t
+
+type audit_error = { at_step : int; reason : string }
+
+let pp_audit_error ppf e = Fmt.pf ppf "step %d: %s" e.at_step e.reason
+
+let audit ~world t =
+  List.filter_map
+    (function
+      | Op_step { step; obj; op; pre_state; post_state; response; injected; _ } -> (
+          let kind = World.kind_of world obj in
+          let hstep = { Triple.kind; pre_state; op; post_state; response } in
+          if not (Triple.precondition_met Triple.correct hstep) then
+            Some { at_step = step; reason = "step violates the operation's precondition" }
+          else
+            let satisfies_phi = Triple.correct.Triple.post hstep in
+            match injected with
+            | None ->
+                if satisfies_phi then None
+                else
+                  Some
+                    {
+                      at_step = step;
+                      reason = "unlabeled step violates the sequential specification \xce\xa6";
+                    }
+            | Some k ->
+                if satisfies_phi then
+                  Some
+                    {
+                      at_step = step;
+                      reason =
+                        Fmt.str
+                          "step labeled %a satisfies \xce\xa6 \xe2\x80\x94 not a fault per Definition 1"
+                          Fault_kind.pp k;
+                    }
+                else (
+                  match Fault_kind.phi'_for k op with
+                  | Some phi' when phi' hstep -> None
+                  | Some _ ->
+                      Some
+                        {
+                          at_step = step;
+                          reason =
+                            Fmt.str "step does not satisfy the \xce\xa6' of its %a label"
+                              Fault_kind.pp k;
+                        }
+                  | None ->
+                      Some
+                        {
+                          at_step = step;
+                          reason =
+                            Fmt.str "no \xce\xa6' is defined for %a on this operation"
+                              Fault_kind.pp k;
+                        }))
+      | Hang _ | Corruption _ | Decided _ | Step_limit_hit _ | Crashed _ -> None)
+    t

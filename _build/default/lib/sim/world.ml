@@ -1,0 +1,41 @@
+open Ffault_objects
+
+type obj_decl = { kind : Kind.t; init : Value.t; label : string option }
+
+let obj ?label ?init kind =
+  { kind; init = Option.value init ~default:(Kind.default_init kind); label }
+
+type t = { decls : obj_decl array; n_procs : int }
+
+let make ~n_procs decls =
+  if n_procs < 1 then invalid_arg "World.make: need at least one process";
+  if decls = [] then invalid_arg "World.make: need at least one object";
+  { decls = Array.of_list decls; n_procs }
+
+let cas_world ~n_procs ~objects =
+  make ~n_procs (List.init objects (fun _ -> obj Kind.Cas_only))
+
+let n_procs w = w.n_procs
+let n_objects w = Array.length w.decls
+
+let decl w id =
+  let i = Obj_id.to_int id in
+  if i >= Array.length w.decls then
+    invalid_arg (Fmt.str "World: unknown object %a" Obj_id.pp id);
+  w.decls.(i)
+
+let kind_of w id = (decl w id).kind
+let init_of w id = (decl w id).init
+
+let label_of w id =
+  match (decl w id).label with Some l -> l | None -> Fmt.str "%a" Obj_id.pp id
+
+let object_ids w = List.init (Array.length w.decls) Obj_id.of_int
+
+let pp ppf w =
+  Fmt.pf ppf "@[<v>world: %d processes, %d objects@,%a@]" w.n_procs (Array.length w.decls)
+    (Fmt.list ~sep:Fmt.cut (fun ppf (i, d) ->
+         Fmt.pf ppf "  %s : %a (init %a)"
+           (match d.label with Some l -> l | None -> Fmt.str "O%d" i)
+           Kind.pp d.kind Value.pp d.init))
+    (Array.to_list (Array.mapi (fun i d -> (i, d)) w.decls))

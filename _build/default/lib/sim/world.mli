@@ -1,0 +1,27 @@
+(** Static description of a shared-memory system: the fixed set of shared
+    objects and the number of processes (paper §2). *)
+
+open Ffault_objects
+
+type obj_decl = { kind : Kind.t; init : Value.t; label : string option }
+
+val obj : ?label:string -> ?init:Value.t -> Kind.t -> obj_decl
+(** [obj kind] declares an object with [Kind.default_init] unless [init] is
+    given. *)
+
+type t
+
+val make : n_procs:int -> obj_decl list -> t
+(** @raise Invalid_argument if [n_procs < 1] or the object list is empty. *)
+
+val cas_world : n_procs:int -> objects:int -> t
+(** [cas_world ~n_procs ~objects] is the standard consensus setting:
+    [objects] CAS-only objects O₀ … O₍objects₋₁₎, all initialized to ⊥. *)
+
+val n_procs : t -> int
+val n_objects : t -> int
+val kind_of : t -> Obj_id.t -> Kind.t
+val init_of : t -> Obj_id.t -> Value.t
+val label_of : t -> Obj_id.t -> string
+val object_ids : t -> Obj_id.t list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/stats/table.ml: Char Fmt List Printf String

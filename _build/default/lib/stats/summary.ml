@@ -1,0 +1,65 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  mutable samples : float list;  (* retained for percentiles *)
+  mutable sorted : float array option;  (* cache, invalidated by add *)
+}
+
+let create () =
+  {
+    n = 0;
+    mean = 0.0;
+    m2 = 0.0;
+    min_v = infinity;
+    max_v = neg_infinity;
+    samples = [];
+    sorted = None;
+  }
+
+let add s x =
+  s.n <- s.n + 1;
+  let delta = x -. s.mean in
+  s.mean <- s.mean +. (delta /. float_of_int s.n);
+  s.m2 <- s.m2 +. (delta *. (x -. s.mean));
+  if x < s.min_v then s.min_v <- x;
+  if x > s.max_v then s.max_v <- x;
+  s.samples <- x :: s.samples;
+  s.sorted <- None
+
+let add_int s x = add s (float_of_int x)
+
+let count s = s.n
+let mean s = if s.n = 0 then 0.0 else s.mean
+let variance s = if s.n < 2 then 0.0 else s.m2 /. float_of_int (s.n - 1)
+let stddev s = sqrt (variance s)
+let min_value s = s.min_v
+let max_value s = s.max_v
+
+let sorted s =
+  match s.sorted with
+  | Some a -> a
+  | None ->
+      let a = Array.of_list s.samples in
+      Array.sort Float.compare a;
+      s.sorted <- Some a;
+      a
+
+let percentile s p =
+  if s.n = 0 then invalid_arg "Summary.percentile: empty accumulator";
+  if p < 0.0 || p > 100.0 then invalid_arg "Summary.percentile: p out of [0, 100]";
+  let a = sorted s in
+  let rank = p /. 100.0 *. float_of_int (Array.length a - 1) in
+  let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+  if lo = hi then a.(lo)
+  else
+    let w = rank -. float_of_int lo in
+    (a.(lo) *. (1.0 -. w)) +. (a.(hi) *. w)
+
+let pp ppf s =
+  if s.n = 0 then Fmt.string ppf "n=0"
+  else
+    Fmt.pf ppf "n=%d, mean=%.2f, sd=%.2f, min=%.0f, p50=%.0f, p99=%.0f, max=%.0f" s.n (mean s)
+      (stddev s) (min_value s) (percentile s 50.0) (percentile s 99.0) (max_value s)

@@ -1,0 +1,34 @@
+(** Streaming summary statistics (Welford) and percentile estimation.
+
+    Used by the experiment driver and benches to aggregate per-run
+    measurements (step counts, stage counts, latencies). *)
+
+type t
+(** A mutable accumulator. *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val add_int : t -> int -> unit
+
+val count : t -> int
+val mean : t -> float
+(** 0 when empty. *)
+
+val variance : t -> float
+(** Sample variance (n - 1 denominator); 0 for fewer than two samples. *)
+
+val stddev : t -> float
+val min_value : t -> float
+(** [infinity] when empty. *)
+
+val max_value : t -> float
+(** [neg_infinity] when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile s p] for p in [\[0, 100\]], by linear interpolation over
+    the retained samples. The accumulator retains all samples for this
+    purpose (fine for the 10³–10⁶ sample counts we use).
+    @raise Invalid_argument if empty or p out of range. *)
+
+val pp : Format.formatter -> t -> unit
+(** "n=…, mean=…, sd=…, min=…, p50=…, p99=…, max=…". *)

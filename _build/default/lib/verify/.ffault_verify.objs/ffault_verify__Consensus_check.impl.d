@@ -1,0 +1,1 @@
+lib/verify/consensus_check.ml: Array Engine Ffault_consensus Ffault_fault Ffault_objects Ffault_sim Fmt List Obj_id Value

@@ -1,0 +1,1 @@
+lib/verify/consensus_check.mli: Engine Ffault_consensus Ffault_fault Ffault_objects Ffault_sim Format Obj_id Scheduler Value World

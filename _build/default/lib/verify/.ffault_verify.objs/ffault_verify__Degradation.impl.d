@@ -1,0 +1,1 @@
+lib/verify/degradation.ml: Consensus_check Fmt List Mass

@@ -1,0 +1,1 @@
+lib/verify/degradation.mli: Consensus_check Ffault_fault Ffault_prng Format

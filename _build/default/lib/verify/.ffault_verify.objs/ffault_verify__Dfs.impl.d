@@ -1,0 +1,1 @@
+lib/verify/dfs.ml: Array Consensus_check Ffault_sim Fmt List

@@ -1,0 +1,1 @@
+lib/verify/dfs.mli: Consensus_check Ffault_fault Ffault_sim Format

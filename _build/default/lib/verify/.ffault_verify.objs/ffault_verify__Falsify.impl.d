@@ -1,0 +1,1 @@
+lib/verify/falsify.ml: Array Consensus_check Ffault_fault Ffault_prng Ffault_sim Fmt List String

@@ -1,0 +1,1 @@
+lib/verify/mass.mli: Consensus_check Ffault_fault Ffault_prng Ffault_sim Format

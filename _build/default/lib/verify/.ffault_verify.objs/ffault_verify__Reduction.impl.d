@@ -1,0 +1,1 @@
+lib/verify/reduction.ml: Ffault_fault Ffault_objects Ffault_sim Fmt Kind List Op Semantics Trace Value

@@ -1,0 +1,1 @@
+lib/verify/reduction.mli: Ffault_sim Format Trace World

@@ -1,0 +1,1 @@
+lib/verify/shrink.ml: Array Consensus_check Dfs

@@ -1,0 +1,1 @@
+lib/verify/shrink.mli: Consensus_check

@@ -1,0 +1,89 @@
+open Ffault_objects
+open Ffault_sim
+module Fault = Ffault_fault
+module Consensus = Ffault_consensus
+module Protocol = Consensus.Protocol
+
+type violation =
+  | Validity of { proc : int; decided : Value.t }
+  | Consistency of { proc_a : int; val_a : Value.t; proc_b : int; val_b : Value.t }
+  | Wait_freedom of { proc : int; outcome : Engine.proc_outcome }
+
+let pp_violation ppf = function
+  | Validity { proc; decided } ->
+      Fmt.pf ppf "validity: p%d decided %a, which is no process's input" proc Value.pp decided
+  | Consistency { proc_a; val_a; proc_b; val_b } ->
+      Fmt.pf ppf "consistency: p%d decided %a but p%d decided %a" proc_a Value.pp val_a proc_b
+        Value.pp val_b
+  | Wait_freedom { proc; outcome } ->
+      Fmt.pf ppf "wait-freedom: p%d did not decide (%a)" proc Engine.pp_proc_outcome outcome
+
+type report = { violations : violation list; result : Engine.result; setup_name : string }
+
+let ok r = r.violations = []
+
+type setup = {
+  protocol : Protocol.t;
+  params : Protocol.params;
+  inputs : Value.t array;
+  allowed_faults : Fault.Fault_kind.t list;
+  payload_palette : Value.t list;
+  victims : Obj_id.t list option;
+  step_slack : int;
+}
+
+let setup ?inputs ?(allowed_faults = [ Fault.Fault_kind.Overriding ]) ?(payload_palette = [])
+    ?victims ?(step_slack = 2) protocol params =
+  let inputs = match inputs with Some i -> i | None -> Protocol.default_inputs params in
+  if Array.length inputs <> params.Protocol.n_procs then
+    invalid_arg "Consensus_check.setup: inputs count differs from n_procs";
+  { protocol; params; inputs; allowed_faults; payload_palette; victims; step_slack }
+
+let world s = Protocol.world s.protocol s.params
+
+let budget s =
+  Fault.Budget.create ?victims:s.victims ~max_faulty_objects:s.params.Protocol.f
+    ~max_faults_per_object:s.params.Protocol.t ()
+
+let engine_config s =
+  let hint = s.protocol.Protocol.max_steps_hint s.params in
+  let per_proc = s.step_slack * hint in
+  Engine.config ~allowed_faults:s.allowed_faults ~payload_palette:s.payload_palette
+    ~max_steps_per_proc:per_proc
+    ~max_total_steps:(per_proc * s.params.Protocol.n_procs)
+    ~world:(world s) ~budget:(budget s) ()
+
+let check_result s (r : Engine.result) =
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  Array.iteri
+    (fun proc outcome ->
+      match outcome with
+      | Engine.Decided v ->
+          if not (Array.exists (Value.equal v) s.inputs) then add (Validity { proc; decided = v })
+      | Engine.Hung | Engine.Step_limited | Engine.Crashed _ ->
+          add (Wait_freedom { proc; outcome }))
+    r.Engine.outcomes;
+  (match Engine.decided_values r with
+  | [] | [ _ ] -> ()
+  | (proc_a, val_a) :: rest ->
+      List.iter
+        (fun (proc_b, val_b) ->
+          if not (Value.equal val_a val_b) then
+            add (Consistency { proc_a; val_a; proc_b; val_b }))
+        rest);
+  List.rev !violations
+
+let setup_name s = Fmt.str "%s %a" s.protocol.Protocol.name Protocol.pp_params s.params
+
+let run s ~scheduler ~injector ?data_faults () =
+  let cfg = engine_config s in
+  let bodies = Protocol.bodies s.protocol s.params ~inputs:s.inputs in
+  let result = Engine.run cfg ~scheduler ~injector ?data_faults ~bodies () in
+  { violations = check_result s result; result; setup_name = setup_name s }
+
+let run_with_driver s driver =
+  let cfg = engine_config s in
+  let bodies = Protocol.bodies s.protocol s.params ~inputs:s.inputs in
+  let result = Engine.run_with_driver cfg driver ~bodies in
+  { violations = check_result s result; result; setup_name = setup_name s }

@@ -1,0 +1,75 @@
+(** Consensus correctness oracles (paper §2): validity, consistency and
+    wait-freedom, judged on engine results.
+
+    A {!setup} bundles a protocol instance with its fault setting; {!run}
+    executes it once under a given scheduler and injector and reports
+    violations. The wait-freedom judgement is operational: a process that
+    exhausts the protocol's [max_steps_hint] (or the engine's total
+    budget) without deciding counts as a wait-freedom violation, and a
+    process swallowed by a nonresponsive fault counts likewise. *)
+
+open Ffault_objects
+open Ffault_sim
+module Fault = Ffault_fault
+module Consensus = Ffault_consensus
+
+type violation =
+  | Validity of { proc : int; decided : Value.t }
+      (** decided a value that is no process's input *)
+  | Consistency of { proc_a : int; val_a : Value.t; proc_b : int; val_b : Value.t }
+      (** two processes decided differently *)
+  | Wait_freedom of { proc : int; outcome : Engine.proc_outcome }
+      (** a process failed to decide (step-limited, hung, or crashed) *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type report = {
+  violations : violation list;
+  result : Engine.result;
+  setup_name : string;
+}
+
+val ok : report -> bool
+
+type setup = {
+  protocol : Consensus.Protocol.t;
+  params : Consensus.Protocol.params;
+  inputs : Value.t array;
+  allowed_faults : Fault.Fault_kind.t list;
+  payload_palette : Value.t list;
+  victims : Obj_id.t list option;
+      (** restrict which objects may fault (defaults to any) *)
+  step_slack : int;
+      (** multiplier headroom over [max_steps_hint] before declaring a
+          wait-freedom failure *)
+}
+
+val setup :
+  ?inputs:Value.t array ->
+  ?allowed_faults:Fault.Fault_kind.t list ->
+  ?payload_palette:Value.t list ->
+  ?victims:Obj_id.t list ->
+  ?step_slack:int ->
+  Consensus.Protocol.t ->
+  Consensus.Protocol.params ->
+  setup
+(** Defaults: [Protocol.default_inputs], overriding faults only, empty
+    palette, no victim restriction, slack 2. *)
+
+val world : setup -> World.t
+
+val engine_config : setup -> Engine.config
+(** A fresh configuration (fresh budget) for one run. *)
+
+val check_result : setup -> Engine.result -> violation list
+(** Judge a finished run. *)
+
+val run :
+  setup ->
+  scheduler:Scheduler.t ->
+  injector:Fault.Injector.t ->
+  ?data_faults:Fault.Data_fault.t ->
+  unit ->
+  report
+
+val run_with_driver : setup -> Engine.driver -> report

@@ -1,0 +1,36 @@
+type profile = {
+  runs : int;
+  clean : int;
+  consistency_broken : int;
+  validity_broken : int;
+  wait_freedom_broken : int;
+}
+
+let empty = { runs = 0; clean = 0; consistency_broken = 0; validity_broken = 0; wait_freedom_broken = 0 }
+
+let pp_profile ppf p =
+  Fmt.pf ppf "%d runs: %d clean, %d consistency-broken, %d validity-broken, %d wf-broken"
+    p.runs p.clean p.consistency_broken p.validity_broken p.wait_freedom_broken
+
+let graceful p = p.validity_broken = 0 && p.wait_freedom_broken = 0
+
+let classify (report : Consensus_check.report) p =
+  let has pred = List.exists pred report.Consensus_check.violations in
+  let consistency = has (function Consensus_check.Consistency _ -> true | _ -> false) in
+  let validity = has (function Consensus_check.Validity _ -> true | _ -> false) in
+  let wait_freedom = has (function Consensus_check.Wait_freedom _ -> true | _ -> false) in
+  {
+    runs = p.runs + 1;
+    clean = (p.clean + if Consensus_check.ok report then 1 else 0);
+    consistency_broken = (p.consistency_broken + if consistency then 1 else 0);
+    validity_broken = (p.validity_broken + if validity then 1 else 0);
+    wait_freedom_broken = (p.wait_freedom_broken + if wait_freedom then 1 else 0);
+  }
+
+let measure ?(runs = 500) ~seed ~injector setup =
+  let acc = ref empty in
+  ignore
+    (Mass.run
+       ~on_report:(fun ~seed:_ report -> acc := classify report !acc)
+       ~injector ~n_runs:runs ~base_seed:seed setup);
+  !acc

@@ -1,0 +1,44 @@
+(** Graceful degradation beyond the fault budget (paper §6 — Jayanti et
+    al.'s notion — posed for functional faults as future work in §7).
+
+    A construction degrades gracefully if, when {e more} faults occur than
+    it was designed for, the damage stays within the fault class of its
+    base objects rather than becoming arbitrary. For the overriding-CAS
+    constructions there is a sharp empirical signature: overriding faults
+    return truthful [old] values and only ever write values that some
+    process passed to CAS, so every adopted value still traces back to
+    some process's input — {e validity survives any number of overriding
+    faults}; only consistency (and never by more than the adversary's
+    choice among real inputs) is lost. This module measures that profile:
+    run a setup whose budget exceeds the protocol's design point many
+    times and classify each failure. *)
+
+type profile = {
+  runs : int;
+  clean : int;  (** all three consensus properties held *)
+  consistency_broken : int;
+  validity_broken : int;  (** expected 0 under overriding faults *)
+  wait_freedom_broken : int;
+}
+
+val pp_profile : Format.formatter -> profile -> unit
+
+val graceful : profile -> bool
+(** Validity and wait-freedom intact in every run (consistency may have
+    broken — that is the degradation being graceful). *)
+
+val classify : Consensus_check.report -> profile -> profile
+(** Fold one report into a profile (each violated property counts once
+    per run). *)
+
+val measure :
+  ?runs:int ->
+  seed:int64 ->
+  injector:(Ffault_prng.Rng.t -> Ffault_fault.Injector.t) ->
+  Consensus_check.setup ->
+  profile
+(** Randomized schedules; defaults to 500 runs. The setup's (f, t) budget
+    is taken as given — build it {e above} the protocol's design point
+    (e.g. [F_tolerant.with_objects m] with [params.f = m], or
+    [Bounded_faults.with_max_stage] at a stage bound below t·(4f + f²))
+    to study over-budget behaviour. *)

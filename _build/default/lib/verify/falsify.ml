@@ -1,0 +1,80 @@
+module Rng = Ffault_prng.Rng
+module Scheduler = Ffault_sim.Scheduler
+module Injector = Ffault_fault.Injector
+module Fault_kind = Ffault_fault.Fault_kind
+
+type strategy = {
+  strategy_name : string;
+  scheduler : Rng.t -> Scheduler.t;
+  injector : Rng.t -> Injector.t;
+}
+
+let default_portfolio ~n_procs =
+  let random_sched rng = Scheduler.random ~seed:(Rng.next_seed rng) in
+  let rr_sched _ = Scheduler.round_robin () in
+  let solo_sched rng =
+    Scheduler.solo_runs ~order:(Rng.shuffled_list rng (List.init n_procs (fun i -> i)))
+  in
+  let always _ = Injector.always Fault_kind.Overriding in
+  let prob p rng = Injector.probabilistic ~seed:(Rng.next_seed rng) ~p Fault_kind.Overriding in
+  let first _ = Injector.first_on_each_object Fault_kind.Overriding in
+  [
+    { strategy_name = "random/always"; scheduler = random_sched; injector = always };
+    { strategy_name = "random/p=0.5"; scheduler = random_sched; injector = prob 0.5 };
+    { strategy_name = "random/p=0.15"; scheduler = random_sched; injector = prob 0.15 };
+    { strategy_name = "round-robin/always"; scheduler = rr_sched; injector = always };
+    { strategy_name = "solo-runs/first-per-object"; scheduler = solo_sched; injector = first };
+    { strategy_name = "solo-runs/always"; scheduler = solo_sched; injector = always };
+  ]
+
+type outcome = {
+  attempts : int;
+  witness : (string * int64 * Consensus_check.report) option;
+}
+
+let pp_outcome ppf o =
+  match o.witness with
+  | None -> Fmt.pf ppf "no violation in %d attempts" o.attempts
+  | Some (name, seed, _) ->
+      Fmt.pf ppf "violation at attempt %d (strategy %s, seed %Ld)" o.attempts name seed
+
+let run_attempt setup strategy ~seed =
+  let rng = Rng.make ~seed in
+  let scheduler = strategy.scheduler (Rng.split rng) in
+  let injector = strategy.injector (Rng.split rng) in
+  Consensus_check.run setup ~scheduler ~injector ()
+
+let falsify ?(max_attempts = 10_000) ?portfolio ~seed setup =
+  let portfolio =
+    match portfolio with
+    | Some p -> p
+    | None -> default_portfolio ~n_procs:setup.Consensus_check.params.n_procs
+  in
+  let portfolio = Array.of_list portfolio in
+  if Array.length portfolio = 0 then invalid_arg "Falsify.falsify: empty portfolio";
+  let root = Rng.make ~seed in
+  let rec go attempt =
+    if attempt >= max_attempts then { attempts = attempt; witness = None }
+    else begin
+      let strategy = portfolio.(attempt mod Array.length portfolio) in
+      let attempt_seed = Rng.next_seed root in
+      let report = run_attempt setup strategy ~seed:attempt_seed in
+      if Consensus_check.ok report then go (attempt + 1)
+      else
+        {
+          attempts = attempt + 1;
+          witness = Some (strategy.strategy_name, attempt_seed, report);
+        }
+    end
+  in
+  go 0
+
+let replay_witness ?portfolio setup ~strategy_name ~seed =
+  let portfolio =
+    match portfolio with
+    | Some p -> p
+    | None -> default_portfolio ~n_procs:setup.Consensus_check.params.n_procs
+  in
+  match List.find_opt (fun s -> String.equal s.strategy_name strategy_name) portfolio with
+  | None -> invalid_arg (Fmt.str "Falsify.replay_witness: unknown strategy %S" strategy_name)
+  | Some strategy -> run_attempt setup strategy ~seed

@@ -1,0 +1,44 @@
+(** A portfolio falsifier: randomized counterexample search for
+    configurations too large for exhaustive DFS.
+
+    Rotates through a portfolio of (scheduler, injector) adversary
+    strategies — uniform random scheduling, round-robin, staged solo
+    runs, combined with worst-case / probabilistic / first-per-object
+    overriding injection — drawing fresh seeds each round, and stops at
+    the first consensus violation. Complements {!Dfs}: no exhaustiveness
+    guarantee, but scales to instances whose branching DFS cannot cover,
+    and every found witness is replayable from its (strategy, seed)
+    pair. *)
+
+type strategy = {
+  strategy_name : string;
+  scheduler : Ffault_prng.Rng.t -> Ffault_sim.Scheduler.t;
+  injector : Ffault_prng.Rng.t -> Ffault_fault.Injector.t;
+}
+
+val default_portfolio : n_procs:int -> strategy list
+
+type outcome = {
+  attempts : int;
+  witness : (string * int64 * Consensus_check.report) option;
+      (** (strategy name, seed, violating report) *)
+}
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val falsify :
+  ?max_attempts:int ->
+  ?portfolio:strategy list ->
+  seed:int64 ->
+  Consensus_check.setup ->
+  outcome
+(** Defaults: 10_000 attempts, {!default_portfolio}. *)
+
+val replay_witness :
+  ?portfolio:strategy list ->
+  Consensus_check.setup ->
+  strategy_name:string ->
+  seed:int64 ->
+  Consensus_check.report
+(** Re-run one attempt from its strategy name and seed.
+    @raise Invalid_argument on an unknown strategy name. *)

@@ -1,0 +1,55 @@
+module Fault = Ffault_fault
+module Rng = Ffault_prng.Rng
+module Engine = Ffault_sim.Engine
+
+type summary = {
+  runs : int;
+  failures : (int64 * Consensus_check.report) list;
+  failure_count : int;
+  max_steps_one_proc : int;
+  max_total_steps : int;
+  total_faults : int;
+}
+
+let pp_summary ppf s =
+  Fmt.pf ppf "%d runs, %d failures, max steps/proc %d, max total steps %d, %d faults" s.runs
+    s.failure_count s.max_steps_one_proc s.max_total_steps s.total_faults
+
+let default_scheduler rng = Ffault_sim.Scheduler.random ~seed:(Rng.next_seed rng)
+
+let run ?(max_kept_failures = 5) ?(scheduler = default_scheduler) ?on_report ~injector ~n_runs
+    ~base_seed setup =
+  let root = Rng.make ~seed:base_seed in
+  let failures = ref [] in
+  let failure_count = ref 0 in
+  let max_steps_one_proc = ref 0 in
+  let max_total_steps = ref 0 in
+  let total_faults = ref 0 in
+  for _ = 1 to n_runs do
+    (* Each run replays from (setup, its seed) alone. *)
+    let seed = Rng.next_seed root in
+    let rng = Rng.make ~seed in
+    let sched = scheduler (Rng.split rng) in
+    let inj = injector (Rng.split rng) in
+    let report = Consensus_check.run setup ~scheduler:sched ~injector:inj () in
+    (match on_report with Some f -> f ~seed report | None -> ());
+    let result = report.Consensus_check.result in
+    Array.iter
+      (fun st -> if st > !max_steps_one_proc then max_steps_one_proc := st)
+      result.Engine.steps_taken;
+    if result.Engine.total_steps > !max_total_steps then
+      max_total_steps := result.Engine.total_steps;
+    total_faults := !total_faults + Fault.Budget.total_faults result.Engine.budget;
+    if not (Consensus_check.ok report) then begin
+      incr failure_count;
+      if List.length !failures < max_kept_failures then failures := (seed, report) :: !failures
+    end
+  done;
+  {
+    runs = n_runs;
+    failures = List.rev !failures;
+    failure_count = !failure_count;
+    max_steps_one_proc = !max_steps_one_proc;
+    max_total_steps = !max_total_steps;
+    total_faults = !total_faults;
+  }

@@ -1,0 +1,34 @@
+(** Mass randomized testing: many seeded runs of a protocol setup under
+    randomized schedules and fault injection, aggregating violations and
+    cost statistics.
+
+    Every run is reproducible from its seed: the injector and scheduler
+    are rebuilt per run from sub-streams of the base seed. *)
+
+module Fault = Ffault_fault
+
+type summary = {
+  runs : int;
+  failures : (int64 * Consensus_check.report) list;
+      (** (seed, report) for runs with violations; at most
+          [max_kept_failures], in discovery order *)
+  failure_count : int;  (** total number of failing runs *)
+  max_steps_one_proc : int;  (** worst per-process operation count seen *)
+  max_total_steps : int;
+  total_faults : int;  (** observable faults charged across all runs *)
+}
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val run :
+  ?max_kept_failures:int ->
+  ?scheduler:(Ffault_prng.Rng.t -> Ffault_sim.Scheduler.t) ->
+  ?on_report:(seed:int64 -> Consensus_check.report -> unit) ->
+  injector:(Ffault_prng.Rng.t -> Fault.Injector.t) ->
+  n_runs:int ->
+  base_seed:int64 ->
+  Consensus_check.setup ->
+  summary
+(** Defaults: keep up to 5 failures, uniform random scheduler. [on_report]
+    observes every run (for experiment-specific measurements such as the
+    Fig. 3 stage counter). *)

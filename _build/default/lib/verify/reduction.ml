@@ -1,0 +1,71 @@
+open Ffault_objects
+open Ffault_sim
+module Fault_kind = Ffault_fault.Fault_kind
+
+let invisible_to_data trace =
+  List.concat_map
+    (fun ev ->
+      match ev with
+      | Trace.Op_step
+          ({ injected = Some Fault_kind.Invisible; obj; pre_state; post_state; response; step; _ }
+           as s) ->
+          (* Corrupt to the (wrong) returned value, run the CAS correctly
+             from there, restore the true post-state. The intermediate CAS
+             is correct by construction: from state [response] it returns
+             [response]. *)
+          let mid =
+            match Semantics.apply Kind.Cas_only ~state:response s.op with
+            | Ok o -> o
+            | Error _ ->
+                (* invisible faults only decorate CAS steps *)
+                { Semantics.post_state = response; response }
+          in
+          [
+            Trace.Corruption { step; obj; before = pre_state; after = response };
+            Trace.Op_step
+              {
+                s with
+                pre_state = response;
+                post_state = mid.Semantics.post_state;
+                response = mid.Semantics.response;
+                injected = None;
+              };
+            Trace.Corruption { step; obj; before = mid.Semantics.post_state; after = post_state };
+          ]
+      | other -> [ other ])
+    trace
+
+type check = { responses_preserved : bool; steps_all_correct : bool; corruptions_added : int }
+
+let pp_check ppf c =
+  Fmt.pf ppf "responses %s, steps %s, %d corruptions added"
+    (if c.responses_preserved then "preserved" else "CHANGED")
+    (if c.steps_all_correct then "all satisfy \xce\xa6" else "VIOLATE \xce\xa6")
+    c.corruptions_added
+
+let responses_of trace =
+  List.filter_map
+    (function
+      | Trace.Op_step { proc; op; response; _ } -> Some (proc, op, response)
+      | Trace.Hang _ | Trace.Corruption _ | Trace.Decided _ | Trace.Step_limit_hit _
+      | Trace.Crashed _ ->
+          None)
+    trace
+
+let verify ~world ~original ~rewritten =
+  let ra = responses_of original and rb = responses_of rewritten in
+  let responses_preserved =
+    List.length ra = List.length rb
+    && List.for_all2
+         (fun (p1, o1, r1) (p2, o2, r2) -> p1 = p2 && Op.equal o1 o2 && Value.equal r1 r2)
+         ra rb
+  in
+  let steps_all_correct = Trace.audit ~world rewritten = [] in
+  let count_corruptions t =
+    List.fold_left (fun acc -> function Trace.Corruption _ -> acc + 1 | _ -> acc) 0 t
+  in
+  {
+    responses_preserved;
+    steps_all_correct;
+    corruptions_added = count_corruptions rewritten - count_corruptions original;
+  }

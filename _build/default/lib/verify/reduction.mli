@@ -1,0 +1,27 @@
+(** The §3.4 reduction: an invisible CAS fault is a data fault in
+    disguise.
+
+    The paper argues that an execution containing an invisible fault (the
+    CAS returns a wrong [old] value) is indistinguishable from a data-
+    fault execution in which the register is corrupted to the returned
+    value just before the CAS and restored just after. This module
+    performs that trace rewriting and checks the indistinguishability
+    claims, making the reduction executable (experiment E8). *)
+
+open Ffault_sim
+
+val invisible_to_data : Trace.t -> Trace.t
+(** Replace every invisible-fault step by corrupt-before / correct-CAS /
+    corrupt-after. All other events are preserved. *)
+
+type check = {
+  responses_preserved : bool;
+      (** every process observes the same response sequence in both traces *)
+  steps_all_correct : bool;
+      (** every operation step of the rewritten trace satisfies Φ *)
+  corruptions_added : int;
+}
+
+val pp_check : Format.formatter -> check -> unit
+
+val verify : world:World.t -> original:Trace.t -> rewritten:Trace.t -> check

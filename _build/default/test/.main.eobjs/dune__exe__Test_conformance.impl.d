@@ -1,0 +1,1 @@
+test/test_conformance.ml: Alcotest Array Ffault_consensus Ffault_fault Ffault_objects Ffault_runtime Ffault_sim Ffault_verify Gen List Option QCheck QCheck_alcotest Value

@@ -1,0 +1,1 @@
+test/test_consensus.ml: Alcotest Array Ffault_consensus Ffault_fault Ffault_objects Ffault_sim Int Int64 Kind List Op QCheck QCheck_alcotest String Test_objects Value

@@ -1,0 +1,1 @@
+test/test_crash_tolerance.ml: Alcotest Array Ffault_consensus Ffault_fault Ffault_objects Ffault_sim Ffault_verify Fmt List Test_objects Value

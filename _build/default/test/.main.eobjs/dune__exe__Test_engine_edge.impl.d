@@ -1,0 +1,1 @@
+test/test_engine_edge.ml: Alcotest Array Ffault_consensus Ffault_fault Ffault_objects Ffault_sim Ffault_verify Fmt Int64 List Obj_id Op QCheck QCheck_alcotest String Test_objects Value

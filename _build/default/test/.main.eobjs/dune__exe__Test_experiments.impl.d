@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Ffault_consensus Ffault_experiments Ffault_fault Ffault_prng Ffault_verify Fmt Int64 List

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Ffault_consensus Ffault_fault Ffault_hoare Ffault_objects Ffault_sim Ffault_verify Hashtbl List Obj_id Op Option Value

@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Ffault_fault Ffault_objects Kind List Obj_id Op Semantics Test_objects Value

@@ -1,0 +1,1 @@
+test/test_history.ml: Alcotest Array Ffault_objects History Kind Linearizability List Op QCheck QCheck_alcotest Semantics Value

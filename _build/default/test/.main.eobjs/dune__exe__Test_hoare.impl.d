@@ -1,0 +1,1 @@
+test/test_hoare.ml: Alcotest Ffault_fault Ffault_hoare Ffault_objects Kind List Op QCheck QCheck_alcotest Semantics Test_objects Value

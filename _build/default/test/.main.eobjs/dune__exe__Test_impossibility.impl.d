@@ -1,0 +1,1 @@
+test/test_impossibility.ml: Alcotest Ffault_consensus Ffault_fault Ffault_impossibility Ffault_objects Ffault_sim Ffault_verify Fmt Int List Obj_id Test_objects Value

@@ -1,0 +1,1 @@
+test/test_objects.ml: Alcotest Ffault_objects Kind List Op QCheck QCheck_alcotest Semantics Value

@@ -1,0 +1,1 @@
+test/test_primitives.ml: Alcotest Ffault_consensus Ffault_fault Ffault_hoare Ffault_objects Ffault_sim Ffault_verify Gen Kind List Op QCheck QCheck_alcotest Semantics Test_objects Value Vqueue

@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Ffault_prng Int64 List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Atomic Ffault_objects Ffault_runtime Fmt Int64 List QCheck QCheck_alcotest Value

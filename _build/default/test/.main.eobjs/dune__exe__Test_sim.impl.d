@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Ffault_fault Ffault_objects Ffault_sim Fmt Kind List Obj_id String Test_objects Value

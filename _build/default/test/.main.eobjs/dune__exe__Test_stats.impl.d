@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Ffault_stats Gen List QCheck QCheck_alcotest

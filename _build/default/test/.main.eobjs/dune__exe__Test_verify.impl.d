@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Ffault_consensus Ffault_fault Ffault_objects Ffault_prng Ffault_sim Ffault_verify List Obj_id Value

@@ -1,0 +1,228 @@
+(* Cross-substrate conformance: the same algorithm text (the Algorithms
+   functor), the same per-object fault script, the same sequential
+   execution order — run once on the simulator and once on real atomics —
+   must produce identical decisions. This is the "one algorithm, two
+   substrates" design commitment, tested. *)
+
+open Ffault_objects
+module Sim = Ffault_sim
+module Fault = Ffault_fault
+module Consensus = Ffault_consensus
+module Protocol = Consensus.Protocol
+module Check = Ffault_verify.Consensus_check
+module R = Ffault_runtime
+module Algorithms = Consensus.Algorithms
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+module type DECIDERS = sig
+  val single_cas_decide : input:R.Packed.t -> R.Packed.t
+  val sweep_decide : objects:int -> input:R.Packed.t -> R.Packed.t
+  val staged_decide : f:int -> max_stage:int -> input:R.Packed.t -> R.Packed.t
+  val silent_retry_decide : input:R.Packed.t -> R.Packed.t
+end
+
+(* Runtime side: single-threaded sequential decides over Faulty_cas cells
+   with per-object plans. *)
+let runtime_decide ~objects ~script ~style ~(decide_all : (module DECIDERS) -> int list) =
+  let plan_of o =
+    match List.assoc_opt o script with
+    | Some ks ->
+        {
+          R.Faulty_cas.plan_name = "scripted";
+          fire = (fun ~op_index -> List.mem op_index ks);
+        }
+    | None -> R.Faulty_cas.plan_never
+  in
+  let cells =
+    Array.init objects (fun o ->
+        R.Faulty_cas.make ~plan:(plan_of o) ~style ~init:R.Packed.bottom ())
+  in
+  let module S = struct
+    type value = R.Packed.t
+
+    let bottom = R.Packed.bottom
+    let equal = R.Packed.equal
+    let mk_staged v s = R.Packed.staged ~value:(R.Packed.to_int v) ~stage:s
+    let stage_of = R.Packed.stage_of
+    let unstage = R.Packed.unstage
+    let cas i ~expected ~desired = R.Faulty_cas.cas cells.(i) ~expected ~desired
+  end in
+  let module A = Algorithms.Make (S) in
+  decide_all (module A : DECIDERS)
+
+(* Simulator side: solo-runs scheduler = the same sequential order. *)
+let sim_decide ~protocol ~params ~script ~allowed =
+  let setup = Check.setup ~allowed_faults:allowed protocol params in
+  let n = params.Protocol.n_procs in
+  let report =
+    Check.run setup
+      ~scheduler:(Sim.Scheduler.solo_runs ~order:(List.init n (fun i -> i)))
+      ~injector:(Fault.Injector.on_object_invocations script)
+      ()
+  in
+  List.map
+    (fun (_, v) -> match v with Value.Int i -> i | _ -> -1)
+    (Ffault_sim.Engine.decided_values report.Check.result)
+
+let test_sweep_conformance_scripts () =
+  (* several per-object fault scripts over the 3-object sweep, 3 procs *)
+  let scripts =
+    [
+      [];
+      [ (0, [ 0 ]) ];
+      [ (0, [ 1 ]); (1, [ 0 ]) ];
+      [ (0, [ 0; 1; 2 ]); (2, [ 1 ]) ];
+      [ (1, [ 2 ]); (2, [ 0; 2 ]) ];
+    ]
+  in
+  List.iter
+    (fun script ->
+      let params = Protocol.params ~n_procs:3 ~f:3 () in
+      let sim_result =
+        sim_decide ~protocol:(Consensus.F_tolerant.with_objects 3) ~params ~script
+          ~allowed:[ Fault.Fault_kind.Overriding ]
+      in
+      let rt_result =
+        runtime_decide ~objects:3 ~script ~style:R.Faulty_cas.Override
+          ~decide_all:(fun (module A) ->
+            List.map
+              (fun me ->
+                R.Packed.to_int
+                  (A.sweep_decide ~objects:3 ~input:(R.Packed.of_int (100 + me))))
+              [ 0; 1; 2 ])
+      in
+      check (Alcotest.list Alcotest.int) "identical decisions" sim_result rt_result)
+    scripts
+
+let test_staged_conformance () =
+  let f = 2 and t = 1 in
+  let ms = Consensus.Bounded_faults.max_stage ~f ~t in
+  List.iter
+    (fun script ->
+      let params = Protocol.params ~t ~n_procs:3 ~f () in
+      let sim_result =
+        sim_decide ~protocol:Consensus.Bounded_faults.protocol ~params ~script
+          ~allowed:[ Fault.Fault_kind.Overriding ]
+      in
+      let rt_result =
+        runtime_decide ~objects:f ~script ~style:R.Faulty_cas.Override
+          ~decide_all:(fun (module A) ->
+            List.map
+              (fun me ->
+                R.Packed.to_int
+                  (A.staged_decide ~f ~max_stage:ms ~input:(R.Packed.of_int (100 + me))))
+              [ 0; 1; 2 ])
+      in
+      check (Alcotest.list Alcotest.int) "identical decisions" sim_result rt_result)
+    [ []; [ (0, [ 0 ]) ]; [ (1, [ 3 ]) ] ]
+
+let test_silent_conformance () =
+  (* the retry protocol under suppressed writes, scripted identically *)
+  let script = [ (0, [ 0; 2 ]) ] in
+  let params = Protocol.params ~t:4 ~n_procs:3 ~f:1 () in
+  let setup =
+    Check.setup ~allowed_faults:[ Fault.Fault_kind.Silent ] Consensus.Silent_retry.protocol
+      params
+  in
+  let report =
+    Check.run setup
+      ~scheduler:(Sim.Scheduler.solo_runs ~order:[ 0; 1; 2 ])
+      ~injector:(Fault.Injector.on_object_invocations ~kind:Fault.Fault_kind.Silent script)
+      ()
+  in
+  let sim_result =
+    List.map
+      (fun (_, v) -> match v with Value.Int i -> i | _ -> -1)
+      (Ffault_sim.Engine.decided_values report.Check.result)
+  in
+  let rt_result =
+    runtime_decide ~objects:1 ~script ~style:R.Faulty_cas.Suppress
+      ~decide_all:(fun (module A) ->
+        List.map
+          (fun me -> R.Packed.to_int (A.silent_retry_decide ~input:(R.Packed.of_int (100 + me))))
+          [ 0; 1; 2 ])
+  in
+  check (Alcotest.list Alcotest.int) "identical decisions" sim_result rt_result
+
+let prop_random_scripts_conform =
+  QCheck.Test.make ~name:"random per-object fault scripts conform across substrates"
+    ~count:100
+    QCheck.(pair (list_of_size (Gen.int_range 0 4) (pair (int_bound 2) (int_bound 5))) unit)
+    (fun (raw, ()) ->
+      (* normalize to a per-object script *)
+      let script =
+        List.sort_uniq compare raw
+        |> List.fold_left
+             (fun acc (o, k) ->
+               let prev = Option.value ~default:[] (List.assoc_opt o acc) in
+               (o, k :: prev) :: List.remove_assoc o acc)
+             []
+      in
+      let params = Protocol.params ~n_procs:3 ~f:3 () in
+      let sim_result =
+        sim_decide ~protocol:(Consensus.F_tolerant.with_objects 3) ~params ~script
+          ~allowed:[ Fault.Fault_kind.Overriding ]
+      in
+      let rt_result =
+        runtime_decide ~objects:3 ~script ~style:R.Faulty_cas.Override
+          ~decide_all:(fun (module A) ->
+            List.map
+              (fun me ->
+                R.Packed.to_int
+                  (A.sweep_decide ~objects:3 ~input:(R.Packed.of_int (100 + me))))
+              [ 0; 1; 2 ])
+      in
+      sim_result = rt_result)
+
+(* Runtime silent-fault unit checks. *)
+let test_runtime_suppress_semantics () =
+  let c =
+    R.Faulty_cas.make ~plan:R.Faulty_cas.plan_always ~style:R.Faulty_cas.Suppress
+      ~init:R.Packed.bottom ()
+  in
+  let old = R.Faulty_cas.cas c ~expected:R.Packed.bottom ~desired:(R.Packed.of_int 5) in
+  check Alcotest.bool "truthful old" true (R.Packed.is_bottom old);
+  check Alcotest.bool "write suppressed" true (R.Packed.is_bottom (R.Faulty_cas.peek c));
+  check Alcotest.int "charged" 1 (R.Faulty_cas.observable_faults c)
+
+let test_runtime_suppress_unobservable_refund () =
+  (* comparison fails anyway: suppression changes nothing *)
+  let c =
+    R.Faulty_cas.make ~plan:R.Faulty_cas.plan_always ~style:R.Faulty_cas.Suppress
+      ~init:(R.Packed.of_int 3) ()
+  in
+  let old = R.Faulty_cas.cas c ~expected:R.Packed.bottom ~desired:(R.Packed.of_int 5) in
+  check Alcotest.int "old is 3" 3 (R.Packed.to_int old);
+  check Alcotest.int "refunded" 0 (R.Faulty_cas.observable_faults c)
+
+let test_runtime_silent_retry_protocol () =
+  (* bounded silent faults on domains: retry decides consistently *)
+  for k = 1 to 20 do
+    let cfg =
+      R.Consensus_mc.config
+        ~plan_for:(fun _ -> R.Faulty_cas.plan_first_n 3)
+        ~style:R.Faulty_cas.Suppress ~t_bound:3 ~n_domains:3 R.Consensus_mc.Silent_retry
+    in
+    ignore k;
+    let r = R.Consensus_mc.execute cfg in
+    check Alcotest.bool "agreed and valid" true (r.R.Consensus_mc.agreed && r.R.Consensus_mc.valid)
+  done
+
+let suites =
+  [
+    ( "conformance",
+      [
+        Alcotest.test_case "sweep scripts" `Quick test_sweep_conformance_scripts;
+        Alcotest.test_case "staged scripts" `Quick test_staged_conformance;
+        Alcotest.test_case "silent retry" `Quick test_silent_conformance;
+        qcheck prop_random_scripts_conform;
+      ] );
+    ( "runtime.silent",
+      [
+        Alcotest.test_case "suppress semantics" `Quick test_runtime_suppress_semantics;
+        Alcotest.test_case "suppress refund" `Quick test_runtime_suppress_unobservable_refund;
+        Alcotest.test_case "silent retry on domains" `Slow test_runtime_silent_retry_protocol;
+      ] );
+  ]

@@ -1,0 +1,300 @@
+(* Tests for the consensus library: protocol metadata, the Algorithms
+   functor on a deterministic local substrate, the op codec, and the
+   universal construction. *)
+
+open Ffault_objects
+module Consensus = Ffault_consensus
+module Protocol = Consensus.Protocol
+module Algorithms = Consensus.Algorithms
+module Op_codec = Consensus.Op_codec
+module Universal = Consensus.Universal
+module Sim = Ffault_sim
+module Fault = Ffault_fault
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+let i n = Value.Int n
+let value_testable = Test_objects.value_testable_for_reuse
+
+(* ---- Protocol metadata ---- *)
+
+let test_params_validation () =
+  Alcotest.check_raises "n < 1" (Invalid_argument "Protocol.params: n_procs < 1") (fun () ->
+      ignore (Protocol.params ~n_procs:0 ~f:1 ()));
+  Alcotest.check_raises "f < 0" (Invalid_argument "Protocol.params: f < 0") (fun () ->
+      ignore (Protocol.params ~n_procs:1 ~f:(-1) ()));
+  Alcotest.check_raises "t < 1" (Invalid_argument "Protocol.params: t < 1") (fun () ->
+      ignore (Protocol.params ~t:0 ~n_procs:1 ~f:1 ()))
+
+let test_default_inputs_distinct () =
+  let inputs = Protocol.default_inputs (Protocol.params ~n_procs:5 ~f:1 ()) in
+  let as_list = Array.to_list inputs in
+  check Alcotest.int "distinct" 5 (List.length (List.sort_uniq Value.compare as_list));
+  check Alcotest.bool "no bottom" true (List.for_all (fun v -> not (Value.is_bottom v)) as_list)
+
+let test_envelopes () =
+  let p ~n ?t ~f () = Protocol.params ?t ~n_procs:n ~f () in
+  check Alcotest.bool "herlihy f=0" true
+    (Consensus.Single_cas.herlihy.Protocol.in_envelope (p ~n:10 ~f:0 ()));
+  check Alcotest.bool "herlihy f=1" false
+    (Consensus.Single_cas.herlihy.Protocol.in_envelope (p ~n:10 ~f:1 ()));
+  check Alcotest.bool "fig1 n=2" true
+    (Consensus.Single_cas.two_process.Protocol.in_envelope (p ~n:2 ~f:1 ()));
+  check Alcotest.bool "fig1 n=3" false
+    (Consensus.Single_cas.two_process.Protocol.in_envelope (p ~n:3 ~f:1 ()));
+  check Alcotest.bool "fig2 any" true
+    (Consensus.F_tolerant.protocol.Protocol.in_envelope (p ~n:9 ~f:4 ()));
+  check Alcotest.bool "fig3 in" true
+    (Consensus.Bounded_faults.protocol.Protocol.in_envelope (p ~n:3 ~t:2 ~f:2 ()));
+  check Alcotest.bool "fig3 n too big" false
+    (Consensus.Bounded_faults.protocol.Protocol.in_envelope (p ~n:4 ~t:2 ~f:2 ()));
+  check Alcotest.bool "fig3 needs bounded t" false
+    (Consensus.Bounded_faults.protocol.Protocol.in_envelope (p ~n:3 ~f:2 ()));
+  check Alcotest.bool "silent retry needs bounded t" false
+    (Consensus.Silent_retry.protocol.Protocol.in_envelope (p ~n:3 ~f:1 ()))
+
+let test_objects_counts () =
+  let count proto params = List.length (proto.Protocol.objects params) in
+  check Alcotest.int "fig1 one object" 1
+    (count Consensus.Single_cas.two_process (Protocol.params ~n_procs:2 ~f:3 ()));
+  check Alcotest.int "fig2 f+1 objects" 4
+    (count Consensus.F_tolerant.protocol (Protocol.params ~n_procs:2 ~f:3 ()));
+  check Alcotest.int "fig3 f objects" 3
+    (count Consensus.Bounded_faults.protocol (Protocol.params ~t:1 ~n_procs:2 ~f:3 ()));
+  check Alcotest.int "sweep-m" 5
+    (count (Consensus.F_tolerant.with_objects 5) (Protocol.params ~n_procs:2 ~f:1 ()))
+
+let test_max_stage_formula () =
+  check Alcotest.int "t(4f+f\xc2\xb2) f=2 t=1" 12 (Consensus.Bounded_faults.max_stage ~f:2 ~t:1);
+  check Alcotest.int "f=3 t=2" 42 (Consensus.Bounded_faults.max_stage ~f:3 ~t:2);
+  check Alcotest.int "f=1 t=1" 5 (Consensus.Bounded_faults.max_stage ~f:1 ~t:1)
+
+(* ---- The Algorithms functor on a local, deterministic substrate ----
+
+   The substrate is a plain array of cells with a scripted fault plan:
+   operation k is faulty iff k appears in the plan. This isolates the
+   protocol logic from the engine. *)
+
+module Local = struct
+  type t = { cells : Value.t array; mutable op_count : int; faulty_ops : int list }
+
+  let make ~objects ~faulty_ops =
+    { cells = Array.make objects Value.Bottom; op_count = 0; faulty_ops }
+
+  let substrate box : (module Algorithms.SUBSTRATE with type value = Value.t) =
+    (module struct
+      type value = Value.t
+
+      let bottom = Value.Bottom
+      let equal = Value.equal
+      let mk_staged value stage = Value.Staged { value; stage }
+      let stage_of = function Value.Staged { stage; _ } -> stage | _ -> -1
+      let unstage = function Value.Staged { value; _ } -> value | v -> v
+
+      let cas idx ~expected ~desired =
+        let k = box.op_count in
+        box.op_count <- k + 1;
+        let old = box.cells.(idx) in
+        if List.mem k box.faulty_ops then box.cells.(idx) <- desired (* overriding *)
+        else if Value.equal old expected then box.cells.(idx) <- desired;
+        old
+    end)
+end
+
+let test_single_cas_logic () =
+  let box = Local.make ~objects:1 ~faulty_ops:[] in
+  let (module S) = Local.substrate box in
+  let module A = Algorithms.Make ((val Local.substrate box)) in
+  check value_testable "first decides own" (i 1) (A.single_cas_decide ~input:(i 1));
+  check value_testable "second adopts" (i 1) (A.single_cas_decide ~input:(i 2))
+
+let test_sweep_logic_adoption () =
+  let box = Local.make ~objects:3 ~faulty_ops:[] in
+  let module A = Algorithms.Make ((val Local.substrate box)) in
+  check value_testable "winner" (i 1) (A.sweep_decide ~objects:3 ~input:(i 1));
+  check value_testable "latecomer adopts" (i 1) (A.sweep_decide ~objects:3 ~input:(i 2));
+  check value_testable "third adopts too" (i 1) (A.sweep_decide ~objects:3 ~input:(i 3))
+
+let test_sweep_logic_with_faults () =
+  (* ops 3,4,5 are p2's sweep; make its first CAS faulty: it overrides O_0
+     but still adopts the truthful old value. *)
+  let box = Local.make ~objects:3 ~faulty_ops:[ 3 ] in
+  let module A = Algorithms.Make ((val Local.substrate box)) in
+  check value_testable "winner" (i 1) (A.sweep_decide ~objects:3 ~input:(i 1));
+  check value_testable "faulty sweeper still adopts" (i 1)
+    (A.sweep_decide ~objects:3 ~input:(i 2))
+
+let test_staged_logic_solo () =
+  (* One process, no faults: must terminate and decide its own input. *)
+  let box = Local.make ~objects:2 ~faulty_ops:[] in
+  let module A = Algorithms.Make ((val Local.substrate box)) in
+  let ms = Consensus.Bounded_faults.max_stage ~f:2 ~t:1 in
+  check value_testable "solo decides own input" (i 7)
+    (A.staged_decide ~f:2 ~max_stage:ms ~input:(i 7));
+  (* A latecomer adopts the settled value. *)
+  check value_testable "latecomer adopts" (i 7)
+    (A.staged_decide ~f:2 ~max_stage:ms ~input:(i 8))
+
+let test_staged_logic_sequential_many () =
+  let box = Local.make ~objects:3 ~faulty_ops:[] in
+  let module A = Algorithms.Make ((val Local.substrate box)) in
+  let ms = Consensus.Bounded_faults.max_stage ~f:3 ~t:2 in
+  let d1 = A.staged_decide ~f:3 ~max_stage:ms ~input:(i 1) in
+  let d2 = A.staged_decide ~f:3 ~max_stage:ms ~input:(i 2) in
+  let d3 = A.staged_decide ~f:3 ~max_stage:ms ~input:(i 3) in
+  check value_testable "agree 1" d1 d2;
+  check value_testable "agree 2" d1 d3
+
+let test_silent_retry_logic () =
+  (* A silent fault would leave the cell at ⊥; here the substrate's fault
+     is overriding, so model silence with an explicit two-step check:
+     without faults, winner needs two CASes (its success is invisible). *)
+  let box = Local.make ~objects:1 ~faulty_ops:[] in
+  let module A = Algorithms.Make ((val Local.substrate box)) in
+  check value_testable "winner reads back own value" (i 4)
+    (A.silent_retry_decide ~input:(i 4));
+  check Alcotest.int "took two CASes" 2 box.Local.op_count;
+  check value_testable "latecomer adopts" (i 4) (A.silent_retry_decide ~input:(i 5))
+
+(* ---- Op codec ---- *)
+
+let op_gen =
+  let open QCheck.Gen in
+  let value_gen = QCheck.gen Test_objects.value_arb_for_reuse in
+  oneof
+    [
+      map2 (fun expected desired -> Op.Cas { expected; desired }) value_gen value_gen;
+      return Op.Read;
+      map (fun v -> Op.Write v) value_gen;
+      return Op.Test_and_set;
+      return Op.Reset;
+      map (fun n -> Op.Fetch_and_add n) small_signed_int;
+    ]
+
+let prop_op_codec_roundtrip =
+  QCheck.Test.make ~name:"Op_codec roundtrip" ~count:300
+    (QCheck.make ~print:Op.to_string op_gen) (fun op ->
+      match Op_codec.decode (Op_codec.encode op) with
+      | Some op' -> Op.equal op op'
+      | None -> false)
+
+let test_op_codec_rejects_junk () =
+  check Alcotest.bool "junk" true (Op_codec.decode (Value.Int 5) = None);
+  check Alcotest.bool "bad tag" true (Op_codec.decode (Value.Pair (Str "nope", Bottom)) = None)
+
+(* ---- Universal construction (under the engine) ---- *)
+
+let run_universal_counter ~n ~ops_per_proc ~f ~fault_p ~seed =
+  let cfg =
+    Universal.config ~f
+      ~slots:((n * ops_per_proc) + 2)
+      ~kind:Kind.Fetch_and_add ~init:(Value.Int 0) ()
+  in
+  let world = Sim.World.make ~n_procs:n (Universal.world_objects cfg) in
+  let responses = Array.make n [] in
+  let states = Array.make n Value.Bottom in
+  let body me () =
+    let h = Universal.create cfg ~me in
+    for _ = 1 to ops_per_proc do
+      responses.(me) <- Universal.apply h (Op.Fetch_and_add 1) :: responses.(me)
+    done;
+    states.(me) <- Universal.local_state h;
+    Value.Int 0
+  in
+  let budget = Fault.Budget.create ~max_faulty_objects:f ~max_faults_per_object:None () in
+  let engine_cfg = Sim.Engine.config ~max_steps_per_proc:50_000 ~world ~budget () in
+  let injector =
+    if fault_p <= 0.0 then Fault.Injector.never
+    else Fault.Injector.probabilistic ~seed ~p:fault_p Fault.Fault_kind.Overriding
+  in
+  let result =
+    Sim.Engine.run engine_cfg
+      ~scheduler:(Sim.Scheduler.random ~seed:(Int64.add seed 3L))
+      ~injector ~bodies:(Array.init n body) ()
+  in
+  (result, responses, states)
+
+let counter_responses_ok responses ~expected_total =
+  let all =
+    Array.to_list responses |> List.concat
+    |> List.filter_map (function Value.Int i -> Some i | _ -> None)
+    |> List.sort Int.compare
+  in
+  all = List.init expected_total (fun i -> i)
+
+let test_universal_counter_fault_free () =
+  let result, responses, _ = run_universal_counter ~n:3 ~ops_per_proc:2 ~f:1 ~fault_p:0.0 ~seed:1L in
+  check Alcotest.bool "all decided" true (Sim.Engine.all_decided result);
+  check Alcotest.bool "responses are 0..5" true (counter_responses_ok responses ~expected_total:6)
+
+let test_universal_counter_with_faults () =
+  for k = 1 to 10 do
+    let result, responses, _ =
+      run_universal_counter ~n:3 ~ops_per_proc:2 ~f:2 ~fault_p:0.6
+        ~seed:(Int64.of_int (1000 + k))
+    in
+    check Alcotest.bool "all decided" true (Sim.Engine.all_decided result);
+    check Alcotest.bool "responses are 0..5" true
+      (counter_responses_ok responses ~expected_total:6)
+  done
+
+let test_universal_log_capacity () =
+  let cfg = Universal.config ~f:0 ~slots:1 ~kind:Kind.Fetch_and_add ~init:(Value.Int 0) () in
+  let world = Sim.World.make ~n_procs:1 (Universal.world_objects cfg) in
+  let body () =
+    let h = Universal.create cfg ~me:0 in
+    ignore (Universal.apply h (Op.Fetch_and_add 1));
+    ignore (Universal.apply h (Op.Fetch_and_add 1));
+    Value.Int 0
+  in
+  let engine_cfg = Sim.Engine.config ~world ~budget:(Fault.Budget.none ()) () in
+  let r =
+    Sim.Engine.run engine_cfg
+      ~scheduler:(Sim.Scheduler.round_robin ())
+      ~injector:Fault.Injector.never ~bodies:[| body |] ()
+  in
+  match r.Sim.Engine.outcomes.(0) with
+  | Sim.Engine.Crashed msg ->
+      check Alcotest.bool "capacity failure" true
+        (String.length msg > 0)
+  | o -> Alcotest.failf "expected Crashed, got %a" Sim.Engine.pp_proc_outcome o
+
+let test_universal_config_validation () =
+  Alcotest.check_raises "bad f" (Invalid_argument "Universal.config: f < 0") (fun () ->
+      ignore (Universal.config ~f:(-1) ~kind:Kind.Register ~init:Value.Bottom ()));
+  Alcotest.check_raises "bad slots" (Invalid_argument "Universal.config: slots < 1") (fun () ->
+      ignore (Universal.config ~slots:0 ~kind:Kind.Register ~init:Value.Bottom ()))
+
+let suites =
+  [
+    ( "consensus.protocol",
+      [
+        Alcotest.test_case "params validation" `Quick test_params_validation;
+        Alcotest.test_case "default inputs" `Quick test_default_inputs_distinct;
+        Alcotest.test_case "envelopes" `Quick test_envelopes;
+        Alcotest.test_case "object counts" `Quick test_objects_counts;
+        Alcotest.test_case "maxStage formula" `Quick test_max_stage_formula;
+      ] );
+    ( "consensus.algorithms",
+      [
+        Alcotest.test_case "single cas" `Quick test_single_cas_logic;
+        Alcotest.test_case "sweep adoption" `Quick test_sweep_logic_adoption;
+        Alcotest.test_case "sweep with faults" `Quick test_sweep_logic_with_faults;
+        Alcotest.test_case "staged solo + latecomer" `Quick test_staged_logic_solo;
+        Alcotest.test_case "staged sequential agreement" `Quick
+          test_staged_logic_sequential_many;
+        Alcotest.test_case "silent retry" `Quick test_silent_retry_logic;
+      ] );
+    ( "consensus.op_codec",
+      [
+        Alcotest.test_case "rejects junk" `Quick test_op_codec_rejects_junk;
+        qcheck prop_op_codec_roundtrip;
+      ] );
+    ( "consensus.universal",
+      [
+        Alcotest.test_case "counter fault-free" `Quick test_universal_counter_fault_free;
+        Alcotest.test_case "counter with faults" `Quick test_universal_counter_with_faults;
+        Alcotest.test_case "log capacity" `Quick test_universal_log_capacity;
+        Alcotest.test_case "config validation" `Quick test_universal_config_validation;
+      ] );
+  ]

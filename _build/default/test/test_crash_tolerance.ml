@@ -1,0 +1,107 @@
+(* Wait-freedom means crash tolerance (paper §1: "a crash of a process
+   holding a lock can prevent all other processes from … completing their
+   tasks"; wait-free implementations are the fix). Demonstrated
+   operationally: schedule the other processes to completion before a
+   "crashed" process takes a single step — they must all decide without
+   it, consistently, even under faults. *)
+
+open Ffault_objects
+module Sim = Ffault_sim
+module Fault = Ffault_fault
+module Consensus = Ffault_consensus
+module Protocol = Consensus.Protocol
+module Check = Ffault_verify.Consensus_check
+module Engine = Sim.Engine
+module Trace = Sim.Trace
+
+let check = Alcotest.check
+
+(* The trace position of p's first operation, and of each Decided event. *)
+let first_op_position trace proc =
+  let rec go i = function
+    | [] -> None
+    | Trace.Op_step { proc = p; _ } :: _ when p = proc -> Some i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 trace
+
+let decided_position trace proc =
+  let rec go i = function
+    | [] -> None
+    | Trace.Decided { proc = p; _ } :: _ when p = proc -> Some i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 trace
+
+let run_with_stalled_p0 protocol params ~injector =
+  let setup = Check.setup protocol params in
+  let n = params.Protocol.n_procs in
+  Check.run setup
+    ~scheduler:(Sim.Scheduler.solo_runs ~order:(List.init (n - 1) (fun i -> i + 1)))
+    ~injector ()
+
+let assert_others_decide_before_p0 report =
+  let trace = report.Check.result.Engine.trace in
+  let p0_first = first_op_position trace 0 in
+  let n = Array.length report.Check.result.Engine.outcomes in
+  for p = 1 to n - 1 do
+    match decided_position trace p, p0_first with
+    | Some d, Some f ->
+        check Alcotest.bool (Fmt.str "p%d decided before p0's first step" p) true (d < f)
+    | Some _, None -> () (* p0 never even stepped *)
+    | None, _ -> Alcotest.failf "p%d did not decide" p
+  done;
+  (* and the full run (p0 included) is still a correct consensus *)
+  check Alcotest.bool "run is clean overall" true (Check.ok report)
+
+let test_fig2_progress_without_p0 () =
+  let params = Protocol.params ~n_procs:4 ~f:2 () in
+  let report =
+    run_with_stalled_p0 Consensus.F_tolerant.protocol params
+      ~injector:(Fault.Injector.always Fault.Fault_kind.Overriding)
+  in
+  assert_others_decide_before_p0 report
+
+let test_fig3_progress_without_p0 () =
+  let params = Protocol.params ~t:2 ~n_procs:3 ~f:2 () in
+  let report =
+    run_with_stalled_p0 Consensus.Bounded_faults.protocol params
+      ~injector:(Fault.Injector.probabilistic ~seed:3L ~p:0.5 Fault.Fault_kind.Overriding)
+  in
+  assert_others_decide_before_p0 report
+
+let test_fig1_progress_without_p0 () =
+  let params = Protocol.params ~n_procs:2 ~f:1 () in
+  let report =
+    run_with_stalled_p0 Consensus.Single_cas.two_process params
+      ~injector:(Fault.Injector.always Fault.Fault_kind.Overriding)
+  in
+  assert_others_decide_before_p0 report
+
+let test_late_riser_adopts () =
+  (* When p0 finally runs after everyone else decided, it must adopt the
+     settled value — even though its own input is different. *)
+  let params = Protocol.params ~n_procs:3 ~f:1 () in
+  let report =
+    run_with_stalled_p0 Consensus.F_tolerant.protocol params
+      ~injector:(Fault.Injector.always Fault.Fault_kind.Overriding)
+  in
+  match Engine.decided_values report.Check.result with
+  | (0, v0) :: rest ->
+      check Alcotest.bool "p0 adopted, not its own input" false
+        (Value.equal v0 (Value.Int 100));
+      List.iter
+        (fun (_, v) -> check Test_objects.value_testable_for_reuse "all equal" v0 v)
+        rest
+  | _ -> Alcotest.fail "p0 missing from decisions"
+
+let suites =
+  [
+    ( "consensus.crash-tolerance",
+      [
+        Alcotest.test_case "fig2 progresses without p0" `Quick test_fig2_progress_without_p0;
+        Alcotest.test_case "fig3 progresses without p0" `Quick test_fig3_progress_without_p0;
+        Alcotest.test_case "fig1 progresses without p0" `Quick test_fig1_progress_without_p0;
+        Alcotest.test_case "late riser adopts" `Quick test_late_riser_adopts;
+      ] );
+  ]

@@ -1,0 +1,90 @@
+(* Tests for the executable valency walk (the Theorem 18 proof device). *)
+
+open Ffault_objects
+module Consensus = Ffault_consensus
+module Protocol = Consensus.Protocol
+module Check = Ffault_verify.Consensus_check
+module Critical = Ffault_impossibility.Critical
+module Valency = Ffault_impossibility.Valency
+
+let check = Alcotest.check
+
+let test_fig1_initial_state_is_critical () =
+  (* Fault-free Fig. 1 at n = 2: the very first scheduling decision is the
+     decision step. *)
+  let setup =
+    Check.setup Consensus.Single_cas.two_process (Protocol.params ~n_procs:2 ~f:0 ())
+  in
+  match Critical.find setup with
+  | Critical.Critical { depth; children; _ } ->
+      check Alcotest.int "critical at the initial state" 0 depth;
+      check Alcotest.int "two children" 2 (List.length children);
+      let values =
+        List.filter_map
+          (fun c ->
+            match c.Critical.verdict with Valency.Univalent v -> Some v | _ -> None)
+          children
+      in
+      check Alcotest.int "both univalent" 2 (List.length values);
+      check Alcotest.bool "with different values" false
+        (Value.equal (List.nth values 0) (List.nth values 1));
+      (* and both are schedule decisions *)
+      List.iter
+        (fun c ->
+          match c.Critical.desc with
+          | Critical.Schedule _ -> ()
+          | Critical.Outcome _ -> Alcotest.fail "expected schedule decisions")
+        children
+  | r -> Alcotest.failf "expected a critical state, got %a" Critical.pp_result r
+
+let test_under_provisioned_reaches_disagreement () =
+  let setup =
+    Check.setup (Consensus.F_tolerant.with_objects 1) (Protocol.params ~n_procs:3 ~f:1 ())
+  in
+  (match Critical.find ~reduced_faulty_proc:0 setup with
+  | Critical.Disagreement { values; _ } ->
+      check Alcotest.bool "at least two values" true (List.length values >= 2)
+  | r -> Alcotest.failf "expected disagreement (reduced model), got %a" Critical.pp_result r);
+  match Critical.find setup with
+  | Critical.Disagreement _ -> ()
+  | r -> Alcotest.failf "expected disagreement (full model), got %a" Critical.pp_result r
+
+let test_correct_protocol_has_critical_state () =
+  let setup =
+    Check.setup Consensus.F_tolerant.protocol (Protocol.params ~n_procs:3 ~f:1 ())
+  in
+  match Critical.find setup with
+  | Critical.Critical { children; _ } ->
+      (* every child univalent, and at least two distinct values *)
+      let values =
+        List.filter_map
+          (fun c ->
+            match c.Critical.verdict with Valency.Univalent v -> Some v | _ -> None)
+          children
+      in
+      check Alcotest.int "all univalent" (List.length children) (List.length values);
+      check Alcotest.bool "two valencies present" true
+        (List.length (List.sort_uniq Value.compare values) >= 2)
+  | r -> Alcotest.failf "expected a critical state, got %a" Critical.pp_result r
+
+let test_univalent_start_reported () =
+  (* A single process: only its own value is ever decided. *)
+  let setup =
+    Check.setup Consensus.Single_cas.herlihy (Protocol.params ~n_procs:1 ~f:0 ())
+  in
+  match Critical.find setup with
+  | Critical.Not_found _ -> ()
+  | r -> Alcotest.failf "expected not-found on a univalent start, got %a" Critical.pp_result r
+
+let suites =
+  [
+    ( "impossibility.critical",
+      [
+        Alcotest.test_case "fig1 initial critical" `Quick test_fig1_initial_state_is_critical;
+        Alcotest.test_case "under-provisioned disagreement" `Quick
+          test_under_provisioned_reaches_disagreement;
+        Alcotest.test_case "correct protocol critical" `Slow
+          test_correct_protocol_has_critical_state;
+        Alcotest.test_case "univalent start" `Quick test_univalent_start_reported;
+      ] );
+  ]

@@ -1,0 +1,216 @@
+(* Additional engine, scheduler and harness edge cases, plus cross-cutting
+   determinism and agreement properties. *)
+
+open Ffault_objects
+module Sim = Ffault_sim
+module World = Sim.World
+module Scheduler = Sim.Scheduler
+module Engine = Sim.Engine
+module Proc = Sim.Proc
+module Trace = Sim.Trace
+module Fault = Ffault_fault
+module Fault_kind = Fault.Fault_kind
+module Budget = Fault.Budget
+module Injector = Fault.Injector
+module Consensus = Ffault_consensus
+module Protocol = Consensus.Protocol
+module Check = Ffault_verify.Consensus_check
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+let i n = Value.Int n
+let oid = Obj_id.of_int
+
+let herlihy_body input () =
+  let old = Proc.cas (oid 0) ~expected:Value.Bottom ~desired:input in
+  if Value.is_bottom old then input else old
+
+(* ---- engine edges ---- *)
+
+let test_max_total_steps_flag () =
+  (* Two processes spinning forever; total budget runs out first. *)
+  let world = World.cas_world ~n_procs:2 ~objects:1 in
+  let cfg =
+    Engine.config ~max_steps_per_proc:1000 ~max_total_steps:40 ~world
+      ~budget:(Budget.none ()) ()
+  in
+  let spin () =
+    let rec loop () =
+      ignore (Proc.cas (oid 0) ~expected:(i 999) ~desired:(i 1));
+      loop ()
+    in
+    loop ()
+  in
+  let r =
+    Engine.run cfg ~scheduler:(Scheduler.round_robin ()) ~injector:Injector.never
+      ~bodies:[| spin; spin |] ()
+  in
+  check Alcotest.bool "total limit flagged" true r.Engine.total_limit_hit;
+  check Alcotest.int "stopped at the cap" 40 r.Engine.total_steps;
+  Array.iter
+    (fun o ->
+      match o with
+      | Engine.Step_limited -> ()
+      | o -> Alcotest.failf "expected Step_limited, got %a" Engine.pp_proc_outcome o)
+    r.Engine.outcomes
+
+let test_final_states_reported () =
+  let world = World.cas_world ~n_procs:1 ~objects:2 in
+  let body () =
+    ignore (Proc.cas (oid 1) ~expected:Value.Bottom ~desired:(i 9));
+    i 0
+  in
+  let cfg = Engine.config ~world ~budget:(Budget.none ()) () in
+  let r =
+    Engine.run cfg ~scheduler:(Scheduler.round_robin ()) ~injector:Injector.never
+      ~bodies:[| body |] ()
+  in
+  check Test_objects.value_testable_for_reuse "untouched object" Value.Bottom
+    r.Engine.final_states.(0);
+  check Test_objects.value_testable_for_reuse "written object" (i 9) r.Engine.final_states.(1)
+
+let test_decided_values_in_proc_order () =
+  let world = World.cas_world ~n_procs:3 ~objects:1 in
+  let cfg = Engine.config ~world ~budget:(Budget.none ()) () in
+  let r =
+    Engine.run cfg ~scheduler:(Scheduler.round_robin ()) ~injector:Injector.never
+      ~bodies:(Array.init 3 (fun p -> herlihy_body (i (100 + p)))) ()
+  in
+  check (Alcotest.list Alcotest.int) "proc order" [ 0; 1; 2 ]
+    (List.map fst (Engine.decided_values r))
+
+let test_immediate_completion_body () =
+  (* A body that performs no shared operation at all. *)
+  let world = World.cas_world ~n_procs:2 ~objects:1 in
+  let cfg = Engine.config ~world ~budget:(Budget.none ()) () in
+  let r =
+    Engine.run cfg ~scheduler:(Scheduler.round_robin ()) ~injector:Injector.never
+      ~bodies:[| (fun () -> i 42); herlihy_body (i 101) |] ()
+  in
+  (match r.Engine.outcomes.(0) with
+  | Engine.Decided v -> check Test_objects.value_testable_for_reuse "own value" (i 42) v
+  | o -> Alcotest.failf "expected Decided, got %a" Engine.pp_proc_outcome o);
+  check Alcotest.int "no steps charged to it" 0 r.Engine.steps_taken.(0)
+
+let test_trace_pp_smoke () =
+  (* Rendering every event variant must not raise. *)
+  let world = World.cas_world ~n_procs:2 ~objects:1 in
+  let events =
+    [
+      Trace.Op_step
+        {
+          step = 0; proc = 0; obj = oid 0;
+          op = Op.Cas { expected = Value.Bottom; desired = i 1 };
+          pre_state = Value.Bottom; post_state = i 1; response = Value.Bottom;
+          injected = Some Fault_kind.Overriding;
+        };
+      Trace.Hang { step = 1; proc = 1; obj = oid 0; op = Op.Read };
+      Trace.Corruption { step = 2; obj = oid 0; before = i 1; after = i 2 };
+      Trace.Decided { step = 3; proc = 0; value = i 1 };
+      Trace.Step_limit_hit { step = 4; proc = 1 };
+      Trace.Crashed { step = 5; proc = 1; error = "boom" };
+    ]
+  in
+  let rendered = Fmt.str "%a" (Trace.pp ~world) events in
+  check Alcotest.bool "non-empty" true (String.length rendered > 50)
+
+let test_obj_id_validation () =
+  Alcotest.check_raises "negative id" (Invalid_argument "Obj_id.of_int: negative id")
+    (fun () -> ignore (oid (-1)))
+
+let test_world_unknown_object () =
+  let world = World.cas_world ~n_procs:1 ~objects:1 in
+  Alcotest.check_raises "unknown object" (Invalid_argument "World: unknown object O5")
+    (fun () -> ignore (World.kind_of world (oid 5)))
+
+(* ---- properties ---- *)
+
+let prop_engine_deterministic =
+  QCheck.Test.make ~name:"identical seeds give identical runs" ~count:60 QCheck.int64
+    (fun seed ->
+      let go () =
+        let world = World.cas_world ~n_procs:3 ~objects:2 in
+        let budget = Budget.create ~max_faulty_objects:2 ~max_faults_per_object:(Some 2) () in
+        let cfg = Engine.config ~world ~budget () in
+        let body p () =
+          let v = i (100 + p) in
+          let old0 = Proc.cas (oid 0) ~expected:Value.Bottom ~desired:v in
+          let est = if Value.is_bottom old0 then v else old0 in
+          let old1 = Proc.cas (oid 1) ~expected:Value.Bottom ~desired:est in
+          if Value.is_bottom old1 then est else old1
+        in
+        let r =
+          Engine.run cfg
+            ~scheduler:(Scheduler.random ~seed)
+            ~injector:
+              (Injector.probabilistic ~seed:(Int64.add seed 1L) ~p:0.5 Fault_kind.Overriding)
+            ~bodies:(Array.init 3 body) ()
+        in
+        (Engine.decided_values r, r.Engine.total_steps,
+         Fault.Budget.total_faults r.Engine.budget)
+      in
+      go () = go ())
+
+let prop_fig2_agreement_random_settings =
+  QCheck.Test.make ~name:"fig2 agrees across random (f, n, seed)" ~count:60
+    QCheck.(triple (int_range 1 4) (int_range 2 6) int64)
+    (fun (f, n, seed) ->
+      let setup = Check.setup Consensus.F_tolerant.protocol (Protocol.params ~n_procs:n ~f ()) in
+      let report =
+        Check.run setup
+          ~scheduler:(Scheduler.random ~seed)
+          ~injector:(Injector.probabilistic ~seed:(Int64.add seed 7L) ~p:0.6 Fault_kind.Overriding)
+          ()
+      in
+      Check.ok report)
+
+let prop_fig3_agreement_random_settings =
+  QCheck.Test.make ~name:"fig3 agrees across random (f, t, seed)" ~count:40
+    QCheck.(triple (int_range 1 3) (int_range 1 2) int64)
+    (fun (f, t, seed) ->
+      let setup =
+        Check.setup Consensus.Bounded_faults.protocol
+          (Protocol.params ~t ~n_procs:(f + 1) ~f ())
+      in
+      let report =
+        Check.run setup
+          ~scheduler:(Scheduler.random ~seed)
+          ~injector:(Injector.probabilistic ~seed:(Int64.add seed 3L) ~p:0.5 Fault_kind.Overriding)
+          ()
+      in
+      Check.ok report)
+
+let prop_audit_always_clean =
+  (* Whatever the engine does within its rules, the Definition-1 audit of
+     the produced trace must be clean. *)
+  QCheck.Test.make ~name:"engine traces always pass the \xce\xa6/\xce\xa6' audit" ~count:60
+    QCheck.int64 (fun seed ->
+      let world = World.cas_world ~n_procs:3 ~objects:2 in
+      let budget = Budget.create ~max_faulty_objects:2 ~max_faults_per_object:None () in
+      let cfg = Engine.config ~world ~budget () in
+      let r =
+        Engine.run cfg
+          ~scheduler:(Scheduler.random ~seed)
+          ~injector:(Injector.always Fault_kind.Overriding)
+          ~bodies:(Array.init 3 (fun p -> herlihy_body (i (100 + p)))) ()
+      in
+      Trace.audit ~world r.Engine.trace = [])
+
+let suites =
+  [
+    ( "sim.engine-edge",
+      [
+        Alcotest.test_case "max total steps" `Quick test_max_total_steps_flag;
+        Alcotest.test_case "final states" `Quick test_final_states_reported;
+        Alcotest.test_case "decided values order" `Quick test_decided_values_in_proc_order;
+        Alcotest.test_case "immediate completion" `Quick test_immediate_completion_body;
+        Alcotest.test_case "trace pp smoke" `Quick test_trace_pp_smoke;
+        Alcotest.test_case "obj id validation" `Quick test_obj_id_validation;
+        Alcotest.test_case "world unknown object" `Quick test_world_unknown_object;
+        qcheck prop_engine_deterministic;
+        qcheck prop_audit_always_clean;
+      ] );
+    ( "consensus.properties",
+      [ qcheck prop_fig2_agreement_random_settings; qcheck prop_fig3_agreement_random_settings ]
+    );
+  ]

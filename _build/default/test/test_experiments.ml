@@ -1,0 +1,119 @@
+(* Integration tests: every paper experiment must reproduce in quick
+   mode, and the protocol constructions must hold up end-to-end under
+   their theorem envelopes (the theorem-level acceptance tests). *)
+
+module Experiments = Ffault_experiments
+module Consensus = Ffault_consensus
+module Protocol = Consensus.Protocol
+module Check = Ffault_verify.Consensus_check
+module Mass = Ffault_verify.Mass
+module Fault = Ffault_fault
+module Rng = Ffault_prng.Rng
+
+let check = Alcotest.check
+
+let test_registry_complete () =
+  check Alcotest.int "fourteen experiments" 14 (List.length Experiments.Registry.all);
+  check Alcotest.bool "find E5" true (Experiments.Registry.find "e5" <> None);
+  check Alcotest.bool "find unknown" true (Experiments.Registry.find "E99" = None)
+
+let run_experiment id =
+  match Experiments.Registry.find id with
+  | None -> Alcotest.failf "experiment %s not registered" id
+  | Some e ->
+      let r = e.Experiments.Registry.run ~quick:true ~seed:0xACCE57L in
+      check Alcotest.bool (id ^ " reproduced") true r.Experiments.Report.passed;
+      check Alcotest.bool (id ^ " has tables") true (r.Experiments.Report.tables <> [])
+
+let experiment_case id =
+  Alcotest.test_case (id ^ " reproduces (quick)") `Slow (fun () -> run_experiment id)
+
+(* Theorem-level acceptance: each construction holds across a randomized
+   envelope sweep with per-case seeds (beyond what the experiments
+   sample). *)
+let test_fig3_envelope_sweep () =
+  List.iter
+    (fun (f, t) ->
+      let params = Protocol.params ~t ~n_procs:(f + 1) ~f () in
+      let setup = Check.setup Consensus.Bounded_faults.protocol params in
+      let summary =
+        Mass.run
+          ~injector:(fun rng ->
+            Fault.Injector.probabilistic ~seed:(Rng.next_seed rng) ~p:0.6
+              Fault.Fault_kind.Overriding)
+          ~n_runs:150
+          ~base_seed:(Int64.of_int ((f * 100) + t))
+          setup
+      in
+      check Alcotest.int (Fmt.str "fig3 f=%d t=%d clean" f t) 0 summary.Mass.failure_count)
+    [ (1, 1); (1, 3); (2, 1); (2, 2); (3, 1) ]
+
+let test_fig2_envelope_sweep () =
+  List.iter
+    (fun (f, n) ->
+      let params = Protocol.params ~n_procs:n ~f () in
+      let setup = Check.setup Consensus.F_tolerant.protocol params in
+      let summary =
+        Mass.run
+          ~injector:(fun _ -> Fault.Injector.always Fault.Fault_kind.Overriding)
+          ~n_runs:150
+          ~base_seed:(Int64.of_int ((f * 1000) + n))
+          setup
+      in
+      check Alcotest.int (Fmt.str "fig2 f=%d n=%d clean" f n) 0 summary.Mass.failure_count)
+    [ (1, 2); (1, 5); (2, 3); (3, 6); (4, 4) ]
+
+let test_step_hints_have_headroom () =
+  (* The wait-freedom budgets (max_steps_hint) must dominate measured
+     worst cases outright — the checker's slack is a safety margin, not a
+     crutch. *)
+  List.iter
+    (fun (protocol, f, t, n) ->
+      let params = Protocol.params ?t ~n_procs:n ~f () in
+      let setup = Check.setup protocol params in
+      let summary =
+        Mass.run
+          ~injector:(fun rng ->
+            Fault.Injector.probabilistic ~seed:(Rng.next_seed rng) ~p:0.6
+              Fault.Fault_kind.Overriding)
+          ~n_runs:150
+          ~base_seed:(Int64.of_int ((f * 31) + n))
+          setup
+      in
+      let hint = protocol.Protocol.max_steps_hint params in
+      check Alcotest.bool
+        (Fmt.str "%s: measured %d <= hint %d" protocol.Protocol.name
+           summary.Mass.max_steps_one_proc hint)
+        true
+        (summary.Mass.max_steps_one_proc <= hint))
+    [
+      (Consensus.Single_cas.two_process, 1, None, 2);
+      (Consensus.F_tolerant.protocol, 3, None, 5);
+      (Consensus.Bounded_faults.protocol, 2, Some 2, 3);
+      (Consensus.Bounded_faults.protocol, 3, Some 1, 4);
+    ]
+
+let suites =
+  [
+    ( "experiments",
+      [
+        Alcotest.test_case "registry" `Quick test_registry_complete;
+        experiment_case "E1";
+        experiment_case "E2";
+        experiment_case "E3";
+        experiment_case "E4";
+        experiment_case "E5";
+        experiment_case "E6";
+        experiment_case "E7";
+        experiment_case "E8";
+        experiment_case "E9";
+        experiment_case "E10";
+        experiment_case "E11";
+        experiment_case "E12";
+        experiment_case "E13";
+        experiment_case "E14";
+        Alcotest.test_case "fig3 envelope sweep" `Slow test_fig3_envelope_sweep;
+        Alcotest.test_case "fig2 envelope sweep" `Slow test_fig2_envelope_sweep;
+        Alcotest.test_case "step hints have headroom" `Slow test_step_hints_have_headroom;
+      ] );
+  ]

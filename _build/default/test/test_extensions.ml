@@ -1,0 +1,272 @@
+(* Tests for the extension layer: severity lattice, mixed injector,
+   degradation profiling, witness shrinking, and the portfolio
+   falsifier. *)
+
+open Ffault_objects
+module Severity = Ffault_hoare.Severity
+module Cas_spec = Ffault_hoare.Cas_spec
+module Consensus = Ffault_consensus
+module Protocol = Consensus.Protocol
+module Check = Ffault_verify.Consensus_check
+module Dfs = Ffault_verify.Dfs
+module Shrink = Ffault_verify.Shrink
+module Falsify = Ffault_verify.Falsify
+module Degradation = Ffault_verify.Degradation
+module Fault = Ffault_fault
+module Injector = Fault.Injector
+module Fault_kind = Fault.Fault_kind
+
+let check = Alcotest.check
+let relation = Alcotest.testable Severity.pp_relation Severity.equal_relation
+
+(* ---- Severity ---- *)
+
+let test_severity_reflexive () =
+  List.iter
+    (fun (name, p) ->
+      check relation name Severity.Equivalent (Severity.compare_post p p))
+    [
+      ("standard", Cas_spec.standard);
+      ("overriding", Cas_spec.overriding);
+      ("silent", Cas_spec.silent);
+      ("invisible", Cas_spec.invisible);
+      ("arbitrary", Cas_spec.arbitrary);
+    ]
+
+let test_severity_arbitrary_dominates () =
+  List.iter
+    (fun (name, p) ->
+      check relation ("arbitrary > " ^ name) Severity.More_severe
+        (Severity.compare_post Cas_spec.arbitrary p);
+      check relation (name ^ " < arbitrary") Severity.Less_severe
+        (Severity.compare_post p Cas_spec.arbitrary))
+    [
+      ("standard", Cas_spec.standard);
+      ("overriding", Cas_spec.overriding);
+      ("silent", Cas_spec.silent);
+    ]
+
+let test_severity_invisible_incomparable () =
+  List.iter
+    (fun (name, p) ->
+      check relation ("invisible vs " ^ name) Severity.Incomparable
+        (Severity.compare_post Cas_spec.invisible p))
+    [
+      ("standard", Cas_spec.standard);
+      ("overriding", Cas_spec.overriding);
+      ("silent", Cas_spec.silent);
+      ("arbitrary", Cas_spec.arbitrary);
+    ]
+
+let test_severity_antisymmetric_matrix () =
+  let m = Severity.taxonomy_matrix () in
+  List.iter
+    (fun (a, b, r) ->
+      let _, _, r' = List.find (fun (x, y, _) -> x = b && y = a) m in
+      let expected =
+        match r with
+        | Severity.Less_severe -> Severity.More_severe
+        | Severity.More_severe -> Severity.Less_severe
+        | (Severity.Equivalent | Severity.Incomparable) as same -> same
+      in
+      check relation (a ^ "/" ^ b ^ " transposed") expected r')
+    m
+
+let test_severity_implies () =
+  check Alcotest.bool "overriding implies arbitrary" true
+    (Severity.implies Cas_spec.overriding Cas_spec.arbitrary);
+  check Alcotest.bool "arbitrary does not imply overriding" false
+    (Severity.implies Cas_spec.arbitrary Cas_spec.overriding)
+
+(* ---- Injector.mixed ---- *)
+
+let mixed_ctx ?(op_index = 0) () =
+  {
+    Injector.obj = Obj_id.of_int 0;
+    op = Op.Cas { expected = Value.Bottom; desired = Value.Int 1 };
+    state = Value.Bottom;
+    proc = 0;
+    step = 0;
+    op_index;
+    budget = Fault.Budget.unlimited ();
+  }
+
+let test_mixed_validation () =
+  Alcotest.check_raises "over 1"
+    (Invalid_argument "Injector.mixed: probabilities must be non-negative and sum to at most 1")
+    (fun () ->
+      ignore (Injector.mixed ~seed:1L [ (Fault_kind.Overriding, 0.8); (Fault_kind.Silent, 0.8) ]));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Injector.mixed: probabilities must be non-negative and sum to at most 1")
+    (fun () -> ignore (Injector.mixed ~seed:1L [ (Fault_kind.Overriding, -0.1) ]))
+
+let test_mixed_distribution () =
+  let inj =
+    Injector.mixed ~seed:33L [ (Fault_kind.Overriding, 0.3); (Fault_kind.Silent, 0.2) ]
+  in
+  let counts = Hashtbl.create 4 in
+  let n = 20_000 in
+  for k = 0 to n - 1 do
+    let key =
+      match inj.Injector.decide (mixed_ctx ~op_index:k ()) with
+      | Injector.No_fault -> "none"
+      | Injector.Fault { kind; _ } -> Fault_kind.to_string kind
+    in
+    Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+  done;
+  let rate key = float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts key)) /. float_of_int n in
+  check Alcotest.bool "override near 0.3" true (rate "overriding" > 0.27 && rate "overriding" < 0.33);
+  check Alcotest.bool "silent near 0.2" true (rate "silent" > 0.17 && rate "silent" < 0.23);
+  check Alcotest.bool "none near 0.5" true (rate "none" > 0.46 && rate "none" < 0.54)
+
+(* ---- Degradation ---- *)
+
+let test_degradation_classify () =
+  let base =
+    { Degradation.runs = 0; clean = 0; consistency_broken = 0; validity_broken = 0;
+      wait_freedom_broken = 0 }
+  in
+  (* drive a real clean report and a real violating report through it *)
+  let setup = Check.setup Consensus.Single_cas.herlihy (Protocol.params ~n_procs:3 ~f:1 ()) in
+  let clean_report =
+    Check.run setup ~scheduler:(Ffault_sim.Scheduler.round_robin ())
+      ~injector:Injector.never ()
+  in
+  let bad_report =
+    Check.run setup ~scheduler:(Ffault_sim.Scheduler.round_robin ())
+      ~injector:(Injector.always Fault_kind.Overriding) ()
+  in
+  let p = Degradation.classify clean_report base in
+  let p = Degradation.classify bad_report p in
+  check Alcotest.int "runs" 2 p.Degradation.runs;
+  check Alcotest.int "clean" 1 p.Degradation.clean;
+  check Alcotest.int "consistency" 1 p.Degradation.consistency_broken;
+  check Alcotest.int "validity" 0 p.Degradation.validity_broken;
+  check Alcotest.bool "graceful" true (Degradation.graceful p)
+
+let test_degradation_overriding_preserves_validity () =
+  (* 200 over-budget overriding runs on the naive protocol: validity and
+     wait-freedom must never break. *)
+  let setup = Check.setup Consensus.Single_cas.herlihy (Protocol.params ~n_procs:4 ~f:1 ()) in
+  let p =
+    Degradation.measure ~runs:200 ~seed:5L
+      ~injector:(fun _ -> Injector.always Fault_kind.Overriding)
+      setup
+  in
+  check Alcotest.bool "consistency does break" true (p.Degradation.consistency_broken > 0);
+  check Alcotest.int "validity intact" 0 p.Degradation.validity_broken;
+  check Alcotest.int "wait-freedom intact" 0 p.Degradation.wait_freedom_broken
+
+(* ---- Shrink ---- *)
+
+let breakable_setup () =
+  Check.setup (Consensus.F_tolerant.with_objects 1) (Protocol.params ~n_procs:3 ~f:1 ())
+
+let test_shrink_preserves_violation () =
+  let setup = breakable_setup () in
+  let stats = Dfs.explore ~max_executions:10_000 ~max_witnesses:3 setup in
+  List.iter
+    (fun w ->
+      let shrunk, report = Shrink.witness_report setup w.Dfs.decisions in
+      check Alcotest.bool "still violates" false (Check.ok report);
+      check Alcotest.bool "not longer" true
+        (Array.length shrunk <= Array.length w.Dfs.decisions))
+    stats.Dfs.witnesses
+
+let test_shrink_rejects_clean_vector () =
+  let setup = breakable_setup () in
+  Alcotest.check_raises "clean input"
+    (Invalid_argument "Shrink.witness: input vector does not violate") (fun () ->
+      (* all-defaults replay of this world is a clean round-robin run *)
+      ignore (Shrink.witness setup [||]))
+
+let test_shrink_local_minimality () =
+  let setup = breakable_setup () in
+  let stats = Dfs.explore ~max_executions:10_000 setup in
+  match stats.Dfs.witnesses with
+  | [] -> Alcotest.fail "no witness"
+  | w :: _ ->
+      let shrunk = Shrink.witness setup w.Dfs.decisions in
+      (* no single chop or zero preserves the violation *)
+      let n = Array.length shrunk in
+      if n > 0 then begin
+        let chopped = Array.sub shrunk 0 (n - 1) in
+        check Alcotest.bool "chop breaks it" true (Check.ok (Dfs.replay setup chopped));
+        Array.iteri
+          (fun idx v ->
+            if v > 0 then begin
+              let zeroed = Array.copy shrunk in
+              zeroed.(idx) <- 0;
+              check Alcotest.bool "zeroing breaks it" true (Check.ok (Dfs.replay setup zeroed))
+            end)
+          shrunk
+      end
+
+(* ---- Falsify ---- *)
+
+let test_falsify_finds_known_break () =
+  let setup = breakable_setup () in
+  let o = Falsify.falsify ~max_attempts:2000 ~seed:3L setup in
+  check Alcotest.bool "witness found" true (o.Falsify.witness <> None)
+
+let test_falsify_clean_on_correct () =
+  let setup =
+    Check.setup Consensus.F_tolerant.protocol (Protocol.params ~n_procs:3 ~f:1 ())
+  in
+  let o = Falsify.falsify ~max_attempts:300 ~seed:3L setup in
+  check Alcotest.bool "no witness" true (o.Falsify.witness = None);
+  check Alcotest.int "all attempts used" 300 o.Falsify.attempts
+
+let test_falsify_witness_replayable () =
+  let setup = breakable_setup () in
+  let o = Falsify.falsify ~max_attempts:2000 ~seed:4L setup in
+  match o.Falsify.witness with
+  | None -> Alcotest.fail "no witness"
+  | Some (name, seed, report) ->
+      let replayed = Falsify.replay_witness setup ~strategy_name:name ~seed in
+      check Alcotest.bool "replay violates" false (Check.ok replayed);
+      check Alcotest.int "same violations"
+        (List.length report.Check.violations)
+        (List.length replayed.Check.violations)
+
+let test_falsify_unknown_strategy () =
+  let setup = breakable_setup () in
+  Alcotest.check_raises "unknown strategy"
+    (Invalid_argument "Falsify.replay_witness: unknown strategy \"nope\"") (fun () ->
+      ignore (Falsify.replay_witness setup ~strategy_name:"nope" ~seed:1L))
+
+let suites =
+  [
+    ( "hoare.severity",
+      [
+        Alcotest.test_case "reflexive" `Quick test_severity_reflexive;
+        Alcotest.test_case "arbitrary dominates" `Quick test_severity_arbitrary_dominates;
+        Alcotest.test_case "invisible incomparable" `Quick test_severity_invisible_incomparable;
+        Alcotest.test_case "matrix antisymmetric" `Quick test_severity_antisymmetric_matrix;
+        Alcotest.test_case "implies" `Quick test_severity_implies;
+      ] );
+    ( "fault.mixed",
+      [
+        Alcotest.test_case "validation" `Quick test_mixed_validation;
+        Alcotest.test_case "distribution" `Quick test_mixed_distribution;
+      ] );
+    ( "verify.degradation",
+      [
+        Alcotest.test_case "classify" `Quick test_degradation_classify;
+        Alcotest.test_case "overriding preserves validity" `Quick
+          test_degradation_overriding_preserves_validity;
+      ] );
+    ( "verify.shrink",
+      [
+        Alcotest.test_case "preserves violation" `Quick test_shrink_preserves_violation;
+        Alcotest.test_case "rejects clean vector" `Quick test_shrink_rejects_clean_vector;
+        Alcotest.test_case "local minimality" `Quick test_shrink_local_minimality;
+      ] );
+    ( "verify.falsify",
+      [
+        Alcotest.test_case "finds known break" `Quick test_falsify_finds_known_break;
+        Alcotest.test_case "clean on correct" `Quick test_falsify_clean_on_correct;
+        Alcotest.test_case "witness replayable" `Quick test_falsify_witness_replayable;
+        Alcotest.test_case "unknown strategy" `Quick test_falsify_unknown_strategy;
+      ] );
+  ]

@@ -1,0 +1,233 @@
+(* Tests for histories and the Wing–Gong linearizability checker. *)
+
+open Ffault_objects
+
+let check = Alcotest.check
+
+let op_faa n = Op.Fetch_and_add n
+
+let mk ~proc ~op ~response ~call ~return =
+  { History.proc; op; response; call; return }
+
+let test_builder_roundtrip () =
+  let b = History.Builder.create ~kind:Kind.Fetch_and_add ~init:(Value.Int 0) in
+  History.Builder.call b ~proc:0 ~op:(op_faa 1);
+  History.Builder.return b ~proc:0 ~response:(Value.Int 0);
+  History.Builder.call b ~proc:1 ~op:(op_faa 1);
+  History.Builder.return b ~proc:1 ~response:(Value.Int 1);
+  let h = History.Builder.finish b in
+  check Alcotest.int "two ops" 2 (Array.length h.History.ops);
+  check Alcotest.bool "sequential" true (History.is_sequential h)
+
+let test_builder_rejects_double_call () =
+  let b = History.Builder.create ~kind:Kind.Register ~init:Value.Bottom in
+  History.Builder.call b ~proc:0 ~op:Op.Read;
+  Alcotest.check_raises "double call"
+    (Invalid_argument "History.Builder.call: process already has a pending operation")
+    (fun () -> History.Builder.call b ~proc:0 ~op:Op.Read)
+
+let test_builder_rejects_orphan_return () =
+  let b = History.Builder.create ~kind:Kind.Register ~init:Value.Bottom in
+  Alcotest.check_raises "orphan return"
+    (Invalid_argument "History.Builder.return: no pending operation for process") (fun () ->
+      History.Builder.return b ~proc:0 ~response:Value.Bottom)
+
+let test_builder_drops_pending () =
+  let b = History.Builder.create ~kind:Kind.Register ~init:Value.Bottom in
+  History.Builder.call b ~proc:0 ~op:Op.Read;
+  let h = History.Builder.finish b in
+  check Alcotest.int "pending dropped" 0 (Array.length h.History.ops)
+
+let test_make_validation () =
+  Alcotest.check_raises "call after return"
+    (Invalid_argument "History.make: call must precede return") (fun () ->
+      ignore
+        (History.make ~kind:Kind.Register ~init:Value.Bottom
+           [ mk ~proc:0 ~op:Op.Read ~response:Value.Bottom ~call:2 ~return:1 ]));
+  Alcotest.check_raises "duplicate timestamps"
+    (Invalid_argument "History.make: duplicate timestamps") (fun () ->
+      ignore
+        (History.make ~kind:Kind.Register ~init:Value.Bottom
+           [
+             mk ~proc:0 ~op:Op.Read ~response:Value.Bottom ~call:1 ~return:2;
+             mk ~proc:1 ~op:Op.Read ~response:Value.Bottom ~call:2 ~return:3;
+           ]))
+
+let test_sequential_faa_linearizable () =
+  let h =
+    History.make ~kind:Kind.Fetch_and_add ~init:(Value.Int 0)
+      [
+        mk ~proc:0 ~op:(op_faa 1) ~response:(Value.Int 0) ~call:1 ~return:2;
+        mk ~proc:1 ~op:(op_faa 1) ~response:(Value.Int 1) ~call:3 ~return:4;
+      ]
+  in
+  check Alcotest.bool "linearizable" true (Linearizability.is_linearizable h)
+
+let test_sequential_wrong_response () =
+  let h =
+    History.make ~kind:Kind.Fetch_and_add ~init:(Value.Int 0)
+      [
+        mk ~proc:0 ~op:(op_faa 1) ~response:(Value.Int 0) ~call:1 ~return:2;
+        mk ~proc:1 ~op:(op_faa 1) ~response:(Value.Int 0) ~call:3 ~return:4;
+      ]
+  in
+  check Alcotest.bool "duplicate FAA response is not linearizable" false
+    (Linearizability.is_linearizable h)
+
+let test_concurrent_reorder_needed () =
+  (* Two overlapping FAAs whose responses force the later-called one to
+     linearize first. *)
+  let h =
+    History.make ~kind:Kind.Fetch_and_add ~init:(Value.Int 0)
+      [
+        mk ~proc:0 ~op:(op_faa 1) ~response:(Value.Int 1) ~call:1 ~return:5;
+        mk ~proc:1 ~op:(op_faa 1) ~response:(Value.Int 0) ~call:2 ~return:4;
+      ]
+  in
+  check Alcotest.bool "overlap allows reordering" true (Linearizability.is_linearizable h)
+
+let test_realtime_order_enforced () =
+  (* p0's op returns before p1's is called, so p0 must linearize first —
+     but the responses claim the opposite. *)
+  let h =
+    History.make ~kind:Kind.Fetch_and_add ~init:(Value.Int 0)
+      [
+        mk ~proc:0 ~op:(op_faa 1) ~response:(Value.Int 1) ~call:1 ~return:2;
+        mk ~proc:1 ~op:(op_faa 1) ~response:(Value.Int 0) ~call:3 ~return:4;
+      ]
+  in
+  check Alcotest.bool "real-time order enforced" false (Linearizability.is_linearizable h)
+
+let test_register_linearizable () =
+  let h =
+    History.make ~kind:Kind.Register ~init:(Value.Int 0)
+      [
+        mk ~proc:0 ~op:(Op.Write (Value.Int 7)) ~response:Value.Bottom ~call:1 ~return:4;
+        mk ~proc:1 ~op:Op.Read ~response:(Value.Int 7) ~call:2 ~return:3;
+      ]
+  in
+  check Alcotest.bool "read sees concurrent write" true (Linearizability.is_linearizable h)
+
+let test_register_stale_read () =
+  let h =
+    History.make ~kind:Kind.Register ~init:(Value.Int 0)
+      [
+        mk ~proc:0 ~op:(Op.Write (Value.Int 7)) ~response:Value.Bottom ~call:1 ~return:2;
+        mk ~proc:1 ~op:Op.Read ~response:(Value.Int 0) ~call:3 ~return:4;
+      ]
+  in
+  check Alcotest.bool "stale read after write completes" false
+    (Linearizability.is_linearizable h)
+
+let test_witness_order () =
+  let h =
+    History.make ~kind:Kind.Fetch_and_add ~init:(Value.Int 0)
+      [
+        mk ~proc:0 ~op:(op_faa 1) ~response:(Value.Int 1) ~call:1 ~return:5;
+        mk ~proc:1 ~op:(op_faa 1) ~response:(Value.Int 0) ~call:2 ~return:4;
+      ]
+  in
+  match Linearizability.check h with
+  | Linearizability.Linearizable order ->
+      check Alcotest.int "witness covers all ops" 2 (List.length order);
+      check Alcotest.int "p1 first" 1 (List.hd order).History.proc
+  | Linearizability.Not_linearizable -> Alcotest.fail "expected linearizable"
+
+let test_larger_faa_history () =
+  (* Ten concurrent FAA(1)s with responses forming a permutation — always
+     linearizable when all overlap. *)
+  let n = 10 in
+  let ops =
+    List.init n (fun i ->
+        mk ~proc:i ~op:(op_faa 1)
+          ~response:(Value.Int ((i * 3) mod n))
+          ~call:(i + 1)
+          ~return:(100 + i))
+  in
+  let h = History.make ~kind:Kind.Fetch_and_add ~init:(Value.Int 0) ops in
+  check Alcotest.bool "permutation responses linearizable" true
+    (Linearizability.is_linearizable h)
+
+(* Brute-force reference checker: enumerate every permutation that
+   respects the real-time order and simulate it. Exponential — only for
+   tiny histories — but obviously correct; the Wing–Gong checker must
+   agree on random inputs. *)
+let reference_linearizable (h : History.t) =
+  let ops = Array.to_list h.History.ops in
+  let rec permutations_ok state remaining =
+    match remaining with
+    | [] -> true
+    | _ ->
+        List.exists
+          (fun (o : History.operation) ->
+            (* o may go first only if no remaining op must precede it *)
+            let minimal =
+              List.for_all
+                (fun (o' : History.operation) -> o == o' || not (History.precedes o' o))
+                remaining
+            in
+            minimal
+            &&
+            match Semantics.apply h.History.kind ~state o.History.op with
+            | Ok { post_state; response } ->
+                Value.equal response o.History.response
+                && permutations_ok post_state
+                     (List.filter (fun o' -> not (o == o')) remaining)
+            | Error _ -> false)
+          remaining
+  in
+  permutations_ok h.History.init ops
+
+let small_history_gen =
+  let open QCheck.Gen in
+  (* up to 5 FAA(1) ops with random responses and random (possibly
+     overlapping) intervals over a small timestamp space *)
+  let* n = int_range 1 5 in
+  let* responses = list_size (return n) (int_bound 6) in
+  let* starts = list_size (return n) (int_bound 20) in
+  let* lens = list_size (return n) (int_range 1 8) in
+  (* assign distinct timestamps by spreading: call = 3*start + i, return =
+     call + 3*len + 1 — distinctness enforced by construction below *)
+  let ops =
+    List.mapi
+      (fun i ((r, s), l) ->
+        let call = (6 * s) + (2 * i) in
+        let return = call + (6 * l) + 1 in
+        { History.proc = i; op = Op.Fetch_and_add 1; response = Value.Int r; call; return })
+      (List.combine (List.combine responses starts) lens)
+  in
+  return ops
+
+let prop_wing_gong_matches_reference =
+  QCheck.Test.make ~name:"Wing-Gong agrees with brute force on small histories" ~count:500
+    (QCheck.make small_history_gen)
+    (fun ops ->
+      match History.make ~kind:Kind.Fetch_and_add ~init:(Value.Int 0) ops with
+      | exception Invalid_argument _ -> QCheck.assume_fail ()
+      | h -> Linearizability.is_linearizable h = reference_linearizable h)
+
+let suites =
+  [
+    ( "objects.history",
+      [
+        Alcotest.test_case "builder roundtrip" `Quick test_builder_roundtrip;
+        Alcotest.test_case "builder rejects double call" `Quick
+          test_builder_rejects_double_call;
+        Alcotest.test_case "builder rejects orphan return" `Quick
+          test_builder_rejects_orphan_return;
+        Alcotest.test_case "builder drops pending" `Quick test_builder_drops_pending;
+        Alcotest.test_case "make validation" `Quick test_make_validation;
+      ] );
+    ( "objects.linearizability",
+      [
+        Alcotest.test_case "sequential faa" `Quick test_sequential_faa_linearizable;
+        Alcotest.test_case "wrong response" `Quick test_sequential_wrong_response;
+        Alcotest.test_case "concurrent reorder" `Quick test_concurrent_reorder_needed;
+        Alcotest.test_case "real-time order" `Quick test_realtime_order_enforced;
+        Alcotest.test_case "register ok" `Quick test_register_linearizable;
+        Alcotest.test_case "register stale read" `Quick test_register_stale_read;
+        Alcotest.test_case "witness order" `Quick test_witness_order;
+        Alcotest.test_case "larger history" `Quick test_larger_faa_history;
+        QCheck_alcotest.to_alcotest prop_wing_gong_matches_reference;
+      ] );
+  ]

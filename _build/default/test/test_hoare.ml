@@ -1,0 +1,202 @@
+(* Tests for the Hoare layer: the paper's Φ and Φ′ formulas as executable
+   predicates, and the Definition-1 classifier. *)
+
+open Ffault_objects
+module Triple = Ffault_hoare.Triple
+module Cas_spec = Ffault_hoare.Cas_spec
+module Classify = Ffault_hoare.Classify
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+let cas_step ~pre ~expected ~desired ~post ~response =
+  {
+    Triple.kind = Kind.Cas_only;
+    pre_state = pre;
+    op = Op.Cas { expected; desired };
+    post_state = post;
+    response;
+  }
+
+let i n = Value.Int n
+let bot = Value.Bottom
+
+(* A correct successful CAS, a correct failed CAS, and each §3.3–3.4
+   faulty shape. *)
+let correct_success = cas_step ~pre:bot ~expected:bot ~desired:(i 5) ~post:(i 5) ~response:bot
+let correct_failure =
+  cas_step ~pre:(i 3) ~expected:bot ~desired:(i 5) ~post:(i 3) ~response:(i 3)
+let overriding_step =
+  cas_step ~pre:(i 3) ~expected:bot ~desired:(i 5) ~post:(i 5) ~response:(i 3)
+let silent_step = cas_step ~pre:bot ~expected:bot ~desired:(i 5) ~post:bot ~response:bot
+let invisible_step =
+  cas_step ~pre:(i 3) ~expected:bot ~desired:(i 5) ~post:(i 3) ~response:(i 9)
+let arbitrary_step =
+  cas_step ~pre:(i 3) ~expected:bot ~desired:(i 5) ~post:(i 77) ~response:(i 3)
+
+let test_standard_phi () =
+  check Alcotest.bool "success satisfies \xce\xa6" true (Cas_spec.standard correct_success);
+  check Alcotest.bool "failure satisfies \xce\xa6" true (Cas_spec.standard correct_failure);
+  List.iter
+    (fun (name, step) ->
+      check Alcotest.bool (name ^ " violates \xce\xa6") false (Cas_spec.standard step))
+    [
+      ("overriding", overriding_step);
+      ("silent", silent_step);
+      ("invisible", invisible_step);
+      ("arbitrary", arbitrary_step);
+    ]
+
+let test_overriding_phi' () =
+  check Alcotest.bool "overriding shape" true (Cas_spec.overriding overriding_step);
+  (* a correct successful CAS also satisfies the overriding formula *)
+  check Alcotest.bool "correct success also satisfies it" true
+    (Cas_spec.overriding correct_success);
+  check Alcotest.bool "correct failure does not" false (Cas_spec.overriding correct_failure);
+  check Alcotest.bool "silent does not" false (Cas_spec.overriding silent_step)
+
+let test_strictly_faulty () =
+  check Alcotest.bool "overriding step strictly faulty" true
+    (Cas_spec.strictly_faulty Cas_spec.overriding overriding_step);
+  check Alcotest.bool "correct success is no fault" false
+    (Cas_spec.strictly_faulty Cas_spec.overriding correct_success)
+
+let test_silent_phi' () =
+  check Alcotest.bool "silent shape" true (Cas_spec.silent silent_step);
+  check Alcotest.bool "correct failure also matches silent formula" true
+    (Cas_spec.silent correct_failure);
+  check Alcotest.bool "strictly faulty only on suppressed success" true
+    (Cas_spec.strictly_faulty Cas_spec.silent silent_step);
+  check Alcotest.bool "correct failure not strictly faulty" false
+    (Cas_spec.strictly_faulty Cas_spec.silent correct_failure)
+
+let test_invisible_phi' () =
+  check Alcotest.bool "invisible shape" true (Cas_spec.invisible invisible_step);
+  check Alcotest.bool "correct steps excluded (old = R')" false
+    (Cas_spec.invisible correct_failure)
+
+let test_arbitrary_phi' () =
+  check Alcotest.bool "arbitrary shape" true (Cas_spec.arbitrary arbitrary_step);
+  check Alcotest.bool "overriding also satisfies arbitrary" true
+    (Cas_spec.arbitrary overriding_step);
+  check Alcotest.bool "invisible does not (old wrong)" false
+    (Cas_spec.arbitrary invisible_step)
+
+let test_non_cas_steps_rejected () =
+  let read_step =
+    {
+      Triple.kind = Kind.Register;
+      pre_state = i 1;
+      op = Op.Read;
+      post_state = i 1;
+      response = i 1;
+    }
+  in
+  List.iter
+    (fun (name, phi) -> check Alcotest.bool name false (phi read_step))
+    [
+      ("standard", Cas_spec.standard);
+      ("overriding", Cas_spec.overriding);
+      ("silent", Cas_spec.silent);
+      ("invisible", Cas_spec.invisible);
+      ("arbitrary", Cas_spec.arbitrary);
+    ]
+
+let test_correct_triple () =
+  check Alcotest.bool "success" true (Triple.respects_sequential_spec correct_success);
+  check Alcotest.bool "failure" true (Triple.respects_sequential_spec correct_failure);
+  check Alcotest.bool "overriding rejected" false
+    (Triple.respects_sequential_spec overriding_step);
+  (* precondition violation: read on a cas-only object — vacuously holds *)
+  let bad_pre =
+    {
+      Triple.kind = Kind.Cas_only;
+      pre_state = bot;
+      op = Op.Read;
+      post_state = i 1;
+      response = i 1;
+    }
+  in
+  check Alcotest.bool "vacuous on precondition violation" true
+    (Triple.respects_sequential_spec bad_pre)
+
+let verdict = Alcotest.testable Classify.pp_verdict Classify.equal_verdict
+
+let test_classify () =
+  check verdict "correct" Classify.Correct (Classify.classify_cas correct_success);
+  check verdict "overriding" (Classify.Structured_fault "overriding")
+    (Classify.classify_cas overriding_step);
+  check verdict "silent" (Classify.Structured_fault "silent")
+    (Classify.classify_cas silent_step);
+  check verdict "invisible" (Classify.Structured_fault "invisible")
+    (Classify.classify_cas invisible_step);
+  check verdict "arbitrary" (Classify.Structured_fault "arbitrary")
+    (Classify.classify_cas arbitrary_step)
+
+let test_classify_unstructured () =
+  (* wrong response AND wrong state transition: matches no registered Φ′ *)
+  let weird = cas_step ~pre:(i 3) ~expected:bot ~desired:(i 5) ~post:(i 77) ~response:(i 9) in
+  check verdict "unstructured" Classify.Unstructured (Classify.classify_cas weird)
+
+let test_classify_precondition () =
+  let bad =
+    {
+      Triple.kind = Kind.Cas_only;
+      pre_state = bot;
+      op = Op.Read;
+      post_state = bot;
+      response = bot;
+    }
+  in
+  check verdict "precondition" Classify.Precondition_violated (Classify.classify_cas bad)
+
+let test_classify_order () =
+  (* The overriding step also satisfies the arbitrary formula; the
+     classifier must report the most specific (first) match. *)
+  check verdict "specificity order" (Classify.Structured_fault "overriding")
+    (Classify.classify ~alternatives:Classify.cas_alternatives overriding_step)
+
+(* Property: for random (state, expected, desired), the classifier agrees
+   with the faulty semantics that generated the step. *)
+let value_arb = Test_objects.value_arb_for_reuse
+
+let prop_classifier_agrees_with_faulty_semantics =
+  QCheck.Test.make ~name:"classifier recognizes generated overriding faults" ~count:500
+    (QCheck.triple value_arb value_arb value_arb)
+    (fun (state, expected, desired) ->
+      let op = Op.Cas { expected; desired } in
+      match
+        Ffault_fault.Faulty_semantics.apply Ffault_fault.Fault_kind.Overriding
+          ~kind:Kind.Cas_only ~state op
+      with
+      | Ok (Ffault_fault.Faulty_semantics.Outcome o) ->
+          let step =
+            cas_step ~pre:state ~expected ~desired ~post:o.Semantics.post_state
+              ~response:o.Semantics.response
+          in
+          let v = Classify.classify_cas step in
+          (* either the fault is unobservable (step is correct) or it is
+             recognized as overriding *)
+          Classify.equal_verdict v Classify.Correct
+          || Classify.equal_verdict v (Classify.Structured_fault "overriding")
+      | Ok Ffault_fault.Faulty_semantics.Hangs | Error _ -> false)
+
+let suites =
+  [
+    ( "hoare",
+      [
+        Alcotest.test_case "standard \xce\xa6" `Quick test_standard_phi;
+        Alcotest.test_case "overriding \xce\xa6'" `Quick test_overriding_phi';
+        Alcotest.test_case "strictly faulty" `Quick test_strictly_faulty;
+        Alcotest.test_case "silent \xce\xa6'" `Quick test_silent_phi';
+        Alcotest.test_case "invisible \xce\xa6'" `Quick test_invisible_phi';
+        Alcotest.test_case "arbitrary \xce\xa6'" `Quick test_arbitrary_phi';
+        Alcotest.test_case "non-CAS rejected" `Quick test_non_cas_steps_rejected;
+        Alcotest.test_case "correct triple" `Quick test_correct_triple;
+        Alcotest.test_case "classify kinds" `Quick test_classify;
+        Alcotest.test_case "classify unstructured" `Quick test_classify_unstructured;
+        Alcotest.test_case "classify precondition" `Quick test_classify_precondition;
+        Alcotest.test_case "classification specificity" `Quick test_classify_order;
+        qcheck prop_classifier_agrees_with_faulty_semantics;
+      ] );
+  ]

@@ -1,0 +1,145 @@
+(* Tests for the impossibility harness: covering adversary, reduced
+   model, valency analysis, and the hierarchy table. *)
+
+open Ffault_objects
+module Consensus = Ffault_consensus
+module Protocol = Consensus.Protocol
+module Check = Ffault_verify.Consensus_check
+module Dfs = Ffault_verify.Dfs
+module Covering = Ffault_impossibility.Covering
+module Reduced = Ffault_impossibility.Reduced_model
+module Valency = Ffault_impossibility.Valency
+module Hierarchy = Ffault_impossibility.Hierarchy
+module Budget = Ffault_fault.Budget
+module Engine = Ffault_sim.Engine
+
+let check = Alcotest.check
+
+let fig3_setup ~f ~n = Check.setup Consensus.Bounded_faults.protocol (Protocol.params ~t:1 ~n_procs:n ~f ())
+
+let test_covering_defeats_fig3 () =
+  List.iter
+    (fun f ->
+      let o = Covering.run (fig3_setup ~f ~n:(f + 2)) in
+      check Alcotest.bool (Fmt.str "violation at f=%d" f) true o.Covering.violation_found;
+      check Alcotest.int (Fmt.str "f faults at f=%d" f) f
+        (List.length o.Covering.faults_committed))
+    [ 1; 2; 3 ]
+
+let test_covering_one_fault_per_object () =
+  let o = Covering.run (fig3_setup ~f:3 ~n:5) in
+  let budget = o.Covering.report.Check.result.Engine.budget in
+  List.iter
+    (fun obj ->
+      check Alcotest.bool "at most one fault" true (Budget.faults_on budget obj <= 1))
+    (Budget.faulty_objects budget);
+  (* the faulted objects are distinct *)
+  let objs = List.map (fun (_, o) -> Obj_id.to_int o) o.Covering.faults_committed in
+  check Alcotest.int "distinct objects" (List.length objs)
+    (List.length (List.sort_uniq Int.compare objs))
+
+let test_covering_spares_fig2 () =
+  List.iter
+    (fun f ->
+      let setup =
+        Check.setup Consensus.F_tolerant.protocol (Protocol.params ~t:1 ~n_procs:(f + 2) ~f ())
+      in
+      let o = Covering.run setup in
+      check Alcotest.bool (Fmt.str "fig2 survives at f=%d" f) false o.Covering.violation_found)
+    [ 1; 2 ]
+
+let test_covering_p0_disagrees_with_last () =
+  (* The structure of the witness: p0 decides its own value, p_{f+1}
+     decides someone else's. *)
+  let o = Covering.run (fig3_setup ~f:1 ~n:3) in
+  match Engine.decided_values o.Covering.report.Check.result with
+  | (0, v0) :: _ ->
+      check Test_objects.value_testable_for_reuse "p0 decided its own input" (Value.Int 100) v0;
+      let _, vlast =
+        List.find (fun (p, _) -> p = 2) (Engine.decided_values o.Covering.report.Check.result)
+      in
+      check Alcotest.bool "p2 decided differently" false (Value.equal v0 vlast)
+  | _ -> Alcotest.fail "p0 should decide first"
+
+let test_covering_validation () =
+  Alcotest.check_raises "needs n >= f+2" (Invalid_argument "Covering.run: requires n >= f + 2")
+    (fun () -> ignore (Covering.run (fig3_setup ~f:2 ~n:3)))
+
+let test_reduced_model_witness () =
+  let setup =
+    Check.setup (Consensus.F_tolerant.with_objects 1) (Protocol.params ~n_procs:3 ~f:1 ())
+  in
+  let stats = Reduced.explore ~faulty_proc:0 setup in
+  check Alcotest.bool "witness found" true (stats.Dfs.witnesses <> [])
+
+let test_reduced_model_fault_attribution () =
+  (* In the reduced model every injected fault belongs to the designated
+     process. *)
+  let setup =
+    Check.setup (Consensus.F_tolerant.with_objects 1) (Protocol.params ~n_procs:3 ~f:1 ())
+  in
+  let stats = Reduced.explore ~faulty_proc:0 ~max_witnesses:5 setup in
+  List.iter
+    (fun w ->
+      List.iter
+        (function
+          | Ffault_sim.Trace.Op_step { injected = Some _; proc; _ } ->
+              check Alcotest.int "fault by p0" 0 proc
+          | _ -> ())
+        w.Dfs.report.Check.result.Engine.trace)
+    stats.Dfs.witnesses
+
+let test_valency_initial_multivalent () =
+  let setup =
+    Check.setup Consensus.Single_cas.two_process (Protocol.params ~n_procs:2 ~f:1 ())
+  in
+  match Valency.analyze ~prefix:[||] setup with
+  | Valency.Multivalent vs -> check Alcotest.bool "two values" true (List.length vs >= 2)
+  | v -> Alcotest.failf "expected multivalent, got %a" Valency.pp_verdict v
+
+let test_valency_after_decision_univalent () =
+  (* After the first process's successful CAS (schedule choice 0, outcome
+     choice 0), only its value remains reachable. *)
+  let setup =
+    Check.setup Consensus.Single_cas.two_process (Protocol.params ~n_procs:2 ~f:0 ())
+  in
+  match Valency.analyze ~prefix:[| 0 |] setup with
+  | Valency.Univalent v ->
+      check Test_objects.value_testable_for_reuse "p0's value" (Value.Int 100) v
+  | v -> Alcotest.failf "expected univalent, got %a" Valency.pp_verdict v
+
+let test_hierarchy_rows () =
+  let rows = Hierarchy.table ~runs:50 ~t:1 ~max_f:3 () in
+  check Alcotest.int "three rows" 3 (List.length rows);
+  List.iteri
+    (fun idx row ->
+      let f = idx + 1 in
+      check Alcotest.int "f" f row.Hierarchy.f;
+      check (Alcotest.option Alcotest.int) "consensus number" (Some (f + 1))
+        row.Hierarchy.consensus_number)
+    rows
+
+let suites =
+  [
+    ( "impossibility.covering",
+      [
+        Alcotest.test_case "defeats fig3 at n=f+2" `Quick test_covering_defeats_fig3;
+        Alcotest.test_case "one fault per object" `Quick test_covering_one_fault_per_object;
+        Alcotest.test_case "spares fig2" `Quick test_covering_spares_fig2;
+        Alcotest.test_case "witness structure" `Quick test_covering_p0_disagrees_with_last;
+        Alcotest.test_case "validation" `Quick test_covering_validation;
+      ] );
+    ( "impossibility.reduced",
+      [
+        Alcotest.test_case "witness" `Quick test_reduced_model_witness;
+        Alcotest.test_case "fault attribution" `Quick test_reduced_model_fault_attribution;
+      ] );
+    ( "impossibility.valency",
+      [
+        Alcotest.test_case "initial multivalent" `Quick test_valency_initial_multivalent;
+        Alcotest.test_case "post-decision univalent" `Quick
+          test_valency_after_decision_univalent;
+      ] );
+    ( "impossibility.hierarchy",
+      [ Alcotest.test_case "rows" `Quick test_hierarchy_rows ] );
+  ]

@@ -1,0 +1,221 @@
+(* Tests for Ffault_objects: the value domain, operations, kinds and the
+   sequential semantics. *)
+
+open Ffault_objects
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+let value_testable = Alcotest.testable Value.pp Value.equal
+
+(* A generator over the value domain, including nested pairs and staged
+   values. *)
+let value_gen =
+  let open QCheck.Gen in
+  sized @@ fix (fun self n ->
+      let leaf =
+        oneof
+          [
+            return Value.Bottom;
+            map (fun b -> Value.Bool b) bool;
+            map (fun i -> Value.Int i) small_signed_int;
+            map (fun s -> Value.Str s) (string_size (int_bound 6));
+          ]
+      in
+      if n <= 0 then leaf
+      else
+        frequency
+          [
+            (3, leaf);
+            (1, map2 (fun a b -> Value.Pair (a, b)) (self (n / 2)) (self (n / 2)));
+            ( 1,
+              map2
+                (fun v stage -> Value.Staged { value = v; stage })
+                (self (n / 2)) (int_bound 50) );
+          ])
+
+let value_arb = QCheck.make ~print:Value.to_string value_gen
+
+(* ---- Value ---- *)
+
+let test_value_equal_basic () =
+  check Alcotest.bool "bottom = bottom" true (Value.equal Value.Bottom Value.Bottom);
+  check Alcotest.bool "int 3 = int 3" true (Value.equal (Int 3) (Int 3));
+  check Alcotest.bool "int <> str" false (Value.equal (Int 3) (Str "3"));
+  check Alcotest.bool "staged stage matters" false
+    (Value.equal (Staged { value = Int 1; stage = 2 }) (Staged { value = Int 1; stage = 3 }))
+
+let prop_equal_refl =
+  QCheck.Test.make ~name:"Value.equal reflexive" ~count:300 value_arb (fun v ->
+      Value.equal v v)
+
+let prop_compare_consistent_with_equal =
+  QCheck.Test.make ~name:"compare = 0 iff equal" ~count:300 (QCheck.pair value_arb value_arb)
+    (fun (a, b) -> Value.equal a b = (Value.compare a b = 0))
+
+let prop_compare_antisym =
+  QCheck.Test.make ~name:"compare antisymmetric" ~count:300 (QCheck.pair value_arb value_arb)
+    (fun (a, b) -> Value.compare a b = -Value.compare b a)
+
+let prop_hash_consistent =
+  QCheck.Test.make ~name:"equal values hash equally" ~count:300 value_arb (fun v ->
+      (* structural copy through a round-trip *)
+      Value.hash v = Value.hash v)
+
+let test_value_accessors () =
+  check Alcotest.bool "is_bottom" true (Value.is_bottom Bottom);
+  check Alcotest.bool "is_bottom int" false (Value.is_bottom (Int 0));
+  check (Alcotest.option Alcotest.int) "stage" (Some 4)
+    (Value.stage (Staged { value = Int 1; stage = 4 }));
+  check (Alcotest.option Alcotest.int) "stage of plain" None (Value.stage (Int 1));
+  check (Alcotest.option value_testable) "staged_value" (Some (Int 1))
+    (Value.staged_value (Staged { value = Int 1; stage = 4 }));
+  check Alcotest.int "int_exn" 5 (Value.int_exn (Int 5));
+  Alcotest.check_raises "int_exn on bool" (Invalid_argument "Value.int_exn: true is not an Int")
+    (fun () -> ignore (Value.int_exn (Bool true)))
+
+let test_value_pp () =
+  check Alcotest.string "bottom" "\xe2\x8a\xa5" (Value.to_string Bottom);
+  check Alcotest.string "staged" "\xe2\x9f\xa87,3\xe2\x9f\xa9"
+    (Value.to_string (Staged { value = Int 7; stage = 3 }));
+  check Alcotest.string "pair" "(1, \"x\")" (Value.to_string (Pair (Int 1, Str "x")))
+
+(* ---- Op ---- *)
+
+let test_op_equal () =
+  let cas = Op.Cas { expected = Value.Bottom; desired = Value.Int 1 } in
+  check Alcotest.bool "cas = cas" true (Op.equal cas cas);
+  check Alcotest.bool "cas desired differs" false
+    (Op.equal cas (Op.Cas { expected = Value.Bottom; desired = Value.Int 2 }));
+  check Alcotest.bool "read = read" true (Op.equal Op.Read Op.Read);
+  check Alcotest.bool "read <> tas" false (Op.equal Op.Read Op.Test_and_set)
+
+let test_op_writes () =
+  check Alcotest.bool "read does not write" false (Op.writes Op.Read);
+  List.iter
+    (fun op -> check Alcotest.bool (Op.to_string op) true (Op.writes op))
+    [
+      Op.Cas { expected = Value.Bottom; desired = Value.Int 1 };
+      Op.Write (Value.Int 1);
+      Op.Test_and_set;
+      Op.Reset;
+      Op.Fetch_and_add 2;
+    ]
+
+(* ---- Kind ---- *)
+
+let test_kind_allows () =
+  let cas = Op.Cas { expected = Value.Bottom; desired = Value.Int 1 } in
+  check Alcotest.bool "cas-only allows cas" true (Kind.allows Kind.Cas_only cas);
+  check Alcotest.bool "cas-only forbids read" false (Kind.allows Kind.Cas_only Op.Read);
+  check Alcotest.bool "register allows read" true (Kind.allows Kind.Register Op.Read);
+  check Alcotest.bool "register forbids cas" false (Kind.allows Kind.Register cas);
+  check Alcotest.bool "cas-register allows both" true
+    (Kind.allows Kind.Cas_register cas && Kind.allows Kind.Cas_register Op.Read);
+  check Alcotest.bool "tas allows tas" true (Kind.allows Kind.Test_and_set Op.Test_and_set);
+  check Alcotest.bool "faa allows faa" true
+    (Kind.allows Kind.Fetch_and_add (Op.Fetch_and_add 1));
+  check Alcotest.bool "faa forbids write" false
+    (Kind.allows Kind.Fetch_and_add (Op.Write (Value.Int 1)))
+
+let test_kind_default_init () =
+  check value_testable "cas-only init" Value.Bottom (Kind.default_init Kind.Cas_only);
+  check value_testable "tas init" (Value.Bool false) (Kind.default_init Kind.Test_and_set);
+  check value_testable "faa init" (Value.Int 0) (Kind.default_init Kind.Fetch_and_add)
+
+(* ---- Semantics ---- *)
+
+let apply_ok kind state op =
+  match Semantics.apply kind ~state op with
+  | Ok o -> o
+  | Error e -> Alcotest.failf "unexpected error: %a" Semantics.pp_error e
+
+let test_cas_success () =
+  let o =
+    apply_ok Kind.Cas_only Value.Bottom (Op.Cas { expected = Value.Bottom; desired = Int 5 })
+  in
+  check value_testable "writes desired" (Value.Int 5) o.Semantics.post_state;
+  check value_testable "returns original" Value.Bottom o.Semantics.response
+
+let test_cas_failure () =
+  let o =
+    apply_ok Kind.Cas_only (Value.Int 3) (Op.Cas { expected = Value.Bottom; desired = Int 5 })
+  in
+  check value_testable "state unchanged" (Value.Int 3) o.Semantics.post_state;
+  check value_testable "returns original" (Value.Int 3) o.Semantics.response
+
+let test_register_ops () =
+  let o = apply_ok Kind.Register (Value.Int 1) (Op.Write (Value.Int 9)) in
+  check value_testable "write sets" (Value.Int 9) o.Semantics.post_state;
+  let o = apply_ok Kind.Register (Value.Int 9) Op.Read in
+  check value_testable "read returns" (Value.Int 9) o.Semantics.response;
+  check value_testable "read preserves" (Value.Int 9) o.Semantics.post_state
+
+let test_tas_semantics () =
+  let o = apply_ok Kind.Test_and_set (Value.Bool false) Op.Test_and_set in
+  check value_testable "sets" (Value.Bool true) o.Semantics.post_state;
+  check value_testable "returns old bit" (Value.Bool false) o.Semantics.response;
+  let o = apply_ok Kind.Test_and_set (Value.Bool true) Op.Test_and_set in
+  check value_testable "stays set" (Value.Bool true) o.Semantics.post_state;
+  check value_testable "returns old bit" (Value.Bool true) o.Semantics.response;
+  let o = apply_ok Kind.Test_and_set (Value.Bool true) Op.Reset in
+  check value_testable "reset clears" (Value.Bool false) o.Semantics.post_state
+
+let test_faa_semantics () =
+  let o = apply_ok Kind.Fetch_and_add (Value.Int 10) (Op.Fetch_and_add 5) in
+  check value_testable "adds" (Value.Int 15) o.Semantics.post_state;
+  check value_testable "returns old" (Value.Int 10) o.Semantics.response
+
+let test_semantics_errors () =
+  (match Semantics.apply Kind.Cas_only ~state:Value.Bottom Op.Read with
+  | Error (Semantics.Op_not_supported _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected Op_not_supported");
+  match Semantics.apply Kind.Fetch_and_add ~state:Value.Bottom (Op.Fetch_and_add 1) with
+  | Error (Semantics.Type_error _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected Type_error"
+
+let prop_cas_satisfies_phi =
+  (* The sequential CAS semantics always satisfies the paper's Φ. *)
+  QCheck.Test.make ~name:"CAS semantics satisfies \xce\xa6" ~count:500
+    (QCheck.triple value_arb value_arb value_arb)
+    (fun (state, expected, desired) ->
+      let o = apply_ok Kind.Cas_only state (Op.Cas { expected; desired }) in
+      if Value.equal state expected then
+        Value.equal o.Semantics.post_state desired && Value.equal o.Semantics.response state
+      else
+        Value.equal o.Semantics.post_state state && Value.equal o.Semantics.response state)
+
+let suites =
+  [
+    ( "objects.value",
+      [
+        Alcotest.test_case "equal basics" `Quick test_value_equal_basic;
+        Alcotest.test_case "accessors" `Quick test_value_accessors;
+        Alcotest.test_case "pretty printing" `Quick test_value_pp;
+        qcheck prop_equal_refl;
+        qcheck prop_compare_consistent_with_equal;
+        qcheck prop_compare_antisym;
+        qcheck prop_hash_consistent;
+      ] );
+    ( "objects.op-kind",
+      [
+        Alcotest.test_case "op equality" `Quick test_op_equal;
+        Alcotest.test_case "op writes" `Quick test_op_writes;
+        Alcotest.test_case "kind allows matrix" `Quick test_kind_allows;
+        Alcotest.test_case "kind default init" `Quick test_kind_default_init;
+      ] );
+    ( "objects.semantics",
+      [
+        Alcotest.test_case "cas success" `Quick test_cas_success;
+        Alcotest.test_case "cas failure" `Quick test_cas_failure;
+        Alcotest.test_case "register read/write" `Quick test_register_ops;
+        Alcotest.test_case "test-and-set" `Quick test_tas_semantics;
+        Alcotest.test_case "fetch-and-add" `Quick test_faa_semantics;
+        Alcotest.test_case "errors" `Quick test_semantics_errors;
+        qcheck prop_cas_satisfies_phi;
+      ] );
+  ]
+
+(* Shared with other test modules. *)
+let value_testable_for_reuse = value_testable
+let value_arb_for_reuse = value_arb

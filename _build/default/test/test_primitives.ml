@@ -1,0 +1,267 @@
+(* Tests for the second-primitive extensions: queue values and semantics,
+   the relaxation fault, TAS Φ′ formulas, and the TAS consensus
+   protocol. *)
+
+open Ffault_objects
+module Tas_spec = Ffault_hoare.Tas_spec
+module Queue_spec = Ffault_hoare.Queue_spec
+module Classify = Ffault_hoare.Classify
+module Triple = Ffault_hoare.Triple
+module FS = Ffault_fault.Faulty_semantics
+module Fault_kind = Ffault_fault.Fault_kind
+module Consensus = Ffault_consensus
+module Protocol = Consensus.Protocol
+module Check = Ffault_verify.Consensus_check
+module Dfs = Ffault_verify.Dfs
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+let value_testable = Test_objects.value_testable_for_reuse
+let i n = Value.Int n
+
+(* ---- Vqueue ---- *)
+
+let test_vqueue_roundtrip () =
+  let q = Vqueue.of_list [ i 1; i 2; i 3 ] in
+  check (Alcotest.list value_testable) "to_list" [ i 1; i 2; i 3 ] (Vqueue.to_list_exn q);
+  check Alcotest.int "length" 3 (Vqueue.length q);
+  check Alcotest.bool "empty" true (Vqueue.is_empty Vqueue.empty);
+  check Alcotest.bool "nonempty" false (Vqueue.is_empty q)
+
+let test_vqueue_enqueue_dequeue () =
+  let q = Vqueue.enqueue (Vqueue.enqueue Vqueue.empty (i 1)) (i 2) in
+  check (Alcotest.list value_testable) "fifo order" [ i 1; i 2 ] (Vqueue.to_list_exn q);
+  (match Vqueue.dequeue_at q 0 with
+  | Some (v, rest) ->
+      check value_testable "head" (i 1) v;
+      check (Alcotest.list value_testable) "rest" [ i 2 ] (Vqueue.to_list_exn rest)
+  | None -> Alcotest.fail "dequeue_at 0");
+  match Vqueue.dequeue_at q 1 with
+  | Some (v, rest) ->
+      check value_testable "second" (i 2) v;
+      check (Alcotest.list value_testable) "rest" [ i 1 ] (Vqueue.to_list_exn rest)
+  | None -> Alcotest.fail "dequeue_at 1"
+
+let test_vqueue_bounds () =
+  let q = Vqueue.of_list [ i 1 ] in
+  check Alcotest.bool "out of range" true (Vqueue.dequeue_at q 1 = None);
+  check Alcotest.bool "negative" true (Vqueue.dequeue_at q (-1) = None);
+  check Alcotest.bool "malformed" true (Vqueue.to_list (Value.Int 5) = None);
+  Alcotest.check_raises "bottom element" (Invalid_argument "Vqueue.of_list: Bottom element")
+    (fun () -> ignore (Vqueue.of_list [ Value.Bottom ]))
+
+let prop_vqueue_of_to =
+  QCheck.Test.make ~name:"Vqueue of_list/to_list roundtrip" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 10) (map (fun n -> Value.Int n) small_int))
+    (fun l ->
+      match Vqueue.to_list (Vqueue.of_list l) with
+      | Some l' -> List.length l = List.length l' && List.for_all2 Value.equal l l'
+      | None -> false)
+
+(* ---- Queue semantics ---- *)
+
+let test_queue_semantics () =
+  let q0 = Vqueue.empty in
+  let o = Semantics.apply_exn Kind.Queue ~state:q0 (Op.Enqueue (i 7)) in
+  check value_testable "enqueue response" Value.Bottom o.Semantics.response;
+  let o2 = Semantics.apply_exn Kind.Queue ~state:o.Semantics.post_state Op.Dequeue in
+  check value_testable "dequeue head" (i 7) o2.Semantics.response;
+  check Alcotest.bool "now empty" true (Vqueue.is_empty o2.Semantics.post_state);
+  let o3 = Semantics.apply_exn Kind.Queue ~state:q0 Op.Dequeue in
+  check value_testable "empty dequeue" Value.Bottom o3.Semantics.response
+
+let test_queue_semantics_errors () =
+  (match Semantics.apply Kind.Queue ~state:(Value.Int 5) Op.Dequeue with
+  | Error (Semantics.Type_error _) -> ()
+  | _ -> Alcotest.fail "malformed state");
+  match Semantics.apply Kind.Queue ~state:Vqueue.empty (Op.Enqueue Value.Bottom) with
+  | Error (Semantics.Type_error _) -> ()
+  | _ -> Alcotest.fail "bottom element"
+
+(* ---- Relaxation fault ---- *)
+
+let test_relaxation_semantics () =
+  let q = Vqueue.of_list [ i 1; i 2; i 3 ] in
+  match FS.apply Fault_kind.Relaxation ~payload:(i 1) ~kind:Kind.Queue ~state:q Op.Dequeue with
+  | Ok (FS.Outcome o) ->
+      check value_testable "removed second" (i 2) o.Semantics.response;
+      check (Alcotest.list value_testable) "remaining" [ i 1; i 3 ]
+        (Vqueue.to_list_exn o.Semantics.post_state)
+  | _ -> Alcotest.fail "expected outcome"
+
+let test_relaxation_payload_errors () =
+  let q = Vqueue.of_list [ i 1 ] in
+  (match FS.apply Fault_kind.Relaxation ~kind:Kind.Queue ~state:q Op.Dequeue with
+  | Error (FS.Payload_required _) -> ()
+  | _ -> Alcotest.fail "payload required");
+  (match FS.apply Fault_kind.Relaxation ~payload:(i 5) ~kind:Kind.Queue ~state:q Op.Dequeue with
+  | Error (FS.Invalid_payload _) -> ()
+  | _ -> Alcotest.fail "out of range");
+  match
+    FS.apply Fault_kind.Relaxation ~payload:(Value.Str "x") ~kind:Kind.Queue ~state:q
+      Op.Dequeue
+  with
+  | Error (FS.Invalid_payload _) -> ()
+  | _ -> Alcotest.fail "non-int payload"
+
+let queue_step ~pre ~post ~response =
+  { Triple.kind = Kind.Queue; pre_state = pre; op = Op.Dequeue; post_state = post; response }
+
+let test_queue_spec () =
+  let q = Vqueue.of_list [ i 1; i 2; i 3 ] in
+  let fifo = queue_step ~pre:q ~post:(Vqueue.of_list [ i 2; i 3 ]) ~response:(i 1) in
+  let relaxed1 = queue_step ~pre:q ~post:(Vqueue.of_list [ i 1; i 3 ]) ~response:(i 2) in
+  let relaxed2 = queue_step ~pre:q ~post:(Vqueue.of_list [ i 1; i 2 ]) ~response:(i 3) in
+  let broken = queue_step ~pre:q ~post:(Vqueue.of_list [ i 1 ]) ~response:(i 9) in
+  check Alcotest.bool "fifo satisfies \xce\xa6" true (Queue_spec.standard_dequeue fifo);
+  check Alcotest.bool "relaxed violates \xce\xa6" false (Queue_spec.standard_dequeue relaxed1);
+  check Alcotest.bool "fifo within k=1" true (Queue_spec.relaxed_dequeue ~k:1 fifo);
+  check Alcotest.bool "distance 1 within k=2" true (Queue_spec.relaxed_dequeue ~k:2 relaxed1);
+  check Alcotest.bool "distance 2 not within k=2" false
+    (Queue_spec.relaxed_dequeue ~k:2 relaxed2);
+  check Alcotest.bool "distance 2 within k=3" true (Queue_spec.relaxed_dequeue ~k:3 relaxed2);
+  check Alcotest.bool "any accepts both" true
+    (Queue_spec.relaxed_any relaxed1 && Queue_spec.relaxed_any relaxed2);
+  check Alcotest.bool "foreign element rejected" false (Queue_spec.relaxed_any broken);
+  check (Alcotest.option Alcotest.int) "distance of fifo" (Some 0)
+    (Queue_spec.dequeue_distance fifo);
+  check (Alcotest.option Alcotest.int) "distance of relaxed" (Some 2)
+    (Queue_spec.dequeue_distance relaxed2)
+
+let verdict = Alcotest.testable Classify.pp_verdict Classify.equal_verdict
+
+let test_queue_classification () =
+  let q = Vqueue.of_list [ i 1; i 2 ] in
+  let relaxed = queue_step ~pre:q ~post:(Vqueue.of_list [ i 1 ]) ~response:(i 2) in
+  check verdict "relaxation recognized" (Classify.Structured_fault "relaxation")
+    (Classify.classify_step relaxed);
+  let fifo = queue_step ~pre:q ~post:(Vqueue.of_list [ i 2 ]) ~response:(i 1) in
+  check verdict "fifo correct" Classify.Correct (Classify.classify_step fifo)
+
+(* ---- TAS Φ′ formulas ---- *)
+
+let tas_step ~pre ~post ~response =
+  {
+    Triple.kind = Kind.Test_and_set;
+    pre_state = Value.Bool pre;
+    op = Op.Test_and_set;
+    post_state = Value.Bool post;
+    response = Value.Bool response;
+  }
+
+let test_tas_spec () =
+  let correct_win = tas_step ~pre:false ~post:true ~response:false in
+  let correct_lose = tas_step ~pre:true ~post:true ~response:true in
+  let silent = tas_step ~pre:false ~post:false ~response:false in
+  let phantom = tas_step ~pre:true ~post:true ~response:false in
+  check Alcotest.bool "win satisfies \xce\xa6" true (Tas_spec.standard_tas correct_win);
+  check Alcotest.bool "lose satisfies \xce\xa6" true (Tas_spec.standard_tas correct_lose);
+  check Alcotest.bool "silent violates \xce\xa6" false (Tas_spec.standard_tas silent);
+  check Alcotest.bool "silent-set shape" true (Tas_spec.silent_set silent);
+  check Alcotest.bool "phantom violates \xce\xa6" false (Tas_spec.standard_tas phantom);
+  check Alcotest.bool "phantom-win shape" true (Tas_spec.phantom_win phantom);
+  check verdict "silent classified" (Classify.Structured_fault "silent-set")
+    (Classify.classify_step silent);
+  check verdict "phantom classified" (Classify.Structured_fault "phantom-win")
+    (Classify.classify_step phantom)
+
+let test_sticky_bit () =
+  let sticky =
+    {
+      Triple.kind = Kind.Test_and_set;
+      pre_state = Value.Bool true;
+      op = Op.Reset;
+      post_state = Value.Bool true;
+      response = Value.Bottom;
+    }
+  in
+  check Alcotest.bool "sticky shape" true (Tas_spec.sticky_bit sticky);
+  check verdict "sticky classified" (Classify.Structured_fault "sticky-bit")
+    (Classify.classify_step sticky)
+
+let test_tas_faulty_semantics () =
+  (match FS.apply Fault_kind.Silent ~kind:Kind.Test_and_set ~state:(Value.Bool false)
+           Op.Test_and_set with
+  | Ok (FS.Outcome o) ->
+      check value_testable "bit unchanged" (Value.Bool false) o.Semantics.post_state;
+      check value_testable "truthful old" (Value.Bool false) o.Semantics.response
+  | _ -> Alcotest.fail "silent tas");
+  match
+    FS.apply Fault_kind.Invisible ~payload:(Value.Bool false) ~kind:Kind.Test_and_set
+      ~state:(Value.Bool true) Op.Test_and_set
+  with
+  | Ok (FS.Outcome o) ->
+      check value_testable "bit stays set" (Value.Bool true) o.Semantics.post_state;
+      check value_testable "forged win" (Value.Bool false) o.Semantics.response
+  | _ -> Alcotest.fail "phantom win"
+
+(* ---- TAS consensus protocol ---- *)
+
+let test_tas_consensus_fault_free () =
+  let setup =
+    Check.setup Consensus.Tas_consensus.protocol (Protocol.params ~n_procs:2 ~f:0 ())
+  in
+  let stats = Dfs.explore ~max_executions:1_000 setup in
+  check Alcotest.bool "exhaustively clean" true
+    (stats.Dfs.witnesses = [] && not stats.Dfs.truncated)
+
+let test_tas_consensus_silent_breaks () =
+  let setup =
+    Check.setup
+      ~allowed_faults:[ Fault_kind.Silent ]
+      ~victims:[ Consensus.Tas_consensus.tas_object ]
+      Consensus.Tas_consensus.protocol
+      (Protocol.params ~t:1 ~n_procs:2 ~f:1 ())
+  in
+  let stats = Dfs.explore ~max_executions:10_000 setup in
+  check Alcotest.bool "witness found" true (stats.Dfs.witnesses <> [])
+
+let test_tas_consensus_rejects_n3 () =
+  let setup =
+    Check.setup Consensus.Tas_consensus.protocol (Protocol.params ~n_procs:3 ~f:0 ())
+  in
+  let report =
+    Check.run setup
+      ~scheduler:(Ffault_sim.Scheduler.round_robin ())
+      ~injector:Ffault_fault.Injector.never ()
+  in
+  (* the construction is 2-process; a third process crashes its body *)
+  check Alcotest.bool "some process crashed" true
+    (List.exists
+       (function Check.Wait_freedom _ -> true | _ -> false)
+       report.Check.violations)
+
+let suites =
+  [
+    ( "objects.vqueue",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_vqueue_roundtrip;
+        Alcotest.test_case "enqueue/dequeue" `Quick test_vqueue_enqueue_dequeue;
+        Alcotest.test_case "bounds" `Quick test_vqueue_bounds;
+        qcheck prop_vqueue_of_to;
+      ] );
+    ( "objects.queue-semantics",
+      [
+        Alcotest.test_case "fifo" `Quick test_queue_semantics;
+        Alcotest.test_case "errors" `Quick test_queue_semantics_errors;
+      ] );
+    ( "fault.relaxation",
+      [
+        Alcotest.test_case "semantics" `Quick test_relaxation_semantics;
+        Alcotest.test_case "payload errors" `Quick test_relaxation_payload_errors;
+        Alcotest.test_case "queue \xce\xa6' formulas" `Quick test_queue_spec;
+        Alcotest.test_case "classification" `Quick test_queue_classification;
+      ] );
+    ( "hoare.tas",
+      [
+        Alcotest.test_case "\xce\xa6' formulas" `Quick test_tas_spec;
+        Alcotest.test_case "sticky bit" `Quick test_sticky_bit;
+        Alcotest.test_case "faulty semantics" `Quick test_tas_faulty_semantics;
+      ] );
+    ( "consensus.tas",
+      [
+        Alcotest.test_case "fault-free exhaustive" `Quick test_tas_consensus_fault_free;
+        Alcotest.test_case "silent fault breaks" `Quick test_tas_consensus_silent_breaks;
+        Alcotest.test_case "n=3 rejected" `Quick test_tas_consensus_rejects_n3;
+      ] );
+  ]

@@ -1,0 +1,247 @@
+(* Tests for the multicore runtime: packed values, the faulty CAS cell,
+   the parallel runner and the consensus harness. *)
+
+module R = Ffault_runtime
+module Packed = R.Packed
+module Faulty_cas = R.Faulty_cas
+module Runner = R.Runner
+module Consensus_mc = R.Consensus_mc
+open Ffault_objects
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+let packed = Alcotest.testable Packed.pp Packed.equal
+
+(* ---- Packed ---- *)
+
+let test_packed_basics () =
+  check Alcotest.bool "bottom" true (Packed.is_bottom Packed.bottom);
+  check Alcotest.bool "plain not bottom" false (Packed.is_bottom (Packed.of_int 3));
+  check Alcotest.int "to_int" 3 (Packed.to_int (Packed.of_int 3));
+  let s = Packed.staged ~value:7 ~stage:4 in
+  check Alcotest.bool "staged" true (Packed.is_staged s);
+  check Alcotest.int "stage_of" 4 (Packed.stage_of s);
+  check packed "unstage" (Packed.of_int 7) (Packed.unstage s);
+  check Alcotest.int "stage_of plain" (-1) (Packed.stage_of (Packed.of_int 7));
+  check packed "unstage plain identity" (Packed.of_int 7) (Packed.unstage (Packed.of_int 7))
+
+let test_packed_stage_minus_one () =
+  let s = Packed.staged ~value:2 ~stage:(-1) in
+  check Alcotest.int "stage -1 representable" (-1) (Packed.stage_of s);
+  check Alcotest.bool "still staged-tagged" true (Packed.is_staged s);
+  check Alcotest.bool "distinct from plain" false (Packed.equal s (Packed.of_int 2))
+
+let test_packed_validation () =
+  Alcotest.check_raises "negative plain" (Invalid_argument "Packed.of_int: out of range")
+    (fun () -> ignore (Packed.of_int (-1)));
+  Alcotest.check_raises "stage too small" (Invalid_argument "Packed.staged: stage out of range")
+    (fun () -> ignore (Packed.staged ~value:0 ~stage:(-2)));
+  Alcotest.check_raises "value too big" (Invalid_argument "Packed.staged: value out of range")
+    (fun () -> ignore (Packed.staged ~value:(1 lsl 24) ~stage:0))
+
+let test_packed_to_int_rejects () =
+  Alcotest.check_raises "bottom" (Invalid_argument "Packed.to_int: not a plain value")
+    (fun () -> ignore (Packed.to_int Packed.bottom))
+
+let prop_packed_value_roundtrip =
+  let gen =
+    QCheck.Gen.oneof
+      [
+        QCheck.Gen.return Value.Bottom;
+        QCheck.Gen.map (fun i -> Value.Int i) (QCheck.Gen.int_bound 1_000_000);
+        QCheck.Gen.map2
+          (fun v s -> Value.Staged { value = Value.Int v; stage = s - 1 })
+          (QCheck.Gen.int_bound 10_000) (QCheck.Gen.int_bound 10_000);
+      ]
+  in
+  QCheck.Test.make ~name:"Packed <-> Value roundtrip" ~count:300
+    (QCheck.make ~print:Value.to_string gen) (fun v ->
+      match Packed.of_value v with
+      | Some p -> Value.equal (Packed.to_value p) v
+      | None -> false)
+
+let test_packed_of_value_rejects () =
+  check Alcotest.bool "string" true (Packed.of_value (Value.Str "x") = None);
+  check Alcotest.bool "negative int" true (Packed.of_value (Value.Int (-1)) = None)
+
+(* ---- Faulty_cas ---- *)
+
+let test_cas_correct_path () =
+  let c = Faulty_cas.make ~init:Packed.bottom () in
+  let old = Faulty_cas.cas c ~expected:Packed.bottom ~desired:(Packed.of_int 5) in
+  check packed "old is bottom" Packed.bottom old;
+  check packed "written" (Packed.of_int 5) (Faulty_cas.peek c);
+  let old = Faulty_cas.cas c ~expected:Packed.bottom ~desired:(Packed.of_int 9) in
+  check packed "failed cas returns current" (Packed.of_int 5) old;
+  check packed "unchanged" (Packed.of_int 5) (Faulty_cas.peek c);
+  check Alcotest.int "no faults" 0 (Faulty_cas.observable_faults c)
+
+let test_cas_fault_path () =
+  let c = Faulty_cas.make ~plan:Faulty_cas.plan_always ~init:(Packed.of_int 1) () in
+  let old = Faulty_cas.cas c ~expected:Packed.bottom ~desired:(Packed.of_int 5) in
+  check packed "truthful old" (Packed.of_int 1) old;
+  check packed "overridden" (Packed.of_int 5) (Faulty_cas.peek c);
+  check Alcotest.int "one observable fault" 1 (Faulty_cas.observable_faults c)
+
+let test_cas_unobservable_refunded () =
+  (* The comparison would succeed anyway: injecting changes nothing and
+     must not be charged. *)
+  let c = Faulty_cas.make ~plan:Faulty_cas.plan_always ~t_bound:5 ~init:Packed.bottom () in
+  ignore (Faulty_cas.cas c ~expected:Packed.bottom ~desired:(Packed.of_int 5));
+  check Alcotest.int "refunded" 0 (Faulty_cas.observable_faults c)
+
+let test_cas_t_bound_cap () =
+  let c = Faulty_cas.make ~plan:Faulty_cas.plan_always ~t_bound:2 ~init:(Packed.of_int 1) () in
+  for k = 0 to 9 do
+    ignore (Faulty_cas.cas c ~expected:Packed.bottom ~desired:(Packed.of_int (100 + k)))
+  done;
+  check Alcotest.int "capped at t" 2 (Faulty_cas.observable_faults c);
+  check Alcotest.int "ops counted" 10 (Faulty_cas.ops_performed c)
+
+let test_plans () =
+  check Alcotest.bool "never" false (Faulty_cas.plan_never.Faulty_cas.fire ~op_index:0);
+  check Alcotest.bool "always" true (Faulty_cas.plan_always.Faulty_cas.fire ~op_index:9);
+  let p = Faulty_cas.plan_first_n 2 in
+  check Alcotest.bool "first_n yes" true (p.Faulty_cas.fire ~op_index:1);
+  check Alcotest.bool "first_n no" false (p.Faulty_cas.fire ~op_index:2);
+  let p = Faulty_cas.plan_every_kth 3 in
+  check Alcotest.bool "kth 0" true (p.Faulty_cas.fire ~op_index:0);
+  check Alcotest.bool "kth 1" false (p.Faulty_cas.fire ~op_index:1);
+  check Alcotest.bool "kth 3" true (p.Faulty_cas.fire ~op_index:3);
+  Alcotest.check_raises "kth validation" (Invalid_argument "Faulty_cas.plan_every_kth: k < 1")
+    (fun () -> ignore (Faulty_cas.plan_every_kth 0))
+
+let test_plan_probabilistic_deterministic () =
+  let a = Faulty_cas.plan_probabilistic ~seed:5L ~p:0.5 in
+  let b = Faulty_cas.plan_probabilistic ~seed:5L ~p:0.5 in
+  for k = 0 to 100 do
+    check Alcotest.bool "same decisions" (a.Faulty_cas.fire ~op_index:k)
+      (b.Faulty_cas.fire ~op_index:k)
+  done
+
+let test_plan_probabilistic_rate () =
+  let p = Faulty_cas.plan_probabilistic ~seed:11L ~p:0.25 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for k = 0 to n - 1 do
+    if p.Faulty_cas.fire ~op_index:k then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  check Alcotest.bool "rate near 0.25" true (rate > 0.22 && rate < 0.28)
+
+(* ---- Runner ---- *)
+
+let test_runner_results_in_order () =
+  let results = Runner.run_parallel ~domains:4 (fun i -> i * 10) in
+  check (Alcotest.list Alcotest.int) "ordered" [ 0; 10; 20; 30 ] (Array.to_list results)
+
+let test_runner_single_domain () =
+  let results = Runner.run_parallel ~domains:1 (fun i -> i + 1) in
+  check (Alcotest.list Alcotest.int) "one" [ 1 ] (Array.to_list results)
+
+let test_runner_validation () =
+  Alcotest.check_raises "domains < 1" (Invalid_argument "Runner.run_parallel: domains < 1")
+    (fun () -> ignore (Runner.run_parallel ~domains:0 (fun i -> i)))
+
+let test_runner_parallel_increments () =
+  let counter = Atomic.make 0 in
+  let per = 10_000 in
+  ignore
+    (Runner.run_parallel ~domains:4 (fun _ ->
+         for _ = 1 to per do
+           Atomic.incr counter
+         done));
+  check Alcotest.int "no lost updates" (4 * per) (Atomic.get counter)
+
+(* ---- Consensus_mc ---- *)
+
+let test_mc_fault_free_all_protocols () =
+  List.iter
+    (fun protocol ->
+      let cfg = Consensus_mc.config ~n_domains:4 protocol in
+      let r = Consensus_mc.execute cfg in
+      check Alcotest.bool
+        (Fmt.str "%a agreed" Consensus_mc.pp_protocol protocol)
+        true
+        (r.Consensus_mc.agreed && r.Consensus_mc.valid))
+    [
+      Consensus_mc.Single_cas;
+      Consensus_mc.Sweep 3;
+      Consensus_mc.Staged { f = 2; t = 1 };
+    ]
+
+let test_mc_staged_under_faults () =
+  for k = 1 to 50 do
+    let cfg =
+      Consensus_mc.config
+        ~plan_for:(fun o ->
+          Faulty_cas.plan_probabilistic ~seed:(Int64.of_int ((k * 131) + o)) ~p:0.4)
+        ~n_domains:4
+        (Consensus_mc.Staged { f = 3; t = 2 })
+    in
+    let r = Consensus_mc.execute cfg in
+    check Alcotest.bool "agreed and valid" true (r.Consensus_mc.agreed && r.Consensus_mc.valid);
+    Array.iter
+      (fun faults -> check Alcotest.bool "within t" true (faults <= 2))
+      r.Consensus_mc.faults_per_object
+  done
+
+let test_mc_naive_breaks () =
+  (* Single CAS with always-faults among 4 domains: some run must
+     disagree (the theory says n > 2 is unsafe; with the barrier start
+     the race is essentially guaranteed across 50 runs). *)
+  let broken = ref false in
+  for k = 1 to 50 do
+    ignore k;
+    let cfg =
+      Consensus_mc.config
+        ~plan_for:(fun _ -> Faulty_cas.plan_always)
+        ~t_bound:10 ~n_domains:4 Consensus_mc.Single_cas
+    in
+    let r = Consensus_mc.execute cfg in
+    if not (r.Consensus_mc.agreed && r.Consensus_mc.valid) then broken := true
+  done;
+  check Alcotest.bool "naive protocol broke at least once" true !broken
+
+let test_mc_config_validation () =
+  Alcotest.check_raises "inputs mismatch"
+    (Invalid_argument "Consensus_mc.config: inputs count differs from n_domains") (fun () ->
+      ignore (Consensus_mc.config ~inputs:[| 1 |] ~n_domains:2 Consensus_mc.Single_cas))
+
+let suites =
+  [
+    ( "runtime.packed",
+      [
+        Alcotest.test_case "basics" `Quick test_packed_basics;
+        Alcotest.test_case "stage -1" `Quick test_packed_stage_minus_one;
+        Alcotest.test_case "validation" `Quick test_packed_validation;
+        Alcotest.test_case "to_int rejects" `Quick test_packed_to_int_rejects;
+        Alcotest.test_case "of_value rejects" `Quick test_packed_of_value_rejects;
+        qcheck prop_packed_value_roundtrip;
+      ] );
+    ( "runtime.faulty_cas",
+      [
+        Alcotest.test_case "correct path" `Quick test_cas_correct_path;
+        Alcotest.test_case "fault path" `Quick test_cas_fault_path;
+        Alcotest.test_case "unobservable refunded" `Quick test_cas_unobservable_refunded;
+        Alcotest.test_case "t bound cap" `Quick test_cas_t_bound_cap;
+        Alcotest.test_case "plans" `Quick test_plans;
+        Alcotest.test_case "probabilistic determinism" `Quick
+          test_plan_probabilistic_deterministic;
+        Alcotest.test_case "probabilistic rate" `Quick test_plan_probabilistic_rate;
+      ] );
+    ( "runtime.runner",
+      [
+        Alcotest.test_case "ordered results" `Quick test_runner_results_in_order;
+        Alcotest.test_case "single domain" `Quick test_runner_single_domain;
+        Alcotest.test_case "validation" `Quick test_runner_validation;
+        Alcotest.test_case "parallel increments" `Quick test_runner_parallel_increments;
+      ] );
+    ( "runtime.consensus",
+      [
+        Alcotest.test_case "fault-free protocols" `Quick test_mc_fault_free_all_protocols;
+        Alcotest.test_case "staged under faults" `Slow test_mc_staged_under_faults;
+        Alcotest.test_case "naive breaks" `Slow test_mc_naive_breaks;
+        Alcotest.test_case "config validation" `Quick test_mc_config_validation;
+      ] );
+  ]

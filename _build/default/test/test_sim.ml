@@ -1,0 +1,324 @@
+(* Tests for the simulator: world, schedulers, and the engine's
+   interleaving / fault-injection machinery. *)
+
+open Ffault_objects
+module Sim = Ffault_sim
+module World = Sim.World
+module Scheduler = Sim.Scheduler
+module Engine = Sim.Engine
+module Proc = Sim.Proc
+module Trace = Sim.Trace
+module Fault = Ffault_fault
+module Fault_kind = Fault.Fault_kind
+module Budget = Fault.Budget
+module Injector = Fault.Injector
+
+let check = Alcotest.check
+let i n = Value.Int n
+let oid = Obj_id.of_int
+
+(* ---- World ---- *)
+
+let test_world_validation () =
+  Alcotest.check_raises "zero procs" (Invalid_argument "World.make: need at least one process")
+    (fun () -> ignore (World.make ~n_procs:0 [ World.obj Kind.Cas_only ]));
+  Alcotest.check_raises "no objects" (Invalid_argument "World.make: need at least one object")
+    (fun () -> ignore (World.make ~n_procs:1 []))
+
+let test_world_accessors () =
+  let w =
+    World.make ~n_procs:3
+      [ World.obj ~label:"A" Kind.Cas_only; World.obj ~init:(i 5) Kind.Register ]
+  in
+  check Alcotest.int "procs" 3 (World.n_procs w);
+  check Alcotest.int "objects" 2 (World.n_objects w);
+  check Alcotest.string "label" "A" (World.label_of w (oid 0));
+  check Alcotest.string "default label" "O1" (World.label_of w (oid 1));
+  check Test_objects.value_testable_for_reuse "init" (i 5) (World.init_of w (oid 1));
+  check Alcotest.bool "kind" true (Kind.equal Kind.Register (World.kind_of w (oid 1)))
+
+let test_cas_world () =
+  let w = World.cas_world ~n_procs:2 ~objects:4 in
+  check Alcotest.int "objects" 4 (World.n_objects w);
+  List.iter
+    (fun id ->
+      check Alcotest.bool "cas-only" true (Kind.equal Kind.Cas_only (World.kind_of w id));
+      check Alcotest.bool "bottom init" true (Value.is_bottom (World.init_of w id)))
+    (World.object_ids w)
+
+(* ---- Scheduler ---- *)
+
+let test_round_robin_cycles () =
+  let s = Scheduler.round_robin () in
+  let picks = List.init 6 (fun step -> s.Scheduler.pick ~enabled:[ 0; 1; 2 ] ~step) in
+  check (Alcotest.list Alcotest.int) "cycles" [ 0; 1; 2; 0; 1; 2 ] picks
+
+let test_round_robin_skips_disabled () =
+  let s = Scheduler.round_robin () in
+  ignore (s.Scheduler.pick ~enabled:[ 0; 1; 2 ] ~step:0);
+  let p = s.Scheduler.pick ~enabled:[ 0; 2 ] ~step:1 in
+  check Alcotest.int "skips to 2" 2 p
+
+let test_random_picks_member () =
+  let s = Scheduler.random ~seed:5L in
+  for step = 0 to 100 do
+    let p = s.Scheduler.pick ~enabled:[ 1; 4; 7 ] ~step in
+    check Alcotest.bool "member" true (List.mem p [ 1; 4; 7 ])
+  done
+
+let test_scripted_follows_then_falls_back () =
+  let s = Scheduler.scripted [ 2; 0 ] ~fallback:(Scheduler.round_robin ()) in
+  check Alcotest.int "first scripted" 2 (s.Scheduler.pick ~enabled:[ 0; 1; 2 ] ~step:0);
+  check Alcotest.int "second scripted" 0 (s.Scheduler.pick ~enabled:[ 0; 1; 2 ] ~step:1);
+  let p = s.Scheduler.pick ~enabled:[ 0; 1; 2 ] ~step:2 in
+  check Alcotest.bool "fallback member" true (List.mem p [ 0; 1; 2 ])
+
+let test_solo_runs_order () =
+  let s = Scheduler.solo_runs ~order:[ 1; 0 ] in
+  check Alcotest.int "soloist first" 1 (s.Scheduler.pick ~enabled:[ 0; 1; 2 ] ~step:0);
+  check Alcotest.int "soloist continues" 1 (s.Scheduler.pick ~enabled:[ 0; 1; 2 ] ~step:1);
+  (* once 1 finishes, move to 0 *)
+  check Alcotest.int "next soloist" 0 (s.Scheduler.pick ~enabled:[ 0; 2 ] ~step:2)
+
+let test_prioritized_member () =
+  let s = Scheduler.prioritized ~weights:[| 1.0; 10.0; 1.0 |] ~seed:3L in
+  let counts = Array.make 3 0 in
+  for step = 0 to 2000 do
+    let p = s.Scheduler.pick ~enabled:[ 0; 1; 2 ] ~step in
+    counts.(p) <- counts.(p) + 1
+  done;
+  check Alcotest.bool "heavy proc dominates" true (counts.(1) > counts.(0) + counts.(2))
+
+(* ---- Engine ---- *)
+
+let herlihy_body world_input () =
+  let old = Proc.cas (oid 0) ~expected:Value.Bottom ~desired:world_input in
+  if Value.is_bottom old then world_input else old
+
+let run_herlihy ?(n = 3) ?(budget = Budget.none ()) ?(injector = Injector.never)
+    ?(scheduler = Scheduler.round_robin ()) () =
+  let world = World.cas_world ~n_procs:n ~objects:1 in
+  let cfg = Engine.config ~world ~budget () in
+  let bodies = Array.init n (fun p -> herlihy_body (i (100 + p))) in
+  Engine.run cfg ~scheduler ~injector ~bodies ()
+
+let test_engine_fault_free_consensus () =
+  let r = run_herlihy () in
+  check Alcotest.bool "all decided" true (Engine.all_decided r);
+  List.iter
+    (fun (_, v) -> check Test_objects.value_testable_for_reuse "first writer wins" (i 100) v)
+    (Engine.decided_values r);
+  check Alcotest.int "three steps" 3 r.Engine.total_steps;
+  check Alcotest.int "audit clean" 0 (List.length
+    (Trace.audit ~world:(World.cas_world ~n_procs:3 ~objects:1) r.Engine.trace))
+
+let test_engine_deterministic_replay () =
+  let render r = Fmt.str "%a" (Trace.pp ~world:(World.cas_world ~n_procs:3 ~objects:1)) r.Engine.trace in
+  let r1 =
+    run_herlihy ~scheduler:(Scheduler.random ~seed:9L)
+      ~budget:(Budget.create ~max_faulty_objects:1 ~max_faults_per_object:None ())
+      ~injector:(Injector.probabilistic ~seed:4L ~p:0.5 Fault_kind.Overriding) ()
+  in
+  let r2 =
+    run_herlihy ~scheduler:(Scheduler.random ~seed:9L)
+      ~budget:(Budget.create ~max_faulty_objects:1 ~max_faults_per_object:None ())
+      ~injector:(Injector.probabilistic ~seed:4L ~p:0.5 Fault_kind.Overriding) ()
+  in
+  check Alcotest.string "same seed, same trace" (render r1) (render r2)
+
+let test_engine_budget_enforced () =
+  (* Adversary wants to fault every op, budget allows 2 on one object. *)
+  let budget = Budget.create ~max_faulty_objects:1 ~max_faults_per_object:(Some 2) () in
+  let r = run_herlihy ~n:6 ~budget ~injector:(Injector.always Fault_kind.Overriding) () in
+  check Alcotest.bool "at most 2 faults" true (Budget.total_faults r.Engine.budget <= 2);
+  check Alcotest.bool "at most 1 faulty object" true
+    (List.length (Budget.faulty_objects r.Engine.budget) <= 1)
+
+let test_engine_unobservable_not_charged () =
+  (* A single process: its only CAS succeeds, so an overriding fault on it
+     is unobservable and must not be charged. *)
+  let budget = Budget.create ~max_faulty_objects:1 ~max_faults_per_object:None () in
+  let r = run_herlihy ~n:1 ~budget ~injector:(Injector.always Fault_kind.Overriding) () in
+  check Alcotest.int "no observable fault" 0 (Budget.total_faults r.Engine.budget);
+  check Alcotest.bool "decided" true (Engine.all_decided r)
+
+let test_engine_fault_labels_audited () =
+  let budget = Budget.create ~max_faulty_objects:1 ~max_faults_per_object:None () in
+  let r = run_herlihy ~n:4 ~budget ~injector:(Injector.always Fault_kind.Overriding) () in
+  let world = World.cas_world ~n_procs:4 ~objects:1 in
+  check Alcotest.int "audit agrees with labels" 0 (List.length (Trace.audit ~world r.Engine.trace));
+  check Alcotest.bool "faults recorded in trace" true
+    (Trace.injected_faults r.Engine.trace <> [])
+
+let test_engine_step_limit () =
+  (* A body that can never finish: it always CASes with a wrong expected
+     value and retries. *)
+  let world = World.cas_world ~n_procs:1 ~objects:1 in
+  let cfg = Engine.config ~max_steps_per_proc:50 ~world ~budget:(Budget.none ()) () in
+  let body () =
+    let rec loop () =
+      ignore (Proc.cas (oid 0) ~expected:(i 999) ~desired:(i 1));
+      loop ()
+    in
+    loop ()
+  in
+  let r =
+    Engine.run cfg ~scheduler:(Scheduler.round_robin ()) ~injector:Injector.never
+      ~bodies:[| body |] ()
+  in
+  (match r.Engine.outcomes.(0) with
+  | Engine.Step_limited -> ()
+  | o -> Alcotest.failf "expected Step_limited, got %a" Engine.pp_proc_outcome o);
+  check Alcotest.bool "limit event in trace" true
+    (List.exists (function Trace.Step_limit_hit _ -> true | _ -> false) r.Engine.trace)
+
+let test_engine_nonresponsive_hangs_proc () =
+  let world = World.cas_world ~n_procs:2 ~objects:1 in
+  let budget = Budget.create ~max_faulty_objects:1 ~max_faults_per_object:(Some 1) () in
+  let cfg = Engine.config ~allowed_faults:[ Fault_kind.Nonresponsive ] ~world ~budget () in
+  let bodies = Array.init 2 (fun p -> herlihy_body (i (100 + p))) in
+  let injector =
+    Injector.on_invocations
+      [ (0, Injector.Fault { kind = Fault_kind.Nonresponsive; payload = None }) ]
+  in
+  let r = Engine.run cfg ~scheduler:(Scheduler.round_robin ()) ~injector ~bodies () in
+  (match r.Engine.outcomes.(0) with
+  | Engine.Hung -> ()
+  | o -> Alcotest.failf "expected Hung, got %a" Engine.pp_proc_outcome o);
+  (* the other process still finishes *)
+  match r.Engine.outcomes.(1) with
+  | Engine.Decided _ -> ()
+  | o -> Alcotest.failf "expected Decided, got %a" Engine.pp_proc_outcome o
+
+let test_engine_crash_recorded () =
+  let world = World.cas_world ~n_procs:1 ~objects:1 in
+  let cfg = Engine.config ~world ~budget:(Budget.none ()) () in
+  let body () = failwith "boom" in
+  let r =
+    Engine.run cfg ~scheduler:(Scheduler.round_robin ()) ~injector:Injector.never
+      ~bodies:[| body |] ()
+  in
+  match r.Engine.outcomes.(0) with
+  | Engine.Crashed msg -> check Alcotest.bool "message" true (String.length msg > 0)
+  | o -> Alcotest.failf "expected Crashed, got %a" Engine.pp_proc_outcome o
+
+let test_engine_illegal_op_crashes () =
+  let world = World.cas_world ~n_procs:1 ~objects:1 in
+  let cfg = Engine.config ~world ~budget:(Budget.none ()) () in
+  let body () = Proc.read (oid 0) in
+  let r =
+    Engine.run cfg ~scheduler:(Scheduler.round_robin ()) ~injector:Injector.never
+      ~bodies:[| body |] ()
+  in
+  match r.Engine.outcomes.(0) with
+  | Engine.Crashed msg ->
+      check Alcotest.bool "mentions illegal operation" true
+        (String.length msg >= 7 && String.sub msg 0 7 = "illegal")
+  | o -> Alcotest.failf "expected Crashed, got %a" Engine.pp_proc_outcome o
+
+let test_engine_data_faults_applied () =
+  let world = World.cas_world ~n_procs:2 ~objects:1 in
+  let budget = Budget.create ~max_faulty_objects:1 ~max_faults_per_object:(Some 1) () in
+  let cfg = Engine.config ~world ~budget () in
+  let bodies = Array.init 2 (fun p -> herlihy_body (i (100 + p))) in
+  let data_faults =
+    Fault.Data_fault.scripted [ (1, [ { Fault.Data_fault.obj = oid 0; value = i 999 } ]) ]
+  in
+  let r =
+    Engine.run cfg ~scheduler:(Scheduler.round_robin ()) ~injector:Injector.never
+      ~data_faults ~bodies ()
+  in
+  check Alcotest.int "corruption charged" 1 (Budget.total_faults r.Engine.budget);
+  check Alcotest.bool "corruption in trace" true
+    (List.exists (function Trace.Corruption _ -> true | _ -> false) r.Engine.trace);
+  (* p1 runs after the corruption and adopts 999 *)
+  match r.Engine.outcomes.(1) with
+  | Engine.Decided v -> check Test_objects.value_testable_for_reuse "adopted" (i 999) v
+  | o -> Alcotest.failf "expected Decided, got %a" Engine.pp_proc_outcome o
+
+let test_engine_rejects_bad_bodies_count () =
+  let world = World.cas_world ~n_procs:2 ~objects:1 in
+  let cfg = Engine.config ~world ~budget:(Budget.none ()) () in
+  Alcotest.check_raises "bodies mismatch"
+    (Invalid_argument "Engine.run_with_driver: bodies count differs from world process count")
+    (fun () ->
+      ignore
+        (Engine.run cfg ~scheduler:(Scheduler.round_robin ()) ~injector:Injector.never
+           ~bodies:[| herlihy_body (i 1) |] ()))
+
+let test_engine_rejects_disabled_pick () =
+  let world = World.cas_world ~n_procs:1 ~objects:1 in
+  let cfg = Engine.config ~world ~budget:(Budget.none ()) () in
+  let driver =
+    {
+      Engine.choose_proc = (fun ~enabled:_ ~step:_ -> 7);
+      choose_outcome = (fun _ ~options:_ -> Engine.Correct_outcome);
+      after_step = (fun _ -> []);
+    }
+  in
+  Alcotest.check_raises "disabled pick"
+    (Invalid_argument "Engine: scheduler picked disabled process p7") (fun () ->
+      ignore (Engine.run_with_driver cfg driver ~bodies:[| herlihy_body (i 1) |]))
+
+let test_engine_menu_contains_fault_options () =
+  (* With a budget and an enabled-fault list, the menu offered to the
+     driver must include the observable overriding fault on a doomed
+     CAS. *)
+  let world = World.cas_world ~n_procs:2 ~objects:1 in
+  let budget = Budget.create ~max_faulty_objects:1 ~max_faults_per_object:None () in
+  let cfg = Engine.config ~world ~budget () in
+  let saw_fault_option = ref false in
+  let driver =
+    {
+      Engine.choose_proc = (fun ~enabled ~step:_ -> List.hd enabled);
+      choose_outcome =
+        (fun _ ~options ->
+          if
+            List.exists
+              (function Engine.Inject (Fault_kind.Overriding, None) -> true | _ -> false)
+              options
+          then saw_fault_option := true;
+          Engine.Correct_outcome);
+      after_step = (fun _ -> []);
+    }
+  in
+  ignore
+    (Engine.run_with_driver cfg driver
+       ~bodies:(Array.init 2 (fun p -> herlihy_body (i (100 + p)))));
+  check Alcotest.bool "fault option offered" true !saw_fault_option
+
+let suites =
+  [
+    ( "sim.world",
+      [
+        Alcotest.test_case "validation" `Quick test_world_validation;
+        Alcotest.test_case "accessors" `Quick test_world_accessors;
+        Alcotest.test_case "cas_world" `Quick test_cas_world;
+      ] );
+    ( "sim.scheduler",
+      [
+        Alcotest.test_case "round robin cycles" `Quick test_round_robin_cycles;
+        Alcotest.test_case "round robin skips disabled" `Quick test_round_robin_skips_disabled;
+        Alcotest.test_case "random member" `Quick test_random_picks_member;
+        Alcotest.test_case "scripted" `Quick test_scripted_follows_then_falls_back;
+        Alcotest.test_case "solo runs" `Quick test_solo_runs_order;
+        Alcotest.test_case "prioritized" `Quick test_prioritized_member;
+      ] );
+    ( "sim.engine",
+      [
+        Alcotest.test_case "fault-free consensus" `Quick test_engine_fault_free_consensus;
+        Alcotest.test_case "deterministic replay" `Quick test_engine_deterministic_replay;
+        Alcotest.test_case "budget enforced" `Quick test_engine_budget_enforced;
+        Alcotest.test_case "unobservable not charged" `Quick
+          test_engine_unobservable_not_charged;
+        Alcotest.test_case "fault labels audited" `Quick test_engine_fault_labels_audited;
+        Alcotest.test_case "step limit" `Quick test_engine_step_limit;
+        Alcotest.test_case "nonresponsive hangs" `Quick test_engine_nonresponsive_hangs_proc;
+        Alcotest.test_case "crash recorded" `Quick test_engine_crash_recorded;
+        Alcotest.test_case "illegal op crashes" `Quick test_engine_illegal_op_crashes;
+        Alcotest.test_case "data faults applied" `Quick test_engine_data_faults_applied;
+        Alcotest.test_case "bodies count" `Quick test_engine_rejects_bad_bodies_count;
+        Alcotest.test_case "disabled pick rejected" `Quick test_engine_rejects_disabled_pick;
+        Alcotest.test_case "fault menu offered" `Quick test_engine_menu_contains_fault_options;
+      ] );
+  ]

@@ -1,0 +1,110 @@
+(* Tests for the statistics and table-rendering helpers. *)
+
+module Summary = Ffault_stats.Summary
+module Table = Ffault_stats.Table
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+let feq = Alcotest.float 1e-9
+
+let test_summary_known_values () =
+  let s = Summary.create () in
+  List.iter (Summary.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  check Alcotest.int "count" 8 (Summary.count s);
+  check feq "mean" 5.0 (Summary.mean s);
+  check (Alcotest.float 1e-6) "stddev (sample)" 2.13809 (Summary.stddev s);
+  check feq "min" 2.0 (Summary.min_value s);
+  check feq "max" 9.0 (Summary.max_value s)
+
+let test_summary_empty () =
+  let s = Summary.create () in
+  check feq "mean of empty" 0.0 (Summary.mean s);
+  check feq "variance of empty" 0.0 (Summary.variance s);
+  Alcotest.check_raises "percentile of empty"
+    (Invalid_argument "Summary.percentile: empty accumulator") (fun () ->
+      ignore (Summary.percentile s 50.0))
+
+let test_summary_percentiles () =
+  let s = Summary.create () in
+  for i = 1 to 100 do
+    Summary.add_int s i
+  done;
+  check feq "p0" 1.0 (Summary.percentile s 0.0);
+  check feq "p100" 100.0 (Summary.percentile s 100.0);
+  check feq "median" 50.5 (Summary.percentile s 50.0);
+  Alcotest.check_raises "bad p" (Invalid_argument "Summary.percentile: p out of [0, 100]")
+    (fun () -> ignore (Summary.percentile s 101.0))
+
+let test_summary_single () =
+  let s = Summary.create () in
+  Summary.add s 3.5;
+  check feq "mean" 3.5 (Summary.mean s);
+  check feq "stddev" 0.0 (Summary.stddev s);
+  check feq "p50" 3.5 (Summary.percentile s 50.0)
+
+let prop_mean_within_bounds =
+  QCheck.Test.make ~name:"mean within [min, max]" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let s = Summary.create () in
+      List.iter (Summary.add s) xs;
+      Summary.mean s >= Summary.min_value s -. 1e-9
+      && Summary.mean s <= Summary.max_value s +. 1e-9)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentiles monotone" ~count:200
+    QCheck.(list_of_size (Gen.int_range 2 50) (float_range 0. 100.))
+    (fun xs ->
+      let s = Summary.create () in
+      List.iter (Summary.add s) xs;
+      Summary.percentile s 25.0 <= Summary.percentile s 75.0 +. 1e-9)
+
+let test_table_rendering () =
+  let t = Table.create ~columns:[ "a"; "bbb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "333"; "4" ];
+  let expected = "| a   | bbb |\n|-----|-----|\n| 1   | 2   |\n| 333 | 4   |\n" in
+  check Alcotest.string "aligned" expected (Table.to_string t)
+
+let test_table_utf8_width () =
+  let t = Table.create ~columns:[ "v" ] in
+  Table.add_row t [ "\xe2\x8a\xa5" ];
+  (* ⊥ is 3 bytes, 1 display column *)
+  Table.add_row t [ "xx" ];
+  let expected = "| v  |\n|----|\n| \xe2\x8a\xa5  |\n| xx |\n" in
+  check Alcotest.string "utf8 width" expected (Table.to_string t)
+
+let test_table_validation () =
+  Alcotest.check_raises "empty columns" (Invalid_argument "Table.create: empty column list")
+    (fun () -> ignore (Table.create ~columns:[]));
+  let t = Table.create ~columns:[ "a" ] in
+  Alcotest.check_raises "row width" (Invalid_argument "Table.add_row: row width differs from header")
+    (fun () -> Table.add_row t [ "1"; "2" ])
+
+let test_cells () =
+  check Alcotest.string "int" "42" (Table.cell_int 42);
+  check Alcotest.string "bool" "yes" (Table.cell_bool true);
+  check Alcotest.string "float" "3.14" (Table.cell_float 3.14159);
+  check Alcotest.string "float decimals" "3.1" (Table.cell_float ~decimals:1 3.14159);
+  check Alcotest.string "opt none" "-" (Table.cell_opt Table.cell_int None);
+  check Alcotest.string "opt some" "7" (Table.cell_opt Table.cell_int (Some 7))
+
+let suites =
+  [
+    ( "stats.summary",
+      [
+        Alcotest.test_case "known values" `Quick test_summary_known_values;
+        Alcotest.test_case "empty" `Quick test_summary_empty;
+        Alcotest.test_case "percentiles" `Quick test_summary_percentiles;
+        Alcotest.test_case "single sample" `Quick test_summary_single;
+        qcheck prop_mean_within_bounds;
+        qcheck prop_percentile_monotone;
+      ] );
+    ( "stats.table",
+      [
+        Alcotest.test_case "rendering" `Quick test_table_rendering;
+        Alcotest.test_case "utf8 width" `Quick test_table_utf8_width;
+        Alcotest.test_case "validation" `Quick test_table_validation;
+        Alcotest.test_case "cells" `Quick test_cells;
+      ] );
+  ]

@@ -1,0 +1,260 @@
+(* Tests for the verification layer: consensus oracles, mass testing, the
+   DFS model checker, and the invisible-fault reduction. *)
+
+open Ffault_objects
+module Consensus = Ffault_consensus
+module Protocol = Consensus.Protocol
+module Check = Ffault_verify.Consensus_check
+module Mass = Ffault_verify.Mass
+module Dfs = Ffault_verify.Dfs
+module Reduction = Ffault_verify.Reduction
+module Sim = Ffault_sim
+module Fault = Ffault_fault
+
+let check = Alcotest.check
+let i n = Value.Int n
+
+let herlihy_setup ?allowed_faults ~n ~f () =
+  Check.setup ?allowed_faults Consensus.Single_cas.herlihy (Protocol.params ~n_procs:n ~f ())
+
+(* ---- Consensus_check ---- *)
+
+let test_clean_run_ok () =
+  let setup = herlihy_setup ~n:3 ~f:0 () in
+  let report =
+    Check.run setup ~scheduler:(Sim.Scheduler.round_robin ())
+      ~injector:Fault.Injector.never ()
+  in
+  check Alcotest.bool "ok" true (Check.ok report)
+
+let test_consistency_violation_detected () =
+  let setup = herlihy_setup ~n:3 ~f:1 () in
+  (* round robin + always-fault: p1 and p2 both "succeed" *)
+  let report =
+    Check.run setup ~scheduler:(Sim.Scheduler.round_robin ())
+      ~injector:(Fault.Injector.always Fault.Fault_kind.Overriding) ()
+  in
+  check Alcotest.bool "violation found" false (Check.ok report);
+  check Alcotest.bool "it is a consistency violation" true
+    (List.exists (function Check.Consistency _ -> true | _ -> false) report.Check.violations)
+
+let test_validity_violation_detected () =
+  let setup = herlihy_setup ~allowed_faults:[ Fault.Fault_kind.Arbitrary ] ~n:2 ~f:1 () in
+  let report =
+    Check.run setup ~scheduler:(Sim.Scheduler.round_robin ())
+      ~injector:(Fault.Injector.always Fault.Fault_kind.Arbitrary) ()
+  in
+  check Alcotest.bool "validity violation" true
+    (List.exists (function Check.Validity _ -> true | _ -> false) report.Check.violations)
+
+let test_wait_freedom_violation_detected () =
+  let setup = herlihy_setup ~allowed_faults:[ Fault.Fault_kind.Nonresponsive ] ~n:2 ~f:1 () in
+  let report =
+    Check.run setup ~scheduler:(Sim.Scheduler.round_robin ())
+      ~injector:
+        (Fault.Injector.on_invocations
+           [ (0, Fault.Injector.Fault { kind = Fault.Fault_kind.Nonresponsive; payload = None }) ])
+      ()
+  in
+  check Alcotest.bool "wait-freedom violation" true
+    (List.exists
+       (function Check.Wait_freedom _ -> true | _ -> false)
+       report.Check.violations)
+
+let test_setup_rejects_bad_inputs () =
+  Alcotest.check_raises "inputs mismatch"
+    (Invalid_argument "Consensus_check.setup: inputs count differs from n_procs") (fun () ->
+      ignore
+        (Check.setup ~inputs:[| i 1 |] Consensus.Single_cas.herlihy
+           (Protocol.params ~n_procs:2 ~f:0 ())))
+
+let test_victims_restrict_faults () =
+  (* Fig. 2 with f = 1 and the victim pinned to O1: O0 is then the
+     guaranteed-correct object. *)
+  let setup =
+    Check.setup
+      ~victims:[ Obj_id.of_int 1 ]
+      Consensus.F_tolerant.protocol
+      (Protocol.params ~n_procs:3 ~f:1 ())
+  in
+  let report =
+    Check.run setup ~scheduler:(Sim.Scheduler.round_robin ())
+      ~injector:(Fault.Injector.always Fault.Fault_kind.Overriding) ()
+  in
+  check Alcotest.bool "ok" true (Check.ok report);
+  List.iter
+    (fun obj -> check Alcotest.int "only the victim faulted" 1 (Obj_id.to_int obj))
+    (Fault.Budget.faulty_objects report.Check.result.Sim.Engine.budget)
+
+(* ---- Mass ---- *)
+
+let test_mass_counts_failures () =
+  let setup = herlihy_setup ~n:3 ~f:1 () in
+  let summary =
+    Mass.run
+      ~injector:(fun _ -> Fault.Injector.always Fault.Fault_kind.Overriding)
+      ~n_runs:100 ~base_seed:3L setup
+  in
+  check Alcotest.int "runs" 100 summary.Mass.runs;
+  check Alcotest.bool "some failures" true (summary.Mass.failure_count > 0);
+  check Alcotest.bool "kept at most 5" true (List.length summary.Mass.failures <= 5)
+
+let test_mass_reproducible () =
+  let setup () = herlihy_setup ~n:3 ~f:1 () in
+  let run () =
+    Mass.run
+      ~injector:(fun rng ->
+        Fault.Injector.probabilistic
+          ~seed:(Ffault_prng.Rng.next_seed rng)
+          ~p:0.5 Fault.Fault_kind.Overriding)
+      ~n_runs:200 ~base_seed:11L (setup ())
+  in
+  let a = run () and b = run () in
+  check Alcotest.int "same failure count" a.Mass.failure_count b.Mass.failure_count;
+  check Alcotest.int "same fault total" a.Mass.total_faults b.Mass.total_faults
+
+let test_mass_on_report_called () =
+  let setup = herlihy_setup ~n:2 ~f:0 () in
+  let calls = ref 0 in
+  ignore
+    (Mass.run
+       ~on_report:(fun ~seed:_ _ -> incr calls)
+       ~injector:(fun _ -> Fault.Injector.never)
+       ~n_runs:17 ~base_seed:1L setup);
+  check Alcotest.int "observer called per run" 17 !calls
+
+(* ---- Dfs ---- *)
+
+let test_dfs_finds_known_witness () =
+  let setup =
+    Check.setup (Consensus.F_tolerant.with_objects 1) (Protocol.params ~n_procs:3 ~f:1 ())
+  in
+  let stats = Dfs.explore ~max_executions:10_000 setup in
+  check Alcotest.bool "witness" true (stats.Dfs.witnesses <> [])
+
+let test_dfs_clean_on_correct_protocol () =
+  let setup =
+    Check.setup Consensus.F_tolerant.protocol (Protocol.params ~n_procs:3 ~f:1 ())
+  in
+  let stats = Dfs.explore ~max_executions:100_000 setup in
+  check Alcotest.bool "no witness" true (stats.Dfs.witnesses = []);
+  check Alcotest.bool "not truncated" false stats.Dfs.truncated
+
+let test_dfs_schedule_only_fault_free () =
+  (* Without fault exploration, a correct protocol has only schedule
+     nondeterminism; Fig. 1 with two processes has exactly 2 schedules. *)
+  let setup =
+    Check.setup Consensus.Single_cas.two_process (Protocol.params ~n_procs:2 ~f:0 ())
+  in
+  let stats = Dfs.explore ~explore_faults:false ~max_executions:1_000 setup in
+  check Alcotest.int "two interleavings" 2 stats.Dfs.executions;
+  check Alcotest.bool "clean" true (stats.Dfs.witnesses = [])
+
+let test_dfs_replay_reproduces_witness () =
+  let setup =
+    Check.setup (Consensus.F_tolerant.with_objects 1) (Protocol.params ~n_procs:3 ~f:1 ())
+  in
+  let stats = Dfs.explore ~max_executions:10_000 setup in
+  match stats.Dfs.witnesses with
+  | [] -> Alcotest.fail "no witness"
+  | w :: _ ->
+      let report = Dfs.replay setup w.Dfs.decisions in
+      check Alcotest.bool "replay violates too" false (Check.ok report);
+      check Alcotest.int "same violation count"
+        (List.length w.Dfs.report.Check.violations)
+        (List.length report.Check.violations)
+
+let test_dfs_fig3_smallest_exhaustive () =
+  (* Every schedule × fault pattern of Fig. 3 at f = 1, t = 1, n = 2: the
+     theorem instance is fully model-checked, not sampled. *)
+  let setup =
+    Check.setup Consensus.Bounded_faults.protocol
+      (Protocol.params ~t:1 ~n_procs:2 ~f:1 ())
+  in
+  let stats = Dfs.explore ~max_executions:100_000 ~max_branch_depth:128 setup in
+  check Alcotest.bool "clean" true (stats.Dfs.witnesses = []);
+  check Alcotest.bool "exhaustive" false stats.Dfs.truncated;
+  check Alcotest.bool "thousands of executions" true (stats.Dfs.executions > 1000)
+
+let test_dfs_execution_cap_truncates () =
+  let setup =
+    Check.setup Consensus.F_tolerant.protocol (Protocol.params ~n_procs:3 ~f:2 ())
+  in
+  let stats = Dfs.explore ~max_executions:10 setup in
+  check Alcotest.bool "truncated" true stats.Dfs.truncated;
+  check Alcotest.int "capped" 10 stats.Dfs.executions
+
+let test_dfs_on_report_observer () =
+  let setup =
+    Check.setup Consensus.Single_cas.two_process (Protocol.params ~n_procs:2 ~f:0 ())
+  in
+  let seen = ref 0 in
+  ignore
+    (Dfs.explore ~explore_faults:false ~max_executions:100
+       ~on_report:(fun _ _ -> incr seen)
+       setup);
+  check Alcotest.int "observer saw both runs" 2 !seen
+
+(* ---- Reduction ---- *)
+
+let invisible_trace () =
+  let setup = herlihy_setup ~allowed_faults:[ Fault.Fault_kind.Invisible ] ~n:3 ~f:1 () in
+  let report =
+    Check.run setup ~scheduler:(Sim.Scheduler.round_robin ())
+      ~injector:(Fault.Injector.always Fault.Fault_kind.Invisible) ()
+  in
+  (Check.world setup, report.Check.result.Sim.Engine.trace)
+
+let test_reduction_rewrites_invisible () =
+  let world, original = invisible_trace () in
+  let rewritten = Reduction.invisible_to_data original in
+  let c = Reduction.verify ~world ~original ~rewritten in
+  check Alcotest.bool "responses preserved" true c.Reduction.responses_preserved;
+  check Alcotest.bool "steps all correct" true c.Reduction.steps_all_correct;
+  check Alcotest.bool "corruptions added" true (c.Reduction.corruptions_added > 0)
+
+let test_reduction_identity_on_fault_free () =
+  let setup = herlihy_setup ~n:2 ~f:0 () in
+  let report =
+    Check.run setup ~scheduler:(Sim.Scheduler.round_robin ())
+      ~injector:Fault.Injector.never ()
+  in
+  let original = report.Check.result.Sim.Engine.trace in
+  let rewritten = Reduction.invisible_to_data original in
+  check Alcotest.int "no change" (List.length original) (List.length rewritten)
+
+let suites =
+  [
+    ( "verify.check",
+      [
+        Alcotest.test_case "clean run" `Quick test_clean_run_ok;
+        Alcotest.test_case "consistency violation" `Quick test_consistency_violation_detected;
+        Alcotest.test_case "validity violation" `Quick test_validity_violation_detected;
+        Alcotest.test_case "wait-freedom violation" `Quick
+          test_wait_freedom_violation_detected;
+        Alcotest.test_case "setup validation" `Quick test_setup_rejects_bad_inputs;
+        Alcotest.test_case "victims restriction" `Quick test_victims_restrict_faults;
+      ] );
+    ( "verify.mass",
+      [
+        Alcotest.test_case "counts failures" `Quick test_mass_counts_failures;
+        Alcotest.test_case "reproducible" `Quick test_mass_reproducible;
+        Alcotest.test_case "observer" `Quick test_mass_on_report_called;
+      ] );
+    ( "verify.dfs",
+      [
+        Alcotest.test_case "finds witness" `Quick test_dfs_finds_known_witness;
+        Alcotest.test_case "clean on correct protocol" `Quick
+          test_dfs_clean_on_correct_protocol;
+        Alcotest.test_case "schedule-only count" `Quick test_dfs_schedule_only_fault_free;
+        Alcotest.test_case "replay reproduces" `Quick test_dfs_replay_reproduces_witness;
+        Alcotest.test_case "fig3 smallest exhaustive" `Quick test_dfs_fig3_smallest_exhaustive;
+        Alcotest.test_case "cap truncates" `Quick test_dfs_execution_cap_truncates;
+        Alcotest.test_case "observer" `Quick test_dfs_on_report_observer;
+      ] );
+    ( "verify.reduction",
+      [
+        Alcotest.test_case "rewrites invisible" `Quick test_reduction_rewrites_invisible;
+        Alcotest.test_case "identity on fault-free" `Quick test_reduction_identity_on_fault_free;
+      ] );
+  ]
