@@ -1,6 +1,6 @@
 # Convenience targets for the ffault reproduction.
 
-.PHONY: all build test experiments experiments-quick bench examples clean
+.PHONY: all build test experiments experiments-quick bench examples campaign-smoke clean
 
 all: build
 
@@ -27,6 +27,15 @@ examples:
 	dune exec examples/hierarchy_tour.exe
 	dune exec examples/degradation_study.exe
 	dune exec examples/relaxed_queue.exe
+
+# A 200-trial end-to-end campaign: run, report, and a self-diff that must
+# come back regression-free. Exercises the whole artifact pipeline in CI.
+campaign-smoke:
+	rm -rf _campaigns/ci-smoke
+	dune exec bin/main.exe -- campaign run --name ci-smoke --protocol fig3 \
+	  -f 1..2 -t 1 -n 3 --rates 0.3,0.6 --trials 50 --domains 2
+	dune exec bin/main.exe -- campaign report --name ci-smoke
+	dune exec bin/main.exe -- campaign diff _campaigns/ci-smoke _campaigns/ci-smoke
 
 clean:
 	dune clean

@@ -229,6 +229,19 @@ let relaxed_queue_run ~k ~p =
          ~scheduler:(Sim.Scheduler.random ~seed:56L)
          ~injector ~bodies:(Array.init 3 body) ())
 
+(* Campaign engine: the same 256-trial fig3 grid pushed through the
+   work-stealing pool at increasing domain counts. Records are
+   discarded, so the series isolates pool + trial cost — the speedup
+   over campaign/1dom is the acceptance number for the orchestrator. *)
+let campaign_run ~domains =
+  let spec =
+    Ffault_campaign.Spec.v ~name:"bench" ~protocol:"fig3" ~f:[ 2 ] ~t:[ Some 1 ] ~n:[ 3 ]
+      ~rates:[ 0.3 ] ~trials:256 ~seed:77L ()
+  in
+  fun () ->
+    let s = Ffault_campaign.Pool.run_trials ~domains ~on_record:(fun _ -> ()) spec in
+    if s.Ffault_campaign.Pool.failures > 0 then failwith "bench: campaign violation"
+
 (* B1: raw simulator throughput — a tight CAS ping-pong between n
    processes for a fixed number of steps. *)
 let sim_throughput ~n ~steps =
@@ -324,6 +337,12 @@ let groups =
       [
         ("relaxed-queue/k=2/p=0.3", relaxed_queue_run ~k:2 ~p:0.3);
         ("relaxed-queue/k=8/p=0.5", relaxed_queue_run ~k:8 ~p:0.5);
+      ];
+    group "campaign"
+      [
+        ("campaign/fig3-256/1dom", campaign_run ~domains:1);
+        ("campaign/fig3-256/2dom", campaign_run ~domains:2);
+        ("campaign/fig3-256/4dom", campaign_run ~domains:4);
       ];
     group "b1"
       [

@@ -5,7 +5,9 @@
    exhaustive model checking, with witness shrinking), replay (re-run a
    witness decision vector), falsify (portfolio search), critical (the
    executable valency walk), severity (fault order), hierarchy
-   (consensus-number table), and multicore (domains + atomics runs). *)
+   (consensus-number table), multicore (domains + atomics runs), and
+   campaign (parallel fault-injection campaigns with persistent
+   journals: run | resume | report | diff). *)
 
 open Cmdliner
 module Experiments = Ffault_experiments
@@ -15,6 +17,7 @@ module Check = Ffault_verify.Consensus_check
 module Dfs = Ffault_verify.Dfs
 module Fault = Ffault_fault
 module Sim = Ffault_sim
+module Campaign = Ffault_campaign
 
 (* ---- shared options ---- *)
 
@@ -47,24 +50,10 @@ let protocol_arg =
   in
   Arg.(value & opt string "fig2" & info [ "protocol"; "p" ] ~docv:"PROTO" ~doc)
 
-let resolve_protocol name =
-  match String.lowercase_ascii name with
-  | "fig1" -> Ok Consensus.Single_cas.two_process
-  | "fig2" -> Ok Consensus.F_tolerant.protocol
-  | "fig3" -> Ok Consensus.Bounded_faults.protocol
-  | "herlihy" -> Ok Consensus.Single_cas.herlihy
-  | "silent-retry" -> Ok Consensus.Silent_retry.protocol
-  | "tas" -> Ok Consensus.Tas_consensus.protocol
-  | s when String.length s > 5 && String.sub s 0 5 = "sweep" -> (
-      match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
-      | Some m when m >= 1 -> Ok (Consensus.F_tolerant.with_objects m)
-      | Some _ | None -> Error (`Msg (Fmt.str "bad sweep object count in %S" s)))
-  | _ -> Error (`Msg (Fmt.str "unknown protocol %S" name))
-
 let with_protocol name k =
-  match resolve_protocol name with
+  match Campaign.Spec.resolve_protocol name with
   | Ok p -> k p
-  | Error (`Msg m) ->
+  | Error m ->
       Fmt.epr "error: %s@." m;
       1
 
@@ -409,13 +398,178 @@ let multicore_cmd =
   Cmd.v (Cmd.info "multicore" ~doc)
     Term.(const run $ f_arg $ t_arg $ domains_arg $ runs_arg $ rate_arg $ seed_arg)
 
+(* ---- campaign ---- *)
+
+let campaign_root_arg =
+  let doc = "Root directory for campaign artifacts." in
+  Arg.(value & opt string "_campaigns" & info [ "root" ] ~docv:"DIR" ~doc)
+
+let campaign_name_arg =
+  let doc = "Campaign name (artifact directory under the root)." in
+  Arg.(value & opt string "campaign" & info [ "name" ] ~docv:"NAME" ~doc)
+
+let campaign_domains_arg =
+  let doc = "Worker domains for the trial pool (0 = recommended count)." in
+  Arg.(value & opt int 0 & info [ "domains" ] ~docv:"D" ~doc)
+
+let resolve_domains d = if d <= 0 then Ffault_runtime.Runner.recommended_domains () else d
+
+let campaign_spec_of_flags ~name ~protocol ~f ~t ~n ~kinds ~rates ~trials ~seed =
+  let ( let* ) = Result.bind in
+  let* f = Campaign.Spec.ints_of_string f in
+  let* t = Campaign.Spec.t_values_of_string t in
+  let* n = Campaign.Spec.ints_of_string n in
+  let* kinds = Campaign.Spec.kinds_of_string kinds in
+  let* rates = Campaign.Spec.rates_of_string rates in
+  Campaign.Spec.validate
+    {
+      Campaign.Spec.name;
+      protocol;
+      f_values = f;
+      t_values = t;
+      n_values = n;
+      kinds;
+      rates;
+      trials;
+      seed = Int64.of_int seed;
+    }
+
+let run_campaign ~resume ~root ~domains spec =
+  let domains = resolve_domains domains in
+  Fmt.pr "%a@.grid: %d cells × %d trials = %d trials, %d domains@." Campaign.Spec.pp spec
+    (Campaign.Grid.n_cells spec) spec.Campaign.Spec.trials
+    (Campaign.Grid.total_trials spec) domains;
+  match Campaign.Pool.run_dir ~domains ~resume ~root spec with
+  | Error m ->
+      Fmt.epr "error: %s@." m;
+      1
+  | Ok summary ->
+      Fmt.pr "%a@.artifacts: %s@." Campaign.Pool.pp_summary summary
+        (Campaign.Checkpoint.campaign_dir ~root spec);
+      0
+
+let campaign_run_cmd =
+  let spec_file_arg =
+    let doc = "Read the campaign spec from $(docv) (key = value lines; see doc/CAMPAIGNS.md). \
+               Inline axis flags are ignored when given." in
+    Arg.(value & opt (some string) None & info [ "spec" ] ~docv:"FILE" ~doc)
+  in
+  let f_list_arg =
+    let doc = "Fault-budget axis: comma list / lo..hi ranges (e.g. 1..3)." in
+    Arg.(value & opt string "1" & info [ "f"; "faults" ] ~docv:"LIST" ~doc)
+  in
+  let t_list_arg =
+    let doc = "Per-object bound axis (integers or `unbounded')." in
+    Arg.(value & opt string "unbounded" & info [ "t"; "bound" ] ~docv:"LIST" ~doc)
+  in
+  let n_list_arg =
+    let doc = "Process-count axis." in
+    Arg.(value & opt string "3" & info [ "n"; "procs" ] ~docv:"LIST" ~doc)
+  in
+  let kinds_arg =
+    let doc = "Fault-kind axis (overriding, silent, invisible, arbitrary, nonresponsive, \
+               relaxation)." in
+    Arg.(value & opt string "overriding" & info [ "kinds" ] ~docv:"LIST" ~doc)
+  in
+  let rates_arg =
+    let doc = "Fault-rate axis in [0,1]." in
+    Arg.(value & opt string "0.5" & info [ "rates" ] ~docv:"LIST" ~doc)
+  in
+  let trials_arg =
+    let doc = "Trials per grid cell." in
+    Arg.(value & opt int 100 & info [ "trials" ] ~docv:"K" ~doc)
+  in
+  let run spec_file name protocol f t n kinds rates trials seed root domains =
+    let spec =
+      match spec_file with
+      | Some path -> Campaign.Spec.of_file path
+      | None -> campaign_spec_of_flags ~name ~protocol ~f ~t ~n ~kinds ~rates ~trials ~seed
+    in
+    match spec with
+    | Error m ->
+        Fmt.epr "error: %s@." m;
+        1
+    | Ok spec -> run_campaign ~resume:false ~root ~domains spec
+  in
+  let doc = "Run a fault-injection campaign over a parameter grid, journaling every trial." in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ spec_file_arg $ campaign_name_arg $ protocol_arg $ f_list_arg $ t_list_arg
+      $ n_list_arg $ kinds_arg $ rates_arg $ trials_arg $ seed_arg $ campaign_root_arg
+      $ campaign_domains_arg)
+
+let campaign_resume_cmd =
+  let run name root domains =
+    let dir = Filename.concat root name in
+    match Campaign.Checkpoint.load_manifest ~dir with
+    | Error m ->
+        Fmt.epr "error: %s@." m;
+        1
+    | Ok spec -> run_campaign ~resume:true ~root ~domains spec
+  in
+  let doc =
+    "Resume an interrupted campaign: journaled trials are skipped, the rest executed."
+  in
+  Cmd.v (Cmd.info "resume" ~doc)
+    Term.(const run $ campaign_name_arg $ campaign_root_arg $ campaign_domains_arg)
+
+let campaign_report_cmd =
+  let run name root =
+    let dir = Filename.concat root name in
+    match Campaign.Report.of_dir ~dir with
+    | Error m ->
+        Fmt.epr "error: %s@." m;
+        1
+    | Ok report ->
+        Fmt.pr "%s" (Campaign.Report.to_markdown report);
+        Campaign.Report.write ~dir report;
+        Fmt.pr "@.Wrote %s/report.md and report.json@." dir;
+        0
+  in
+  let doc = "Aggregate a campaign journal into per-cell statistics (markdown + JSON)." in
+  Cmd.v (Cmd.info "report" ~doc) Term.(const run $ campaign_name_arg $ campaign_root_arg)
+
+let campaign_diff_cmd =
+  let dir_a_arg =
+    let doc = "Baseline campaign directory." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR_A" ~doc)
+  in
+  let dir_b_arg =
+    let doc = "Candidate campaign directory." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"DIR_B" ~doc)
+  in
+  let tolerance_arg =
+    let doc = "Failure-rate increase below this is sampling noise." in
+    Arg.(
+      value
+      & opt float Campaign.Report.default_tolerance
+      & info [ "tolerance" ] ~docv:"EPS" ~doc)
+  in
+  let run dir_a dir_b tolerance =
+    match (Campaign.Report.of_dir ~dir:dir_a, Campaign.Report.of_dir ~dir:dir_b) with
+    | Error m, _ | _, Error m ->
+        Fmt.epr "error: %s@." m;
+        2
+    | Ok a, Ok b ->
+        let d = Campaign.Report.diff ~tolerance a b in
+        Fmt.pr "%a" Campaign.Report.pp_diff d;
+        if d.Campaign.Report.regressions = 0 then 0 else 1
+  in
+  let doc = "Compare two campaign runs cell-by-cell; exit 1 on regressions." in
+  Cmd.v (Cmd.info "diff" ~doc) Term.(const run $ dir_a_arg $ dir_b_arg $ tolerance_arg)
+
+let campaign_cmd =
+  let doc = "Parallel fault-injection campaigns with persistent, resumable journals." in
+  Cmd.group (Cmd.info "campaign" ~doc)
+    [ campaign_run_cmd; campaign_resume_cmd; campaign_report_cmd; campaign_diff_cmd ]
+
 let main_cmd =
   let doc = "reproduction of \"Functional Faults\" (Sheffi & Petrank, 2020)" in
   let info = Cmd.info "ffault" ~version:"1.0.0" ~doc in
   Cmd.group info
     [
       experiment_cmd; list_cmd; trace_cmd; explore_cmd; replay_cmd; falsify_cmd; critical_cmd;
-      severity_cmd; hierarchy_cmd; multicore_cmd;
+      severity_cmd; hierarchy_cmd; multicore_cmd; campaign_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

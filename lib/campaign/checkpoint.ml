@@ -1,0 +1,54 @@
+let manifest_file = "manifest.json"
+let journal_file = "journal.jsonl"
+
+let manifest_path ~dir = Filename.concat dir manifest_file
+let journal_path ~dir = Filename.concat dir journal_file
+let campaign_dir ~root spec = Filename.concat root spec.Spec.name
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let save_manifest ~dir spec =
+  mkdir_p dir;
+  Out_channel.with_open_text (manifest_path ~dir) (fun oc ->
+      output_string oc (Json.to_string (Spec.to_json spec));
+      output_char oc '\n')
+
+let load_manifest ~dir =
+  let path = manifest_path ~dir in
+  if not (Sys.file_exists path) then Error (Fmt.str "no campaign manifest at %s" path)
+  else
+    match In_channel.with_open_text path In_channel.input_all with
+    | text -> Result.bind (Json.of_string (String.trim text)) Spec.of_json
+    | exception Sys_error m -> Error m
+
+(* ---- resume state ---- *)
+
+type t = { mask : Bytes.t; total : int; mutable completed : int; mutable failures : int }
+
+let fresh ~total =
+  { mask = Bytes.make ((total + 7) / 8) '\000'; total; completed = 0; failures = 0 }
+
+let is_done st id =
+  id >= 0 && id < st.total
+  && Char.code (Bytes.get st.mask (id lsr 3)) land (1 lsl (id land 7)) <> 0
+
+let mark st id ~ok =
+  if id >= 0 && id < st.total && not (is_done st id) then begin
+    Bytes.set st.mask (id lsr 3)
+      (Char.chr (Char.code (Bytes.get st.mask (id lsr 3)) lor (1 lsl (id land 7))));
+    st.completed <- st.completed + 1;
+    if not ok then st.failures <- st.failures + 1
+  end
+
+let completed st = st.completed
+let failures st = st.failures
+
+let scan ~dir ~total =
+  let st = fresh ~total in
+  Journal.fold ~path:(journal_path ~dir) ~init:()
+    ~f:(fun () r -> mark st r.Journal.trial ~ok:r.Journal.ok);
+  st

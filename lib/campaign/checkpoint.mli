@@ -1,0 +1,36 @@
+(** Campaign persistence layout and resume state.
+
+    A campaign lives under [<root>/<name>/] (default root
+    [_campaigns/]): [manifest.json] is the spec that defines the grid;
+    [journal.jsonl] is the trial journal. Resume = load the manifest,
+    replay the journal into a done-bitmask, and run only the missing
+    trial ids — already-journaled trials are never re-executed. *)
+
+val campaign_dir : root:string -> Spec.t -> string
+val manifest_path : dir:string -> string
+val journal_path : dir:string -> string
+
+val mkdir_p : string -> unit
+
+val save_manifest : dir:string -> Spec.t -> unit
+(** Creates [dir] (and parents) as needed. *)
+
+val load_manifest : dir:string -> (Spec.t, string) result
+
+(** {2 Resume state} *)
+
+type t
+(** A done-bitmask over the trial-id space plus completion counters.
+    [mark] is idempotent per id, so duplicate journal records (possible
+    if a run was killed between write and, say, an fsync of a copy)
+    count once. Not thread-safe; the executor consults it only from the
+    consume path, which is already serialized. *)
+
+val fresh : total:int -> t
+val scan : dir:string -> total:int -> t
+(** Replay the journal (missing file = empty). *)
+
+val is_done : t -> int -> bool
+val mark : t -> int -> ok:bool -> unit
+val completed : t -> int
+val failures : t -> int

@@ -1,0 +1,54 @@
+(** Deterministic expansion of a {!Spec} into the trial grid.
+
+    Cells enumerate the cartesian product of the spec's axes in a fixed
+    nesting order (f, then t, then n, then kind, then rate); trial ids
+    are dense: trial [id] belongs to cell [id / trials]. Every trial's
+    seed is derived statelessly from the root seed and its id with the
+    SplitMix finalizer, so any domain can compute any trial's seed
+    without coordination and a campaign is exactly replayable from its
+    manifest. *)
+
+type cell = {
+  f : int;
+  t : int option;
+  n : int;
+  kind : Ffault_fault.Fault_kind.t;
+  rate : float;
+}
+
+type trial = {
+  id : int;  (** dense in [\[0, total_trials)] *)
+  cell_id : int;
+  cell : cell;
+  index : int;  (** trial number within its cell *)
+  seed : int64;  (** the trial's full entropy *)
+}
+
+val cells : Spec.t -> cell array
+val n_cells : Spec.t -> int
+val total_trials : Spec.t -> int
+
+val seed_of : Spec.t -> int -> int64
+(** [seed_of spec id] — stateless, O(1). *)
+
+val trial : Spec.t -> int -> trial
+(** @raise Invalid_argument if [id] is out of range. *)
+
+val trial_of_cells : Spec.t -> cell array -> int -> trial
+(** Like {!trial} with a pre-computed {!cells} array (the executor's hot
+    path). *)
+
+val cell_of_id : Spec.t -> int -> cell
+
+val setup : cell -> Ffault_consensus.Protocol.t -> Ffault_verify.Consensus_check.setup
+(** The checker setup a cell's trials run under: the cell's (f, t, n)
+    params with only the cell's fault kind allowed. *)
+
+val in_envelope : cell -> Ffault_consensus.Protocol.t -> bool
+(** Whether the protocol's theorem covers this cell (violations inside
+    the envelope are regressions; outside, expected data). *)
+
+val cell_key : cell -> string
+(** Canonical axis string, the join key for campaign diffs. *)
+
+val pp_cell : Format.formatter -> cell -> unit

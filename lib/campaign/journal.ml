@@ -1,0 +1,148 @@
+module Fault_kind = Ffault_fault.Fault_kind
+
+type record = {
+  trial : int;
+  cell : Grid.cell;
+  seed : int64;
+  ok : bool;
+  violations : string list;
+  steps : int;
+  max_steps : int;
+  stage : int;
+  faults : int;
+  wall_us : int;
+  witness : int array option;
+}
+
+(* ---- JSON codec ---- *)
+
+let to_json r =
+  let base =
+    [
+      ("trial", Json.Int r.trial);
+      ("f", Json.Int r.cell.Grid.f);
+      ("t", match r.cell.Grid.t with Some t -> Json.Int t | None -> Json.Null);
+      ("n", Json.Int r.cell.Grid.n);
+      ("kind", Json.Str (Fault_kind.to_string r.cell.Grid.kind));
+      ("rate", Json.Float r.cell.Grid.rate);
+      ("seed", Json.Str (Int64.to_string r.seed));
+      ("ok", Json.Bool r.ok);
+      ("violations", Json.List (List.map (fun v -> Json.Str v) r.violations));
+      ("steps", Json.Int r.steps);
+      ("max_steps", Json.Int r.max_steps);
+      ("stage", Json.Int r.stage);
+      ("faults", Json.Int r.faults);
+      ("wall_us", Json.Int r.wall_us);
+    ]
+  in
+  let witness =
+    match r.witness with
+    | None -> []
+    | Some w -> [ ("witness", Json.List (Array.to_list (Array.map (fun d -> Json.Int d) w))) ]
+  in
+  Json.Obj (base @ witness)
+
+let of_json json =
+  let ( let* ) = Result.bind in
+  let field key project =
+    match Option.bind (Json.member key json) project with
+    | Some v -> Ok v
+    | None -> Error (Fmt.str "journal record: missing or malformed %S" key)
+  in
+  let* trial = field "trial" Json.get_int in
+  let* f = field "f" Json.get_int in
+  let* t =
+    field "t" (function Json.Null -> Some None | j -> Option.map Option.some (Json.get_int j))
+  in
+  let* n = field "n" Json.get_int in
+  let* kind = field "kind" (fun j -> Option.bind (Json.get_str j) Fault_kind.of_string) in
+  let* rate = field "rate" Json.get_float in
+  let* seed = field "seed" (fun j -> Option.bind (Json.get_str j) Int64.of_string_opt) in
+  let* ok = field "ok" Json.get_bool in
+  let* violations =
+    field "violations" (fun j ->
+        Option.bind (Json.get_list j) (fun items ->
+            let vs = List.filter_map Json.get_str items in
+            if List.length vs = List.length items then Some vs else None))
+  in
+  let* steps = field "steps" Json.get_int in
+  let* max_steps = field "max_steps" Json.get_int in
+  let* stage = field "stage" Json.get_int in
+  let* faults = field "faults" Json.get_int in
+  let* wall_us = field "wall_us" Json.get_int in
+  let* witness =
+    match Json.member "witness" json with
+    | None -> Ok None
+    | Some j -> (
+        match
+          Option.bind (Json.get_list j) (fun items ->
+              let vs = List.filter_map Json.get_int items in
+              if List.length vs = List.length items then Some vs else None)
+        with
+        | Some vs -> Ok (Some (Array.of_list vs))
+        | None -> Error "journal record: malformed witness")
+  in
+  Ok
+    {
+      trial;
+      cell = { Grid.f; t; n; kind; rate };
+      seed;
+      ok;
+      violations;
+      steps;
+      max_steps;
+      stage;
+      faults;
+      wall_us;
+      witness;
+    }
+
+let to_line r = Json.to_string (to_json r)
+
+let of_line line =
+  match Json.of_string line with Ok j -> of_json j | Error m -> Error m
+
+(* ---- append writer (shared by all worker domains) ---- *)
+
+type writer = { oc : out_channel; lock : Mutex.t }
+
+let create_writer ~path =
+  let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path in
+  { oc; lock = Mutex.create () }
+
+let append w r =
+  Mutex.lock w.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock w.lock)
+    (fun () ->
+      output_string w.oc (to_line r);
+      output_char w.oc '\n';
+      (* flush per record: a killed campaign must lose at most the
+         record being written, for resume to be sound *)
+      flush w.oc)
+
+let close_writer w =
+  Mutex.lock w.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock w.lock) (fun () -> close_out w.oc)
+
+(* ---- reading ---- *)
+
+let fold ~path ~init ~f =
+  if not (Sys.file_exists path) then init
+  else
+    In_channel.with_open_text path (fun ic ->
+        let rec go acc =
+          match In_channel.input_line ic with
+          | None -> acc
+          | Some line ->
+              let line = String.trim line in
+              if line = "" then go acc
+              else (
+                (* tolerate a torn trailing line from a killed run *)
+                match of_line line with Ok r -> go (f acc r) | Error _ -> go acc)
+        in
+        go init)
+
+let load ~path = List.rev (fold ~path ~init:[] ~f:(fun acc r -> r :: acc))
+
+let count ~path = fold ~path ~init:0 ~f:(fun acc _ -> acc + 1)

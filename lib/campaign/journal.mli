@@ -1,0 +1,59 @@
+(** The campaign journal: one JSONL record per completed trial.
+
+    The journal is the campaign's source of truth — durable (each record
+    is flushed as written, so a killed run loses at most the record
+    mid-write), append-only, and safe to write from many domains through
+    the mutexed {!writer}. {!Checkpoint} replays it to decide which
+    trials are already done; {!Report} aggregates it into per-cell
+    statistics.
+
+    Record schema (see doc/CAMPAIGNS.md):
+    {v
+    {"trial":17,"f":2,"t":1,"n":3,"kind":"overriding","rate":0.4,
+     "seed":"-553...","ok":false,"violations":["consistency: ..."],
+     "steps":41,"max_steps":17,"stage":3,"faults":2,"wall_us":180,
+     "witness":[1,0,2]}
+    v} *)
+
+type record = {
+  trial : int;  (** dense trial id, see {!Grid} *)
+  cell : Grid.cell;
+  seed : int64;
+  ok : bool;
+  violations : string list;  (** rendered violations when [not ok] *)
+  steps : int;  (** total engine steps *)
+  max_steps : int;  (** worst per-process operation count *)
+  stage : int;  (** max Fig. 3 stage reached in final states; -1 if none *)
+  faults : int;  (** observable faults charged *)
+  wall_us : int;  (** trial wall time, µs (includes shrinking) *)
+  witness : int array option;  (** minimized decision vector on failure *)
+}
+
+val to_json : record -> Json.t
+val of_json : Json.t -> (record, string) result
+
+val to_line : record -> string
+(** One JSONL line (no newline). *)
+
+val of_line : string -> (record, string) result
+
+(** {2 Writing} *)
+
+type writer
+
+val create_writer : path:string -> writer
+(** Opens (creating or appending) the journal file. *)
+
+val append : writer -> record -> unit
+(** Serialized by an internal mutex; flushes each record. *)
+
+val close_writer : writer -> unit
+
+(** {2 Reading} *)
+
+val fold : path:string -> init:'a -> f:('a -> record -> 'a) -> 'a
+(** Stream the journal in write order. A missing file is an empty
+    journal; malformed lines (a torn final write) are skipped. *)
+
+val load : path:string -> record list
+val count : path:string -> int

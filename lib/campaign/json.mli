@@ -1,0 +1,32 @@
+(** A minimal self-contained JSON encoder/parser.
+
+    The campaign subsystem persists its artifacts (manifest, journal,
+    reports) as JSON, and the container carries no JSON library — this is
+    the small closed dialect we need: UTF-8 strings pass through
+    untouched, integers stay exact (no float round-trip), and parsing is
+    total (returns [Error] rather than raising). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering (never emits raw newlines, so one value
+    per line is a valid JSONL record). *)
+
+val of_string : string -> (t, string) result
+(** Parse one complete JSON value; trailing non-whitespace is an error. *)
+
+(** Accessors: shape-checked projections, [None] on mismatch. *)
+
+val member : string -> t -> t option
+val get_int : t -> int option
+val get_float : t -> float option
+val get_str : t -> string option
+val get_bool : t -> bool option
+val get_list : t -> t list option

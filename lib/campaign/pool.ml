@@ -1,0 +1,151 @@
+module Runner = Ffault_runtime.Runner
+module Check = Ffault_verify.Consensus_check
+module Engine = Ffault_sim.Engine
+module Budget = Ffault_fault.Budget
+module Value = Ffault_objects.Value
+
+type summary = {
+  total : int;
+  executed : int;
+  skipped : int;
+  failures : int;
+  shrunk : int;
+  wall_s : float;
+  trials_per_s : float;
+}
+
+let pp_summary ppf s =
+  Fmt.pf ppf
+    "%d/%d trials executed (%d already journaled), %d failures (%d witnesses shrunk), %.2f s \
+     (%.0f trials/s)"
+    s.executed s.total s.skipped s.failures s.shrunk s.wall_s s.trials_per_s
+
+let default_max_shrinks_per_cell = 5
+
+let record_of_result trial (res : Shrink_on_fail.result) =
+  let result = res.Shrink_on_fail.report.Check.result in
+  let max_steps = Array.fold_left max 0 result.Engine.steps_taken in
+  let stage =
+    Array.fold_left
+      (fun acc v -> match Value.stage v with Some s when s > acc -> s | _ -> acc)
+      (-1) result.Engine.final_states
+  in
+  {
+    Journal.trial = trial.Grid.id;
+    cell = trial.Grid.cell;
+    seed = trial.Grid.seed;
+    ok = Check.ok res.Shrink_on_fail.report;
+    violations =
+      List.map
+        (Fmt.str "%a" Check.pp_violation)
+        res.Shrink_on_fail.report.Check.violations;
+    steps = result.Engine.total_steps;
+    max_steps;
+    stage;
+    faults = Budget.total_faults result.Engine.budget;
+    wall_us = res.Shrink_on_fail.wall_ns / 1000;
+    witness = res.Shrink_on_fail.witness;
+  }
+
+let run_trials ?(domains = 1) ?(chunk = 64) ?(skip = fun _ -> false)
+    ?(max_shrinks_per_cell = default_max_shrinks_per_cell) ~on_record spec =
+  let protocol =
+    match Spec.resolve_protocol spec.Spec.protocol with
+    | Ok p -> p
+    | Error m -> invalid_arg ("Pool.run_trials: " ^ m)
+  in
+  let cells = Grid.cells spec in
+  let setups = Array.map (fun c -> Grid.setup c protocol) cells in
+  (* Per-cell shrink budgets: minimizing every failure of a hopeless
+     cell would dwarf the campaign itself, so only the first few
+     failures per cell get the full Shrink treatment (raw decision
+     vectors are journaled for the rest). *)
+  let shrink_budget = Array.init (Array.length cells) (fun _ -> Atomic.make 0) in
+  let shrunk = Atomic.make 0 in
+  let total = Grid.total_trials spec in
+  let executed = ref 0 in
+  let skipped = ref 0 in
+  let failures = ref 0 in
+  let started = Unix.gettimeofday () in
+  let worker id =
+    if skip id then None
+    else begin
+      let trial = Grid.trial_of_cells spec cells id in
+      let setup = setups.(trial.Grid.cell_id) in
+      let res =
+        Shrink_on_fail.run_trial ~shrink:false setup ~rate:trial.Grid.cell.Grid.rate
+          ~seed:trial.Grid.seed
+      in
+      let res =
+        if Check.ok res.Shrink_on_fail.report then res
+        else if
+          max_shrinks_per_cell > 0
+          && Atomic.fetch_and_add shrink_budget.(trial.Grid.cell_id) 1 < max_shrinks_per_cell
+        then begin
+          Atomic.incr shrunk;
+          (* re-run with shrinking on; the recorded run is cheap
+             relative to the minimization it feeds *)
+          Shrink_on_fail.run_trial ~shrink:true setup ~rate:trial.Grid.cell.Grid.rate
+            ~seed:trial.Grid.seed
+        end
+        else { res with Shrink_on_fail.witness = Some res.Shrink_on_fail.decisions }
+      in
+      Some (record_of_result trial res)
+    end
+  in
+  let consume _id = function
+    | None -> incr skipped
+    | Some record ->
+        incr executed;
+        if not record.Journal.ok then incr failures;
+        on_record record
+  in
+  Runner.run_tasks ~chunk ~domains ~total ~worker ~consume ();
+  let wall_s = Unix.gettimeofday () -. started in
+  {
+    total;
+    executed = !executed;
+    skipped = !skipped;
+    failures = !failures;
+    shrunk = Atomic.get shrunk;
+    wall_s;
+    trials_per_s = (if wall_s > 0.0 then float_of_int !executed /. wall_s else 0.0);
+  }
+
+let run_dir ?domains ?chunk ?max_shrinks_per_cell ?(resume = false) ~root spec =
+  let ( let* ) = Result.bind in
+  let dir = Checkpoint.campaign_dir ~root spec in
+  let manifest_exists = Sys.file_exists (Checkpoint.manifest_path ~dir) in
+  let* () =
+    if manifest_exists && not resume then
+      Error
+        (Fmt.str "campaign %S already exists under %s (use resume, or pick a new name)"
+           spec.Spec.name root)
+    else Ok ()
+  in
+  let* () =
+    if not manifest_exists then begin
+      Checkpoint.save_manifest ~dir spec;
+      Ok ()
+    end
+    else
+      let* recorded = Checkpoint.load_manifest ~dir in
+      if Spec.equal recorded spec then Ok ()
+      else Error (Fmt.str "manifest under %s disagrees with the spec; refusing to resume" dir)
+  in
+  let total = Grid.total_trials spec in
+  let st = if resume then Checkpoint.scan ~dir ~total else Checkpoint.fresh ~total in
+  let writer = Journal.create_writer ~path:(Checkpoint.journal_path ~dir) in
+  let finally () = Journal.close_writer writer in
+  match
+    run_trials ?domains ?chunk ?max_shrinks_per_cell
+      ~skip:(fun id -> Checkpoint.is_done st id)
+      ~on_record:(fun r -> Journal.append writer r)
+      spec
+  with
+  | summary ->
+      finally ();
+      Ok summary
+  | exception e ->
+      finally ();
+      raise e

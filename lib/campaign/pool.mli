@@ -1,0 +1,56 @@
+(** The campaign executor: a work-stealing domain pool over the trial
+    grid.
+
+    Trials are claimed in chunks from a shared counter
+    ({!Ffault_runtime.Runner.run_tasks}), executed concurrently on
+    OCaml 5 domains, and streamed — serialized — to the caller as
+    {!Journal.record}s. Every record's outcome fields depend only on
+    (spec, trial id), so results are identical for any [domains] value;
+    only journal order — and which of a cell's failures win the
+    per-cell shrink budget — varies. *)
+
+type summary = {
+  total : int;  (** grid size *)
+  executed : int;  (** trials run by this call *)
+  skipped : int;  (** trials the skip predicate excluded (resume) *)
+  failures : int;  (** violating trials among [executed] *)
+  shrunk : int;  (** failures that got the full Shrink treatment *)
+  wall_s : float;
+  trials_per_s : float;
+}
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val default_max_shrinks_per_cell : int
+(** 5 — failures beyond this per cell journal their raw decision vector
+    unminimized (shrinking every failure of a hopeless cell would cost
+    more than the campaign). *)
+
+val run_trials :
+  ?domains:int ->
+  ?chunk:int ->
+  ?skip:(int -> bool) ->
+  ?max_shrinks_per_cell:int ->
+  on_record:(Journal.record -> unit) ->
+  Spec.t ->
+  summary
+(** In-memory engine: run every trial id for which [skip id] is false
+    (default none skipped) and hand each record to [on_record], which is
+    called under a single lock and need not synchronize. Defaults:
+    1 domain, chunk 64.
+    @raise Invalid_argument if the spec's protocol does not resolve or
+    [domains]/[chunk] are out of range. *)
+
+val run_dir :
+  ?domains:int ->
+  ?chunk:int ->
+  ?max_shrinks_per_cell:int ->
+  ?resume:bool ->
+  root:string ->
+  Spec.t ->
+  (summary, string) result
+(** Persistent campaign under [root/<spec name>/]: writes the manifest,
+    appends every record to the journal (flushed per record), and — with
+    [resume] (default false) — first replays the journal and skips every
+    already-completed trial. Errors: the campaign already exists (fresh
+    run), or the on-disk manifest disagrees with [spec] (resume). *)

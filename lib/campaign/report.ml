@@ -1,0 +1,272 @@
+module Table = Ffault_stats.Table
+module Summary = Ffault_stats.Summary
+
+type cell_stats = {
+  cell : Grid.cell;
+  in_envelope : bool;
+  trials : int;
+  failures : int;
+  failure_rate : float;
+  steps : Summary.t;  (** per-trial worst per-process operation count *)
+  total_faults : int;
+  witnesses : int;
+  min_witness_len : int option;
+  mean_wall_us : float;
+}
+
+type t = {
+  spec : Spec.t;
+  cells : cell_stats list;  (** grid order; cells with no records omitted *)
+  total_trials : int;
+  total_failures : int;
+}
+
+(* ---- aggregation ---- *)
+
+type acc = {
+  mutable a_trials : int;
+  mutable a_failures : int;
+  a_steps : Summary.t;
+  mutable a_faults : int;
+  mutable a_witnesses : int;
+  mutable a_min_wit : int option;
+  mutable a_wall : float;
+}
+
+let of_records spec records =
+  let protocol =
+    match Spec.resolve_protocol spec.Spec.protocol with
+    | Ok p -> Some p
+    | Error _ -> None
+  in
+  let cells = Grid.cells spec in
+  let n_cells = Array.length cells in
+  let accs =
+    Array.init n_cells (fun _ ->
+        {
+          a_trials = 0;
+          a_failures = 0;
+          a_steps = Summary.create ();
+          a_faults = 0;
+          a_witnesses = 0;
+          a_min_wit = None;
+          a_wall = 0.0;
+        })
+  in
+  let total = ref 0 in
+  let total_failures = ref 0 in
+  List.iter
+    (fun (r : Journal.record) ->
+      let cell_id = r.Journal.trial / spec.Spec.trials in
+      if cell_id >= 0 && cell_id < n_cells then begin
+        let a = accs.(cell_id) in
+        a.a_trials <- a.a_trials + 1;
+        incr total;
+        if not r.Journal.ok then begin
+          a.a_failures <- a.a_failures + 1;
+          incr total_failures
+        end;
+        Summary.add_int a.a_steps r.Journal.max_steps;
+        a.a_faults <- a.a_faults + r.Journal.faults;
+        (match r.Journal.witness with
+        | Some w ->
+            a.a_witnesses <- a.a_witnesses + 1;
+            let l = Array.length w in
+            a.a_min_wit <-
+              (match a.a_min_wit with Some m when m <= l -> Some m | _ -> Some l)
+        | None -> ());
+        a.a_wall <- a.a_wall +. float_of_int r.Journal.wall_us
+      end)
+    records;
+  let cell_stats =
+    List.filter_map
+      (fun cell_id ->
+        let a = accs.(cell_id) in
+        if a.a_trials = 0 then None
+        else
+          let cell = cells.(cell_id) in
+          Some
+            {
+              cell;
+              in_envelope =
+                (match protocol with Some p -> Grid.in_envelope cell p | None -> false);
+              trials = a.a_trials;
+              failures = a.a_failures;
+              failure_rate = float_of_int a.a_failures /. float_of_int a.a_trials;
+              steps = a.a_steps;
+              total_faults = a.a_faults;
+              witnesses = a.a_witnesses;
+              min_witness_len = a.a_min_wit;
+              mean_wall_us = a.a_wall /. float_of_int a.a_trials;
+            })
+      (List.init n_cells Fun.id)
+  in
+  { spec; cells = cell_stats; total_trials = !total; total_failures = !total_failures }
+
+let of_dir ~dir =
+  match Checkpoint.load_manifest ~dir with
+  | Error _ as e -> e
+  | Ok spec ->
+      Ok (of_records spec (Journal.load ~path:(Checkpoint.journal_path ~dir)))
+
+(* ---- rendering ---- *)
+
+let to_table report =
+  let table =
+    Table.create
+      ~columns:
+        [
+          "f"; "t"; "n"; "kind"; "rate"; "envelope"; "trials"; "failures"; "fail rate";
+          "mean ops"; "p99 ops"; "max ops"; "faults"; "min witness";
+        ]
+  in
+  List.iter
+    (fun c ->
+      Table.add_row table
+        [
+          Table.cell_int c.cell.Grid.f;
+          Table.cell_opt Table.cell_int c.cell.Grid.t;
+          Table.cell_int c.cell.Grid.n;
+          Ffault_fault.Fault_kind.to_string c.cell.Grid.kind;
+          Table.cell_float ~decimals:2 c.cell.Grid.rate;
+          (if c.in_envelope then "in" else "out");
+          Table.cell_int c.trials;
+          (if c.failures = 0 then "0" else Fmt.str "%d (!!)" c.failures);
+          Table.cell_float ~decimals:4 c.failure_rate;
+          Table.cell_float ~decimals:1 (Summary.mean c.steps);
+          Table.cell_float ~decimals:0 (Summary.percentile c.steps 99.0);
+          Table.cell_float ~decimals:0 (Summary.max_value c.steps);
+          Table.cell_int c.total_faults;
+          Table.cell_opt Table.cell_int c.min_witness_len;
+        ])
+    report.cells;
+  table
+
+let to_markdown report =
+  Fmt.str "# Campaign %s@.@.%a@.@.%d trials journaled, %d failures.@.@.%s@."
+    report.spec.Spec.name Spec.pp report.spec report.total_trials report.total_failures
+    (Table.to_string (to_table report))
+
+let to_json report =
+  Json.Obj
+    [
+      ("spec", Spec.to_json report.spec);
+      ("total_trials", Json.Int report.total_trials);
+      ("total_failures", Json.Int report.total_failures);
+      ( "cells",
+        Json.List
+          (List.map
+             (fun c ->
+               Json.Obj
+                 [
+                   ("key", Json.Str (Grid.cell_key c.cell));
+                   ("in_envelope", Json.Bool c.in_envelope);
+                   ("trials", Json.Int c.trials);
+                   ("failures", Json.Int c.failures);
+                   ("failure_rate", Json.Float c.failure_rate);
+                   ("mean_ops", Json.Float (Summary.mean c.steps));
+                   ("p99_ops", Json.Float (Summary.percentile c.steps 99.0));
+                   ("max_ops", Json.Float (Summary.max_value c.steps));
+                   ("faults", Json.Int c.total_faults);
+                   ( "min_witness_len",
+                     match c.min_witness_len with Some l -> Json.Int l | None -> Json.Null );
+                   ("mean_wall_us", Json.Float c.mean_wall_us);
+                 ])
+             report.cells) );
+    ]
+
+let write ~dir report =
+  Out_channel.with_open_text (Filename.concat dir "report.md") (fun oc ->
+      output_string oc (to_markdown report));
+  Out_channel.with_open_text (Filename.concat dir "report.json") (fun oc ->
+      output_string oc (Json.to_string (to_json report));
+      output_char oc '\n')
+
+(* ---- regression diff ---- *)
+
+type diff_row = {
+  key : string;
+  rate_a : float;
+  rate_b : float;
+  delta : float;
+  steps_a : float;
+  steps_b : float;
+  regression : bool;
+}
+
+type diff = {
+  rows : diff_row list;
+  regressions : int;
+  only_a : string list;
+  only_b : string list;
+}
+
+let default_tolerance = 0.02
+
+let diff ?(tolerance = default_tolerance) a b =
+  let index report =
+    List.map (fun c -> (Grid.cell_key c.cell, c)) report.cells
+  in
+  let ia = index a and ib = index b in
+  let rows =
+    List.filter_map
+      (fun (key, ca) ->
+        match List.assoc_opt key ib with
+        | None -> None
+        | Some cb ->
+            let delta = cb.failure_rate -. ca.failure_rate in
+            let regression =
+              (* a newly-failing cell is always a regression; otherwise
+                 the rate must move beyond the sampling tolerance *)
+              (ca.failures = 0 && cb.failures > 0) || delta > tolerance
+            in
+            Some
+              {
+                key;
+                rate_a = ca.failure_rate;
+                rate_b = cb.failure_rate;
+                delta;
+                steps_a = Summary.mean ca.steps;
+                steps_b = Summary.mean cb.steps;
+                regression;
+              })
+      ia
+  in
+  let missing ia ib =
+    List.filter_map
+      (fun (key, _) -> if List.mem_assoc key ib then None else Some key)
+      ia
+  in
+  {
+    rows;
+    regressions = List.length (List.filter (fun r -> r.regression) rows);
+    only_a = missing ia ib;
+    only_b = missing ib ia;
+  }
+
+let diff_table d =
+  let table =
+    Table.create
+      ~columns:[ "cell"; "fail rate A"; "fail rate B"; "delta"; "mean ops A"; "mean ops B"; "verdict" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          r.key;
+          Table.cell_float ~decimals:4 r.rate_a;
+          Table.cell_float ~decimals:4 r.rate_b;
+          Fmt.str "%+.4f" r.delta;
+          Table.cell_float ~decimals:1 r.steps_a;
+          Table.cell_float ~decimals:1 r.steps_b;
+          (if r.regression then "REGRESSION" else "ok");
+        ])
+    d.rows;
+  table
+
+let pp_diff ppf d =
+  Fmt.pf ppf "%s" (Table.to_string (diff_table d));
+  List.iter (fun k -> Fmt.pf ppf "only in A: %s@." k) d.only_a;
+  List.iter (fun k -> Fmt.pf ppf "only in B: %s@." k) d.only_b;
+  if d.regressions = 0 then Fmt.pf ppf "No regressions.@."
+  else Fmt.pf ppf "%d regression(s).@." d.regressions

@@ -1,0 +1,69 @@
+(** Journal aggregation: per-cell statistics, rendered reports, and
+    regression diffs between two campaign runs.
+
+    Aggregation is streaming-friendly (per-cell
+    {!Ffault_stats.Summary} accumulators, which cap their percentile
+    reservoirs), so million-trial journals aggregate in bounded
+    memory. *)
+
+type cell_stats = {
+  cell : Grid.cell;
+  in_envelope : bool;
+      (** the protocol's theorem covers this cell — failures here are
+          regressions, not data *)
+  trials : int;
+  failures : int;
+  failure_rate : float;
+  steps : Ffault_stats.Summary.t;  (** per-trial worst ops/process *)
+  total_faults : int;
+  witnesses : int;
+  min_witness_len : int option;
+  mean_wall_us : float;
+}
+
+type t = {
+  spec : Spec.t;
+  cells : cell_stats list;
+  total_trials : int;
+  total_failures : int;
+}
+
+val of_records : Spec.t -> Journal.record list -> t
+val of_dir : dir:string -> (t, string) result
+
+val to_table : t -> Ffault_stats.Table.t
+val to_markdown : t -> string
+val to_json : t -> Json.t
+
+val write : dir:string -> t -> unit
+(** Write [report.md] and [report.json] into the campaign directory. *)
+
+(** {2 Comparing two campaigns} *)
+
+type diff_row = {
+  key : string;  (** {!Grid.cell_key} *)
+  rate_a : float;
+  rate_b : float;
+  delta : float;
+  steps_a : float;
+  steps_b : float;
+  regression : bool;
+}
+
+type diff = {
+  rows : diff_row list;  (** cells present in both campaigns *)
+  regressions : int;
+  only_a : string list;
+  only_b : string list;
+}
+
+val default_tolerance : float
+(** 0.02 — failure-rate increase below this is sampling noise. *)
+
+val diff : ?tolerance:float -> t -> t -> diff
+(** B regressed against A on a cell if the cell newly fails (A had zero
+    failures, B has some) or its failure rate rose by more than
+    [tolerance]. *)
+
+val diff_table : diff -> Ffault_stats.Table.t
+val pp_diff : Format.formatter -> diff -> unit

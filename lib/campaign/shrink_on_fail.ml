@@ -1,0 +1,76 @@
+module Splitmix = Ffault_prng.Splitmix
+module Check = Ffault_verify.Consensus_check
+module Engine = Ffault_sim.Engine
+module Shrink = Ffault_verify.Shrink
+module Dfs = Ffault_verify.Dfs
+
+(* One trial = one engine run driven by a recorded random decision
+   vector. Recording follows the Dfs convention exactly — an index into
+   the enabled-process / outcome-options list at every branchable point
+   (more than one option), nothing at forced points — so a failing
+   trial's vector replays verbatim under [Dfs.replay] and shrinks under
+   [Shrink.witness] with no translation layer. *)
+
+let run_recorded setup ~rate ~seed =
+  let g = Splitmix.create seed in
+  let decisions = ref [] in
+  let record c =
+    decisions := c :: !decisions;
+    c
+  in
+  let driver =
+    {
+      Engine.choose_proc =
+        (fun ~enabled ~step:_ ->
+          match enabled with
+          | [ p ] -> p
+          | enabled ->
+              List.nth enabled (record (Splitmix.next_int g ~bound:(List.length enabled))));
+      choose_outcome =
+        (fun _ctx ~options ->
+          match options with
+          | [ only ] -> only
+          | options ->
+              let m = List.length options in
+              (* Head is the correct outcome; bias the fault branch by
+                 the cell's rate, uniform among the fault options. *)
+              let c =
+                if Splitmix.next_float g < rate then 1 + Splitmix.next_int g ~bound:(m - 1)
+                else 0
+              in
+              List.nth options (record c));
+      after_step = (fun _ -> []);
+    }
+  in
+  let report = Check.run_with_driver setup driver in
+  (report, Array.of_list (List.rev !decisions))
+
+let minimize setup decisions =
+  match Shrink.witness_report setup decisions with
+  | shrunk, report -> Some (shrunk, report)
+  | exception _ ->
+      (* A non-replaying vector would mean the recording drifted from
+         the Dfs convention; never kill a campaign over a witness. *)
+      None
+
+type result = {
+  report : Check.report;
+  decisions : int array;
+  witness : int array option;
+  wall_ns : int;
+}
+
+let run_trial ?(shrink = true) setup ~rate ~seed =
+  let started = Unix.gettimeofday () in
+  let report, decisions = run_recorded setup ~rate ~seed in
+  let witness =
+    if Check.ok report || not shrink then None
+    else
+      match minimize setup decisions with
+      | Some (shrunk, _) -> Some shrunk
+      | None -> Some decisions
+  in
+  let wall_ns = int_of_float ((Unix.gettimeofday () -. started) *. 1e9) in
+  { report; decisions; witness; wall_ns }
+
+let replay setup decisions = Dfs.replay setup decisions

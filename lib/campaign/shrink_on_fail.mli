@@ -1,0 +1,46 @@
+(** Trial execution with automatic witness minimization.
+
+    A campaign trial runs the cell's setup once under a seeded random
+    driver that {e records} every branchable choice (scheduler pick,
+    fault-menu pick) as a decision vector in the {!Ffault_verify.Dfs}
+    convention. The trial is therefore exactly reproducible two ways:
+    from its seed (re-record) and from its decision vector
+    ([Dfs.replay]) — and when it violates consensus, the vector feeds
+    straight into {!Ffault_verify.Shrink}, which greedily minimizes it
+    while re-replaying, yielding a locally-minimal witness that is
+    journaled alongside the trial. *)
+
+val run_recorded :
+  Ffault_verify.Consensus_check.setup ->
+  rate:float ->
+  seed:int64 ->
+  Ffault_verify.Consensus_check.report * int array
+(** One seeded run. [rate] is the probability that a step with at least
+    one budget-permitted fault option takes a fault (uniform over the
+    fault options); the schedule choice is uniform over enabled
+    processes. Equal (setup, rate, seed) give equal reports. *)
+
+val minimize :
+  Ffault_verify.Consensus_check.setup -> int array -> (int array * Ffault_verify.Consensus_check.report) option
+(** Shrink a violating decision vector; [None] if the vector does not
+    replay to a violation (which recording rules out — defensive). *)
+
+type result = {
+  report : Ffault_verify.Consensus_check.report;
+  decisions : int array;  (** the recorded vector *)
+  witness : int array option;  (** shrunk vector when the trial failed *)
+  wall_ns : int;
+}
+
+val run_trial :
+  ?shrink:bool ->
+  Ffault_verify.Consensus_check.setup ->
+  rate:float ->
+  seed:int64 ->
+  result
+(** Run one trial; on violation (and [shrink], default true) minimize
+    the witness. *)
+
+val replay :
+  Ffault_verify.Consensus_check.setup -> int array -> Ffault_verify.Consensus_check.report
+(** Re-execute a journaled witness. *)

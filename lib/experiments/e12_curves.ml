@@ -1,28 +1,47 @@
 open Common
-module Protocol = Consensus.Protocol
 module Table = Ffault_stats.Table
-module Mass = Ffault_verify.Mass
 module Summary = Ffault_stats.Summary
-module Engine = Ffault_sim.Engine
+module Campaign = Ffault_campaign
+module Bounded_faults = Consensus.Bounded_faults
 
-let failure_rate ~runs ~seed ~p setup =
-  let s = mass ~injector:(probabilistic_overriding ~p) ~runs ~seed setup in
-  float_of_int s.Mass.failure_count /. float_of_int s.Mass.runs
+(* E12 rides the campaign engine: each curve is one or more in-memory
+   campaigns (Pool.run_trials over a declarative grid), and every data
+   point is a cell of the aggregated report — the same pipeline
+   `ffault campaign run` uses, so the figure-style series and the CLI
+   artifacts can never drift apart. Shrinking is disabled: the curves
+   want rates and costs, not witnesses. *)
+
+let campaign_report spec =
+  let records = ref [] in
+  let _ =
+    Campaign.Pool.run_trials ~max_shrinks_per_cell:0
+      ~on_record:(fun r -> records := r :: !records)
+      spec
+  in
+  Campaign.Report.of_records spec (List.rev !records)
+
+let cell_rate (c : Campaign.Report.cell_stats) = c.cell.Campaign.Grid.rate
 
 let run ?(quick = false) ?(seed = 0xE12L) () =
-  let runs = if quick then 400 else 2000 in
-  (* Curve 1: single-CAS consensus at n = 3 vs fault rate. *)
-  let curve1 = Table.create ~columns:[ "fault rate p"; "runs"; "failure rate" ] in
-  let setup1 = Check.setup Consensus.Single_cas.herlihy (Protocol.params ~n_procs:3 ~f:1 ()) in
+  let trials = if quick then 400 else 2000 in
+  (* Curve 1: single-CAS consensus at n = 3 vs fault rate — one campaign
+     whose grid is the rate axis. *)
+  let report1 =
+    campaign_report
+      (Campaign.Spec.v ~name:"e12-curve1" ~protocol:"herlihy" ~f:[ 1 ] ~n:[ 3 ]
+         ~rates:[ 0.05; 0.1; 0.2; 0.4; 0.6; 0.9 ]
+         ~trials ~seed ())
+  in
+  let curve1 = Table.create ~columns:[ "fault rate p"; "trials"; "failure rate" ] in
   let rates =
     List.map
-      (fun p -> (p, failure_rate ~runs ~seed:(Int64.add seed (Int64.of_float (p *. 100.))) ~p setup1))
-      [ 0.05; 0.1; 0.2; 0.4; 0.6; 0.9 ]
+      (fun (c : Campaign.Report.cell_stats) -> (cell_rate c, c.failure_rate))
+      report1.Campaign.Report.cells
   in
   List.iter
     (fun (p, r) ->
       Table.add_row curve1
-        [ Table.cell_float ~decimals:2 p; Table.cell_int runs; Table.cell_float ~decimals:3 r ])
+        [ Table.cell_float ~decimals:2 p; Table.cell_int trials; Table.cell_float ~decimals:3 r ])
     rates;
   let monotone_ish =
     (* allow small sampling wiggles: compare first and last *)
@@ -32,22 +51,30 @@ let run ?(quick = false) ?(seed = 0xE12L) () =
         last > first
     | [] -> false
   in
-  (* Curve 2: the sweep over m all-faulty objects at p = 0.5, n = 3. *)
-  let curve2 = Table.create ~columns:[ "objects (all faulty)"; "runs"; "failure rate" ] in
+  (* Curve 2: the sweep over m all-faulty objects at p = 0.5, n = 3.
+     The protocol changes per point, so this is four one-cell
+     campaigns. *)
+  let curve2 = Table.create ~columns:[ "objects (all faulty)"; "trials"; "failure rate" ] in
   let m_rates =
     List.map
       (fun m ->
-        let setup =
-          Check.setup (Consensus.F_tolerant.with_objects m)
-            (Protocol.params ~n_procs:3 ~f:m ())
+        let report =
+          campaign_report
+            (Campaign.Spec.v
+               ~name:(Fmt.str "e12-curve2-m%d" m)
+               ~protocol:(Fmt.str "sweep%d" m) ~f:[ m ] ~n:[ 3 ] ~rates:[ 0.5 ] ~trials
+               ~seed:(Int64.add seed (Int64.of_int (1000 + m)))
+               ())
         in
-        (m, failure_rate ~runs ~seed:(Int64.add seed (Int64.of_int (1000 + m))) ~p:0.5 setup))
+        match report.Campaign.Report.cells with
+        | [ c ] -> (m, c.Campaign.Report.failure_rate)
+        | _ -> assert false)
       [ 1; 2; 3; 4 ]
   in
   List.iter
     (fun (m, r) ->
       Table.add_row curve2
-        [ Table.cell_int m; Table.cell_int runs; Table.cell_float ~decimals:3 r ])
+        [ Table.cell_int m; Table.cell_int trials; Table.cell_float ~decimals:3 r ])
     m_rates;
   let decaying =
     match m_rates with
@@ -56,33 +83,35 @@ let run ?(quick = false) ?(seed = 0xE12L) () =
         r4 < r1
     | [] -> false
   in
-  (* Curve 3: Fig. 3 cost scaling. *)
+  (* Curve 3: Fig. 3 cost scaling. n tracks f (n = f + 1), so each
+     (f, t) point is its own one-cell campaign; the cost statistic is
+     the report's per-trial worst ops/process summary. *)
   let curve3 =
     Table.create
       ~columns:
-        [ "f"; "t"; "n"; "maxStage"; "mean ops/proc"; "p99 ops/proc"; "max ops/proc" ]
+        [ "f"; "t"; "n"; "maxStage"; "mean worst ops"; "p99 worst ops"; "max worst ops" ]
   in
-  let cost_runs = if quick then 100 else 400 in
+  let cost_trials = if quick then 100 else 400 in
   let cost ~f ~t =
     let n = f + 1 in
-    let setup =
-      Check.setup Consensus.Bounded_faults.protocol (Protocol.params ~t ~n_procs:n ~f ())
+    let report =
+      campaign_report
+        (Campaign.Spec.v
+           ~name:(Fmt.str "e12-curve3-f%d-t%d" f t)
+           ~protocol:"fig3" ~f:[ f ] ~t:[ Some t ] ~n:[ n ] ~rates:[ 0.4 ]
+           ~trials:cost_trials
+           ~seed:(Int64.add seed (Int64.of_int ((f * 17) + t)))
+           ())
     in
-    let ops = Summary.create () in
-    let on_report ~seed:_ (report : Check.report) =
-      Array.iter (Summary.add_int ops) report.Check.result.Engine.steps_taken
-    in
-    let _ =
-      mass
-        ~injector:(probabilistic_overriding ~p:0.4)
-        ~on_report ~runs:cost_runs
-        ~seed:(Int64.add seed (Int64.of_int ((f * 17) + t)))
-        setup
+    let ops =
+      match report.Campaign.Report.cells with
+      | [ c ] -> c.Campaign.Report.steps
+      | _ -> assert false
     in
     Table.add_row curve3
       [
         Table.cell_int f; Table.cell_int t; Table.cell_int n;
-        Table.cell_int (Consensus.Bounded_faults.max_stage ~f ~t);
+        Table.cell_int (Bounded_faults.max_stage ~f ~t);
         Table.cell_float ~decimals:1 (Summary.mean ops);
         Table.cell_float ~decimals:0 (Summary.percentile ops 99.0);
         Table.cell_float ~decimals:0 (Summary.max_value ops);

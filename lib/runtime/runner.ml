@@ -18,4 +18,43 @@ let run_parallel ~domains f =
     results
   end
 
+let run_tasks ?(chunk = 64) ~domains ~total ~worker ~consume () =
+  if domains < 1 then invalid_arg "Runner.run_tasks: domains < 1";
+  if chunk < 1 then invalid_arg "Runner.run_tasks: chunk < 1";
+  if total < 0 then invalid_arg "Runner.run_tasks: total < 0";
+  if total = 0 then ()
+  else if domains = 1 then
+    for i = 0 to total - 1 do
+      consume i (worker i)
+    done
+  else begin
+    let next = Atomic.make 0 in
+    let lock = Mutex.create () in
+    let body () =
+      let continue = ref true in
+      while !continue do
+        let start = Atomic.fetch_and_add next chunk in
+        if start >= total then continue := false
+        else begin
+          let stop = min total (start + chunk) in
+          (* Compute the whole chunk outside the lock; publish under it. *)
+          let results = Array.init (stop - start) (fun k -> worker (start + k)) in
+          Mutex.lock lock;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock lock)
+            (fun () -> Array.iteri (fun k r -> consume (start + k) r) results)
+        end
+      done
+    in
+    (* No start barrier here, unlike [run_parallel]: a throughput pool
+       gains nothing from synchronized release, and spinning is
+       pathological when domains outnumber cores. *)
+    let handles = Array.init (domains - 1) (fun _ -> Domain.spawn body) in
+    let first_exn = ref None in
+    let note e = match !first_exn with None -> first_exn := Some e | Some _ -> () in
+    (try body () with e -> note e);
+    Array.iter (fun h -> try Domain.join h with e -> note e) handles;
+    match !first_exn with None -> () | Some e -> raise e
+  end
+
 let recommended_domains () = min 8 (Domain.recommended_domain_count ())

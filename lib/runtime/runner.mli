@@ -2,12 +2,39 @@
 
     [run_parallel] spawns one domain per process, releases them through a
     spin barrier (so they hit the shared objects together, maximizing real
-    contention), and joins the results. *)
+    contention), and joins the results.
+
+    [run_tasks] is the throughput-oriented complement: a chunked
+    work-stealing task queue over a dense index space, used by the
+    campaign engine to saturate all cores with millions of independent
+    trials. *)
 
 val run_parallel : domains:int -> (int -> 'a) -> 'a array
 (** [run_parallel ~domains f] runs [f i] on domain i for i in
     [\[0, domains)]. Exceptions in a worker propagate on join.
     @raise Invalid_argument if [domains < 1]. *)
+
+val run_tasks :
+  ?chunk:int ->
+  domains:int ->
+  total:int ->
+  worker:(int -> 'a) ->
+  consume:(int -> 'a -> unit) ->
+  unit ->
+  unit
+(** [run_tasks ~domains ~total ~worker ~consume ()] executes
+    [worker i] for every i in [\[0, total)] across [domains] domains.
+    Tasks are claimed in chunks of [chunk] (default 64) from a shared
+    atomic counter, so load balances even when task costs vary wildly.
+    [consume i result] is invoked under a single mutex — callers may
+    stream results to a file or accumulator without further locking —
+    in index order within a chunk, with chunks interleaved arbitrarily.
+    [worker] runs concurrently and must only touch shared state through
+    thread-safe means. With [domains = 1] everything runs sequentially
+    on the calling domain in index order. A worker exception propagates
+    on join (after the other domains drain the remaining queue).
+    @raise Invalid_argument if [domains < 1], [chunk < 1] or
+    [total < 0]. *)
 
 val recommended_domains : unit -> int
 (** [Domain.recommended_domain_count], capped at 8 — a sensible default

@@ -1,21 +1,32 @@
+module Splitmix = Ffault_prng.Splitmix
+
 type t = {
   mutable n : int;
   mutable mean : float;
   mutable m2 : float;
   mutable min_v : float;
   mutable max_v : float;
-  mutable samples : float list;  (* retained for percentiles *)
+  capacity : int;
+  rng : Splitmix.t;  (* reservoir replacement decisions; deterministic *)
+  mutable reservoir : float array;  (* grows geometrically up to capacity *)
+  mutable filled : int;
   mutable sorted : float array option;  (* cache, invalidated by add *)
 }
 
-let create () =
+let default_capacity = 65_536
+
+let create ?(capacity = default_capacity) ?(seed = 0x5EEDL) () =
+  if capacity < 1 then invalid_arg "Summary.create: capacity < 1";
   {
     n = 0;
     mean = 0.0;
     m2 = 0.0;
     min_v = infinity;
     max_v = neg_infinity;
-    samples = [];
+    capacity;
+    rng = Splitmix.create seed;
+    reservoir = [||];
+    filled = 0;
     sorted = None;
   }
 
@@ -26,12 +37,32 @@ let add s x =
   s.m2 <- s.m2 +. (delta *. (x -. s.mean));
   if x < s.min_v then s.min_v <- x;
   if x > s.max_v then s.max_v <- x;
-  s.samples <- x :: s.samples;
-  s.sorted <- None
+  (* Vitter's algorithm R: keep a uniform sample of capacity elements. *)
+  if s.filled < s.capacity then begin
+    if s.filled >= Array.length s.reservoir then begin
+      let grown =
+        Array.make (min s.capacity (max 64 (2 * Array.length s.reservoir))) 0.0
+      in
+      Array.blit s.reservoir 0 grown 0 s.filled;
+      s.reservoir <- grown
+    end;
+    s.reservoir.(s.filled) <- x;
+    s.filled <- s.filled + 1;
+    s.sorted <- None
+  end
+  else begin
+    let j = Splitmix.next_int s.rng ~bound:s.n in
+    if j < s.capacity then begin
+      s.reservoir.(j) <- x;
+      s.sorted <- None
+    end
+  end
 
 let add_int s x = add s (float_of_int x)
 
 let count s = s.n
+let capacity s = s.capacity
+let retained s = s.filled
 let mean s = if s.n = 0 then 0.0 else s.mean
 let variance s = if s.n < 2 then 0.0 else s.m2 /. float_of_int (s.n - 1)
 let stddev s = sqrt (variance s)
@@ -42,7 +73,7 @@ let sorted s =
   match s.sorted with
   | Some a -> a
   | None ->
-      let a = Array.of_list s.samples in
+      let a = Array.sub s.reservoir 0 s.filled in
       Array.sort Float.compare a;
       s.sorted <- Some a;
       a

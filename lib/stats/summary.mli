@@ -1,33 +1,57 @@
-(** Streaming summary statistics (Welford) and percentile estimation.
+(** Streaming summary statistics (Welford) and percentile estimation
+    over a capped reservoir.
 
-    Used by the experiment driver and benches to aggregate per-run
-    measurements (step counts, stage counts, latencies). *)
+    Used by the experiment driver, the campaign reports and the benches
+    to aggregate per-run measurements (step counts, stage counts,
+    latencies). Count, mean, variance, min and max are always {e exact}
+    regardless of stream length. Percentiles are computed over a uniform
+    reservoir sample (Vitter's algorithm R, deterministic seeded
+    replacement): exact while the stream fits the capacity (default
+    65 536 samples), an unbiased estimate beyond it — so million-trial
+    campaigns aggregate in O(capacity) memory instead of retaining every
+    sample. *)
 
 type t
 (** A mutable accumulator. *)
 
-val create : unit -> t
+val default_capacity : int
+(** 65 536. *)
+
+val create : ?capacity:int -> ?seed:int64 -> unit -> t
+(** [create ()] uses {!default_capacity} and a fixed seed (equal streams
+    give equal estimates).
+    @raise Invalid_argument if [capacity < 1]. *)
+
 val add : t -> float -> unit
 val add_int : t -> int -> unit
 
 val count : t -> int
+(** Samples observed (not retained). *)
+
+val capacity : t -> int
+val retained : t -> int
+(** Samples currently in the reservoir: [min (count s) (capacity s)]. *)
+
 val mean : t -> float
-(** 0 when empty. *)
+(** 0 when empty. Exact. *)
 
 val variance : t -> float
-(** Sample variance (n - 1 denominator); 0 for fewer than two samples. *)
+(** Sample variance (n - 1 denominator); 0 for fewer than two samples.
+    Exact. *)
 
 val stddev : t -> float
 val min_value : t -> float
-(** [infinity] when empty. *)
+(** [infinity] when empty. Exact. *)
 
 val max_value : t -> float
-(** [neg_infinity] when empty. *)
+(** [neg_infinity] when empty. Exact. *)
 
 val percentile : t -> float -> float
 (** [percentile s p] for p in [\[0, 100\]], by linear interpolation over
-    the retained samples. The accumulator retains all samples for this
-    purpose (fine for the 10³–10⁶ sample counts we use).
+    the retained reservoir. Exact when [count s <= capacity s]; a
+    sampling estimate otherwise (the estimator change from the
+    retain-everything original — min/max remain exact, so p0/p100 of a
+    long stream may differ slightly from {!min_value}/{!max_value}).
     @raise Invalid_argument if empty or p out of range. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,426 @@
+(* Tests for the campaign orchestrator: JSON codec, spec parsing, grid
+   determinism, recorded trials (replay + shrink), journal durability,
+   the domain pool, resume, and report aggregation/diffing. *)
+
+module Campaign = Ffault_campaign
+module Json = Campaign.Json
+module Spec = Campaign.Spec
+module Grid = Campaign.Grid
+module Shrink_on_fail = Campaign.Shrink_on_fail
+module Journal = Campaign.Journal
+module Checkpoint = Campaign.Checkpoint
+module Pool = Campaign.Pool
+module Report = Campaign.Report
+module Check = Ffault_verify.Consensus_check
+module Fault_kind = Ffault_fault.Fault_kind
+
+let check = Alcotest.check
+
+(* A cell that genuinely violates consensus often: the unprotected
+   single-CAS protocol at n = 3 under a high overriding rate (E12's
+   curve 1 measures ~0.87 at p = 0.9). *)
+let failing_spec ?(trials = 40) ?(name = "failing") () =
+  Spec.v ~name ~protocol:"herlihy" ~f:[ 1 ] ~n:[ 3 ] ~rates:[ 0.9 ] ~trials ~seed:0xBADL ()
+
+(* A healthy grid: fig3 inside its envelope never fails. *)
+let healthy_spec ?(trials = 10) ?(name = "healthy") () =
+  Spec.v ~name ~protocol:"fig3" ~f:[ 1; 2 ] ~t:[ Some 1 ] ~n:[ 3 ] ~rates:[ 0.3; 0.6 ]
+    ~trials ~seed:0x600DL ()
+
+let tmp_root =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Fmt.str "ffault-campaign-test-%d-%d" (Unix.getpid ()) !n)
+    in
+    Checkpoint.mkdir_p dir;
+    dir
+
+(* ---- Json ---- *)
+
+let test_json_roundtrip () =
+  let values =
+    [
+      Json.Null;
+      Json.Bool true;
+      Json.Int (-42);
+      Json.Float 0.25;
+      Json.Str "with \"quotes\", \\ and \n newline";
+      Json.List [ Json.Int 1; Json.Null; Json.Str "x" ];
+      Json.Obj [ ("a", Json.Int 1); ("b", Json.List []); ("c", Json.Obj []) ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      match Json.of_string (Json.to_string v) with
+      | Ok v' -> check Alcotest.bool (Json.to_string v) true (v = v')
+      | Error m -> Alcotest.fail m)
+    values
+
+let test_json_single_line () =
+  let v = Json.Obj [ ("s", Json.Str "two\nlines"); ("l", Json.List [ Json.Str "\t" ]) ] in
+  check Alcotest.bool "JSONL-safe" false (String.contains (Json.to_string v) '\n')
+
+let test_json_errors () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ -> Alcotest.fail (Fmt.str "accepted %S" s)
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated"; "{\"a\" 1}" ]
+
+let test_json_accessors () =
+  let v = Json.Obj [ ("n", Json.Int 3); ("r", Json.Float 0.5) ] in
+  check (Alcotest.option Alcotest.int) "member int" (Some 3)
+    (Option.bind (Json.member "n" v) Json.get_int);
+  (* ints coerce to float where a float is expected (rates parse as 0 or 1) *)
+  check (Alcotest.option (Alcotest.float 1e-9)) "int as float" (Some 3.0)
+    (Option.bind (Json.member "n" v) Json.get_float);
+  check (Alcotest.option Alcotest.int) "missing member" None
+    (Option.bind (Json.member "zzz" v) Json.get_int)
+
+(* ---- Spec ---- *)
+
+let test_spec_axis_parsers () =
+  check
+    (Alcotest.result (Alcotest.list Alcotest.int) Alcotest.string)
+    "ints + ranges" (Ok [ 1; 4; 5; 6; 9 ])
+    (Spec.ints_of_string "1, 4..6, 9");
+  check Alcotest.bool "bad range rejected" true
+    (Result.is_error (Spec.ints_of_string "5..2"));
+  check
+    (Alcotest.result (Alcotest.list (Alcotest.option Alcotest.int)) Alcotest.string)
+    "t values" (Ok [ Some 1; None; Some 3 ])
+    (Spec.t_values_of_string "1, unbounded, 3");
+  check Alcotest.bool "kinds parse" true
+    (Spec.kinds_of_string "overriding, silent" = Ok [ Fault_kind.Overriding; Fault_kind.Silent ]);
+  check Alcotest.bool "unknown kind rejected" true
+    (Result.is_error (Spec.kinds_of_string "gremlin"))
+
+let test_spec_text_format () =
+  let text =
+    "# an f x t sweep\n\
+     name = sweep-test\n\
+     protocol = fig3\n\
+     f = 1..2   # inline comment\n\
+     t = 1, unbounded\n\
+     n = 3\n\
+     kinds = overriding\n\
+     rates = 0.25, 0.75\n\
+     trials = 7\n\
+     seed = 99\n"
+  in
+  match Spec.parse text with
+  | Error m -> Alcotest.fail m
+  | Ok s ->
+      check Alcotest.string "name" "sweep-test" s.Spec.name;
+      check (Alcotest.list Alcotest.int) "f" [ 1; 2 ] s.Spec.f_values;
+      check
+        (Alcotest.list (Alcotest.option Alcotest.int))
+        "t" [ Some 1; None ] s.Spec.t_values;
+      check Alcotest.int "trials" 7 s.Spec.trials;
+      check Alcotest.int64 "seed" 99L s.Spec.seed
+
+let test_spec_text_errors () =
+  List.iter
+    (fun text ->
+      match Spec.parse text with
+      | Ok _ -> Alcotest.fail (Fmt.str "accepted %S" text)
+      | Error _ -> ())
+    [
+      "f = 1\n" (* missing protocol *);
+      "protocol = fig3\nbogus_key = 1\n";
+      "protocol = fig3\nno equals sign here\n";
+      "protocol = marsian\n";
+      "protocol = fig3\nrates = 1.5\n";
+      "protocol = fig3\ntrials = 0\n";
+    ]
+
+let test_spec_json_roundtrip () =
+  let spec = healthy_spec () in
+  match Spec.of_json (Spec.to_json spec) with
+  | Error m -> Alcotest.fail m
+  | Ok spec' -> check Alcotest.bool "round-trips" true (Spec.equal spec spec')
+
+(* ---- Grid ---- *)
+
+let test_grid_shape () =
+  let spec = healthy_spec () in
+  check Alcotest.int "cells" 4 (Grid.n_cells spec);
+  check Alcotest.int "trials" 40 (Grid.total_trials spec);
+  let t0 = Grid.trial spec 0 and t39 = Grid.trial spec 39 in
+  check Alcotest.int "first cell" 0 t0.Grid.cell_id;
+  check Alcotest.int "last cell" 3 t39.Grid.cell_id;
+  check Alcotest.int "index within cell" 9 t39.Grid.index;
+  Alcotest.check_raises "id out of range" (Invalid_argument "Grid.trial: id out of range")
+    (fun () -> ignore (Grid.trial spec 40))
+
+let test_grid_seed_determinism () =
+  let spec = healthy_spec () in
+  let seeds = List.init 40 (fun id -> (Grid.trial spec id).Grid.seed) in
+  let seeds' = List.init 40 (fun id -> (Grid.trial spec id).Grid.seed) in
+  check (Alcotest.list Alcotest.int64) "stable" seeds seeds';
+  let distinct = List.sort_uniq Int64.compare seeds in
+  check Alcotest.int "no seed collisions" 40 (List.length distinct)
+
+(* ---- recorded trials: determinism, replay, shrink ---- *)
+
+let failing_setup () =
+  let spec = failing_spec () in
+  Grid.setup (Grid.cell_of_id spec 0) (Result.get_ok (Spec.resolve_protocol spec.Spec.protocol))
+
+let test_trial_deterministic () =
+  let setup = failing_setup () in
+  let r1, d1 = Shrink_on_fail.run_recorded setup ~rate:0.9 ~seed:7L in
+  let r2, d2 = Shrink_on_fail.run_recorded setup ~rate:0.9 ~seed:7L in
+  check (Alcotest.array Alcotest.int) "same decisions" d1 d2;
+  check Alcotest.bool "same verdict" (Check.ok r1) (Check.ok r2)
+
+let test_trial_replays () =
+  let setup = failing_setup () in
+  let report, decisions = Shrink_on_fail.run_recorded setup ~rate:0.9 ~seed:7L in
+  let replayed = Shrink_on_fail.replay setup decisions in
+  check Alcotest.bool "replay reproduces the verdict" (Check.ok report) (Check.ok replayed)
+
+let test_shrink_produces_replayable_witness () =
+  let setup = failing_setup () in
+  (* Scan seeds for a violating trial; p ~ 0.9 so the first few hit. *)
+  let rec first_failure seed =
+    if Int64.compare seed 50L > 0 then Alcotest.fail "no violation in 50 seeds"
+    else
+      let r = Shrink_on_fail.run_trial setup ~rate:0.9 ~seed in
+      if Check.ok r.Shrink_on_fail.report then first_failure (Int64.add seed 1L) else r
+  in
+  let r = first_failure 1L in
+  match r.Shrink_on_fail.witness with
+  | None -> Alcotest.fail "failed trial carries no witness"
+  | Some w ->
+      check Alcotest.bool "witness no longer than the recording" true
+        (Array.length w <= Array.length r.Shrink_on_fail.decisions);
+      check Alcotest.bool "witness still violates" false
+        (Check.ok (Shrink_on_fail.replay setup w))
+
+(* ---- Journal ---- *)
+
+let sample_record ?(trial = 17) ?(ok = false) ?witness () =
+  {
+    Journal.trial;
+    cell = { Grid.f = 2; t = Some 1; n = 3; kind = Fault_kind.Overriding; rate = 0.4 };
+    seed = -5530000000000000001L;
+    ok;
+    violations = (if ok then [] else [ "consistency: procs decided {1, 2}" ]);
+    steps = 41;
+    max_steps = 17;
+    stage = 3;
+    faults = 2;
+    wall_us = 180;
+    witness;
+  }
+
+let test_journal_record_roundtrip () =
+  List.iter
+    (fun r ->
+      match Journal.of_line (Journal.to_line r) with
+      | Error m -> Alcotest.fail m
+      | Ok r' -> check Alcotest.bool "round-trips" true (r = r'))
+    [
+      sample_record ();
+      sample_record ~ok:true ();
+      sample_record ~witness:[| 1; 0; 2 |] ();
+      { (sample_record ()) with cell = { (sample_record ()).Journal.cell with Grid.t = None } };
+    ]
+
+let test_journal_write_read () =
+  let root = tmp_root () in
+  let path = Filename.concat root "j.jsonl" in
+  let w = Journal.create_writer ~path in
+  let records = List.init 5 (fun i -> sample_record ~trial:i ~ok:(i mod 2 = 0) ()) in
+  List.iter (Journal.append w) records;
+  Journal.close_writer w;
+  check Alcotest.int "count" 5 (Journal.count ~path);
+  check Alcotest.bool "load order" true (Journal.load ~path = records)
+
+let test_journal_tolerates_torn_line () =
+  let root = tmp_root () in
+  let path = Filename.concat root "j.jsonl" in
+  let w = Journal.create_writer ~path in
+  List.iter (fun i -> Journal.append w (sample_record ~trial:i ())) [ 0; 1; 2 ];
+  Journal.close_writer w;
+  (* Simulate the kill mid-write: append half a record. *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{\"trial\":3,\"f\":2,\"t\"";
+  close_out oc;
+  check Alcotest.int "torn line skipped" 3 (Journal.count ~path);
+  check Alcotest.int "missing file is empty" 0
+    (Journal.count ~path:(Filename.concat root "absent.jsonl"))
+
+(* ---- Pool ---- *)
+
+let outcome_fields (r : Journal.record) =
+  (r.Journal.trial, r.Journal.ok, r.Journal.steps, r.Journal.max_steps, r.Journal.faults)
+
+let run_collect ?skip ~domains spec =
+  let records = ref [] in
+  let summary =
+    Pool.run_trials ?skip ~domains ~max_shrinks_per_cell:0
+      ~on_record:(fun r -> records := r :: !records)
+      spec
+  in
+  let sorted =
+    List.sort (fun a b -> compare a.Journal.trial b.Journal.trial) !records
+  in
+  (summary, sorted)
+
+let test_pool_domain_count_invariance () =
+  let spec = failing_spec ~trials:30 () in
+  let s1, r1 = run_collect ~domains:1 spec in
+  let s4, r4 = run_collect ~domains:4 spec in
+  check Alcotest.int "all executed (1 dom)" 30 s1.Pool.executed;
+  check Alcotest.int "all executed (4 dom)" 30 s4.Pool.executed;
+  check Alcotest.bool "some failures in this cell" true (s1.Pool.failures > 0);
+  check Alcotest.int "same failure count" s1.Pool.failures s4.Pool.failures;
+  check Alcotest.bool "identical outcome fields" true
+    (List.map outcome_fields r1 = List.map outcome_fields r4)
+
+let test_pool_skip_predicate () =
+  let spec = healthy_spec () in
+  let summary, records = run_collect ~skip:(fun id -> id mod 2 = 0) ~domains:2 spec in
+  check Alcotest.int "half skipped" 20 summary.Pool.skipped;
+  check Alcotest.int "half executed" 20 summary.Pool.executed;
+  check Alcotest.bool "only odd ids ran" true
+    (List.for_all (fun r -> r.Journal.trial mod 2 = 1) records)
+
+(* ---- run_dir + resume (the acceptance scenario) ---- *)
+
+let test_run_dir_resume_after_kill () =
+  let root = tmp_root () in
+  let spec = healthy_spec ~trials:30 ~name:"resumable" () in
+  let total = Grid.total_trials spec in
+  (match Pool.run_dir ~domains:2 ~root spec with
+  | Error m -> Alcotest.fail m
+  | Ok s -> check Alcotest.int "fresh run executes all" total s.Pool.executed);
+  let dir = Checkpoint.campaign_dir ~root spec in
+  let path = Checkpoint.journal_path ~dir in
+  check Alcotest.int "journal complete" total (Journal.count ~path);
+  (* Kill: keep only the first 45 journal lines. *)
+  let keep =
+    In_channel.with_open_text path In_channel.input_lines
+    |> List.filteri (fun i _ -> i < 45)
+  in
+  Out_channel.with_open_text path (fun oc ->
+      List.iter (fun l -> Out_channel.output_string oc (l ^ "\n")) keep);
+  (* Resume must execute exactly the missing trials, no re-execution. *)
+  (match Pool.run_dir ~domains:2 ~resume:true ~root spec with
+  | Error m -> Alcotest.fail m
+  | Ok s ->
+      check Alcotest.int "journaled trials skipped" 45 s.Pool.skipped;
+      check Alcotest.int "only the rest executed" (total - 45) s.Pool.executed);
+  let records = Journal.load ~path in
+  check Alcotest.int "journal complete again" total (List.length records);
+  let ids = List.sort_uniq compare (List.map (fun r -> r.Journal.trial) records) in
+  check Alcotest.int "every trial exactly once" total (List.length ids);
+  (* A fully-journaled campaign resumes to a no-op. *)
+  match Pool.run_dir ~domains:2 ~resume:true ~root spec with
+  | Error m -> Alcotest.fail m
+  | Ok s -> check Alcotest.int "nothing left to run" 0 s.Pool.executed
+
+let test_run_dir_refuses_clobber_and_mismatch () =
+  let root = tmp_root () in
+  let spec = healthy_spec ~name:"guarded" () in
+  (match Pool.run_dir ~root spec with
+  | Error m -> Alcotest.fail m
+  | Ok _ -> ());
+  check Alcotest.bool "fresh run refuses existing campaign" true
+    (Result.is_error (Pool.run_dir ~root spec));
+  let doctored = { spec with Spec.trials = spec.Spec.trials + 1 } in
+  check Alcotest.bool "resume refuses a changed spec" true
+    (Result.is_error (Pool.run_dir ~resume:true ~root doctored))
+
+(* ---- Report ---- *)
+
+let test_report_aggregates () =
+  let spec = failing_spec ~trials:40 () in
+  let _, records = run_collect ~domains:2 spec in
+  let report = Report.of_records spec records in
+  check Alcotest.int "one cell" 1 (List.length report.Report.cells);
+  let c = List.hd report.Report.cells in
+  check Alcotest.int "trials counted" 40 c.Report.trials;
+  check Alcotest.bool "failures observed" true (c.Report.failures > 0);
+  check (Alcotest.float 1e-9) "rate consistent"
+    (float_of_int c.Report.failures /. 40.0)
+    c.Report.failure_rate;
+  check Alcotest.int "totals add up" 40 report.Report.total_trials
+
+let test_report_diff_detects_regression () =
+  let spec = healthy_spec () in
+  let _, records = run_collect ~domains:1 spec in
+  let a = Report.of_records spec records in
+  (* Self-diff: clean. *)
+  let d = Report.diff a a in
+  check Alcotest.int "self-diff has no regressions" 0 d.Report.regressions;
+  check Alcotest.int "no cells dropped" 0 (List.length d.Report.only_a);
+  (* Doctor the journal: flip one cell's trials to failing. *)
+  let doctored =
+    List.map
+      (fun r ->
+        if r.Journal.trial < spec.Spec.trials then
+          { r with Journal.ok = false; violations = [ "doctored" ] }
+        else r)
+      records
+  in
+  let b = Report.of_records spec doctored in
+  let d = Report.diff a b in
+  check Alcotest.bool "regression detected" true (d.Report.regressions >= 1);
+  let d' = Report.diff b a in
+  check Alcotest.int "fixes are not regressions" 0 d'.Report.regressions
+
+let suites =
+  [
+    ( "campaign.json",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+        Alcotest.test_case "single line" `Quick test_json_single_line;
+        Alcotest.test_case "errors" `Quick test_json_errors;
+        Alcotest.test_case "accessors" `Quick test_json_accessors;
+      ] );
+    ( "campaign.spec",
+      [
+        Alcotest.test_case "axis parsers" `Quick test_spec_axis_parsers;
+        Alcotest.test_case "text format" `Quick test_spec_text_format;
+        Alcotest.test_case "text errors" `Quick test_spec_text_errors;
+        Alcotest.test_case "json roundtrip" `Quick test_spec_json_roundtrip;
+      ] );
+    ( "campaign.grid",
+      [
+        Alcotest.test_case "shape" `Quick test_grid_shape;
+        Alcotest.test_case "seed determinism" `Quick test_grid_seed_determinism;
+      ] );
+    ( "campaign.trial",
+      [
+        Alcotest.test_case "deterministic" `Quick test_trial_deterministic;
+        Alcotest.test_case "replays" `Quick test_trial_replays;
+        Alcotest.test_case "shrink witness" `Quick test_shrink_produces_replayable_witness;
+      ] );
+    ( "campaign.journal",
+      [
+        Alcotest.test_case "record roundtrip" `Quick test_journal_record_roundtrip;
+        Alcotest.test_case "write/read" `Quick test_journal_write_read;
+        Alcotest.test_case "torn line" `Quick test_journal_tolerates_torn_line;
+      ] );
+    ( "campaign.pool",
+      [
+        Alcotest.test_case "domain-count invariance" `Quick test_pool_domain_count_invariance;
+        Alcotest.test_case "skip predicate" `Quick test_pool_skip_predicate;
+        Alcotest.test_case "resume after kill" `Quick test_run_dir_resume_after_kill;
+        Alcotest.test_case "clobber + mismatch guards" `Quick
+          test_run_dir_refuses_clobber_and_mismatch;
+      ] );
+    ( "campaign.report",
+      [
+        Alcotest.test_case "aggregates" `Quick test_report_aggregates;
+        Alcotest.test_case "diff regressions" `Quick test_report_diff_detects_regression;
+      ] );
+  ]

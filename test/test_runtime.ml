@@ -153,6 +153,64 @@ let test_runner_parallel_increments () =
          done));
   check Alcotest.int "no lost updates" (4 * per) (Atomic.get counter)
 
+let test_runner_exception_propagates () =
+  (* A spawned worker's exception must surface on join, not vanish. *)
+  match Runner.run_parallel ~domains:2 (fun i -> if i = 1 then failwith "boom" else i) with
+  | _ -> Alcotest.fail "expected the worker exception to propagate"
+  | exception Failure m -> check Alcotest.string "worker failure surfaced" "boom" m
+
+(* ---- Runner.run_tasks ---- *)
+
+let test_run_tasks_covers_all () =
+  let consumed = Array.make 100 (-1) in
+  Runner.run_tasks ~chunk:7 ~domains:4 ~total:100
+    ~worker:(fun i -> i * 3)
+    ~consume:(fun i r ->
+      if consumed.(i) <> -1 then Alcotest.fail (Fmt.str "task %d consumed twice" i);
+      consumed.(i) <- r)
+    ();
+  Array.iteri (fun i r -> check Alcotest.int (Fmt.str "result %d" i) (i * 3) r) consumed
+
+let test_run_tasks_single_domain_in_order () =
+  let seen = ref [] in
+  Runner.run_tasks ~domains:1 ~total:5 ~worker:(fun i -> 10 * i)
+    ~consume:(fun i r -> seen := (i, r) :: !seen)
+    ();
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "in order"
+    [ (0, 0); (1, 10); (2, 20); (3, 30); (4, 40) ]
+    (List.rev !seen)
+
+let test_run_tasks_empty_and_validation () =
+  Runner.run_tasks ~domains:4 ~total:0 ~worker:(fun _ -> Alcotest.fail "no tasks to run")
+    ~consume:(fun _ _ -> Alcotest.fail "nothing to consume")
+    ();
+  Alcotest.check_raises "domains < 1" (Invalid_argument "Runner.run_tasks: domains < 1")
+    (fun () -> Runner.run_tasks ~domains:0 ~total:1 ~worker:ignore ~consume:(fun _ _ -> ()) ());
+  Alcotest.check_raises "chunk < 1" (Invalid_argument "Runner.run_tasks: chunk < 1") (fun () ->
+      Runner.run_tasks ~chunk:0 ~domains:1 ~total:1 ~worker:ignore ~consume:(fun _ _ -> ()) ());
+  Alcotest.check_raises "total < 0" (Invalid_argument "Runner.run_tasks: total < 0") (fun () ->
+      Runner.run_tasks ~domains:1 ~total:(-1) ~worker:ignore ~consume:(fun _ _ -> ()) ())
+
+let test_run_tasks_worker_exception () =
+  match
+    Runner.run_tasks ~chunk:4 ~domains:4 ~total:64
+      ~worker:(fun i -> if i = 13 then failwith "task boom" else i)
+      ~consume:(fun _ _ -> ())
+      ()
+  with
+  | () -> Alcotest.fail "expected the task exception to propagate"
+  | exception Failure m -> check Alcotest.string "task failure surfaced" "task boom" m
+
+let test_run_tasks_consume_serialized () =
+  (* consume runs under one mutex: unsynchronized mutation must be safe. *)
+  let sum = ref 0 in
+  Runner.run_tasks ~chunk:3 ~domains:4 ~total:1000 ~worker:(fun i -> i)
+    ~consume:(fun _ r -> sum := !sum + r)
+    ();
+  check Alcotest.int "no lost consume" (999 * 1000 / 2) !sum
+
 (* ---- Consensus_mc ---- *)
 
 let test_mc_fault_free_all_protocols () =
@@ -236,6 +294,13 @@ let suites =
         Alcotest.test_case "single domain" `Quick test_runner_single_domain;
         Alcotest.test_case "validation" `Quick test_runner_validation;
         Alcotest.test_case "parallel increments" `Quick test_runner_parallel_increments;
+        Alcotest.test_case "exception propagates" `Quick test_runner_exception_propagates;
+        Alcotest.test_case "tasks cover all" `Quick test_run_tasks_covers_all;
+        Alcotest.test_case "tasks single domain order" `Quick
+          test_run_tasks_single_domain_in_order;
+        Alcotest.test_case "tasks empty + validation" `Quick test_run_tasks_empty_and_validation;
+        Alcotest.test_case "tasks worker exception" `Quick test_run_tasks_worker_exception;
+        Alcotest.test_case "tasks consume serialized" `Quick test_run_tasks_consume_serialized;
       ] );
     ( "runtime.consensus",
       [

@@ -59,6 +59,53 @@ let prop_percentile_monotone =
       List.iter (Summary.add s) xs;
       Summary.percentile s 25.0 <= Summary.percentile s 75.0 +. 1e-9)
 
+(* ---- the capped reservoir ---- *)
+
+let test_summary_reservoir_cap () =
+  let s = Summary.create ~capacity:100 () in
+  for i = 1 to 10_000 do
+    Summary.add_int s i
+  done;
+  check Alcotest.int "count sees everything" 10_000 (Summary.count s);
+  check Alcotest.int "capacity" 100 (Summary.capacity s);
+  check Alcotest.int "retained capped" 100 (Summary.retained s);
+  (* Exact moments are unaffected by the cap. *)
+  check feq "mean exact" 5000.5 (Summary.mean s);
+  check feq "min exact" 1.0 (Summary.min_value s);
+  check feq "max exact" 10000.0 (Summary.max_value s);
+  (* The median is now an estimate over a uniform sample of 100: loose
+     bounds, but a broken reservoir (e.g. stuck on a prefix) lands far
+     outside them. *)
+  let p50 = Summary.percentile s 50.0 in
+  check Alcotest.bool "median in the right region" true (p50 > 2000.0 && p50 < 8000.0)
+
+let test_summary_below_cap_is_exact () =
+  let s = Summary.create ~capacity:100 () in
+  for i = 1 to 100 do
+    Summary.add_int s i
+  done;
+  check Alcotest.int "retained all" 100 (Summary.retained s);
+  check feq "p50 exact at the cap" 50.5 (Summary.percentile s 50.0)
+
+let test_summary_reservoir_deterministic () =
+  let fill () =
+    let s = Summary.create ~capacity:64 ~seed:9L () in
+    for i = 1 to 5_000 do
+      Summary.add_int s ((i * 7919) mod 1000)
+    done;
+    s
+  in
+  let a = fill () and b = fill () in
+  List.iter
+    (fun p ->
+      check feq (Fmt.str "p%g equal across runs" p) (Summary.percentile a p)
+        (Summary.percentile b p))
+    [ 0.0; 25.0; 50.0; 75.0; 99.0; 100.0 ]
+
+let test_summary_capacity_validation () =
+  Alcotest.check_raises "capacity < 1" (Invalid_argument "Summary.create: capacity < 1")
+    (fun () -> ignore (Summary.create ~capacity:0 ()))
+
 let test_table_rendering () =
   let t = Table.create ~columns:[ "a"; "bbb" ] in
   Table.add_row t [ "1"; "2" ];
@@ -99,6 +146,10 @@ let suites =
         Alcotest.test_case "single sample" `Quick test_summary_single;
         qcheck prop_mean_within_bounds;
         qcheck prop_percentile_monotone;
+        Alcotest.test_case "reservoir cap" `Quick test_summary_reservoir_cap;
+        Alcotest.test_case "below cap exact" `Quick test_summary_below_cap_is_exact;
+        Alcotest.test_case "reservoir deterministic" `Quick test_summary_reservoir_deterministic;
+        Alcotest.test_case "capacity validation" `Quick test_summary_capacity_validation;
       ] );
     ( "stats.table",
       [
