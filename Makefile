@@ -1,6 +1,6 @@
 # Convenience targets for the ffault reproduction.
 
-.PHONY: all build test experiments experiments-quick bench examples campaign-smoke clean
+.PHONY: all build test experiments experiments-quick bench bench-smoke examples campaign-smoke clean
 
 all: build
 
@@ -19,6 +19,12 @@ experiments-quick:
 bench:
 	dune exec bench/main.exe
 
+# One measurement per workload under a millisecond quota: proves every
+# bench still runs and emits its BENCH_<group>.json, without the cost of
+# real timing. CI runs this on every push.
+bench-smoke:
+	dune exec bench/main.exe -- --smoke campaign b1 e1
+
 examples:
 	dune exec examples/quickstart.exe
 	dune exec examples/leader_election.exe
@@ -33,7 +39,8 @@ examples:
 campaign-smoke:
 	rm -rf _campaigns/ci-smoke
 	dune exec bin/main.exe -- campaign run --name ci-smoke --protocol fig3 \
-	  -f 1..2 -t 1 -n 3 --rates 0.3,0.6 --trials 50 --domains 2
+	  -f 1..2 -t 1 -n 3 --rates 0.3,0.6 --trials 50 --domains 2 \
+	  --trace _campaigns/ci-smoke/trace.json
 	dune exec bin/main.exe -- campaign report --name ci-smoke
 	dune exec bin/main.exe -- campaign diff _campaigns/ci-smoke _campaigns/ci-smoke
 

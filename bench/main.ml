@@ -366,16 +366,23 @@ let groups =
 
 (* ---- runner ---- *)
 
+(* Smoke mode (--smoke, used by `make bench-smoke` in CI): one
+   measurement per test under a tiny quota — enough to prove every
+   workload still runs and the JSON pipeline works, useless as a
+   timing. *)
+let smoke = ref false
+
 let benchmark test =
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:(Some 1000) ~stabilize:false ()
+    if !smoke then Benchmark.cfg ~limit:1 ~quota:(Time.second 0.001) ~stabilize:false ()
+    else Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:(Some 1000) ~stabilize:false ()
   in
   let raw = Benchmark.all cfg [ instance ] test in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
-  Analyze.all ols instance raw
+  (raw, Analyze.all ols instance raw)
 
 let ns_per_run ols =
   match Analyze.OLS.estimates ols with Some (e :: _) -> e | Some [] | None -> nan
@@ -387,20 +394,57 @@ let pretty ns =
   else if ns >= 1e3 then Fmt.str "%.2f \xc2\xb5s" (ns /. 1e3)
   else Fmt.str "%.0f ns" ns
 
+(* Machine-readable sibling of the printed table: BENCH_<group>.json in
+   the working directory, one record per test. trials_per_s mirrors the
+   campaign summary's rate so the two are directly comparable. *)
+let write_json gname rows =
+  let module Json = Ffault_campaign.Json in
+  let record (name, iters, ns) =
+    Json.Obj
+      [
+        ("name", Json.Str name);
+        ("iters", Json.Int iters);
+        ("ns_per_op", if Float.is_nan ns then Json.Null else Json.Float ns);
+        ( "trials_per_s",
+          if Float.is_nan ns || ns <= 0.0 then Json.Null else Json.Float (1e9 /. ns) );
+      ]
+  in
+  let path = Fmt.str "BENCH_%s.json" gname in
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc
+        (Json.to_string
+           (Json.Obj [ ("group", Json.Str gname); ("results", Json.List (List.map record rows)) ]));
+      output_char oc '\n');
+  Fmt.pr "  wrote %s@." path
+
 let run_group (gname, test) =
   Fmt.pr "@.== group %s ==@." gname;
-  let results = benchmark test in
-  let rows = Hashtbl.fold (fun name ols acc -> (name, ns_per_run ols) :: acc) results [] in
-  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
-  List.iter (fun (name, ns) -> Fmt.pr "  %-36s %12s/run@." name (pretty ns)) rows
+  let raw, results = benchmark test in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let iters =
+          match Hashtbl.find_opt raw name with
+          | Some b -> b.Benchmark.stats.Benchmark.samples
+          | None -> 0
+        in
+        (name, iters, ns_per_run ols) :: acc)
+      results []
+  in
+  let rows = List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) rows in
+  List.iter (fun (name, _, ns) -> Fmt.pr "  %-36s %12s/run@." name (pretty ns)) rows;
+  write_json gname rows
 
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let names = List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args in
+  if List.mem "--smoke" args then smoke := true;
   let selected =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) ->
+    match names with
+    | _ :: _ ->
         let wanted = List.map String.lowercase_ascii names in
         List.filter (fun (g, _) -> List.mem g wanted) groups
-    | _ -> groups
+    | [] -> groups
   in
   Fmt.pr "ffault benchmark harness — one run = one full adversarial consensus (or analysis)@.";
   List.iter run_group selected;

@@ -18,6 +18,7 @@ module Dfs = Ffault_verify.Dfs
 module Fault = Ffault_fault
 module Sim = Ffault_sim
 module Campaign = Ffault_campaign
+module Telemetry = Ffault_telemetry
 
 (* ---- shared options ---- *)
 
@@ -414,6 +415,27 @@ let campaign_domains_arg =
 
 let resolve_domains d = if d <= 0 then Ffault_runtime.Runner.recommended_domains () else d
 
+(* Observability flags, shared by run and resume. *)
+
+let progress_arg =
+  let doc = "Force the live progress line on (default: auto — on when stderr is a TTY)." in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
+let quiet_arg =
+  let doc = "Suppress the live progress line and its final summary." in
+  Arg.(value & flag & info [ "quiet" ] ~doc)
+
+let trace_arg =
+  let doc =
+    "Record a span trace of the whole campaign (pool chunks, trials, shrinks, journal \
+     writes) and write it to $(docv) as Chrome trace-event JSON — open it in \
+     chrome://tracing or https://ui.perfetto.dev."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let show_progress ~progress ~quiet =
+  (not quiet) && (progress || Telemetry.Progress.isatty stderr)
+
 let campaign_spec_of_flags ~name ~protocol ~f ~t ~n ~kinds ~rates ~trials ~seed =
   let ( let* ) = Result.bind in
   let* f = Campaign.Spec.ints_of_string f in
@@ -434,12 +456,38 @@ let campaign_spec_of_flags ~name ~protocol ~f ~t ~n ~kinds ~rates ~trials ~seed 
       seed = Int64.of_int seed;
     }
 
-let run_campaign ~resume ~root ~domains spec =
+let run_campaign ~resume ~root ~domains ~progress ~quiet ~trace spec =
   let domains = resolve_domains domains in
   Fmt.pr "%a@.grid: %d cells × %d trials = %d trials, %d domains@." Campaign.Spec.pp spec
     (Campaign.Grid.n_cells spec) spec.Campaign.Spec.trials
     (Campaign.Grid.total_trials spec) domains;
-  match Campaign.Pool.run_dir ~domains ~resume ~root spec with
+  Option.iter (fun _ -> Telemetry.Tracer.enable ()) trace;
+  let live = Campaign.Live.create spec in
+  let reporter =
+    if show_progress ~progress ~quiet then
+      Some
+        (Telemetry.Progress.start ~oc:stderr
+           ~render:(fun () -> Campaign.Live.render live)
+           ())
+    else None
+  in
+  let result =
+    Campaign.Pool.run_dir ~domains ~resume ~root
+      ~on_skip:(fun () -> Campaign.Live.on_skip live)
+      ~observe:(fun r -> Campaign.Live.on_record live r)
+      spec
+  in
+  Option.iter Telemetry.Progress.stop reporter;
+  Option.iter
+    (fun path ->
+      Telemetry.Tracer.disable ();
+      Telemetry.Tracer.export_to_file path;
+      Fmt.pr "trace: %s (%d events, %d dropped) — open in chrome://tracing or Perfetto@."
+        path
+        (Telemetry.Tracer.event_count ())
+        (Telemetry.Tracer.dropped_count ()))
+    trace;
+  match result with
   | Error m ->
       Fmt.epr "error: %s@." m;
       1
@@ -479,7 +527,8 @@ let campaign_run_cmd =
     let doc = "Trials per grid cell." in
     Arg.(value & opt int 100 & info [ "trials" ] ~docv:"K" ~doc)
   in
-  let run spec_file name protocol f t n kinds rates trials seed root domains =
+  let run spec_file name protocol f t n kinds rates trials seed root domains progress quiet
+      trace =
     let spec =
       match spec_file with
       | Some path -> Campaign.Spec.of_file path
@@ -489,29 +538,31 @@ let campaign_run_cmd =
     | Error m ->
         Fmt.epr "error: %s@." m;
         1
-    | Ok spec -> run_campaign ~resume:false ~root ~domains spec
+    | Ok spec -> run_campaign ~resume:false ~root ~domains ~progress ~quiet ~trace spec
   in
   let doc = "Run a fault-injection campaign over a parameter grid, journaling every trial." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ spec_file_arg $ campaign_name_arg $ protocol_arg $ f_list_arg $ t_list_arg
       $ n_list_arg $ kinds_arg $ rates_arg $ trials_arg $ seed_arg $ campaign_root_arg
-      $ campaign_domains_arg)
+      $ campaign_domains_arg $ progress_arg $ quiet_arg $ trace_arg)
 
 let campaign_resume_cmd =
-  let run name root domains =
+  let run name root domains progress quiet trace =
     let dir = Filename.concat root name in
     match Campaign.Checkpoint.load_manifest ~dir with
     | Error m ->
         Fmt.epr "error: %s@." m;
         1
-    | Ok spec -> run_campaign ~resume:true ~root ~domains spec
+    | Ok spec -> run_campaign ~resume:true ~root ~domains ~progress ~quiet ~trace spec
   in
   let doc =
     "Resume an interrupted campaign: journaled trials are skipped, the rest executed."
   in
   Cmd.v (Cmd.info "resume" ~doc)
-    Term.(const run $ campaign_name_arg $ campaign_root_arg $ campaign_domains_arg)
+    Term.(
+      const run $ campaign_name_arg $ campaign_root_arg $ campaign_domains_arg
+      $ progress_arg $ quiet_arg $ trace_arg)
 
 let campaign_report_cmd =
   let run name root =

@@ -1,8 +1,10 @@
 let manifest_file = "manifest.json"
 let journal_file = "journal.jsonl"
+let telemetry_file = "telemetry.json"
 
 let manifest_path ~dir = Filename.concat dir manifest_file
 let journal_path ~dir = Filename.concat dir journal_file
+let telemetry_path ~dir = Filename.concat dir telemetry_file
 let campaign_dir ~root spec = Filename.concat root spec.Spec.name
 
 let rec mkdir_p dir =

@@ -10,6 +10,10 @@ val campaign_dir : root:string -> Spec.t -> string
 val manifest_path : dir:string -> string
 val journal_path : dir:string -> string
 
+val telemetry_path : dir:string -> string
+(** [telemetry.json] — the metrics snapshot of the last [run]/[resume]
+    (see {!Telemetry_io}). *)
+
 val mkdir_p : string -> unit
 
 val save_manifest : dir:string -> Spec.t -> unit

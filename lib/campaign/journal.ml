@@ -104,6 +104,11 @@ let of_line line =
 
 (* ---- append writer (shared by all worker domains) ---- *)
 
+module Metrics = Ffault_telemetry.Metrics
+module Tracer = Ffault_telemetry.Tracer
+
+let m_flushes = Metrics.counter "campaign.journal.flushes"
+
 type writer = { oc : out_channel; lock : Mutex.t }
 
 let create_writer ~path =
@@ -115,11 +120,13 @@ let append w r =
   Fun.protect
     ~finally:(fun () -> Mutex.unlock w.lock)
     (fun () ->
-      output_string w.oc (to_line r);
-      output_char w.oc '\n';
-      (* flush per record: a killed campaign must lose at most the
-         record being written, for resume to be sound *)
-      flush w.oc)
+      Tracer.with_span ~cat:"journal" "journal.append" (fun () ->
+          output_string w.oc (to_line r);
+          output_char w.oc '\n';
+          (* flush per record: a killed campaign must lose at most the
+             record being written, for resume to be sound *)
+          flush w.oc;
+          Metrics.incr m_flushes))
 
 let close_writer w =
   Mutex.lock w.lock;

@@ -3,6 +3,13 @@ module Check = Ffault_verify.Consensus_check
 module Engine = Ffault_sim.Engine
 module Budget = Ffault_fault.Budget
 module Value = Ffault_objects.Value
+module Metrics = Ffault_telemetry.Metrics
+module Tracer = Ffault_telemetry.Tracer
+
+let m_trials = Metrics.counter "campaign.trials"
+let m_failures = Metrics.counter "campaign.failures"
+let m_shrinks = Metrics.counter "campaign.shrinks"
+let h_trial_us = Metrics.histogram "campaign.trial_us"
 
 type summary = {
   total : int;
@@ -14,11 +21,26 @@ type summary = {
   trials_per_s : float;
 }
 
+(* Tiny grids on fast machines can finish inside the wall clock's
+   resolution; a naive executed/wall division then journals inf (or
+   0/0 = nan). Anything under a microsecond of wall time has no
+   meaningful rate — report 0 rather than a fiction. *)
+let min_measurable_wall_s = 1e-6
+
+let trials_rate ~executed ~wall_s =
+  if executed <= 0 || Float.is_nan wall_s || wall_s < min_measurable_wall_s then 0.0
+  else float_of_int executed /. wall_s
+
 let pp_summary ppf s =
+  let rate =
+    if s.trials_per_s > 0.0 && Float.is_finite s.trials_per_s then
+      Fmt.str "%.0f trials/s" s.trials_per_s
+    else "rate n/a"
+  in
   Fmt.pf ppf
     "%d/%d trials executed (%d already journaled), %d failures (%d witnesses shrunk), %.2f s \
-     (%.0f trials/s)"
-    s.executed s.total s.skipped s.failures s.shrunk s.wall_s s.trials_per_s
+     (%s)"
+    s.executed s.total s.skipped s.failures s.shrunk s.wall_s rate
 
 let default_max_shrinks_per_cell = 5
 
@@ -48,7 +70,8 @@ let record_of_result trial (res : Shrink_on_fail.result) =
   }
 
 let run_trials ?(domains = 1) ?(chunk = 64) ?(skip = fun _ -> false)
-    ?(max_shrinks_per_cell = default_max_shrinks_per_cell) ~on_record spec =
+    ?(max_shrinks_per_cell = default_max_shrinks_per_cell) ?(on_skip = fun () -> ())
+    ~on_record spec =
   let protocol =
     match Spec.resolve_protocol spec.Spec.protocol with
     | Ok p -> p
@@ -69,32 +92,40 @@ let run_trials ?(domains = 1) ?(chunk = 64) ?(skip = fun _ -> false)
   let started = Unix.gettimeofday () in
   let worker id =
     if skip id then None
-    else begin
-      let trial = Grid.trial_of_cells spec cells id in
-      let setup = setups.(trial.Grid.cell_id) in
-      let res =
-        Shrink_on_fail.run_trial ~shrink:false setup ~rate:trial.Grid.cell.Grid.rate
-          ~seed:trial.Grid.seed
-      in
-      let res =
-        if Check.ok res.Shrink_on_fail.report then res
-        else if
-          max_shrinks_per_cell > 0
-          && Atomic.fetch_and_add shrink_budget.(trial.Grid.cell_id) 1 < max_shrinks_per_cell
-        then begin
-          Atomic.incr shrunk;
-          (* re-run with shrinking on; the recorded run is cheap
-             relative to the minimization it feeds *)
-          Shrink_on_fail.run_trial ~shrink:true setup ~rate:trial.Grid.cell.Grid.rate
-            ~seed:trial.Grid.seed
-        end
-        else { res with Shrink_on_fail.witness = Some res.Shrink_on_fail.decisions }
-      in
-      Some (record_of_result trial res)
-    end
+    else
+      Tracer.with_span ~cat:"campaign" "trial" (fun () ->
+          let trial = Grid.trial_of_cells spec cells id in
+          let setup = setups.(trial.Grid.cell_id) in
+          let res =
+            Shrink_on_fail.run_trial ~shrink:false setup ~rate:trial.Grid.cell.Grid.rate
+              ~seed:trial.Grid.seed
+          in
+          let res =
+            if Check.ok res.Shrink_on_fail.report then res
+            else if
+              max_shrinks_per_cell > 0
+              && Atomic.fetch_and_add shrink_budget.(trial.Grid.cell_id) 1
+                 < max_shrinks_per_cell
+            then begin
+              Atomic.incr shrunk;
+              Metrics.incr m_shrinks;
+              (* re-run with shrinking on; the recorded run is cheap
+                 relative to the minimization it feeds *)
+              Tracer.with_span ~cat:"campaign" "shrink" (fun () ->
+                  Shrink_on_fail.run_trial ~shrink:true setup ~rate:trial.Grid.cell.Grid.rate
+                    ~seed:trial.Grid.seed)
+            end
+            else { res with Shrink_on_fail.witness = Some res.Shrink_on_fail.decisions }
+          in
+          Metrics.incr m_trials;
+          Metrics.observe h_trial_us (res.Shrink_on_fail.wall_ns / 1000);
+          if not (Check.ok res.Shrink_on_fail.report) then Metrics.incr m_failures;
+          Some (record_of_result trial res))
   in
   let consume _id = function
-    | None -> incr skipped
+    | None ->
+        incr skipped;
+        on_skip ()
     | Some record ->
         incr executed;
         if not record.Journal.ok then incr failures;
@@ -109,10 +140,11 @@ let run_trials ?(domains = 1) ?(chunk = 64) ?(skip = fun _ -> false)
     failures = !failures;
     shrunk = Atomic.get shrunk;
     wall_s;
-    trials_per_s = (if wall_s > 0.0 then float_of_int !executed /. wall_s else 0.0);
+    trials_per_s = trials_rate ~executed:!executed ~wall_s;
   }
 
-let run_dir ?domains ?chunk ?max_shrinks_per_cell ?(resume = false) ~root spec =
+let run_dir ?domains ?chunk ?max_shrinks_per_cell ?(resume = false) ?on_skip
+    ?(observe = fun _ -> ()) ~root spec =
   let ( let* ) = Result.bind in
   let dir = Checkpoint.campaign_dir ~root spec in
   let manifest_exists = Sys.file_exists (Checkpoint.manifest_path ~dir) in
@@ -138,13 +170,17 @@ let run_dir ?domains ?chunk ?max_shrinks_per_cell ?(resume = false) ~root spec =
   let writer = Journal.create_writer ~path:(Checkpoint.journal_path ~dir) in
   let finally () = Journal.close_writer writer in
   match
-    run_trials ?domains ?chunk ?max_shrinks_per_cell
+    run_trials ?domains ?chunk ?max_shrinks_per_cell ?on_skip
       ~skip:(fun id -> Checkpoint.is_done st id)
-      ~on_record:(fun r -> Journal.append writer r)
+      ~on_record:(fun r ->
+        Journal.append writer r;
+        observe r)
       spec
   with
   | summary ->
       finally ();
+      (* persist the run's metrics so `campaign report` can embed them *)
+      Telemetry_io.write ~dir (Ffault_telemetry.Metrics.snapshot ());
       Ok summary
   | exception e ->
       finally ();

@@ -20,6 +20,14 @@ type summary = {
 }
 
 val pp_summary : Format.formatter -> summary -> unit
+(** Prints ["rate n/a"] instead of a number when the rate is zero or
+    non-finite. *)
+
+val trials_rate : executed:int -> wall_s:float -> float
+(** [executed / wall_s], guarded: 0.0 (never [inf]/[nan]) when nothing
+    executed or the wall time is below the clock's meaningful
+    resolution (1 µs) — tiny grids on fast machines otherwise journal
+    infinite rates. *)
 
 val default_max_shrinks_per_cell : int
 (** 5 — failures beyond this per cell journal their raw decision vector
@@ -31,13 +39,15 @@ val run_trials :
   ?chunk:int ->
   ?skip:(int -> bool) ->
   ?max_shrinks_per_cell:int ->
+  ?on_skip:(unit -> unit) ->
   on_record:(Journal.record -> unit) ->
   Spec.t ->
   summary
 (** In-memory engine: run every trial id for which [skip id] is false
     (default none skipped) and hand each record to [on_record], which is
-    called under a single lock and need not synchronize. Defaults:
-    1 domain, chunk 64.
+    called under a single lock and need not synchronize. [on_skip] is
+    called (same lock) once per skipped trial — progress meters use it
+    to account for resume. Defaults: 1 domain, chunk 64.
     @raise Invalid_argument if the spec's protocol does not resolve or
     [domains]/[chunk] are out of range. *)
 
@@ -46,11 +56,17 @@ val run_dir :
   ?chunk:int ->
   ?max_shrinks_per_cell:int ->
   ?resume:bool ->
+  ?on_skip:(unit -> unit) ->
+  ?observe:(Journal.record -> unit) ->
   root:string ->
   Spec.t ->
   (summary, string) result
 (** Persistent campaign under [root/<spec name>/]: writes the manifest,
     appends every record to the journal (flushed per record), and — with
     [resume] (default false) — first replays the journal and skips every
-    already-completed trial. Errors: the campaign already exists (fresh
-    run), or the on-disk manifest disagrees with [spec] (resume). *)
+    already-completed trial. [observe] sees each record right after its
+    journal append (serialized; live progress hooks in here), [on_skip]
+    as in {!run_trials}. On success also snapshots the process metrics
+    to [telemetry.json] ({!Telemetry_io}). Errors: the campaign already
+    exists (fresh run), or the on-disk manifest disagrees with [spec]
+    (resume). *)

@@ -19,6 +19,7 @@ type t = {
   cells : cell_stats list;  (** grid order; cells with no records omitted *)
   total_trials : int;
   total_failures : int;
+  telemetry : Json.t option;  (** last run's metrics snapshot, if journaled *)
 }
 
 (* ---- aggregation ---- *)
@@ -33,7 +34,7 @@ type acc = {
   mutable a_wall : float;
 }
 
-let of_records spec records =
+let of_records ?telemetry spec records =
   let protocol =
     match Spec.resolve_protocol spec.Spec.protocol with
     | Ok p -> Some p
@@ -101,13 +102,23 @@ let of_records spec records =
             })
       (List.init n_cells Fun.id)
   in
-  { spec; cells = cell_stats; total_trials = !total; total_failures = !total_failures }
+  {
+    spec;
+    cells = cell_stats;
+    total_trials = !total;
+    total_failures = !total_failures;
+    telemetry;
+  }
 
 let of_dir ~dir =
   match Checkpoint.load_manifest ~dir with
   | Error _ as e -> e
   | Ok spec ->
-      Ok (of_records spec (Journal.load ~path:(Checkpoint.journal_path ~dir)))
+      Ok
+        (of_records
+           ?telemetry:(Telemetry_io.load ~dir)
+           spec
+           (Journal.load ~path:(Checkpoint.journal_path ~dir)))
 
 (* ---- rendering ---- *)
 
@@ -142,17 +153,35 @@ let to_table report =
     report.cells;
   table
 
+(* The counters section of the embedded telemetry snapshot, as a small
+   markdown table (histograms and gauges stay JSON-only — the counters
+   are what a human scans for "did the faults actually fire"). *)
+let telemetry_markdown json =
+  match Option.bind json (Json.member "counters") with
+  | Some (Json.Obj ((_ :: _) as counters)) ->
+      let t = Table.create ~columns:[ "counter"; "value" ] in
+      List.iter
+        (fun (name, v) ->
+          Table.add_row t [ name; (match Json.get_int v with Some i -> Table.cell_int i | None -> "?") ])
+        counters;
+      Fmt.str "@.## Telemetry@.@.%s" (Table.to_string t)
+  | _ -> ""
+
 let to_markdown report =
-  Fmt.str "# Campaign %s@.@.%a@.@.%d trials journaled, %d failures.@.@.%s@."
+  Fmt.str "# Campaign %s@.@.%a@.@.%d trials journaled, %d failures.@.@.%s@.%s"
     report.spec.Spec.name Spec.pp report.spec report.total_trials report.total_failures
     (Table.to_string (to_table report))
+    (telemetry_markdown report.telemetry)
 
 let to_json report =
   Json.Obj
-    [
-      ("spec", Spec.to_json report.spec);
-      ("total_trials", Json.Int report.total_trials);
-      ("total_failures", Json.Int report.total_failures);
+    ([
+       ("spec", Spec.to_json report.spec);
+       ("total_trials", Json.Int report.total_trials);
+       ("total_failures", Json.Int report.total_failures);
+     ]
+    @ (match report.telemetry with Some t -> [ ("telemetry", t) ] | None -> [])
+    @ [
       ( "cells",
         Json.List
           (List.map
@@ -173,7 +202,7 @@ let to_json report =
                    ("mean_wall_us", Json.Float c.mean_wall_us);
                  ])
              report.cells) );
-    ]
+      ])
 
 let write ~dir report =
   Out_channel.with_open_text (Filename.concat dir "report.md") (fun oc ->

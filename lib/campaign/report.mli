@@ -26,9 +26,13 @@ type t = {
   cells : cell_stats list;
   total_trials : int;
   total_failures : int;
+  telemetry : Json.t option;
+      (** the run's metrics snapshot ([telemetry.json], written by
+          {!Pool.run_dir}); embedded as the report's ["telemetry"]
+          object and rendered as a counters table in the markdown *)
 }
 
-val of_records : Spec.t -> Journal.record list -> t
+val of_records : ?telemetry:Json.t -> Spec.t -> Journal.record list -> t
 val of_dir : dir:string -> (t, string) result
 
 val to_table : t -> Ffault_stats.Table.t

@@ -1,0 +1,38 @@
+module Metrics = Ffault_telemetry.Metrics
+
+let to_json (s : Metrics.snapshot) =
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) s.Metrics.counters));
+      ("gauges", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) s.Metrics.gauges));
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (h : Metrics.hist_view) ->
+               ( h.Metrics.h_name,
+                 Json.Obj
+                   [
+                     ("count", Json.Int h.Metrics.h_count);
+                     ("sum", Json.Int h.Metrics.h_sum);
+                     ( "buckets",
+                       Json.List
+                         (List.map
+                            (fun (ub, c) -> Json.List [ Json.Int ub; Json.Int c ])
+                            h.Metrics.h_buckets) );
+                   ] ))
+             s.Metrics.histograms) );
+    ]
+
+let write ~dir s =
+  Out_channel.with_open_text (Checkpoint.telemetry_path ~dir) (fun oc ->
+      output_string oc (Json.to_string (to_json s));
+      output_char oc '\n')
+
+let load ~dir =
+  let path = Checkpoint.telemetry_path ~dir in
+  if not (Sys.file_exists path) then None
+  else
+    match In_channel.with_open_text path In_channel.input_all with
+    | text -> (
+        match Json.of_string (String.trim text) with Ok j -> Some j | Error _ -> None)
+    | exception Sys_error _ -> None

@@ -1,3 +1,10 @@
+module Metrics = Ffault_telemetry.Metrics
+module Tracer = Ffault_telemetry.Tracer
+
+let m_tasks = Metrics.counter "runner.tasks"
+let m_chunks = Metrics.counter "runner.chunks"
+let g_domains = Metrics.gauge "runner.active_domains"
+
 let run_parallel ~domains f =
   if domains < 1 then invalid_arg "Runner.run_parallel: domains < 1";
   if domains = 1 then [| f 0 |]
@@ -24,37 +31,52 @@ let run_tasks ?(chunk = 64) ~domains ~total ~worker ~consume () =
   if total < 0 then invalid_arg "Runner.run_tasks: total < 0";
   if total = 0 then ()
   else if domains = 1 then
-    for i = 0 to total - 1 do
-      consume i (worker i)
-    done
+    Tracer.with_span ~cat:"runner" "run_tasks" (fun () ->
+        Metrics.set_gauge g_domains 1;
+        Metrics.incr m_chunks;
+        Metrics.add m_tasks total;
+        for i = 0 to total - 1 do
+          consume i (worker i)
+        done;
+        Metrics.set_gauge g_domains 0)
   else begin
     let next = Atomic.make 0 in
     let lock = Mutex.create () in
     let body () =
+      Metrics.add_gauge g_domains 1;
       let continue = ref true in
       while !continue do
         let start = Atomic.fetch_and_add next chunk in
         if start >= total then continue := false
         else begin
           let stop = min total (start + chunk) in
+          Metrics.incr m_chunks;
+          Metrics.add m_tasks (stop - start);
           (* Compute the whole chunk outside the lock; publish under it. *)
-          let results = Array.init (stop - start) (fun k -> worker (start + k)) in
+          let results =
+            Tracer.with_span ~cat:"runner" "chunk" (fun () ->
+                Array.init (stop - start) (fun k -> worker (start + k)))
+          in
           Mutex.lock lock;
           Fun.protect
             ~finally:(fun () -> Mutex.unlock lock)
-            (fun () -> Array.iteri (fun k r -> consume (start + k) r) results)
+            (fun () ->
+              Tracer.with_span ~cat:"runner" "consume" (fun () ->
+                  Array.iteri (fun k r -> consume (start + k) r) results))
         end
-      done
+      done;
+      Metrics.add_gauge g_domains (-1)
     in
     (* No start barrier here, unlike [run_parallel]: a throughput pool
        gains nothing from synchronized release, and spinning is
        pathological when domains outnumber cores. *)
-    let handles = Array.init (domains - 1) (fun _ -> Domain.spawn body) in
-    let first_exn = ref None in
-    let note e = match !first_exn with None -> first_exn := Some e | Some _ -> () in
-    (try body () with e -> note e);
-    Array.iter (fun h -> try Domain.join h with e -> note e) handles;
-    match !first_exn with None -> () | Some e -> raise e
+    Tracer.with_span ~cat:"runner" "run_tasks" (fun () ->
+        let handles = Array.init (domains - 1) (fun _ -> Domain.spawn body) in
+        let first_exn = ref None in
+        let note e = match !first_exn with None -> first_exn := Some e | Some _ -> () in
+        (try body () with e -> note e);
+        Array.iter (fun h -> try Domain.join h with e -> note e) handles;
+        match !first_exn with None -> () | Some e -> raise e)
   end
 
 let recommended_domains () = min 8 (Domain.recommended_domain_count ())

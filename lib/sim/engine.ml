@@ -5,6 +5,29 @@ module Injector = Fault.Injector
 module Budget = Fault.Budget
 module Data_fault = Fault.Data_fault
 module Faulty_semantics = Fault.Faulty_semantics
+module Metrics = Ffault_telemetry.Metrics
+
+(* Engine-level instruments: sharded counters (one atomic add on the
+   domain's own slot), cheap enough for the per-step hot path. *)
+let m_runs = Metrics.counter "sim.runs"
+let m_steps = Metrics.counter "sim.steps"
+let m_cas = Metrics.counter "sim.cas_attempts"
+let m_corruptions = Metrics.counter "sim.corruptions"
+
+let m_fault_of =
+  let overriding = Metrics.counter "sim.faults.overriding"
+  and silent = Metrics.counter "sim.faults.silent"
+  and invisible = Metrics.counter "sim.faults.invisible"
+  and arbitrary = Metrics.counter "sim.faults.arbitrary"
+  and nonresponsive = Metrics.counter "sim.faults.nonresponsive"
+  and relaxation = Metrics.counter "sim.faults.relaxation" in
+  function
+  | Fault_kind.Overriding -> overriding
+  | Fault_kind.Silent -> silent
+  | Fault_kind.Invisible -> invisible
+  | Fault_kind.Arbitrary -> arbitrary
+  | Fault_kind.Nonresponsive -> nonresponsive
+  | Fault_kind.Relaxation -> relaxation
 
 type outcome_choice = Correct_outcome | Inject of Fault_kind.t * Value.t option
 
@@ -84,6 +107,7 @@ let run_with_driver cfg driver ~bodies =
   let n = World.n_procs world in
   if Array.length bodies <> n then
     invalid_arg "Engine.run_with_driver: bodies count differs from world process count";
+  Metrics.incr m_runs;
   let n_objs = World.n_objects world in
   let obj_states = Array.init n_objs (fun i -> World.init_of world (Obj_id.of_int i)) in
   let statuses = Array.make n (Failed "not started") in
@@ -91,6 +115,10 @@ let run_with_driver cfg driver ~bodies =
   let trace_rev = ref [] in
   let step_counter = ref 0 in
   let op_counter = ref 0 in
+  (* Step and CAS counts batch into locals and flush to the sharded
+     counters once per run — a per-step [Metrics.incr] is cheap but not
+     free, and the step loop is the innermost loop of every campaign. *)
+  let cas_attempts = ref 0 in
   let emit ev = trace_rev := ev :: !trace_rev in
 
   (* Launch a body; it runs to its first operation (captured as Pending),
@@ -184,6 +212,7 @@ let run_with_driver cfg driver ~bodies =
         let oi = Obj_id.to_int obj in
         let pre = obj_states.(oi) in
         let kind = World.kind_of world obj in
+        if Op.is_cas op then incr cas_attempts;
         match Semantics.apply kind ~state:pre op with
         | Error e ->
             let error = Fmt.str "illegal operation: %a" Semantics.pp_error e in
@@ -235,10 +264,12 @@ let run_with_driver cfg driver ~bodies =
                          Faulty_semantics.pp_error e)
                 | Ok Faulty_semantics.Hangs ->
                     Budget.charge cfg.budget obj;
+                    Metrics.incr (m_fault_of fk);
                     statuses.(proc) <- Hung_at { obj; op };
                     emit (Trace.Hang { step = !step_counter; proc; obj; op })
                 | Ok (Faulty_semantics.Outcome o) ->
                     Budget.charge cfg.budget obj;
+                    Metrics.incr (m_fault_of fk);
                     continue_with o (Some fk))))
     | Finished _ | Hung_at _ | Limited | Failed _ ->
         invalid_arg "Engine.exec_step: process not pending"
@@ -259,6 +290,7 @@ let run_with_driver cfg driver ~bodies =
         (* No-op corruptions are unobservable; over-budget ones throttle. *)
         if (not (Value.equal before value)) && Budget.can_fault cfg.budget obj then begin
           Budget.charge cfg.budget obj;
+          Metrics.incr m_corruptions;
           obj_states.(oi) <- value;
           emit (Trace.Corruption { step = !step_counter; obj; before; after = value })
         end)
@@ -286,7 +318,12 @@ let run_with_driver cfg driver ~bodies =
           loop ()
         end
   in
-  loop ();
+  Fun.protect
+    ~finally:(fun () ->
+      (* flush even when an injector/scheduler raises through the loop *)
+      if !step_counter > 0 then Metrics.add m_steps !step_counter;
+      if !cas_attempts > 0 then Metrics.add m_cas !cas_attempts)
+    loop;
 
   let outcomes =
     Array.map

@@ -1,0 +1,21 @@
+/* Monotonic clock for the telemetry layer.
+ *
+ * Returns nanoseconds since an arbitrary epoch as a tagged OCaml int
+ * (no allocation, so the external can be [@@noalloc] and is safe to
+ * call from the simulator's hot loop). 63-bit ints hold ~292 years of
+ * nanoseconds, so the tag bit costs nothing. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value ffault_monotonic_ns(value unit)
+{
+  struct timespec ts;
+#ifdef CLOCK_MONOTONIC
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  (void)unit;
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

@@ -1,0 +1,60 @@
+type t = {
+  oc : out_channel;
+  ansi : bool;
+  render : unit -> string;
+  stop_flag : bool Atomic.t;
+  thread : Thread.t option;
+  mutable stopped : bool;
+}
+
+let isatty oc =
+  match Unix.isatty (Unix.descr_of_out_channel oc) with
+  | b -> b
+  | exception Unix.Unix_error _ -> false
+  | exception Sys_error _ -> false
+
+let default_interval = 0.5
+
+(* One line only: a render with embedded newlines would break the
+   redraw-in-place contract. *)
+let one_line s =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let draw t =
+  output_string t.oc ("\r\027[2K" ^ one_line (t.render ()));
+  flush t.oc
+
+let start ?(interval = default_interval) ?ansi ?(oc = stderr) ~render () =
+  let ansi = match ansi with Some b -> b | None -> isatty oc in
+  let stop_flag = Atomic.make false in
+  let t = { oc; ansi; render; stop_flag; thread = None; stopped = false } in
+  let thread =
+    if not ansi then None
+    else
+      Some
+        (Thread.create
+           (fun () ->
+             while not (Atomic.get stop_flag) do
+               draw t;
+               (* sleep in short slices so stop doesn't wait a full
+                  interval *)
+               let slept = ref 0.0 in
+               while (not (Atomic.get stop_flag)) && !slept < interval do
+                 Thread.delay 0.05;
+                 slept := !slept +. 0.05
+               done
+             done)
+           ())
+  in
+  { t with thread }
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Atomic.set t.stop_flag true;
+    Option.iter Thread.join t.thread;
+    if t.ansi then output_string t.oc "\r\027[2K";
+    output_string t.oc (one_line (t.render ()));
+    output_char t.oc '\n';
+    flush t.oc
+  end

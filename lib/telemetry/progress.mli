@@ -1,0 +1,31 @@
+(** Live progress reporting on an interval thread.
+
+    A reporter redraws one status line (produced by the caller's
+    [render] closure) every [interval] seconds. On a TTY the line is
+    redrawn in place with carriage-return + erase; on anything else
+    (logs, CI) nothing is printed until {!stop}, which always emits one
+    final plain-text summary line — and in non-ANSI mode the output
+    contains no escape codes at all.
+
+    [render] is called from the reporter thread while the workload runs
+    on other domains: it must read only thread-safe state (atomics) and
+    must return a single line (no ['\n']). *)
+
+type t
+
+val isatty : out_channel -> bool
+(** Whether the channel is a terminal ([Unix.isatty]; false if the
+    descriptor cannot be inspected). *)
+
+val default_interval : float
+(** 0.5 s. *)
+
+val start :
+  ?interval:float -> ?ansi:bool -> ?oc:out_channel -> render:(unit -> string) -> unit -> t
+(** Spawn the reporter. [ansi] defaults to [isatty oc]; [oc] defaults
+    to [stderr]. With [ansi = false] the thread stays silent and only
+    {!stop}'s final line is printed. *)
+
+val stop : t -> unit
+(** Join the thread, erase the live line (ANSI mode) and print the
+    final render plus a newline. Idempotent. *)

@@ -1,0 +1,191 @@
+type event = {
+  ph : char;  (* 'B' | 'E' | 'i' *)
+  name : string;
+  cat : string;
+  ts_ns : int;
+  tid : int;  (* domain id *)
+}
+
+(* One ring per domain shard. Recording under the ring's mutex keeps
+   every stored event internally consistent (no torn name/ts pairs when
+   domain ids collide on a shard); the mutex is per-ring, so domains
+   only ever contend on hash collisions. *)
+type ring = {
+  lock : Mutex.t;
+  mutable events : event array;  (* length = capacity; [dummy] when empty *)
+  mutable head : int;  (* next write position *)
+  mutable filled : bool;  (* head has wrapped at least once *)
+  mutable dropped : int;
+}
+
+let dummy = { ph = 'i'; name = ""; cat = ""; ts_ns = 0; tid = -1 }
+let n_rings = Metrics.n_shards
+let default_capacity = 65_536
+
+let rings =
+  Array.init n_rings (fun _ ->
+      { lock = Mutex.create (); events = [||]; head = 0; filled = false; dropped = 0 })
+
+let on = Atomic.make false
+let enabled () = Atomic.get on
+
+let enable ?(capacity = default_capacity) () =
+  if capacity < 2 then invalid_arg "Tracer.enable: capacity < 2";
+  Array.iter
+    (fun r ->
+      Mutex.lock r.lock;
+      r.events <- Array.make capacity dummy;
+      r.head <- 0;
+      r.filled <- false;
+      r.dropped <- 0;
+      Mutex.unlock r.lock)
+    rings;
+  Atomic.set on true
+
+let disable () = Atomic.set on false
+
+let record ph cat name =
+  if Atomic.get on then begin
+    let tid = (Domain.self () :> int) in
+    let r = rings.(tid land (n_rings - 1)) in
+    let ev = { ph; name; cat; ts_ns = Clock.now_ns (); tid } in
+    Mutex.lock r.lock;
+    if Array.length r.events > 0 then begin
+      if r.filled then r.dropped <- r.dropped + 1;
+      r.events.(r.head) <- ev;
+      r.head <- r.head + 1;
+      if r.head = Array.length r.events then begin
+        r.head <- 0;
+        r.filled <- true
+      end
+    end;
+    Mutex.unlock r.lock
+  end
+
+let begin_span ?(cat = "") name = record 'B' cat name
+let end_span ?(cat = "") name = record 'E' cat name
+let instant ?(cat = "") name = record 'i' cat name
+
+let with_span ?cat name f =
+  if Atomic.get on then begin
+    begin_span ?cat name;
+    Fun.protect ~finally:(fun () -> end_span ?cat name) f
+  end
+  else f ()
+
+let collect () =
+  let acc = ref [] in
+  Array.iter
+    (fun r ->
+      Mutex.lock r.lock;
+      let n = Array.length r.events in
+      if n > 0 then begin
+        let len = if r.filled then n else r.head in
+        let start = if r.filled then r.head else 0 in
+        for k = 0 to len - 1 do
+          acc := r.events.((start + k) mod n) :: !acc
+        done
+      end;
+      Mutex.unlock r.lock)
+    rings;
+  List.stable_sort (fun a b -> compare a.ts_ns b.ts_ns) !acc
+
+(* Ring overwrite can orphan events: an 'E' whose 'B' was overwritten,
+   or a 'B' whose 'E' is still pending at export time. Chrome refuses
+   (or misrenders) unbalanced tracks, so repair per tid: drop orphan
+   'E's, close dangling 'B's at the trace's final timestamp. *)
+let balance events =
+  let max_ts = List.fold_left (fun m e -> max m e.ts_ns) 0 events in
+  let stacks : (int, event list ref) Hashtbl.t = Hashtbl.create 8 in
+  let stack tid =
+    match Hashtbl.find_opt stacks tid with
+    | Some s -> s
+    | None ->
+        let s = ref [] in
+        Hashtbl.add stacks tid s;
+        s
+  in
+  let out = ref [] in
+  List.iter
+    (fun e ->
+      match e.ph with
+      | 'B' ->
+          let s = stack e.tid in
+          s := e :: !s;
+          out := e :: !out
+      | 'E' -> (
+          let s = stack e.tid in
+          match !s with
+          | [] -> () (* orphan: its B was overwritten *)
+          | _ :: rest ->
+              s := rest;
+              out := e :: !out)
+      | _ -> out := e :: !out)
+    events;
+  let closers = ref [] in
+  Hashtbl.iter
+    (fun _ s ->
+      List.iter
+        (fun b -> closers := { b with ph = 'E'; ts_ns = max_ts } :: !closers)
+        !s)
+    stacks;
+  (* closers go after the body; stable sort keeps them there on ties *)
+  List.stable_sort
+    (fun a b -> compare a.ts_ns b.ts_ns)
+    (List.rev !out @ List.rev !closers)
+
+let escape name =
+  (* metric/span names are identifiers, but never trust a string into
+     JSON unescaped *)
+  let b = Buffer.create (String.length name + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    name;
+  Buffer.contents b
+
+let export () =
+  let events = balance (collect ()) in
+  let pid = Unix.getpid () in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Fmt.str "{\"ph\":\"%c\",\"name\":\"%s\",\"cat\":\"%s\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f%s}"
+           e.ph (escape e.name)
+           (escape (if e.cat = "" then "ffault" else e.cat))
+           pid e.tid
+           (float_of_int e.ts_ns /. 1e3)
+           (if e.ph = 'i' then ",\"s\":\"t\"" else "")))
+    events;
+  Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents b
+
+let export_to_file path =
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc (export ());
+      output_char oc '\n')
+
+let event_count () =
+  Array.fold_left
+    (fun acc r ->
+      Mutex.lock r.lock;
+      let n = if r.filled then Array.length r.events else r.head in
+      Mutex.unlock r.lock;
+      acc + n)
+    0 rings
+
+let dropped_count () =
+  Array.fold_left
+    (fun acc r ->
+      Mutex.lock r.lock;
+      let d = r.dropped in
+      Mutex.unlock r.lock;
+      acc + d)
+    0 rings

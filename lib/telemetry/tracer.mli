@@ -1,0 +1,60 @@
+(** Span tracing in the Chrome [trace_event] format.
+
+    Begin/end/instant events are stamped with the monotonic clock and
+    written into per-domain ring buffers (oldest events overwritten when
+    a ring fills), then exported as a JSON object whose [traceEvents]
+    array loads directly in [chrome://tracing] or
+    {{:https://ui.perfetto.dev}Perfetto} — so a whole campaign (pool
+    chunks, trials, shrinks, journal writes) can be inspected on a
+    timeline.
+
+    The tracer is disabled by default and every recording call starts
+    with one atomic load — a disabled tracer is a no-op, which is the
+    performance contract that lets the runtime and campaign layers stay
+    instrumented unconditionally. Enabled recording takes a per-ring
+    mutex (rings are sharded by domain id, so it is almost always
+    uncontended). *)
+
+val default_capacity : int
+(** 65 536 events per domain ring. *)
+
+val enable : ?capacity:int -> unit -> unit
+(** Clear all rings and start recording.
+    @raise Invalid_argument if [capacity < 2]. *)
+
+val disable : unit -> unit
+(** Stop recording; already-buffered events survive until the next
+    {!enable} and can still be {!export}ed. *)
+
+val enabled : unit -> bool
+
+(** {2 Recording} *)
+
+val begin_span : ?cat:string -> string -> unit
+val end_span : ?cat:string -> string -> unit
+(** Durations nest per domain: Chrome matches each ["E"] with the most
+    recent unmatched ["B"] on the same thread track. *)
+
+val instant : ?cat:string -> string -> unit
+
+val with_span : ?cat:string -> string -> (unit -> 'a) -> 'a
+(** [begin_span]/[end_span] around the thunk (end emitted on exceptions
+    too). *)
+
+(** {2 Export} *)
+
+val export : unit -> string
+(** The buffered events as a Chrome trace JSON object
+    [{"traceEvents": [...], "displayTimeUnit": "ms"}], events sorted by
+    timestamp. The export is repaired to keep B/E balanced per track
+    even when a ring overwrote events: orphaned ["E"]s are dropped and
+    unclosed ["B"]s get a synthetic ["E"] at the latest timestamp. *)
+
+val export_to_file : string -> unit
+(** {!export} into a file (created/truncated). *)
+
+val event_count : unit -> int
+(** Events currently buffered (post-overwrite). *)
+
+val dropped_count : unit -> int
+(** Events lost to ring overwrites since {!enable}. *)

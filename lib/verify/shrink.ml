@@ -1,4 +1,10 @@
+(* Every shrink candidate costs one full replay; the counter makes
+   shrink explosions (a hopeless cell minimizing forever) visible in
+   campaign telemetry. *)
+let m_replays = Ffault_telemetry.Metrics.counter "shrink.iterations"
+
 let violates setup decisions =
+  Ffault_telemetry.Metrics.incr m_replays;
   not (Consensus_check.ok (Dfs.replay setup decisions))
 
 let truncate_zeros decisions =

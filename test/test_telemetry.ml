@@ -1,0 +1,233 @@
+(* Telemetry: sharded metrics, the Chrome-trace exporter, and the live
+   progress reporter. Metrics are process-global, so every test that
+   counts starts from Metrics.reset — the alcotest runner is
+   single-threaded, which makes that safe. *)
+
+module Metrics = Ffault_telemetry.Metrics
+module Tracer = Ffault_telemetry.Tracer
+module Progress = Ffault_telemetry.Progress
+module Runner = Ffault_runtime.Runner
+module Json = Ffault_campaign.Json
+module Pool = Ffault_campaign.Pool
+
+(* ---- metrics ---- *)
+
+let test_counter_sequential () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.seq" in
+  for _ = 1 to 1000 do
+    Metrics.incr c
+  done;
+  Metrics.add c 500;
+  Alcotest.(check (option int))
+    "sequential total" (Some 1500)
+    (Metrics.find_counter (Metrics.snapshot ()) "test.seq")
+
+let test_counter_parallel_merge () =
+  (* The acceptance property of sharding: concurrent increments from
+     several domains merge to exactly the sequential total. *)
+  Metrics.reset ();
+  let c = Metrics.counter "test.par" in
+  let domains = 4 and per_domain = 25_000 in
+  ignore
+    (Runner.run_parallel ~domains (fun _ ->
+         for _ = 1 to per_domain do
+           Metrics.incr c
+         done));
+  Alcotest.(check (option int))
+    "parallel total equals sequential" (Some (domains * per_domain))
+    (Metrics.find_counter (Metrics.snapshot ()) "test.par")
+
+let test_counter_find_or_create () =
+  Metrics.reset ();
+  let a = Metrics.counter "test.same" in
+  let b = Metrics.counter "test.same" in
+  Metrics.incr a;
+  Metrics.incr b;
+  Alcotest.(check (option int))
+    "same name, same counter" (Some 2)
+    (Metrics.find_counter (Metrics.snapshot ()) "test.same")
+
+let test_gauge () =
+  Metrics.reset ();
+  let g = Metrics.gauge "test.gauge" in
+  Metrics.set_gauge g 7;
+  Metrics.add_gauge g 3;
+  Metrics.add_gauge g (-2);
+  let s = Metrics.snapshot () in
+  Alcotest.(check (option int)) "gauge level" (Some 8) (List.assoc_opt "test.gauge" s.Metrics.gauges)
+
+let test_histogram_buckets () =
+  (* bucket 0 admits <= 0; bucket i >= 1 admits [2^(i-1), 2^i - 1]. *)
+  Alcotest.(check int) "bucket of 0" 0 (Metrics.bucket_of 0);
+  Alcotest.(check int) "bucket of -5" 0 (Metrics.bucket_of (-5));
+  Alcotest.(check int) "bucket of 1" 1 (Metrics.bucket_of 1);
+  Alcotest.(check int) "bucket of 2" 2 (Metrics.bucket_of 2);
+  Alcotest.(check int) "bucket of 3" 2 (Metrics.bucket_of 3);
+  Alcotest.(check int) "bucket of 4" 3 (Metrics.bucket_of 4);
+  Alcotest.(check int) "bucket of 1023" 10 (Metrics.bucket_of 1023);
+  Alcotest.(check int) "bucket of 1024" 11 (Metrics.bucket_of 1024);
+  (* every value lands in the bucket whose bounds admit it *)
+  List.iter
+    (fun v ->
+      let i = Metrics.bucket_of v in
+      let ub = Metrics.bucket_upper_bound i in
+      Alcotest.(check bool) (Printf.sprintf "%d <= ub(%d)" v i) true (v <= ub);
+      if i > 1 then
+        Alcotest.(check bool)
+          (Printf.sprintf "%d > ub(%d)" v (i - 1))
+          true
+          (v > Metrics.bucket_upper_bound (i - 1)))
+    [ 1; 2; 3; 7; 8; 100; 4095; 4096; 1_000_000; max_int ]
+
+let test_histogram_observe () =
+  Metrics.reset ();
+  let h = Metrics.histogram "test.hist" in
+  List.iter (Metrics.observe h) [ 1; 1; 3; 100; 0 ];
+  match Metrics.find_histogram (Metrics.snapshot ()) "test.hist" with
+  | None -> Alcotest.fail "histogram missing from snapshot"
+  | Some v ->
+      Alcotest.(check int) "count" 5 v.Metrics.h_count;
+      Alcotest.(check int) "sum" 105 v.Metrics.h_sum;
+      let total_bucketed = List.fold_left (fun acc (_, c) -> acc + c) 0 v.Metrics.h_buckets in
+      Alcotest.(check int) "buckets account for every sample" 5 total_bucketed;
+      Alcotest.(check bool)
+        "bucket bounds ascend" true
+        (let ubs = List.map fst v.Metrics.h_buckets in
+         List.sort compare ubs = ubs)
+
+(* ---- tracer ---- *)
+
+let test_trace_export_valid_json () =
+  Tracer.enable ();
+  Tracer.with_span ~cat:"test" "outer" (fun () ->
+      Tracer.with_span ~cat:"test" "inner" (fun () -> ());
+      Tracer.instant ~cat:"test" "mark \"quoted\"");
+  let json = Tracer.export () in
+  Tracer.disable ();
+  match Json.of_string json with
+  | Error e -> Alcotest.fail ("trace is not valid JSON: " ^ e)
+  | Ok j -> (
+      match Json.member "traceEvents" j with
+      | Some (Json.List events) ->
+          Alcotest.(check int) "2 spans + 1 instant = 5 events" 5 (List.length events);
+          (* B/E balance per tid, in timestamp order *)
+          let depth = Hashtbl.create 4 in
+          List.iter
+            (fun e ->
+              let ph = match Json.member "ph" e with Some (Json.Str s) -> s | _ -> "?" in
+              let tid =
+                match Option.bind (Json.member "tid" e) Json.get_int with Some t -> t | None -> -1
+              in
+              let d = Option.value ~default:0 (Hashtbl.find_opt depth tid) in
+              match ph with
+              | "B" -> Hashtbl.replace depth tid (d + 1)
+              | "E" ->
+                  Alcotest.(check bool) "E never precedes its B" true (d > 0);
+                  Hashtbl.replace depth tid (d - 1)
+              | _ -> ())
+            events;
+          Hashtbl.iter
+            (fun tid d ->
+              Alcotest.(check int) (Printf.sprintf "tid %d balanced" tid) 0 d)
+            depth
+      | _ -> Alcotest.fail "traceEvents missing or not a list")
+
+let test_trace_disabled_is_noop () =
+  Tracer.disable ();
+  let before = Tracer.event_count () in
+  Tracer.begin_span "ignored";
+  Tracer.end_span "ignored";
+  Alcotest.(check int) "no events recorded while disabled" before (Tracer.event_count ())
+
+let test_trace_ring_overflow_repaired () =
+  (* A tiny ring forces overwrites; the export must still parse and
+     stay B/E-balanced (orphans repaired at export time). *)
+  Tracer.enable ~capacity:8 ();
+  for i = 1 to 100 do
+    Tracer.with_span (Printf.sprintf "span%d" i) (fun () -> ())
+  done;
+  let json = Tracer.export () in
+  Alcotest.(check bool) "overflow dropped events" true (Tracer.dropped_count () > 0);
+  Tracer.disable ();
+  match Json.of_string json with
+  | Error e -> Alcotest.fail ("overflowed trace is not valid JSON: " ^ e)
+  | Ok j -> (
+      match Json.member "traceEvents" j with
+      | Some (Json.List events) ->
+          let balance =
+            List.fold_left
+              (fun acc e ->
+                match Json.member "ph" e with
+                | Some (Json.Str "B") -> acc + 1
+                | Some (Json.Str "E") -> acc - 1
+                | _ -> acc)
+              0 events
+          in
+          Alcotest.(check int) "B and E counts equal after repair" 0 balance
+      | _ -> Alcotest.fail "traceEvents missing")
+
+(* ---- progress ---- *)
+
+let test_progress_non_ansi_no_escapes () =
+  let path = Filename.temp_file "ffault_progress" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      let ticks = ref 0 in
+      let p =
+        Progress.start ~interval:0.01 ~ansi:false ~oc
+          ~render:(fun () ->
+            incr ticks;
+            Printf.sprintf "tick %d" !ticks)
+          ()
+      in
+      Unix.sleepf 0.05;
+      Progress.stop p;
+      Progress.stop p (* idempotent *);
+      close_out oc;
+      let content = In_channel.with_open_text path In_channel.input_all in
+      Alcotest.(check bool) "no ESC byte in non-ANSI output" false (String.contains content '\x1b');
+      Alcotest.(check bool)
+        "exactly the final line" true
+        (String.length content > 0 && content.[String.length content - 1] = '\n'
+        && String.index content '\n' = String.length content - 1))
+
+(* ---- pool rate guards (satellite: no inf/nan trials_per_s) ---- *)
+
+let test_trials_rate_guards () =
+  Alcotest.(check (float 0.0)) "zero wall" 0.0 (Pool.trials_rate ~executed:100 ~wall_s:0.0);
+  Alcotest.(check (float 0.0)) "sub-resolution wall" 0.0 (Pool.trials_rate ~executed:100 ~wall_s:1e-9);
+  Alcotest.(check (float 0.0)) "nan wall" 0.0 (Pool.trials_rate ~executed:100 ~wall_s:Float.nan);
+  Alcotest.(check (float 0.0)) "nothing executed" 0.0 (Pool.trials_rate ~executed:0 ~wall_s:1.0);
+  let r = Pool.trials_rate ~executed:100 ~wall_s:2.0 in
+  Alcotest.(check (float 1e-9)) "normal rate" 50.0 r;
+  Alcotest.(check bool)
+    "rate is always finite" true
+    (List.for_all
+       (fun w -> Float.is_finite (Pool.trials_rate ~executed:max_int ~wall_s:w))
+       [ 0.0; 1e-300; Float.nan; Float.infinity; 1.0 ])
+
+let suites =
+  [
+    ( "telemetry.metrics",
+      [
+        Alcotest.test_case "counter sequential" `Quick test_counter_sequential;
+        Alcotest.test_case "counter parallel merge" `Quick test_counter_parallel_merge;
+        Alcotest.test_case "counter find-or-create" `Quick test_counter_find_or_create;
+        Alcotest.test_case "gauge" `Quick test_gauge;
+        Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+        Alcotest.test_case "histogram observe" `Quick test_histogram_observe;
+      ] );
+    ( "telemetry.tracer",
+      [
+        Alcotest.test_case "export is valid balanced JSON" `Quick test_trace_export_valid_json;
+        Alcotest.test_case "disabled tracer records nothing" `Quick test_trace_disabled_is_noop;
+        Alcotest.test_case "ring overflow repaired" `Quick test_trace_ring_overflow_repaired;
+      ] );
+    ( "telemetry.progress",
+      [ Alcotest.test_case "non-ANSI output has no escapes" `Quick test_progress_non_ansi_no_escapes ] );
+    ( "telemetry.rates",
+      [ Alcotest.test_case "trials_rate never inf/nan" `Quick test_trials_rate_guards ] );
+  ]
