@@ -1,6 +1,6 @@
 # Convenience targets for the ffault reproduction.
 
-.PHONY: all build test experiments experiments-quick bench bench-smoke examples campaign-smoke clean
+.PHONY: all build test lint lint-json lint-baseline experiments experiments-quick bench bench-smoke examples campaign-smoke check clean
 
 all: build
 
@@ -9,6 +9,23 @@ build:
 
 test:
 	dune runtest --force --no-buffer
+
+# Static analysis: the fault-injection / determinism invariants
+# (doc/LINT.md). Fails on any finding not suppressed in-source or
+# grandfathered in lint-baseline.json.
+lint:
+	dune exec bin/main.exe -- lint --baseline lint-baseline.json
+
+# Same run, machine-readable; CI archives the output as lint.json.
+lint-json:
+	dune exec bin/main.exe -- lint --baseline lint-baseline.json --format json
+
+# Regenerate the grandfathering baseline from the current findings.
+lint-baseline:
+	dune exec bin/main.exe -- lint --baseline lint-baseline.json --write-baseline
+
+# The full local gate: what CI runs, minus the artifact uploads.
+check: build test lint campaign-smoke
 
 experiments:
 	dune exec bin/main.exe -- experiment

@@ -7,7 +7,9 @@
    executable valency walk), severity (fault order), hierarchy
    (consensus-number table), multicore (domains + atomics runs), and
    campaign (parallel fault-injection campaigns with persistent
-   journals: run | resume | report | diff). *)
+   journals: run | resume | report | diff), and lint (compiler-libs
+   static analysis of the fault-injection / determinism invariants,
+   doc/LINT.md). *)
 
 open Cmdliner
 module Experiments = Ffault_experiments
@@ -19,6 +21,7 @@ module Fault = Ffault_fault
 module Sim = Ffault_sim
 module Campaign = Ffault_campaign
 module Telemetry = Ffault_telemetry
+module Lint = Ffault_lint
 
 (* ---- shared options ---- *)
 
@@ -475,6 +478,7 @@ let run_campaign ~resume ~root ~domains ~progress ~quiet ~trace spec =
     Campaign.Pool.run_dir ~domains ~resume ~root
       ~on_skip:(fun () -> Campaign.Live.on_skip live)
       ~observe:(fun r -> Campaign.Live.on_record live r)
+      ~on_warn:(fun m -> Fmt.epr "warning: %s@." m)
       spec
   in
   Option.iter Telemetry.Progress.stop reporter;
@@ -614,13 +618,118 @@ let campaign_cmd =
   Cmd.group (Cmd.info "campaign" ~doc)
     [ campaign_run_cmd; campaign_resume_cmd; campaign_report_cmd; campaign_diff_cmd ]
 
+(* ---- lint ---- *)
+
+let lint_cmd =
+  let format_arg =
+    let doc = "Output format: text (grep-able lines) or json (CI artifact shape)." in
+    Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+         & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let rules_arg =
+    let doc = "Run only this comma-separated subset of rules." in
+    Arg.(value & opt string "" & info [ "rules" ] ~docv:"R,..." ~doc)
+  in
+  let baseline_arg =
+    let doc = "Baseline file: findings listed there are grandfathered, not failed." in
+    Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"FILE" ~doc)
+  in
+  let write_baseline_arg =
+    let doc = "Rewrite the --baseline file from the current findings and exit 0." in
+    Arg.(value & flag & info [ "write-baseline" ] ~doc)
+  in
+  let list_rules_arg =
+    let doc = "List the rules (name, severity, rationale) and exit." in
+    Arg.(value & flag & info [ "list-rules" ] ~doc)
+  in
+  let paths_arg =
+    let doc = "Files or directories to lint (default: lib bin test bench examples)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"PATH" ~doc)
+  in
+  let run format rules baseline write_baseline list_rules paths =
+    if list_rules then begin
+      List.iter
+        (fun r ->
+          Fmt.pr "%-16s %-8s %s@." r.Lint.Rule.name
+            (Lint.Finding.severity_to_string r.Lint.Rule.severity)
+            r.Lint.Rule.summary)
+        Lint.Rule.all;
+      0
+    end
+    else
+      let rules =
+        match
+          String.split_on_char ',' rules
+          |> List.map String.trim
+          |> List.filter (fun s -> s <> "")
+        with
+        | [] -> Ok None
+        | rs -> (
+            match List.find_opt (fun r -> Lint.Rule.find r = None) rs with
+            | Some bad ->
+                Error
+                  (Fmt.str "unknown rule %S (see `ffault lint --list-rules')" bad)
+            | None -> Ok (Some rs))
+      in
+      match rules with
+      | Error m ->
+          Fmt.epr "error: %s@." m;
+          2
+      | Ok rules -> (
+          let paths =
+            if paths = [] then
+              List.filter Sys.file_exists [ "lib"; "bin"; "test"; "bench"; "examples" ]
+            else paths
+          in
+          let result = Lint.Driver.run ?rules ~policy:Lint.Policy.default paths in
+          if write_baseline then
+            match baseline with
+            | None ->
+                Fmt.epr "error: --write-baseline requires --baseline FILE@.";
+                2
+            | Some path ->
+                Lint.Baseline.save ~path (Lint.Baseline.of_findings result.Lint.Driver.findings);
+                Fmt.pr "wrote %d entr%s to %s@."
+                  (List.length result.Lint.Driver.findings)
+                  (if List.length result.Lint.Driver.findings = 1 then "y" else "ies")
+                  path;
+                0
+          else
+            let baseline =
+              match baseline with
+              | None -> Ok Lint.Baseline.empty
+              | Some path -> Lint.Baseline.load ~path
+            in
+            match baseline with
+            | Error m ->
+                Fmt.epr "error: %s@." m;
+                2
+            | Ok baseline ->
+                let report = Lint.Report.make ~baseline result in
+                (match format with
+                | `Text -> Fmt.pr "%s" (Lint.Report.to_text report)
+                | `Json ->
+                    Fmt.pr "%s@."
+                      (Campaign.Json.to_string (Lint.Report.to_json report)));
+                Lint.Report.exit_code report)
+  in
+  let doc =
+    "Statically check the fault-injection and determinism invariants (raw-atomic, \
+     nondeterminism, toplevel-mutable, io-in-lib, catch-all, mli-required, obj-magic) \
+     over the source tree."
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(
+      const run $ format_arg $ rules_arg $ baseline_arg $ write_baseline_arg
+      $ list_rules_arg $ paths_arg)
+
 let main_cmd =
   let doc = "reproduction of \"Functional Faults\" (Sheffi & Petrank, 2020)" in
   let info = Cmd.info "ffault" ~version:"1.0.0" ~doc in
   Cmd.group info
     [
       experiment_cmd; list_cmd; trace_cmd; explore_cmd; replay_cmd; falsify_cmd; critical_cmd;
-      severity_cmd; hierarchy_cmd; multicore_cmd; campaign_cmd;
+      severity_cmd; hierarchy_cmd; multicore_cmd; campaign_cmd; lint_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

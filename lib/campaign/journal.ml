@@ -132,6 +132,62 @@ let close_writer w =
   Mutex.lock w.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock w.lock) (fun () -> close_out w.oc)
 
+(* ---- crash recovery ---- *)
+
+type recovery = { dropped_bytes : int; warning : string option }
+
+let clean = { dropped_bytes = 0; warning = None }
+
+(* A campaign killed mid-append leaves a torn final line: some prefix of
+   "record\n" (the per-record flush can be delivered partially by the
+   OS). Left in place, the next resume's append-mode writer would
+   concatenate its first record onto the torn bytes, silently corrupting
+   BOTH records for every later reader — so resume must repair the tail
+   before reopening the file for append. A torn line that still parses
+   just lost its newline and is completed; anything else is dropped (the
+   checkpoint scan then re-runs that trial). *)
+let recover ~path =
+  if not (Sys.file_exists path) then clean
+  else
+    let text = In_channel.with_open_bin path In_channel.input_all in
+    let len = String.length text in
+    if len = 0 then clean
+    else
+      let tail_start =
+        match String.rindex_opt text '\n' with Some i -> i + 1 | None -> 0
+      in
+      if tail_start >= len then clean (* newline-terminated: nothing torn *)
+      else
+        let tail = String.sub text tail_start (len - tail_start) in
+        match of_line (String.trim tail) with
+        | Ok _ ->
+            (* complete record, torn newline: finish the line *)
+            Out_channel.with_open_gen [ Open_append; Open_wronly ] 0o644 path
+              (fun oc -> output_char oc '\n');
+            {
+              dropped_bytes = 0;
+              warning =
+                Some
+                  (Fmt.str
+                     "journal %s: final record was missing its newline (crash \
+                      mid-append); repaired"
+                     path);
+            }
+        | Error _ ->
+            let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+            Fun.protect
+              ~finally:(fun () -> Unix.close fd)
+              (fun () -> Unix.ftruncate fd tail_start);
+            {
+              dropped_bytes = len - tail_start;
+              warning =
+                Some
+                  (Fmt.str
+                     "journal %s: dropped a torn %d-byte partial trailing record \
+                      (crash mid-append); its trial will be re-run"
+                     path (len - tail_start));
+            }
+
 (* ---- reading ---- *)
 
 let fold ~path ~init ~f =

@@ -49,6 +49,19 @@ val append : writer -> record -> unit
 
 val close_writer : writer -> unit
 
+(** {2 Crash recovery} *)
+
+type recovery = { dropped_bytes : int; warning : string option }
+
+val recover : path:string -> recovery
+(** Repair the torn trailing line a killed run can leave (a partial
+    flush of ["record\n"]). A parseable tail that merely lost its
+    newline is completed in place; an unparseable tail is truncated
+    away, so the checkpoint scan re-runs that trial. Must be called
+    before reopening the journal for append on resume — otherwise the
+    next record would concatenate onto the torn bytes and corrupt both.
+    A missing, empty, or newline-terminated file is a no-op. *)
+
 (** {2 Reading} *)
 
 val fold : path:string -> init:'a -> f:('a -> record -> 'a) -> 'a

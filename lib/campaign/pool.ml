@@ -144,7 +144,7 @@ let run_trials ?(domains = 1) ?(chunk = 64) ?(skip = fun _ -> false)
   }
 
 let run_dir ?domains ?chunk ?max_shrinks_per_cell ?(resume = false) ?on_skip
-    ?(observe = fun _ -> ()) ~root spec =
+    ?(observe = fun _ -> ()) ?(on_warn = fun _ -> ()) ~root spec =
   let ( let* ) = Result.bind in
   let dir = Checkpoint.campaign_dir ~root spec in
   let manifest_exists = Sys.file_exists (Checkpoint.manifest_path ~dir) in
@@ -166,6 +166,13 @@ let run_dir ?domains ?chunk ?max_shrinks_per_cell ?(resume = false) ?on_skip
       else Error (Fmt.str "manifest under %s disagrees with the spec; refusing to resume" dir)
   in
   let total = Grid.total_trials spec in
+  (* Repair a crash-torn journal tail before the append-mode writer
+     below reopens the file, or the first new record would concatenate
+     onto the torn bytes and corrupt both. *)
+  if resume then begin
+    let r = Journal.recover ~path:(Checkpoint.journal_path ~dir) in
+    Option.iter on_warn r.Journal.warning
+  end;
   let st = if resume then Checkpoint.scan ~dir ~total else Checkpoint.fresh ~total in
   let writer = Journal.create_writer ~path:(Checkpoint.journal_path ~dir) in
   let finally () = Journal.close_writer writer in

@@ -58,15 +58,18 @@ val run_dir :
   ?resume:bool ->
   ?on_skip:(unit -> unit) ->
   ?observe:(Journal.record -> unit) ->
+  ?on_warn:(string -> unit) ->
   root:string ->
   Spec.t ->
   (summary, string) result
 (** Persistent campaign under [root/<spec name>/]: writes the manifest,
     appends every record to the journal (flushed per record), and — with
-    [resume] (default false) — first replays the journal and skips every
-    already-completed trial. [observe] sees each record right after its
-    journal append (serialized; live progress hooks in here), [on_skip]
-    as in {!run_trials}. On success also snapshots the process metrics
-    to [telemetry.json] ({!Telemetry_io}). Errors: the campaign already
+    [resume] (default false) — first repairs a crash-torn journal tail
+    ({!Journal.recover}, reported through [on_warn], default silent),
+    then replays the journal and skips every already-completed trial.
+    [observe] sees each record right after its journal append
+    (serialized; live progress hooks in here), [on_skip] as in
+    {!run_trials}. On success also snapshots the process metrics to
+    [telemetry.json] ({!Telemetry_io}). Errors: the campaign already
     exists (fresh run), or the on-disk manifest disagrees with [spec]
     (resume). *)

@@ -1,0 +1,204 @@
+(* The Ast_iterator pass behind the six syntax-level rules. Findings
+   come back unfiltered: the driver applies {!Policy} scoping and
+   {!Suppress} afterwards, so this module stays a pure function of the
+   parsetree. *)
+
+open Parsetree
+
+(* Longident.flatten raises on functor applications; be total. *)
+let rec flatten = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (l, s) -> flatten l @ [ s ]
+  | Longident.Lapply _ -> []
+
+(* [Stdlib.Atomic.set] and [Atomic.set] are the same primitive. *)
+let strip_stdlib = function "Stdlib" :: rest -> rest | path -> path
+
+(* ---- rule tables ---- *)
+
+let atomic_mutators =
+  [ "compare_and_set"; "exchange"; "set"; "fetch_and_add"; "incr"; "decr" ]
+
+let nondet_idents =
+  [
+    [ "Sys"; "time" ];
+    [ "Unix"; "gettimeofday" ];
+    [ "Unix"; "time" ];
+    [ "Hashtbl"; "randomize" ];
+    [ "Random"; "self_init" ];
+  ]
+
+let io_idents =
+  [
+    [ "print_string" ]; [ "print_bytes" ]; [ "print_int" ]; [ "print_char" ];
+    [ "print_float" ]; [ "print_endline" ]; [ "print_newline" ];
+    [ "prerr_string" ]; [ "prerr_bytes" ]; [ "prerr_int" ]; [ "prerr_char" ];
+    [ "prerr_float" ]; [ "prerr_endline" ]; [ "prerr_newline" ]; [ "exit" ];
+    [ "Printf"; "printf" ]; [ "Printf"; "eprintf" ];
+    [ "Format"; "printf" ]; [ "Format"; "eprintf" ];
+    [ "Format"; "print_string" ]; [ "Format"; "print_newline" ];
+    [ "Fmt"; "pr" ]; [ "Fmt"; "epr" ];
+  ]
+
+(* Constructors whose result at module level is cross-run shared state. *)
+let mutable_makers =
+  [
+    [ "ref" ];
+    [ "Hashtbl"; "create" ];
+    [ "Atomic"; "make" ];
+    [ "Queue"; "create" ];
+    [ "Stack"; "create" ];
+    [ "Buffer"; "create" ];
+    [ "Bytes"; "create" ]; [ "Bytes"; "make" ];
+    [ "Array"; "make" ]; [ "Array"; "init" ]; [ "Array"; "create_float" ];
+    [ "Mutex"; "create" ]; [ "Condition"; "create" ];
+  ]
+
+(* ---- the pass ---- *)
+
+let check ~file structure =
+  let findings = ref [] in
+  let emit ~rule loc message =
+    findings :=
+      Finding.of_location ~rule ~severity:(Rule.severity rule) ~file loc message
+      :: !findings
+  in
+  let dotted path = String.concat "." path in
+
+  let check_ident loc lid =
+    let path = strip_stdlib (flatten lid) in
+    (match path with
+    | [ "Atomic"; op ] when List.mem op atomic_mutators ->
+        emit ~rule:"raw-atomic" loc
+          (Fmt.str
+             "raw Atomic.%s bypasses the injectable faulty-CAS substrate; route the \
+              operation through Ffault_runtime.Faulty_cas (or allowlist this file in \
+              the lint policy with a justification)"
+             op)
+    | "Random" :: _ when path <> [ "Random" ] ->
+        emit ~rule:"nondeterminism" loc
+          (Fmt.str
+             "%s draws from the global, seed-unstable PRNG; deterministic code must \
+              use Ffault_prng (splittable, seeded per trial)"
+             (dotted path))
+    | _ when List.mem path nondet_idents ->
+        emit ~rule:"nondeterminism" loc
+          (Fmt.str
+             "%s is nondeterministic across runs; simulator-reachable code must be a \
+              pure function of the seed (journal replay and campaign resume depend on \
+              it)"
+             (dotted path))
+    | _ when List.mem path io_idents ->
+        emit ~rule:"io-in-lib" loc
+          (Fmt.str
+             "%s performs direct terminal IO/exit from library code; return data, or \
+              go through Ffault_telemetry / the report layer"
+             (dotted path))
+    | "Obj" :: _ :: _ ->
+        emit ~rule:"obj-magic" loc
+          (Fmt.str
+             "%s defeats the type system; if the representation trick is sound, \
+              suppress with [@@@@@@%s \"obj-magic\", \"why it is safe\"]"
+             (dotted path) Suppress.attr_name)
+    | _ -> ());
+    (* Bare [Random.<anything>] already matched above; nothing else. *)
+    ()
+  in
+
+  (* toplevel-mutable: walk a binding's RHS, stopping at lambdas (a
+     function body only allocates per call) and [lazy]. *)
+  let rec rhs_mutable e =
+    match e.pexp_desc with
+    | Pexp_fun _ | Pexp_function _ | Pexp_lazy _ -> None
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; pexp_loc; _ }, args) -> (
+        let path = strip_stdlib (flatten txt) in
+        if List.mem path mutable_makers then Some (pexp_loc, dotted path)
+        else
+          List.find_map (fun (_, a) -> rhs_mutable a) args)
+    | Pexp_tuple es | Pexp_array es ->
+        List.find_map rhs_mutable es
+    | Pexp_record (fields, base) -> (
+        match List.find_map (fun (_, v) -> rhs_mutable v) fields with
+        | Some _ as r -> r
+        | None -> Option.bind base rhs_mutable)
+    | Pexp_construct (_, Some a) | Pexp_variant (_, Some a) -> rhs_mutable a
+    | Pexp_let (_, vbs, body) -> (
+        match List.find_map (fun vb -> rhs_mutable vb.pvb_expr) vbs with
+        | Some _ as r -> r
+        | None -> rhs_mutable body)
+    | Pexp_sequence (a, b) -> (
+        match rhs_mutable a with Some _ as r -> r | None -> rhs_mutable b)
+    | Pexp_constraint (a, _) | Pexp_coerce (a, _, _) | Pexp_open (_, a) ->
+        rhs_mutable a
+    | _ -> None
+  in
+
+  let check_toplevel_binding vb =
+    match rhs_mutable vb.pvb_expr with
+    | None -> ()
+    | Some (loc, maker) ->
+        emit ~rule:"toplevel-mutable" loc
+          (Fmt.str
+             "module-level %s creates mutable state shared across every trial in the \
+              process; allocate it per run (pass it in), or allowlist the module with \
+              a justification"
+             maker)
+  in
+
+  let rec pat_catch_all p =
+    match p.ppat_desc with
+    | Ppat_any -> true
+    | Ppat_alias (p, _) -> pat_catch_all p
+    | Ppat_or (a, b) -> pat_catch_all a || pat_catch_all b
+    | _ -> false
+  in
+  let check_cases ~what cases =
+    List.iter
+      (fun c ->
+        let wild =
+          match (what, c.pc_lhs.ppat_desc) with
+          | `Try, _ -> pat_catch_all c.pc_lhs
+          | `Match, Ppat_exception p -> pat_catch_all p
+          | `Match, _ -> false
+        in
+        if wild && c.pc_guard = None then
+          emit ~rule:"catch-all" c.pc_lhs.ppat_loc
+            "wildcard exception handler swallows every exception, including budget \
+             exhaustion and cancellation; match the exceptions you mean to handle (or \
+             bind and re-raise the rest)")
+      cases
+  in
+
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; _ } -> check_ident e.pexp_loc txt
+          | Pexp_try (_, cases) -> check_cases ~what:`Try cases
+          | Pexp_match (_, cases) -> check_cases ~what:`Match cases
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+            when strip_stdlib (flatten txt) = [ "Hashtbl"; "create" ]
+                 && List.exists
+                      (fun (l, _) ->
+                        match l with
+                        | Asttypes.Labelled "random" | Asttypes.Optional "random" ->
+                            true
+                        | _ -> false)
+                      args ->
+              emit ~rule:"nondeterminism" e.pexp_loc
+                "Hashtbl.create ~random:true randomizes iteration order across runs; \
+                 deterministic code must not depend on randomized hashing"
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+      structure_item =
+        (fun it item ->
+          (match item.pstr_desc with
+          | Pstr_value (_, vbs) -> List.iter check_toplevel_binding vbs
+          | _ -> ());
+          Ast_iterator.default_iterator.structure_item it item);
+    }
+  in
+  it.structure it structure;
+  List.rev !findings

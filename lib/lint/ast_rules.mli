@@ -1,0 +1,9 @@
+(** The syntax-level rules, as one {!Ast_iterator} pass.
+
+    Covers raw-atomic, nondeterminism, toplevel-mutable, io-in-lib,
+    catch-all and obj-magic. Returns every match unfiltered — the driver
+    applies {!Policy} scoping and {!Suppress} afterwards, keeping this a
+    pure function of the parsetree. *)
+
+val check : file:string -> Parsetree.structure -> Finding.t list
+(** Findings in source order. *)

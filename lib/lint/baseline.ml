@@ -1,0 +1,77 @@
+(* The committed baseline: grandfathered findings that do not fail the
+   lint. Matching is exact on (rule, file, line) — editing a baselined
+   file past the recorded line surfaces the finding again, which is the
+   intended pressure to fix rather than carry debt. *)
+
+module Json = Ffault_campaign.Json
+
+type entry = { rule : string; file : string; line : int; note : string }
+type t = entry list
+
+let empty = []
+
+let entry_of_finding (f : Finding.t) =
+  { rule = f.rule; file = Policy.normalize f.file; line = f.line; note = f.message }
+
+let of_findings findings = List.map entry_of_finding findings
+
+let matches e (f : Finding.t) =
+  e.rule = f.rule && e.file = Policy.normalize f.file && e.line = f.line
+
+type split = {
+  fresh : Finding.t list;  (** not in the baseline: these fail the lint *)
+  baselined : Finding.t list;  (** grandfathered *)
+  expired : entry list;  (** baseline entries that no longer match anything *)
+}
+
+let apply t findings =
+  let fresh, baselined =
+    List.partition (fun f -> not (List.exists (fun e -> matches e f) t)) findings
+  in
+  let expired =
+    List.filter (fun e -> not (List.exists (fun f -> matches e f) findings)) t
+  in
+  { fresh; baselined; expired }
+
+(* ---- persistence ---- *)
+
+let entry_to_json e =
+  Json.Obj
+    [
+      ("rule", Json.Str e.rule);
+      ("file", Json.Str e.file);
+      ("line", Json.Int e.line);
+      ("note", Json.Str e.note);
+    ]
+
+let to_json t = Json.Obj [ ("version", Json.Int 1); ("entries", Json.List (List.map entry_to_json t)) ]
+
+let entry_of_json j =
+  let ( let* ) = Option.bind in
+  let* rule = Option.bind (Json.member "rule" j) Json.get_str in
+  let* file = Option.bind (Json.member "file" j) Json.get_str in
+  let* line = Option.bind (Json.member "line" j) Json.get_int in
+  let note =
+    Option.value ~default:"" (Option.bind (Json.member "note" j) Json.get_str)
+  in
+  Some { rule; file; line; note }
+
+let of_json j =
+  match Option.bind (Json.member "entries" j) Json.get_list with
+  | None -> Error "baseline: missing \"entries\" list"
+  | Some items ->
+      let entries = List.filter_map entry_of_json items in
+      if List.length entries = List.length items then Ok entries
+      else Error "baseline: malformed entry (need rule, file, line)"
+
+let load ~path =
+  if not (Sys.file_exists path) then Error (Fmt.str "no baseline file at %s" path)
+  else
+    match In_channel.with_open_text path In_channel.input_all with
+    | text -> Result.bind (Json.of_string (String.trim text)) of_json
+    | exception Sys_error m -> Error m
+
+let save ~path t =
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc (Json.to_string (to_json t));
+      output_char oc '\n')

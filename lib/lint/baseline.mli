@@ -1,0 +1,28 @@
+(** The committed baseline file: grandfathered findings that are
+    reported but do not fail the lint.
+
+    Matching is exact on (rule, normalized file, line): editing a
+    baselined region surfaces its finding again — deliberate pressure to
+    fix rather than carry debt. Entries no longer matching any current
+    finding are {e expired} and should be pruned (regenerate with
+    [ffault lint --write-baseline]). *)
+
+type entry = { rule : string; file : string; line : int; note : string }
+type t = entry list
+
+val empty : t
+val of_findings : Finding.t list -> t
+val matches : entry -> Finding.t -> bool
+
+type split = {
+  fresh : Finding.t list;  (** not in the baseline: these fail the lint *)
+  baselined : Finding.t list;  (** grandfathered *)
+  expired : entry list;  (** entries that no longer match anything *)
+}
+
+val apply : t -> Finding.t list -> split
+
+val to_json : t -> Ffault_campaign.Json.t
+val of_json : Ffault_campaign.Json.t -> (t, string) result
+val load : path:string -> (t, string) result
+val save : path:string -> t -> unit

@@ -1,0 +1,46 @@
+type severity = Error | Warning
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let severity_of_string = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | _ -> None
+
+type t = {
+  rule : string;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let v ~rule ~severity ~file ~line ~col message =
+  { rule; severity; file; line; col; message }
+
+let of_location ~rule ~severity ~file (loc : Location.t) message =
+  let p = loc.Location.loc_start in
+  {
+    rule;
+    severity;
+    file;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    message;
+  }
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let pp ppf f =
+  Fmt.pf ppf "%s:%d:%d: %s %s: %s" f.file f.line f.col
+    (severity_to_string f.severity)
+    f.rule f.message

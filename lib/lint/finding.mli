@@ -1,0 +1,28 @@
+(** One lint finding: a rule violation at a precise source location. *)
+
+type severity = Error | Warning
+
+val severity_to_string : severity -> string
+val severity_of_string : string -> severity option
+
+type t = {
+  rule : string;  (** rule name, e.g. ["raw-atomic"] *)
+  severity : severity;
+  file : string;  (** path as given to the driver (repo-relative in CI) *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, as compilers print it *)
+  message : string;
+}
+
+val v :
+  rule:string -> severity:severity -> file:string -> line:int -> col:int -> string -> t
+
+val of_location :
+  rule:string -> severity:severity -> file:string -> Location.t -> string -> t
+(** Build a finding at the start of a compiler-libs location. *)
+
+val compare : t -> t -> int
+(** Source order: file, then line, then column, then rule. *)
+
+val pp : Format.formatter -> t -> unit
+(** [file:line:col: severity rule: message] — the grep-able text form. *)

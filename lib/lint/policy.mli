@@ -1,0 +1,36 @@
+(** Per-directory policy: where each rule is active, and the audited
+    allowlist that carves specific directories or files out of a rule,
+    each with a recorded justification. *)
+
+type allow = { prefix : string; rules : string list; why : string }
+
+type t = {
+  active : (string * string list) list;
+      (** rule name -> path prefixes (repo-relative) where it applies *)
+  allows : allow list;
+}
+
+val normalize : string -> string
+(** Repo-relativize a path: drop ["./"] segments and any temp/absolute
+    ancestors before a known top-level dir ([lib/], [bin/], ...). *)
+
+val has_prefix : prefix:string -> string -> bool
+(** Component-wise prefix test on normalized paths ([lib/sim] matches
+    [lib/sim/engine.ml] but not [lib/simulator.ml]). *)
+
+val in_scope : t -> rule:string -> file:string -> bool
+(** Is the rule active for this file (before allowlisting)? Meta rules
+    ({!Rule.is_meta}) are always in scope. *)
+
+val allow_reason : t -> rule:string -> file:string -> string option
+(** The allowlist justification covering this file, if any. *)
+
+val applies : t -> rule:string -> file:string -> bool
+(** [in_scope] and not allowlisted: a finding for this rule at this file
+    should be reported. *)
+
+val deterministic_dirs : string list
+(** Directories whose behavior must be a pure function of the seed. *)
+
+val default : t
+(** This repository's committed policy (see doc/LINT.md). *)

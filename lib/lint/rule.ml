@@ -1,0 +1,47 @@
+type t = { name : string; severity : Finding.severity; summary : string }
+
+let v name severity summary = { name; severity; summary }
+
+(* The seven substantive rules, in the order they are documented. *)
+let substantive =
+  [
+    v "raw-atomic" Finding.Error
+      "raw Atomic CAS/exchange/set outside the faulty-CAS substrate silently disables \
+       fault injection (the overriding fault of \xc2\xa73.3), invalidating E1\xe2\x80\x93E8";
+    v "nondeterminism" Finding.Error
+      "wall clocks, Random and randomized hashing under the simulator break seeded \
+       reproducibility, journal replay and campaign resume";
+    v "toplevel-mutable" Finding.Error
+      "module-level mutable state in deterministic libraries leaks between campaign \
+       trials that share a process";
+    v "io-in-lib" Finding.Error
+      "direct stdout/stderr printing or exit in library code bypasses the telemetry \
+       and report layers and corrupts machine-read output";
+    v "catch-all" Finding.Error
+      "a wildcard exception handler can swallow fault-budget and cancellation \
+       exceptions in pool/runner paths";
+    v "mli-required" Finding.Error
+      "every library module must commit to an interface: an .ml without its .mli \
+       exposes internals the lint and the design cannot see";
+    v "obj-magic" Finding.Error
+      "Obj.* defeats the type system; unsafe representation tricks need an explicit, \
+       justified suppression";
+  ]
+
+(* Meta rules: produced by the machinery itself, not subject to policy
+   scoping (a broken parse or suppression is a problem wherever it is). *)
+let meta =
+  [
+    v "parse-error" Finding.Error "the file does not parse with the repo's compiler";
+    v "suppression" Finding.Error
+      "malformed [@@@ffault.lint.allow] attribute (unknown rule or missing \
+       justification)";
+  ]
+
+let all = substantive @ meta
+let find name = List.find_opt (fun r -> r.name = name) all
+let is_meta name = List.exists (fun r -> r.name = name) meta
+let names = List.map (fun r -> r.name) all
+
+let severity name =
+  match find name with Some r -> r.severity | None -> Finding.Error

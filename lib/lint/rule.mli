@@ -1,0 +1,19 @@
+(** The rule registry: names, default severities, one-line rationales. *)
+
+type t = { name : string; severity : Finding.severity; summary : string }
+
+val substantive : t list
+(** The seven checked invariants (raw-atomic, nondeterminism,
+    toplevel-mutable, io-in-lib, catch-all, mli-required, obj-magic). *)
+
+val meta : t list
+(** Findings produced by the machinery itself ([parse-error],
+    [suppression]); never policy-scoped and not suppressible. *)
+
+val all : t list
+val names : string list
+val find : string -> t option
+val is_meta : string -> bool
+
+val severity : string -> Finding.severity
+(** Default severity for a rule name ([Error] for unknown names). *)

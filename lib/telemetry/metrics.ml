@@ -3,6 +3,12 @@
    can collide on a slot — the slots are atomics, so collisions cost
    contention, never correctness. *)
 
+[@@@ffault.lint.allow
+  "obj-magic",
+    "padded_atomic re-allocates an int Atomic.t with a cache line of trailing words \
+     (the multicore-magic padding technique); the copy preserves tag and fields, and \
+     the extra words are never scanned as the block keeps its abstract tag"]
+
 let n_shards = 64
 let shard () = (Domain.self () :> int) land (n_shards - 1)
 

@@ -327,6 +327,80 @@ let test_run_dir_resume_after_kill () =
   | Error m -> Alcotest.fail m
   | Ok s -> check Alcotest.int "nothing left to run" 0 s.Pool.executed
 
+(* ---- crash mid-append: torn-tail recovery ---- *)
+
+let test_journal_recover_unit () =
+  let root = tmp_root () in
+  let path = Filename.concat root "journal.jsonl" in
+  let w = Journal.create_writer ~path in
+  List.iter (fun i -> Journal.append w (sample_record ~trial:i ())) [ 0; 1; 2 ];
+  Journal.close_writer w;
+  (* Clean file: recovery is a no-op. *)
+  let r = Journal.recover ~path in
+  check Alcotest.int "clean: nothing dropped" 0 r.Journal.dropped_bytes;
+  check Alcotest.bool "clean: no warning" true (r.Journal.warning = None);
+  check Alcotest.int "clean: records intact" 3 (Journal.count ~path);
+  (* Torn tail: dropped, with a warning, and idempotent. *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{\"trial\":3,\"f\":2,\"t\"";
+  close_out oc;
+  let r = Journal.recover ~path in
+  check Alcotest.bool "torn: bytes dropped" true (r.Journal.dropped_bytes > 0);
+  check Alcotest.bool "torn: warned" true (r.Journal.warning <> None);
+  check Alcotest.int "torn: complete records kept" 3 (Journal.count ~path);
+  let r2 = Journal.recover ~path in
+  check Alcotest.int "idempotent" 0 r2.Journal.dropped_bytes;
+  (* A parseable tail that only lost its newline is completed, not dropped. *)
+  let complete_line = Journal.to_line (sample_record ~trial:3 ()) in
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc complete_line;
+  close_out oc;
+  let r = Journal.recover ~path in
+  check Alcotest.int "repair: nothing dropped" 0 r.Journal.dropped_bytes;
+  check Alcotest.bool "repair: warned" true (r.Journal.warning <> None);
+  check Alcotest.int "repair: record kept" 4 (Journal.count ~path);
+  (* Missing and empty files are no-ops. *)
+  let r = Journal.recover ~path:(Filename.concat root "absent.jsonl") in
+  check Alcotest.bool "missing file: no-op" true (r.Journal.warning = None)
+
+let test_resume_after_torn_tail () =
+  let root = tmp_root () in
+  let spec = healthy_spec ~trials:30 ~name:"torn-tail" () in
+  let total = Grid.total_trials spec in
+  (match Pool.run_dir ~domains:2 ~root spec with
+  | Error m -> Alcotest.fail m
+  | Ok _ -> ());
+  let dir = Checkpoint.campaign_dir ~root spec in
+  let path = Checkpoint.journal_path ~dir in
+  (* Crash mid-append: cut the file in the middle of the last record. *)
+  let text = In_channel.with_open_bin path In_channel.input_all in
+  let cut = String.length text - 20 in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (String.sub text 0 cut));
+  (* Resume treats it as clean truncation: warn, drop the partial
+     record, re-run that trial — not fail the whole resume. *)
+  let warnings = ref [] in
+  (match
+     Pool.run_dir ~domains:2 ~resume:true ~root
+       ~on_warn:(fun m -> warnings := m :: !warnings)
+       spec
+   with
+  | Error m -> Alcotest.fail m
+  | Ok s ->
+      check Alcotest.int "exactly the torn trial re-ran" 1 s.Pool.executed;
+      check Alcotest.int "the rest skipped" (total - 1) s.Pool.skipped);
+  check Alcotest.int "one warning" 1 (List.length !warnings);
+  let records = Journal.load ~path in
+  check Alcotest.int "journal complete" total (List.length records);
+  let ids = List.sort_uniq compare (List.map (fun r -> r.Journal.trial) records) in
+  check Alcotest.int "every trial exactly once" total (List.length ids);
+  (* The repaired journal aggregates cleanly. *)
+  match Report.of_dir ~dir with
+  | Error m -> Alcotest.fail m
+  | Ok report ->
+      check Alcotest.int "report sees every trial" total
+        (List.fold_left (fun acc c -> acc + c.Report.trials) 0 report.Report.cells)
+
 let test_run_dir_refuses_clobber_and_mismatch () =
   let root = tmp_root () in
   let spec = healthy_spec ~name:"guarded" () in
@@ -409,12 +483,14 @@ let suites =
         Alcotest.test_case "record roundtrip" `Quick test_journal_record_roundtrip;
         Alcotest.test_case "write/read" `Quick test_journal_write_read;
         Alcotest.test_case "torn line" `Quick test_journal_tolerates_torn_line;
+        Alcotest.test_case "recover torn tail" `Quick test_journal_recover_unit;
       ] );
     ( "campaign.pool",
       [
         Alcotest.test_case "domain-count invariance" `Quick test_pool_domain_count_invariance;
         Alcotest.test_case "skip predicate" `Quick test_pool_skip_predicate;
         Alcotest.test_case "resume after kill" `Quick test_run_dir_resume_after_kill;
+        Alcotest.test_case "resume after torn tail" `Quick test_resume_after_torn_tail;
         Alcotest.test_case "clobber + mismatch guards" `Quick
           test_run_dir_refuses_clobber_and_mismatch;
       ] );

@@ -1,0 +1,430 @@
+(* Tests for the static-analysis pass: every rule firing and not firing,
+   policy scoping, suppression handling, baseline add/expire semantics,
+   and both reporters. Fixtures are inline sources pushed through
+   [Driver.lint_impl_source]; the filename picks the policy scope. *)
+
+module Lint = Ffault_lint
+module Finding = Lint.Finding
+module Driver = Lint.Driver
+module Policy = Lint.Policy
+module Baseline = Lint.Baseline
+module Report = Lint.Report
+module Json = Ffault_campaign.Json
+
+let check = Alcotest.check
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let lint ~file src = Driver.lint_impl_source ~policy:Policy.default ~file src
+
+let rules_of (o : Driver.outcome) =
+  List.map (fun (f : Finding.t) -> f.Finding.rule) o.Driver.findings
+
+let count_rule rule o = List.length (List.filter (( = ) rule) (rules_of o))
+
+let tmp_root =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Fmt.str "ffault-lint-test-%d-%d" (Unix.getpid ()) !n)
+    in
+    Ffault_campaign.Checkpoint.mkdir_p dir;
+    dir
+
+let write_file path content =
+  Ffault_campaign.Checkpoint.mkdir_p (Filename.dirname path);
+  Out_channel.with_open_text path (fun oc -> output_string oc content)
+
+(* ---- raw-atomic ---- *)
+
+let test_raw_atomic_fires () =
+  let o =
+    lint ~file:"lib/consensus/fixture.ml"
+      "let f a = Atomic.compare_and_set a 0 1\nlet g a = Stdlib.Atomic.set a 2\n"
+  in
+  check Alcotest.int "two findings" 2 (count_rule "raw-atomic" o);
+  let f = List.hd o.Driver.findings in
+  check Alcotest.int "line of first" 1 f.Finding.line;
+  check Alcotest.string "severity" "error" (Finding.severity_to_string f.Finding.severity)
+
+let test_raw_atomic_spared () =
+  (* the substrate itself is allowlisted… *)
+  let o = lint ~file:"lib/runtime/fixture.ml" "let f a = Atomic.compare_and_set a 0 1\n" in
+  check Alcotest.int "runtime allowlisted" 0 (count_rule "raw-atomic" o);
+  (* …and reads / allocation are not mutations *)
+  let o = lint ~file:"lib/consensus/fixture.ml" "let f a = Atomic.get a\n" in
+  check Alcotest.int "Atomic.get fine" 0 (count_rule "raw-atomic" o)
+
+(* ---- nondeterminism ---- *)
+
+let test_nondeterminism_fires () =
+  let o =
+    lint ~file:"lib/sim/fixture.ml"
+      "let f () = Random.int 5\n\
+       let g () = Unix.gettimeofday ()\n\
+       let h () = Hashtbl.create ~random:true 8\n"
+  in
+  check Alcotest.int "three findings" 3 (count_rule "nondeterminism" o)
+
+let test_nondeterminism_spared () =
+  (* out of the deterministic scope: campaign orchestration may read the clock *)
+  let o = lint ~file:"lib/campaign/fixture.ml" "let g () = Unix.gettimeofday ()\n" in
+  check Alcotest.int "campaign out of scope" 0 (count_rule "nondeterminism" o);
+  (* the repo's seeded PRNG is the sanctioned source *)
+  let o = lint ~file:"lib/sim/fixture.ml" "let f g = Ffault_prng.Splitmix.next_int g\n" in
+  check Alcotest.int "Ffault_prng fine" 0 (count_rule "nondeterminism" o)
+
+(* ---- toplevel-mutable ---- *)
+
+let test_toplevel_mutable_fires () =
+  let o =
+    lint ~file:"lib/verify/fixture.ml"
+      "let cache = Hashtbl.create 8\n\
+       let flag = ref false\n\
+       let slots = Array.init 4 (fun i -> i)\n"
+  in
+  check Alcotest.int "three findings" 3 (count_rule "toplevel-mutable" o)
+
+let test_toplevel_mutable_spared () =
+  (* per-call allocation and delayed state are fine *)
+  let o =
+    lint ~file:"lib/verify/fixture.ml"
+      "let mk () = Hashtbl.create 8\nlet delayed = lazy (ref 0)\n"
+  in
+  check Alcotest.int "functions and lazy fine" 0 (count_rule "toplevel-mutable" o);
+  (* telemetry's process-wide registry is allowlisted *)
+  let o = lint ~file:"lib/telemetry/fixture.ml" "let registry = Hashtbl.create 64\n" in
+  check Alcotest.int "telemetry allowlisted" 0 (count_rule "toplevel-mutable" o)
+
+(* ---- io-in-lib ---- *)
+
+let test_io_in_lib_fires () =
+  let o =
+    lint ~file:"lib/objects/fixture.ml"
+      "let f () = print_endline \"hi\"\n\
+       let g () = Printf.printf \"%d\" 3\n\
+       let h () = exit 1\n\
+       let i () = Fmt.pr \"x\"\n"
+  in
+  check Alcotest.int "four findings" 4 (count_rule "io-in-lib" o)
+
+let test_io_in_lib_spared () =
+  (* printing through a caller-supplied formatter is the sanctioned idiom *)
+  let o = lint ~file:"lib/objects/fixture.ml" "let pp ppf x = Fmt.pf ppf \"%d\" x\n" in
+  check Alcotest.int "ppf-based pp fine" 0 (count_rule "io-in-lib" o);
+  let o = lint ~file:"lib/telemetry/fixture.ml" "let f () = print_endline \"hi\"\n" in
+  check Alcotest.int "telemetry allowlisted" 0 (count_rule "io-in-lib" o)
+
+(* ---- catch-all ---- *)
+
+let test_catch_all_fires () =
+  let o =
+    lint ~file:"lib/campaign/fixture.ml"
+      "let f g = try g () with _ -> None\n\
+       let h g = match g () with exception _ -> 0 | n -> n\n"
+  in
+  check Alcotest.int "try and match-exception" 2 (count_rule "catch-all" o)
+
+let test_catch_all_spared () =
+  let o =
+    lint ~file:"lib/campaign/fixture.ml"
+      "let f g = try g () with Not_found -> None\n\
+       let h g = try g () with e -> raise e\n"
+  in
+  check Alcotest.int "specific and re-raising fine" 0 (count_rule "catch-all" o)
+
+(* ---- obj-magic ---- *)
+
+let test_obj_magic_fires () =
+  let o = lint ~file:"lib/fault/fixture.ml" "let f x = Obj.magic x\n" in
+  check Alcotest.int "one finding" 1 (count_rule "obj-magic" o)
+
+let test_obj_magic_spared () =
+  (* out of scope: tests may poke representations *)
+  let o = lint ~file:"test/fixture.ml" "let f x = Obj.magic x\n" in
+  check Alcotest.int "test tree out of scope" 0 (count_rule "obj-magic" o)
+
+(* ---- mli-required ---- *)
+
+let test_mli_required () =
+  let root = tmp_root () in
+  write_file (Filename.concat root "lib/foo/bare.ml") "let x = 1\n";
+  write_file (Filename.concat root "lib/foo/covered.ml") "let y = 2\n";
+  write_file (Filename.concat root "lib/foo/covered.mli") "val y : int\n";
+  let r = Driver.run ~policy:Policy.default [ root ] in
+  let missing =
+    List.filter (fun (f : Finding.t) -> f.Finding.rule = "mli-required") r.Driver.findings
+  in
+  check Alcotest.int "exactly the bare module" 1 (List.length missing);
+  check Alcotest.bool "names bare.ml" true
+    (Filename.basename (List.hd missing).Finding.file = "bare.ml")
+
+(* ---- parse errors ---- *)
+
+let test_parse_error () =
+  let o = lint ~file:"lib/sim/fixture.ml" "let let = 3\n" in
+  check Alcotest.int "one parse-error" 1 (count_rule "parse-error" o)
+
+(* ---- suppressions ---- *)
+
+let test_suppress_file_level () =
+  let o =
+    lint ~file:"lib/consensus/fixture.ml"
+      "[@@@ffault.lint.allow \"raw-atomic\", \"fixture: exercising the substrate\"]\n\
+       let f a = Atomic.set a 1\n"
+  in
+  check Alcotest.int "no findings" 0 (List.length o.Driver.findings);
+  check Alcotest.int "one suppressed" 1 (List.length o.Driver.suppressed);
+  let _, s = List.hd o.Driver.suppressed in
+  check Alcotest.string "justification kept" "fixture: exercising the substrate"
+    s.Lint.Suppress.justification
+
+let test_suppress_binding_scoped () =
+  let o =
+    lint ~file:"lib/consensus/fixture.ml"
+      "let f a = Atomic.set a 1 [@@ffault.lint.allow \"raw-atomic\", \"first only\"]\n\
+       let g a = Atomic.set a 2\n"
+  in
+  check Alcotest.int "second still fires" 1 (count_rule "raw-atomic" o);
+  check Alcotest.int "first suppressed" 1 (List.length o.Driver.suppressed);
+  let f = List.hd o.Driver.findings in
+  check Alcotest.int "surviving one is line 2" 2 f.Finding.line
+
+let test_suppress_missing_justification () =
+  let o =
+    lint ~file:"lib/consensus/fixture.ml"
+      "[@@@ffault.lint.allow \"raw-atomic\"]\nlet f a = Atomic.set a 1\n"
+  in
+  (* the malformed suppression is itself a finding, and suppresses nothing *)
+  check Alcotest.int "suppression finding" 1 (count_rule "suppression" o);
+  check Alcotest.int "raw-atomic still fires" 1 (count_rule "raw-atomic" o)
+
+let test_suppress_unknown_rule () =
+  let o =
+    lint ~file:"lib/consensus/fixture.ml"
+      "[@@@ffault.lint.allow \"no-such-rule\", \"why\"]\nlet x = 1\n"
+  in
+  check Alcotest.int "suppression finding" 1 (count_rule "suppression" o)
+
+let test_suppress_meta_rule_rejected () =
+  let o =
+    lint ~file:"lib/consensus/fixture.ml"
+      "[@@@ffault.lint.allow \"parse-error\", \"never\"]\nlet x = 1\n"
+  in
+  check Alcotest.int "meta rules not suppressible" 1 (count_rule "suppression" o)
+
+let test_suppress_blank_justification () =
+  let o =
+    lint ~file:"lib/consensus/fixture.ml"
+      "[@@@ffault.lint.allow \"raw-atomic\", \"  \"]\nlet f a = Atomic.set a 1\n"
+  in
+  check Alcotest.int "blank justification rejected" 1 (count_rule "suppression" o)
+
+(* ---- policy ---- *)
+
+let test_policy_normalize () =
+  check Alcotest.string "temp prefix stripped" "lib/sim/a.ml"
+    (Policy.normalize "/tmp/scratch/lib/sim/a.ml");
+  check Alcotest.string "dot-segments dropped" "lib/sim/a.ml"
+    (Policy.normalize "./lib/sim/a.ml");
+  check Alcotest.bool "component-wise prefix" true
+    (Policy.has_prefix ~prefix:"lib/sim" "lib/sim/engine.ml");
+  check Alcotest.bool "no substring matches" false
+    (Policy.has_prefix ~prefix:"lib/sim" "lib/simulator.ml")
+
+let test_policy_scoping () =
+  let p = Policy.default in
+  check Alcotest.bool "raw-atomic active in consensus" true
+    (Policy.applies p ~rule:"raw-atomic" ~file:"lib/consensus/protocol.ml");
+  check Alcotest.bool "raw-atomic allowlisted in runtime" false
+    (Policy.applies p ~rule:"raw-atomic" ~file:"lib/runtime/faulty_cas.ml");
+  check Alcotest.bool "nondeterminism inactive in campaign" false
+    (Policy.applies p ~rule:"nondeterminism" ~file:"lib/campaign/pool.ml");
+  check Alcotest.bool "pool.ml file-precise allow" false
+    (Policy.applies p ~rule:"raw-atomic" ~file:"lib/campaign/pool.ml");
+  check Alcotest.bool "campaign otherwise checked" true
+    (Policy.applies p ~rule:"raw-atomic" ~file:"lib/campaign/journal.ml")
+
+(* ---- rules filter ---- *)
+
+let test_rules_filter () =
+  let root = tmp_root () in
+  write_file
+    (Filename.concat root "lib/fault/mixed.ml")
+    "let f x = Obj.magic x\nlet g () = print_endline \"hi\"\n";
+  write_file (Filename.concat root "lib/fault/mixed.mli") "val f : 'a -> 'b\nval g : unit -> unit\n";
+  let r = Driver.run ~rules:[ "obj-magic" ] ~policy:Policy.default [ root ] in
+  let rules = List.map (fun (f : Finding.t) -> f.Finding.rule) r.Driver.findings in
+  check Alcotest.bool "only obj-magic" true (List.for_all (( = ) "obj-magic") rules);
+  check Alcotest.int "one finding" 1 (List.length rules)
+
+let test_collect_skips_build_dirs () =
+  let root = tmp_root () in
+  write_file (Filename.concat root "lib/a.ml") "let x = 1\n";
+  write_file (Filename.concat root "_build/lib/b.ml") "let y = 2\n";
+  let files = Driver.collect_files [ root ] in
+  check Alcotest.int "only the real source" 1 (List.length files)
+
+(* ---- baseline ---- *)
+
+let finding ~rule ~file ~line =
+  Finding.v ~rule ~severity:Finding.Error ~file ~line ~col:0 "fixture"
+
+let test_baseline_roundtrip () =
+  let root = tmp_root () in
+  let path = Filename.concat root "baseline.json" in
+  let b =
+    Baseline.of_findings
+      [ finding ~rule:"obj-magic" ~file:"lib/a.ml" ~line:3;
+        finding ~rule:"catch-all" ~file:"lib/b.ml" ~line:7 ]
+  in
+  Baseline.save ~path b;
+  match Baseline.load ~path with
+  | Error m -> Alcotest.fail m
+  | Ok b' ->
+      check Alcotest.int "entries survive" 2 (List.length b');
+      check Alcotest.bool "identical" true (b = b')
+
+let test_baseline_add_expire () =
+  let a = finding ~rule:"obj-magic" ~file:"lib/a.ml" ~line:3 in
+  let b = finding ~rule:"catch-all" ~file:"lib/b.ml" ~line:7 in
+  let stale = { Baseline.rule = "io-in-lib"; file = "lib/gone.ml"; line = 9; note = "" } in
+  let base = Baseline.of_findings [ a ] @ [ stale ] in
+  let split = Baseline.apply base [ a; b ] in
+  check Alcotest.int "b is fresh" 1 (List.length split.Baseline.fresh);
+  check Alcotest.bool "fresh is b" true (List.hd split.Baseline.fresh == b);
+  check Alcotest.int "a grandfathered" 1 (List.length split.Baseline.baselined);
+  check Alcotest.int "stale expired" 1 (List.length split.Baseline.expired);
+  (* drift: the baselined file edited past the recorded line resurfaces *)
+  let moved = finding ~rule:"obj-magic" ~file:"lib/a.ml" ~line:4 in
+  let split = Baseline.apply base [ moved ] in
+  check Alcotest.int "moved finding is fresh" 1 (List.length split.Baseline.fresh)
+
+let test_baseline_missing_file () =
+  match Baseline.load ~path:"/nonexistent/baseline.json" with
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error _ -> ()
+
+(* ---- reporters ---- *)
+
+let report_fixture () =
+  let fresh = finding ~rule:"obj-magic" ~file:"lib/a.ml" ~line:3 in
+  let based = finding ~rule:"catch-all" ~file:"lib/b.ml" ~line:7 in
+  let result =
+    { Driver.files = 2; findings = [ fresh; based ]; suppressed = [] }
+  in
+  Report.make ~baseline:(Baseline.of_findings [ based ]) result
+
+let test_report_exit_codes () =
+  let r = report_fixture () in
+  check Alcotest.int "fresh finding fails" 1 (Report.exit_code r);
+  let clean = Report.make { Driver.files = 1; findings = []; suppressed = [] } in
+  check Alcotest.int "clean passes" 0 (Report.exit_code clean);
+  let all_baselined =
+    Report.make
+      ~baseline:(Baseline.of_findings [ finding ~rule:"obj-magic" ~file:"lib/a.ml" ~line:3 ])
+      { Driver.files = 1;
+        findings = [ finding ~rule:"obj-magic" ~file:"lib/a.ml" ~line:3 ];
+        suppressed = [] }
+  in
+  check Alcotest.int "baselined does not fail" 0 (Report.exit_code all_baselined)
+
+let test_report_text () =
+  let text = Report.to_text (report_fixture ()) in
+  check Alcotest.bool "grep-able location" true
+    (contains ~sub:"lib/a.ml:3:0: error obj-magic" text);
+  check Alcotest.bool "baselined tagged" true (contains ~sub:"[baselined]" text);
+  check Alcotest.bool "summary line" true (contains ~sub:"2 files checked" text)
+
+let test_report_json () =
+  let json = Report.to_json (report_fixture ()) in
+  match Json.of_string (Json.to_string json) with
+  | Error m -> Alcotest.fail m
+  | Ok j ->
+      check Alcotest.int "version" 1
+        (Option.get (Option.bind (Json.member "version" j) Json.get_int));
+      let findings = Option.get (Option.bind (Json.member "findings" j) Json.get_list) in
+      check Alcotest.int "fresh + baselined listed" 2 (List.length findings);
+      let f = List.hd findings in
+      List.iter
+        (fun key ->
+          check Alcotest.bool (Fmt.str "finding has %s" key) true
+            (Json.member key f <> None))
+        [ "rule"; "severity"; "file"; "line"; "col"; "message"; "baselined" ];
+      let summary = Option.get (Json.member "summary" j) in
+      check Alcotest.int "summary.fresh" 1
+        (Option.get (Option.bind (Json.member "fresh" summary) Json.get_int));
+      let by_rule = Option.get (Json.member "by_rule" summary) in
+      check Alcotest.int "by_rule.obj-magic" 1
+        (Option.get (Option.bind (Json.member "obj-magic" by_rule) Json.get_int))
+
+(* ---- the lint on this repo's own invariants ---- *)
+
+let test_rule_registry () =
+  check Alcotest.int "seven substantive rules" 7 (List.length Lint.Rule.substantive);
+  List.iter
+    (fun name ->
+      check Alcotest.bool (Fmt.str "%s registered" name) true (Lint.Rule.find name <> None))
+    [ "raw-atomic"; "nondeterminism"; "toplevel-mutable"; "io-in-lib"; "catch-all";
+      "mli-required"; "obj-magic" ];
+  check Alcotest.bool "parse-error is meta" true (Lint.Rule.is_meta "parse-error");
+  check Alcotest.bool "raw-atomic is not" false (Lint.Rule.is_meta "raw-atomic")
+
+let suites =
+  [
+    ( "lint.rules",
+      [
+        Alcotest.test_case "raw-atomic fires" `Quick test_raw_atomic_fires;
+        Alcotest.test_case "raw-atomic spared" `Quick test_raw_atomic_spared;
+        Alcotest.test_case "nondeterminism fires" `Quick test_nondeterminism_fires;
+        Alcotest.test_case "nondeterminism spared" `Quick test_nondeterminism_spared;
+        Alcotest.test_case "toplevel-mutable fires" `Quick test_toplevel_mutable_fires;
+        Alcotest.test_case "toplevel-mutable spared" `Quick test_toplevel_mutable_spared;
+        Alcotest.test_case "io-in-lib fires" `Quick test_io_in_lib_fires;
+        Alcotest.test_case "io-in-lib spared" `Quick test_io_in_lib_spared;
+        Alcotest.test_case "catch-all fires" `Quick test_catch_all_fires;
+        Alcotest.test_case "catch-all spared" `Quick test_catch_all_spared;
+        Alcotest.test_case "obj-magic fires" `Quick test_obj_magic_fires;
+        Alcotest.test_case "obj-magic spared" `Quick test_obj_magic_spared;
+        Alcotest.test_case "mli-required" `Quick test_mli_required;
+        Alcotest.test_case "parse-error" `Quick test_parse_error;
+        Alcotest.test_case "registry" `Quick test_rule_registry;
+      ] );
+    ( "lint.suppress",
+      [
+        Alcotest.test_case "file-level" `Quick test_suppress_file_level;
+        Alcotest.test_case "binding-scoped" `Quick test_suppress_binding_scoped;
+        Alcotest.test_case "missing justification" `Quick test_suppress_missing_justification;
+        Alcotest.test_case "unknown rule" `Quick test_suppress_unknown_rule;
+        Alcotest.test_case "meta rule rejected" `Quick test_suppress_meta_rule_rejected;
+        Alcotest.test_case "blank justification" `Quick test_suppress_blank_justification;
+      ] );
+    ( "lint.policy",
+      [
+        Alcotest.test_case "normalize" `Quick test_policy_normalize;
+        Alcotest.test_case "scoping" `Quick test_policy_scoping;
+      ] );
+    ( "lint.driver",
+      [
+        Alcotest.test_case "rules filter" `Quick test_rules_filter;
+        Alcotest.test_case "skips _build" `Quick test_collect_skips_build_dirs;
+      ] );
+    ( "lint.baseline",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_baseline_roundtrip;
+        Alcotest.test_case "add/expire" `Quick test_baseline_add_expire;
+        Alcotest.test_case "missing file" `Quick test_baseline_missing_file;
+      ] );
+    ( "lint.report",
+      [
+        Alcotest.test_case "exit codes" `Quick test_report_exit_codes;
+        Alcotest.test_case "text shape" `Quick test_report_text;
+        Alcotest.test_case "json shape" `Quick test_report_json;
+      ] );
+  ]
