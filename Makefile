@@ -1,6 +1,6 @@
 # Convenience targets for the ffault reproduction.
 
-.PHONY: all build test lint lint-json lint-baseline experiments experiments-quick bench bench-smoke examples campaign-smoke check clean
+.PHONY: all build test lint lint-json lint-baseline experiments experiments-quick bench bench-smoke examples campaign-smoke chaos-smoke check clean
 
 all: build
 
@@ -25,7 +25,7 @@ lint-baseline:
 	dune exec bin/main.exe -- lint --baseline lint-baseline.json --write-baseline
 
 # The full local gate: what CI runs, minus the artifact uploads.
-check: build test lint campaign-smoke
+check: build test lint campaign-smoke chaos-smoke
 
 experiments:
 	dune exec bin/main.exe -- experiment
@@ -60,6 +60,11 @@ campaign-smoke:
 	  --trace _campaigns/ci-smoke/trace.json
 	dune exec bin/main.exe -- campaign report --name ci-smoke
 	dune exec bin/main.exe -- campaign diff _campaigns/ci-smoke _campaigns/ci-smoke
+
+# Crash-tolerance end to end: SIGKILL a live campaign mid-flight, resume
+# it, and assert the journal holds every trial exactly once.
+chaos-smoke:
+	sh scripts/chaos_smoke.sh
 
 clean:
 	dune clean

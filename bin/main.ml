@@ -367,14 +367,41 @@ let multicore_cmd =
     Arg.(value & opt int 1000 & info [ "runs" ] ~docv:"N" ~doc)
   in
   let rate_arg =
-    let doc = "Per-CAS overriding-fault probability." in
+    let doc = "Per-CAS fault probability." in
     Arg.(value & opt float 0.3 & info [ "rate" ] ~docv:"P" ~doc)
   in
-  let run f t domains runs rate seed =
+  let kind_arg =
+    let doc =
+      "Fault kind to inject: overriding (unconditional write), silent (write dropped), or \
+       nonresponsive (the CAS never returns — requires a deadline; see --deadline)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("overriding", `Overriding); ("silent", `Silent); ("nonresponsive", `Nonresponsive) ]) `Overriding
+      & info [ "kind" ] ~docv:"KIND" ~doc)
+  in
+  let deadline_arg =
+    let doc =
+      "Per-run wall-clock deadline in seconds; a domain still undecided when it expires \
+       reports a timeout instead of hanging. Defaults to 1.0 for --kind nonresponsive \
+       (which cannot terminate without one), else none."
+    in
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+  in
+  let run f t domains runs rate kind deadline seed =
     let module R = Ffault_runtime in
     let t = Option.value t ~default:1 in
     let protocol = R.Consensus_mc.Staged { f; t } in
+    let style, deadline_s =
+      match kind with
+      | `Overriding -> (R.Faulty_cas.Override, deadline)
+      | `Silent -> (R.Faulty_cas.Suppress, deadline)
+      | `Nonresponsive ->
+          (* Hang without a deadline can never end; default rather than die. *)
+          (R.Faulty_cas.Hang, Some (Option.value deadline ~default:1.0))
+    in
     let violations = ref 0 in
+    let timeouts = ref 0 in
     let faults = ref 0 in
     let started = Unix.gettimeofday () in
     for i = 1 to runs do
@@ -384,23 +411,26 @@ let multicore_cmd =
             R.Faulty_cas.plan_probabilistic
               ~seed:(Int64.of_int ((seed * 1_000_003) + (i * 31) + o))
               ~p:rate)
-          ~n_domains:domains protocol
+          ~style ?deadline_s ~n_domains:domains protocol
       in
       let r = R.Consensus_mc.execute cfg in
       if not (r.R.Consensus_mc.agreed && r.R.Consensus_mc.valid) then incr violations;
+      timeouts := !timeouts + r.R.Consensus_mc.timeouts;
       faults := !faults + Array.fold_left ( + ) 0 r.R.Consensus_mc.faults_per_object
     done;
     let elapsed = Unix.gettimeofday () -. started in
     Fmt.pr
-      "%a on %d domains: %d runs, %d violations, %d observable faults, %.2f s (%.0f \
-       decides/s)@."
-      R.Consensus_mc.pp_protocol protocol domains runs !violations !faults elapsed
+      "%a on %d domains: %d runs, %d violations, %d timed-out domain(s), %d observable \
+       faults, %.2f s (%.0f decides/s)@."
+      R.Consensus_mc.pp_protocol protocol domains runs !violations !timeouts !faults elapsed
       (float_of_int runs /. elapsed);
     if !violations = 0 then 0 else 1
   in
-  let doc = "Run the Fig. 3 protocol on real domains with injected overriding faults." in
+  let doc = "Run the Fig. 3 protocol on real domains with injected faults." in
   Cmd.v (Cmd.info "multicore" ~doc)
-    Term.(const run $ f_arg $ t_arg $ domains_arg $ runs_arg $ rate_arg $ seed_arg)
+    Term.(
+      const run $ f_arg $ t_arg $ domains_arg $ runs_arg $ rate_arg $ kind_arg
+      $ deadline_arg $ seed_arg)
 
 (* ---- campaign ---- *)
 
@@ -417,6 +447,36 @@ let campaign_domains_arg =
   Arg.(value & opt int 0 & info [ "domains" ] ~docv:"D" ~doc)
 
 let resolve_domains d = if d <= 0 then Ffault_runtime.Runner.recommended_domains () else d
+
+(* Supervision flags, shared by run and resume. *)
+
+let deadline_flag_arg =
+  let doc =
+    "Per-trial wall-clock deadline in seconds: a trial still running when it expires is \
+     cancelled, retried (see --max-retries), and eventually journaled as a timeout. \
+     Required for campaigns over nonresponsive faults on the multicore substrate; \
+     without it trials run unsupervised (no watchdog, retries or quarantine)."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+
+let max_retries_arg =
+  let doc = "Deadline-cancelled attempts to retry (seed-perturbed backoff) before giving up." in
+  Arg.(
+    value
+    & opt int Ffault_supervise.Retry.default_policy.Ffault_supervise.Retry.max_retries
+    & info [ "max-retries" ] ~docv:"N" ~doc)
+
+let quarantine_after_arg =
+  let doc =
+    "Give-ups in one grid cell before the cell degrades: its remaining trials are \
+     journaled as quarantined without running."
+  in
+  Arg.(value & opt int 3 & info [ "quarantine-after" ] ~docv:"K" ~doc)
+
+let supervision_of_flags ~deadline ~max_retries ~quarantine_after =
+  match Campaign.Pool.supervision ?deadline_s:deadline ~max_retries ~quarantine_after () with
+  | s -> Ok s
+  | exception Invalid_argument m -> Error m
 
 (* Observability flags, shared by run and resume. *)
 
@@ -459,7 +519,7 @@ let campaign_spec_of_flags ~name ~protocol ~f ~t ~n ~kinds ~rates ~trials ~seed 
       seed = Int64.of_int seed;
     }
 
-let run_campaign ~resume ~root ~domains ~progress ~quiet ~trace spec =
+let run_campaign ~resume ~root ~domains ~supervision ~progress ~quiet ~trace spec =
   let domains = resolve_domains domains in
   Fmt.pr "%a@.grid: %d cells × %d trials = %d trials, %d domains@." Campaign.Spec.pp spec
     (Campaign.Grid.n_cells spec) spec.Campaign.Spec.trials
@@ -475,7 +535,7 @@ let run_campaign ~resume ~root ~domains ~progress ~quiet ~trace spec =
     else None
   in
   let result =
-    Campaign.Pool.run_dir ~domains ~resume ~root
+    Campaign.Pool.run_dir ~domains ~supervision ~resume ~root
       ~on_skip:(fun () -> Campaign.Live.on_skip live)
       ~observe:(fun r -> Campaign.Live.on_record live r)
       ~on_warn:(fun m -> Fmt.epr "warning: %s@." m)
@@ -531,34 +591,47 @@ let campaign_run_cmd =
     let doc = "Trials per grid cell." in
     Arg.(value & opt int 100 & info [ "trials" ] ~docv:"K" ~doc)
   in
-  let run spec_file name protocol f t n kinds rates trials seed root domains progress quiet
-      trace =
+  let run spec_file name protocol f t n kinds rates trials seed root domains deadline
+      max_retries quarantine_after progress quiet trace =
     let spec =
       match spec_file with
       | Some path -> Campaign.Spec.of_file path
       | None -> campaign_spec_of_flags ~name ~protocol ~f ~t ~n ~kinds ~rates ~trials ~seed
     in
-    match spec with
+    match
+      Result.bind spec (fun spec ->
+          Result.map
+            (fun s -> (spec, s))
+            (supervision_of_flags ~deadline ~max_retries ~quarantine_after))
+    with
     | Error m ->
         Fmt.epr "error: %s@." m;
         1
-    | Ok spec -> run_campaign ~resume:false ~root ~domains ~progress ~quiet ~trace spec
+    | Ok (spec, supervision) ->
+        run_campaign ~resume:false ~root ~domains ~supervision ~progress ~quiet ~trace spec
   in
   let doc = "Run a fault-injection campaign over a parameter grid, journaling every trial." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ spec_file_arg $ campaign_name_arg $ protocol_arg $ f_list_arg $ t_list_arg
       $ n_list_arg $ kinds_arg $ rates_arg $ trials_arg $ seed_arg $ campaign_root_arg
-      $ campaign_domains_arg $ progress_arg $ quiet_arg $ trace_arg)
+      $ campaign_domains_arg $ deadline_flag_arg $ max_retries_arg $ quarantine_after_arg
+      $ progress_arg $ quiet_arg $ trace_arg)
 
 let campaign_resume_cmd =
-  let run name root domains progress quiet trace =
+  let run name root domains deadline max_retries quarantine_after progress quiet trace =
     let dir = Filename.concat root name in
-    match Campaign.Checkpoint.load_manifest ~dir with
+    match
+      Result.bind (Campaign.Checkpoint.load_manifest ~dir) (fun spec ->
+          Result.map
+            (fun s -> (spec, s))
+            (supervision_of_flags ~deadline ~max_retries ~quarantine_after))
+    with
     | Error m ->
         Fmt.epr "error: %s@." m;
         1
-    | Ok spec -> run_campaign ~resume:true ~root ~domains ~progress ~quiet ~trace spec
+    | Ok (spec, supervision) ->
+        run_campaign ~resume:true ~root ~domains ~supervision ~progress ~quiet ~trace spec
   in
   let doc =
     "Resume an interrupted campaign: journaled trials are skipped, the rest executed."
@@ -566,7 +639,8 @@ let campaign_resume_cmd =
   Cmd.v (Cmd.info "resume" ~doc)
     Term.(
       const run $ campaign_name_arg $ campaign_root_arg $ campaign_domains_arg
-      $ progress_arg $ quiet_arg $ trace_arg)
+      $ deadline_flag_arg $ max_retries_arg $ quarantine_after_arg $ progress_arg
+      $ quiet_arg $ trace_arg)
 
 let campaign_report_cmd =
   let run name root =
@@ -715,8 +789,8 @@ let lint_cmd =
   in
   let doc =
     "Statically check the fault-injection and determinism invariants (raw-atomic, \
-     nondeterminism, toplevel-mutable, io-in-lib, catch-all, mli-required, obj-magic) \
-     over the source tree."
+     nondeterminism, toplevel-mutable, io-in-lib, catch-all, mli-required, obj-magic, \
+     effect-discipline) over the source tree."
   in
   Cmd.v (Cmd.info "lint" ~doc)
     Term.(

@@ -46,7 +46,10 @@ val setup : cell -> Ffault_consensus.Protocol.t -> Ffault_verify.Consensus_check
 
 val in_envelope : cell -> Ffault_consensus.Protocol.t -> bool
 (** Whether the protocol's theorem covers this cell (violations inside
-    the envelope are regressions; outside, expected data). *)
+    the envelope are regressions; outside, expected data). The kind
+    matters: each theorem is stated for one fault kind (overriding for
+    the CAS constructions, silent for silent-retry) — a cell injecting
+    any other kind is out of envelope regardless of (f, t, n). *)
 
 val cell_key : cell -> string
 (** Canonical axis string, the join key for campaign diffs. *)

@@ -1,10 +1,29 @@
 module Fault_kind = Ffault_fault.Fault_kind
 
+type outcome = Pass | Violation | Timeout | Quarantined
+
+let outcome_to_string = function
+  | Pass -> "pass"
+  | Violation -> "violation"
+  | Timeout -> "timeout"
+  | Quarantined -> "quarantined"
+
+let outcome_of_string = function
+  | "pass" -> Some Pass
+  | "violation" -> Some Violation
+  | "timeout" -> Some Timeout
+  | "quarantined" -> Some Quarantined
+  | _ -> None
+
+let pp_outcome ppf o = Fmt.string ppf (outcome_to_string o)
+
 type record = {
   trial : int;
   cell : Grid.cell;
   seed : int64;
   ok : bool;
+  outcome : outcome;
+  retries : int;
   violations : string list;
   steps : int;
   max_steps : int;
@@ -27,6 +46,8 @@ let to_json r =
       ("rate", Json.Float r.cell.Grid.rate);
       ("seed", Json.Str (Int64.to_string r.seed));
       ("ok", Json.Bool r.ok);
+      ("outcome", Json.Str (outcome_to_string r.outcome));
+      ("retries", Json.Int r.retries);
       ("violations", Json.List (List.map (fun v -> Json.Str v) r.violations));
       ("steps", Json.Int r.steps);
       ("max_steps", Json.Int r.max_steps);
@@ -59,6 +80,24 @@ let of_json json =
   let* rate = field "rate" Json.get_float in
   let* seed = field "seed" (fun j -> Option.bind (Json.get_str j) Int64.of_string_opt) in
   let* ok = field "ok" Json.get_bool in
+  (* Both supervision fields default for pre-supervision journals (PR 1-3):
+     outcome is inferred from ok, retries from absence. *)
+  let* outcome =
+    match Json.member "outcome" json with
+    | None -> Ok (if ok then Pass else Violation)
+    | Some j -> (
+        match Option.bind (Json.get_str j) outcome_of_string with
+        | Some o -> Ok o
+        | None -> Error "journal record: malformed outcome")
+  in
+  let* retries =
+    match Json.member "retries" json with
+    | None -> Ok 0
+    | Some j -> (
+        match Json.get_int j with
+        | Some r when r >= 0 -> Ok r
+        | Some _ | None -> Error "journal record: malformed retries")
+  in
   let* violations =
     field "violations" (fun j ->
         Option.bind (Json.get_list j) (fun items ->
@@ -88,6 +127,8 @@ let of_json json =
       cell = { Grid.f; t; n; kind; rate };
       seed;
       ok;
+      outcome;
+      retries;
       violations;
       steps;
       max_steps;
@@ -134,9 +175,28 @@ let close_writer w =
 
 (* ---- crash recovery ---- *)
 
-type recovery = { dropped_bytes : int; warning : string option }
+type recovery = { dropped_bytes : int; interior_torn : int; warning : string option }
 
-let clean = { dropped_bytes = 0; warning = None }
+let clean = { dropped_bytes = 0; interior_torn = 0; warning = None }
+
+(* Malformed newline-terminated lines. A crash can only tear the final
+   line (appends are sequential and flushed per record), so interior
+   damage means something else — filesystem corruption, a concurrent
+   writer, a hand-edited journal. [fold] skips such lines silently;
+   recovery and the report's health section must not. *)
+let count_interior_torn text =
+  let torn = ref 0 in
+  let next = ref 0 in
+  let len = String.length text in
+  while !next < len do
+    match String.index_from_opt text !next '\n' with
+    | None -> next := len (* unterminated tail: judged separately *)
+    | Some nl ->
+        let line = String.trim (String.sub text !next (nl - !next)) in
+        if line <> "" && Result.is_error (of_line line) then incr torn;
+        next := nl + 1
+  done;
+  !torn
 
 (* A campaign killed mid-append leaves a torn final line: some prefix of
    "record\n" (the per-record flush can be delivered partially by the
@@ -153,10 +213,28 @@ let recover ~path =
     let len = String.length text in
     if len = 0 then clean
     else
+      let interior_torn = count_interior_torn text in
+      let interior_warning =
+        if interior_torn = 0 then None
+        else
+          Some
+            (Fmt.str
+               "journal %s: %d interior record(s) do not parse — not crash damage \
+                (appends are sequential); their trials will be re-run, but the file \
+                deserves a look"
+               path interior_torn)
+      in
+      let combine tail_warning =
+        match interior_warning, tail_warning with
+        | None, w | w, None -> w
+        | Some a, Some b -> Some (a ^ "; " ^ b)
+      in
       let tail_start =
         match String.rindex_opt text '\n' with Some i -> i + 1 | None -> 0
       in
-      if tail_start >= len then clean (* newline-terminated: nothing torn *)
+      if tail_start >= len then
+        (* newline-terminated: no torn tail *)
+        { clean with interior_torn; warning = combine None }
       else
         let tail = String.sub text tail_start (len - tail_start) in
         match of_line (String.trim tail) with
@@ -166,12 +244,14 @@ let recover ~path =
               (fun oc -> output_char oc '\n');
             {
               dropped_bytes = 0;
+              interior_torn;
               warning =
-                Some
-                  (Fmt.str
-                     "journal %s: final record was missing its newline (crash \
-                      mid-append); repaired"
-                     path);
+                combine
+                  (Some
+                     (Fmt.str
+                        "journal %s: final record was missing its newline (crash \
+                         mid-append); repaired"
+                        path));
             }
         | Error _ ->
             let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
@@ -180,13 +260,40 @@ let recover ~path =
               (fun () -> Unix.ftruncate fd tail_start);
             {
               dropped_bytes = len - tail_start;
+              interior_torn;
               warning =
-                Some
-                  (Fmt.str
-                     "journal %s: dropped a torn %d-byte partial trailing record \
-                      (crash mid-append); its trial will be re-run"
-                     path (len - tail_start));
+                combine
+                  (Some
+                     (Fmt.str
+                        "journal %s: dropped a torn %d-byte partial trailing record \
+                         (crash mid-append); its trial will be re-run"
+                        path (len - tail_start)));
             }
+
+(* ---- health ---- *)
+
+type health = { h_lines : int; h_parsed : int; h_malformed : int }
+
+let healthy = { h_lines = 0; h_parsed = 0; h_malformed = 0 }
+
+let health ~path =
+  if not (Sys.file_exists path) then healthy
+  else
+    In_channel.with_open_text path (fun ic ->
+        let rec go h =
+          match In_channel.input_line ic with
+          | None -> h
+          | Some line ->
+              let line = String.trim line in
+              if line = "" then go h
+              else
+                let h = { h with h_lines = h.h_lines + 1 } in
+                go
+                  (match of_line line with
+                  | Ok _ -> { h with h_parsed = h.h_parsed + 1 }
+                  | Error _ -> { h with h_malformed = h.h_malformed + 1 })
+        in
+        go healthy)
 
 (* ---- reading ---- *)
 

@@ -10,16 +10,31 @@
     Record schema (see doc/CAMPAIGNS.md):
     {v
     {"trial":17,"f":2,"t":1,"n":3,"kind":"overriding","rate":0.4,
-     "seed":"-553...","ok":false,"violations":["consistency: ..."],
+     "seed":"-553...","ok":false,"outcome":"violation","retries":0,
+     "violations":["consistency: ..."],
      "steps":41,"max_steps":17,"stage":3,"faults":2,"wall_us":180,
      "witness":[1,0,2]}
     v} *)
+
+type outcome =
+  | Pass  (** ran to completion, no violations *)
+  | Violation  (** ran to completion, oracle violations found *)
+  | Timeout
+      (** cancelled at the deadline (after retries, if any) — no verdict
+          on the protocol, a wait-freedom loss for the harness *)
+  | Quarantined  (** skipped: its cell was degraded before it ran *)
+
+val outcome_to_string : outcome -> string
+val outcome_of_string : string -> outcome option
+val pp_outcome : Format.formatter -> outcome -> unit
 
 type record = {
   trial : int;  (** dense trial id, see {!Grid} *)
   cell : Grid.cell;
   seed : int64;
-  ok : bool;
+  ok : bool;  (** [outcome = Pass] (kept explicit for older readers) *)
+  outcome : outcome;
+  retries : int;  (** failed attempts before this record's outcome *)
   violations : string list;  (** rendered violations when [not ok] *)
   steps : int;  (** total engine steps *)
   max_steps : int;  (** worst per-process operation count *)
@@ -51,16 +66,40 @@ val close_writer : writer -> unit
 
 (** {2 Crash recovery} *)
 
-type recovery = { dropped_bytes : int; warning : string option }
+type recovery = {
+  dropped_bytes : int;
+  interior_torn : int;
+      (** malformed {e newline-terminated} records. A crash can only tear
+          the final line (appends are sequential, flushed per record), so
+          interior damage points at filesystem corruption, a concurrent
+          writer, or hand edits — surfaced here and in the report's
+          health section rather than silently skipped by {!fold}. *)
+  warning : string option;
+}
 
 val recover : path:string -> recovery
 (** Repair the torn trailing line a killed run can leave (a partial
     flush of ["record\n"]). A parseable tail that merely lost its
     newline is completed in place; an unparseable tail is truncated
-    away, so the checkpoint scan re-runs that trial. Must be called
-    before reopening the journal for append on resume — otherwise the
-    next record would concatenate onto the torn bytes and corrupt both.
-    A missing, empty, or newline-terminated file is a no-op. *)
+    away, so the checkpoint scan re-runs that trial. Also counts
+    interior torn records (see {!recovery.interior_torn}); those are
+    left in place — their trials re-run via the checkpoint scan. Must be
+    called before reopening the journal for append on resume — otherwise
+    the next record would concatenate onto the torn bytes and corrupt
+    both. A missing, empty, or newline-terminated file repairs nothing. *)
+
+(** {2 Health} *)
+
+type health = {
+  h_lines : int;  (** non-blank lines *)
+  h_parsed : int;
+  h_malformed : int;  (** lines {!fold} would silently skip *)
+}
+
+val health : path:string -> health
+(** Scan the whole journal and report its parse health — what
+    [campaign report]'s health section shows. A missing file is healthy
+    (all zeros). *)
 
 (** {2 Reading} *)
 

@@ -1,15 +1,48 @@
 module Runner = Ffault_runtime.Runner
+module Cancel = Ffault_runtime.Cancel
 module Check = Ffault_verify.Consensus_check
 module Engine = Ffault_sim.Engine
 module Budget = Ffault_fault.Budget
 module Value = Ffault_objects.Value
 module Metrics = Ffault_telemetry.Metrics
 module Tracer = Ffault_telemetry.Tracer
+module Heartbeat = Ffault_supervise.Heartbeat
+module Watchdog = Ffault_supervise.Watchdog
+module Retry = Ffault_supervise.Retry
+module Quarantine = Ffault_supervise.Quarantine
 
 let m_trials = Metrics.counter "campaign.trials"
 let m_failures = Metrics.counter "campaign.failures"
 let m_shrinks = Metrics.counter "campaign.shrinks"
 let h_trial_us = Metrics.histogram "campaign.trial_us"
+let m_timeouts = Metrics.counter "supervise.timeouts"
+let m_retries = Metrics.counter "supervise.retries"
+let m_transient = Metrics.counter "supervise.transient_infra"
+let m_deterministic = Metrics.counter "supervise.deterministic_protocol"
+
+type supervision = {
+  deadline_s : float option;
+  retry : Retry.policy;
+  quarantine_after : int;
+}
+
+let default_supervision =
+  { deadline_s = None; retry = Retry.default_policy; quarantine_after = 3 }
+
+let supervision ?deadline_s ?max_retries ?quarantine_after () =
+  (match deadline_s with
+  | Some s when (not (Float.is_finite s)) || s <= 0.0 ->
+      invalid_arg "Pool.supervision: deadline_s must be finite and positive"
+  | _ -> ());
+  (match quarantine_after with
+  | Some q when q < 1 -> invalid_arg "Pool.supervision: quarantine_after < 1"
+  | _ -> ());
+  {
+    deadline_s;
+    retry = Retry.policy ?max_retries ();
+    quarantine_after =
+      Option.value quarantine_after ~default:default_supervision.quarantine_after;
+  }
 
 type summary = {
   total : int;
@@ -17,6 +50,9 @@ type summary = {
   skipped : int;
   failures : int;
   shrunk : int;
+  timeouts : int;
+  retried : int;
+  quarantined : int;
   wall_s : float;
   trials_per_s : float;
 }
@@ -37,14 +73,20 @@ let pp_summary ppf s =
       Fmt.str "%.0f trials/s" s.trials_per_s
     else "rate n/a"
   in
+  let health =
+    if s.timeouts = 0 && s.quarantined = 0 && s.retried = 0 then ""
+    else
+      Fmt.str ", %d timeout(s), %d retried, %d quarantined" s.timeouts s.retried
+        s.quarantined
+  in
   Fmt.pf ppf
-    "%d/%d trials executed (%d already journaled), %d failures (%d witnesses shrunk), %.2f s \
-     (%s)"
-    s.executed s.total s.skipped s.failures s.shrunk s.wall_s rate
+    "%d/%d trials executed (%d already journaled), %d failures (%d witnesses shrunk)%s, \
+     %.2f s (%s)"
+    s.executed s.total s.skipped s.failures s.shrunk health s.wall_s rate
 
 let default_max_shrinks_per_cell = 5
 
-let record_of_result trial (res : Shrink_on_fail.result) =
+let record_of_result ?(retries = 0) trial (res : Shrink_on_fail.result) =
   let result = res.Shrink_on_fail.report.Check.result in
   let max_steps = Array.fold_left max 0 result.Engine.steps_taken in
   let stage =
@@ -52,11 +94,18 @@ let record_of_result trial (res : Shrink_on_fail.result) =
       (fun acc v -> match Value.stage v with Some s when s > acc -> s | _ -> acc)
       (-1) result.Engine.final_states
   in
+  let outcome =
+    if result.Engine.interrupted then Journal.Timeout
+    else if Check.ok res.Shrink_on_fail.report then Journal.Pass
+    else Journal.Violation
+  in
   {
     Journal.trial = trial.Grid.id;
     cell = trial.Grid.cell;
     seed = trial.Grid.seed;
-    ok = Check.ok res.Shrink_on_fail.report;
+    ok = outcome = Journal.Pass;
+    outcome;
+    retries;
     violations =
       List.map
         (Fmt.str "%a" Check.pp_violation)
@@ -69,9 +118,29 @@ let record_of_result trial (res : Shrink_on_fail.result) =
     witness = res.Shrink_on_fail.witness;
   }
 
+(* A trial skipped because its cell was degraded. Journaled like any
+   other record so the checkpoint scan marks it done: resume must not
+   resurrect trials the quarantine decided to skip. *)
+let quarantined_record trial =
+  {
+    Journal.trial = trial.Grid.id;
+    cell = trial.Grid.cell;
+    seed = trial.Grid.seed;
+    ok = false;
+    outcome = Journal.Quarantined;
+    retries = 0;
+    violations = [];
+    steps = 0;
+    max_steps = 0;
+    stage = -1;
+    faults = 0;
+    wall_us = 0;
+    witness = None;
+  }
+
 let run_trials ?(domains = 1) ?(chunk = 64) ?(skip = fun _ -> false)
-    ?(max_shrinks_per_cell = default_max_shrinks_per_cell) ?(on_skip = fun () -> ())
-    ~on_record spec =
+    ?(max_shrinks_per_cell = default_max_shrinks_per_cell)
+    ?(supervision = default_supervision) ?(on_skip = fun () -> ()) ~on_record spec =
   let protocol =
     match Spec.resolve_protocol spec.Spec.protocol with
     | Ok p -> p
@@ -85,42 +154,138 @@ let run_trials ?(domains = 1) ?(chunk = 64) ?(skip = fun _ -> false)
      vectors are journaled for the rest). *)
   let shrink_budget = Array.init (Array.length cells) (fun _ -> Atomic.make 0) in
   let shrunk = Atomic.make 0 in
+  let quarantine =
+    Quarantine.create ~threshold:supervision.quarantine_after
+      ~cells:(Array.length cells) ()
+  in
+  (* Heartbeats + watchdog only run on supervised (deadlined) campaigns:
+     without a deadline there is no stall bound to judge against. The
+     watchdog is the out-of-band backstop — the deadline normally fires
+     in-band through the engine's interrupt poll; if a worker wedges
+     somewhere that doesn't poll, the watchdog cancels its token. *)
+  let supervised =
+    match supervision.deadline_s with
+    | None -> None
+    | Some deadline_s ->
+        let hb = Heartbeat.create ~slots:domains () in
+        let stall_ns =
+          max (int_of_float (4.0 *. deadline_s *. 1e9)) 500_000_000
+        in
+        let wd = Watchdog.create ~heartbeat:hb ~stall_ns () in
+        Some (deadline_s, hb, wd)
+  in
+  (* Worker slots: run_tasks doesn't number its domains, so the first
+     beat from each domain claims the next free slot. *)
+  let slot_ids = Array.init domains (fun _ -> Atomic.make (-1)) in
+  let slot_of_self () =
+    let me = (Domain.self () :> int) in
+    let rec find i =
+      if i >= domains then 0 (* more domains than slots: share 0, still safe *)
+      else if Atomic.get slot_ids.(i) = me then i
+      else if Atomic.get slot_ids.(i) = -1 && Atomic.compare_and_set slot_ids.(i) (-1) me
+      then i
+      else find (i + 1)
+    in
+    find 0
+  in
   let total = Grid.total_trials spec in
   let executed = ref 0 in
   let skipped = ref 0 in
   let failures = ref 0 in
+  let timeouts = ref 0 in
+  let retried = ref 0 in
+  let quarantined = ref 0 in
   let started = Unix.gettimeofday () in
+  let run_attempt ?interrupt trial =
+    let setup = setups.(trial.Grid.cell_id) in
+    let res =
+      Shrink_on_fail.run_trial ~shrink:false ?interrupt setup
+        ~rate:trial.Grid.cell.Grid.rate ~seed:trial.Grid.seed
+    in
+    if
+      Check.ok res.Shrink_on_fail.report
+      || res.Shrink_on_fail.report.Check.result.Engine.interrupted
+    then res
+    else if
+      max_shrinks_per_cell > 0
+      && Atomic.fetch_and_add shrink_budget.(trial.Grid.cell_id) 1 < max_shrinks_per_cell
+    then begin
+      Atomic.incr shrunk;
+      Metrics.incr m_shrinks;
+      (* re-run with shrinking on; the recorded run is cheap relative to
+         the minimization it feeds *)
+      Tracer.with_span ~cat:"campaign" "shrink" (fun () ->
+          Shrink_on_fail.run_trial ~shrink:true ?interrupt setup
+            ~rate:trial.Grid.cell.Grid.rate ~seed:trial.Grid.seed)
+    end
+    else { res with Shrink_on_fail.witness = Some res.Shrink_on_fail.decisions }
+  in
+  (* The supervised attempt loop: run under a deadline token; a timed-out
+     attempt is retried (seed unchanged — the trial is deterministic, so
+     only infrastructure noise can change the verdict) after a
+     seed-perturbed backoff, up to the policy's budget. Success after a
+     failure classifies the failure transient-infra; exhausting the
+     budget classifies the cell's behavior deterministic-protocol and
+     costs the cell a quarantine strike. *)
+  let run_supervised trial =
+    match supervised with
+    | None -> (run_attempt trial, 0)
+    | Some (deadline_s, hb, wd) ->
+        let slot = slot_of_self () in
+        let rec attempt failed =
+          Heartbeat.beat hb ~slot;
+          let cancel = Cancel.after ~seconds:deadline_s in
+          Watchdog.attach wd ~slot cancel;
+          let res =
+            Fun.protect
+              ~finally:(fun () -> Watchdog.detach wd ~slot)
+              (fun () -> run_attempt ~interrupt:(fun () -> Cancel.cancelled cancel) trial)
+          in
+          Heartbeat.beat hb ~slot;
+          if not res.Shrink_on_fail.report.Check.result.Engine.interrupted then begin
+            (match Retry.classify supervision.retry ~attempts_failed:failed ~succeeded:true with
+            | Some Retry.Transient_infra -> Metrics.incr m_transient
+            | Some Retry.Deterministic_protocol | None -> ());
+            (res, failed)
+          end
+          else begin
+            Metrics.incr m_timeouts;
+            let failed = failed + 1 in
+            if failed <= supervision.retry.Retry.max_retries then begin
+              Metrics.incr m_retries;
+              Unix.sleepf
+                (float_of_int
+                   (Retry.backoff_ns supervision.retry ~seed:trial.Grid.seed
+                      ~attempt:failed)
+                /. 1e9);
+              attempt failed
+            end
+            else begin
+              Metrics.incr m_deterministic;
+              ignore (Quarantine.strike quarantine ~cell:trial.Grid.cell_id);
+              (res, failed - 1)
+            end
+          end
+        in
+        attempt 0
+  in
   let worker id =
     if skip id then None
     else
       Tracer.with_span ~cat:"campaign" "trial" (fun () ->
           let trial = Grid.trial_of_cells spec cells id in
-          let setup = setups.(trial.Grid.cell_id) in
-          let res =
-            Shrink_on_fail.run_trial ~shrink:false setup ~rate:trial.Grid.cell.Grid.rate
-              ~seed:trial.Grid.seed
-          in
-          let res =
-            if Check.ok res.Shrink_on_fail.report then res
-            else if
-              max_shrinks_per_cell > 0
-              && Atomic.fetch_and_add shrink_budget.(trial.Grid.cell_id) 1
-                 < max_shrinks_per_cell
-            then begin
-              Atomic.incr shrunk;
-              Metrics.incr m_shrinks;
-              (* re-run with shrinking on; the recorded run is cheap
-                 relative to the minimization it feeds *)
-              Tracer.with_span ~cat:"campaign" "shrink" (fun () ->
-                  Shrink_on_fail.run_trial ~shrink:true setup ~rate:trial.Grid.cell.Grid.rate
-                    ~seed:trial.Grid.seed)
-            end
-            else { res with Shrink_on_fail.witness = Some res.Shrink_on_fail.decisions }
-          in
-          Metrics.incr m_trials;
-          Metrics.observe h_trial_us (res.Shrink_on_fail.wall_ns / 1000);
-          if not (Check.ok res.Shrink_on_fail.report) then Metrics.incr m_failures;
-          Some (record_of_result trial res))
+          if Quarantine.degraded quarantine ~cell:trial.Grid.cell_id then
+            Some (quarantined_record trial)
+          else begin
+            let res, retries = run_supervised trial in
+            Metrics.incr m_trials;
+            Metrics.observe h_trial_us (res.Shrink_on_fail.wall_ns / 1000);
+            if
+              (not (Check.ok res.Shrink_on_fail.report))
+              && not res.Shrink_on_fail.report.Check.result.Engine.interrupted
+            then Metrics.incr m_failures;
+            Some (record_of_result ~retries trial res)
+          end)
   in
   let consume _id = function
     | None ->
@@ -128,10 +293,20 @@ let run_trials ?(domains = 1) ?(chunk = 64) ?(skip = fun _ -> false)
         on_skip ()
     | Some record ->
         incr executed;
-        if not record.Journal.ok then incr failures;
+        (match record.Journal.outcome with
+        | Journal.Violation -> incr failures
+        | Journal.Timeout -> incr timeouts
+        | Journal.Quarantined -> incr quarantined
+        | Journal.Pass -> ());
+        if record.Journal.retries > 0 then retried := !retried + record.Journal.retries;
         on_record record
   in
-  Runner.run_tasks ~chunk ~domains ~total ~worker ~consume ();
+  let wd_handle =
+    Option.map (fun (_, _, wd) -> Watchdog.start ~interval_s:0.05 wd) supervised
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Watchdog.stop wd_handle)
+    (fun () -> Runner.run_tasks ~chunk ~domains ~total ~worker ~consume ());
   let wall_s = Unix.gettimeofday () -. started in
   {
     total;
@@ -139,11 +314,14 @@ let run_trials ?(domains = 1) ?(chunk = 64) ?(skip = fun _ -> false)
     skipped = !skipped;
     failures = !failures;
     shrunk = Atomic.get shrunk;
+    timeouts = !timeouts;
+    retried = !retried;
+    quarantined = !quarantined;
     wall_s;
     trials_per_s = trials_rate ~executed:!executed ~wall_s;
   }
 
-let run_dir ?domains ?chunk ?max_shrinks_per_cell ?(resume = false) ?on_skip
+let run_dir ?domains ?chunk ?max_shrinks_per_cell ?supervision ?(resume = false) ?on_skip
     ?(observe = fun _ -> ()) ?(on_warn = fun _ -> ()) ~root spec =
   let ( let* ) = Result.bind in
   let dir = Checkpoint.campaign_dir ~root spec in
@@ -177,7 +355,7 @@ let run_dir ?domains ?chunk ?max_shrinks_per_cell ?(resume = false) ?on_skip
   let writer = Journal.create_writer ~path:(Checkpoint.journal_path ~dir) in
   let finally () = Journal.close_writer writer in
   match
-    run_trials ?domains ?chunk ?max_shrinks_per_cell ?on_skip
+    run_trials ?domains ?chunk ?max_shrinks_per_cell ?supervision ?on_skip
       ~skip:(fun id -> Checkpoint.is_done st id)
       ~on_record:(fun r ->
         Journal.append writer r;

@@ -7,14 +7,36 @@
     {!Journal.record}s. Every record's outcome fields depend only on
     (spec, trial id), so results are identical for any [domains] value;
     only journal order — and which of a cell's failures win the
-    per-cell shrink budget — varies. *)
+    per-cell shrink budget — varies. The exception is a {e supervised}
+    run (a {!supervision} with a deadline): deadline, retry and
+    quarantine decisions are wall-clock dependent by nature, and records
+    they produce say so in their [outcome] field. *)
+
+type supervision = {
+  deadline_s : float option;
+      (** per-trial wall-clock deadline; [None] disables supervision
+          (no heartbeats, watchdog, retries or strikes) *)
+  retry : Ffault_supervise.Retry.policy;
+  quarantine_after : int;  (** deterministic-protocol strikes to degrade a cell *)
+}
+
+val default_supervision : supervision
+(** No deadline; {!Ffault_supervise.Retry.default_policy}; 3 strikes. *)
+
+val supervision :
+  ?deadline_s:float -> ?max_retries:int -> ?quarantine_after:int -> unit -> supervision
+(** @raise Invalid_argument on a non-positive deadline or
+    [quarantine_after < 1]. *)
 
 type summary = {
   total : int;  (** grid size *)
-  executed : int;  (** trials run by this call *)
+  executed : int;  (** trials run by this call (includes quarantine skips) *)
   skipped : int;  (** trials the skip predicate excluded (resume) *)
   failures : int;  (** violating trials among [executed] *)
   shrunk : int;  (** failures that got the full Shrink treatment *)
+  timeouts : int;  (** trials whose every attempt hit the deadline *)
+  retried : int;  (** total retry attempts across all trials *)
+  quarantined : int;  (** trials skipped because their cell degraded *)
   wall_s : float;
   trials_per_s : float;
 }
@@ -39,6 +61,7 @@ val run_trials :
   ?chunk:int ->
   ?skip:(int -> bool) ->
   ?max_shrinks_per_cell:int ->
+  ?supervision:supervision ->
   ?on_skip:(unit -> unit) ->
   on_record:(Journal.record -> unit) ->
   Spec.t ->
@@ -47,7 +70,18 @@ val run_trials :
     (default none skipped) and hand each record to [on_record], which is
     called under a single lock and need not synchronize. [on_skip] is
     called (same lock) once per skipped trial — progress meters use it
-    to account for resume. Defaults: 1 domain, chunk 64.
+    to account for resume. Defaults: 1 domain, chunk 64,
+    {!default_supervision} (unsupervised).
+
+    With a deadline set, each trial runs under a cancellation token
+    polled by the engine; a timed-out attempt retries (same seed, so a
+    deterministic trial reproduces; backoff seed-perturbed) up to the
+    retry policy, then journals a [Timeout] record and strikes its cell;
+    a cell with [quarantine_after] strikes degrades, and its remaining
+    trials journal [Quarantined] records without running — which is what
+    bounds a campaign over pathological cells to finitely many deadline
+    waits. A watchdog thread backstops workers wedged outside the
+    engine's poll points by cancelling their attached token.
     @raise Invalid_argument if the spec's protocol does not resolve or
     [domains]/[chunk] are out of range. *)
 
@@ -55,6 +89,7 @@ val run_dir :
   ?domains:int ->
   ?chunk:int ->
   ?max_shrinks_per_cell:int ->
+  ?supervision:supervision ->
   ?resume:bool ->
   ?on_skip:(unit -> unit) ->
   ?observe:(Journal.record -> unit) ->

@@ -12,28 +12,49 @@ type cell_stats = {
       (** the protocol's theorem covers this cell — failures here are
           regressions, not data *)
   trials : int;
-  failures : int;
+  failures : int;  (** [Violation] records only — see {!health} *)
   failure_rate : float;
+  timeouts : int;
+  quarantined : int;
+  retries : int;
   steps : Ffault_stats.Summary.t;  (** per-trial worst ops/process *)
   total_faults : int;
   witnesses : int;
   min_witness_len : int option;
-  mean_wall_us : float;
+  mean_wall_us : float;  (** over trials that actually ran *)
 }
+
+type health = {
+  timeouts : int;
+  quarantined : int;
+  retries : int;
+  degraded_cells : string list;  (** {!Grid.cell_key}s with quarantined trials *)
+  journal : Journal.health option;  (** set by {!of_dir} *)
+}
+(** Harness health, distinct from protocol results: a [Timeout] is the
+    harness giving up, a [Quarantined] trial never ran — neither counts
+    as a failure, both are surfaced here (markdown [## Health] section,
+    JSON ["health"] object — omitted from markdown when all-clean, so
+    unsupervised reports keep their old shape). *)
 
 type t = {
   spec : Spec.t;
   cells : cell_stats list;
   total_trials : int;
   total_failures : int;
+  health : health;
   telemetry : Json.t option;
       (** the run's metrics snapshot ([telemetry.json], written by
           {!Pool.run_dir}); embedded as the report's ["telemetry"]
           object and rendered as a counters table in the markdown *)
 }
 
-val of_records : ?telemetry:Json.t -> Spec.t -> Journal.record list -> t
+val of_records :
+  ?telemetry:Json.t -> ?journal_health:Journal.health -> Spec.t -> Journal.record list -> t
+
 val of_dir : dir:string -> (t, string) result
+(** Also scans the journal file's parse health ({!Journal.health}) into
+    [health.journal]. *)
 
 val to_table : t -> Ffault_stats.Table.t
 val to_markdown : t -> string

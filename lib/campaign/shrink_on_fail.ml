@@ -11,7 +11,7 @@ module Dfs = Ffault_verify.Dfs
    trial's vector replays verbatim under [Dfs.replay] and shrinks under
    [Shrink.witness] with no translation layer. *)
 
-let run_recorded setup ~rate ~seed =
+let run_recorded ?interrupt setup ~rate ~seed =
   let g = Splitmix.create seed in
   let decisions = ref [] in
   let record c =
@@ -42,7 +42,7 @@ let run_recorded setup ~rate ~seed =
       after_step = (fun _ -> []);
     }
   in
-  let report = Check.run_with_driver setup driver in
+  let report = Check.run_with_driver ?interrupt setup driver in
   (report, Array.of_list (List.rev !decisions))
 
 let minimize setup decisions =
@@ -66,9 +66,13 @@ type result = {
   wall_ns : int;
 }
 
-let run_trial ?(shrink = true) setup ~rate ~seed =
+let run_trial ?(shrink = true) ?interrupt setup ~rate ~seed =
   let started = Unix.gettimeofday () in
-  let report, decisions = run_recorded setup ~rate ~seed in
+  let report, decisions = run_recorded ?interrupt setup ~rate ~seed in
+  (* A cancelled run must never shrink or carry a witness: its decision
+     vector was truncated by wall-clock, so it neither replays
+     deterministically nor witnesses anything. (Such runs also have no
+     violations, so both guards below already pass them through.) *)
   let witness =
     if Check.ok report || not shrink then None
     else

@@ -11,6 +11,7 @@
     journaled alongside the trial. *)
 
 val run_recorded :
+  ?interrupt:(unit -> bool) ->
   Ffault_verify.Consensus_check.setup ->
   rate:float ->
   seed:int64 ->
@@ -18,7 +19,9 @@ val run_recorded :
 (** One seeded run. [rate] is the probability that a step with at least
     one budget-permitted fault option takes a fault (uniform over the
     fault options); the schedule choice is uniform over enabled
-    processes. Equal (setup, rate, seed) give equal reports. *)
+    processes. Equal (setup, rate, seed) give equal reports — unless
+    [interrupt] (the engine's cancellation hook, see {!Ffault_sim.Engine})
+    fires, which truncates the run at a wall-clock-dependent point. *)
 
 val minimize :
   Ffault_verify.Consensus_check.setup -> int array -> (int array * Ffault_verify.Consensus_check.report) option
@@ -34,12 +37,15 @@ type result = {
 
 val run_trial :
   ?shrink:bool ->
+  ?interrupt:(unit -> bool) ->
   Ffault_verify.Consensus_check.setup ->
   rate:float ->
   seed:int64 ->
   result
 (** Run one trial; on violation (and [shrink], default true) minimize
-    the witness. *)
+    the witness. An interrupted (cancelled) trial never shrinks and
+    never carries a witness — its truncated decision vector is not
+    deterministically replayable; check [report.result.interrupted]. *)
 
 val replay :
   Ffault_verify.Consensus_check.setup -> int array -> Ffault_verify.Consensus_check.report

@@ -51,6 +51,38 @@ let run ?(quick = false) ?(seed = 0xE8L) () =
       (Fmt.str "%d/%d runs hit the step budget without deciding" s_inf.Mass.failure_count
          s_inf.Mass.runs)
     ~matches:all_diverge;
+  (* The same non-termination as a measured exhaustion curve: under an
+     unbounded silent adversary every process runs its whole per-process
+     step budget and returns the structured [Exhausted] outcome, at every
+     budget we try — raising the budget buys steps, never a decision. *)
+  let budgets = [ 64; 256; 1024 ] in
+  let exhausted_at b =
+    let cfg =
+      { (Check.engine_config setup_inf) with Engine.max_steps_per_proc = b;
+        max_total_steps = b * 16 }
+    in
+    let bodies =
+      Protocol.bodies Consensus.Silent_retry.protocol params_inf
+        ~inputs:setup_inf.Check.inputs
+    in
+    let r =
+      Engine.run cfg ~scheduler:(Scheduler.round_robin ())
+        ~injector:(Injector.always Fault_kind.Silent) ~bodies ()
+    in
+    Array.for_all
+      (function Engine.Exhausted { steps; budget } -> budget = b && steps > b | _ -> false)
+      r.Engine.outcomes
+  in
+  let curve = List.map (fun b -> (b, exhausted_at b)) budgets in
+  let curve_ok = List.for_all snd curve in
+  row ~fault:"silent" ~t:"\xe2\x88\x9e" ~protocol:"retry loop (budget curve)"
+    ~prediction:"exhausts any per-proc step budget"
+    ~observed:
+      (String.concat ", "
+         (List.map
+            (fun (b, ok) -> Fmt.str "budget %d: %s" b (if ok then "exhausted" else "DECIDED"))
+            curve))
+    ~matches:curve_ok;
   (* Invisible: executable reduction to data faults. *)
   let params_inv = Protocol.params ~t:2 ~n_procs:3 ~f:1 () in
   let setup_inv =

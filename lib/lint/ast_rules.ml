@@ -94,6 +94,12 @@ let check ~file structure =
              "%s performs direct terminal IO/exit from library code; return data, or \
               go through Ffault_telemetry / the report layer"
              (dotted path))
+    | [ "Effect"; "Deep"; "try_with" ] | [ "Deep"; "try_with" ] ->
+        emit ~rule:"effect-discipline" loc
+          "Effect.Deep.try_with installs only an effect handler: a body that returns or \
+           raises bypasses the scheduler's Step/Decide bookkeeping (no Decided/Crashed \
+           status is recorded); use match_with with retc, exnc and effc all handling \
+           the protocol"
     | "Obj" :: _ :: _ ->
         emit ~rule:"obj-magic" loc
           (Fmt.str
@@ -169,6 +175,43 @@ let check ~file structure =
       cases
   in
 
+  (* effect-discipline, second half: a [match_with] handler record whose
+     [exnc] merely re-raises drops the crash half of the Step/Decide
+     protocol — a raising process must become a recorded status, not
+     unwind the scheduler. Syntactic: catches [exnc = raise] and
+     [exnc = (fun e -> raise e)]. *)
+  let check_handler_record fields =
+    List.iter
+      (fun ((lbl : Longident.t Location.loc), (v : expression)) ->
+        let reraises =
+          match v.pexp_desc with
+          | Pexp_ident { txt = Longident.Lident "raise"; _ } -> true
+          | Pexp_fun
+              ( _, _,
+                { ppat_desc = Ppat_var { txt = x; _ }; _ },
+                {
+                  pexp_desc =
+                    Pexp_apply
+                      ( { pexp_desc = Pexp_ident { txt = Longident.Lident "raise"; _ }; _ },
+                        [ (_, { pexp_desc = Pexp_ident { txt = Longident.Lident y; _ }; _ }) ] );
+                  _;
+                } ) ->
+              x = y
+          | _ -> false
+        in
+        let is_exnc =
+          match List.rev (flatten lbl.Location.txt) with
+          | "exnc" :: _ -> true
+          | _ -> false
+        in
+        if is_exnc && reraises then
+          emit ~rule:"effect-discipline" v.pexp_loc
+            "this handler's exnc re-raises instead of recording the process as \
+             crashed; a raising body must land in the scheduler's status array \
+             (the Step/Decide protocol), not unwind through it")
+      fields
+  in
+
   let it =
     {
       Ast_iterator.default_iterator with
@@ -178,6 +221,7 @@ let check ~file structure =
           | Pexp_ident { txt; _ } -> check_ident e.pexp_loc txt
           | Pexp_try (_, cases) -> check_cases ~what:`Try cases
           | Pexp_match (_, cases) -> check_cases ~what:`Match cases
+          | Pexp_record (fields, _) -> check_handler_record fields
           | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
             when strip_stdlib (flatten txt) = [ "Hashtbl"; "create" ]
                  && List.exists

@@ -80,6 +80,7 @@ let default =
         ("catch-all", [ "lib" ]);
         ("mli-required", [ "lib" ]);
         ("obj-magic", [ "lib" ]);
+        ("effect-discipline", [ "lib/sim" ]);
       ];
     allows =
       [
@@ -97,6 +98,14 @@ let default =
             "the designated observability layer: allocation-free sharded counters \
              (atomics by design), a process-wide metric registry, and the progress \
              line that owns the terminal";
+        };
+        {
+          prefix = "lib/supervise";
+          rules = [ "raw-atomic" ];
+          why =
+            "the supervision layer's own shared state: heartbeat beacons, watchdog \
+             flags and quarantine strike counters are cross-domain infrastructure, \
+             never part of a simulated execution";
         };
         {
           prefix = "lib/campaign/pool.ml";

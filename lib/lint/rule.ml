@@ -2,7 +2,7 @@ type t = { name : string; severity : Finding.severity; summary : string }
 
 let v name severity summary = { name; severity; summary }
 
-(* The seven substantive rules, in the order they are documented. *)
+(* The eight substantive rules, in the order they are documented. *)
 let substantive =
   [
     v "raw-atomic" Finding.Error
@@ -26,6 +26,10 @@ let substantive =
     v "obj-magic" Finding.Error
       "Obj.* defeats the type system; unsafe representation tricks need an explicit, \
        justified suppression";
+    v "effect-discipline" Finding.Error
+      "simulator effect handlers must run the full Step/Decide protocol: \
+       Effect.Deep.try_with (no retc/exnc) lets a returning or raising process escape \
+       the scheduler's status bookkeeping";
   ]
 
 (* Meta rules: produced by the machinery itself, not subject to policy

@@ -21,10 +21,18 @@ type config = {
   plan_for : int -> Faulty_cas.plan;
   style : Faulty_cas.style;
   t_bound : int option;
+  deadline_s : float option;
 }
 
-let config ?plan_for ?(style = Faulty_cas.Override) ?t_bound ?inputs ~n_domains protocol =
+let config ?plan_for ?(style = Faulty_cas.Override) ?t_bound ?inputs ?deadline_s ~n_domains
+    protocol =
   if n_domains < 1 then invalid_arg "Consensus_mc.config: n_domains < 1";
+  if style = Faulty_cas.Hang && deadline_s = None then
+    invalid_arg "Consensus_mc.config: Hang style requires a deadline (the trial cannot end)";
+  (match deadline_s with
+  | Some s when (not (Float.is_finite s)) || s <= 0.0 ->
+      invalid_arg "Consensus_mc.config: deadline_s must be finite and positive"
+  | _ -> ());
   let inputs =
     match inputs with Some i -> i | None -> Array.init n_domains (fun i -> 100 + i)
   in
@@ -37,14 +45,18 @@ let config ?plan_for ?(style = Faulty_cas.Override) ?t_bound ?inputs ~n_domains 
     | None, (Single_cas | Sweep _ | Silent_retry) -> None
   in
   let plan_for = Option.value plan_for ~default:(fun _ -> Faulty_cas.plan_never) in
-  { protocol; n_domains; inputs; plan_for; style; t_bound }
+  { protocol; n_domains; inputs; plan_for; style; t_bound; deadline_s }
+
+type outcome = Decided of Packed.t | Timed_out of string
 
 type result = {
+  outcomes : outcome array;
   decisions : Packed.t array;
   faults_per_object : int array;
   ops_per_object : int array;
   agreed : bool;
   valid : bool;
+  timeouts : int;
 }
 
 module type DECIDERS = sig
@@ -66,11 +78,17 @@ let deciders cells : (module DECIDERS) =
     let cas i ~expected ~desired = Faulty_cas.cas cells.(i) ~expected ~desired
   end))
 
-let execute cfg =
+let execute ?cancel cfg =
   let n_objects = objects_needed cfg.protocol in
+  let cancel =
+    match cancel, cfg.deadline_s with
+    | Some c, _ -> c
+    | None, Some s -> Cancel.after ~seconds:s
+    | None, None -> Cancel.never
+  in
   let cells =
     Array.init n_objects (fun i ->
-        Faulty_cas.make ~plan:(cfg.plan_for i) ~style:cfg.style ?t_bound:cfg.t_bound
+        Faulty_cas.make ~plan:(cfg.plan_for i) ~style:cfg.style ?t_bound:cfg.t_bound ~cancel
           ~init:Packed.bottom ())
   in
   let (module D) = deciders cells in
@@ -83,22 +101,41 @@ let execute cfg =
         D.staged_decide ~f ~max_stage:(Bounded_faults.max_stage ~f ~t) ~input
     | Silent_retry -> D.silent_retry_decide ~input
   in
-  let decisions = Runner.run_parallel ~domains:cfg.n_domains decide in
+  let run me =
+    match decide me with
+    | v -> Decided v
+    | exception Cancel.Cancelled reason -> Timed_out reason
+  in
+  let outcomes = Runner.run_parallel ~domains:cfg.n_domains run in
+  let decisions =
+    Array.map (function Decided v -> v | Timed_out _ -> Packed.bottom) outcomes
+  in
+  let decided =
+    Array.to_list outcomes
+    |> List.filter_map (function Decided v -> Some v | Timed_out _ -> None)
+  in
+  let timeouts = Array.length outcomes - List.length decided in
+  (* Agreement and validity quantify over processes that decided: a
+     timed-out process violates wait-freedom (counted in [timeouts]), not
+     agreement. With no deadline nothing times out and the semantics
+     coincide with the original all-processes formulation. *)
   let agreed =
-    Array.for_all (fun d -> Packed.equal d decisions.(0)) decisions
+    match decided with [] -> true | d0 :: rest -> List.for_all (Packed.equal d0) rest
   in
   let valid =
-    Array.for_all
+    List.for_all
       (fun d ->
         (not (Packed.is_staged d))
         && (not (Packed.is_bottom d))
         && Array.exists (fun i -> i = Packed.to_int d) cfg.inputs)
-      decisions
+      decided
   in
   {
+    outcomes;
     decisions;
     faults_per_object = Array.map Faulty_cas.observable_faults cells;
     ops_per_object = Array.map Faulty_cas.ops_performed cells;
     agreed;
     valid;
+    timeouts;
   }

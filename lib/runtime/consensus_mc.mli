@@ -22,8 +22,9 @@ type config = {
   n_domains : int;
   inputs : int array;  (** plain non-negative inputs, one per domain *)
   plan_for : int -> Faulty_cas.plan;  (** fault plan per object index *)
-  style : Faulty_cas.style;  (** overriding or silent injections *)
+  style : Faulty_cas.style;  (** overriding, silent or nonresponsive *)
   t_bound : int option;  (** per-object observable-fault cap *)
+  deadline_s : float option;  (** wall-clock trial deadline, seconds *)
 }
 
 val config :
@@ -31,19 +32,37 @@ val config :
   ?style:Faulty_cas.style ->
   ?t_bound:int ->
   ?inputs:int array ->
+  ?deadline_s:float ->
   n_domains:int ->
   protocol ->
   config
 (** Defaults: no faults, overriding style, unbounded t, inputs 100, 101,
-    …. For [Staged] protocols [t_bound] defaults to the protocol's t. *)
+    …, no deadline. For [Staged] protocols [t_bound] defaults to the
+    protocol's t.
+    @raise Invalid_argument if [style] is {!Faulty_cas.Hang} without a
+    deadline (such a trial could never end), or if [deadline_s] is not
+    finite and positive. *)
+
+type outcome =
+  | Decided of Packed.t
+  | Timed_out of string
+      (** the domain's trial was cancelled mid-protocol; carries the
+          cancellation reason (deadline or external cancel) *)
 
 type result = {
+  outcomes : outcome array;  (** per-domain outcome *)
   decisions : Packed.t array;
+      (** per-domain decision; {!Packed.bottom} placeholder for
+          timed-out domains (kept for callers indexing decisions) *)
   faults_per_object : int array;  (** observable faults committed *)
   ops_per_object : int array;
-  agreed : bool;  (** all decisions equal *)
-  valid : bool;  (** every decision is some domain's input *)
+  agreed : bool;  (** all {e decided} values equal (vacuous if none) *)
+  valid : bool;  (** every {e decided} value is some domain's input *)
+  timeouts : int;  (** domains that timed out — wait-freedom losses *)
 }
 
-val execute : config -> result
-(** One full parallel consensus: spawn the domains, decide, audit. *)
+val execute : ?cancel:Cancel.t -> config -> result
+(** One full parallel consensus: spawn the domains, decide, audit.
+    The trial's cancellation token is [cancel] when given (so an external
+    watchdog can abort the trial), else one derived from
+    [cfg.deadline_s], else {!Cancel.never}. *)

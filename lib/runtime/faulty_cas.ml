@@ -20,7 +20,7 @@ let plan_every_kth k =
   if k < 1 then invalid_arg "Faulty_cas.plan_every_kth: k < 1";
   { plan_name = Printf.sprintf "every-%dth" k; fire = (fun ~op_index -> op_index mod k = 0) }
 
-type style = Override | Suppress
+type style = Override | Suppress | Hang
 
 type t = {
   cell : Packed.t Atomic.t;
@@ -29,9 +29,10 @@ type t = {
   t_bound : int option;
   charged : int Atomic.t;
   ops : int Atomic.t;
+  cancel : Cancel.t;
 }
 
-let make ?(plan = plan_never) ?(style = Override) ?t_bound ~init () =
+let make ?(plan = plan_never) ?(style = Override) ?t_bound ?(cancel = Cancel.never) ~init () =
   {
     cell = Atomic.make init;
     plan;
@@ -39,6 +40,7 @@ let make ?(plan = plan_never) ?(style = Override) ?t_bound ~init () =
     t_bound;
     charged = Atomic.make 0;
     ops = Atomic.make 0;
+    cancel;
   }
 
 (* Reserve one fault from the budget; refunded if the injection turns out
@@ -59,16 +61,36 @@ let try_reserve c =
 
 let refund c = ignore (Atomic.fetch_and_add c.charged (-1))
 
-let correct_cas cell ~expected ~desired =
+let correct_cas ~cancel cell ~expected ~desired =
   let rec go () =
     let cur = Atomic.get cell in
     if Packed.equal cur expected then
-      if Atomic.compare_and_set cell expected desired then cur else go ()
+      if Atomic.compare_and_set cell expected desired then cur
+      else begin
+        (* Losing the CAS race is the only spin here; under adversarial
+           contention it can livelock, so poll the token per retry. *)
+        Cancel.check cancel;
+        go ()
+      end
     else cur
   in
   go ()
 
+(* The §3.4 nonresponsive fault: the invocation never returns. The only
+   exit is the cancellation token — callers without a deadline hang, by
+   design (see the .mli). *)
+let hang cancel =
+  while true do
+    Cancel.check cancel;
+    Domain.cpu_relax ()
+  done
+
 let cas c ~expected ~desired =
+  (* Poll at every invocation, not only on contended retries: a livelocked
+     protocol loop (e.g. silent-retry under suppression) performs an
+     unbounded sequence of individually-fast CASes and would otherwise
+     never observe the deadline. *)
+  Cancel.check c.cancel;
   let op_index = Atomic.fetch_and_add c.ops 1 in
   if c.plan.fire ~op_index && try_reserve c then begin
     match c.style with
@@ -83,8 +105,12 @@ let cas c ~expected ~desired =
         let old = Atomic.get c.cell in
         if not (Packed.equal old expected && not (Packed.equal old desired)) then refund c;
         old
+    | Hang ->
+        (* Never unobservable: the caller is stuck, so the charge stands. *)
+        hang c.cancel;
+        assert false
   end
-  else correct_cas c.cell ~expected ~desired
+  else correct_cas ~cancel:c.cancel c.cell ~expected ~desired
 
 let observable_faults c = Atomic.get c.charged
 let ops_performed c = Atomic.get c.ops

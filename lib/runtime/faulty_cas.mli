@@ -40,15 +40,27 @@ type style =
   | Suppress
       (** the silent fault (§3.4): the write is dropped even when the
           comparison succeeds; the returned old value stays truthful *)
+  | Hang
+      (** the nonresponsive fault (§3.4): the invocation never returns.
+          The stuck call spins on the cell's cancellation token and exits
+          only by raising {!Cancel.Cancelled} — give the cell a real
+          token via [make ?cancel] (e.g. a deadline) or the caller hangs
+          forever, which is the faithful-but-unsupervised semantics. *)
 
 type t
 
-val make : ?plan:plan -> ?style:style -> ?t_bound:int -> init:Packed.t -> unit -> t
-(** Defaults: [plan_never], [Override], unbounded t. *)
+val make :
+  ?plan:plan -> ?style:style -> ?t_bound:int -> ?cancel:Cancel.t -> init:Packed.t -> unit -> t
+(** Defaults: [plan_never], [Override], unbounded t, {!Cancel.never}.
+    [cancel] is polled at every {!cas} entry and contended retry (so even
+    a livelocked loop of individually-fast CASes observes it) and inside
+    the {!Hang} spin: a tripped token bounds every invocation. *)
 
 val cas : t -> expected:Packed.t -> desired:Packed.t -> Packed.t
 (** Returns the original content; possibly executes the overriding
-    fault per the plan and budget. *)
+    fault per the plan and budget.
+    @raise Cancel.Cancelled if the cell's token trips while this
+    invocation is spinning (contended retry or a {!Hang} fault). *)
 
 val observable_faults : t -> int
 (** Observable faults committed so far (≤ t_bound when bounded). *)

@@ -42,29 +42,40 @@ let run_tasks ?(chunk = 64) ~domains ~total ~worker ~consume () =
   else begin
     let next = Atomic.make 0 in
     let lock = Mutex.create () in
+    (* Fail-fast poison flag: the first worker exception parks it here and
+       every domain stops claiming chunks at its next loop head, instead of
+       draining the remaining queue before the exception can propagate. *)
+    let first_exn = Atomic.make None in
+    let poisoned () = Atomic.get first_exn <> None in
+    let note e = ignore (Atomic.compare_and_set first_exn None (Some e)) in
     let body () =
       Metrics.add_gauge g_domains 1;
-      let continue = ref true in
-      while !continue do
-        let start = Atomic.fetch_and_add next chunk in
-        if start >= total then continue := false
-        else begin
-          let stop = min total (start + chunk) in
-          Metrics.incr m_chunks;
-          Metrics.add m_tasks (stop - start);
-          (* Compute the whole chunk outside the lock; publish under it. *)
-          let results =
-            Tracer.with_span ~cat:"runner" "chunk" (fun () ->
-                Array.init (stop - start) (fun k -> worker (start + k)))
-          in
-          Mutex.lock lock;
-          Fun.protect
-            ~finally:(fun () -> Mutex.unlock lock)
-            (fun () ->
-              Tracer.with_span ~cat:"runner" "consume" (fun () ->
-                  Array.iteri (fun k r -> consume (start + k) r) results))
-        end
-      done;
+      (try
+         let continue = ref true in
+         while !continue do
+           if poisoned () then continue := false
+           else begin
+             let start = Atomic.fetch_and_add next chunk in
+             if start >= total then continue := false
+             else begin
+               let stop = min total (start + chunk) in
+               Metrics.incr m_chunks;
+               Metrics.add m_tasks (stop - start);
+               (* Compute the whole chunk outside the lock; publish under it. *)
+               let results =
+                 Tracer.with_span ~cat:"runner" "chunk" (fun () ->
+                     Array.init (stop - start) (fun k -> worker (start + k)))
+               in
+               Mutex.lock lock;
+               Fun.protect
+                 ~finally:(fun () -> Mutex.unlock lock)
+                 (fun () ->
+                   Tracer.with_span ~cat:"runner" "consume" (fun () ->
+                       Array.iteri (fun k r -> consume (start + k) r) results))
+             end
+           end
+         done
+       with e -> note e);
       Metrics.add_gauge g_domains (-1)
     in
     (* No start barrier here, unlike [run_parallel]: a throughput pool
@@ -72,11 +83,9 @@ let run_tasks ?(chunk = 64) ~domains ~total ~worker ~consume () =
        pathological when domains outnumber cores. *)
     Tracer.with_span ~cat:"runner" "run_tasks" (fun () ->
         let handles = Array.init (domains - 1) (fun _ -> Domain.spawn body) in
-        let first_exn = ref None in
-        let note e = match !first_exn with None -> first_exn := Some e | Some _ -> () in
-        (try body () with e -> note e);
-        Array.iter (fun h -> try Domain.join h with e -> note e) handles;
-        match !first_exn with None -> () | Some e -> raise e)
+        body ();
+        Array.iter Domain.join handles;
+        match Atomic.get first_exn with None -> () | Some e -> raise e)
   end
 
 let recommended_domains () = min 8 (Domain.recommended_domain_count ())

@@ -31,8 +31,16 @@ val run_tasks :
     in index order within a chunk, with chunks interleaved arbitrarily.
     [worker] runs concurrently and must only touch shared state through
     thread-safe means. With [domains = 1] everything runs sequentially
-    on the calling domain in index order. A worker exception propagates
-    on join (after the other domains drain the remaining queue).
+    on the calling domain in index order.
+
+    {b Fail-fast:} the first exception from [worker] or [consume]
+    poisons the queue — sibling domains finish at most the chunk they
+    are currently computing and stop claiming new ones — and that first
+    exception is re-raised after all domains have joined. Tasks past the
+    poisoning point may never run, and results of chunks abandoned
+    mid-flight are not [consume]d; callers needing exactly-once
+    accounting must track completion themselves (the campaign journal
+    does).
     @raise Invalid_argument if [domains < 1], [chunk < 1] or
     [total < 0]. *)
 

@@ -51,12 +51,20 @@ type driver = {
   after_step : Data_fault.ctx -> Data_fault.event list;
 }
 
-type proc_outcome = Decided of Value.t | Hung | Step_limited | Crashed of string
+type proc_outcome =
+  | Decided of Value.t
+  | Hung
+  | Exhausted of { steps : int; budget : int }
+  | Step_limited
+  | Cancelled
+  | Crashed of string
 
 let pp_proc_outcome ppf = function
   | Decided v -> Fmt.pf ppf "decided %a" Value.pp v
   | Hung -> Fmt.string ppf "hung"
+  | Exhausted { steps; budget } -> Fmt.pf ppf "exhausted (%d steps, budget %d)" steps budget
   | Step_limited -> Fmt.string ppf "step-limited"
+  | Cancelled -> Fmt.string ppf "cancelled"
   | Crashed msg -> Fmt.pf ppf "crashed: %s" msg
 
 type result = {
@@ -67,6 +75,7 @@ type result = {
   trace : Trace.t;
   budget : Budget.t;
   total_limit_hit : bool;
+  interrupted : bool;
 }
 
 let decided_values r =
@@ -85,11 +94,21 @@ type config = {
   payload_palette : Value.t list;
   max_steps_per_proc : int;
   max_total_steps : int;
+  interrupt : unit -> bool;
 }
 
 let config ?(allowed_faults = [ Fault_kind.Overriding ]) ?(payload_palette = [])
-    ?(max_steps_per_proc = 10_000) ?(max_total_steps = 1_000_000) ~world ~budget () =
-  { world; budget; allowed_faults; payload_palette; max_steps_per_proc; max_total_steps }
+    ?(max_steps_per_proc = 10_000) ?(max_total_steps = 1_000_000)
+    ?(interrupt = fun () -> false) ~world ~budget () =
+  {
+    world;
+    budget;
+    allowed_faults;
+    payload_palette;
+    max_steps_per_proc;
+    max_total_steps;
+    interrupt;
+  }
 
 (* Per-process runtime status. *)
 type status =
@@ -298,11 +317,23 @@ let run_with_driver cfg driver ~bodies =
   in
 
   let total_limit_hit = ref false in
+  let interrupted = ref false in
+  (* Poll the interrupt hook every 2^8 steps: cheap enough to leave on in
+     the innermost loop, fine-grained enough that a watchdog deadline
+     lands within microseconds of tripping. Step 0 polls, so an
+     already-tripped token cancels before any work. *)
+  let poll_interrupt () =
+    !step_counter land 0xff = 0 && cfg.interrupt () && begin
+      interrupted := true;
+      true
+    end
+  in
   let rec loop () =
     match enabled () with
     | [] -> ()
     | en ->
         if !step_counter >= cfg.max_total_steps then total_limit_hit := true
+        else if poll_interrupt () then ()
         else begin
           let proc = driver.choose_proc ~enabled:en ~step:!step_counter in
           if not (List.mem proc en) then
@@ -326,13 +357,17 @@ let run_with_driver cfg driver ~bodies =
     loop;
 
   let outcomes =
-    Array.map
-      (function
+    Array.mapi
+      (fun i st ->
+        match st with
         | Finished v -> Decided v
         | Hung_at _ -> Hung
-        | Limited -> Step_limited
+        | Limited -> Exhausted { steps = steps_taken.(i); budget = cfg.max_steps_per_proc }
         | Failed msg -> Crashed msg
-        | Pending _ -> Step_limited (* total-step budget ran out while runnable *))
+        | Pending _ ->
+            (* still runnable at loop exit: cancelled, or the total-step
+               budget ran out with work left *)
+            if !interrupted then Cancelled else Step_limited)
       statuses
   in
   {
@@ -343,6 +378,7 @@ let run_with_driver cfg driver ~bodies =
     trace = List.rev !trace_rev;
     budget = cfg.budget;
     total_limit_hit = !total_limit_hit;
+    interrupted = !interrupted;
   }
 
 let run cfg ~scheduler ~injector ?(data_faults = Data_fault.never) ~bodies () =

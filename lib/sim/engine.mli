@@ -44,7 +44,15 @@ type driver = {
 type proc_outcome =
   | Decided of Value.t  (** the body returned this value *)
   | Hung  (** swallowed by a nonresponsive fault *)
-  | Step_limited  (** exceeded [max_steps_per_proc] — a wait-freedom failure *)
+  | Exhausted of { steps : int; budget : int }
+      (** ran [steps] ≥ [budget] = [max_steps_per_proc] operation steps
+          without deciding — the structured per-process step-budget
+          outcome, turning silent non-termination (e.g. unbounded silent
+          faults, §3.4) into a measured data point rather than a hang *)
+  | Step_limited
+      (** still runnable when [max_total_steps] ran out — the {e run}'s
+          budget, not this process's; see [total_limit_hit] *)
+  | Cancelled  (** still runnable when the [interrupt] hook tripped *)
   | Crashed of string  (** the body raised *)
 
 val pp_proc_outcome : Format.formatter -> proc_outcome -> unit
@@ -57,6 +65,7 @@ type result = {
   trace : Trace.t;
   budget : Fault.Budget.t;  (** final fault accounting *)
   total_limit_hit : bool;  (** [max_total_steps] exhausted with work left *)
+  interrupted : bool;  (** the [interrupt] hook ended the run early *)
 }
 
 val decided_values : result -> (int * Value.t) list
@@ -75,6 +84,12 @@ type config = {
           propose payloads outside the palette *)
   max_steps_per_proc : int;
   max_total_steps : int;
+  interrupt : unit -> bool;
+      (** cooperative cancellation hook, polled every 256 steps from the
+          main loop; once it returns [true] the run stops, marks runnable
+          processes [Cancelled] and sets [interrupted]. Must be cheap and
+          thread-safe (typically [Cancel.cancelled] on a token a watchdog
+          may trip). *)
 }
 
 val config :
@@ -82,12 +97,14 @@ val config :
   ?payload_palette:Value.t list ->
   ?max_steps_per_proc:int ->
   ?max_total_steps:int ->
+  ?interrupt:(unit -> bool) ->
   world:World.t ->
   budget:Fault.Budget.t ->
   unit ->
   config
 (** Defaults: [allowed_faults] = [[Overriding]], empty palette,
-    [max_steps_per_proc] = 10_000, [max_total_steps] = 1_000_000. *)
+    [max_steps_per_proc] = 10_000, [max_total_steps] = 1_000_000,
+    [interrupt] never fires. *)
 
 val run_with_driver : config -> driver -> bodies:(unit -> Value.t) array -> result
 (** [bodies.(i)] is process i's program; it runs to its first operation at

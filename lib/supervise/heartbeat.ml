@@ -1,0 +1,25 @@
+module Clock = Ffault_telemetry.Clock
+module Metrics = Ffault_telemetry.Metrics
+
+let m_beats = Metrics.counter "supervise.heartbeats"
+
+(* -1 = never beat. Plain int Atomics, one per slot: a beat is a single
+   store on the slot's own word, so beacons never contend with each
+   other. (No cache padding — beats are per-trial, not per-step.) *)
+type t = { last : int Atomic.t array; now : unit -> int }
+
+let create ?(now = Clock.now_ns) ~slots () =
+  if slots < 1 then invalid_arg "Heartbeat.create: slots < 1";
+  { last = Array.init slots (fun _ -> Atomic.make (-1)); now }
+
+let slots t = Array.length t.last
+
+let beat t ~slot =
+  Atomic.set t.last.(slot) (t.now ());
+  Metrics.incr m_beats
+
+let last_ns t ~slot =
+  match Atomic.get t.last.(slot) with -1 -> None | ts -> Some ts
+
+let age_ns t ~slot =
+  match last_ns t ~slot with None -> None | Some ts -> Some (max 0 (t.now () - ts))

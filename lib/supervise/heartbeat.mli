@@ -1,0 +1,31 @@
+(** Per-worker liveness beacons.
+
+    Each worker slot (a campaign pool domain, a multicore trial) calls
+    {!beat} at natural progress points — trial boundaries, retry loops —
+    and the {!Watchdog} judges staleness from the recorded timestamps.
+    Beating is one atomic store on the slot's own word plus a sharded
+    counter bump; it is safe from any domain or thread.
+
+    Timestamps come from the monotonic clock by default; tests inject a
+    fake clock through [~now]. *)
+
+type t
+
+val create : ?now:(unit -> int) -> slots:int -> unit -> t
+(** [slots] independent beacons, all initially silent. [now] defaults to
+    {!Ffault_telemetry.Clock.now_ns}.
+    @raise Invalid_argument if [slots < 1]. *)
+
+val slots : t -> int
+
+val beat : t -> slot:int -> unit
+(** Record that [slot] is alive now. Bumps the [supervise.heartbeats]
+    counter. *)
+
+val last_ns : t -> slot:int -> int option
+(** Monotonic timestamp of [slot]'s last beat, or [None] if it never
+    beat. *)
+
+val age_ns : t -> slot:int -> int option
+(** Nanoseconds since [slot]'s last beat ([None] if it never beat).
+    Never negative. *)

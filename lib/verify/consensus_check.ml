@@ -45,13 +45,13 @@ let budget s =
   Fault.Budget.create ?victims:s.victims ~max_faulty_objects:s.params.Protocol.f
     ~max_faults_per_object:s.params.Protocol.t ()
 
-let engine_config s =
+let engine_config ?interrupt s =
   let hint = s.protocol.Protocol.max_steps_hint s.params in
   let per_proc = s.step_slack * hint in
   Engine.config ~allowed_faults:s.allowed_faults ~payload_palette:s.payload_palette
     ~max_steps_per_proc:per_proc
     ~max_total_steps:(per_proc * s.params.Protocol.n_procs)
-    ~world:(world s) ~budget:(budget s) ()
+    ?interrupt ~world:(world s) ~budget:(budget s) ()
 
 let check_result s (r : Engine.result) =
   let violations = ref [] in
@@ -61,8 +61,14 @@ let check_result s (r : Engine.result) =
       match outcome with
       | Engine.Decided v ->
           if not (Array.exists (Value.equal v) s.inputs) then add (Validity { proc; decided = v })
-      | Engine.Hung | Engine.Step_limited | Engine.Crashed _ ->
-          add (Wait_freedom { proc; outcome }))
+      | Engine.Hung | Engine.Exhausted _ | Engine.Step_limited | Engine.Crashed _ ->
+          add (Wait_freedom { proc; outcome })
+      | Engine.Cancelled ->
+          (* The harness truncated the run (deadline/watchdog), so no
+             verdict can be drawn about the protocol: not a violation.
+             Callers must consult [result.interrupted] and report the run
+             as timed out, never as passing. *)
+          ())
     r.Engine.outcomes;
   (match Engine.decided_values r with
   | [] | [ _ ] -> ()
@@ -76,14 +82,14 @@ let check_result s (r : Engine.result) =
 
 let setup_name s = Fmt.str "%s %a" s.protocol.Protocol.name Protocol.pp_params s.params
 
-let run s ~scheduler ~injector ?data_faults () =
-  let cfg = engine_config s in
+let run ?interrupt s ~scheduler ~injector ?data_faults () =
+  let cfg = engine_config ?interrupt s in
   let bodies = Protocol.bodies s.protocol s.params ~inputs:s.inputs in
   let result = Engine.run cfg ~scheduler ~injector ?data_faults ~bodies () in
   { violations = check_result s result; result; setup_name = setup_name s }
 
-let run_with_driver s driver =
-  let cfg = engine_config s in
+let run_with_driver ?interrupt s driver =
+  let cfg = engine_config ?interrupt s in
   let bodies = Protocol.bodies s.protocol s.params ~inputs:s.inputs in
   let result = Engine.run_with_driver cfg driver ~bodies in
   { violations = check_result s result; result; setup_name = setup_name s }

@@ -19,7 +19,11 @@ type violation =
   | Consistency of { proc_a : int; val_a : Value.t; proc_b : int; val_b : Value.t }
       (** two processes decided differently *)
   | Wait_freedom of { proc : int; outcome : Engine.proc_outcome }
-      (** a process failed to decide (step-limited, hung, or crashed) *)
+      (** a process failed to decide (step-limited, exhausted, hung, or
+          crashed). {!Engine.Cancelled} is deliberately {e not} a
+          violation: the harness truncated the run, so no verdict exists —
+          check [result.interrupted] and report such runs as timed out,
+          never as passing. *)
 
 val pp_violation : Format.formatter -> violation -> unit
 
@@ -58,13 +62,15 @@ val setup :
 
 val world : setup -> World.t
 
-val engine_config : setup -> Engine.config
-(** A fresh configuration (fresh budget) for one run. *)
+val engine_config : ?interrupt:(unit -> bool) -> setup -> Engine.config
+(** A fresh configuration (fresh budget) for one run. [interrupt] is the
+    engine's cooperative-cancellation hook (see {!Engine.config}). *)
 
 val check_result : setup -> Engine.result -> violation list
 (** Judge a finished run. *)
 
 val run :
+  ?interrupt:(unit -> bool) ->
   setup ->
   scheduler:Scheduler.t ->
   injector:Fault.Injector.t ->
@@ -72,4 +78,4 @@ val run :
   unit ->
   report
 
-val run_with_driver : setup -> Engine.driver -> report
+val run_with_driver : ?interrupt:(unit -> bool) -> setup -> Engine.driver -> report

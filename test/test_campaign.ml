@@ -166,6 +166,23 @@ let test_grid_seed_determinism () =
   let distinct = List.sort_uniq Int64.compare seeds in
   check Alcotest.int "no seed collisions" 40 (List.length distinct)
 
+let test_grid_envelope_kind_aware () =
+  (* Thm 6 is stated for overriding faults: the same (f, t, n) cell is in
+     envelope with the overriding kind and out with any other — a
+     nonresponsive cell's failures are expected data, never theorem
+     violations. silent-retry's theorem covers the silent kind instead. *)
+  let fig3 = Result.get_ok (Spec.resolve_protocol "fig3") in
+  let cell kind = { Grid.f = 2; t = Some 1; n = 3; kind; rate = 0.3 } in
+  check Alcotest.bool "overriding in" true (Grid.in_envelope (cell Fault_kind.Overriding) fig3);
+  check Alcotest.bool "nonresponsive out" false
+    (Grid.in_envelope (cell Fault_kind.Nonresponsive) fig3);
+  check Alcotest.bool "silent out" false (Grid.in_envelope (cell Fault_kind.Silent) fig3);
+  let retry = Result.get_ok (Spec.resolve_protocol "silent-retry") in
+  check Alcotest.bool "silent-retry: silent in" true
+    (Grid.in_envelope (cell Fault_kind.Silent) retry);
+  check Alcotest.bool "silent-retry: overriding out" false
+    (Grid.in_envelope (cell Fault_kind.Overriding) retry)
+
 (* ---- recorded trials: determinism, replay, shrink ---- *)
 
 let failing_setup () =
@@ -211,6 +228,8 @@ let sample_record ?(trial = 17) ?(ok = false) ?witness () =
     cell = { Grid.f = 2; t = Some 1; n = 3; kind = Fault_kind.Overriding; rate = 0.4 };
     seed = -5530000000000000001L;
     ok;
+    outcome = (if ok then Journal.Pass else Journal.Violation);
+    retries = 0;
     violations = (if ok then [] else [ "consistency: procs decided {1, 2}" ]);
     steps = 41;
     max_steps = 17;
@@ -231,6 +250,8 @@ let test_journal_record_roundtrip () =
       sample_record ~ok:true ();
       sample_record ~witness:[| 1; 0; 2 |] ();
       { (sample_record ()) with cell = { (sample_record ()).Journal.cell with Grid.t = None } };
+      { (sample_record ()) with Journal.outcome = Journal.Timeout; retries = 2; violations = [] };
+      { (sample_record ()) with Journal.outcome = Journal.Quarantined; violations = [] };
     ]
 
 let test_journal_write_read () =
@@ -327,6 +348,85 @@ let test_run_dir_resume_after_kill () =
   | Error m -> Alcotest.fail m
   | Ok s -> check Alcotest.int "nothing left to run" 0 s.Pool.executed
 
+(* ---- supervised execution: deadline, retry, quarantine ---- *)
+
+(* A nanosecond deadline trips before the engine's first poll, so every
+   attempt of every trial times out — which drives the whole supervised
+   path deterministically: retry, give-up, strike, quarantine. *)
+let test_pool_supervised_deadline_quarantine () =
+  let spec = healthy_spec ~trials:20 ~name:"supervised" () in
+  let n_cells = Grid.n_cells spec in
+  let supervision = Pool.supervision ~deadline_s:1e-9 ~max_retries:1 ~quarantine_after:2 () in
+  let records = ref [] in
+  let summary =
+    Pool.run_trials ~domains:1 ~supervision
+      ~on_record:(fun r -> records := r :: !records)
+      spec
+  in
+  (* per cell (sequential on 1 domain): 2 give-ups of 1 retry each, then
+     the remaining 18 trials quarantined *)
+  check Alcotest.int "every trial accounted" (Grid.total_trials spec) summary.Pool.executed;
+  check Alcotest.int "no protocol verdicts" 0 summary.Pool.failures;
+  check Alcotest.int "2 timeouts per cell" (2 * n_cells) summary.Pool.timeouts;
+  check Alcotest.int "1 retry per timeout" (2 * n_cells) summary.Pool.retried;
+  check Alcotest.int "the rest quarantined" (18 * n_cells) summary.Pool.quarantined;
+  List.iter
+    (fun (r : Journal.record) ->
+      match r.Journal.outcome with
+      | Journal.Timeout ->
+          check Alcotest.bool "timeout is not ok" false r.Journal.ok;
+          check Alcotest.int "retries journaled" 1 r.Journal.retries;
+          check Alcotest.bool "no witness from a truncated run" true (r.Journal.witness = None)
+      | Journal.Quarantined ->
+          check Alcotest.bool "quarantined never ran" true
+            (r.Journal.steps = 0 && r.Journal.witness = None)
+      | Journal.Pass | Journal.Violation ->
+          Alcotest.fail "no trial can finish under a 1ns deadline")
+    !records;
+  (* the report separates harness health from protocol failures *)
+  let report = Report.of_records spec !records in
+  check Alcotest.int "report: no failures" 0 report.Report.total_failures;
+  check Alcotest.int "report: timeouts" (2 * n_cells) report.Report.health.Report.timeouts;
+  check Alcotest.int "report: quarantined" (18 * n_cells)
+    report.Report.health.Report.quarantined;
+  check Alcotest.int "report: every cell degraded" n_cells
+    (List.length report.Report.health.Report.degraded_cells)
+
+let test_pool_unsupervised_summary_unchanged () =
+  (* default_supervision has no deadline: the supervised fields stay 0
+     and results are the plain deterministic path *)
+  let spec = healthy_spec ~trials:5 () in
+  let summary, _ = run_collect ~domains:2 spec in
+  check Alcotest.int "no timeouts" 0 summary.Pool.timeouts;
+  check Alcotest.int "no retries" 0 summary.Pool.retried;
+  check Alcotest.int "no quarantine" 0 summary.Pool.quarantined
+
+let test_run_dir_supervised_resume_noop () =
+  let root = tmp_root () in
+  let spec = healthy_spec ~trials:10 ~name:"supervised-dir" () in
+  let supervision = Pool.supervision ~deadline_s:1e-9 ~max_retries:0 ~quarantine_after:1 () in
+  (match Pool.run_dir ~domains:2 ~supervision ~root spec with
+  | Error m -> Alcotest.fail m
+  | Ok s ->
+      check Alcotest.int "all trials journaled" (Grid.total_trials spec) s.Pool.executed;
+      check Alcotest.bool "campaign degraded" true (s.Pool.quarantined > 0));
+  (* resume (unsupervised): quarantined records count as done — they must
+     not be resurrected *)
+  match Pool.run_dir ~domains:2 ~resume:true ~root spec with
+  | Error m -> Alcotest.fail m
+  | Ok s -> check Alcotest.int "nothing resurrected" 0 s.Pool.executed
+
+let test_supervision_validation () =
+  (match Pool.supervision ~deadline_s:0.0 () with
+  | _ -> Alcotest.fail "zero deadline must be rejected"
+  | exception Invalid_argument _ -> ());
+  (match Pool.supervision ~quarantine_after:0 () with
+  | _ -> Alcotest.fail "quarantine_after 0 must be rejected"
+  | exception Invalid_argument _ -> ());
+  match Pool.supervision ~max_retries:(-1) () with
+  | _ -> Alcotest.fail "negative retries must be rejected"
+  | exception Invalid_argument _ -> ()
+
 (* ---- crash mid-append: torn-tail recovery ---- *)
 
 let test_journal_recover_unit () =
@@ -362,6 +462,55 @@ let test_journal_recover_unit () =
   (* Missing and empty files are no-ops. *)
   let r = Journal.recover ~path:(Filename.concat root "absent.jsonl") in
   check Alcotest.bool "missing file: no-op" true (r.Journal.warning = None)
+
+let test_journal_interior_torn_and_health () =
+  let root = tmp_root () in
+  let path = Filename.concat root "journal.jsonl" in
+  let w = Journal.create_writer ~path in
+  Journal.append w (sample_record ~trial:0 ());
+  Journal.close_writer w;
+  (* Interior damage: a garbage line *between* valid records — something
+     sequential flushed appends cannot produce. *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{corrupted beyond parsing}\n";
+  output_string oc (Journal.to_line (sample_record ~trial:1 ()) ^ "\n");
+  close_out oc;
+  let r = Journal.recover ~path in
+  check Alcotest.int "interior damage is not a torn tail" 0 r.Journal.dropped_bytes;
+  check Alcotest.int "interior torn counted" 1 r.Journal.interior_torn;
+  check Alcotest.bool "warned" true (r.Journal.warning <> None);
+  check Alcotest.int "valid records still readable" 2 (Journal.count ~path);
+  let h = Journal.health ~path in
+  check Alcotest.int "health: lines" 3 h.Journal.h_lines;
+  check Alcotest.int "health: parsed" 2 h.Journal.h_parsed;
+  check Alcotest.int "health: malformed" 1 h.Journal.h_malformed;
+  (* missing file is healthy *)
+  let h = Journal.health ~path:(Filename.concat root "absent.jsonl") in
+  check Alcotest.int "missing: zeros" 0 (h.Journal.h_lines + h.Journal.h_parsed + h.Journal.h_malformed)
+
+let test_journal_legacy_line_compat () =
+  (* A pre-supervision journal line has no outcome/retries: readers must
+     infer them from ok, so old campaigns keep resuming and reporting. *)
+  let legacy =
+    "{\"trial\":7,\"f\":2,\"t\":1,\"n\":3,\"kind\":\"overriding\",\"rate\":0.4,\
+     \"seed\":\"-5530000000000000001\",\"ok\":true,\"violations\":[],\"steps\":41,\
+     \"max_steps\":17,\"stage\":3,\"faults\":2,\"wall_us\":180}"
+  in
+  (match Journal.of_line legacy with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+      check Alcotest.bool "ok=true infers Pass" true (r.Journal.outcome = Journal.Pass);
+      check Alcotest.int "retries default 0" 0 r.Journal.retries);
+  let legacy_fail =
+    "{\"trial\":8,\"f\":2,\"t\":1,\"n\":3,\"kind\":\"overriding\",\"rate\":0.4,\
+     \"seed\":\"1\",\"ok\":false,\"violations\":[\"v\"],\"steps\":4,\"max_steps\":2,\
+     \"stage\":0,\"faults\":1,\"wall_us\":9}"
+  in
+  match Journal.of_line legacy_fail with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+      check Alcotest.bool "ok=false infers Violation" true
+        (r.Journal.outcome = Journal.Violation)
 
 let test_resume_after_torn_tail () =
   let root = tmp_root () in
@@ -441,7 +590,7 @@ let test_report_diff_detects_regression () =
     List.map
       (fun r ->
         if r.Journal.trial < spec.Spec.trials then
-          { r with Journal.ok = false; violations = [ "doctored" ] }
+          { r with Journal.ok = false; outcome = Journal.Violation; violations = [ "doctored" ] }
         else r)
       records
   in
@@ -471,6 +620,7 @@ let suites =
       [
         Alcotest.test_case "shape" `Quick test_grid_shape;
         Alcotest.test_case "seed determinism" `Quick test_grid_seed_determinism;
+        Alcotest.test_case "envelope is kind-aware" `Quick test_grid_envelope_kind_aware;
       ] );
     ( "campaign.trial",
       [
@@ -484,6 +634,8 @@ let suites =
         Alcotest.test_case "write/read" `Quick test_journal_write_read;
         Alcotest.test_case "torn line" `Quick test_journal_tolerates_torn_line;
         Alcotest.test_case "recover torn tail" `Quick test_journal_recover_unit;
+        Alcotest.test_case "interior torn + health" `Quick test_journal_interior_torn_and_health;
+        Alcotest.test_case "legacy line compat" `Quick test_journal_legacy_line_compat;
       ] );
     ( "campaign.pool",
       [
@@ -493,6 +645,16 @@ let suites =
         Alcotest.test_case "resume after torn tail" `Quick test_resume_after_torn_tail;
         Alcotest.test_case "clobber + mismatch guards" `Quick
           test_run_dir_refuses_clobber_and_mismatch;
+      ] );
+    ( "campaign.supervised",
+      [
+        Alcotest.test_case "deadline + retry + quarantine" `Quick
+          test_pool_supervised_deadline_quarantine;
+        Alcotest.test_case "unsupervised fields stay zero" `Quick
+          test_pool_unsupervised_summary_unchanged;
+        Alcotest.test_case "quarantined survive resume" `Quick
+          test_run_dir_supervised_resume_noop;
+        Alcotest.test_case "validation" `Quick test_supervision_validation;
       ] );
     ( "campaign.report",
       [

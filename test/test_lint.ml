@@ -139,6 +139,47 @@ let test_catch_all_spared () =
   in
   check Alcotest.int "specific and re-raising fine" 0 (count_rule "catch-all" o)
 
+(* ---- effect-discipline ---- *)
+
+let test_effect_discipline_fires () =
+  (* try_with has no retc/exnc: a deciding or crashing body escapes the
+     scheduler's bookkeeping *)
+  let o =
+    lint ~file:"lib/sim/fixture.ml"
+      "let f body = Effect.Deep.try_with body () { Effect.Deep.effc = (fun _ -> None) }\n"
+  in
+  check Alcotest.int "try_with flagged" 1 (count_rule "effect-discipline" o);
+  (* a full handler whose exnc merely re-raises drops the crash half *)
+  let o =
+    lint ~file:"lib/sim/fixture.ml"
+      "open Effect.Deep\n\
+       let f body st =\n\
+       \  match_with body ()\n\
+       \    { retc = (fun v -> st := Some v); exnc = raise; effc = (fun _ -> None) }\n"
+  in
+  check Alcotest.int "re-raising exnc flagged" 1 (count_rule "effect-discipline" o)
+
+let test_effect_discipline_spared () =
+  (* the full Step/Decide protocol: every exit lands in a status *)
+  let o =
+    lint ~file:"lib/sim/fixture.ml"
+      "open Effect.Deep\n\
+       let f body st =\n\
+       \  match_with body ()\n\
+       \    {\n\
+       \      retc = (fun v -> st := `Done v);\n\
+       \      exnc = (fun e -> st := `Failed e);\n\
+       \      effc = (fun _ -> None);\n\
+       \    }\n"
+  in
+  check Alcotest.int "full handler fine" 0 (count_rule "effect-discipline" o);
+  (* out of scope: effects outside the simulator are not its protocol *)
+  let o =
+    lint ~file:"lib/campaign/fixture.ml"
+      "let f body = Effect.Deep.try_with body () { Effect.Deep.effc = (fun _ -> None) }\n"
+  in
+  check Alcotest.int "out of scope" 0 (count_rule "effect-discipline" o)
+
 (* ---- obj-magic ---- *)
 
 let test_obj_magic_fires () =
@@ -367,12 +408,12 @@ let test_report_json () =
 (* ---- the lint on this repo's own invariants ---- *)
 
 let test_rule_registry () =
-  check Alcotest.int "seven substantive rules" 7 (List.length Lint.Rule.substantive);
+  check Alcotest.int "eight substantive rules" 8 (List.length Lint.Rule.substantive);
   List.iter
     (fun name ->
       check Alcotest.bool (Fmt.str "%s registered" name) true (Lint.Rule.find name <> None))
     [ "raw-atomic"; "nondeterminism"; "toplevel-mutable"; "io-in-lib"; "catch-all";
-      "mli-required"; "obj-magic" ];
+      "mli-required"; "obj-magic"; "effect-discipline" ];
   check Alcotest.bool "parse-error is meta" true (Lint.Rule.is_meta "parse-error");
   check Alcotest.bool "raw-atomic is not" false (Lint.Rule.is_meta "raw-atomic")
 
@@ -390,6 +431,8 @@ let suites =
         Alcotest.test_case "io-in-lib spared" `Quick test_io_in_lib_spared;
         Alcotest.test_case "catch-all fires" `Quick test_catch_all_fires;
         Alcotest.test_case "catch-all spared" `Quick test_catch_all_spared;
+        Alcotest.test_case "effect-discipline fires" `Quick test_effect_discipline_fires;
+        Alcotest.test_case "effect-discipline spared" `Quick test_effect_discipline_spared;
         Alcotest.test_case "obj-magic fires" `Quick test_obj_magic_fires;
         Alcotest.test_case "obj-magic spared" `Quick test_obj_magic_spared;
         Alcotest.test_case "mli-required" `Quick test_mli_required;

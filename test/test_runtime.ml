@@ -6,6 +6,7 @@ module Packed = R.Packed
 module Faulty_cas = R.Faulty_cas
 module Runner = R.Runner
 module Consensus_mc = R.Consensus_mc
+module Cancel = R.Cancel
 open Ffault_objects
 
 let check = Alcotest.check
@@ -211,6 +212,73 @@ let test_run_tasks_consume_serialized () =
     ();
   check Alcotest.int "no lost consume" (999 * 1000 / 2) !sum
 
+let test_run_tasks_fail_fast () =
+  (* The first exception poisons the queue: the surviving domain must
+     stop claiming chunks instead of draining the remaining ~10^6 tasks.
+     The margin is generous — without fail-fast, every task executes. *)
+  let executed = Atomic.make 0 in
+  let total = 1_000_000 in
+  (match
+     Runner.run_tasks ~chunk:1 ~domains:2 ~total
+       ~worker:(fun i ->
+         ignore (Atomic.fetch_and_add executed 1);
+         if i = 0 then failwith "poison";
+         i)
+       ~consume:(fun _ _ -> ())
+       ()
+   with
+  | () -> Alcotest.fail "expected the poison exception"
+  | exception Failure m -> check Alcotest.string "first exception surfaced" "poison" m);
+  check Alcotest.bool
+    (Fmt.str "siblings stopped promptly (%d executed)" (Atomic.get executed))
+    true
+    (Atomic.get executed < total / 10)
+
+(* ---- Cancel ---- *)
+
+let test_cancel_first_reason_wins () =
+  let c = Cancel.create () in
+  check Alcotest.bool "fresh token untripped" false (Cancel.cancelled c);
+  check Alcotest.(option string) "no reason yet" None (Cancel.reason c);
+  Cancel.cancel c ~reason:"first";
+  Cancel.cancel c ~reason:"second";
+  check Alcotest.bool "tripped" true (Cancel.cancelled c);
+  check Alcotest.(option string) "first reason wins" (Some "first") (Cancel.reason c);
+  match Cancel.check c with
+  | () -> Alcotest.fail "check on a tripped token must raise"
+  | exception Cancel.Cancelled r -> check Alcotest.string "check carries the reason" "first" r
+
+let test_cancel_deadline_fake_clock () =
+  let t = ref 0 in
+  let c = Cancel.create ~deadline_ns:100 ~now:(fun () -> !t) () in
+  check Alcotest.bool "before the deadline" false (Cancel.cancelled c);
+  t := 99;
+  check Alcotest.bool "still before" false (Cancel.cancelled c);
+  t := 100;
+  check Alcotest.bool "the deadline instant trips (inclusive)" true (Cancel.cancelled c);
+  (match Cancel.reason c with
+  | Some r ->
+      check Alcotest.bool "reason names the deadline" true
+        (String.length r >= 8 && String.sub r 0 8 = "deadline")
+  | None -> Alcotest.fail "tripped token carries no reason");
+  (* sticky: the clock going backwards cannot untrip it *)
+  t := 0;
+  check Alcotest.bool "sticky" true (Cancel.cancelled c)
+
+let test_cancel_never_is_inert () =
+  check Alcotest.bool "never untripped" false (Cancel.cancelled Cancel.never);
+  match Cancel.cancel Cancel.never ~reason:"nope" with
+  | () -> Alcotest.fail "cancelling the shared never token must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_cas_observes_tripped_token () =
+  let cancel = Cancel.create () in
+  let cell = Faulty_cas.make ~cancel ~init:(Packed.of_int 1) () in
+  Cancel.cancel cancel ~reason:"external abort";
+  match Faulty_cas.cas cell ~expected:(Packed.of_int 1) ~desired:(Packed.of_int 2) with
+  | _ -> Alcotest.fail "cas on a tripped token must raise"
+  | exception Cancel.Cancelled r -> check Alcotest.string "reason" "external abort" r
+
 (* ---- Consensus_mc ---- *)
 
 let test_mc_fault_free_all_protocols () =
@@ -264,7 +332,59 @@ let test_mc_naive_breaks () =
 let test_mc_config_validation () =
   Alcotest.check_raises "inputs mismatch"
     (Invalid_argument "Consensus_mc.config: inputs count differs from n_domains") (fun () ->
-      ignore (Consensus_mc.config ~inputs:[| 1 |] ~n_domains:2 Consensus_mc.Single_cas))
+      ignore (Consensus_mc.config ~inputs:[| 1 |] ~n_domains:2 Consensus_mc.Single_cas));
+  (match
+     Consensus_mc.config ~style:Faulty_cas.Hang ~n_domains:2 Consensus_mc.Single_cas
+   with
+  | _ -> Alcotest.fail "Hang without a deadline must be rejected"
+  | exception Invalid_argument _ -> ());
+  match Consensus_mc.config ~deadline_s:0.0 ~n_domains:2 Consensus_mc.Single_cas with
+  | _ -> Alcotest.fail "non-positive deadline must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_mc_hang_times_out () =
+  (* Every fault hangs its CAS forever; the deadline is the only exit.
+     The run must terminate, report the stuck domains as Timed_out, and
+     never manufacture a verdict from them. *)
+  let cfg =
+    Consensus_mc.config
+      ~plan_for:(fun _ -> Faulty_cas.plan_always)
+      ~style:Faulty_cas.Hang ~deadline_s:0.3 ~n_domains:2
+      (Consensus_mc.Staged { f = 1; t = 1 })
+  in
+  let started = Unix.gettimeofday () in
+  let r = Consensus_mc.execute cfg in
+  let elapsed = Unix.gettimeofday () -. started in
+  check Alcotest.bool "some domain timed out" true (r.Consensus_mc.timeouts > 0);
+  check Alcotest.bool "terminated near the deadline" true (elapsed < 10.0);
+  check Alcotest.int "timeouts agree with outcomes" r.Consensus_mc.timeouts
+    (Array.fold_left
+       (fun acc -> function Consensus_mc.Timed_out _ -> acc + 1 | Consensus_mc.Decided _ -> acc)
+       0 r.Consensus_mc.outcomes);
+  (* agreed/valid quantify over the decided subset only *)
+  check Alcotest.bool "no verdict from truncated domains" true
+    (r.Consensus_mc.agreed && r.Consensus_mc.valid)
+
+let test_mc_external_cancel () =
+  (* An external token (the watchdog's lever) aborts the trial even with
+     no deadline configured. *)
+  let cancel = Cancel.create () in
+  Cancel.cancel cancel ~reason:"harness abort";
+  let cfg =
+    Consensus_mc.config
+      ~plan_for:(fun _ -> Faulty_cas.plan_always)
+      ~n_domains:2
+      (Consensus_mc.Staged { f = 1; t = 1 })
+  in
+  let r = Consensus_mc.execute ~cancel cfg in
+  check Alcotest.bool "every faulting domain observed the cancel or decided" true
+    (r.Consensus_mc.timeouts >= 0);
+  Array.iter
+    (function
+      | Consensus_mc.Timed_out reason ->
+          check Alcotest.string "carries the external reason" "harness abort" reason
+      | Consensus_mc.Decided _ -> ())
+    r.Consensus_mc.outcomes
 
 let suites =
   [
@@ -301,6 +421,14 @@ let suites =
         Alcotest.test_case "tasks empty + validation" `Quick test_run_tasks_empty_and_validation;
         Alcotest.test_case "tasks worker exception" `Quick test_run_tasks_worker_exception;
         Alcotest.test_case "tasks consume serialized" `Quick test_run_tasks_consume_serialized;
+        Alcotest.test_case "tasks fail fast" `Quick test_run_tasks_fail_fast;
+      ] );
+    ( "runtime.cancel",
+      [
+        Alcotest.test_case "first reason wins" `Quick test_cancel_first_reason_wins;
+        Alcotest.test_case "deadline on fake clock" `Quick test_cancel_deadline_fake_clock;
+        Alcotest.test_case "never is inert" `Quick test_cancel_never_is_inert;
+        Alcotest.test_case "cas observes tripped token" `Quick test_cas_observes_tripped_token;
       ] );
     ( "runtime.consensus",
       [
@@ -308,5 +436,7 @@ let suites =
         Alcotest.test_case "staged under faults" `Slow test_mc_staged_under_faults;
         Alcotest.test_case "naive breaks" `Slow test_mc_naive_breaks;
         Alcotest.test_case "config validation" `Quick test_mc_config_validation;
+        Alcotest.test_case "hang times out" `Quick test_mc_hang_times_out;
+        Alcotest.test_case "external cancel" `Quick test_mc_external_cancel;
       ] );
   ]

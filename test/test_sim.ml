@@ -167,8 +167,10 @@ let test_engine_step_limit () =
       ~bodies:[| body |] ()
   in
   (match r.Engine.outcomes.(0) with
-  | Engine.Step_limited -> ()
-  | o -> Alcotest.failf "expected Step_limited, got %a" Engine.pp_proc_outcome o);
+  | Engine.Exhausted { steps; budget } ->
+      check Alcotest.int "budget reported" 50 budget;
+      check Alcotest.bool "steps exceed budget" true (steps > budget)
+  | o -> Alcotest.failf "expected Exhausted, got %a" Engine.pp_proc_outcome o);
   check Alcotest.bool "limit event in trace" true
     (List.exists (function Trace.Step_limit_hit _ -> true | _ -> false) r.Engine.trace)
 
