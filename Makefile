@@ -1,6 +1,6 @@
 # Convenience targets for the ffault reproduction.
 
-.PHONY: all build test lint lint-json lint-baseline experiments experiments-quick bench bench-smoke examples campaign-smoke chaos-smoke check clean
+.PHONY: all build test lint lint-json lint-baseline experiments experiments-quick bench bench-smoke examples campaign-smoke chaos-smoke dist-chaos-smoke check clean
 
 all: build
 
@@ -25,7 +25,7 @@ lint-baseline:
 	dune exec bin/main.exe -- lint --baseline lint-baseline.json --write-baseline
 
 # The full local gate: what CI runs, minus the artifact uploads.
-check: build test lint campaign-smoke chaos-smoke
+check: build test lint campaign-smoke chaos-smoke dist-chaos-smoke
 
 experiments:
 	dune exec bin/main.exe -- experiment
@@ -65,6 +65,12 @@ campaign-smoke:
 # it, and assert the journal holds every trial exactly once.
 chaos-smoke:
 	sh scripts/chaos_smoke.sh
+
+# The distributed flavour: coordinator + three workers over a Unix
+# socket, SIGKILL one worker mid-campaign, assert the exactly-once
+# journal and a reassigned lease in the Workers report.
+dist-chaos-smoke:
+	sh scripts/dist_chaos_smoke.sh
 
 clean:
 	dune clean

@@ -22,6 +22,7 @@ module Sim = Ffault_sim
 module Campaign = Ffault_campaign
 module Telemetry = Ffault_telemetry
 module Lint = Ffault_lint
+module Dist = Ffault_dist
 
 (* ---- shared options ---- *)
 
@@ -388,7 +389,15 @@ let multicore_cmd =
     in
     Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
   in
-  let run f t domains runs rate kind deadline seed =
+  let stall_arg =
+    let doc =
+      "Watchdog stall bound in seconds: a domain with no CAS progress for this long is \
+       flagged and the run is cancelled. Defaults to max(0.5, 4 x deadline) when a \
+       deadline is set, else the watchdog is off."
+    in
+    Arg.(value & opt (some float) None & info [ "watchdog-stall" ] ~docv:"SECONDS" ~doc)
+  in
+  let run f t domains runs rate kind deadline stall seed =
     let module R = Ffault_runtime in
     let t = Option.value t ~default:1 in
     let protocol = R.Consensus_mc.Staged { f; t } in
@@ -403,6 +412,7 @@ let multicore_cmd =
     let violations = ref 0 in
     let timeouts = ref 0 in
     let faults = ref 0 in
+    let stalls = ref 0 in
     let started = Unix.gettimeofday () in
     for i = 1 to runs do
       let cfg =
@@ -413,16 +423,19 @@ let multicore_cmd =
               ~p:rate)
           ~style ?deadline_s ~n_domains:domains protocol
       in
-      let r = R.Consensus_mc.execute cfg in
-      if not (r.R.Consensus_mc.agreed && r.R.Consensus_mc.valid) then incr violations;
-      timeouts := !timeouts + r.R.Consensus_mc.timeouts;
-      faults := !faults + Array.fold_left ( + ) 0 r.R.Consensus_mc.faults_per_object
+      let r = Ffault_supervise.Mc.execute ?watchdog_stall_s:stall cfg in
+      let mc = r.Ffault_supervise.Mc.mc in
+      if not (mc.R.Consensus_mc.agreed && mc.R.Consensus_mc.valid) then incr violations;
+      timeouts := !timeouts + mc.R.Consensus_mc.timeouts;
+      stalls := !stalls + r.Ffault_supervise.Mc.stalls;
+      faults := !faults + Array.fold_left ( + ) 0 mc.R.Consensus_mc.faults_per_object
     done;
     let elapsed = Unix.gettimeofday () -. started in
     Fmt.pr
-      "%a on %d domains: %d runs, %d violations, %d timed-out domain(s), %d observable \
-       faults, %.2f s (%.0f decides/s)@."
-      R.Consensus_mc.pp_protocol protocol domains runs !violations !timeouts !faults elapsed
+      "%a on %d domains: %d runs, %d violations, %d timed-out domain(s), %d watchdog \
+       stall(s), %d observable faults, %.2f s (%.0f decides/s)@."
+      R.Consensus_mc.pp_protocol protocol domains runs !violations !timeouts !stalls !faults
+      elapsed
       (float_of_int runs /. elapsed);
     if !violations = 0 then 0 else 1
   in
@@ -430,7 +443,7 @@ let multicore_cmd =
   Cmd.v (Cmd.info "multicore" ~doc)
     Term.(
       const run $ f_arg $ t_arg $ domains_arg $ runs_arg $ rate_arg $ kind_arg
-      $ deadline_arg $ seed_arg)
+      $ deadline_arg $ stall_arg $ seed_arg)
 
 (* ---- campaign ---- *)
 
@@ -473,8 +486,20 @@ let quarantine_after_arg =
   in
   Arg.(value & opt int 3 & info [ "quarantine-after" ] ~docv:"K" ~doc)
 
-let supervision_of_flags ~deadline ~max_retries ~quarantine_after =
-  match Campaign.Pool.supervision ?deadline_s:deadline ~max_retries ~quarantine_after () with
+let adaptive_deadline_arg =
+  let doc =
+    "Derive a per-cell deadline from each cell's observed trial durations (8 x its p99, \
+     capped at --deadline) once enough trials have completed — cuts tail latency on \
+     mixed grids where one global deadline must be sized for the slowest cell. \
+     Requires --deadline."
+  in
+  Arg.(value & flag & info [ "adaptive-deadline" ] ~doc)
+
+let supervision_of_flags ~deadline ~max_retries ~quarantine_after ~adaptive =
+  match
+    Campaign.Pool.supervision ?deadline_s:deadline ~max_retries ~quarantine_after
+      ~adaptive_deadline:adaptive ()
+  with
   | s -> Ok s
   | exception Invalid_argument m -> Error m
 
@@ -560,39 +585,41 @@ let run_campaign ~resume ~root ~domains ~supervision ~progress ~quiet ~trace spe
         (Campaign.Checkpoint.campaign_dir ~root spec);
       0
 
+(* Spec axis flags, shared by run and serve. *)
+
+let spec_file_arg =
+  let doc = "Read the campaign spec from $(docv) (key = value lines; see doc/CAMPAIGNS.md). \
+             Inline axis flags are ignored when given." in
+  Arg.(value & opt (some string) None & info [ "spec" ] ~docv:"FILE" ~doc)
+
+let f_list_arg =
+  let doc = "Fault-budget axis: comma list / lo..hi ranges (e.g. 1..3)." in
+  Arg.(value & opt string "1" & info [ "f"; "faults" ] ~docv:"LIST" ~doc)
+
+let t_list_arg =
+  let doc = "Per-object bound axis (integers or `unbounded')." in
+  Arg.(value & opt string "unbounded" & info [ "t"; "bound" ] ~docv:"LIST" ~doc)
+
+let n_list_arg =
+  let doc = "Process-count axis." in
+  Arg.(value & opt string "3" & info [ "n"; "procs" ] ~docv:"LIST" ~doc)
+
+let kinds_arg =
+  let doc = "Fault-kind axis (overriding, silent, invisible, arbitrary, nonresponsive, \
+             relaxation)." in
+  Arg.(value & opt string "overriding" & info [ "kinds" ] ~docv:"LIST" ~doc)
+
+let rates_arg =
+  let doc = "Fault-rate axis in [0,1]." in
+  Arg.(value & opt string "0.5" & info [ "rates" ] ~docv:"LIST" ~doc)
+
+let trials_arg =
+  let doc = "Trials per grid cell." in
+  Arg.(value & opt int 100 & info [ "trials" ] ~docv:"K" ~doc)
+
 let campaign_run_cmd =
-  let spec_file_arg =
-    let doc = "Read the campaign spec from $(docv) (key = value lines; see doc/CAMPAIGNS.md). \
-               Inline axis flags are ignored when given." in
-    Arg.(value & opt (some string) None & info [ "spec" ] ~docv:"FILE" ~doc)
-  in
-  let f_list_arg =
-    let doc = "Fault-budget axis: comma list / lo..hi ranges (e.g. 1..3)." in
-    Arg.(value & opt string "1" & info [ "f"; "faults" ] ~docv:"LIST" ~doc)
-  in
-  let t_list_arg =
-    let doc = "Per-object bound axis (integers or `unbounded')." in
-    Arg.(value & opt string "unbounded" & info [ "t"; "bound" ] ~docv:"LIST" ~doc)
-  in
-  let n_list_arg =
-    let doc = "Process-count axis." in
-    Arg.(value & opt string "3" & info [ "n"; "procs" ] ~docv:"LIST" ~doc)
-  in
-  let kinds_arg =
-    let doc = "Fault-kind axis (overriding, silent, invisible, arbitrary, nonresponsive, \
-               relaxation)." in
-    Arg.(value & opt string "overriding" & info [ "kinds" ] ~docv:"LIST" ~doc)
-  in
-  let rates_arg =
-    let doc = "Fault-rate axis in [0,1]." in
-    Arg.(value & opt string "0.5" & info [ "rates" ] ~docv:"LIST" ~doc)
-  in
-  let trials_arg =
-    let doc = "Trials per grid cell." in
-    Arg.(value & opt int 100 & info [ "trials" ] ~docv:"K" ~doc)
-  in
   let run spec_file name protocol f t n kinds rates trials seed root domains deadline
-      max_retries quarantine_after progress quiet trace =
+      max_retries quarantine_after adaptive progress quiet trace =
     let spec =
       match spec_file with
       | Some path -> Campaign.Spec.of_file path
@@ -602,7 +629,7 @@ let campaign_run_cmd =
       Result.bind spec (fun spec ->
           Result.map
             (fun s -> (spec, s))
-            (supervision_of_flags ~deadline ~max_retries ~quarantine_after))
+            (supervision_of_flags ~deadline ~max_retries ~quarantine_after ~adaptive))
     with
     | Error m ->
         Fmt.epr "error: %s@." m;
@@ -616,16 +643,17 @@ let campaign_run_cmd =
       const run $ spec_file_arg $ campaign_name_arg $ protocol_arg $ f_list_arg $ t_list_arg
       $ n_list_arg $ kinds_arg $ rates_arg $ trials_arg $ seed_arg $ campaign_root_arg
       $ campaign_domains_arg $ deadline_flag_arg $ max_retries_arg $ quarantine_after_arg
-      $ progress_arg $ quiet_arg $ trace_arg)
+      $ adaptive_deadline_arg $ progress_arg $ quiet_arg $ trace_arg)
 
 let campaign_resume_cmd =
-  let run name root domains deadline max_retries quarantine_after progress quiet trace =
+  let run name root domains deadline max_retries quarantine_after adaptive progress quiet
+      trace =
     let dir = Filename.concat root name in
     match
       Result.bind (Campaign.Checkpoint.load_manifest ~dir) (fun spec ->
           Result.map
             (fun s -> (spec, s))
-            (supervision_of_flags ~deadline ~max_retries ~quarantine_after))
+            (supervision_of_flags ~deadline ~max_retries ~quarantine_after ~adaptive))
     with
     | Error m ->
         Fmt.epr "error: %s@." m;
@@ -639,8 +667,165 @@ let campaign_resume_cmd =
   Cmd.v (Cmd.info "resume" ~doc)
     Term.(
       const run $ campaign_name_arg $ campaign_root_arg $ campaign_domains_arg
-      $ deadline_flag_arg $ max_retries_arg $ quarantine_after_arg $ progress_arg
-      $ quiet_arg $ trace_arg)
+      $ deadline_flag_arg $ max_retries_arg $ quarantine_after_arg $ adaptive_deadline_arg
+      $ progress_arg $ quiet_arg $ trace_arg)
+
+(* ---- distributed campaign: serve + worker ---- *)
+
+let endpoint_conv =
+  let parse s =
+    Result.map_error (fun m -> `Msg m) (Dist.Transport.endpoint_of_string s)
+  in
+  Arg.conv (parse, Dist.Transport.pp_endpoint)
+
+let campaign_serve_cmd =
+  let listen_arg =
+    let doc = "Endpoint to listen on: unix:PATH or tcp:HOST:PORT." in
+    Arg.(
+      required & opt (some endpoint_conv) None & info [ "listen" ] ~docv:"ENDPOINT" ~doc)
+  in
+  let lease_trials_arg =
+    let doc = "Trials per lease shard handed to a worker." in
+    Arg.(value & opt int 1000 & info [ "lease-trials" ] ~docv:"K" ~doc)
+  in
+  let lease_timeout_arg =
+    let doc =
+      "Seconds of silence before a worker's leases expire and their shards are re-leased."
+    in
+    Arg.(value & opt float 30.0 & info [ "lease-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let hb_interval_arg =
+    let doc = "Heartbeat cadence imposed on workers (must be under the lease timeout)." in
+    Arg.(value & opt float 2.0 & info [ "hb-interval" ] ~docv:"SECONDS" ~doc)
+  in
+  let max_workers_arg =
+    let doc = "Maximum concurrent worker connections." in
+    Arg.(value & opt int 64 & info [ "max-workers" ] ~docv:"N" ~doc)
+  in
+  let resume_serve_arg =
+    let doc = "Resume an interrupted campaign instead of starting fresh." in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let run spec_file name protocol f t n kinds rates trials seed root listen lease_trials
+      lease_timeout hb_interval max_workers resume deadline max_retries quarantine_after
+      adaptive progress quiet =
+    let spec =
+      match spec_file with
+      | Some path -> Campaign.Spec.of_file path
+      | None -> campaign_spec_of_flags ~name ~protocol ~f ~t ~n ~kinds ~rates ~trials ~seed
+    in
+    let checked =
+      Result.bind spec (fun spec ->
+          (* validate the flag combination with the Pool builder, then
+             ship the raw values — workers rebuild the same record *)
+          Result.bind (supervision_of_flags ~deadline ~max_retries ~quarantine_after ~adaptive)
+            (fun _ ->
+              match
+                Dist.Coordinator.config ~lease_trials ~lease_timeout_s:lease_timeout
+                  ~hb_interval_s:hb_interval ~max_workers
+                  ~supervision:
+                    {
+                      Dist.Codec.deadline_s = deadline;
+                      max_retries;
+                      quarantine_after;
+                      adaptive_deadline = adaptive;
+                    }
+                  listen
+              with
+              | cfg -> Ok (spec, cfg)
+              | exception Invalid_argument m -> Error m))
+    in
+    match checked with
+    | Error m ->
+        Fmt.epr "error: %s@." m;
+        1
+    | Ok (spec, cfg) ->
+        Fmt.pr "%a@.grid: %d cells × %d trials = %d trials, serving on %a@."
+          Campaign.Spec.pp spec (Campaign.Grid.n_cells spec) spec.Campaign.Spec.trials
+          (Campaign.Grid.total_trials spec)
+          Dist.Transport.pp_endpoint listen;
+        let live = Campaign.Live.create spec in
+        let reporter =
+          if show_progress ~progress ~quiet then
+            Some
+              (Telemetry.Progress.start ~oc:stderr
+                 ~render:(fun () -> Campaign.Live.render live)
+                 ())
+          else None
+        in
+        let result =
+          Dist.Coordinator.serve ~resume ~root
+            ~on_skip:(fun () -> Campaign.Live.on_skip live)
+            ~observe:(fun r -> Campaign.Live.on_record live r)
+            ~on_warn:(fun m -> Fmt.epr "warning: %s@." m)
+            ~on_event:(fun m -> if not quiet then Fmt.epr "[serve] %s@." m)
+            cfg spec
+        in
+        Option.iter Telemetry.Progress.stop reporter;
+        (match result with
+        | Error m ->
+            Fmt.epr "error: %s@." m;
+            1
+        | Ok s ->
+            Fmt.pr "%a@." Campaign.Pool.pp_summary s.Dist.Coordinator.pool;
+            Fmt.pr
+              "leases: %d granted, %d completed, %d expired; %d worker(s)@.artifacts: %s@."
+              s.Dist.Coordinator.leases_granted s.Dist.Coordinator.leases_completed
+              s.Dist.Coordinator.leases_expired
+              (List.length s.Dist.Coordinator.workers)
+              (Campaign.Checkpoint.campaign_dir ~root spec);
+            0)
+  in
+  let doc =
+    "Coordinate a distributed campaign: shard the grid into leases served to ffault \
+     worker processes over a socket; the journal stays exactly-once across worker \
+     crashes (doc/DISTRIBUTED.md)."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ spec_file_arg $ campaign_name_arg $ protocol_arg $ f_list_arg
+      $ t_list_arg $ n_list_arg $ kinds_arg $ rates_arg $ trials_arg $ seed_arg
+      $ campaign_root_arg $ listen_arg $ lease_trials_arg $ lease_timeout_arg
+      $ hb_interval_arg $ max_workers_arg $ resume_serve_arg $ deadline_flag_arg
+      $ max_retries_arg $ quarantine_after_arg $ adaptive_deadline_arg $ progress_arg
+      $ quiet_arg)
+
+let worker_cmd =
+  let connect_arg =
+    let doc = "Coordinator endpoint: unix:PATH or tcp:HOST:PORT." in
+    Arg.(
+      required & opt (some endpoint_conv) None & info [ "connect" ] ~docv:"ENDPOINT" ~doc)
+  in
+  let worker_name_arg =
+    let doc = "Worker identity in the coordinator's Workers report (default hostname-pid)." in
+    Arg.(value & opt (some string) None & info [ "name" ] ~docv:"NAME" ~doc)
+  in
+  let run connect name domains quiet =
+    let domains = resolve_domains domains in
+    match Dist.Worker.config ?name ~domains connect with
+    | exception Invalid_argument m ->
+        Fmt.epr "error: %s@." m;
+        1
+    | cfg -> (
+        match
+          Dist.Worker.run
+            ~on_event:(fun m -> if not quiet then Fmt.epr "[worker] %s@." m)
+            cfg
+        with
+        | Error m ->
+            Fmt.epr "error: %s@." m;
+            1
+        | Ok s ->
+            Fmt.pr "worker %s: %d lease(s), %d trial(s) run, %d already journaled — %s@."
+              cfg.Dist.Worker.name s.Dist.Worker.leases_run s.Dist.Worker.trials_run
+              s.Dist.Worker.trials_skipped s.Dist.Worker.stop_reason;
+            0)
+  in
+  let doc =
+    "Run trials for a distributed campaign coordinator (see ffault campaign serve)."
+  in
+  Cmd.v (Cmd.info "worker" ~doc)
+    Term.(const run $ connect_arg $ worker_name_arg $ campaign_domains_arg $ quiet_arg)
 
 let campaign_report_cmd =
   let run name root =
@@ -690,7 +875,10 @@ let campaign_diff_cmd =
 let campaign_cmd =
   let doc = "Parallel fault-injection campaigns with persistent, resumable journals." in
   Cmd.group (Cmd.info "campaign" ~doc)
-    [ campaign_run_cmd; campaign_resume_cmd; campaign_report_cmd; campaign_diff_cmd ]
+    [
+      campaign_run_cmd; campaign_resume_cmd; campaign_serve_cmd; campaign_report_cmd;
+      campaign_diff_cmd;
+    ]
 
 (* ---- lint ---- *)
 
@@ -803,7 +991,7 @@ let main_cmd =
   Cmd.group info
     [
       experiment_cmd; list_cmd; trace_cmd; explore_cmd; replay_cmd; falsify_cmd; critical_cmd;
-      severity_cmd; hierarchy_cmd; multicore_cmd; campaign_cmd; lint_cmd;
+      severity_cmd; hierarchy_cmd; multicore_cmd; campaign_cmd; worker_cmd; lint_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,10 +1,12 @@
 let manifest_file = "manifest.json"
 let journal_file = "journal.jsonl"
 let telemetry_file = "telemetry.json"
+let workers_file = "workers.json"
 
 let manifest_path ~dir = Filename.concat dir manifest_file
 let journal_path ~dir = Filename.concat dir journal_file
 let telemetry_path ~dir = Filename.concat dir telemetry_file
+let workers_path ~dir = Filename.concat dir workers_file
 let campaign_dir ~root spec = Filename.concat root spec.Spec.name
 
 let rec mkdir_p dir =
@@ -54,3 +56,38 @@ let scan ~dir ~total =
   Journal.fold ~path:(journal_path ~dir) ~init:()
     ~f:(fun () r -> mark st r.Journal.trial ~ok:r.Journal.ok);
   st
+
+(* The shared open/resume protocol of every campaign executor (the
+   in-process pool and the distributed coordinator): manifest guard,
+   torn-tail repair, journal replay. *)
+let open_campaign ?(resume = false) ?(on_warn = fun _ -> ()) ~root spec =
+  let ( let* ) = Result.bind in
+  let dir = campaign_dir ~root spec in
+  let manifest_exists = Sys.file_exists (manifest_path ~dir) in
+  let* () =
+    if manifest_exists && not resume then
+      Error
+        (Fmt.str "campaign %S already exists under %s (use resume, or pick a new name)"
+           spec.Spec.name root)
+    else Ok ()
+  in
+  let* () =
+    if not manifest_exists then begin
+      save_manifest ~dir spec;
+      Ok ()
+    end
+    else
+      let* recorded = load_manifest ~dir in
+      if Spec.equal recorded spec then Ok ()
+      else Error (Fmt.str "manifest under %s disagrees with the spec; refusing to resume" dir)
+  in
+  let total = Grid.total_trials spec in
+  (* Repair a crash-torn journal tail before any append-mode writer
+     reopens the file, or the first new record would concatenate onto
+     the torn bytes and corrupt both. *)
+  if resume then begin
+    let r = Journal.recover ~path:(journal_path ~dir) in
+    Option.iter on_warn r.Journal.warning
+  end;
+  let st = if resume then scan ~dir ~total else fresh ~total in
+  Ok (dir, st)

@@ -14,6 +14,12 @@ val telemetry_path : dir:string -> string
 (** [telemetry.json] — the metrics snapshot of the last [run]/[resume]
     (see {!Telemetry_io}). *)
 
+val workers_path : dir:string -> string
+(** [workers.json] — per-worker lease statistics written by the
+    distributed coordinator ([ffault campaign serve]); {!Report.of_dir}
+    renders it as the report's Workers section. Absent on
+    single-process campaigns. *)
+
 val mkdir_p : string -> unit
 
 val save_manifest : dir:string -> Spec.t -> unit
@@ -38,3 +44,18 @@ val is_done : t -> int -> bool
 val mark : t -> int -> ok:bool -> unit
 val completed : t -> int
 val failures : t -> int
+
+val open_campaign :
+  ?resume:bool ->
+  ?on_warn:(string -> unit) ->
+  root:string ->
+  Spec.t ->
+  (string * t, string) result
+(** The open/resume protocol shared by every campaign executor (the
+    in-process {!Pool} and the distributed coordinator): guard the
+    manifest (fresh run must not clobber, resume must agree with the
+    recorded spec), repair a crash-torn journal tail
+    ({!Journal.recover}, surfaced through [on_warn]) {e before} the
+    journal is reopened for append, and replay the journal into the
+    resume state. Returns the campaign directory and the done-mask
+    (empty for a fresh run). *)

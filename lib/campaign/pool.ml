@@ -6,6 +6,7 @@ module Budget = Ffault_fault.Budget
 module Value = Ffault_objects.Value
 module Metrics = Ffault_telemetry.Metrics
 module Tracer = Ffault_telemetry.Tracer
+module Stats = Ffault_stats.Summary
 module Heartbeat = Ffault_supervise.Heartbeat
 module Watchdog = Ffault_supervise.Watchdog
 module Retry = Ffault_supervise.Retry
@@ -24,12 +25,19 @@ type supervision = {
   deadline_s : float option;
   retry : Retry.policy;
   quarantine_after : int;
+  adaptive_deadline : bool;
 }
 
 let default_supervision =
-  { deadline_s = None; retry = Retry.default_policy; quarantine_after = 3 }
+  {
+    deadline_s = None;
+    retry = Retry.default_policy;
+    quarantine_after = 3;
+    adaptive_deadline = false;
+  }
 
-let supervision ?deadline_s ?max_retries ?quarantine_after () =
+let supervision ?deadline_s ?max_retries ?quarantine_after ?(adaptive_deadline = false) ()
+    =
   (match deadline_s with
   | Some s when (not (Float.is_finite s)) || s <= 0.0 ->
       invalid_arg "Pool.supervision: deadline_s must be finite and positive"
@@ -37,12 +45,33 @@ let supervision ?deadline_s ?max_retries ?quarantine_after () =
   (match quarantine_after with
   | Some q when q < 1 -> invalid_arg "Pool.supervision: quarantine_after < 1"
   | _ -> ());
+  if adaptive_deadline && deadline_s = None then
+    invalid_arg "Pool.supervision: adaptive_deadline needs a deadline to cap at";
   {
     deadline_s;
     retry = Retry.policy ?max_retries ();
     quarantine_after =
       Option.value quarantine_after ~default:default_supervision.quarantine_after;
+    adaptive_deadline;
   }
+
+(* ---- adaptive per-cell deadlines ----
+
+   One global --deadline sized for the slowest cell makes every
+   pathological trial in a fast cell wait the whole budget. With
+   --adaptive-deadline, each cell's deadline is derived from its own
+   observed trial durations: generous until enough samples exist, then
+   a multiple of the cell's p99 — so a wedged trial in a microsecond
+   cell is cut off in milliseconds, while the global deadline remains
+   the upper bound (and the verdict for genuinely slow cells). *)
+
+let adaptive_min_samples = 30
+let adaptive_margin = 8.0
+let adaptive_floor_s = 0.001
+
+let adaptive_deadline_s ~p99_s ~cap_s =
+  if (not (Float.is_finite p99_s)) || p99_s < 0.0 then cap_s
+  else Float.min cap_s (Float.max adaptive_floor_s (adaptive_margin *. p99_s))
 
 type summary = {
   total : int;
@@ -174,6 +203,36 @@ let run_trials ?(domains = 1) ?(chunk = 64) ?(skip = fun _ -> false)
         let wd = Watchdog.create ~heartbeat:hb ~stall_ns () in
         Some (deadline_s, hb, wd)
   in
+  (* Per-cell trial durations, feeding the adaptive deadline. Guarded
+     by a lock: Summary is single-writer, and percentile reads race
+     with adds. The lock is per-completed-attempt, far off the engine's
+     hot path. *)
+  let durations =
+    if supervision.adaptive_deadline && supervision.deadline_s <> None then
+      Some (Mutex.create (), Array.init (Array.length cells) (fun _ -> Stats.create ()))
+    else None
+  in
+  let note_duration cell_id wall_ns =
+    match durations with
+    | None -> ()
+    | Some (lock, stats) ->
+        Mutex.lock lock;
+        Stats.add stats.(cell_id) (float_of_int wall_ns /. 1e9);
+        Mutex.unlock lock
+  in
+  let deadline_for cell_id base =
+    match durations with
+    | None -> base
+    | Some (lock, stats) ->
+        Mutex.lock lock;
+        let s = stats.(cell_id) in
+        let d =
+          if Stats.count s < adaptive_min_samples then base
+          else adaptive_deadline_s ~p99_s:(Stats.percentile s 99.0) ~cap_s:base
+        in
+        Mutex.unlock lock;
+        d
+  in
   (* Worker slots: run_tasks doesn't number its domains, so the first
      beat from each domain claims the next free slot. *)
   let slot_ids = Array.init domains (fun _ -> Atomic.make (-1)) in
@@ -234,7 +293,9 @@ let run_trials ?(domains = 1) ?(chunk = 64) ?(skip = fun _ -> false)
         let slot = slot_of_self () in
         let rec attempt failed =
           Heartbeat.beat hb ~slot;
-          let cancel = Cancel.after ~seconds:deadline_s in
+          let cancel =
+            Cancel.after ~seconds:(deadline_for trial.Grid.cell_id deadline_s)
+          in
           Watchdog.attach wd ~slot cancel;
           let res =
             Fun.protect
@@ -243,6 +304,7 @@ let run_trials ?(domains = 1) ?(chunk = 64) ?(skip = fun _ -> false)
           in
           Heartbeat.beat hb ~slot;
           if not res.Shrink_on_fail.report.Check.result.Engine.interrupted then begin
+            note_duration trial.Grid.cell_id res.Shrink_on_fail.wall_ns;
             (match Retry.classify supervision.retry ~attempts_failed:failed ~succeeded:true with
             | Some Retry.Transient_infra -> Metrics.incr m_transient
             | Some Retry.Deterministic_protocol | None -> ());
@@ -324,34 +386,7 @@ let run_trials ?(domains = 1) ?(chunk = 64) ?(skip = fun _ -> false)
 let run_dir ?domains ?chunk ?max_shrinks_per_cell ?supervision ?(resume = false) ?on_skip
     ?(observe = fun _ -> ()) ?(on_warn = fun _ -> ()) ~root spec =
   let ( let* ) = Result.bind in
-  let dir = Checkpoint.campaign_dir ~root spec in
-  let manifest_exists = Sys.file_exists (Checkpoint.manifest_path ~dir) in
-  let* () =
-    if manifest_exists && not resume then
-      Error
-        (Fmt.str "campaign %S already exists under %s (use resume, or pick a new name)"
-           spec.Spec.name root)
-    else Ok ()
-  in
-  let* () =
-    if not manifest_exists then begin
-      Checkpoint.save_manifest ~dir spec;
-      Ok ()
-    end
-    else
-      let* recorded = Checkpoint.load_manifest ~dir in
-      if Spec.equal recorded spec then Ok ()
-      else Error (Fmt.str "manifest under %s disagrees with the spec; refusing to resume" dir)
-  in
-  let total = Grid.total_trials spec in
-  (* Repair a crash-torn journal tail before the append-mode writer
-     below reopens the file, or the first new record would concatenate
-     onto the torn bytes and corrupt both. *)
-  if resume then begin
-    let r = Journal.recover ~path:(Checkpoint.journal_path ~dir) in
-    Option.iter on_warn r.Journal.warning
-  end;
-  let st = if resume then Checkpoint.scan ~dir ~total else Checkpoint.fresh ~total in
+  let* dir, st = Checkpoint.open_campaign ~resume ~on_warn ~root spec in
   let writer = Journal.create_writer ~path:(Checkpoint.journal_path ~dir) in
   let finally () = Journal.close_writer writer in
   match

@@ -18,15 +18,39 @@ type supervision = {
           (no heartbeats, watchdog, retries or strikes) *)
   retry : Ffault_supervise.Retry.policy;
   quarantine_after : int;  (** deterministic-protocol strikes to degrade a cell *)
+  adaptive_deadline : bool;
+      (** derive a per-cell deadline from that cell's observed trial
+          durations (a multiple of its p99, capped at [deadline_s]) once
+          {!adaptive_min_samples} trials have completed — cuts tail
+          latency on mixed grids where one global deadline must be sized
+          for the slowest cell *)
 }
 
 val default_supervision : supervision
-(** No deadline; {!Ffault_supervise.Retry.default_policy}; 3 strikes. *)
+(** No deadline; {!Ffault_supervise.Retry.default_policy}; 3 strikes;
+    no adaptive deadline. *)
 
 val supervision :
-  ?deadline_s:float -> ?max_retries:int -> ?quarantine_after:int -> unit -> supervision
-(** @raise Invalid_argument on a non-positive deadline or
-    [quarantine_after < 1]. *)
+  ?deadline_s:float ->
+  ?max_retries:int ->
+  ?quarantine_after:int ->
+  ?adaptive_deadline:bool ->
+  unit ->
+  supervision
+(** @raise Invalid_argument on a non-positive deadline,
+    [quarantine_after < 1], or [adaptive_deadline] without a deadline
+    (the adaptation needs a cap). *)
+
+(** {2 Adaptive deadline derivation} (exposed for tests) *)
+
+val adaptive_min_samples : int
+(** 30 — completed trials a cell must show before its deadline adapts;
+    below this the global deadline applies. *)
+
+val adaptive_deadline_s : p99_s:float -> cap_s:float -> float
+(** The derived deadline: [8 × p99], clamped to [\[1ms, cap_s\]]. A
+    non-finite or negative p99 yields [cap_s] (never a tighter bound on
+    garbage data). *)
 
 type summary = {
   total : int;  (** grid size *)

@@ -32,6 +32,7 @@ type t = {
   total_failures : int;
   health : health;
   telemetry : Json.t option;  (** last run's metrics snapshot, if journaled *)
+  workers : Json.t option;  (** [workers.json] from a distributed run *)
 }
 
 (* ---- aggregation ---- *)
@@ -49,7 +50,7 @@ type acc = {
   mutable a_wall : float;
 }
 
-let of_records ?telemetry ?journal_health spec records =
+let of_records ?telemetry ?workers ?journal_health spec records =
   let protocol =
     match Spec.resolve_protocol spec.Spec.protocol with
     | Ok p -> Some p
@@ -156,7 +157,21 @@ let of_records ?telemetry ?journal_health spec records =
     total_failures = !total_failures;
     health;
     telemetry;
+    workers;
   }
+
+(* [workers.json] parses like [telemetry.json]: best-effort, [None] on
+   absent or unparsable (single-process campaigns never write one). *)
+let load_workers ~dir =
+  let path = Checkpoint.workers_path ~dir in
+  if not (Sys.file_exists path) then None
+  else
+    match In_channel.with_open_text path In_channel.input_all with
+    | exception Sys_error _ -> None
+    | contents -> (
+        match Json.of_string (String.trim contents) with
+        | Ok j -> Some j
+        | Error _ -> None)
 
 let of_dir ~dir =
   match Checkpoint.load_manifest ~dir with
@@ -166,6 +181,7 @@ let of_dir ~dir =
       Ok
         (of_records
            ?telemetry:(Telemetry_io.load ~dir)
+           ?workers:(load_workers ~dir)
            ~journal_health:(Journal.health ~path)
            spec (Journal.load ~path))
 
@@ -220,6 +236,56 @@ let telemetry_markdown json =
       Fmt.str "@.## Telemetry@.@.%s" (Table.to_string t)
   | _ -> ""
 
+(* The Workers section of a distributed campaign ([workers.json]):
+   per-worker lease and result counts, plus the lease ledger line that
+   shows whether any shard had to be reassigned. Absent on
+   single-process campaigns, so their reports keep the old shape. *)
+let workers_markdown json =
+  let int_of name j = Option.bind (Json.member name j) Json.get_int in
+  let str_of name j =
+    match Option.bind (Json.member name j) Json.get_str with Some s -> s | None -> "?"
+  in
+  let cell name j =
+    match int_of name j with Some i -> Table.cell_int i | None -> "?"
+  in
+  match Option.bind json (Json.member "workers") with
+  | Some (Json.List ((_ :: _) as workers)) ->
+      let t =
+        Table.create
+          ~columns:
+            [
+              "worker"; "peer"; "domains"; "leases"; "completed"; "expired"; "results";
+              "deduped"; "reconnects";
+            ]
+      in
+      List.iter
+        (fun w ->
+          Table.add_row t
+            [
+              str_of "name" w;
+              str_of "peer" w;
+              cell "domains" w;
+              cell "granted" w;
+              cell "completed" w;
+              cell "expired" w;
+              cell "results" w;
+              cell "deduped" w;
+              cell "reconnects" w;
+            ])
+        workers;
+      let leases =
+        match Option.bind json (Json.member "leases") with
+        | Some l ->
+            let n name = match int_of name l with Some i -> i | None -> 0 in
+            let expired = n "expired" in
+            Fmt.str "%d lease(s) granted, %d completed, %d expired%s.@.@."
+              (n "granted") (n "completed") expired
+              (if expired > 0 then " and reassigned" else "")
+        | None -> ""
+      in
+      Fmt.str "@.## Workers@.@.%s%s" leases (Table.to_string t)
+  | _ -> ""
+
 (* Rendered only when there is something to say: an all-healthy
    unsupervised campaign keeps the old report shape byte-for-byte. *)
 let health_markdown report =
@@ -245,10 +311,11 @@ let health_markdown report =
       journal_note
 
 let to_markdown report =
-  Fmt.str "# Campaign %s@.@.%a@.@.%d trials journaled, %d failures.@.@.%s@.%s%s"
+  Fmt.str "# Campaign %s@.@.%a@.@.%d trials journaled, %d failures.@.@.%s@.%s%s%s"
     report.spec.Spec.name Spec.pp report.spec report.total_trials report.total_failures
     (Table.to_string (to_table report))
     (health_markdown report)
+    (workers_markdown report.workers)
     (telemetry_markdown report.telemetry)
 
 let health_json h =
@@ -282,6 +349,7 @@ let to_json report =
        ("health", health_json report.health);
      ]
     @ (match report.telemetry with Some t -> [ ("telemetry", t) ] | None -> [])
+    @ (match report.workers with Some w -> [ ("workers", w) ] | None -> [])
     @ [
       ( "cells",
         Json.List

@@ -47,10 +47,20 @@ type t = {
       (** the run's metrics snapshot ([telemetry.json], written by
           {!Pool.run_dir}); embedded as the report's ["telemetry"]
           object and rendered as a counters table in the markdown *)
+  workers : Json.t option;
+      (** [workers.json] — per-worker lease statistics a distributed
+          coordinator leaves behind; embedded as the report's
+          ["workers"] object and rendered as the markdown [## Workers]
+          section (absent on single-process campaigns) *)
 }
 
 val of_records :
-  ?telemetry:Json.t -> ?journal_health:Journal.health -> Spec.t -> Journal.record list -> t
+  ?telemetry:Json.t ->
+  ?workers:Json.t ->
+  ?journal_health:Journal.health ->
+  Spec.t ->
+  Journal.record list ->
+  t
 
 val of_dir : dir:string -> (t, string) result
 (** Also scans the journal file's parse health ({!Journal.health}) into

@@ -1,0 +1,161 @@
+module Json = Ffault_campaign.Json
+module Spec = Ffault_campaign.Spec
+module Journal = Ffault_campaign.Journal
+
+type supervision = {
+  deadline_s : float option;
+  max_retries : int;
+  quarantine_after : int;
+  adaptive_deadline : bool;
+}
+
+let no_supervision =
+  { deadline_s = None; max_retries = 2; quarantine_after = 3; adaptive_deadline = false }
+
+type msg =
+  | Hello of { version : int; name : string; domains : int }
+  | Welcome of {
+      version : int;
+      spec : Spec.t;
+      supervision : supervision;
+      hb_interval_s : float;
+    }
+  | Request
+  | Lease of { lease : int; lo : int; hi : int; done_ids : int list }
+  | Result of Journal.record
+  | Complete of { lease : int }
+  | Heartbeat
+  | Wait of { seconds : float }
+  | Bye of { reason : string }
+
+(* One tag byte per message kind. 'R' vs 'r': results are the hot
+   frame, requests the idle one. *)
+let tag_of = function
+  | Hello _ -> 'h'
+  | Welcome _ -> 'w'
+  | Request -> 'r'
+  | Lease _ -> 'l'
+  | Result _ -> 'R'
+  | Complete _ -> 'c'
+  | Heartbeat -> 'b'
+  | Wait _ -> 'z'
+  | Bye _ -> 'y'
+
+let supervision_to_json s =
+  Json.Obj
+    [
+      ( "deadline_s",
+        match s.deadline_s with Some d -> Json.Float d | None -> Json.Null );
+      ("max_retries", Json.Int s.max_retries);
+      ("quarantine_after", Json.Int s.quarantine_after);
+      ("adaptive_deadline", Json.Bool s.adaptive_deadline);
+    ]
+
+let supervision_of_json j =
+  let int_field name d =
+    match Option.bind (Json.member name j) Json.get_int with Some i -> i | None -> d
+  in
+  {
+    deadline_s = Option.bind (Json.member "deadline_s" j) Json.get_float;
+    max_retries = int_field "max_retries" no_supervision.max_retries;
+    quarantine_after = int_field "quarantine_after" no_supervision.quarantine_after;
+    adaptive_deadline =
+      (match Option.bind (Json.member "adaptive_deadline" j) Json.get_bool with
+      | Some b -> b
+      | None -> false);
+  }
+
+let payload_of = function
+  | Hello { version; name; domains } ->
+      Json.Obj
+        [
+          ("version", Json.Int version);
+          ("name", Json.Str name);
+          ("domains", Json.Int domains);
+        ]
+  | Welcome { version; spec; supervision; hb_interval_s } ->
+      Json.Obj
+        [
+          ("version", Json.Int version);
+          ("spec", Spec.to_json spec);
+          ("supervision", supervision_to_json supervision);
+          ("hb_interval_s", Json.Float hb_interval_s);
+        ]
+  | Request | Heartbeat -> Json.Obj []
+  | Lease { lease; lo; hi; done_ids } ->
+      Json.Obj
+        [
+          ("lease", Json.Int lease);
+          ("lo", Json.Int lo);
+          ("hi", Json.Int hi);
+          ("done", Json.List (List.map (fun i -> Json.Int i) done_ids));
+        ]
+  | Result r -> Journal.to_json r
+  | Complete { lease } -> Json.Obj [ ("lease", Json.Int lease) ]
+  | Wait { seconds } -> Json.Obj [ ("seconds", Json.Float seconds) ]
+  | Bye { reason } -> Json.Obj [ ("reason", Json.Str reason) ]
+
+let to_frame msg = { Wire.tag = tag_of msg; payload = Json.to_string (payload_of msg) }
+
+let ( let* ) = Result.bind
+
+let field name get j =
+  match Option.bind (Json.member name j) get with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "codec: missing or malformed %S" name)
+
+let of_frame { Wire.tag; payload } =
+  let* j = Json.of_string payload in
+  match tag with
+  | 'h' ->
+      let* version = field "version" Json.get_int j in
+      let* name = field "name" Json.get_str j in
+      let* domains = field "domains" Json.get_int j in
+      Ok (Hello { version; name; domains })
+  | 'w' ->
+      let* version = field "version" Json.get_int j in
+      let* spec_json = field "spec" Option.some j in
+      let* spec = Spec.of_json spec_json in
+      let* sup_json = field "supervision" Option.some j in
+      let* hb_interval_s = field "hb_interval_s" Json.get_float j in
+      Ok
+        (Welcome
+           { version; spec; supervision = supervision_of_json sup_json; hb_interval_s })
+  | 'r' -> Ok Request
+  | 'l' ->
+      let* lease = field "lease" Json.get_int j in
+      let* lo = field "lo" Json.get_int j in
+      let* hi = field "hi" Json.get_int j in
+      let* done_list = field "done" Json.get_list j in
+      let done_ids = List.filter_map Json.get_int done_list in
+      if List.length done_ids <> List.length done_list then
+        Error "codec: non-integer trial id in done list"
+      else Ok (Lease { lease; lo; hi; done_ids })
+  | 'R' ->
+      let* r = Journal.of_json j in
+      Ok (Result r)
+  | 'c' ->
+      let* lease = field "lease" Json.get_int j in
+      Ok (Complete { lease })
+  | 'b' -> Ok Heartbeat
+  | 'z' ->
+      let* seconds = field "seconds" Json.get_float j in
+      Ok (Wait { seconds })
+  | 'y' ->
+      let* reason = field "reason" Json.get_str j in
+      Ok (Bye { reason })
+  | c -> Error (Printf.sprintf "codec: unknown message tag %C" c)
+
+let pp ppf = function
+  | Hello { version; name; domains } ->
+      Fmt.pf ppf "hello v%d %s (%d domains)" version name domains
+  | Welcome { version; hb_interval_s; _ } ->
+      Fmt.pf ppf "welcome v%d (heartbeat every %gs)" version hb_interval_s
+  | Request -> Fmt.string ppf "request"
+  | Lease { lease; lo; hi; done_ids } ->
+      Fmt.pf ppf "lease #%d [%d,%d) (%d already done)" lease lo hi (List.length done_ids)
+  | Result r -> Fmt.pf ppf "result trial %d" r.Journal.trial
+  | Complete { lease } -> Fmt.pf ppf "complete #%d" lease
+  | Heartbeat -> Fmt.string ppf "heartbeat"
+  | Wait { seconds } -> Fmt.pf ppf "wait %gs" seconds
+  | Bye { reason } -> Fmt.pf ppf "bye (%s)" reason

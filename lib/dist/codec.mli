@@ -1,0 +1,51 @@
+(** Typed messages of the coordinator/worker protocol and their
+    {!Wire.frame} encoding.
+
+    Payloads are {!Ffault_campaign.Json} objects, reusing the campaign's
+    spec and journal-record serializers verbatim — a [Result] frame
+    carries exactly the JSONL line the coordinator will journal. Every
+    decoder is total: an unknown tag or malformed payload is an
+    [Error], never an exception (the fuzz tests in [test_dist]
+    hold this). *)
+
+module Json = Ffault_campaign.Json
+module Spec = Ffault_campaign.Spec
+module Journal = Ffault_campaign.Journal
+
+(** The supervision settings a coordinator imposes on its workers —
+    the wire form of {!Ffault_campaign.Pool.supervision}. *)
+type supervision = {
+  deadline_s : float option;
+  max_retries : int;
+  quarantine_after : int;
+  adaptive_deadline : bool;
+}
+
+val no_supervision : supervision
+
+type msg =
+  | Hello of { version : int; name : string; domains : int }
+      (** worker → coordinator, first frame of a connection *)
+  | Welcome of {
+      version : int;
+      spec : Spec.t;
+      supervision : supervision;
+      hb_interval_s : float;  (** how often the worker must heartbeat *)
+    }  (** coordinator → worker, accepting the hello *)
+  | Request  (** worker → coordinator: give me a lease *)
+  | Lease of { lease : int; lo : int; hi : int; done_ids : int list }
+      (** coordinator → worker: run trials [\[lo, hi)] minus [done_ids]
+          (already journaled — set on re-leases after a worker death) *)
+  | Result of Journal.record  (** worker → coordinator, one per trial *)
+  | Complete of { lease : int }  (** worker → coordinator: lease finished *)
+  | Heartbeat  (** worker → coordinator, liveness while a lease runs *)
+  | Wait of { seconds : float }
+      (** coordinator → worker: no shard free right now (all leased),
+          ask again after [seconds] *)
+  | Bye of { reason : string }  (** either direction, terminal *)
+
+val to_frame : msg -> Wire.frame
+val of_frame : Wire.frame -> (msg, string) result
+
+val pp : Format.formatter -> msg -> unit
+(** One-line rendering for logs (records and specs elided). *)

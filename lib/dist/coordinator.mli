@@ -1,0 +1,96 @@
+(** The distributed-campaign coordinator: [ffault campaign serve].
+
+    One process owns the campaign directory — manifest, journal,
+    telemetry — and hands the trial grid out to {!Worker} processes as
+    leases over the wire ({!Codec}). The journal stays the single
+    source of truth, which is what makes recovery exactly-once:
+
+    - a lease is only {e retired} once every one of its trials is
+      journaled and the worker's [Complete] frame arrives;
+    - a worker death (socket EOF, error, or heartbeat silence judged by
+      {!Ffault_supervise.Watchdog}) merely requeues its shards, and the
+      re-lease carries the trial ids already journaled so the next
+      worker skips them;
+    - a result for an already-journaled trial — a zombie worker
+      streaming under an expired lease — is dropped before the journal
+      sees it (deduped by trial id, counted in [dist.results_deduped]).
+
+    So trials may {e execute} more than once across worker crashes, but
+    each is {e journaled} exactly once — the same discipline
+    single-process resume already guarantees, now over crash-prone
+    distributed workers (cf. Golab's recoverable consensus).
+
+    The loop is single-threaded ([select] over the listener and every
+    worker socket), so journal writes, lease bookkeeping and the
+    checkpoint mask need no further synchronization. *)
+
+type config = {
+  endpoint : Transport.endpoint;
+  lease_trials : int;  (** trials per lease shard *)
+  lease_timeout_s : float;
+      (** a lease silent this long expires; also the watchdog's stall
+          bound for worker connections *)
+  hb_interval_s : float;  (** heartbeat cadence imposed on workers *)
+  max_workers : int;  (** concurrent connections (heartbeat slots) *)
+  supervision : Codec.supervision;  (** forwarded to every worker *)
+}
+
+val config :
+  ?lease_trials:int ->
+  ?lease_timeout_s:float ->
+  ?hb_interval_s:float ->
+  ?max_workers:int ->
+  ?supervision:Codec.supervision ->
+  Transport.endpoint ->
+  config
+(** Defaults: 1000 trials per lease, 30 s lease timeout, heartbeat
+    every 2 s, 64 workers, no supervision.
+    @raise Invalid_argument on non-positive sizes/timeouts or a
+    heartbeat interval not under the lease timeout. *)
+
+(** Per-worker statistics, persisted as [workers.json] and rendered by
+    [campaign report]'s Workers section. Workers are keyed by their
+    hello name; a name reconnecting (its process restarted, or its
+    connection was dropped by the watchdog) counts a reconnect. *)
+type worker_stats = {
+  w_name : string;
+  w_peer : string;  (** last known address *)
+  w_domains : int;
+  w_granted : int;
+  w_completed : int;
+  w_expired : int;  (** leases lost to disconnect or heartbeat silence *)
+  w_results : int;  (** records journaled from this worker *)
+  w_deduped : int;  (** zombie results dropped by trial-id dedup *)
+  w_reconnects : int;
+}
+
+type summary = {
+  pool : Ffault_campaign.Pool.summary;  (** same shape as a local run *)
+  workers : worker_stats list;
+  leases_granted : int;
+  leases_completed : int;
+  leases_expired : int;
+}
+
+val workers_json : summary -> Ffault_campaign.Json.t
+(** The [workers.json] document ({!serve} writes it; exposed for
+    tests). *)
+
+val serve :
+  ?resume:bool ->
+  ?observe:(Ffault_campaign.Journal.record -> unit) ->
+  ?on_skip:(unit -> unit) ->
+  ?on_warn:(string -> unit) ->
+  ?on_event:(string -> unit) ->
+  root:string ->
+  config ->
+  Ffault_campaign.Spec.t ->
+  (summary, string) result
+(** Run the campaign to completion: listen, lease, journal, and return
+    once every trial id is journaled (workers get a [Bye] and the
+    listener closes). [observe] sees each record after its journal
+    append; [on_skip] fires once per already-journaled trial on resume
+    (both as in {!Ffault_campaign.Pool.run_dir}, so the live progress
+    line plugs in unchanged). [on_event] receives one-line
+    join/leave/lease lifecycle messages. Also writes [telemetry.json]
+    (including the [dist.*] counters) and [workers.json] on success. *)

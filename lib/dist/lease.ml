@@ -1,0 +1,118 @@
+module Clock = Ffault_telemetry.Clock
+
+type lease = { id : int; shard : int; lo : int; hi : int }
+
+type outstanding = { lease : lease; owner : string; mutable renewed_at : int }
+
+type t = {
+  now : unit -> int;
+  timeout_ns : int;
+  total : int;
+  lease_trials : int;
+  mutable queue : int list;  (* shard indices awaiting (re-)grant, FIFO *)
+  live : (int, outstanding) Hashtbl.t;  (* lease id -> grant *)
+  retired : Bytes.t;  (* shard done-mask *)
+  mutable next_id : int;
+  mutable granted_total : int;
+  mutable completed_total : int;
+  mutable expired_total : int;
+}
+
+let create ?(now = Clock.now_ns) ~total ~lease_trials ~timeout_ns () =
+  if total < 0 then invalid_arg "Lease.create: total < 0";
+  if lease_trials < 1 then invalid_arg "Lease.create: lease_trials < 1";
+  if timeout_ns < 1 then invalid_arg "Lease.create: timeout_ns < 1";
+  let shards = (total + lease_trials - 1) / lease_trials in
+  {
+    now;
+    timeout_ns;
+    total;
+    lease_trials;
+    queue = List.init shards Fun.id;
+    live = Hashtbl.create 64;
+    retired = Bytes.make (max 1 shards) '\000';
+    next_id = 0;
+    granted_total = 0;
+    completed_total = 0;
+    expired_total = 0;
+  }
+
+let n_shards t = (t.total + t.lease_trials - 1) / t.lease_trials
+let is_retired t shard = Bytes.get t.retired shard = '\001'
+
+let grant t ~owner =
+  let rec pop = function
+    | [] ->
+        t.queue <- [];
+        None
+    | shard :: rest when is_retired t shard -> pop rest
+    | shard :: rest ->
+        t.queue <- rest;
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        let lo = shard * t.lease_trials in
+        let hi = min t.total (lo + t.lease_trials) in
+        let lease = { id; shard; lo; hi } in
+        Hashtbl.replace t.live id { lease; owner; renewed_at = t.now () };
+        t.granted_total <- t.granted_total + 1;
+        Some lease
+  in
+  pop t.queue
+
+let renew t ~owner =
+  let now = t.now () in
+  Hashtbl.iter (fun _ o -> if o.owner = owner then o.renewed_at <- now) t.live
+
+let find t ~id = Option.map (fun o -> o.lease) (Hashtbl.find_opt t.live id)
+
+let complete t ~id =
+  match Hashtbl.find_opt t.live id with
+  | None -> `Unknown
+  | Some o ->
+      Hashtbl.remove t.live id;
+      Bytes.set t.retired o.lease.shard '\001';
+      t.completed_total <- t.completed_total + 1;
+      `Completed o.lease
+
+(* Requeued shards go to the back: fresh shards first keeps workers off
+   each other's (possibly pathological) reclaimed ranges. *)
+let requeue t o =
+  Hashtbl.remove t.live o.lease.id;
+  if not (is_retired t o.lease.shard) then t.queue <- t.queue @ [ o.lease.shard ]
+
+let revoke t ~id =
+  match Hashtbl.find_opt t.live id with
+  | None -> None
+  | Some o ->
+      requeue t o;
+      Some o.lease
+
+let take_live t pred =
+  let hits = Hashtbl.fold (fun _ o acc -> if pred o then o :: acc else acc) t.live [] in
+  List.iter (requeue t) hits;
+  hits
+
+let fail t ~owner =
+  let hits = take_live t (fun o -> o.owner = owner) in
+  t.expired_total <- t.expired_total + List.length hits;
+  List.map (fun o -> o.lease) hits
+
+let expire t =
+  let now = t.now () in
+  let hits = take_live t (fun o -> now - o.renewed_at > t.timeout_ns) in
+  t.expired_total <- t.expired_total + List.length hits;
+  List.map (fun o -> (o.owner, o.lease)) hits
+
+let live t = Hashtbl.fold (fun _ o acc -> (o.owner, o.lease) :: acc) t.live []
+
+let outstanding t = Hashtbl.length t.live
+
+let pending t =
+  List.length (List.filter (fun s -> not (is_retired t s)) t.queue)
+
+let is_done t =
+  outstanding t = 0 && pending t = 0
+
+let granted_total t = t.granted_total
+let completed_total t = t.completed_total
+let expired_total t = t.expired_total

@@ -1,0 +1,80 @@
+(** The coordinator's lease table: the trial grid sharded into ranges,
+    each leased to at most one worker at a time.
+
+    A lease is a contiguous trial-id range [\[lo, hi)] with a fresh id
+    per grant. Grants record the monotonic clock; a lease not renewed
+    (by any frame from its owner) within [timeout_ns] {e expires} — its
+    shard goes back on the queue and the next {!grant} re-issues it
+    under a new lease id, so a zombie worker still streaming under the
+    old id is recognizable ({!complete} on a stale id is [`Unknown]).
+
+    The table is {e not} the source of truth for campaign completion —
+    the journal is. A shard is only retired when the coordinator has
+    journaled all its trials and calls {!complete}; {!fail} and
+    {!expire} merely make shards grantable again, and duplicated work is
+    deduped downstream by trial id. Crash-recovery discipline after
+    Golab's recoverable-consensus model: re-execution is allowed,
+    re-{e journaling} is not.
+
+    Single-threaded (the coordinator's event loop); timestamps come
+    from the monotonic clock unless a fake [~now] is injected. *)
+
+type lease = { id : int; shard : int; lo : int; hi : int }
+
+type t
+
+val create :
+  ?now:(unit -> int) -> total:int -> lease_trials:int -> timeout_ns:int -> unit -> t
+(** Shard [\[0, total)] into ⌈total / lease_trials⌉ ranges. [now]
+    defaults to {!Ffault_telemetry.Clock.now_ns}.
+    @raise Invalid_argument if [total < 0], [lease_trials < 1] or
+    [timeout_ns < 1]. *)
+
+val n_shards : t -> int
+
+val grant : t -> owner:string -> lease option
+(** Lease the next free shard to [owner]; [None] if every shard is
+    currently leased or retired. *)
+
+val renew : t -> owner:string -> unit
+(** Refresh the expiry clock of every lease [owner] holds (called on
+    any frame from that worker — traffic is liveness). *)
+
+val find : t -> id:int -> lease option
+(** The outstanding lease [id], if it is still live. *)
+
+val complete : t -> id:int -> [ `Completed of lease | `Unknown ]
+(** Retire the shard behind lease [id]. [`Unknown] if [id] is not
+    outstanding — a stale lease that already expired and was re-issued;
+    the caller ignores it (the re-lease owns the shard now). *)
+
+val revoke : t -> id:int -> lease option
+(** Requeue lease [id] without retiring its shard (a worker completed
+    it with trials missing from the journal — misbehaving, so take the
+    shard back). [None] if not outstanding. *)
+
+val fail : t -> owner:string -> lease list
+(** Requeue every lease [owner] holds (worker died or disconnected).
+    Returns what was requeued. *)
+
+val expire : t -> (string * lease) list
+(** Requeue every outstanding lease past its timeout; returns them with
+    their former owners. Called once per event-loop tick. *)
+
+val live : t -> (string * lease) list
+(** Every outstanding lease with its owner (shutdown sweep: the
+    coordinator retires fully-journaled leases whose [Complete] frame
+    is still in flight when the campaign finishes). *)
+
+val outstanding : t -> int
+val pending : t -> int
+(** Shards queued for (re-)grant. *)
+
+val is_done : t -> bool
+(** Every shard retired. *)
+
+(** {2 Counters} (lifetime totals, for [workers.json] / telemetry) *)
+
+val granted_total : t -> int
+val completed_total : t -> int
+val expired_total : t -> int

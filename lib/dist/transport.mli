@@ -1,0 +1,60 @@
+(** Socket transport for the distributed campaign: Unix-domain and TCP,
+    framed by {!Wire}.
+
+    Endpoints parse from the CLI syntax [unix:PATH] / [tcp:HOST:PORT].
+    A {!conn} owns one socket, a send mutex (the worker's heartbeat
+    thread and its result stream interleave safely) and an incremental
+    {!Wire.Decoder}; every byte in or out bumps the [dist.bytes_*]
+    counters, so traffic shows up in the coordinator's
+    [telemetry.json]. *)
+
+type endpoint = Unix_sock of string | Tcp of string * int
+
+val endpoint_of_string : string -> (endpoint, string) result
+(** [unix:PATH] or [tcp:HOST:PORT]. *)
+
+val endpoint_to_string : endpoint -> string
+val pp_endpoint : Format.formatter -> endpoint -> unit
+
+(** {2 Connections} *)
+
+type conn
+
+val fd : conn -> Unix.file_descr
+val peer : conn -> string
+(** Human-readable peer address, for logs and the Workers report. *)
+
+val send : conn -> Wire.frame -> (unit, string) result
+(** Blocking, serialized by the connection's mutex; [Error] on a broken
+    pipe (the peer died — the caller drops the connection). *)
+
+val send_msg : conn -> Codec.msg -> (unit, string) result
+
+val recv_step :
+  conn -> [ `Frames of Wire.frame list | `Closed | `Error of string ]
+(** One [read] syscall (blocking until the peer writes or closes — on
+    the coordinator, call only after [select] reports the fd readable),
+    fed to the decoder; returns every frame it completed (possibly
+    none: [`Frames []]). [`Closed] is a clean EOF. *)
+
+val recv_msg : conn -> [ `Msg of Codec.msg | `Closed | `Error of string ]
+(** Blocking: pump {!recv_step} until one full message decodes. *)
+
+val close : conn -> unit
+(** Idempotent. *)
+
+(** {2 Client} *)
+
+val connect : endpoint -> (conn, string) result
+
+(** {2 Server} *)
+
+type listener
+
+val listen : ?backlog:int -> endpoint -> (listener, string) result
+(** Bind and listen. A Unix-domain endpoint unlinks any stale socket
+    file first and unlinks it again on {!close_listener}. *)
+
+val listener_fd : listener -> Unix.file_descr
+val accept : listener -> (conn, string) result
+val close_listener : listener -> unit

@@ -1,0 +1,167 @@
+module Campaign = Ffault_campaign
+module Pool = Campaign.Pool
+module Journal = Campaign.Journal
+module Metrics = Ffault_telemetry.Metrics
+
+let m_leases = Metrics.counter "dist.worker_leases"
+let m_trials = Metrics.counter "dist.worker_trials"
+
+type config = {
+  endpoint : Transport.endpoint;
+  name : string;
+  domains : int;
+  chunk : int;
+}
+
+let default_name () =
+  let host = try Unix.gethostname () with Unix.Unix_error _ -> "worker" in
+  Fmt.str "%s-%d" host (Unix.getpid ())
+
+let config ?name ?(domains = 1) ?(chunk = 64) endpoint =
+  if domains < 1 then invalid_arg "Worker.config: domains < 1";
+  if chunk < 1 then invalid_arg "Worker.config: chunk < 1";
+  let name = match name with Some n -> n | None -> default_name () in
+  { endpoint; name; domains; chunk }
+
+type summary = {
+  leases_run : int;
+  trials_run : int;
+  trials_skipped : int;
+  stop_reason : string;
+}
+
+let supervision_of_wire (s : Codec.supervision) =
+  (* adaptive without a deadline is meaningless (and the Pool builder
+     rejects it); a coordinator never sends it, but the wire could *)
+  let adaptive = s.Codec.adaptive_deadline && s.Codec.deadline_s <> None in
+  Pool.supervision ?deadline_s:s.Codec.deadline_s ~max_retries:s.Codec.max_retries
+    ~quarantine_after:s.Codec.quarantine_after ~adaptive_deadline:adaptive ()
+
+(* The heartbeat thread: one [Heartbeat] frame per interval until
+   stopped. Send failures are ignored here — the main loop is about to
+   see the same broken socket on its next send or recv. *)
+let start_heartbeat conn ~interval_s =
+  let stop = Atomic.make false in
+  let thread =
+    Thread.create
+      (fun () ->
+        let slice = 0.05 in
+        let rec sleep remaining =
+          if remaining > 0.0 && not (Atomic.get stop) then begin
+            Thread.delay (Float.min slice remaining);
+            sleep (remaining -. slice)
+          end
+        in
+        while not (Atomic.get stop) do
+          ignore (Transport.send_msg conn Codec.Heartbeat);
+          sleep interval_s
+        done)
+      ()
+  in
+  fun () ->
+    Atomic.set stop true;
+    Thread.join thread
+
+let run ?(on_event = fun _ -> ()) cfg =
+  let ( let* ) = Result.bind in
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let* conn = Transport.connect cfg.endpoint in
+  let finish r =
+    Transport.close conn;
+    r
+  in
+  let* () =
+    Transport.send_msg conn
+      (Codec.Hello { version = Wire.version; name = cfg.name; domains = cfg.domains })
+  in
+  let* spec, supervision, hb_interval_s =
+    match Transport.recv_msg conn with
+    | `Msg (Codec.Welcome { version; spec; supervision; hb_interval_s }) ->
+        if version <> Wire.version then
+          finish
+            (Error
+               (Fmt.str "version mismatch: coordinator speaks %d, we speak %d" version
+                  Wire.version))
+        else Ok (spec, supervision, hb_interval_s)
+    | `Msg (Codec.Bye { reason }) -> finish (Error (Fmt.str "rejected: %s" reason))
+    | `Msg m -> finish (Error (Fmt.str "expected welcome, got %a" Codec.pp m))
+    | `Closed -> finish (Error "connection closed before welcome")
+    | `Error e -> finish (Error e)
+  in
+  let supervision = supervision_of_wire supervision in
+  let stop_hb = start_heartbeat conn ~interval_s:hb_interval_s in
+  let leases_run = ref 0 in
+  let trials_run = ref 0 in
+  let trials_skipped = ref 0 in
+  let finish r =
+    stop_hb ();
+    finish r
+  in
+  let run_lease ~lease ~lo ~hi ~done_ids =
+    on_event
+      (Fmt.str "lease #%d [%d,%d): %d trial(s), %d already journaled" lease lo hi
+         (hi - lo) (List.length done_ids));
+    let done_tbl = Hashtbl.create (List.length done_ids * 2 + 1) in
+    List.iter (fun id -> Hashtbl.replace done_tbl id ()) done_ids;
+    let skip id = id < lo || id >= hi || Hashtbl.mem done_tbl id in
+    (* if the coordinator vanishes mid-lease the sends start failing;
+       note the first error, let the (bounded) range finish, bail after *)
+    let send_error = ref None in
+    let on_record r =
+      incr trials_run;
+      Metrics.incr m_trials;
+      if !send_error = None then
+        match Transport.send_msg conn (Codec.Result r) with
+        | Ok () -> ()
+        | Error e -> send_error := Some e
+    in
+    ignore
+      (Pool.run_trials ~domains:cfg.domains ~chunk:cfg.chunk ~skip ~supervision
+         ~on_record spec);
+    incr leases_run;
+    Metrics.incr m_leases;
+    trials_skipped := !trials_skipped + List.length done_ids;
+    match !send_error with
+    | Some e -> Error (Fmt.str "streaming results: %s" e)
+    | None -> Transport.send_msg conn (Codec.Complete { lease })
+  in
+  (* A failed send may have raced the coordinator's shutdown: the [Bye]
+     is written before the socket closes, so it is ordered before the
+     EOF and still readable. Prefer it over the send error; a
+     coordinator that actually died yields [`Closed] and the error
+     stands. *)
+  let bye_or err =
+    match Transport.recv_msg conn with
+    | `Msg (Codec.Bye { reason }) -> Ok reason
+    | `Msg _ | `Closed | `Error _ -> Error err
+  in
+  let rec serve () =
+    match Transport.send_msg conn Codec.Request with
+    | Error e -> bye_or e
+    | Ok () -> (
+        match Transport.recv_msg conn with
+        | `Msg (Codec.Lease { lease; lo; hi; done_ids }) -> (
+            match run_lease ~lease ~lo ~hi ~done_ids with
+            | Ok () -> serve ()
+            | Error e -> bye_or e)
+        | `Msg (Codec.Wait { seconds }) ->
+            Thread.delay (Float.max 0.01 seconds);
+            serve ()
+        | `Msg (Codec.Bye { reason }) -> Ok reason
+        | `Msg (Codec.Heartbeat) -> serve () (* tolerated, not expected *)
+        | `Msg m -> Error (Fmt.str "expected lease, got %a" Codec.pp m)
+        | `Closed -> Error "connection closed"
+        | `Error e -> Error e)
+  in
+  match serve () with
+  | Ok reason ->
+      on_event (Fmt.str "coordinator: %s" reason);
+      finish
+        (Ok
+           {
+             leases_run = !leases_run;
+             trials_run = !trials_run;
+             trials_skipped = !trials_skipped;
+             stop_reason = reason;
+           })
+  | Error e -> finish (Error e)

@@ -1,0 +1,48 @@
+(** The distributed-campaign worker: [ffault worker].
+
+    A worker owns no campaign state. It connects to a coordinator,
+    introduces itself ([Hello]), learns the spec and supervision
+    settings from the [Welcome], then loops: request a lease, run its
+    trial range through the ordinary in-memory engine
+    ({!Ffault_campaign.Pool.run_trials} — domains, deadlines, retries,
+    quarantine and adaptive deadlines all behave exactly as in a local
+    run), stream one [Result] frame per record, and send [Complete].
+    [Wait] backs it off when every shard is leased; [Bye] (or a closed
+    socket once the campaign is done) ends it.
+
+    A background thread heartbeats at the cadence the [Welcome]
+    dictates, so a worker grinding through a slow trial range never
+    looks dead to the coordinator's watchdog. Results are sent from the
+    engine's serialized [on_record] path and heartbeats from the
+    thread; the connection's send mutex interleaves them safely.
+
+    Workers are deliberately crash-oblivious: they journal nothing and
+    resume nothing. If one dies mid-lease, the coordinator re-leases the
+    shard with the journaled trial ids excluded — the exactly-once
+    guarantee lives entirely on the coordinator side. *)
+
+type config = {
+  endpoint : Transport.endpoint;
+  name : string;  (** identity shown in the coordinator's Workers report *)
+  domains : int;  (** engine domains for each lease *)
+  chunk : int;  (** work-stealing chunk, as in [Pool.run_trials] *)
+}
+
+val config : ?name:string -> ?domains:int -> ?chunk:int -> Transport.endpoint -> config
+(** Default name [<hostname>-<pid>], 1 domain, chunk 64.
+    @raise Invalid_argument if [domains < 1] or [chunk < 1]. *)
+
+type summary = {
+  leases_run : int;
+  trials_run : int;  (** records streamed (excludes [done_ids] skips) *)
+  trials_skipped : int;  (** [done_ids] on re-leases — already journaled *)
+  stop_reason : string;  (** the coordinator's [Bye] reason, or the error *)
+}
+
+val run :
+  ?on_event:(string -> unit) ->
+  config ->
+  (summary, string) result
+(** Serve leases until the coordinator says [Bye] (normal completion,
+    [Ok]) or the connection fails ([Error]). [on_event] receives
+    one-line lease lifecycle messages. *)

@@ -1,22 +1,102 @@
 (* The committed baseline: grandfathered findings that do not fail the
-   lint. Matching is exact on (rule, file, line) — editing a baselined
-   file past the recorded line surfaces the finding again, which is the
-   intended pressure to fix rather than carry debt. *)
+   lint. Matching is fuzzy: (rule, normalized file, context hash of the
+   ±2 surrounding lines), so a finding that merely moved — code added
+   or removed elsewhere in the file — stays grandfathered, while
+   editing the flagged region itself changes the context and surfaces
+   the finding again (the intended pressure to fix rather than carry
+   debt). Entries without a context hash — a v1 baseline, or a file
+   that was unreadable when the baseline was written — fall back to
+   exact (rule, file, line). *)
 
 module Json = Ffault_campaign.Json
 
-type entry = { rule : string; file : string; line : int; note : string }
+type entry = {
+  rule : string;
+  file : string;
+  line : int;
+  ctx : string option;
+  note : string;
+}
+
 type t = entry list
 
 let empty = []
 
-let entry_of_finding (f : Finding.t) =
-  { rule = f.rule; file = Policy.normalize f.file; line = f.line; note = f.message }
+(* 64-bit FNV-1a, rendered as 16 hex digits. [Hashtbl.hash] would be
+   shorter but is not specified stable across OCaml versions — a
+   committed baseline must hash identically on every machine. *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
 
-let of_findings findings = List.map entry_of_finding findings
+let fnv1a s =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  Fmt.str "%016Lx" !h
+
+let read_lines path =
+  if not (Sys.file_exists path) then None
+  else
+    match In_channel.with_open_text path In_channel.input_all with
+    | text -> Some (Array.of_list (String.split_on_char '\n' text))
+    | exception Sys_error _ -> None
+
+let context_radius = 2
+
+let context_of_lines lines ~line =
+  let n = Array.length lines in
+  if line < 1 || line > n then None
+  else begin
+    let lo = max 0 (line - 1 - context_radius) in
+    let hi = min (n - 1) (line - 1 + context_radius) in
+    let buf = Buffer.create 256 in
+    for i = lo to hi do
+      (* trimmed: reindentation is not an edit *)
+      Buffer.add_string buf (String.trim lines.(i));
+      Buffer.add_char buf '\n'
+    done;
+    Some (fnv1a (Buffer.contents buf))
+  end
+
+let context_hash ~path ~line =
+  Option.bind (read_lines path) (fun lines -> context_of_lines lines ~line)
+
+(* one file read per distinct path, however many findings it carries *)
+let context_cache () =
+  let files = Hashtbl.create 8 in
+  fun ~path ~line ->
+    let lines =
+      match Hashtbl.find_opt files path with
+      | Some l -> l
+      | None ->
+          let l = read_lines path in
+          Hashtbl.add files path l;
+          l
+    in
+    Option.bind lines (fun lines -> context_of_lines lines ~line)
+
+let entry_of_finding ctx_of (f : Finding.t) =
+  {
+    rule = f.rule;
+    file = Policy.normalize f.file;
+    line = f.line;
+    ctx = ctx_of ~path:f.file ~line:f.line;
+    note = f.message;
+  }
+
+let of_findings findings = List.map (entry_of_finding (context_cache ())) findings
+
+let matches_ctx e ~ctx (f : Finding.t) =
+  e.rule = f.Finding.rule
+  && e.file = Policy.normalize f.Finding.file
+  &&
+  match e.ctx, ctx with
+  | Some ec, Some fc -> ec = fc
+  | _ -> e.line = f.Finding.line
 
 let matches e (f : Finding.t) =
-  e.rule = f.rule && e.file = Policy.normalize f.file && e.line = f.line
+  matches_ctx e ~ctx:(context_hash ~path:f.Finding.file ~line:f.Finding.line) f
 
 type split = {
   fresh : Finding.t list;  (** not in the baseline: these fail the lint *)
@@ -24,38 +104,71 @@ type split = {
   expired : entry list;  (** baseline entries that no longer match anything *)
 }
 
+(* One entry absorbs one finding. Context hashes can collide honestly
+   (copy-pasted code flagged in two places), so candidate pairs are
+   assigned greedily by line distance — the recorded line is the
+   tiebreaker, not the matcher. *)
 let apply t findings =
-  let fresh, baselined =
-    List.partition (fun f -> not (List.exists (fun e -> matches e f) t)) findings
+  let ctx_of = context_cache () in
+  let fa = Array.of_list findings in
+  let fctx =
+    Array.map (fun (f : Finding.t) -> ctx_of ~path:f.Finding.file ~line:f.Finding.line) fa
   in
-  let expired =
-    List.filter (fun e -> not (List.exists (fun f -> matches e f) findings)) t
-  in
-  { fresh; baselined; expired }
+  let ea = Array.of_list t in
+  let pairs = ref [] in
+  Array.iteri
+    (fun ei e ->
+      Array.iteri
+        (fun fi f ->
+          if matches_ctx e ~ctx:fctx.(fi) f then
+            pairs := (abs (e.line - f.Finding.line), ei, fi) :: !pairs)
+        fa)
+    ea;
+  let e_used = Array.make (Array.length ea) false in
+  let f_used = Array.make (Array.length fa) false in
+  List.iter
+    (fun (_, ei, fi) ->
+      if (not e_used.(ei)) && not f_used.(fi) then begin
+        e_used.(ei) <- true;
+        f_used.(fi) <- true
+      end)
+    (List.sort compare !pairs);
+  let fresh = ref [] and baselined = ref [] in
+  Array.iteri
+    (fun fi f -> if f_used.(fi) then baselined := f :: !baselined else fresh := f :: !fresh)
+    fa;
+  let expired = ref [] in
+  Array.iteri (fun ei e -> if not e_used.(ei) then expired := e :: !expired) ea;
+  { fresh = List.rev !fresh; baselined = List.rev !baselined; expired = List.rev !expired }
 
 (* ---- persistence ---- *)
 
 let entry_to_json e =
   Json.Obj
-    [
-      ("rule", Json.Str e.rule);
-      ("file", Json.Str e.file);
-      ("line", Json.Int e.line);
-      ("note", Json.Str e.note);
-    ]
+    ([
+       ("rule", Json.Str e.rule);
+       ("file", Json.Str e.file);
+       ("line", Json.Int e.line);
+     ]
+    @ (match e.ctx with Some c -> [ ("ctx", Json.Str c) ] | None -> [])
+    @ [ ("note", Json.Str e.note) ])
 
-let to_json t = Json.Obj [ ("version", Json.Int 1); ("entries", Json.List (List.map entry_to_json t)) ]
+let to_json t =
+  Json.Obj [ ("version", Json.Int 2); ("entries", Json.List (List.map entry_to_json t)) ]
 
 let entry_of_json j =
   let ( let* ) = Option.bind in
   let* rule = Option.bind (Json.member "rule" j) Json.get_str in
   let* file = Option.bind (Json.member "file" j) Json.get_str in
   let* line = Option.bind (Json.member "line" j) Json.get_int in
+  let ctx = Option.bind (Json.member "ctx" j) Json.get_str in
   let note =
     Option.value ~default:"" (Option.bind (Json.member "note" j) Json.get_str)
   in
-  Some { rule; file; line; note }
+  Some { rule; file; line; ctx; note }
 
+(* v1 files (no "version", entries without "ctx") parse unchanged —
+   their entries simply match exactly. *)
 let of_json j =
   match Option.bind (Json.member "entries" j) Json.get_list with
   | None -> Error "baseline: missing \"entries\" list"

@@ -1,18 +1,45 @@
 (** The committed baseline file: grandfathered findings that are
     reported but do not fail the lint.
 
-    Matching is exact on (rule, normalized file, line): editing a
-    baselined region surfaces its finding again — deliberate pressure to
-    fix rather than carry debt. Entries no longer matching any current
-    finding are {e expired} and should be pruned (regenerate with
-    [ffault lint --write-baseline]). *)
+    Matching is fuzzy on (rule, normalized file, context hash): the
+    hash covers the trimmed ±2 lines around the finding, so a finding
+    that merely {e moved} (edits elsewhere in the file shifted its line
+    number) stays grandfathered, while an edit to the flagged region
+    itself changes the context and surfaces the finding again —
+    deliberate pressure to fix rather than carry debt. The recorded
+    line is the tiebreaker when context hashes collide (copy-pasted
+    code), and the exact matcher when either side has no hash (a v1
+    baseline, or an unreadable file). Entries no longer matching any
+    current finding are {e expired} and should be pruned (regenerate
+    with [ffault lint --write-baseline]). *)
 
-type entry = { rule : string; file : string; line : int; note : string }
+type entry = {
+  rule : string;
+  file : string;
+  line : int;  (** where the finding was when baselined; tiebreaker *)
+  ctx : string option;  (** {!context_hash} at baseline time *)
+  note : string;
+}
+
 type t = entry list
 
 val empty : t
+
 val of_findings : Finding.t list -> t
+(** Reads each finding's file to record its context hash ([ctx = None]
+    if unreadable — such entries match exactly by line). *)
+
+val context_radius : int
+(** 2 — lines hashed on each side of the finding. *)
+
+val context_hash : path:string -> line:int -> string option
+(** 64-bit FNV-1a (stable across machines, unlike [Hashtbl.hash]) of
+    the trimmed lines [line ± context_radius], as 16 hex digits.
+    [None] if the file is unreadable or the line out of range. *)
+
 val matches : entry -> Finding.t -> bool
+(** Reads the finding's file to compare contexts; {!apply} amortizes
+    that read across findings. *)
 
 type split = {
   fresh : Finding.t list;  (** not in the baseline: these fail the lint *)
@@ -21,8 +48,12 @@ type split = {
 }
 
 val apply : t -> Finding.t list -> split
+(** One-to-one: each entry absorbs at most one finding, candidate pairs
+    assigned nearest-line first. *)
 
 val to_json : t -> Ffault_campaign.Json.t
+(** Version 2; version-1 files (entries without [ctx]) still load. *)
+
 val of_json : Ffault_campaign.Json.t -> (t, string) result
 val load : path:string -> (t, string) result
 val save : path:string -> t -> unit

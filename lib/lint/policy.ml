@@ -116,6 +116,14 @@ let default =
              through Faulty_cas";
         };
         {
+          prefix = "lib/dist/worker.ml";
+          rules = [ "raw-atomic" ];
+          why =
+            "audited: the heartbeat thread's stop flag is cross-thread control \
+             state of the transport layer; trials themselves only touch CAS \
+             through Faulty_cas";
+        };
+        {
           prefix = "lib/campaign/live.ml";
           rules = [ "raw-atomic" ];
           why =

@@ -25,6 +25,11 @@ type config = {
   style : Faulty_cas.style;  (** overriding, silent or nonresponsive *)
   t_bound : int option;  (** per-object observable-fault cap *)
   deadline_s : float option;  (** wall-clock trial deadline, seconds *)
+  on_progress : (int -> unit) option;
+      (** liveness hook, called with the executing domain's id at each
+          domain start and before every CAS — a watchdog heartbeats from
+          here ({!Ffault_supervise.Mc}); must be cheap and safe from any
+          domain *)
 }
 
 val config :
@@ -33,6 +38,7 @@ val config :
   ?t_bound:int ->
   ?inputs:int array ->
   ?deadline_s:float ->
+  ?on_progress:(int -> unit) ->
   n_domains:int ->
   protocol ->
   config

@@ -1,0 +1,94 @@
+#!/bin/sh
+# Distributed chaos smoke: a coordinator shards a 40k-trial grid to
+# three worker processes over a Unix socket, one worker is SIGKILLed
+# mid-campaign, and the run must still finish with every trial
+# journaled exactly once — the killed worker's lease expires, its shard
+# is re-leased with the journaled trials excluded, and the zombie's
+# stale results (if any) are deduped by trial id. This is the
+# exactly-once claim of doc/DISTRIBUTED.md run as a test;
+# `make dist-chaos-smoke` and CI both drive it.
+set -eu
+
+ROOT=_campaigns
+NAME=dist-chaos-smoke
+DIR="$ROOT/$NAME"
+BIN=_build/default/bin/main.exe
+SOCK="${TMPDIR:-/tmp}/ffault-dist-chaos-$$.sock"
+# grid: f in 1..2 (2) x rates 0.3,0.6 (2) = 4 cells x 10000 trials.
+TOTAL=40000
+
+dune build bin/main.exe
+rm -rf "$DIR"
+rm -f "$SOCK"
+
+# Run the binaries directly (not through `dune exec`) so the kill lands
+# on the worker process itself, not a wrapper that would orphan it.
+# Small leases + a short timeout keep the post-kill reclaim quick.
+"$BIN" campaign serve --name "$NAME" --protocol fig3 \
+  --faults 1..2 --bound 1 --procs 3 --rates 0.3,0.6 --trials 10000 \
+  --listen "unix:$SOCK" --lease-trials 500 --lease-timeout 2 \
+  --hb-interval 0.5 --quiet &
+SERVE_PID=$!
+
+# Workers must not race the coordinator's bind.
+tries=0
+while [ ! -S "$SOCK" ]; do
+  tries=$((tries + 1))
+  if [ "$tries" -gt 100 ]; then
+    echo "dist-chaos-smoke FAILED: coordinator never listened on $SOCK" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+  fi
+  sleep 0.1
+done
+
+"$BIN" worker --connect "unix:$SOCK" --name chaos-w1 --domains 2 --quiet &
+W1=$!
+"$BIN" worker --connect "unix:$SOCK" --name chaos-w2 --domains 2 --quiet &
+W2=$!
+"$BIN" worker --connect "unix:$SOCK" --name chaos-w3 --domains 2 --quiet &
+W3=$!
+
+# Let the campaign get moving, then murder one worker mid-lease.
+sleep 0.6
+BEFORE=$(grep -c '"trial":' "$DIR/journal.jsonl" 2>/dev/null || echo 0)
+if [ "$BEFORE" -ge "$TOTAL" ]; then
+  echo "dist-chaos-smoke FAILED: campaign finished before the kill ($BEFORE trials); raise --trials" >&2
+  exit 1
+fi
+kill -9 "$W1" 2>/dev/null || true
+echo "killed worker chaos-w1 after ~$BEFORE journaled trials"
+
+# The survivors and the coordinator must converge on a complete journal.
+wait "$SERVE_PID"
+wait "$W2"
+wait "$W3"
+wait "$W1" 2>/dev/null || true
+rm -f "$SOCK"
+
+LINES=$(grep -c '"trial":' "$DIR/journal.jsonl")
+UNIQUE=$(grep -o '"trial":[0-9]*' "$DIR/journal.jsonl" | sort -u | wc -l)
+if [ "$LINES" -ne "$TOTAL" ] || [ "$UNIQUE" -ne "$TOTAL" ]; then
+  echo "dist-chaos-smoke FAILED: $LINES journal lines, $UNIQUE unique trials, expected $TOTAL" >&2
+  exit 1
+fi
+
+if [ ! -f "$DIR/workers.json" ]; then
+  echo "dist-chaos-smoke FAILED: coordinator left no workers.json" >&2
+  exit 1
+fi
+
+"$BIN" campaign report --name "$NAME" >/dev/null
+if ! grep -q '^## Workers' "$DIR/report.md"; then
+  echo "dist-chaos-smoke FAILED: report.md has no Workers section" >&2
+  exit 1
+fi
+# The kill must be visible: at least one lease expired and was reassigned.
+if ! grep -q 'expired and reassigned' "$DIR/report.md"; then
+  echo "dist-chaos-smoke FAILED: no reassigned lease in the Workers ledger (was the worker killed too late?)" >&2
+  grep -A4 '^## Workers' "$DIR/report.md" >&2 || true
+  exit 1
+fi
+
+echo "dist-chaos-smoke OK: $TOTAL trials exactly once across 3 workers (one SIGKILLed at ~$BEFORE)"
+grep -A2 '^## Workers' "$DIR/report.md" | tail -1

@@ -1,0 +1,499 @@
+(* Tests for the distributed campaign subsystem: wire framing (including
+   truncation, oversize and garbage fuzz — malformed input must error,
+   never raise), the typed codec, the fake-clock lease table, and one
+   in-process coordinator/worker run over a real Unix socket. *)
+
+module Dist = Ffault_dist
+module Wire = Dist.Wire
+module Codec = Dist.Codec
+module Lease = Dist.Lease
+module Transport = Dist.Transport
+module Campaign = Ffault_campaign
+module Spec = Campaign.Spec
+module Grid = Campaign.Grid
+module Journal = Campaign.Journal
+module Checkpoint = Campaign.Checkpoint
+
+let check = Alcotest.check
+
+let raises_invalid name f =
+  match f () with
+  | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+  | exception Invalid_argument _ -> ()
+
+let tmp_root =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Fmt.str "ffault-dist-test-%d-%d" (Unix.getpid ()) !n)
+    in
+    Checkpoint.mkdir_p dir;
+    dir
+
+(* ---- wire ---- *)
+
+let frame tag payload = { Wire.tag; payload }
+
+let drain dec =
+  let rec go acc =
+    match Wire.Decoder.next dec with
+    | Ok (Some f) -> go (f :: acc)
+    | Ok None -> Ok (List.rev acc)
+    | Error _ as e -> e
+  in
+  go []
+
+let test_wire_roundtrip () =
+  let frames = [ frame 'h' "{}"; frame 'R' (String.make 1000 'x'); frame 'b' "" ] in
+  let bytes = String.concat "" (List.map Wire.encode frames) in
+  let dec = Wire.Decoder.create () in
+  Wire.Decoder.feed dec bytes;
+  match drain dec with
+  | Error m -> Alcotest.fail m
+  | Ok decoded ->
+      check Alcotest.int "all frames" (List.length frames) (List.length decoded);
+      List.iter2
+        (fun (a : Wire.frame) (b : Wire.frame) ->
+          check Alcotest.char "tag" a.Wire.tag b.Wire.tag;
+          check Alcotest.string "payload" a.Wire.payload b.Wire.payload)
+        frames decoded
+
+let test_wire_byte_at_a_time () =
+  let f = frame 'l' "{\"lease\":3}" in
+  let bytes = Wire.encode f in
+  let dec = Wire.Decoder.create () in
+  let seen = ref 0 in
+  String.iter
+    (fun c ->
+      Wire.Decoder.feed dec (String.make 1 c);
+      match Wire.Decoder.next dec with
+      | Ok (Some g) ->
+          incr seen;
+          check Alcotest.string "payload survives dribble" f.Wire.payload g.Wire.payload
+      | Ok None -> ()
+      | Error m -> Alcotest.fail m)
+    bytes;
+  check Alcotest.int "exactly one frame" 1 !seen
+
+let test_wire_truncated () =
+  let bytes = Wire.encode (frame 'h' "abcdef") in
+  let cut = String.sub bytes 0 (String.length bytes - 3) in
+  let dec = Wire.Decoder.create () in
+  Wire.Decoder.feed dec cut;
+  (match Wire.Decoder.next dec with
+  | Ok None -> ()
+  | Ok (Some _) -> Alcotest.fail "truncated frame decoded"
+  | Error m -> Alcotest.fail m);
+  (* the rest arrives: the frame completes *)
+  Wire.Decoder.feed dec (String.sub bytes (String.length cut) 3);
+  match Wire.Decoder.next dec with
+  | Ok (Some f) -> check Alcotest.string "completed" "abcdef" f.Wire.payload
+  | Ok None -> Alcotest.fail "frame still incomplete"
+  | Error m -> Alcotest.fail m
+
+let test_wire_oversized_and_zero () =
+  let reject prefix name =
+    let dec = Wire.Decoder.create () in
+    Wire.Decoder.feed dec prefix;
+    (match Wire.Decoder.next dec with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (name ^ ": expected a decode error"));
+    (* poisoned: even a well-formed frame afterwards stays an error *)
+    Wire.Decoder.feed dec (Wire.encode (frame 'h' "x"));
+    match Wire.Decoder.next dec with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (name ^ ": decoder recovered from poison")
+  in
+  let be32 v =
+    let b = Bytes.create 4 in
+    Bytes.set_int32_be b 0 v;
+    Bytes.to_string b
+  in
+  reject (be32 (Int32.of_int (Wire.max_frame_bytes + 1))) "oversized";
+  reject (be32 0l) "zero length";
+  (* a length prefix with the top bit set must error, not wrap around *)
+  reject (be32 0x80000001l) "negative length"
+
+let test_wire_fuzz () =
+  (* deterministic garbage: the decoder must return Ok/Error, never
+     raise, whatever bytes arrive in whatever chunking *)
+  let state = ref 0x2545F4914F6CDD1D in
+  let next_byte () =
+    state := (!state * 25214903917) + 11;
+    Char.chr (!state lsr 33 land 0xFF)
+  in
+  for _round = 1 to 50 do
+    let dec = Wire.Decoder.create () in
+    let budget = ref 2000 in
+    (try
+       while !budget > 0 do
+         let len = 1 + (Char.code (next_byte ()) mod 64) in
+         let chunk = String.init len (fun _ -> next_byte ()) in
+         budget := !budget - len;
+         Wire.Decoder.feed dec chunk;
+         match drain dec with Ok _ | Error _ -> ()
+       done
+     with e -> Alcotest.failf "decoder raised on garbage: %s" (Printexc.to_string e))
+  done
+
+let test_wire_validation () =
+  raises_invalid "oversized encode" (fun () ->
+      Wire.encode (frame 'x' (String.make (Wire.max_frame_bytes + 1) 'a')))
+
+(* ---- codec ---- *)
+
+let fixture_spec =
+  Spec.v ~name:"dist-test" ~protocol:"fig3" ~f:[ 1; 2 ] ~t:[ Some 1 ] ~n:[ 3 ]
+    ~rates:[ 0.3; 0.6 ] ~trials:10 ~seed:0xD15CL ()
+
+let fixture_record =
+  let cells = Grid.cells fixture_spec in
+  {
+    Journal.trial = 17;
+    cell = cells.(17 / fixture_spec.Spec.trials);
+    seed = 0xABCDEFL;
+    ok = false;
+    outcome = Journal.Violation;
+    retries = 1;
+    violations = [ "consistency: divergent decide" ];
+    steps = 41;
+    max_steps = 17;
+    stage = 3;
+    faults = 2;
+    wall_us = 180;
+    witness = Some [| 1; 0; 2 |];
+  }
+
+let all_msgs =
+  [
+    Codec.Hello { version = Wire.version; name = "w1"; domains = 4 };
+    Codec.Welcome
+      {
+        version = Wire.version;
+        spec = fixture_spec;
+        supervision =
+          {
+            Codec.deadline_s = Some 2.5;
+            max_retries = 3;
+            quarantine_after = 5;
+            adaptive_deadline = true;
+          };
+        hb_interval_s = 2.0;
+      };
+    Codec.Welcome
+      {
+        version = Wire.version;
+        spec = fixture_spec;
+        supervision = Codec.no_supervision;
+        hb_interval_s = 0.5;
+      };
+    Codec.Request;
+    Codec.Lease { lease = 7; lo = 100; hi = 200; done_ids = [ 101; 150; 199 ] };
+    Codec.Lease { lease = 0; lo = 0; hi = 50; done_ids = [] };
+    Codec.Result fixture_record;
+    Codec.Complete { lease = 7 };
+    Codec.Heartbeat;
+    Codec.Wait { seconds = 0.25 };
+    Codec.Bye { reason = "campaign complete" };
+  ]
+
+let test_codec_roundtrip () =
+  List.iter
+    (fun msg ->
+      let f = Codec.to_frame msg in
+      match Codec.of_frame f with
+      | Error m -> Alcotest.failf "%a: %s" Codec.pp msg m
+      | Ok msg' ->
+          check Alcotest.bool (Fmt.str "%a round-trips" Codec.pp msg) true (msg = msg'))
+    all_msgs
+
+let test_codec_rejects_garbage () =
+  (match Codec.of_frame (frame '?' "{}") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown tag accepted");
+  (match Codec.of_frame (frame 'h' "not json") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed payload accepted");
+  (match Codec.of_frame (frame 'l' "{\"lease\":1}") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "lease without bounds accepted");
+  (* fuzz: random tags and payloads error, never raise *)
+  let state = ref 0x9E3779B9 in
+  let next () =
+    state := (!state * 25214903917) + 11;
+    !state lsr 33
+  in
+  for _ = 1 to 500 do
+    let tag = Char.chr (next () land 0xFF) in
+    let payload = String.init (next () mod 40) (fun _ -> Char.chr (next () land 0xFF)) in
+    try ignore (Codec.of_frame (frame tag payload))
+    with e -> Alcotest.failf "codec raised: %s" (Printexc.to_string e)
+  done
+
+(* ---- transport endpoints ---- *)
+
+let test_endpoint_parse () =
+  (match Transport.endpoint_of_string "unix:/tmp/x.sock" with
+  | Ok (Transport.Unix_sock "/tmp/x.sock") -> ()
+  | _ -> Alcotest.fail "unix endpoint");
+  (match Transport.endpoint_of_string "tcp:localhost:9000" with
+  | Ok (Transport.Tcp ("localhost", 9000)) -> ()
+  | _ -> Alcotest.fail "tcp endpoint");
+  List.iter
+    (fun s ->
+      match Transport.endpoint_of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" s)
+    [ "tcp:nohost"; "tcp:host:notaport"; "ftp:x"; ""; "unix:" ]
+
+(* ---- lease table (fake clock) ---- *)
+
+let fake_clock start =
+  let t = ref start in
+  ((fun () -> !t), fun d -> t := !t + d)
+
+let test_lease_grant_expire_regrant () =
+  let now, advance = fake_clock 0 in
+  let tbl = Lease.create ~now ~total:100 ~lease_trials:40 ~timeout_ns:1_000 () in
+  check Alcotest.int "shards" 3 (Lease.n_shards tbl);
+  let l0 =
+    match Lease.grant tbl ~owner:"a" with Some l -> l | None -> Alcotest.fail "grant"
+  in
+  check Alcotest.int "lo" 0 l0.Lease.lo;
+  check Alcotest.int "hi" 40 l0.Lease.hi;
+  (* last shard is the stub *)
+  let _ = Lease.grant tbl ~owner:"a" in
+  let l2 =
+    match Lease.grant tbl ~owner:"b" with Some l -> l | None -> Alcotest.fail "grant 3"
+  in
+  check Alcotest.int "stub hi" 100 l2.Lease.hi;
+  check Alcotest.bool "all leased" true (Lease.grant tbl ~owner:"c" = None);
+  (* b stays chatty, a goes silent past the timeout *)
+  advance 900;
+  Lease.renew tbl ~owner:"b";
+  advance 200;
+  let expired = Lease.expire tbl in
+  check Alcotest.int "a's two leases expired" 2 (List.length expired);
+  check Alcotest.bool "attributed to a" true
+    (List.for_all (fun (o, _) -> o = "a") expired);
+  (* both shards are grantable again, under fresh lease ids *)
+  let regrants =
+    List.filter_map (fun owner -> Lease.grant tbl ~owner) [ "c"; "c" ]
+  in
+  check Alcotest.int "both shards regranted" 2 (List.length regrants);
+  let shards l = List.sort compare (List.map (fun x -> x.Lease.shard) l) in
+  check
+    Alcotest.(list int)
+    "same shards come back"
+    (shards (List.map snd expired))
+    (shards regrants);
+  List.iter
+    (fun l -> check Alcotest.bool "fresh id" true (l.Lease.id > l2.Lease.id))
+    regrants;
+  (* the zombie's old lease id no longer completes anything *)
+  check Alcotest.bool "stale complete unknown" true
+    (Lease.complete tbl ~id:l0.Lease.id = `Unknown);
+  check Alcotest.int "expired counter" 2 (Lease.expired_total tbl)
+
+let test_lease_complete_and_done () =
+  let now, _advance = fake_clock 0 in
+  let tbl = Lease.create ~now ~total:20 ~lease_trials:10 ~timeout_ns:1_000 () in
+  let take owner =
+    match Lease.grant tbl ~owner with Some l -> l | None -> Alcotest.fail "grant"
+  in
+  let a = take "a" and b = take "b" in
+  check Alcotest.bool "not done" false (Lease.is_done tbl);
+  (match Lease.complete tbl ~id:a.Lease.id with
+  | `Completed l -> check Alcotest.int "completed a" a.Lease.id l.Lease.id
+  | `Unknown -> Alcotest.fail "live lease unknown");
+  (* a revoked lease requeues without retiring *)
+  (match Lease.revoke tbl ~id:b.Lease.id with
+  | Some _ -> ()
+  | None -> Alcotest.fail "revoke");
+  check Alcotest.int "one pending again" 1 (Lease.pending tbl);
+  let b' = take "c" in
+  check Alcotest.int "same shard back" b.Lease.shard b'.Lease.shard;
+  (match Lease.complete tbl ~id:b'.Lease.id with
+  | `Completed _ -> ()
+  | `Unknown -> Alcotest.fail "re-lease unknown");
+  check Alcotest.bool "done" true (Lease.is_done tbl);
+  check Alcotest.bool "nothing to grant" true (Lease.grant tbl ~owner:"d" = None);
+  check Alcotest.int "granted" 3 (Lease.granted_total tbl);
+  check Alcotest.int "completed" 2 (Lease.completed_total tbl)
+
+let test_lease_fail_owner () =
+  let now, _ = fake_clock 0 in
+  let tbl = Lease.create ~now ~total:30 ~lease_trials:10 ~timeout_ns:1_000 () in
+  let _ = Lease.grant tbl ~owner:"a" in
+  let _ = Lease.grant tbl ~owner:"b" in
+  let _ = Lease.grant tbl ~owner:"a" in
+  let lost = Lease.fail tbl ~owner:"a" in
+  check Alcotest.int "a lost both" 2 (List.length lost);
+  check Alcotest.int "b unaffected" 1 (Lease.outstanding tbl);
+  check Alcotest.int "both requeued" 2 (Lease.pending tbl)
+
+let test_lease_validation () =
+  raises_invalid "total" (fun () ->
+      Lease.create ~total:(-1) ~lease_trials:1 ~timeout_ns:1 ());
+  raises_invalid "lease_trials" (fun () ->
+      Lease.create ~total:1 ~lease_trials:0 ~timeout_ns:1 ());
+  raises_invalid "timeout" (fun () ->
+      Lease.create ~total:1 ~lease_trials:1 ~timeout_ns:0 ())
+
+(* ---- coordinator config ---- *)
+
+let test_coordinator_config_validation () =
+  let ep = Transport.Unix_sock "/tmp/x.sock" in
+  raises_invalid "lease_trials" (fun () -> Dist.Coordinator.config ~lease_trials:0 ep);
+  raises_invalid "lease_timeout" (fun () ->
+      Dist.Coordinator.config ~lease_timeout_s:0.0 ep);
+  raises_invalid "hb under timeout" (fun () ->
+      Dist.Coordinator.config ~lease_timeout_s:1.0 ~hb_interval_s:1.0 ep);
+  raises_invalid "max_workers" (fun () -> Dist.Coordinator.config ~max_workers:0 ep)
+
+(* ---- end-to-end over a Unix socket ---- *)
+
+(* One coordinator thread, one in-process worker, a real socket. The
+   resume path is exercised by pre-journaling a prefix of the grid: the
+   re-leases must carry those ids as done and the worker must skip them
+   — exactly-once, counted three ways (journal lines, unique trial ids,
+   skip accounting). *)
+let test_serve_exactly_once () =
+  let root = tmp_root () in
+  let sock = Filename.concat root "coord.sock" in
+  let spec =
+    Spec.v ~name:"dist-e2e" ~protocol:"fig3" ~f:[ 1 ] ~t:[ Some 1 ] ~n:[ 3 ]
+      ~rates:[ 0.3; 0.6 ] ~trials:60 ~seed:0xE2EL ()
+  in
+  let total = Grid.total_trials spec in
+  (* pre-journal the first 25 trials, as a killed run would leave them *)
+  let dir = Checkpoint.campaign_dir ~root spec in
+  Checkpoint.save_manifest ~dir spec;
+  let writer = Journal.create_writer ~path:(Checkpoint.journal_path ~dir) in
+  let cells = Grid.cells spec in
+  let pre = 25 in
+  for trial = 0 to pre - 1 do
+    Journal.append writer
+      {
+        Journal.trial;
+        cell = cells.(trial / spec.Spec.trials);
+        seed = 0L;
+        ok = true;
+        outcome = Journal.Pass;
+        retries = 0;
+        violations = [];
+        steps = 1;
+        max_steps = 1;
+        stage = -1;
+        faults = 0;
+        wall_us = 1;
+        witness = None;
+      }
+  done;
+  Journal.close_writer writer;
+  let cfg =
+    Dist.Coordinator.config ~lease_trials:16 ~lease_timeout_s:10.0 ~hb_interval_s:0.5
+      (Transport.Unix_sock sock)
+  in
+  let skips = Atomic.make 0 in
+  let serve_result = ref (Error "never ran") in
+  let coordinator =
+    Thread.create
+      (fun () ->
+        serve_result :=
+          Dist.Coordinator.serve ~resume:true
+            ~on_skip:(fun () -> Atomic.incr skips)
+            ~root cfg spec)
+      ()
+  in
+  (* wait for the socket to exist before connecting *)
+  let rec await n =
+    if Sys.file_exists sock then ()
+    else if n = 0 then Alcotest.fail "coordinator never listened"
+    else begin
+      Thread.delay 0.05;
+      await (n - 1)
+    end
+  in
+  await 100;
+  let worker =
+    match
+      Dist.Worker.run (Dist.Worker.config ~name:"w-test" ~domains:2 (Transport.Unix_sock sock))
+    with
+    | Ok s -> s
+    | Error m -> Alcotest.failf "worker: %s" m
+  in
+  Thread.join coordinator;
+  match !serve_result with
+  | Error m -> Alcotest.failf "serve: %s" m
+  | Ok summary ->
+      check Alcotest.int "journal complete"
+        total
+        (Journal.count ~path:(Checkpoint.journal_path ~dir));
+      let ids = Hashtbl.create total in
+      Journal.fold
+        ~path:(Checkpoint.journal_path ~dir)
+        ~init:()
+        ~f:(fun () r -> Hashtbl.replace ids r.Journal.trial ());
+      check Alcotest.int "every id exactly once" total (Hashtbl.length ids);
+      check Alcotest.int "skips = pre-journaled" pre (Atomic.get skips);
+      check Alcotest.int "pool accounting" total
+        (summary.Dist.Coordinator.pool.Campaign.Pool.executed
+        + summary.Dist.Coordinator.pool.Campaign.Pool.skipped);
+      check Alcotest.int "worker ran the rest" (total - pre)
+        worker.Dist.Worker.trials_run;
+      check Alcotest.int "worker skipped the done ids" pre
+        worker.Dist.Worker.trials_skipped;
+      check Alcotest.bool "no expired leases" true
+        (summary.Dist.Coordinator.leases_expired = 0);
+      (* workers.json landed and names the worker *)
+      (match Campaign.Report.of_dir ~dir with
+      | Error m -> Alcotest.fail m
+      | Ok report -> (
+          match report.Campaign.Report.workers with
+          | None -> Alcotest.fail "no workers.json in report"
+          | Some w ->
+              let md = Campaign.Report.to_markdown report in
+              check Alcotest.bool "markdown has Workers section" true
+                (let sub = "## Workers" in
+                 let rec find i =
+                   i + String.length sub <= String.length md
+                   && (String.sub md i (String.length sub) = sub || find (i + 1))
+                 in
+                 find 0);
+              check Alcotest.bool "workers json is an object" true
+                (match w with Campaign.Json.Obj _ -> true | _ -> false)))
+
+let suites =
+  [
+    ( "dist.wire",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_wire_roundtrip;
+        Alcotest.test_case "byte at a time" `Quick test_wire_byte_at_a_time;
+        Alcotest.test_case "truncated" `Quick test_wire_truncated;
+        Alcotest.test_case "oversized, zero, negative" `Quick test_wire_oversized_and_zero;
+        Alcotest.test_case "garbage fuzz" `Quick test_wire_fuzz;
+        Alcotest.test_case "validation" `Quick test_wire_validation;
+      ] );
+    ( "dist.codec",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
+        Alcotest.test_case "rejects garbage" `Quick test_codec_rejects_garbage;
+        Alcotest.test_case "endpoints" `Quick test_endpoint_parse;
+      ] );
+    ( "dist.lease",
+      [
+        Alcotest.test_case "grant, expire, regrant" `Quick test_lease_grant_expire_regrant;
+        Alcotest.test_case "complete and done" `Quick test_lease_complete_and_done;
+        Alcotest.test_case "fail owner" `Quick test_lease_fail_owner;
+        Alcotest.test_case "validation" `Quick test_lease_validation;
+      ] );
+    ( "dist.coordinator",
+      [
+        Alcotest.test_case "config validation" `Quick test_coordinator_config_validation;
+        Alcotest.test_case "exactly-once over a socket" `Quick test_serve_exactly_once;
+      ] );
+  ]

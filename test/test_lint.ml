@@ -335,7 +335,9 @@ let test_baseline_roundtrip () =
 let test_baseline_add_expire () =
   let a = finding ~rule:"obj-magic" ~file:"lib/a.ml" ~line:3 in
   let b = finding ~rule:"catch-all" ~file:"lib/b.ml" ~line:7 in
-  let stale = { Baseline.rule = "io-in-lib"; file = "lib/gone.ml"; line = 9; note = "" } in
+  let stale =
+    { Baseline.rule = "io-in-lib"; file = "lib/gone.ml"; line = 9; ctx = None; note = "" }
+  in
   let base = Baseline.of_findings [ a ] @ [ stale ] in
   let split = Baseline.apply base [ a; b ] in
   check Alcotest.int "b is fresh" 1 (List.length split.Baseline.fresh);
@@ -351,6 +353,84 @@ let test_baseline_missing_file () =
   match Baseline.load ~path:"/nonexistent/baseline.json" with
   | Ok _ -> Alcotest.fail "expected an error"
   | Error _ -> ()
+
+(* ---- fuzzy matching against real files ---- *)
+
+let flagged_line = "let f a = Atomic.compare_and_set a 0 1\n"
+
+let body =
+  "let a = 1\nlet b = 2\n" ^ flagged_line ^ "let c = 3\nlet d = 4\n"
+
+let test_baseline_fuzzy_survives_shift () =
+  let root = tmp_root () in
+  let file = Filename.concat root "shifty.ml" in
+  write_file file body;
+  let base = Baseline.of_findings [ finding ~rule:"raw-atomic" ~file ~line:3 ] in
+  (match base with
+  | [ e ] -> check Alcotest.bool "context recorded" true (e.Baseline.ctx <> None)
+  | _ -> Alcotest.fail "one entry expected");
+  (* a header lands above: the finding moves to line 6, context intact *)
+  write_file file ("(* new *)\n(* header *)\n(* lines *)\n" ^ body);
+  let split = Baseline.apply base [ finding ~rule:"raw-atomic" ~file ~line:6 ] in
+  check Alcotest.int "moved finding stays grandfathered" 1
+    (List.length split.Baseline.baselined);
+  check Alcotest.int "nothing fresh" 0 (List.length split.Baseline.fresh);
+  check Alcotest.int "nothing expired" 0 (List.length split.Baseline.expired)
+
+let test_baseline_fuzzy_edit_resurfaces () =
+  let root = tmp_root () in
+  let file = Filename.concat root "edited.ml" in
+  write_file file body;
+  let base = Baseline.of_findings [ finding ~rule:"raw-atomic" ~file ~line:3 ] in
+  (* the flagged region itself changes (same line count, same line
+     number): the context hash no longer matches and the debt surfaces *)
+  write_file file
+    ("let a = 1\nlet b' = 99\n" ^ flagged_line ^ "let c = 3\nlet d = 4\n");
+  let split = Baseline.apply base [ finding ~rule:"raw-atomic" ~file ~line:3 ] in
+  check Alcotest.int "edited finding is fresh" 1 (List.length split.Baseline.fresh);
+  check Alcotest.int "its entry expired" 1 (List.length split.Baseline.expired)
+
+let test_baseline_fuzzy_line_tiebreak () =
+  let root = tmp_root () in
+  let file = Filename.concat root "twins.ml" in
+  (* two identical flagged regions: colliding context hashes, the
+     recorded line must pair each entry with its nearest finding *)
+  let block = "let a = 1\nlet a = 1\n" ^ flagged_line ^ "let a = 1\nlet a = 1\n" in
+  write_file file (block ^ block);
+  let base =
+    Baseline.of_findings
+      [ finding ~rule:"raw-atomic" ~file ~line:3;
+        finding ~rule:"raw-atomic" ~file ~line:8 ]
+  in
+  let split =
+    Baseline.apply base
+      [ finding ~rule:"raw-atomic" ~file ~line:3; finding ~rule:"raw-atomic" ~file ~line:8 ]
+  in
+  check Alcotest.int "both grandfathered" 2 (List.length split.Baseline.baselined);
+  check Alcotest.int "one-to-one, none expired" 0 (List.length split.Baseline.expired)
+
+let test_baseline_v1_compat () =
+  let root = tmp_root () in
+  let file = Filename.concat root "legacy.ml" in
+  write_file file body;
+  (* a v1 baseline file: no version, no ctx — must load and match
+     exactly by line *)
+  let path = Filename.concat root "baseline.json" in
+  write_file path
+    (Fmt.str
+       "{\"entries\":[{\"rule\":\"raw-atomic\",\"file\":%S,\"line\":3,\"note\":\"old\"}]}\n"
+       (Policy.normalize file));
+  match Baseline.load ~path with
+  | Error m -> Alcotest.fail m
+  | Ok base ->
+      (match base with
+      | [ e ] -> check Alcotest.bool "v1 entry has no ctx" true (e.Baseline.ctx = None)
+      | _ -> Alcotest.fail "one entry expected");
+      let split = Baseline.apply base [ finding ~rule:"raw-atomic" ~file ~line:3 ] in
+      check Alcotest.int "exact line matches" 1 (List.length split.Baseline.baselined);
+      let split = Baseline.apply base [ finding ~rule:"raw-atomic" ~file ~line:4 ] in
+      check Alcotest.int "moved finding is fresh under v1" 1
+        (List.length split.Baseline.fresh)
 
 (* ---- reporters ---- *)
 
@@ -463,6 +543,11 @@ let suites =
         Alcotest.test_case "roundtrip" `Quick test_baseline_roundtrip;
         Alcotest.test_case "add/expire" `Quick test_baseline_add_expire;
         Alcotest.test_case "missing file" `Quick test_baseline_missing_file;
+        Alcotest.test_case "fuzzy: shift survives" `Quick test_baseline_fuzzy_survives_shift;
+        Alcotest.test_case "fuzzy: edit resurfaces" `Quick
+          test_baseline_fuzzy_edit_resurfaces;
+        Alcotest.test_case "fuzzy: line tiebreak" `Quick test_baseline_fuzzy_line_tiebreak;
+        Alcotest.test_case "v1 compat" `Quick test_baseline_v1_compat;
       ] );
     ( "lint.report",
       [

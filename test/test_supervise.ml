@@ -9,6 +9,9 @@ module Watchdog = S.Watchdog
 module Retry = S.Retry
 module Quarantine = S.Quarantine
 module Cancel = Ffault_runtime.Cancel
+module Mc = S.Mc
+module Consensus_mc = Ffault_runtime.Consensus_mc
+module Faulty_cas = Ffault_runtime.Faulty_cas
 
 let check = Alcotest.check
 
@@ -150,6 +153,53 @@ let test_quarantine_validation () =
   raises_invalid "threshold < 1" (fun () -> Quarantine.create ~threshold:0 ~cells:1 ());
   raises_invalid "cells < 0" (fun () -> Quarantine.create ~cells:(-1) ())
 
+(* ---- multicore watchdog ---- *)
+
+let test_mc_stall_bound () =
+  check Alcotest.(option (float 1e-9)) "override wins" (Some 0.2)
+    (Mc.stall_bound_s ~deadline_s:(Some 10.0) ~override_s:(Some 0.2));
+  check Alcotest.(option (float 1e-9)) "4 x deadline" (Some 4.0)
+    (Mc.stall_bound_s ~deadline_s:(Some 1.0) ~override_s:None);
+  check Alcotest.(option (float 1e-9)) "floored at 0.5s" (Some 0.5)
+    (Mc.stall_bound_s ~deadline_s:(Some 0.01) ~override_s:None);
+  check Alcotest.(option (float 1e-9)) "unsupervised" None
+    (Mc.stall_bound_s ~deadline_s:None ~override_s:None)
+
+let test_mc_unwatched_plain () =
+  let cfg =
+    Consensus_mc.config ~n_domains:2 ~plan_for:(fun _ -> Faulty_cas.plan_never)
+      Consensus_mc.Single_cas
+  in
+  let r = Mc.execute cfg in
+  check Alcotest.bool "unwatched" false r.Mc.watched;
+  check Alcotest.int "no stalls" 0 r.Mc.stalls;
+  check Alcotest.bool "agreed" true r.Mc.mc.Consensus_mc.agreed;
+  check Alcotest.int "no timeouts" 0 r.Mc.mc.Consensus_mc.timeouts
+
+(* Every CAS hangs (nonresponsive style, p = 1): the domains beat at
+   start, go silent inside the CAS, and the watchdog — bound well under
+   the generous deadline — must flag them and cancel the trial. That
+   the run ends at all (in ~the stall bound, not the 30 s deadline) is
+   the point of satellite #1. *)
+let test_mc_watchdog_catches_hang () =
+  let cfg =
+    Consensus_mc.config ~n_domains:2
+      ~plan_for:(fun _ -> Faulty_cas.plan_always)
+      ~style:Faulty_cas.Hang ~deadline_s:30.0 Consensus_mc.Single_cas
+  in
+  let started = Unix.gettimeofday () in
+  let r = Mc.execute ~watchdog_stall_s:0.3 cfg in
+  let wall = Unix.gettimeofday () -. started in
+  check Alcotest.bool "watched" true r.Mc.watched;
+  check Alcotest.bool "stalled domains flagged" true (r.Mc.stalls >= 1);
+  check Alcotest.int "every domain timed out" 2 r.Mc.mc.Consensus_mc.timeouts;
+  check Alcotest.bool "watchdog beat the deadline" true (wall < 10.0)
+
+let test_mc_validation () =
+  let cfg = Consensus_mc.config ~n_domains:1 Consensus_mc.Single_cas in
+  raises_invalid "zero stall" (fun () -> Mc.execute ~watchdog_stall_s:0.0 cfg);
+  raises_invalid "nan stall" (fun () -> Mc.execute ~watchdog_stall_s:Float.nan cfg)
+
 let suites =
   [
     ( "supervise.heartbeat",
@@ -175,5 +225,12 @@ let suites =
       [
         Alcotest.test_case "threshold" `Quick test_quarantine_threshold;
         Alcotest.test_case "validation" `Quick test_quarantine_validation;
+      ] );
+    ( "supervise.mc",
+      [
+        Alcotest.test_case "stall bound" `Quick test_mc_stall_bound;
+        Alcotest.test_case "unwatched is plain execute" `Quick test_mc_unwatched_plain;
+        Alcotest.test_case "watchdog catches a hang" `Quick test_mc_watchdog_catches_hang;
+        Alcotest.test_case "validation" `Quick test_mc_validation;
       ] );
   ]
