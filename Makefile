@@ -1,6 +1,6 @@
 # Convenience targets for the ffault reproduction.
 
-.PHONY: all build test lint lint-json lint-baseline experiments experiments-quick bench bench-smoke examples campaign-smoke chaos-smoke dist-chaos-smoke check clean
+.PHONY: all build test lint lint-json lint-baseline experiments experiments-quick bench bench-smoke examples campaign-smoke chaos-smoke dist-chaos-smoke netsim-smoke check clean
 
 all: build
 
@@ -25,7 +25,7 @@ lint-baseline:
 	dune exec bin/main.exe -- lint --baseline lint-baseline.json --write-baseline
 
 # The full local gate: what CI runs, minus the artifact uploads.
-check: build test lint campaign-smoke chaos-smoke dist-chaos-smoke
+check: build test lint campaign-smoke chaos-smoke dist-chaos-smoke netsim-smoke
 
 experiments:
 	dune exec bin/main.exe -- experiment
@@ -40,7 +40,7 @@ bench:
 # bench still runs and emits its BENCH_<group>.json, without the cost of
 # real timing. CI runs this on every push.
 bench-smoke:
-	dune exec bench/main.exe -- --smoke campaign b1 e1
+	dune exec bench/main.exe -- --smoke campaign netsim b1 e1
 
 examples:
 	dune exec examples/quickstart.exe
@@ -71,6 +71,19 @@ chaos-smoke:
 # journal and a reassigned lease in the Workers report.
 dist-chaos-smoke:
 	sh scripts/dist_chaos_smoke.sh
+
+# Deterministic simulation of the distributed layer: a few hundred
+# seed-derived fault schedules (drops, dups, reordering, partitions,
+# crashes) against the real coordinator engine; any exactly-once
+# violation fails the target, printing a shrunk reproducer. Also
+# self-tests the search by planting the lease-retirement bug and
+# requiring it to be caught.
+netsim-smoke:
+	dune exec bin/main.exe -- netsim --schedules 300 --seed 7
+	@echo "-- planted-bug self-test (expected to catch a violation) --"
+	@if dune exec bin/main.exe -- netsim --schedules 50 --seed 7 --break-complete; then \
+	  echo "netsim-smoke: planted bug NOT caught"; exit 1; \
+	else echo "netsim-smoke: planted bug caught and shrunk (expected)"; fi
 
 clean:
 	dune clean

@@ -23,6 +23,7 @@ module Campaign = Ffault_campaign
 module Telemetry = Ffault_telemetry
 module Lint = Ffault_lint
 module Dist = Ffault_dist
+module Netsim = Ffault_netsim
 
 (* ---- shared options ---- *)
 
@@ -985,13 +986,123 @@ let lint_cmd =
       const run $ format_arg $ rules_arg $ baseline_arg $ write_baseline_arg
       $ list_rules_arg $ paths_arg)
 
+(* ---- netsim ---- *)
+
+let netsim_cmd =
+  let schedules_arg =
+    let doc = "Number of seed-derived fault schedules to explore." in
+    Arg.(value & opt int 1000 & info [ "schedules" ] ~docv:"N" ~doc)
+  in
+  let workers_arg =
+    let doc = "Simulated workers." in
+    Arg.(value & opt int 3 & info [ "workers" ] ~docv:"W" ~doc)
+  in
+  let trials_arg =
+    let doc = "Trials in the simulated campaign grid." in
+    Arg.(value & opt int 200 & info [ "trials" ] ~docv:"T" ~doc)
+  in
+  let lease_trials_arg =
+    let doc = "Trials per lease (shard size)." in
+    Arg.(value & opt int 32 & info [ "lease-trials" ] ~docv:"K" ~doc)
+  in
+  let schedule_arg =
+    let doc =
+      "Run only schedule index $(docv) of the sweep (the reproducer mode a \
+       violation report points at) instead of exploring."
+    in
+    Arg.(value & opt (some int) None & info [ "schedule" ] ~docv:"I" ~doc)
+  in
+  let print_trace_arg =
+    let doc = "Print the deterministic event trace of the run (with --schedule)." in
+    Arg.(value & flag & info [ "print-trace" ] ~doc)
+  in
+  let break_complete_arg =
+    let doc =
+      "Plant the lease-retirement bug (retire a lease on Complete without \
+       checking the journal) — a self-test that the search catches and \
+       shrinks a real exactly-once violation."
+    in
+    Arg.(value & flag & info [ "break-complete" ] ~doc)
+  in
+  let pp_violation_report (v : Netsim.Search.report) ~seed_cli =
+    Fmt.pr "@.VIOLATION at schedule %d (seed %Ld): %s@." v.Netsim.Search.s_index
+      v.Netsim.Search.s_seed
+      (Netsim.Sim.violation_to_string v.Netsim.Search.s_violation);
+    Fmt.pr "  fired atoms: %d; shrunk to %d (%d probe(s)): %s@."
+      v.Netsim.Search.s_fired
+      (List.length v.Netsim.Search.s_shrunk)
+      v.Netsim.Search.s_probes
+      (Netsim.Sim.violation_to_string v.Netsim.Search.s_shrunk_violation);
+    List.iter
+      (fun a -> Fmt.pr "    %s@." (Netsim.Fault_plan.atom_to_string a))
+      v.Netsim.Search.s_shrunk;
+    Fmt.pr "  reproduce: ffault netsim --seed %d --schedule %d --print-trace@."
+      seed_cli v.Netsim.Search.s_index
+  in
+  let run schedules seed workers trials lease_trials schedule print_trace
+      break_complete =
+    let config =
+      Netsim.Sim.config ~workers ~trials ~lease_trials
+        ~verify_complete:(not break_complete) ()
+    in
+    let root = Int64.of_int seed in
+    match schedule with
+    | Some i ->
+        let sseed = Netsim.Search.schedule_seed ~root i in
+        let r = Netsim.Sim.run config ~seed:sseed in
+        if print_trace then
+          List.iter (fun l -> Fmt.pr "%s@." l) r.Netsim.Sim.trace;
+        Fmt.pr "schedule %d (seed %Ld): %d record(s), %d fired atom(s), %d event(s), %dms virtual@."
+          i sseed
+          (List.length r.Netsim.Sim.records)
+          (List.length r.Netsim.Sim.fired)
+          r.Netsim.Sim.events
+          (r.Netsim.Sim.end_ns / 1_000_000);
+        (match r.Netsim.Sim.violation with
+        | None ->
+            Fmt.pr "exactly-once holds@.";
+            0
+        | Some v ->
+            Fmt.pr "VIOLATION: %s@." (Netsim.Sim.violation_to_string v);
+            1)
+    | None ->
+        let t0 = Unix.gettimeofday () in
+        let sweep =
+          Netsim.Search.explore ~config ~root ~schedules ()
+        in
+        let dt = Unix.gettimeofday () -. t0 in
+        Fmt.pr "explored %d/%d schedule(s) in %.1fs (%.0f schedules/s, %d events)@."
+          sweep.Netsim.Search.explored schedules dt
+          (float_of_int sweep.Netsim.Search.explored /. Float.max dt 1e-9)
+          sweep.Netsim.Search.total_events;
+        (match sweep.Netsim.Search.violations with
+        | [] ->
+            Fmt.pr "exactly-once holds on every schedule@.";
+            0
+        | v :: _ ->
+            pp_violation_report v ~seed_cli:seed;
+            1)
+  in
+  let doc =
+    "Deterministic single-process simulation of the distributed campaign \
+     layer: explore seed-derived fault schedules (drop, duplication, \
+     reordering, latency, partitions, worker crashes) against the real \
+     coordinator engine and check the exactly-once journal invariant, \
+     shrinking any violation to a minimal fault set."
+  in
+  Cmd.v (Cmd.info "netsim" ~doc)
+    Term.(
+      const run $ schedules_arg $ seed_arg $ workers_arg $ trials_arg
+      $ lease_trials_arg $ schedule_arg $ print_trace_arg $ break_complete_arg)
+
 let main_cmd =
   let doc = "reproduction of \"Functional Faults\" (Sheffi & Petrank, 2020)" in
   let info = Cmd.info "ffault" ~version:"1.0.0" ~doc in
   Cmd.group info
     [
       experiment_cmd; list_cmd; trace_cmd; explore_cmd; replay_cmd; falsify_cmd; critical_cmd;
-      severity_cmd; hierarchy_cmd; multicore_cmd; campaign_cmd; worker_cmd; lint_cmd;
+      severity_cmd; hierarchy_cmd; multicore_cmd; campaign_cmd; worker_cmd; netsim_cmd;
+      lint_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

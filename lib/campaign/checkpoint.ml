@@ -15,11 +15,26 @@ let rec mkdir_p dir =
     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
+(* Write-then-rename: a reader (or a post-SIGKILL `campaign report`)
+   sees either the old file or the new one, never a torn prefix. The
+   temp file lives in the same directory so the rename stays within one
+   filesystem. *)
+let write_atomic ~path content =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path) ".tmp" in
+  match
+    Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc content);
+    Unix.rename tmp path
+  with
+  | () -> ()
+  | exception e ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
+
 let save_manifest ~dir spec =
   mkdir_p dir;
-  Out_channel.with_open_text (manifest_path ~dir) (fun oc ->
-      output_string oc (Json.to_string (Spec.to_json spec));
-      output_char oc '\n')
+  write_atomic ~path:(manifest_path ~dir)
+    (Json.to_string (Spec.to_json spec) ^ "\n")
 
 let load_manifest ~dir =
   let path = manifest_path ~dir in

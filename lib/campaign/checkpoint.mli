@@ -22,8 +22,16 @@ val workers_path : dir:string -> string
 
 val mkdir_p : string -> unit
 
+val write_atomic : path:string -> string -> unit
+(** Write [content] to a same-directory temp file and rename it over
+    [path], so a crash mid-write can never leave a torn file. Used for
+    every whole-file snapshot ([manifest.json], [workers.json],
+    [telemetry.json]); the append-only journal has its own torn-tail
+    recovery instead. *)
+
 val save_manifest : dir:string -> Spec.t -> unit
-(** Creates [dir] (and parents) as needed. *)
+(** Creates [dir] (and parents) as needed; the write is atomic
+    ({!write_atomic}). *)
 
 val load_manifest : dir:string -> (Spec.t, string) result
 

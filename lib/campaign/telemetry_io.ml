@@ -24,9 +24,9 @@ let to_json (s : Metrics.snapshot) =
     ]
 
 let write ~dir s =
-  Out_channel.with_open_text (Checkpoint.telemetry_path ~dir) (fun oc ->
-      output_string oc (Json.to_string (to_json s));
-      output_char oc '\n')
+  Checkpoint.write_atomic
+    ~path:(Checkpoint.telemetry_path ~dir)
+    (Json.to_string (to_json s) ^ "\n")
 
 let load ~dir =
   let path = Checkpoint.telemetry_path ~dir in

@@ -1,22 +1,9 @@
 module Campaign = Ffault_campaign
 module Json = Campaign.Json
-module Spec = Campaign.Spec
 module Journal = Campaign.Journal
 module Checkpoint = Campaign.Checkpoint
 module Pool = Campaign.Pool
-module Grid = Campaign.Grid
-module Heartbeat = Ffault_supervise.Heartbeat
-module Watchdog = Ffault_supervise.Watchdog
 module Metrics = Ffault_telemetry.Metrics
-
-let m_leases_granted = Metrics.counter "dist.leases_granted"
-let m_leases_completed = Metrics.counter "dist.leases_completed"
-let m_leases_expired = Metrics.counter "dist.leases_expired"
-let m_results = Metrics.counter "dist.results"
-let m_deduped = Metrics.counter "dist.results_deduped"
-let m_connects = Metrics.counter "dist.worker_connects"
-let m_reconnects = Metrics.counter "dist.worker_reconnects"
-let g_workers = Metrics.gauge "dist.workers_connected"
 
 type config = {
   endpoint : Transport.endpoint;
@@ -39,7 +26,7 @@ let config ?(lease_trials = 1000) ?(lease_timeout_s = 30.0) ?(hb_interval_s = 2.
   if max_workers < 1 then invalid_arg "Coordinator.config: max_workers < 1";
   { endpoint; lease_trials; lease_timeout_s; hb_interval_s; max_workers; supervision }
 
-type worker_stats = {
+type worker_stats = Core.worker_stats = {
   w_name : string;
   w_peer : string;
   w_domains : int;
@@ -51,7 +38,7 @@ type worker_stats = {
   w_reconnects : int;
 }
 
-type summary = {
+type summary = Core.summary = {
   pool : Pool.summary;
   workers : worker_stats list;
   leases_granted : int;
@@ -59,70 +46,12 @@ type summary = {
   leases_expired : int;
 }
 
-(* ---- mutable per-worker bookkeeping (keyed by hello name) ---- *)
+let workers_json = Core.workers_json
 
-type wstat = {
-  name : string;
-  mutable peer : string;
-  mutable domains : int;
-  mutable granted : int;
-  mutable completed : int;
-  mutable expired : int;
-  mutable results : int;
-  mutable deduped : int;
-  mutable reconnects : int;
-}
+(* ---- the serve loop: a socket driver around the Core engine ---- *)
 
-let stats_of_wstat w =
-  {
-    w_name = w.name;
-    w_peer = w.peer;
-    w_domains = w.domains;
-    w_granted = w.granted;
-    w_completed = w.completed;
-    w_expired = w.expired;
-    w_results = w.results;
-    w_deduped = w.deduped;
-    w_reconnects = w.reconnects;
-  }
-
-let workers_json s =
-  Json.Obj
-    [
-      ("version", Json.Int 1);
-      ( "leases",
-        Json.Obj
-          [
-            ("granted", Json.Int s.leases_granted);
-            ("completed", Json.Int s.leases_completed);
-            ("expired", Json.Int s.leases_expired);
-          ] );
-      ( "workers",
-        Json.List
-          (List.map
-             (fun w ->
-               Json.Obj
-                 [
-                   ("name", Json.Str w.w_name);
-                   ("peer", Json.Str w.w_peer);
-                   ("domains", Json.Int w.w_domains);
-                   ("granted", Json.Int w.w_granted);
-                   ("completed", Json.Int w.w_completed);
-                   ("expired", Json.Int w.w_expired);
-                   ("results", Json.Int w.w_results);
-                   ("deduped", Json.Int w.w_deduped);
-                   ("reconnects", Json.Int w.w_reconnects);
-                 ])
-             s.workers) );
-    ]
-
-(* ---- the serve loop ---- *)
-
-type client = {
-  conn : Transport.conn;
-  mutable cname : string option;  (* set by Hello *)
-  mutable slot : int;  (* heartbeat slot; -1 before Hello *)
-}
+let io =
+  { Core.peer = Transport.peer; send = Transport.send_msg; close = Transport.close }
 
 let serve ?(resume = false) ?(observe = fun _ -> ()) ?(on_skip = fun () -> ())
     ?(on_warn = fun _ -> ()) ?(on_event = fun _ -> ()) ~root cfg spec =
@@ -131,248 +60,22 @@ let serve ?(resume = false) ?(observe = fun _ -> ()) ?(on_skip = fun () -> ())
      signal. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let* dir, st = Checkpoint.open_campaign ~resume ~on_warn ~root spec in
-  let total = Grid.total_trials spec in
   let* listener = Transport.listen cfg.endpoint in
   let writer = Journal.create_writer ~path:(Checkpoint.journal_path ~dir) in
-  let leases =
-    Lease.create ~total ~lease_trials:cfg.lease_trials
-      ~timeout_ns:(int_of_float (cfg.lease_timeout_s *. 1e9))
-      ()
+  let clients : (Unix.file_descr, Transport.conn Core.client) Hashtbl.t =
+    Hashtbl.create 16
   in
-  let hb = Heartbeat.create ~slots:cfg.max_workers () in
-  let wd =
-    Watchdog.create ~heartbeat:hb
-      ~stall_ns:(int_of_float (cfg.lease_timeout_s *. 1e9))
-      ()
+  let core =
+    Core.create ~observe ~on_event
+      ~on_drop:(fun c -> Hashtbl.remove clients (Transport.fd (Core.conn c)))
+      ~io
+      ~append:(Journal.append writer)
+      ~st ~spec ~lease_trials:cfg.lease_trials ~lease_timeout_s:cfg.lease_timeout_s
+      ~hb_interval_s:cfg.hb_interval_s ~max_workers:cfg.max_workers
+      ~supervision:cfg.supervision ()
   in
-  let free_slots = ref (List.init cfg.max_workers Fun.id) in
-  let clients : (Unix.file_descr, client) Hashtbl.t = Hashtbl.create 16 in
-  let wstats : (string, wstat) Hashtbl.t = Hashtbl.create 16 in
-  let skipped = Checkpoint.completed st in
-  for _ = 1 to skipped do on_skip () done;
-  let executed = ref 0 in
-  let failures = ref 0 in
-  let timeouts = ref 0 in
-  let retried = ref 0 in
-  let quarantined = ref 0 in
-  let shrunk = ref 0 in
+  for _ = 1 to Checkpoint.completed st do on_skip () done;
   let started = Unix.gettimeofday () in
-  let wstat_of name =
-    match Hashtbl.find_opt wstats name with
-    | Some w -> w
-    | None ->
-        let w =
-          {
-            name;
-            peer = "?";
-            domains = 0;
-            granted = 0;
-            completed = 0;
-            expired = 0;
-            results = 0;
-            deduped = 0;
-            reconnects = -1 (* first connect is not a reconnect *);
-          }
-        in
-        Hashtbl.replace wstats name w;
-        w
-  in
-  let stat_of_client c = Option.map wstat_of c.cname in
-  let campaign_done () = Checkpoint.completed st >= total in
-  let drop_leases_of ~why name =
-    match Lease.fail leases ~owner:name with
-    | [] -> ()
-    | lost ->
-        let w = wstat_of name in
-        w.expired <- w.expired + List.length lost;
-        Metrics.add m_leases_expired (List.length lost);
-        List.iter
-          (fun (l : Lease.lease) ->
-            on_event
-              (Fmt.str "lease #%d [%d,%d) reclaimed from %s (%s)" l.Lease.id l.Lease.lo
-                 l.Lease.hi name why))
-          lost
-  in
-  let drop_client ~why c =
-    let fd = Transport.fd c.conn in
-    if Hashtbl.mem clients fd then begin
-      Hashtbl.remove clients fd;
-      (match c.cname with
-      | Some name ->
-          on_event (Fmt.str "worker %s left (%s)" name why);
-          drop_leases_of ~why name
-      | None -> ());
-      if c.slot >= 0 then begin
-        Watchdog.detach wd ~slot:c.slot;
-        free_slots := c.slot :: !free_slots;
-        c.slot <- -1
-      end;
-      Metrics.add_gauge g_workers (-1);
-      Transport.close c.conn
-    end
-  in
-  let send_or_drop c msg =
-    match Transport.send_msg c.conn msg with
-    | Ok () -> ()
-    | Error why -> drop_client ~why c
-  in
-  let done_ids_in lo hi =
-    let ids = ref [] in
-    for id = hi - 1 downto lo do
-      if Checkpoint.is_done st id then ids := id :: !ids
-    done;
-    !ids
-  in
-  let handle_msg c msg =
-    (* any frame is liveness *)
-    (match c.cname with
-    | Some name ->
-        if c.slot >= 0 then Heartbeat.beat hb ~slot:c.slot;
-        Lease.renew leases ~owner:name
-    | None -> ());
-    match (msg : Codec.msg) with
-    | Codec.Hello { version; name; domains } ->
-        if version <> Wire.version then begin
-          send_or_drop c
-            (Codec.Bye
-               {
-                 reason =
-                   Fmt.str "version mismatch: coordinator speaks %d, you speak %d"
-                     Wire.version version;
-               });
-          drop_client ~why:"version mismatch" c
-        end
-        else begin
-          let w = wstat_of name in
-          w.peer <- Transport.peer c.conn;
-          w.domains <- domains;
-          w.reconnects <- w.reconnects + 1;
-          if w.reconnects > 0 then Metrics.incr m_reconnects;
-          Metrics.incr m_connects;
-          c.cname <- Some name;
-          (match !free_slots with
-          | slot :: rest ->
-              free_slots := rest;
-              c.slot <- slot;
-              Heartbeat.beat hb ~slot
-          | [] -> () (* more workers than slots: liveness by lease expiry only *));
-          on_event
-            (Fmt.str "worker %s joined from %s (%d domains)%s" name w.peer domains
-               (if w.reconnects > 0 then Fmt.str " — reconnect #%d" w.reconnects else ""));
-          send_or_drop c
-            (Codec.Welcome
-               {
-                 version = Wire.version;
-                 spec;
-                 supervision = cfg.supervision;
-                 hb_interval_s = cfg.hb_interval_s;
-               })
-        end
-    | Codec.Request -> (
-        match c.cname with
-        | None -> drop_client ~why:"request before hello" c
-        | Some name ->
-            if campaign_done () then
-              send_or_drop c (Codec.Bye { reason = "campaign complete" })
-            else (
-              match Lease.grant leases ~owner:name with
-              | Some l ->
-                  let w = wstat_of name in
-                  w.granted <- w.granted + 1;
-                  Metrics.incr m_leases_granted;
-                  on_event
-                    (Fmt.str "lease #%d [%d,%d) -> %s" l.Lease.id l.Lease.lo l.Lease.hi
-                       name);
-                  send_or_drop c
-                    (Codec.Lease
-                       {
-                         lease = l.Lease.id;
-                         lo = l.Lease.lo;
-                         hi = l.Lease.hi;
-                         done_ids = done_ids_in l.Lease.lo l.Lease.hi;
-                       })
-              | None ->
-                  send_or_drop c
-                    (Codec.Wait
-                       { seconds = Float.min 1.0 (cfg.lease_timeout_s /. 4.0) })))
-    | Codec.Result r ->
-        let w = stat_of_client c in
-        if r.Journal.trial < 0 || r.Journal.trial >= total then
-          (* out-of-grid id: protocol violation, not data *)
-          drop_client ~why:(Fmt.str "result for trial %d outside the grid" r.Journal.trial)
-            c
-        else if Checkpoint.is_done st r.Journal.trial then begin
-          (* zombie worker still streaming an expired lease, or a
-             re-run after reclaim — journaled once already, drop *)
-          Option.iter (fun w -> w.deduped <- w.deduped + 1) w;
-          Metrics.incr m_deduped
-        end
-        else begin
-          Journal.append writer r;
-          Checkpoint.mark st r.Journal.trial ~ok:r.Journal.ok;
-          incr executed;
-          (match r.Journal.outcome with
-          | Journal.Violation -> incr failures
-          | Journal.Timeout -> incr timeouts
-          | Journal.Quarantined -> incr quarantined
-          | Journal.Pass -> ());
-          if r.Journal.retries > 0 then retried := !retried + r.Journal.retries;
-          if r.Journal.witness <> None && r.Journal.outcome = Journal.Violation then
-            incr shrunk;
-          Option.iter (fun w -> w.results <- w.results + 1) w;
-          Metrics.incr m_results;
-          observe r
-        end
-    | Codec.Complete { lease = id } -> (
-        match Lease.find leases ~id with
-        | None -> () (* stale lease: expired and re-issued; the re-lease owns it *)
-        | Some l ->
-            let missing =
-              let n = ref 0 in
-              for t = l.Lease.lo to l.Lease.hi - 1 do
-                if not (Checkpoint.is_done st t) then incr n
-              done;
-              !n
-            in
-            if missing = 0 then begin
-              ignore (Lease.complete leases ~id);
-              Option.iter (fun w -> w.completed <- w.completed + 1) (stat_of_client c);
-              Metrics.incr m_leases_completed
-            end
-            else begin
-              (* completed with holes: take the shard back *)
-              ignore (Lease.revoke leases ~id);
-              Option.iter (fun w -> w.expired <- w.expired + 1) (stat_of_client c);
-              Metrics.incr m_leases_expired;
-              on_event
-                (Fmt.str "lease #%d completed with %d trial(s) unjournaled — requeued" id
-                   missing)
-            end)
-    | Codec.Heartbeat -> ()
-    | Codec.Bye { reason } -> drop_client ~why:(Fmt.str "bye: %s" reason) c
-    | Codec.Welcome _ | Codec.Lease _ | Codec.Wait _ ->
-        drop_client ~why:"coordinator-bound stream carried a coordinator message" c
-  in
-  let tick () =
-    (* lease expiry by silence (the watchdog view feeds the same
-       clock): requeue, so the next Request re-issues the shard *)
-    List.iter
-      (fun (owner, (l : Lease.lease)) ->
-        let w = wstat_of owner in
-        w.expired <- w.expired + 1;
-        Metrics.incr m_leases_expired;
-        on_event
-          (Fmt.str "lease #%d [%d,%d) of %s expired (no traffic for %gs)" l.Lease.id
-             l.Lease.lo l.Lease.hi owner cfg.lease_timeout_s))
-      (Lease.expire leases);
-    (* watchdog: drop connections whose heartbeat slot went silent *)
-    let stuck = Watchdog.poll wd in
-    if stuck <> [] then
-      Hashtbl.fold (fun _ c acc -> c :: acc) clients []
-      |> List.iter (fun c ->
-             if c.slot >= 0 && List.mem c.slot stuck then
-               drop_client ~why:"heartbeat silence (watchdog)" c)
-  in
   let step () =
     let fds =
       Transport.listener_fd listener
@@ -388,92 +91,36 @@ let serve ?(resume = false) ?(observe = fun _ -> ()) ?(on_skip = fun () -> ())
         if fd = Transport.listener_fd listener then (
           match Transport.accept listener with
           | Ok conn ->
-              Hashtbl.replace clients (Transport.fd conn)
-                { conn; cname = None; slot = -1 };
-              Metrics.add_gauge g_workers 1
+              Hashtbl.replace clients (Transport.fd conn) (Core.add_client core conn)
           | Error m -> on_warn m)
         else
           match Hashtbl.find_opt clients fd with
           | None -> ()
           | Some c -> (
-              match Transport.recv_step c.conn with
-              | `Frames frames ->
-                  List.iter
-                    (fun f ->
-                      if Hashtbl.mem clients fd then
-                        match Codec.of_frame f with
-                        | Ok msg -> handle_msg c msg
-                        | Error why -> drop_client ~why c)
-                    frames
-              | `Closed -> drop_client ~why:"connection closed" c
-              | `Error why -> drop_client ~why c))
+              match Transport.recv_step (Core.conn c) with
+              | `Frames frames -> List.iter (Core.deliver core c) frames
+              | `Closed -> Core.client_closed core c ~why:"connection closed"
+              | `Error why -> Core.client_closed core c ~why))
       readable;
-    tick ()
+    Core.tick core
   in
   let finish () =
-    (* the winning worker's [Complete] may still be in flight when the
-       last result lands — a fully-journaled live lease is completed
-       work, not an expiry *)
-    List.iter
-      (fun (owner, (l : Lease.lease)) ->
-        let missing = ref 0 in
-        for t = l.Lease.lo to l.Lease.hi - 1 do
-          if not (Checkpoint.is_done st t) then incr missing
-        done;
-        if !missing = 0 then begin
-          ignore (Lease.complete leases ~id:l.Lease.id);
-          let w = wstat_of owner in
-          w.completed <- w.completed + 1;
-          Metrics.incr m_leases_completed
-        end)
-      (Lease.live leases);
-    Hashtbl.iter
-      (fun _ c -> ignore (Transport.send_msg c.conn (Codec.Bye { reason = "campaign complete" })))
-      clients;
-    Hashtbl.fold (fun _ c acc -> c :: acc) clients []
-    |> List.iter (fun c -> drop_client ~why:"campaign complete" c);
+    Core.finish core;
     Transport.close_listener listener;
     Journal.close_writer writer
   in
   match
-    while not (campaign_done ()) do
+    while not (Core.is_done core) do
       step ()
     done
   with
   | () ->
       finish ();
-      let wall_s = Unix.gettimeofday () -. started in
-      let pool =
-        {
-          Pool.total;
-          executed = !executed;
-          skipped;
-          failures = !failures;
-          shrunk = !shrunk;
-          timeouts = !timeouts;
-          retried = !retried;
-          quarantined = !quarantined;
-          wall_s;
-          trials_per_s = Pool.trials_rate ~executed:!executed ~wall_s;
-        }
-      in
-      let workers =
-        Hashtbl.fold (fun _ w acc -> stats_of_wstat w :: acc) wstats []
-        |> List.sort (fun a b -> compare a.w_name b.w_name)
-      in
-      let summary =
-        {
-          pool;
-          workers;
-          leases_granted = Lease.granted_total leases;
-          leases_completed = Lease.completed_total leases;
-          leases_expired = Lease.expired_total leases;
-        }
-      in
+      let summary = Core.summary core ~wall_s:(Unix.gettimeofday () -. started) in
       Campaign.Telemetry_io.write ~dir (Metrics.snapshot ());
-      Out_channel.with_open_text (Checkpoint.workers_path ~dir) (fun oc ->
-          output_string oc (Json.to_string (workers_json summary));
-          output_char oc '\n');
+      Checkpoint.write_atomic
+        ~path:(Checkpoint.workers_path ~dir)
+        (Json.to_string (workers_json summary) ^ "\n");
       Ok summary
   | exception e ->
       finish ();

@@ -22,7 +22,12 @@
 
     The loop is single-threaded ([select] over the listener and every
     worker socket), so journal writes, lease bookkeeping and the
-    checkpoint mask need no further synchronization. *)
+    checkpoint mask need no further synchronization.
+
+    All of the message handling lives in the transport-independent
+    {!Core} engine; this module is the socket driver around it (the
+    netsim driver in [lib/netsim] reuses the same engine on a simulated
+    network with virtual time). *)
 
 type config = {
   endpoint : Transport.endpoint;
@@ -52,7 +57,7 @@ val config :
     [campaign report]'s Workers section. Workers are keyed by their
     hello name; a name reconnecting (its process restarted, or its
     connection was dropped by the watchdog) counts a reconnect. *)
-type worker_stats = {
+type worker_stats = Core.worker_stats = {
   w_name : string;
   w_peer : string;  (** last known address *)
   w_domains : int;
@@ -64,7 +69,7 @@ type worker_stats = {
   w_reconnects : int;
 }
 
-type summary = {
+type summary = Core.summary = {
   pool : Ffault_campaign.Pool.summary;  (** same shape as a local run *)
   workers : worker_stats list;
   leases_granted : int;

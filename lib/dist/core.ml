@@ -1,0 +1,498 @@
+module Campaign = Ffault_campaign
+module Json = Campaign.Json
+module Spec = Campaign.Spec
+module Journal = Campaign.Journal
+module Checkpoint = Campaign.Checkpoint
+module Pool = Campaign.Pool
+module Grid = Campaign.Grid
+module Heartbeat = Ffault_supervise.Heartbeat
+module Watchdog = Ffault_supervise.Watchdog
+module Clock = Ffault_runtime.Clock
+module Metrics = Ffault_telemetry.Metrics
+
+let m_leases_granted = Metrics.counter "dist.leases_granted"
+let m_leases_completed = Metrics.counter "dist.leases_completed"
+let m_leases_expired = Metrics.counter "dist.leases_expired"
+let m_results = Metrics.counter "dist.results"
+let m_deduped = Metrics.counter "dist.results_deduped"
+let m_connects = Metrics.counter "dist.worker_connects"
+let m_reconnects = Metrics.counter "dist.worker_reconnects"
+let g_workers = Metrics.gauge "dist.workers_connected"
+
+type 'c io = {
+  peer : 'c -> string;
+  send : 'c -> Codec.msg -> (unit, string) result;
+  close : 'c -> unit;
+}
+
+type worker_stats = {
+  w_name : string;
+  w_peer : string;
+  w_domains : int;
+  w_granted : int;
+  w_completed : int;
+  w_expired : int;
+  w_results : int;
+  w_deduped : int;
+  w_reconnects : int;
+}
+
+type summary = {
+  pool : Pool.summary;
+  workers : worker_stats list;
+  leases_granted : int;
+  leases_completed : int;
+  leases_expired : int;
+}
+
+(* ---- mutable per-worker bookkeeping (keyed by hello name) ---- *)
+
+type wstat = {
+  name : string;
+  mutable peer : string;
+  mutable domains : int;
+  mutable granted : int;
+  mutable completed : int;
+  mutable expired : int;
+  mutable results : int;
+  mutable deduped : int;
+  mutable reconnects : int;
+}
+
+let stats_of_wstat w =
+  {
+    w_name = w.name;
+    w_peer = w.peer;
+    w_domains = w.domains;
+    w_granted = w.granted;
+    w_completed = w.completed;
+    w_expired = w.expired;
+    w_results = w.results;
+    w_deduped = w.deduped;
+    w_reconnects = w.reconnects;
+  }
+
+let workers_json s =
+  Json.Obj
+    [
+      ("version", Json.Int 1);
+      ( "leases",
+        Json.Obj
+          [
+            ("granted", Json.Int s.leases_granted);
+            ("completed", Json.Int s.leases_completed);
+            ("expired", Json.Int s.leases_expired);
+          ] );
+      ( "workers",
+        Json.List
+          (List.map
+             (fun w ->
+               Json.Obj
+                 [
+                   ("name", Json.Str w.w_name);
+                   ("peer", Json.Str w.w_peer);
+                   ("domains", Json.Int w.w_domains);
+                   ("granted", Json.Int w.w_granted);
+                   ("completed", Json.Int w.w_completed);
+                   ("expired", Json.Int w.w_expired);
+                   ("results", Json.Int w.w_results);
+                   ("deduped", Json.Int w.w_deduped);
+                   ("reconnects", Json.Int w.w_reconnects);
+                 ])
+             s.workers) );
+    ]
+
+(* ---- the engine ---- *)
+
+type 'c client = {
+  c_conn : 'c;
+  mutable cname : string option;  (* set by Hello *)
+  mutable slot : int;  (* heartbeat slot; -1 before Hello *)
+  mutable c_dropped : bool;
+}
+
+type 'c t = {
+  io : 'c io;
+  append : Journal.record -> unit;
+  st : Checkpoint.t;
+  spec : Spec.t;
+  total : int;
+  skipped : int;
+  lease_timeout_s : float;
+  hb_interval_s : float;
+  supervision : Codec.supervision;
+  verify_complete : bool;
+  observe : Journal.record -> unit;
+  on_event : string -> unit;
+  on_drop : 'c client -> unit;
+  leases : Lease.t;
+  hb : Heartbeat.t;
+  wd : Watchdog.t;
+  mutable free_slots : int list;
+  mutable clients : 'c client list;
+  wstats : (string, wstat) Hashtbl.t;
+  mutable executed : int;
+  mutable failures : int;
+  mutable timeouts : int;
+  mutable retried : int;
+  mutable quarantined : int;
+  mutable shrunk : int;
+}
+
+let create ?(clock = Clock.monotonic) ?(verify_complete = true)
+    ?(observe = fun _ -> ()) ?(on_event = fun _ -> ()) ?(on_drop = fun _ -> ())
+    ~io ~append ~st ~spec ~lease_trials ~lease_timeout_s ~hb_interval_s
+    ~max_workers ~supervision () =
+  let total = Grid.total_trials spec in
+  let leases =
+    Lease.create ~clock ~total ~lease_trials
+      ~timeout_ns:(int_of_float (lease_timeout_s *. 1e9))
+      ()
+  in
+  let hb = Heartbeat.create ~clock ~slots:max_workers () in
+  let wd =
+    Watchdog.create ~heartbeat:hb
+      ~stall_ns:(int_of_float (lease_timeout_s *. 1e9))
+      ()
+  in
+  {
+    io;
+    append;
+    st;
+    spec;
+    total;
+    skipped = Checkpoint.completed st;
+    lease_timeout_s;
+    hb_interval_s;
+    supervision;
+    verify_complete;
+    observe;
+    on_event;
+    on_drop;
+    leases;
+    hb;
+    wd;
+    free_slots = List.init max_workers Fun.id;
+    clients = [];
+    wstats = Hashtbl.create 16;
+    executed = 0;
+    failures = 0;
+    timeouts = 0;
+    retried = 0;
+    quarantined = 0;
+    shrunk = 0;
+  }
+
+let conn c = c.c_conn
+let dropped c = c.c_dropped
+
+let add_client t conn =
+  let c = { c_conn = conn; cname = None; slot = -1; c_dropped = false } in
+  t.clients <- c :: t.clients;
+  Metrics.add_gauge g_workers 1;
+  c
+
+let wstat_of t name =
+  match Hashtbl.find_opt t.wstats name with
+  | Some w -> w
+  | None ->
+      let w =
+        {
+          name;
+          peer = "?";
+          domains = 0;
+          granted = 0;
+          completed = 0;
+          expired = 0;
+          results = 0;
+          deduped = 0;
+          reconnects = -1 (* first connect is not a reconnect *);
+        }
+      in
+      Hashtbl.replace t.wstats name w;
+      w
+
+let stat_of_client t c = Option.map (wstat_of t) c.cname
+let is_done t = Checkpoint.completed t.st >= t.total
+
+let drop_leases_of t ~why name =
+  match Lease.fail t.leases ~owner:name with
+  | [] -> ()
+  | lost ->
+      let w = wstat_of t name in
+      w.expired <- w.expired + List.length lost;
+      Metrics.add m_leases_expired (List.length lost);
+      List.iter
+        (fun (l : Lease.lease) ->
+          t.on_event
+            (Fmt.str "lease #%d [%d,%d) reclaimed from %s (%s)" l.Lease.id l.Lease.lo
+               l.Lease.hi name why))
+        lost
+
+let drop_client t ~why c =
+  if not c.c_dropped then begin
+    c.c_dropped <- true;
+    t.clients <- List.filter (fun c' -> c' != c) t.clients;
+    (match c.cname with
+    | Some name ->
+        t.on_event (Fmt.str "worker %s left (%s)" name why);
+        drop_leases_of t ~why name
+    | None -> ());
+    if c.slot >= 0 then begin
+      Watchdog.detach t.wd ~slot:c.slot;
+      t.free_slots <- c.slot :: t.free_slots;
+      c.slot <- -1
+    end;
+    Metrics.add_gauge g_workers (-1);
+    t.on_drop c;
+    t.io.close c.c_conn
+  end
+
+let client_closed t c ~why = drop_client t ~why c
+
+let send_or_drop t c msg =
+  match t.io.send c.c_conn msg with
+  | Ok () -> ()
+  | Error why -> drop_client t ~why c
+
+let done_ids_in t lo hi =
+  let ids = ref [] in
+  for id = hi - 1 downto lo do
+    if Checkpoint.is_done t.st id then ids := id :: !ids
+  done;
+  !ids
+
+let missing_in t (l : Lease.lease) =
+  let n = ref 0 in
+  for trial = l.Lease.lo to l.Lease.hi - 1 do
+    if not (Checkpoint.is_done t.st trial) then incr n
+  done;
+  !n
+
+(* A Request from an owner we still hold live leases for means the
+   worker moved on without us seeing its Complete — lost or reordered
+   frames. On an ordered socket stream Complete always precedes the
+   next Request, so this never fires there; under simulated loss it is
+   what keeps a shard from being hostage to a chatty worker that no
+   longer knows it owns it. Retire what the journal proves finished,
+   requeue the rest (the worker will not re-send those results). *)
+let reconcile t name =
+  List.iter
+    (fun (owner, (l : Lease.lease)) ->
+      if owner = name then begin
+        let w = wstat_of t name in
+        let missing = missing_in t l in
+        if missing = 0 then begin
+          ignore (Lease.complete t.leases ~id:l.Lease.id);
+          w.completed <- w.completed + 1;
+          Metrics.incr m_leases_completed;
+          t.on_event
+            (Fmt.str "lease #%d [%d,%d) of %s retired at request (complete lost in flight)"
+               l.Lease.id l.Lease.lo l.Lease.hi name)
+        end
+        else begin
+          ignore (Lease.revoke t.leases ~id:l.Lease.id);
+          w.expired <- w.expired + 1;
+          Metrics.incr m_leases_expired;
+          t.on_event
+            (Fmt.str
+               "lease #%d [%d,%d) of %s reconciled at request: %d trial(s) unjournaled — requeued"
+               l.Lease.id l.Lease.lo l.Lease.hi name missing)
+        end
+      end)
+    (Lease.live t.leases)
+
+let handle_msg t c msg =
+  (* any frame is liveness *)
+  (match c.cname with
+  | Some name ->
+      if c.slot >= 0 then Heartbeat.beat t.hb ~slot:c.slot;
+      Lease.renew t.leases ~owner:name
+  | None -> ());
+  match (msg : Codec.msg) with
+  | Codec.Hello { version; name; domains } ->
+      if version <> Wire.version then begin
+        send_or_drop t c
+          (Codec.Bye
+             {
+               reason =
+                 Fmt.str "version mismatch: coordinator speaks %d, you speak %d"
+                   Wire.version version;
+             });
+        drop_client t ~why:"version mismatch" c
+      end
+      else begin
+        let w = wstat_of t name in
+        w.peer <- t.io.peer c.c_conn;
+        w.domains <- domains;
+        w.reconnects <- w.reconnects + 1;
+        if w.reconnects > 0 then Metrics.incr m_reconnects;
+        Metrics.incr m_connects;
+        c.cname <- Some name;
+        (match t.free_slots with
+        | slot :: rest ->
+            t.free_slots <- rest;
+            c.slot <- slot;
+            Heartbeat.beat t.hb ~slot
+        | [] -> () (* more workers than slots: liveness by lease expiry only *));
+        t.on_event
+          (Fmt.str "worker %s joined from %s (%d domains)%s" name w.peer domains
+             (if w.reconnects > 0 then Fmt.str " — reconnect #%d" w.reconnects else ""));
+        send_or_drop t c
+          (Codec.Welcome
+             {
+               version = Wire.version;
+               spec = t.spec;
+               supervision = t.supervision;
+               hb_interval_s = t.hb_interval_s;
+             })
+      end
+  | Codec.Request -> (
+      match c.cname with
+      | None -> drop_client t ~why:"request before hello" c
+      | Some name ->
+          reconcile t name;
+          if is_done t then send_or_drop t c (Codec.Bye { reason = "campaign complete" })
+          else (
+            match Lease.grant t.leases ~owner:name with
+            | Some l ->
+                let w = wstat_of t name in
+                w.granted <- w.granted + 1;
+                Metrics.incr m_leases_granted;
+                t.on_event
+                  (Fmt.str "lease #%d [%d,%d) -> %s" l.Lease.id l.Lease.lo l.Lease.hi
+                     name);
+                send_or_drop t c
+                  (Codec.Lease
+                     {
+                       lease = l.Lease.id;
+                       lo = l.Lease.lo;
+                       hi = l.Lease.hi;
+                       done_ids = done_ids_in t l.Lease.lo l.Lease.hi;
+                     })
+            | None ->
+                send_or_drop t c
+                  (Codec.Wait { seconds = Float.min 1.0 (t.lease_timeout_s /. 4.0) })))
+  | Codec.Result r ->
+      let w = stat_of_client t c in
+      if r.Journal.trial < 0 || r.Journal.trial >= t.total then
+        (* out-of-grid id: protocol violation, not data *)
+        drop_client t
+          ~why:(Fmt.str "result for trial %d outside the grid" r.Journal.trial)
+          c
+      else if Checkpoint.is_done t.st r.Journal.trial then begin
+        (* zombie worker still streaming an expired lease, or a
+           re-run after reclaim — journaled once already, drop *)
+        Option.iter (fun w -> w.deduped <- w.deduped + 1) w;
+        Metrics.incr m_deduped
+      end
+      else begin
+        t.append r;
+        Checkpoint.mark t.st r.Journal.trial ~ok:r.Journal.ok;
+        t.executed <- t.executed + 1;
+        (match r.Journal.outcome with
+        | Journal.Violation -> t.failures <- t.failures + 1
+        | Journal.Timeout -> t.timeouts <- t.timeouts + 1
+        | Journal.Quarantined -> t.quarantined <- t.quarantined + 1
+        | Journal.Pass -> ());
+        if r.Journal.retries > 0 then t.retried <- t.retried + r.Journal.retries;
+        if r.Journal.witness <> None && r.Journal.outcome = Journal.Violation then
+          t.shrunk <- t.shrunk + 1;
+        Option.iter (fun w -> w.results <- w.results + 1) w;
+        Metrics.incr m_results;
+        t.observe r
+      end
+  | Codec.Complete { lease = id } -> (
+      match Lease.find t.leases ~id with
+      | None -> () (* stale lease: expired and re-issued; the re-lease owns it *)
+      | Some l ->
+          let missing = if t.verify_complete then missing_in t l else 0 in
+          if missing = 0 then begin
+            ignore (Lease.complete t.leases ~id);
+            Option.iter (fun w -> w.completed <- w.completed + 1) (stat_of_client t c);
+            Metrics.incr m_leases_completed
+          end
+          else begin
+            (* completed with holes: take the shard back *)
+            ignore (Lease.revoke t.leases ~id);
+            Option.iter (fun w -> w.expired <- w.expired + 1) (stat_of_client t c);
+            Metrics.incr m_leases_expired;
+            t.on_event
+              (Fmt.str "lease #%d completed with %d trial(s) unjournaled — requeued" id
+                 missing)
+          end)
+  | Codec.Heartbeat -> ()
+  | Codec.Bye { reason } -> drop_client t ~why:(Fmt.str "bye: %s" reason) c
+  | Codec.Welcome _ | Codec.Lease _ | Codec.Wait _ ->
+      drop_client t ~why:"coordinator-bound stream carried a coordinator message" c
+
+let deliver t c frame =
+  if not c.c_dropped then
+    match Codec.of_frame frame with
+    | Ok msg -> handle_msg t c msg
+    | Error why -> drop_client t ~why c
+
+let tick t =
+  (* lease expiry by silence (the watchdog view feeds the same clock):
+     requeue, so the next Request re-issues the shard *)
+  List.iter
+    (fun (owner, (l : Lease.lease)) ->
+      let w = wstat_of t owner in
+      w.expired <- w.expired + 1;
+      Metrics.incr m_leases_expired;
+      t.on_event
+        (Fmt.str "lease #%d [%d,%d) of %s expired (no traffic for %gs)" l.Lease.id
+           l.Lease.lo l.Lease.hi owner t.lease_timeout_s))
+    (Lease.expire t.leases);
+  (* watchdog: drop connections whose heartbeat slot went silent *)
+  let stuck = Watchdog.poll t.wd in
+  if stuck <> [] then
+    List.iter
+      (fun c ->
+        if c.slot >= 0 && List.mem c.slot stuck then
+          drop_client t ~why:"heartbeat silence (watchdog)" c)
+      t.clients
+
+let finish t =
+  (* the winning worker's [Complete] may still be in flight when the
+     last result lands — a fully-journaled live lease is completed
+     work, not an expiry *)
+  List.iter
+    (fun (owner, (l : Lease.lease)) ->
+      if missing_in t l = 0 then begin
+        ignore (Lease.complete t.leases ~id:l.Lease.id);
+        let w = wstat_of t owner in
+        w.completed <- w.completed + 1;
+        Metrics.incr m_leases_completed
+      end)
+    (Lease.live t.leases);
+  let cs = t.clients in
+  List.iter (fun c -> ignore (t.io.send c.c_conn (Codec.Bye { reason = "campaign complete" }))) cs;
+  List.iter (fun c -> drop_client t ~why:"campaign complete" c) cs
+
+let summary t ~wall_s =
+  let pool =
+    {
+      Pool.total = t.total;
+      executed = t.executed;
+      skipped = t.skipped;
+      failures = t.failures;
+      shrunk = t.shrunk;
+      timeouts = t.timeouts;
+      retried = t.retried;
+      quarantined = t.quarantined;
+      wall_s;
+      trials_per_s = Pool.trials_rate ~executed:t.executed ~wall_s;
+    }
+  in
+  let workers =
+    Hashtbl.fold (fun _ w acc -> stats_of_wstat w :: acc) t.wstats []
+    |> List.sort (fun a b -> compare a.w_name b.w_name)
+  in
+  {
+    pool;
+    workers;
+    leases_granted = Lease.granted_total t.leases;
+    leases_completed = Lease.completed_total t.leases;
+    leases_expired = Lease.expired_total t.leases;
+  }

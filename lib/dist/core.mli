@@ -1,0 +1,108 @@
+(** The coordinator engine, independent of any transport.
+
+    {!Coordinator.serve} owns sockets, [select] and the journal file;
+    everything else — the lease table, per-worker bookkeeping, the
+    exactly-once message handling — lives here, parameterized over an
+    {!io} record and a {!Ffault_runtime.Clock.t}. The real driver
+    instantiates it with {!Transport} connections and the monotonic
+    clock; the netsim driver instantiates it with simulated connections
+    and virtual time, so the very same engine code runs under
+    deterministic fault schedules.
+
+    The engine is single-threaded by contract: the driver serializes
+    {!deliver}, {!tick}, {!client_closed} and {!finish} (the socket
+    driver's select loop and the netsim scheduler both do). *)
+
+module Campaign = Ffault_campaign
+
+(** How the engine talks to a connection of type ['c]. [send] returning
+    [Error] means the peer is gone — the engine drops the client. *)
+type 'c io = {
+  peer : 'c -> string;  (** human-readable address, for the Workers report *)
+  send : 'c -> Codec.msg -> (unit, string) result;
+  close : 'c -> unit;
+}
+
+type 'c t
+type 'c client
+
+(** {2 Worker statistics} (persisted as [workers.json]) *)
+
+type worker_stats = {
+  w_name : string;
+  w_peer : string;  (** last known address *)
+  w_domains : int;
+  w_granted : int;
+  w_completed : int;
+  w_expired : int;  (** leases lost to disconnect, silence or reconcile *)
+  w_results : int;  (** records journaled from this worker *)
+  w_deduped : int;  (** zombie results dropped by trial-id dedup *)
+  w_reconnects : int;
+}
+
+type summary = {
+  pool : Campaign.Pool.summary;  (** same shape as a local run *)
+  workers : worker_stats list;
+  leases_granted : int;
+  leases_completed : int;
+  leases_expired : int;
+}
+
+val workers_json : summary -> Campaign.Json.t
+
+(** {2 Engine lifecycle} *)
+
+val create :
+  ?clock:Ffault_runtime.Clock.t ->
+  ?verify_complete:bool ->
+  ?observe:(Campaign.Journal.record -> unit) ->
+  ?on_event:(string -> unit) ->
+  ?on_drop:('c client -> unit) ->
+  io:'c io ->
+  append:(Campaign.Journal.record -> unit) ->
+  st:Campaign.Checkpoint.t ->
+  spec:Campaign.Spec.t ->
+  lease_trials:int ->
+  lease_timeout_s:float ->
+  hb_interval_s:float ->
+  max_workers:int ->
+  supervision:Codec.supervision ->
+  unit ->
+  'c t
+(** [append] journals one record (the socket driver appends to the
+    journal file, netsim to an in-memory buffer); [st] is the resume
+    mask [append] must stay consistent with. [on_drop] fires once per
+    dropped client, before its connection is closed — the driver
+    unindexes it there. [verify_complete] (default [true]) guards the
+    journal-completeness check behind [Complete]; netsim's mutation
+    test switches it off to plant the lease-retirement bug that the
+    fault-schedule search must catch. *)
+
+val add_client : 'c t -> 'c -> 'c client
+(** Register a fresh inbound connection (nothing is granted until its
+    [Hello]). *)
+
+val conn : 'c client -> 'c
+val dropped : 'c client -> bool
+
+val deliver : 'c t -> 'c client -> Wire.frame -> unit
+(** Decode and handle one frame from this client. No-op once the client
+    is dropped; an undecodable frame drops it. *)
+
+val client_closed : 'c t -> 'c client -> why:string -> unit
+(** The driver saw EOF or a transport error: requeue the client's
+    leases and forget it. *)
+
+val tick : 'c t -> unit
+(** Time-based duties, driven by the engine's clock: expire silent
+    leases, drop connections the watchdog flags. The socket driver
+    calls it once per select round; netsim on a virtual timer. *)
+
+val is_done : 'c t -> bool
+(** Every trial id journaled. *)
+
+val finish : 'c t -> unit
+(** Shutdown sweep: retire fully-journaled live leases whose [Complete]
+    is still in flight, send every client a [Bye] and drop it. *)
+
+val summary : 'c t -> wall_s:float -> summary

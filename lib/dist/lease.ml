@@ -1,11 +1,11 @@
-module Clock = Ffault_telemetry.Clock
+module Clock = Ffault_runtime.Clock
 
 type lease = { id : int; shard : int; lo : int; hi : int }
 
 type outstanding = { lease : lease; owner : string; mutable renewed_at : int }
 
 type t = {
-  now : unit -> int;
+  clock : Clock.t;
   timeout_ns : int;
   total : int;
   lease_trials : int;
@@ -18,13 +18,13 @@ type t = {
   mutable expired_total : int;
 }
 
-let create ?(now = Clock.now_ns) ~total ~lease_trials ~timeout_ns () =
+let create ?(clock = Clock.monotonic) ~total ~lease_trials ~timeout_ns () =
   if total < 0 then invalid_arg "Lease.create: total < 0";
   if lease_trials < 1 then invalid_arg "Lease.create: lease_trials < 1";
   if timeout_ns < 1 then invalid_arg "Lease.create: timeout_ns < 1";
   let shards = (total + lease_trials - 1) / lease_trials in
   {
-    now;
+    clock;
     timeout_ns;
     total;
     lease_trials;
@@ -53,14 +53,14 @@ let grant t ~owner =
         let lo = shard * t.lease_trials in
         let hi = min t.total (lo + t.lease_trials) in
         let lease = { id; shard; lo; hi } in
-        Hashtbl.replace t.live id { lease; owner; renewed_at = t.now () };
+        Hashtbl.replace t.live id { lease; owner; renewed_at = Clock.now_ns t.clock };
         t.granted_total <- t.granted_total + 1;
         Some lease
   in
   pop t.queue
 
 let renew t ~owner =
-  let now = t.now () in
+  let now = Clock.now_ns t.clock in
   Hashtbl.iter (fun _ o -> if o.owner = owner then o.renewed_at <- now) t.live
 
 let find t ~id = Option.map (fun o -> o.lease) (Hashtbl.find_opt t.live id)
@@ -98,7 +98,7 @@ let fail t ~owner =
   List.map (fun o -> o.lease) hits
 
 let expire t =
-  let now = t.now () in
+  let now = Clock.now_ns t.clock in
   let hits = take_live t (fun o -> now - o.renewed_at > t.timeout_ns) in
   t.expired_total <- t.expired_total + List.length hits;
   List.map (fun o -> (o.owner, o.lease)) hits

@@ -17,16 +17,22 @@
     re-{e journaling} is not.
 
     Single-threaded (the coordinator's event loop); timestamps come
-    from the monotonic clock unless a fake [~now] is injected. *)
+    from {!Ffault_runtime.Clock.monotonic} unless another clock (a
+    virtual one, in tests and netsim) is injected. *)
 
 type lease = { id : int; shard : int; lo : int; hi : int }
 
 type t
 
 val create :
-  ?now:(unit -> int) -> total:int -> lease_trials:int -> timeout_ns:int -> unit -> t
-(** Shard [\[0, total)] into ⌈total / lease_trials⌉ ranges. [now]
-    defaults to {!Ffault_telemetry.Clock.now_ns}.
+  ?clock:Ffault_runtime.Clock.t ->
+  total:int ->
+  lease_trials:int ->
+  timeout_ns:int ->
+  unit ->
+  t
+(** Shard [\[0, total)] into ⌈total / lease_trials⌉ ranges. [clock]
+    defaults to {!Ffault_runtime.Clock.monotonic}.
     @raise Invalid_argument if [total < 0], [lease_trials < 1] or
     [timeout_ns < 1]. *)
 

@@ -7,6 +7,30 @@ let m_frames_recv = Metrics.counter "dist.frames_recv"
 
 type endpoint = Unix_sock of string | Tcp of string * int
 
+(* A port string must be all digits (int_of_string_opt would accept
+   "0x50", "1_0" and "+80" — none of which anyone means on a CLI). *)
+let port_of_string port =
+  if port = "" then Error "endpoint: tcp: missing port after host"
+  else if not (String.for_all (fun c -> c >= '0' && c <= '9') port) then
+    Error (Printf.sprintf "endpoint: tcp port %S is not a number" port)
+  else
+    match int_of_string_opt port with
+    | Some p when p > 0 && p < 65536 -> Ok p
+    | _ -> Error (Printf.sprintf "endpoint: tcp port %S out of range 1-65535" port)
+
+(* [HOST] / [[v6]] with the port already split off. *)
+let host_of_string host =
+  let n = String.length host in
+  if n = 0 then Error "endpoint: tcp: empty host"
+  else if host.[0] = '[' then
+    if n >= 3 && host.[n - 1] = ']' then Ok (String.sub host 1 (n - 2))
+    else Error (Printf.sprintf "endpoint: bad IPv6 host %S — expected [ADDR]" host)
+  else if String.contains host ':' then
+    Error
+      (Printf.sprintf "endpoint: ambiguous host %S — bracket IPv6 as tcp:[ADDR]:PORT"
+         host)
+  else Ok host
+
 let endpoint_of_string s =
   match String.index_opt s ':' with
   | Some i when String.sub s 0 i = "unix" ->
@@ -20,15 +44,20 @@ let endpoint_of_string s =
       | Some j -> (
           let host = String.sub rest 0 j in
           let port = String.sub rest (j + 1) (String.length rest - j - 1) in
-          match int_of_string_opt port with
-          | Some p when p > 0 && p < 65536 && host <> "" -> Ok (Tcp (host, p))
-          | _ -> Error (Printf.sprintf "endpoint: bad tcp port %S" port)))
+          match host_of_string host with
+          | Error _ as e -> e
+          | Ok host -> (
+              match port_of_string port with
+              | Error _ as e -> e
+              | Ok p -> Ok (Tcp (host, p)))))
   | _ ->
       Error
         (Printf.sprintf "endpoint: %S — expected unix:PATH or tcp:HOST:PORT" s)
 
 let endpoint_to_string = function
   | Unix_sock path -> "unix:" ^ path
+  | Tcp (host, port) when String.contains host ':' ->
+      Printf.sprintf "tcp:[%s]:%d" host port
   | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
 
 let pp_endpoint ppf e = Fmt.string ppf (endpoint_to_string e)
@@ -45,9 +74,7 @@ let sockaddr_of = function
           | addr -> Ok (Unix.ADDR_INET (addr, port))
           | exception Failure _ -> Error (Printf.sprintf "endpoint: unknown host %S" host)))
 
-let domain_of = function
-  | Unix.ADDR_UNIX _ -> Unix.PF_UNIX
-  | Unix.ADDR_INET _ -> Unix.PF_INET
+let domain_of = Unix.domain_of_sockaddr
 
 (* ---- connections ---- *)
 

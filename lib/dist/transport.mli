@@ -11,7 +11,10 @@
 type endpoint = Unix_sock of string | Tcp of string * int
 
 val endpoint_of_string : string -> (endpoint, string) result
-(** [unix:PATH] or [tcp:HOST:PORT]. *)
+(** [unix:PATH] or [tcp:HOST:PORT]; IPv6 hosts are bracketed,
+    [tcp:[::1]:9000]. Rejects empty hosts, non-numeric ports and ports
+    outside 1–65535 here, with an error naming the offending piece,
+    rather than failing later at connect. *)
 
 val endpoint_to_string : endpoint -> string
 val pp_endpoint : Format.formatter -> endpoint -> unit

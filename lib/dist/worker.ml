@@ -37,6 +37,50 @@ let supervision_of_wire (s : Codec.supervision) =
   Pool.supervision ?deadline_s:s.Codec.deadline_s ~max_retries:s.Codec.max_retries
     ~quarantine_after:s.Codec.quarantine_after ~adaptive_deadline:adaptive ()
 
+(* The worker side of the protocol, as pure classification — shared by
+   this blocking socket driver and the netsim worker actor, so the
+   simulated worker cannot drift from the real one. *)
+module Protocol = struct
+  type welcome = {
+    spec : Campaign.Spec.t;
+    supervision : Codec.supervision;
+    hb_interval_s : float;
+  }
+
+  let hello ~name ~domains = Codec.Hello { version = Wire.version; name; domains }
+
+  let welcome_reply = function
+    | Codec.Welcome { version; spec; supervision; hb_interval_s } ->
+        if version <> Wire.version then
+          Error
+            (Fmt.str "version mismatch: coordinator speaks %d, we speak %d" version
+               Wire.version)
+        else Ok { spec; supervision; hb_interval_s }
+    | Codec.Bye { reason } -> Error (Fmt.str "rejected: %s" reason)
+    | m -> Error (Fmt.str "expected welcome, got %a" Codec.pp m)
+
+  type reply =
+    | Granted of { lease : int; lo : int; hi : int; done_ids : int list }
+    | Backoff of float
+    | Stop of string
+    | Ignore
+    | Unexpected of string
+
+  let lease_reply = function
+    | Codec.Lease { lease; lo; hi; done_ids } -> Granted { lease; lo; hi; done_ids }
+    | Codec.Wait { seconds } -> Backoff seconds
+    | Codec.Bye { reason } -> Stop reason
+    | Codec.Heartbeat -> Ignore (* tolerated, not expected *)
+    | m -> Unexpected (Fmt.str "expected lease, got %a" Codec.pp m)
+
+  let ids_to_run ~lo ~hi ~done_ids =
+    let done_tbl = Hashtbl.create (List.length done_ids * 2 + 1) in
+    List.iter (fun id -> Hashtbl.replace done_tbl id ()) done_ids;
+    List.filter
+      (fun id -> not (Hashtbl.mem done_tbl id))
+      (List.init (hi - lo) (fun i -> lo + i))
+end
+
 (* The heartbeat thread: one [Heartbeat] frame per interval until
    stopped. Send failures are ignored here — the main loop is about to
    see the same broken socket on its next send or recv. *)
@@ -71,20 +115,14 @@ let run ?(on_event = fun _ -> ()) cfg =
     r
   in
   let* () =
-    Transport.send_msg conn
-      (Codec.Hello { version = Wire.version; name = cfg.name; domains = cfg.domains })
+    Transport.send_msg conn (Protocol.hello ~name:cfg.name ~domains:cfg.domains)
   in
-  let* spec, supervision, hb_interval_s =
+  let* { Protocol.spec; supervision; hb_interval_s } =
     match Transport.recv_msg conn with
-    | `Msg (Codec.Welcome { version; spec; supervision; hb_interval_s }) ->
-        if version <> Wire.version then
-          finish
-            (Error
-               (Fmt.str "version mismatch: coordinator speaks %d, we speak %d" version
-                  Wire.version))
-        else Ok (spec, supervision, hb_interval_s)
-    | `Msg (Codec.Bye { reason }) -> finish (Error (Fmt.str "rejected: %s" reason))
-    | `Msg m -> finish (Error (Fmt.str "expected welcome, got %a" Codec.pp m))
+    | `Msg m -> (
+        match Protocol.welcome_reply m with
+        | Ok w -> Ok w
+        | Error e -> finish (Error e))
     | `Closed -> finish (Error "connection closed before welcome")
     | `Error e -> finish (Error e)
   in
@@ -140,16 +178,18 @@ let run ?(on_event = fun _ -> ()) cfg =
     | Error e -> bye_or e
     | Ok () -> (
         match Transport.recv_msg conn with
-        | `Msg (Codec.Lease { lease; lo; hi; done_ids }) -> (
-            match run_lease ~lease ~lo ~hi ~done_ids with
-            | Ok () -> serve ()
-            | Error e -> bye_or e)
-        | `Msg (Codec.Wait { seconds }) ->
-            Thread.delay (Float.max 0.01 seconds);
-            serve ()
-        | `Msg (Codec.Bye { reason }) -> Ok reason
-        | `Msg (Codec.Heartbeat) -> serve () (* tolerated, not expected *)
-        | `Msg m -> Error (Fmt.str "expected lease, got %a" Codec.pp m)
+        | `Msg m -> (
+            match Protocol.lease_reply m with
+            | Protocol.Granted { lease; lo; hi; done_ids } -> (
+                match run_lease ~lease ~lo ~hi ~done_ids with
+                | Ok () -> serve ()
+                | Error e -> bye_or e)
+            | Protocol.Backoff seconds ->
+                Thread.delay (Float.max 0.01 seconds);
+                serve ()
+            | Protocol.Stop reason -> Ok reason
+            | Protocol.Ignore -> serve ()
+            | Protocol.Unexpected e -> Error e)
         | `Closed -> Error "connection closed"
         | `Error e -> Error e)
   in

@@ -32,6 +32,38 @@ val config : ?name:string -> ?domains:int -> ?chunk:int -> Transport.endpoint ->
 (** Default name [<hostname>-<pid>], 1 domain, chunk 64.
     @raise Invalid_argument if [domains < 1] or [chunk < 1]. *)
 
+(** The worker side of the protocol as pure frame classification,
+    shared by this blocking socket driver and the netsim worker actor
+    (so the simulated worker cannot drift from the real one). *)
+module Protocol : sig
+  type welcome = {
+    spec : Ffault_campaign.Spec.t;
+    supervision : Codec.supervision;
+    hb_interval_s : float;
+  }
+
+  val hello : name:string -> domains:int -> Codec.msg
+  (** The [Hello] carrying {!Wire.version}. *)
+
+  val welcome_reply : Codec.msg -> (welcome, string) result
+  (** Classify the reply to [Hello]: a matching-version [Welcome], or
+      the error to stop with (version mismatch, [Bye], junk). *)
+
+  type reply =
+    | Granted of { lease : int; lo : int; hi : int; done_ids : int list }
+    | Backoff of float  (** [Wait]: retry the request after this many seconds *)
+    | Stop of string  (** [Bye]: campaign over *)
+    | Ignore  (** a stray [Heartbeat]: tolerated, request again *)
+    | Unexpected of string
+
+  val lease_reply : Codec.msg -> reply
+  (** Classify the reply to [Request]. *)
+
+  val ids_to_run : lo:int -> hi:int -> done_ids:int list -> int list
+  (** The trial ids of a lease still needing execution, ascending —
+      [\[lo, hi)] minus the already-journaled [done_ids]. *)
+end
+
 type summary = {
   leases_run : int;
   trials_run : int;  (** records streamed (excludes [done_ids] skips) *)

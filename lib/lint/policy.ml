@@ -58,9 +58,10 @@ let applies t ~rule ~file =
 (* ---- the repo's default policy ---- *)
 
 (* The dirs whose behavior must be a pure function of the seed: the
-   simulator, the protocols under test, and the checkers over them. *)
+   simulator, the protocols under test, the checkers over them, and the
+   network simulation (whose whole contract is determinism). *)
 let deterministic_dirs =
-  [ "lib/sim"; "lib/consensus"; "lib/verify"; "lib/impossibility" ]
+  [ "lib/sim"; "lib/consensus"; "lib/verify"; "lib/impossibility"; "lib/netsim" ]
 
 let pure_lib_dirs =
   deterministic_dirs

@@ -1,0 +1,51 @@
+module Clock = Ffault_runtime.Clock
+
+module Key = struct
+  type t = int * int (* (time_ns, seq) — seq breaks ties deterministically *)
+
+  let compare = compare
+end
+
+module Q = Map.Make (Key)
+
+type t = {
+  v : Clock.Virtual.t;
+  mutable q : (unit -> unit) Q.t;
+  mutable seq : int;
+  mutable executed : int;
+}
+
+let create ?(start_ns = 0) () =
+  { v = Clock.Virtual.create ~start_ns (); q = Q.empty; seq = 0; executed = 0 }
+
+let clock t = Clock.Virtual.clock t.v
+let now_ns t = Clock.Virtual.now_ns t.v
+
+let at t ~ns f =
+  let ns = max ns (now_ns t) in
+  t.q <- Q.add (ns, t.seq) f t.q;
+  t.seq <- t.seq + 1
+
+let after t ~ns f =
+  if ns < 0 then invalid_arg "Sched.after: negative delay";
+  at t ~ns:(now_ns t + ns) f
+
+let pending t = Q.cardinal t.q
+
+let rec run t ~until_ns =
+  match Q.min_binding_opt t.q with
+  | None -> `Drained
+  | Some (((ns, _) as key), f) ->
+      if ns > until_ns then begin
+        if until_ns > now_ns t then Clock.Virtual.set t.v ~ns:until_ns;
+        `Horizon
+      end
+      else begin
+        t.q <- Q.remove key t.q;
+        Clock.Virtual.set t.v ~ns;
+        t.executed <- t.executed + 1;
+        f ();
+        run t ~until_ns
+      end
+
+let executed t = t.executed

@@ -1,0 +1,376 @@
+module Campaign = Ffault_campaign
+module Spec = Campaign.Spec
+module Grid = Campaign.Grid
+module Journal = Campaign.Journal
+module Checkpoint = Campaign.Checkpoint
+module Codec = Ffault_dist.Codec
+module Core = Ffault_dist.Core
+module Protocol = Ffault_dist.Worker.Protocol
+
+type config = {
+  workers : int;
+  trials : int;
+  lease_trials : int;
+  verify_complete : bool;
+  horizon_ns : int;
+}
+
+let config ?(workers = 3) ?(trials = 200) ?(lease_trials = 32)
+    ?(verify_complete = true) ?(horizon_ns = 60_000_000_000) () =
+  if workers < 1 then invalid_arg "Sim.config: workers must be >= 1";
+  if trials < 1 then invalid_arg "Sim.config: trials must be >= 1";
+  if lease_trials < 1 then invalid_arg "Sim.config: lease_trials must be >= 1";
+  if horizon_ns < 1_000_000_000 then invalid_arg "Sim.config: horizon under 1s";
+  { workers; trials; lease_trials; verify_complete; horizon_ns }
+
+type violation = Duplicate of int | Hole of int | Stalled of string
+
+let violation_to_string = function
+  | Duplicate id -> Printf.sprintf "trial %d journaled more than once" id
+  | Hole id -> Printf.sprintf "trial %d never journaled" id
+  | Stalled why -> "stalled: " ^ why
+
+type result = {
+  violation : violation option;
+  fired : Fault_plan.atom list;
+  records : Journal.record list;
+  journal_bytes : string;
+  trace : string list;
+  events : int;
+  end_ns : int;
+}
+
+(* ---- virtual-time tuning (all deterministic constants) ---- *)
+
+let tick_ns = 50_000_000 (* coordinator tick cadence *)
+let hb_interval_s = 0.5 (* imposed on workers via Welcome *)
+let lease_timeout_s = 2.0 (* silence budget before a lease is reclaimed *)
+let silence_ns = 1_000_000_000 (* worker's reply deadline before reconnecting *)
+let reconnect_ns = 25_000_000
+let trial_cost_ns = 2_000_000 (* virtual compute per trial *)
+let hb_ns = 500_000_000
+
+(* The sim exercises the distribution layer, not the trial engine:
+   every trial "runs" to the same synthetic pass record, a pure
+   function of the grid — which is what makes the journal of a run a
+   deterministic artifact worth diffing. *)
+let record_of spec id =
+  let tr = Grid.trial spec id in
+  {
+    Journal.trial = id;
+    cell = tr.Grid.cell;
+    seed = tr.Grid.seed;
+    ok = true;
+    outcome = Journal.Pass;
+    retries = 0;
+    violations = [];
+    steps = 1;
+    max_steps = 1;
+    stage = -1;
+    faults = 0;
+    wall_us = 1;
+    witness = None;
+  }
+
+type wphase = Joining | Awaiting | Running | Stopped
+
+type wactor = {
+  idx : int;
+  wname : string;
+  mutable inc : int; (* incarnation: bumped on reconnect/crash/restart *)
+  mutable alive : bool;
+  mutable wconn : Net.conn option;
+  mutable phase : wphase;
+  mutable seq : int; (* invalidates pending reply-deadline timers *)
+}
+
+let run ?atoms cfg ~seed =
+  let sched = Sched.create () in
+  let trace_rev = ref [] in
+  let push s = trace_rev := s :: !trace_rev in
+  let tracef fmt =
+    Printf.ksprintf
+      (fun s ->
+        push
+          (Printf.sprintf "%10.3fms %s"
+             (float_of_int (Sched.now_ns sched) /. 1e6)
+             s))
+      fmt
+  in
+  let plan =
+    let full = Fault_plan.generate ~seed ~workers:cfg.workers in
+    match atoms with None -> full | Some atoms -> Fault_plan.replay full ~atoms
+  in
+  let net = Net.create ~sched ~plan ~trace:push ~workers:cfg.workers () in
+  let spec = Spec.v ~name:"netsim" ~protocol:"fig1" ~trials:cfg.trials () in
+  let total = Grid.total_trials spec in
+  let st = Checkpoint.fresh ~total in
+  let records_rev = ref [] in
+  let io = { Core.peer = Net.peer; send = Net.send; close = Net.close } in
+  let core =
+    Core.create ~clock:(Sched.clock sched) ~verify_complete:cfg.verify_complete
+      ~on_event:(fun s -> tracef "coord: %s" s)
+      ~io
+      ~append:(fun r -> records_rev := r :: !records_rev)
+      ~st ~spec ~lease_trials:cfg.lease_trials ~lease_timeout_s ~hb_interval_s
+      ~max_workers:(cfg.workers * 4) ~supervision:Codec.no_supervision ()
+  in
+  Net.set_listener net
+    (Some
+       (fun conn ->
+         let c = Core.add_client core conn in
+         Net.set_handler conn
+           {
+             Net.h_frames = (fun frames -> List.iter (Core.deliver core c) frames);
+             h_closed =
+               (fun () ->
+                 if not (Core.dropped c) then Core.client_closed core c ~why:"eof");
+             h_error =
+               (fun e ->
+                 if not (Core.dropped c) then Core.client_closed core c ~why:e);
+           }));
+  (* coordinator completion is observed on the tick timer; once done,
+     finish + close the listener so restarting workers stop cleanly and
+     the event queue can drain *)
+  let finished = ref false in
+  let rec tick () =
+    if not !finished then
+      if Core.is_done core then begin
+        finished := true;
+        tracef "coord: campaign complete";
+        Core.finish core;
+        Net.set_listener net None
+      end
+      else begin
+        Core.tick core;
+        Sched.after sched ~ns:tick_ns tick
+      end
+  in
+  Sched.after sched ~ns:tick_ns tick;
+
+  (* ---- worker actors ---- *)
+  let ws =
+    Array.init cfg.workers (fun i ->
+        {
+          idx = i;
+          wname = Printf.sprintf "w%d" i;
+          inc = 0;
+          alive = true;
+          wconn = None;
+          phase = Joining;
+          seq = 0;
+        })
+  in
+  let bump w = w.seq <- w.seq + 1 in
+  let send_msg w msg =
+    match w.wconn with None -> () | Some c -> ignore (Net.send c msg)
+  in
+  let rec start w =
+    match Net.connect net ~worker:w.idx with
+    | Error why -> stop w ~why
+    | Ok conn ->
+        w.wconn <- Some conn;
+        w.phase <- Joining;
+        bump w;
+        let inc = w.inc in
+        Net.set_handler conn
+          {
+            Net.h_frames =
+              (fun frames ->
+                List.iter
+                  (fun f -> if w.alive && w.inc = inc then on_frame w f)
+                  frames);
+            h_closed =
+              (fun () ->
+                if w.alive && w.inc = inc then begin
+                  tracef "%s: eof — reconnect" w.wname;
+                  reconnect w
+                end);
+            h_error =
+              (fun e ->
+                if w.alive && w.inc = inc then begin
+                  tracef "%s: stream error (%s) — reconnect" w.wname e;
+                  reconnect w
+                end);
+          };
+        tracef "%s: hello" w.wname;
+        send_msg w (Protocol.hello ~name:w.wname ~domains:1);
+        arm_silence w;
+        arm_heartbeat w
+  and arm_silence w =
+    (* reply deadline: an awaiting worker that hears nothing gives up on
+       the connection — this (not any protocol message) is what recovers
+       a dropped Welcome or Lease *)
+    let inc = w.inc and seq = w.seq in
+    Sched.after sched ~ns:silence_ns (fun () ->
+        if w.alive && w.inc = inc && w.seq = seq then begin
+          tracef "%s: no reply — reconnect" w.wname;
+          reconnect w
+        end)
+  and arm_heartbeat w =
+    let inc = w.inc in
+    Sched.after sched ~ns:hb_ns (fun () ->
+        if w.alive && w.inc = inc then begin
+          send_msg w Codec.Heartbeat;
+          arm_heartbeat w
+        end)
+  and request w =
+    bump w;
+    w.phase <- Awaiting;
+    send_msg w Codec.Request;
+    arm_silence w
+  and run_lease w ~lease ~ids =
+    bump w;
+    w.phase <- Running;
+    tracef "%s: lease #%d — %d trial(s)" w.wname lease (List.length ids);
+    let inc = w.inc in
+    List.iteri
+      (fun j id ->
+        Sched.after sched ~ns:((j + 1) * trial_cost_ns) (fun () ->
+            if w.alive && w.inc = inc then
+              send_msg w (Codec.Result (record_of spec id))))
+      ids;
+    Sched.after sched
+      ~ns:((List.length ids + 1) * trial_cost_ns)
+      (fun () ->
+        if w.alive && w.inc = inc then begin
+          send_msg w (Codec.Complete { lease });
+          request w
+        end)
+  and stop w ~why =
+    if w.phase <> Stopped then begin
+      tracef "%s: stop (%s)" w.wname why;
+      w.inc <- w.inc + 1;
+      bump w;
+      w.alive <- false;
+      w.phase <- Stopped;
+      (match w.wconn with Some c -> Net.close c | None -> ());
+      w.wconn <- None
+    end
+  and reconnect w =
+    w.inc <- w.inc + 1;
+    bump w;
+    (match w.wconn with Some c -> Net.close c | None -> ());
+    w.wconn <- None;
+    w.phase <- Joining;
+    let inc = w.inc in
+    Sched.after sched ~ns:reconnect_ns (fun () ->
+        if w.alive && w.inc = inc then start w)
+  and on_frame w frame =
+    match Codec.of_frame frame with
+    | Ok msg -> on_msg w msg
+    | Error why ->
+        tracef "%s: bad frame (%s) — reconnect" w.wname why;
+        reconnect w
+  and on_msg w msg =
+    match w.phase with
+    | Stopped -> ()
+    | Joining -> (
+        match msg with
+        | Codec.Bye { reason } -> stop w ~why:("bye: " ^ reason)
+        | _ -> (
+            match Protocol.welcome_reply msg with
+            | Ok _welcome -> request w
+            | Error _ ->
+                (* junk or a reordered stray — keep waiting for the
+                   real Welcome, with a fresh reply deadline *)
+                bump w;
+                arm_silence w))
+    | Awaiting -> (
+        match Protocol.lease_reply msg with
+        | Protocol.Granted { lease; lo; hi; done_ids } ->
+            run_lease w ~lease ~ids:(Protocol.ids_to_run ~lo ~hi ~done_ids)
+        | Protocol.Backoff s ->
+            bump w;
+            let inc = w.inc and seq = w.seq in
+            Sched.after sched
+              ~ns:(int_of_float (s *. 1e9))
+              (fun () ->
+                if w.alive && w.inc = inc && w.seq = seq then request w)
+        | Protocol.Stop reason -> stop w ~why:("bye: " ^ reason)
+        | Protocol.Ignore | Protocol.Unexpected _ ->
+            bump w;
+            arm_silence w)
+    | Running -> (
+        (* progress is timer-driven; only a Bye matters here (dup'd or
+           reordered old replies are ignored) *)
+        match msg with
+        | Codec.Bye { reason } -> stop w ~why:("bye: " ^ reason)
+        | _ -> ())
+  in
+  Array.iter
+    (fun w -> Sched.after sched ~ns:((w.idx + 1) * 1_000_000) (fun () -> start w))
+    ws;
+
+  (* ---- the schedule's partition and crash windows ---- *)
+  List.iter
+    (fun (at_ns, heal_ns, group) ->
+      Sched.at sched ~ns:at_ns (fun () ->
+          List.iter (fun wi -> Net.set_partitioned net ~worker:wi true) group);
+      Sched.at sched ~ns:heal_ns (fun () ->
+          List.iter (fun wi -> Net.set_partitioned net ~worker:wi false) group))
+    (Fault_plan.partitions plan);
+  List.iter
+    (fun (wi, at_ns, restart_ns) ->
+      let w = ws.(wi) in
+      Sched.at sched ~ns:at_ns (fun () ->
+          tracef "%s: crash" w.wname;
+          w.inc <- w.inc + 1;
+          bump w;
+          w.alive <- false;
+          w.phase <- Stopped;
+          w.wconn <- None;
+          Net.crash_worker net ~worker:wi);
+      Sched.at sched ~ns:restart_ns (fun () ->
+          tracef "%s: restart" w.wname;
+          w.inc <- w.inc + 1;
+          bump w;
+          (match w.wconn with Some c -> Net.close c | None -> ());
+          w.wconn <- None;
+          w.alive <- true;
+          start w))
+    (Fault_plan.crashes plan);
+
+  (* ---- run to completion or the horizon ---- *)
+  let ending = Sched.run sched ~until_ns:cfg.horizon_ns in
+  let records = List.rev !records_rev in
+  let counts = Array.make total 0 in
+  List.iter
+    (fun (r : Journal.record) ->
+      if r.Journal.trial >= 0 && r.Journal.trial < total then
+        counts.(r.Journal.trial) <- counts.(r.Journal.trial) + 1)
+    records;
+  let first p =
+    let rec go i =
+      if i >= total then None else if p counts.(i) then Some i else go (i + 1)
+    in
+    go 0
+  in
+  let violation =
+    match first (fun c -> c > 1) with
+    | Some id -> Some (Duplicate id)
+    | None ->
+        if not !finished then
+          Some
+            (Stalled
+               (Printf.sprintf "%s at %dms with %d/%d trial(s) journaled"
+                  (match ending with
+                  | `Horizon -> "horizon"
+                  | `Drained -> "events drained")
+                  (Sched.now_ns sched / 1_000_000)
+                  (List.length records) total))
+        else (
+          match first (fun c -> c = 0) with
+          | Some id -> Some (Hole id)
+          | None -> None)
+  in
+  {
+    violation;
+    fired = Fault_plan.fired plan;
+    records;
+    journal_bytes =
+      String.concat "" (List.map (fun r -> Journal.to_line r ^ "\n") records);
+    trace = List.rev !trace_rev;
+    events = Sched.executed sched;
+    end_ns = Sched.now_ns sched;
+  }

@@ -1,0 +1,61 @@
+(** One simulated campaign: the real {!Ffault_dist.Core} coordinator
+    engine plus [workers] simulated worker actors, on a {!Net} network
+    under a {!Fault_plan} schedule, all inside a single {!Sched} run of
+    virtual time.
+
+    The worker actors speak the protocol through
+    {!Ffault_dist.Worker.Protocol} (the same classification the socket
+    worker uses) and synthesize deterministic trial records from the
+    grid, so the journal a run produces is a pure function of
+    [(config, seed)] — byte-identical across re-runs, which the tests
+    pin.
+
+    The invariant checked is exactly-once: when the run ends, the
+    journal must hold every trial id exactly once and the coordinator
+    must have declared completion within the virtual-time horizon.
+    Anything else is a {!violation}. *)
+
+type config = {
+  workers : int;
+  trials : int;
+  lease_trials : int;  (** shard size *)
+  verify_complete : bool;
+      (** [false] plants the lease-retirement bug (a [Complete] retires
+          its lease without checking the journal) — the mutation the
+          schedule search must catch *)
+  horizon_ns : int;  (** virtual-time backstop for stalled schedules *)
+}
+
+val config :
+  ?workers:int ->
+  ?trials:int ->
+  ?lease_trials:int ->
+  ?verify_complete:bool ->
+  ?horizon_ns:int ->
+  unit ->
+  config
+(** Defaults: 3 workers, 200 trials, shards of 32, verification on,
+    60 s (virtual) horizon. *)
+
+type violation =
+  | Duplicate of int  (** this trial id journaled more than once *)
+  | Hole of int  (** never journaled, yet the run ended *)
+  | Stalled of string  (** horizon hit or events drained before completion *)
+
+val violation_to_string : violation -> string
+
+type result = {
+  violation : violation option;  (** first violation found, severity order *)
+  fired : Fault_plan.atom list;  (** the schedule's fired atoms — shrinker input *)
+  records : Ffault_campaign.Journal.record list;  (** append order *)
+  journal_bytes : string;  (** the JSONL the journal file would hold *)
+  trace : string list;  (** deterministic event trace, forward order *)
+  events : int;  (** scheduler events executed *)
+  end_ns : int;  (** virtual time at exit *)
+}
+
+val run : ?atoms:Fault_plan.atom list -> config -> seed:int64 -> result
+(** Simulate one schedule. Without [atoms] the full schedule of [seed]
+    runs (generate mode); with [atoms] only those fire (replay mode —
+    the shrinker's probe). Two calls with equal arguments return equal
+    results. *)

@@ -6,17 +6,22 @@
     Beating is one atomic store on the slot's own word plus a sharded
     counter bump; it is safe from any domain or thread.
 
-    Timestamps come from the monotonic clock by default; tests inject a
-    fake clock through [~now]. *)
+    Timestamps come from {!Ffault_runtime.Clock.monotonic} by default;
+    tests and the netsim scheduler inject a
+    {!Ffault_runtime.Clock.Virtual} clock instead. *)
 
 type t
 
-val create : ?now:(unit -> int) -> slots:int -> unit -> t
-(** [slots] independent beacons, all initially silent. [now] defaults to
-    {!Ffault_telemetry.Clock.now_ns}.
+val create : ?clock:Ffault_runtime.Clock.t -> slots:int -> unit -> t
+(** [slots] independent beacons, all initially silent. [clock] defaults
+    to {!Ffault_runtime.Clock.monotonic}.
     @raise Invalid_argument if [slots < 1]. *)
 
 val slots : t -> int
+
+val clock : t -> Ffault_runtime.Clock.t
+(** The clock beats are stamped with — a {!Watchdog} judging this
+    heartbeat must read the same one. *)
 
 val beat : t -> slot:int -> unit
 (** Record that [slot] is alive now. Bumps the [supervise.heartbeats]

@@ -1,4 +1,4 @@
-module Clock = Ffault_telemetry.Clock
+module Clock = Ffault_runtime.Clock
 module Metrics = Ffault_telemetry.Metrics
 module Cancel = Ffault_runtime.Cancel
 
@@ -7,7 +7,7 @@ let m_flags = Metrics.counter "supervise.watchdog_flags"
 type t = {
   hb : Heartbeat.t;
   stall_ns : int;
-  now : unit -> int;
+  clock : Clock.t;
   created_at : int;
   lock : Mutex.t;
   tokens : Cancel.t option array;
@@ -17,14 +17,15 @@ type t = {
   flagged_at : int array;
 }
 
-let create ?(now = Clock.now_ns) ~heartbeat ~stall_ns () =
+let create ?clock ~heartbeat ~stall_ns () =
   if stall_ns < 1 then invalid_arg "Watchdog.create: stall_ns < 1";
+  let clock = Option.value clock ~default:(Heartbeat.clock heartbeat) in
   let n = Heartbeat.slots heartbeat in
   {
     hb = heartbeat;
     stall_ns;
-    now;
-    created_at = now ();
+    clock;
+    created_at = Clock.now_ns clock;
     lock = Mutex.create ();
     tokens = Array.make n None;
     flagged_at = Array.make n min_int;
@@ -45,7 +46,7 @@ let epoch t slot =
 
 let poll t =
   with_lock t (fun () ->
-      let now = t.now () in
+      let now = Clock.now_ns t.clock in
       let stuck = ref [] in
       for slot = Heartbeat.slots t.hb - 1 downto 0 do
         let ep = epoch t slot in

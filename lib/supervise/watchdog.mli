@@ -16,9 +16,11 @@
 
 type t
 
-val create : ?now:(unit -> int) -> heartbeat:Heartbeat.t -> stall_ns:int -> unit -> t
-(** [now] defaults to {!Ffault_telemetry.Clock.now_ns} and must be the
-    same clock the heartbeat uses.
+val create :
+  ?clock:Ffault_runtime.Clock.t -> heartbeat:Heartbeat.t -> stall_ns:int -> unit -> t
+(** [clock] defaults to the heartbeat's own clock (which is almost
+    always what you want — stall judgement must read the clock beats
+    are stamped with).
     @raise Invalid_argument if [stall_ns < 1]. *)
 
 val attach : t -> slot:int -> Ffault_runtime.Cancel.t -> unit

@@ -242,22 +242,74 @@ let test_endpoint_parse () =
   (match Transport.endpoint_of_string "tcp:localhost:9000" with
   | Ok (Transport.Tcp ("localhost", 9000)) -> ()
   | _ -> Alcotest.fail "tcp endpoint");
+  (match Transport.endpoint_of_string "tcp:[::1]:9000" with
+  | Ok (Transport.Tcp ("::1", 9000)) -> ()
+  | _ -> Alcotest.fail "bracketed IPv6 endpoint");
+  (match Transport.endpoint_of_string "tcp:[fe80::1%eth0]:80" with
+  | Ok (Transport.Tcp ("fe80::1%eth0", 80)) -> ()
+  | _ -> Alcotest.fail "scoped IPv6 endpoint");
   List.iter
     (fun s ->
       match Transport.endpoint_of_string s with
       | Error _ -> ()
       | Ok _ -> Alcotest.failf "accepted %S" s)
-    [ "tcp:nohost"; "tcp:host:notaport"; "ftp:x"; ""; "unix:" ]
+    [
+      "tcp:nohost";
+      "tcp:host:notaport";
+      "ftp:x";
+      "";
+      "unix:";
+      "tcp::9000" (* empty host *);
+      "tcp:host:" (* empty port *);
+      "tcp:host:0";
+      "tcp:host:65536";
+      "tcp:host:0x50" (* int_of_string would take this *);
+      "tcp:host:-1";
+      "tcp:::1:9000" (* unbracketed IPv6 is ambiguous *);
+      "tcp:[::1:9000" (* unclosed bracket *);
+    ];
+  (* the error message names the offending piece, not a generic parse
+     failure *)
+  let mentions needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  (match Transport.endpoint_of_string "tcp::9000" with
+  | Error e ->
+      check Alcotest.bool "empty-host error says host" true (mentions "host" e)
+  | Ok _ -> Alcotest.fail "accepted empty host");
+  (match Transport.endpoint_of_string "tcp:host:70000" with
+  | Error e ->
+      check Alcotest.bool "range error says range" true (mentions "range" e)
+  | Ok _ -> Alcotest.fail "accepted port 70000")
+
+let test_endpoint_round_trip () =
+  List.iter
+    (fun s ->
+      match Transport.endpoint_of_string s with
+      | Ok e ->
+          check Alcotest.string (Fmt.str "round-trip %s" s) s
+            (Transport.endpoint_to_string e)
+      | Error err -> Alcotest.failf "%s: %s" s err)
+    [ "unix:/tmp/x.sock"; "tcp:localhost:9000"; "tcp:[::1]:9000"; "tcp:10.0.0.1:1" ];
+  (* to_string re-brackets a colonful host so its output re-parses *)
+  let e = Transport.Tcp ("::1", 4242) in
+  let s = Transport.endpoint_to_string e in
+  check Alcotest.string "v6 re-bracketed" "tcp:[::1]:4242" s;
+  match Transport.endpoint_of_string s with
+  | Ok e' -> check Alcotest.bool "reparses to same endpoint" true (e = e')
+  | Error err -> Alcotest.fail err
 
 (* ---- lease table (fake clock) ---- *)
 
 let fake_clock start =
-  let t = ref start in
-  ((fun () -> !t), fun d -> t := !t + d)
+  let v = Ffault_runtime.Clock.Virtual.create ~start_ns:start () in
+  (Ffault_runtime.Clock.Virtual.clock v, fun d -> Ffault_runtime.Clock.Virtual.advance v ~ns:d)
 
 let test_lease_grant_expire_regrant () =
-  let now, advance = fake_clock 0 in
-  let tbl = Lease.create ~now ~total:100 ~lease_trials:40 ~timeout_ns:1_000 () in
+  let clock, advance = fake_clock 0 in
+  let tbl = Lease.create ~clock ~total:100 ~lease_trials:40 ~timeout_ns:1_000 () in
   check Alcotest.int "shards" 3 (Lease.n_shards tbl);
   let l0 =
     match Lease.grant tbl ~owner:"a" with Some l -> l | None -> Alcotest.fail "grant"
@@ -299,8 +351,8 @@ let test_lease_grant_expire_regrant () =
   check Alcotest.int "expired counter" 2 (Lease.expired_total tbl)
 
 let test_lease_complete_and_done () =
-  let now, _advance = fake_clock 0 in
-  let tbl = Lease.create ~now ~total:20 ~lease_trials:10 ~timeout_ns:1_000 () in
+  let clock, _advance = fake_clock 0 in
+  let tbl = Lease.create ~clock ~total:20 ~lease_trials:10 ~timeout_ns:1_000 () in
   let take owner =
     match Lease.grant tbl ~owner with Some l -> l | None -> Alcotest.fail "grant"
   in
@@ -325,8 +377,8 @@ let test_lease_complete_and_done () =
   check Alcotest.int "completed" 2 (Lease.completed_total tbl)
 
 let test_lease_fail_owner () =
-  let now, _ = fake_clock 0 in
-  let tbl = Lease.create ~now ~total:30 ~lease_trials:10 ~timeout_ns:1_000 () in
+  let clock, _ = fake_clock 0 in
+  let tbl = Lease.create ~clock ~total:30 ~lease_trials:10 ~timeout_ns:1_000 () in
   let _ = Lease.grant tbl ~owner:"a" in
   let _ = Lease.grant tbl ~owner:"b" in
   let _ = Lease.grant tbl ~owner:"a" in
@@ -483,6 +535,7 @@ let suites =
         Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
         Alcotest.test_case "rejects garbage" `Quick test_codec_rejects_garbage;
         Alcotest.test_case "endpoints" `Quick test_endpoint_parse;
+        Alcotest.test_case "endpoint round-trip" `Quick test_endpoint_round_trip;
       ] );
     ( "dist.lease",
       [

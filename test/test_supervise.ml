@@ -1,7 +1,7 @@
 (* Fake-clock unit tests for the supervision layer: heartbeats, the
    watchdog, retry backoff/classification and per-cell quarantine.
-   Nothing here sleeps — the clock is a ref advanced by hand, which is
-   exactly the seam Watchdog.poll was designed around. *)
+   Nothing here sleeps — the clock is a Clock.Virtual advanced by hand,
+   which is exactly the seam Watchdog.poll was designed around. *)
 
 module S = Ffault_supervise
 module Heartbeat = S.Heartbeat
@@ -9,6 +9,7 @@ module Watchdog = S.Watchdog
 module Retry = S.Retry
 module Quarantine = S.Quarantine
 module Cancel = Ffault_runtime.Cancel
+module Clock = Ffault_runtime.Clock
 module Mc = S.Mc
 module Consensus_mc = Ffault_runtime.Consensus_mc
 module Faulty_cas = Ffault_runtime.Faulty_cas
@@ -16,8 +17,8 @@ module Faulty_cas = Ffault_runtime.Faulty_cas
 let check = Alcotest.check
 
 let fake_clock start =
-  let t = ref start in
-  ((fun () -> !t), fun d -> t := !t + d)
+  let v = Clock.Virtual.create ~start_ns:start () in
+  (Clock.Virtual.clock v, fun d -> Clock.Virtual.advance v ~ns:d)
 
 let raises_invalid name f =
   match f () with
@@ -27,8 +28,8 @@ let raises_invalid name f =
 (* ---- heartbeat ---- *)
 
 let test_heartbeat_ages () =
-  let now, advance = fake_clock 1_000 in
-  let hb = Heartbeat.create ~now ~slots:2 () in
+  let clock, advance = fake_clock 1_000 in
+  let hb = Heartbeat.create ~clock ~slots:2 () in
   check Alcotest.int "slots" 2 (Heartbeat.slots hb);
   check Alcotest.(option int) "never beat" None (Heartbeat.last_ns hb ~slot:0);
   check Alcotest.(option int) "no age either" None (Heartbeat.age_ns hb ~slot:0);
@@ -46,13 +47,13 @@ let test_heartbeat_validation () =
 (* ---- watchdog ---- *)
 
 let test_watchdog_flags_and_cancels () =
-  let now, advance = fake_clock 0 in
-  let hb = Heartbeat.create ~now ~slots:2 () in
-  let wd = Watchdog.create ~now ~heartbeat:hb ~stall_ns:100 () in
+  let clock, advance = fake_clock 0 in
+  let hb = Heartbeat.create ~clock ~slots:2 () in
+  let wd = Watchdog.create ~heartbeat:hb ~stall_ns:100 () in
   Heartbeat.beat hb ~slot:0;
   (* slot 1 never beats: judged from the watchdog's creation time *)
   check (Alcotest.list Alcotest.int) "nothing stuck yet" [] (Watchdog.poll wd);
-  let token = Cancel.create ~now () in
+  let token = Cancel.create ~now:(fun () -> Clock.now_ns clock) () in
   Watchdog.attach wd ~slot:1 token;
   advance 150;
   check (Alcotest.list Alcotest.int) "both slots stall" [ 0; 1 ] (Watchdog.poll wd);
@@ -67,9 +68,9 @@ let test_watchdog_flags_and_cancels () =
   check Alcotest.bool "slot 0 flagged" true (Watchdog.flagged wd ~slot:0)
 
 let test_watchdog_beat_unflags () =
-  let now, advance = fake_clock 0 in
-  let hb = Heartbeat.create ~now ~slots:1 () in
-  let wd = Watchdog.create ~now ~heartbeat:hb ~stall_ns:100 () in
+  let clock, advance = fake_clock 0 in
+  let hb = Heartbeat.create ~clock ~slots:1 () in
+  let wd = Watchdog.create ~heartbeat:hb ~stall_ns:100 () in
   advance 150;
   check (Alcotest.list Alcotest.int) "stuck" [ 0 ] (Watchdog.poll wd);
   Heartbeat.beat hb ~slot:0;
@@ -79,10 +80,10 @@ let test_watchdog_beat_unflags () =
   check (Alcotest.list Alcotest.int) "a second stall is a new flag" [ 0 ] (Watchdog.poll wd)
 
 let test_watchdog_detach () =
-  let now, advance = fake_clock 0 in
-  let hb = Heartbeat.create ~now ~slots:1 () in
-  let wd = Watchdog.create ~now ~heartbeat:hb ~stall_ns:100 () in
-  let token = Cancel.create ~now () in
+  let clock, advance = fake_clock 0 in
+  let hb = Heartbeat.create ~clock ~slots:1 () in
+  let wd = Watchdog.create ~heartbeat:hb ~stall_ns:100 () in
+  let token = Cancel.create ~now:(fun () -> Clock.now_ns clock) () in
   Watchdog.attach wd ~slot:0 token;
   Watchdog.detach wd ~slot:0;
   advance 150;
