@@ -40,7 +40,7 @@ bench:
 # bench still runs and emits its BENCH_<group>.json, without the cost of
 # real timing. CI runs this on every push.
 bench-smoke:
-	dune exec bench/main.exe -- --smoke campaign netsim b1 e1
+	dune exec bench/main.exe -- --smoke campaign netsim dist b1 e1
 
 examples:
 	dune exec examples/quickstart.exe

@@ -285,6 +285,99 @@ let netsim_run ~workers ~trials ~seed =
   let cfg = Ffault_netsim.Sim.config ~workers ~trials ~lease_trials:32 () in
   fun () -> ignore (Ffault_netsim.Sim.run cfg ~seed)
 
+(* Dist: one complete real distributed campaign per run — coordinator
+   thread + worker threads over a Unix socket in a throwaway dir. The
+   [status] variant attaches the HTTP endpoint; [scrape] additionally
+   polls /status from a client thread throughout the run. The spread
+   across the three variants is the endpoint's overhead — the
+   acceptance bar is "within noise". *)
+module Dist = Ffault_dist
+
+let dist_rm_rf root =
+  let rec rm p =
+    if Sys.is_directory p then begin
+      Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+      Unix.rmdir p
+    end
+    else Sys.remove p
+  in
+  if Sys.file_exists root then rm root
+
+let dist_tmp =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Fmt.str "ffault-bench-dist-%d-%d" (Unix.getpid ()) !n)
+
+let dist_run ~workers ~status ~scrape =
+  let spec =
+    Ffault_campaign.Spec.v ~name:"bench-dist" ~protocol:"fig3" ~f:[ 2 ] ~t:[ Some 1 ]
+      ~n:[ 3 ] ~rates:[ 0.3 ] ~trials:128 ~seed:0xD157L ()
+  in
+  fun () ->
+    let root = dist_tmp () in
+    Unix.mkdir root 0o755;
+    Fun.protect ~finally:(fun () -> dist_rm_rf root) @@ fun () ->
+    let sock = Filename.concat root "coord.sock" in
+    let status_ep =
+      if status then Some (Dist.Transport.Unix_sock (Filename.concat root "status.sock"))
+      else None
+    in
+    let cfg =
+      (* tight lease timeout: Wait backoff is timeout/4, and a worker
+         napping through the campaign's tail would swamp the timing *)
+      Dist.Coordinator.config ~lease_trials:32 ~lease_timeout_s:1.0 ~hb_interval_s:0.2
+        (Dist.Transport.Unix_sock sock)
+    in
+    let serve_result = ref (Error "never ran") in
+    let coordinator =
+      Thread.create
+        (fun () -> serve_result := Dist.Coordinator.serve ?status:status_ep ~root cfg spec)
+        ()
+    in
+    let rec await n =
+      if not (Sys.file_exists sock) then
+        if n = 0 then failwith "bench: coordinator never listened"
+        else begin
+          Thread.delay 0.005;
+          await (n - 1)
+        end
+    in
+    await 400;
+    let stop_scraper = Atomic.make false in
+    let scraper =
+      match (scrape, status_ep) with
+      | true, Some ep ->
+          Some
+            (Thread.create
+               (fun () ->
+                 while not (Atomic.get stop_scraper) do
+                   ignore (Dist.Http.get ep ~path:"/status");
+                   Thread.delay 0.005
+                 done)
+               ())
+      | _ -> None
+    in
+    let threads =
+      List.init workers (fun i ->
+          Thread.create
+            (fun () ->
+              ignore
+                (Dist.Worker.run
+                   (Dist.Worker.config ~name:(Fmt.str "bw%d" i) ~domains:1 ~chunk:32
+                      (Dist.Transport.Unix_sock sock))))
+            ())
+    in
+    List.iter Thread.join threads;
+    Thread.join coordinator;
+    Atomic.set stop_scraper true;
+    Option.iter Thread.join scraper;
+    match !serve_result with
+    | Ok _ -> ()
+    | Error m -> failwith ("bench: dist serve: " ^ m)
+
 (* ---- benchmark groups ---- *)
 
 let group name tests = (name, Test.make_grouped ~name (List.map (fun (n, f) -> Test.make ~name:n (Staged.stage f)) tests))
@@ -356,6 +449,12 @@ let groups =
         ("netsim/3w-200t", netsim_run ~workers:3 ~trials:200 ~seed:0x11L);
         ("netsim/3w-200t/seed2", netsim_run ~workers:3 ~trials:200 ~seed:0x22L);
         ("netsim/6w-400t", netsim_run ~workers:6 ~trials:400 ~seed:0x33L);
+      ];
+    group "dist"
+      [
+        ("dist/2w-128t", dist_run ~workers:2 ~status:false ~scrape:false);
+        ("dist/2w-128t/status", dist_run ~workers:2 ~status:true ~scrape:false);
+        ("dist/2w-128t/status+scrape", dist_run ~workers:2 ~status:true ~scrape:true);
       ];
     group "b1"
       [

@@ -148,9 +148,59 @@ let trace_cmd =
           1
         end)
   in
-  let doc = "Run one adversarial execution and print its trace." in
-  Cmd.v (Cmd.info "trace" ~doc)
-    Term.(const run $ protocol_arg $ f_arg $ t_arg $ n_arg $ rate_arg $ seed_arg)
+  let merge_cmd =
+    let out_arg =
+      let doc = "Merged trace output file." in
+      Arg.(
+        value & opt string "trace-merged.json" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+    in
+    let files_arg =
+      let doc = "Chrome trace files to merge (one pid row each, in argument order)." in
+      Arg.(non_empty & pos_all file [] & info [] ~docv:"TRACE.json" ~doc)
+    in
+    let read_file path =
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let run out files =
+      let rec load acc = function
+        | [] -> Ok (List.rev acc)
+        | path :: rest -> (
+            match Campaign.Json.of_string (read_file path) with
+            | Error m -> Error (Fmt.str "%s: %s" path m)
+            | Ok j ->
+                let label = Filename.remove_extension (Filename.basename path) in
+                load ((label, Campaign.Trace_merge.events_of_trace j) :: acc) rest
+            | exception Sys_error m -> Error m)
+      in
+      match load [] files with
+      | Error m ->
+          Fmt.epr "error: %s@." m;
+          1
+      | Ok rows ->
+          let oc = open_out out in
+          output_string oc (Campaign.Json.to_string (Campaign.Trace_merge.merge rows));
+          close_out oc;
+          Fmt.pr "wrote %s (%d process row(s), %d event(s)) — open in chrome://tracing@."
+            out (List.length rows)
+            (List.fold_left (fun n (_, evs) -> n + List.length evs) 0 rows);
+          0
+    in
+    let doc =
+      "Merge per-process Chrome traces (worker --trace outputs, a serve --trace file) \
+       into one multi-process timeline, one pid row per input."
+    in
+    Cmd.v (Cmd.info "merge" ~doc) Term.(const run $ out_arg $ files_arg)
+  in
+  let doc =
+    "Run one adversarial execution and print its trace (default), or merge Chrome \
+     traces (trace merge)."
+  in
+  Cmd.group
+    ~default:Term.(const run $ protocol_arg $ f_arg $ t_arg $ n_arg $ rate_arg $ seed_arg)
+    (Cmd.info "trace" ~doc) [ merge_cmd ]
 
 (* ---- explore ---- *)
 
@@ -707,9 +757,25 @@ let campaign_serve_cmd =
     let doc = "Resume an interrupted campaign instead of starting fresh." in
     Arg.(value & flag & info [ "resume" ] ~doc)
   in
+  let status_arg =
+    let doc =
+      "Serve a read-only HTTP status endpoint (GET /status, /workers, /metrics, \
+       /events) on $(docv) from inside the coordinator loop — scrape it with curl or \
+       `ffault campaign status'."
+    in
+    Arg.(
+      value & opt (some endpoint_conv) None & info [ "status" ] ~docv:"ENDPOINT" ~doc)
+  in
+  let serve_trace_arg =
+    let doc =
+      "Record spans in the coordinator and merge them with the span batches workers \
+       piggyback on their heartbeats into one multi-process Chrome trace at $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
   let run spec_file name protocol f t n kinds rates trials seed root listen lease_trials
-      lease_timeout hb_interval max_workers resume deadline max_retries quarantine_after
-      adaptive progress quiet =
+      lease_timeout hb_interval max_workers resume status trace deadline max_retries
+      quarantine_after adaptive progress quiet =
     let spec =
       match spec_file with
       | Some path -> Campaign.Spec.of_file path
@@ -754,13 +820,14 @@ let campaign_serve_cmd =
                  ())
           else None
         in
+        Option.iter (fun _ -> Telemetry.Tracer.enable ()) trace;
         let result =
           Dist.Coordinator.serve ~resume ~root
             ~on_skip:(fun () -> Campaign.Live.on_skip live)
             ~observe:(fun r -> Campaign.Live.on_record live r)
             ~on_warn:(fun m -> Fmt.epr "warning: %s@." m)
             ~on_event:(fun m -> if not quiet then Fmt.epr "[serve] %s@." m)
-            cfg spec
+            ?status cfg spec
         in
         Option.iter Telemetry.Progress.stop reporter;
         (match result with
@@ -775,6 +842,23 @@ let campaign_serve_cmd =
               s.Dist.Coordinator.leases_expired
               (List.length s.Dist.Coordinator.workers)
               (Campaign.Checkpoint.campaign_dir ~root spec);
+            Option.iter
+              (fun path ->
+                (* one pid row per process: the coordinator's own spans
+                   plus whatever each worker shipped on its heartbeats *)
+                let rows =
+                  ( "coordinator",
+                    Campaign.Trace_merge.of_tracer_events (Telemetry.Tracer.drain ()) )
+                  :: s.Dist.Coordinator.worker_spans
+                in
+                let oc = open_out path in
+                output_string oc
+                  (Campaign.Json.to_string (Campaign.Trace_merge.merge rows));
+                close_out oc;
+                Fmt.pr
+                  "trace: %s (%d process row(s)) — open in chrome://tracing or Perfetto@."
+                  path (List.length rows))
+              trace;
             0)
   in
   let doc =
@@ -787,9 +871,9 @@ let campaign_serve_cmd =
       const run $ spec_file_arg $ campaign_name_arg $ protocol_arg $ f_list_arg
       $ t_list_arg $ n_list_arg $ kinds_arg $ rates_arg $ trials_arg $ seed_arg
       $ campaign_root_arg $ listen_arg $ lease_trials_arg $ lease_timeout_arg
-      $ hb_interval_arg $ max_workers_arg $ resume_serve_arg $ deadline_flag_arg
-      $ max_retries_arg $ quarantine_after_arg $ adaptive_deadline_arg $ progress_arg
-      $ quiet_arg)
+      $ hb_interval_arg $ max_workers_arg $ resume_serve_arg $ status_arg
+      $ serve_trace_arg $ deadline_flag_arg $ max_retries_arg $ quarantine_after_arg
+      $ adaptive_deadline_arg $ progress_arg $ quiet_arg)
 
 let worker_cmd =
   let connect_arg =
@@ -801,17 +885,26 @@ let worker_cmd =
     let doc = "Worker identity in the coordinator's Workers report (default hostname-pid)." in
     Arg.(value & opt (some string) None & info [ "name" ] ~docv:"NAME" ~doc)
   in
-  let run connect name domains quiet =
+  let worker_trace_arg =
+    let doc =
+      "Record this worker's spans: ship them to the coordinator on heartbeats (for \
+       `serve --trace' merging) and also write this process's own Chrome trace to \
+       $(docv) on exit."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let run connect name domains trace quiet =
     let domains = resolve_domains domains in
     match Dist.Worker.config ?name ~domains connect with
     | exception Invalid_argument m ->
         Fmt.epr "error: %s@." m;
         1
     | cfg -> (
+        Option.iter (fun _ -> Telemetry.Tracer.enable ()) trace;
         match
           Dist.Worker.run
             ~on_event:(fun m -> if not quiet then Fmt.epr "[worker] %s@." m)
-            cfg
+            ?trace_path:trace cfg
         with
         | Error m ->
             Fmt.epr "error: %s@." m;
@@ -820,13 +913,140 @@ let worker_cmd =
             Fmt.pr "worker %s: %d lease(s), %d trial(s) run, %d already journaled — %s@."
               cfg.Dist.Worker.name s.Dist.Worker.leases_run s.Dist.Worker.trials_run
               s.Dist.Worker.trials_skipped s.Dist.Worker.stop_reason;
+            Option.iter (fun path -> Fmt.pr "trace: %s@." path) trace;
             0)
   in
   let doc =
     "Run trials for a distributed campaign coordinator (see ffault campaign serve)."
   in
   Cmd.v (Cmd.info "worker" ~doc)
-    Term.(const run $ connect_arg $ worker_name_arg $ campaign_domains_arg $ quiet_arg)
+    Term.(
+      const run $ connect_arg $ worker_name_arg $ campaign_domains_arg $ worker_trace_arg
+      $ quiet_arg)
+
+let campaign_status_cmd =
+  let connect_arg =
+    let doc = "The coordinator's status endpoint (the value of its --status flag)." in
+    Arg.(
+      required & opt (some endpoint_conv) None & info [ "connect" ] ~docv:"ENDPOINT" ~doc)
+  in
+  let format_arg =
+    let doc = "Output format: text (human summary) or json (the raw /status body)." in
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let watch_arg =
+    let doc =
+      "Poll every $(docv) seconds until the campaign is done or the coordinator goes \
+       away."
+    in
+    Arg.(
+      value
+      & opt (some float) None ~vopt:(Some 2.0)
+      & info [ "watch" ] ~docv:"SECONDS" ~doc)
+  in
+  let get_arg =
+    let doc =
+      "Fetch this endpoint path instead of the status summary (e.g. /metrics, \
+       /workers, /events) and print the body verbatim."
+    in
+    Arg.(value & opt (some string) None & info [ "get" ] ~docv:"PATH" ~doc)
+  in
+  let member = Campaign.Json.member in
+  let jint j n = match Option.bind (member n j) Campaign.Json.get_int with
+    | Some i -> i
+    | None -> 0
+  in
+  let jflt j n =
+    match Option.bind (member n j) Campaign.Json.get_float with Some f -> f | None -> 0.0
+  in
+  let jstr j n =
+    match Option.bind (member n j) Campaign.Json.get_str with Some s -> s | None -> "?"
+  in
+  let render j =
+    Fmt.pr "campaign %s (%s): %s@." (jstr j "campaign") (jstr j "protocol")
+      (jstr j "state");
+    let total = jint j "total" and done_ = jint j "done" in
+    Fmt.pr "trials: %d/%d journaled (%.1f%%), %d failure(s), %d timeout(s), %d quarantined@."
+      done_ total
+      (if total = 0 then 0.0 else 100.0 *. float_of_int done_ /. float_of_int total)
+      (jint j "failures") (jint j "timeouts") (jint j "quarantined");
+    Fmt.pr "rate: %.1f trials/s, elapsed %.1fs%s@." (jflt j "trials_per_s")
+      (jflt j "elapsed_s")
+      (match Option.bind (member "eta_s" j) Campaign.Json.get_float with
+      | Some eta -> Fmt.str ", eta %.1fs" eta
+      | None -> "");
+    match member "leases" j with
+    | Some l ->
+        Fmt.pr
+          "workers: %d connected; leases: %d outstanding, %d pending (%d granted, %d \
+           completed, %d expired)@."
+          (jint j "workers_connected") (jint l "outstanding") (jint l "pending")
+          (jint l "granted") (jint l "completed") (jint l "expired")
+    | None -> ()
+  in
+  let run connect format watch get =
+    let fetch path =
+      match Dist.Http.get connect ~path with
+      | Error _ as e -> e
+      | Ok r when r.Dist.Http.code <> 200 ->
+          Error (Fmt.str "HTTP %d: %s" r.Dist.Http.code (String.trim r.Dist.Http.body))
+      | Ok r -> Ok r.Dist.Http.body
+    in
+    (* one poll; [Ok true] = campaign still running (worth polling again) *)
+    let once () =
+      match get with
+      | Some path ->
+          Result.map
+            (fun body ->
+              print_string body;
+              flush stdout;
+              true)
+            (fetch path)
+      | None ->
+          Result.bind (fetch "/status") (fun body ->
+              match Campaign.Json.of_string body with
+              | Error m -> Error (Fmt.str "unparsable /status body: %s" m)
+              | Ok j ->
+                  (match format with
+                  | `Json ->
+                      print_string body;
+                      flush stdout
+                  | `Text -> render j);
+                  Ok (jstr j "state" = "running"))
+    in
+    match watch with
+    | None -> (
+        match once () with
+        | Ok _ -> 0
+        | Error m ->
+            Fmt.epr "error: %s@." m;
+            1)
+    | Some interval ->
+        (* a fetch error after at least one success is the coordinator
+           finishing and going away — a clean end to the watch *)
+        let rec loop polled =
+          match once () with
+          | Ok true ->
+              Unix.sleepf (Float.max 0.1 interval);
+              loop true
+          | Ok false -> 0
+          | Error m ->
+              if polled then 0
+              else begin
+                Fmt.epr "error: %s@." m;
+                1
+              end
+        in
+        loop false
+  in
+  let doc =
+    "Scrape a running coordinator's status endpoint (see campaign serve --status)."
+  in
+  Cmd.v (Cmd.info "status" ~doc)
+    Term.(const run $ connect_arg $ format_arg $ watch_arg $ get_arg)
 
 let campaign_report_cmd =
   let run name root =
@@ -877,8 +1097,8 @@ let campaign_cmd =
   let doc = "Parallel fault-injection campaigns with persistent, resumable journals." in
   Cmd.group (Cmd.info "campaign" ~doc)
     [
-      campaign_run_cmd; campaign_resume_cmd; campaign_serve_cmd; campaign_report_cmd;
-      campaign_diff_cmd;
+      campaign_run_cmd; campaign_resume_cmd; campaign_serve_cmd; campaign_status_cmd;
+      campaign_report_cmd; campaign_diff_cmd;
     ]
 
 (* ---- lint ---- *)

@@ -283,7 +283,22 @@ let workers_markdown json =
               (if expired > 0 then " and reassigned" else "")
         | None -> ""
       in
-      Fmt.str "@.## Workers@.@.%s%s" leases (Table.to_string t)
+      (* fleet-wide counters (workers.json v2): per-worker snapshots
+         summed by the coordinator — absent on pre-observability
+         artifacts, and then so is this table *)
+      let fleet =
+        match Option.bind json (Json.member "fleet") with
+        | Some (Json.Obj ((_ :: _) as counters)) ->
+            let ft = Table.create ~columns:[ "counter"; "fleet total" ] in
+            List.iter
+              (fun (name, v) ->
+                Table.add_row ft
+                  [ name; (match Json.get_int v with Some i -> Table.cell_int i | None -> "?") ])
+              counters;
+            Fmt.str "@.### Fleet telemetry@.@.%s" (Table.to_string ft)
+        | _ -> ""
+      in
+      Fmt.str "@.## Workers@.@.%s%s%s" leases (Table.to_string t) fleet
   | _ -> ""
 
 (* Rendered only when there is something to say: an all-healthy

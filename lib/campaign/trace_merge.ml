@@ -1,0 +1,71 @@
+(* Merging per-process Chrome traces into one: each input becomes a pid
+   row, named via a process_name metadata event, so a campaign's
+   coordinator and workers land side by side on one Perfetto timeline.
+   Pure Json -> Json; file parsing and writing stay in the CLI. *)
+
+module Tracer = Ffault_telemetry.Tracer
+
+(* Drained tracer events as pid-less Chrome spans ("ts" in µs, Chrome's
+   native unit) — the shape workers ship on heartbeats and [merge]
+   stamps pids onto. *)
+let of_tracer_events evs =
+  List.map
+    (fun (e : Tracer.event) ->
+      Json.Obj
+        [
+          ("name", Json.Str e.Tracer.name);
+          ("cat", Json.Str e.Tracer.cat);
+          ("ph", Json.Str (String.make 1 e.Tracer.ph));
+          ("ts", Json.Float (float_of_int e.Tracer.ts_ns /. 1e3));
+          ("tid", Json.Int e.Tracer.tid);
+        ])
+    evs
+
+let events_of_trace j =
+  match j with
+  | Json.Obj _ -> (
+      match Json.member "traceEvents" j with
+      | Some (Json.List evs) -> evs
+      | Some _ | None -> [])
+  | Json.List evs -> evs
+  | _ -> []
+
+(* Stamp [pid] on one event, replacing any pid the source process wrote
+   (its own OS pid is meaningless once rows are merged). *)
+let with_pid pid ev =
+  match ev with
+  | Json.Obj fields ->
+      Json.Obj (List.filter (fun (k, _) -> k <> "pid") fields @ [ ("pid", Json.Int pid) ])
+  | other -> other
+
+let process_name ~pid name =
+  Json.Obj
+    [
+      ("name", Json.Str "process_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int 0);
+      ("args", Json.Obj [ ("name", Json.Str name) ]);
+    ]
+
+(* A source's own process_name metadata would fight the fresh row label
+   once its pid is reassigned (e.g. merging an already-merged trace). *)
+let is_process_name ev =
+  match ev with
+  | Json.Obj _ -> Json.member "name" ev = Some (Json.Str "process_name")
+  | _ -> false
+
+let merge inputs =
+  let rows =
+    List.mapi
+      (fun i (label, events) ->
+        let pid = i + 1 in
+        process_name ~pid label
+        :: List.map (with_pid pid) (List.filter (fun e -> not (is_process_name e)) events))
+      inputs
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.concat rows));
+      ("displayTimeUnit", Json.Str "ms");
+    ]

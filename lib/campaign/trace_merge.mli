@@ -1,0 +1,28 @@
+(** Merging per-process Chrome traces into one multi-process timeline.
+
+    A distributed campaign produces span streams from several
+    processes: the coordinator's own {!Ffault_telemetry.Tracer} export
+    and the batches each worker piggybacked on its heartbeats. This
+    module folds them into a single [trace_event] document where every
+    input is its own pid row (Perfetto and [chrome://tracing] group
+    tracks by pid), named by a [process_name] metadata event.
+
+    Pure [Json] to [Json] — [ffault trace merge] does the file IO. *)
+
+val of_tracer_events : Ffault_telemetry.Tracer.event list -> Json.t list
+(** Drained {!Ffault_telemetry.Tracer} events as pid-less Chrome span
+    objects ([ts] in microseconds) — the heartbeat-batch shape
+    {!merge} expects. *)
+
+val events_of_trace : Json.t -> Json.t list
+(** The event array of a trace document: the ["traceEvents"] member of
+    a full trace object, or the list itself when given a bare array;
+    [[]] for anything else. *)
+
+val merge : (string * Json.t list) list -> Json.t
+(** [merge [(label, events); ...]] assigns pid [1, 2, ...] to each
+    input in order (replacing any pid the source stamped — OS pids are
+    meaningless across hosts), prepends each row's [process_name]
+    metadata event (dropping any the source carried, so re-merging a
+    merged trace stays cleanly labelled), and wraps everything as
+    [{"traceEvents": [...], "displayTimeUnit": "ms"}]. *)

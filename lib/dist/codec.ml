@@ -24,9 +24,13 @@ type msg =
   | Lease of { lease : int; lo : int; hi : int; done_ids : int list }
   | Result of Journal.record
   | Complete of { lease : int }
-  | Heartbeat
+  | Heartbeat of { snapshot : Json.t option; spans : Json.t option }
   | Wait of { seconds : float }
   | Bye of { reason : string }
+
+(* The bare liveness beat — what pre-observability workers send, and
+   what everything that only cares about liveness should construct. *)
+let heartbeat = Heartbeat { snapshot = None; spans = None }
 
 (* One tag byte per message kind. 'R' vs 'r': results are the hot
    frame, requests the idle one. *)
@@ -37,7 +41,7 @@ let tag_of = function
   | Lease _ -> 'l'
   | Result _ -> 'R'
   | Complete _ -> 'c'
-  | Heartbeat -> 'b'
+  | Heartbeat _ -> 'b'
   | Wait _ -> 'z'
   | Bye _ -> 'y'
 
@@ -81,7 +85,13 @@ let payload_of = function
           ("supervision", supervision_to_json supervision);
           ("hb_interval_s", Json.Float hb_interval_s);
         ]
-  | Request | Heartbeat -> Json.Obj []
+  | Request -> Json.Obj []
+  | Heartbeat { snapshot; spans } ->
+      (* both fields optional: a bare beat encodes as the legacy "{}",
+         so old decoders never see an unknown shape *)
+      Json.Obj
+        ((match snapshot with Some s -> [ ("snapshot", s) ] | None -> [])
+        @ match spans with Some s -> [ ("spans", s) ] | None -> [])
   | Lease { lease; lo; hi; done_ids } ->
       Json.Obj
         [
@@ -137,7 +147,10 @@ let of_frame { Wire.tag; payload } =
   | 'c' ->
       let* lease = field "lease" Json.get_int j in
       Ok (Complete { lease })
-  | 'b' -> Ok Heartbeat
+  | 'b' ->
+      (* legacy beats carry "{}"; new ones may piggyback a telemetry
+         snapshot and a span batch — both optional either way *)
+      Ok (Heartbeat { snapshot = Json.member "snapshot" j; spans = Json.member "spans" j })
   | 'z' ->
       let* seconds = field "seconds" Json.get_float j in
       Ok (Wait { seconds })
@@ -156,6 +169,9 @@ let pp ppf = function
       Fmt.pf ppf "lease #%d [%d,%d) (%d already done)" lease lo hi (List.length done_ids)
   | Result r -> Fmt.pf ppf "result trial %d" r.Journal.trial
   | Complete { lease } -> Fmt.pf ppf "complete #%d" lease
-  | Heartbeat -> Fmt.string ppf "heartbeat"
+  | Heartbeat { snapshot; spans } ->
+      Fmt.pf ppf "heartbeat%s%s"
+        (if snapshot <> None then "+telemetry" else "")
+        (if spans <> None then "+spans" else "")
   | Wait { seconds } -> Fmt.pf ppf "wait %gs" seconds
   | Bye { reason } -> Fmt.pf ppf "bye (%s)" reason

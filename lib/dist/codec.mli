@@ -38,11 +38,21 @@ type msg =
           (already journaled — set on re-leases after a worker death) *)
   | Result of Journal.record  (** worker → coordinator, one per trial *)
   | Complete of { lease : int }  (** worker → coordinator: lease finished *)
-  | Heartbeat  (** worker → coordinator, liveness while a lease runs *)
+  | Heartbeat of { snapshot : Json.t option; spans : Json.t option }
+      (** worker → coordinator, liveness while a lease runs. New workers
+          piggyback a telemetry snapshot ({!Ffault_campaign.Telemetry_io}
+          shape) and a Chrome-span batch on the beat; both fields are
+          optional on the wire, so a pre-observability worker's bare
+          beat ([{}]) still decodes and a new worker's beat is ignored
+          gracefully by an old coordinator. *)
   | Wait of { seconds : float }
       (** coordinator → worker: no shard free right now (all leased),
           ask again after [seconds] *)
   | Bye of { reason : string }  (** either direction, terminal *)
+
+val heartbeat : msg
+(** The bare liveness beat: [Heartbeat] with neither snapshot nor
+    spans — encodes byte-identically to the legacy frame. *)
 
 val to_frame : msg -> Wire.frame
 val of_frame : Wire.frame -> (msg, string) result

@@ -4,6 +4,7 @@ module Journal = Campaign.Journal
 module Checkpoint = Campaign.Checkpoint
 module Pool = Campaign.Pool
 module Metrics = Ffault_telemetry.Metrics
+module Events = Ffault_telemetry.Events
 
 type config = {
   endpoint : Transport.endpoint;
@@ -36,6 +37,7 @@ type worker_stats = Core.worker_stats = {
   w_results : int;
   w_deduped : int;
   w_reconnects : int;
+  w_telemetry : Json.t option;
 }
 
 type summary = Core.summary = {
@@ -44,9 +46,25 @@ type summary = Core.summary = {
   leases_granted : int;
   leases_completed : int;
   leases_expired : int;
+  worker_spans : (string * Json.t list) list;
 }
 
 let workers_json = Core.workers_json
+
+(* Engine events are plain strings; grade them for the structured log
+   by the trouble words the messages are built from (lease expiry,
+   reclaim, holes, drops). Anything unrecognized is Info. *)
+let classify msg =
+  let contains sub =
+    let n = String.length msg and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+    go 0
+  in
+  if
+    List.exists contains
+      [ "expired"; "reclaimed"; "requeued"; "unjournaled"; "left"; "mismatch" ]
+  then Events.Warn
+  else Events.Info
 
 (* ---- the serve loop: a socket driver around the Core engine ---- *)
 
@@ -54,14 +72,40 @@ let io =
   { Core.peer = Transport.peer; send = Transport.send_msg; close = Transport.close }
 
 let serve ?(resume = false) ?(observe = fun _ -> ()) ?(on_skip = fun () -> ())
-    ?(on_warn = fun _ -> ()) ?(on_event = fun _ -> ()) ~root cfg spec =
+    ?(on_warn = fun _ -> ()) ?(on_event = fun _ -> ()) ?status ~root cfg spec =
   let ( let* ) = Result.bind in
   (* A worker dying mid-write must be an EPIPE in [send], not a fatal
      signal. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let* dir, st = Checkpoint.open_campaign ~resume ~on_warn ~root spec in
   let* listener = Transport.listen cfg.endpoint in
+  let* http =
+    match status with
+    | None -> Ok None
+    | Some ep -> (
+        match Http.listen ep with
+        | Ok h -> Ok (Some h)
+        | Error _ as e ->
+            Transport.close_listener listener;
+            e)
+  in
   let writer = Journal.create_writer ~path:(Checkpoint.journal_path ~dir) in
+  (* the structured event log: everything [on_event] narrates, graded
+     and ring-buffered for /events, streamed to events.jsonl *)
+  let events = Events.create () in
+  let ev_oc =
+    open_out_gen [ Open_append; Open_creat ] 0o644 (Filename.concat dir "events.jsonl")
+  in
+  Events.set_sink events
+    (Some
+       (fun line ->
+         output_string ev_oc line;
+         output_char ev_oc '\n';
+         flush ev_oc));
+  let on_event msg =
+    Events.emit events ~severity:(classify msg) ~scope:"dist" msg;
+    on_event msg
+  in
   let clients : (Unix.file_descr, Transport.conn Core.client) Hashtbl.t =
     Hashtbl.create 16
   in
@@ -74,12 +118,27 @@ let serve ?(resume = false) ?(observe = fun _ -> ()) ?(on_skip = fun () -> ())
       ~hb_interval_s:cfg.hb_interval_s ~max_workers:cfg.max_workers
       ~supervision:cfg.supervision ()
   in
+  let respond =
+    Status.respond
+      {
+        Status.view = (fun () -> Core.view core);
+        events = (fun ~limit -> Events.tail ~limit events);
+        metrics = (fun () -> Metrics.expose ());
+      }
+  in
+  Events.emit events ~scope:"dist"
+    (Fmt.str "serving %s on %s%s" spec.Campaign.Spec.name
+       (Transport.endpoint_to_string cfg.endpoint)
+       (match status with
+       | Some ep -> Fmt.str " (status on %s)" (Transport.endpoint_to_string ep)
+       | None -> ""));
   for _ = 1 to Checkpoint.completed st do on_skip () done;
   let started = Unix.gettimeofday () in
   let step () =
     let fds =
-      Transport.listener_fd listener
-      :: Hashtbl.fold (fun fd _ acc -> fd :: acc) clients []
+      (Transport.listener_fd listener
+      :: Hashtbl.fold (fun fd _ acc -> fd :: acc) clients [])
+      @ (match http with Some h -> Http.fds h | None -> [])
     in
     let readable =
       match Unix.select fds [] [] 0.05 with
@@ -102,12 +161,18 @@ let serve ?(resume = false) ?(observe = fun _ -> ()) ?(on_skip = fun () -> ())
               | `Closed -> Core.client_closed core c ~why:"connection closed"
               | `Error why -> Core.client_closed core c ~why))
       readable;
+    (match http with
+    | Some h -> Http.handle h ~readable ~respond
+    | None -> ());
     Core.tick core
   in
   let finish () =
     Core.finish core;
+    (match http with Some h -> Http.close h | None -> ());
     Transport.close_listener listener;
-    Journal.close_writer writer
+    Journal.close_writer writer;
+    Events.set_sink events None;
+    close_out_noerr ev_oc
   in
   match
     while not (Core.is_done core) do
@@ -115,6 +180,7 @@ let serve ?(resume = false) ?(observe = fun _ -> ()) ?(on_skip = fun () -> ())
     done
   with
   | () ->
+      Events.emit events ~scope:"dist" "campaign complete";
       finish ();
       let summary = Core.summary core ~wall_s:(Unix.gettimeofday () -. started) in
       Campaign.Telemetry_io.write ~dir (Metrics.snapshot ());

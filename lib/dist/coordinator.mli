@@ -67,6 +67,8 @@ type worker_stats = Core.worker_stats = {
   w_results : int;  (** records journaled from this worker *)
   w_deduped : int;  (** zombie results dropped by trial-id dedup *)
   w_reconnects : int;
+  w_telemetry : Ffault_campaign.Json.t option;
+      (** last telemetry snapshot piggybacked on a heartbeat *)
 }
 
 type summary = Core.summary = {
@@ -75,11 +77,20 @@ type summary = Core.summary = {
   leases_granted : int;
   leases_completed : int;
   leases_expired : int;
+  worker_spans : (string * Ffault_campaign.Json.t list) list;
+      (** per-worker Chrome span events shipped on heartbeats,
+          name-sorted; feeds [ffault trace merge] *)
 }
 
 val workers_json : summary -> Ffault_campaign.Json.t
 (** The [workers.json] document ({!serve} writes it; exposed for
     tests). *)
+
+val classify : string -> Ffault_telemetry.Events.severity
+(** Severity grade for an [on_event] message (lease expiry, reclaims,
+    journal holes and drops are [Warn]; the rest [Info]). Exposed so
+    the netsim driver grades identically and the [/events] goldens
+    cover the real mapping. *)
 
 val serve :
   ?resume:bool ->
@@ -87,6 +98,7 @@ val serve :
   ?on_skip:(unit -> unit) ->
   ?on_warn:(string -> unit) ->
   ?on_event:(string -> unit) ->
+  ?status:Transport.endpoint ->
   root:string ->
   config ->
   Ffault_campaign.Spec.t ->
@@ -97,5 +109,10 @@ val serve :
     append; [on_skip] fires once per already-journaled trial on resume
     (both as in {!Ffault_campaign.Pool.run_dir}, so the live progress
     line plugs in unchanged). [on_event] receives one-line
-    join/leave/lease lifecycle messages. Also writes [telemetry.json]
+    join/leave/lease lifecycle messages; the same messages also land,
+    severity-graded, in a structured {!Ffault_telemetry.Events} log
+    that is streamed to [<dir>/events.jsonl] and served by [/events].
+    [status] additionally serves the read-only {!Status} endpoint
+    ([/status], [/workers], [/metrics], [/events]) over {!Http} from
+    inside the same select loop. Also writes [telemetry.json]
     (including the [dist.*] counters) and [workers.json] on success. *)

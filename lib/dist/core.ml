@@ -35,6 +35,7 @@ type worker_stats = {
   w_results : int;
   w_deduped : int;
   w_reconnects : int;
+  w_telemetry : Json.t option;
 }
 
 type summary = {
@@ -43,6 +44,7 @@ type summary = {
   leases_granted : int;
   leases_completed : int;
   leases_expired : int;
+  worker_spans : (string * Json.t list) list;
 }
 
 (* ---- mutable per-worker bookkeeping (keyed by hello name) ---- *)
@@ -57,6 +59,10 @@ type wstat = {
   mutable results : int;
   mutable deduped : int;
   mutable reconnects : int;
+  mutable connected : bool;
+  mutable last_seen_ns : int;  (* engine clock at the last frame; -1 = never *)
+  mutable telemetry : Json.t option;  (* last piggybacked snapshot *)
+  mutable spans_rev : Json.t list;  (* piggybacked span batches, newest first *)
 }
 
 let stats_of_wstat w =
@@ -70,37 +76,74 @@ let stats_of_wstat w =
     w_results = w.results;
     w_deduped = w.deduped;
     w_reconnects = w.reconnects;
+    w_telemetry = w.telemetry;
   }
 
+(* Fleet-wide counters: per-worker snapshots summed by counter name.
+   Gauges and histograms stay per-worker (summing a gauge is
+   meaningless); counters are flows, so the sum is the fleet total. *)
+let merge_counter_snapshots snaps =
+  let tbl : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun snap ->
+      match Json.member "counters" snap with
+      | Some (Json.Obj fields) ->
+          List.iter
+            (fun (name, v) ->
+              match Json.get_int v with
+              | Some i ->
+                  Hashtbl.replace tbl name
+                    (i + Option.value ~default:0 (Hashtbl.find_opt tbl name))
+              | None -> ())
+            fields
+      | _ -> ())
+    snaps;
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let workers_json s =
+  let fleet =
+    merge_counter_snapshots (List.filter_map (fun w -> w.w_telemetry) s.workers)
+  in
   Json.Obj
-    [
-      ("version", Json.Int 1);
-      ( "leases",
-        Json.Obj
-          [
-            ("granted", Json.Int s.leases_granted);
-            ("completed", Json.Int s.leases_completed);
-            ("expired", Json.Int s.leases_expired);
-          ] );
-      ( "workers",
-        Json.List
-          (List.map
-             (fun w ->
-               Json.Obj
-                 [
-                   ("name", Json.Str w.w_name);
-                   ("peer", Json.Str w.w_peer);
-                   ("domains", Json.Int w.w_domains);
-                   ("granted", Json.Int w.w_granted);
-                   ("completed", Json.Int w.w_completed);
-                   ("expired", Json.Int w.w_expired);
-                   ("results", Json.Int w.w_results);
-                   ("deduped", Json.Int w.w_deduped);
-                   ("reconnects", Json.Int w.w_reconnects);
-                 ])
-             s.workers) );
-    ]
+    ([
+       ("version", Json.Int 2);
+       ( "leases",
+         Json.Obj
+           [
+             ("granted", Json.Int s.leases_granted);
+             ("completed", Json.Int s.leases_completed);
+             ("expired", Json.Int s.leases_expired);
+           ] );
+       ( "workers",
+         Json.List
+           (List.map
+              (fun w ->
+                Json.Obj
+                  ([
+                     ("name", Json.Str w.w_name);
+                     ("peer", Json.Str w.w_peer);
+                     ("domains", Json.Int w.w_domains);
+                     ("granted", Json.Int w.w_granted);
+                     ("completed", Json.Int w.w_completed);
+                     ("expired", Json.Int w.w_expired);
+                     ("results", Json.Int w.w_results);
+                     ("deduped", Json.Int w.w_deduped);
+                     ("reconnects", Json.Int w.w_reconnects);
+                   ]
+                  @
+                  match w.w_telemetry with
+                  | Some t -> [ ("telemetry", t) ]
+                  | None -> []))
+              s.workers) );
+     ]
+    @
+    (* merged per-worker counters; absent when no worker piggybacked a
+       snapshot, so pre-observability artifacts keep their old shape *)
+    match fleet with
+    | [] -> []
+    | fleet ->
+        [ ("fleet", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) fleet)) ])
 
 (* ---- the engine ---- *)
 
@@ -116,6 +159,8 @@ type 'c t = {
   append : Journal.record -> unit;
   st : Checkpoint.t;
   spec : Spec.t;
+  clock : Clock.t;
+  created_ns : int;  (* clock at create: elapsed time base for rates *)
   total : int;
   skipped : int;
   lease_timeout_s : float;
@@ -160,6 +205,8 @@ let create ?(clock = Clock.monotonic) ?(verify_complete = true)
     append;
     st;
     spec;
+    clock;
+    created_ns = Clock.now_ns clock;
     total;
     skipped = Checkpoint.completed st;
     lease_timeout_s;
@@ -207,6 +254,10 @@ let wstat_of t name =
           results = 0;
           deduped = 0;
           reconnects = -1 (* first connect is not a reconnect *);
+          connected = false;
+          last_seen_ns = -1;
+          telemetry = None;
+          spans_rev = [];
         }
       in
       Hashtbl.replace t.wstats name w;
@@ -235,6 +286,7 @@ let drop_client t ~why c =
     t.clients <- List.filter (fun c' -> c' != c) t.clients;
     (match c.cname with
     | Some name ->
+        (wstat_of t name).connected <- false;
         t.on_event (Fmt.str "worker %s left (%s)" name why);
         drop_leases_of t ~why name
     | None -> ());
@@ -307,6 +359,7 @@ let handle_msg t c msg =
   (match c.cname with
   | Some name ->
       if c.slot >= 0 then Heartbeat.beat t.hb ~slot:c.slot;
+      (wstat_of t name).last_seen_ns <- Clock.now_ns t.clock;
       Lease.renew t.leases ~owner:name
   | None -> ());
   match (msg : Codec.msg) with
@@ -325,6 +378,8 @@ let handle_msg t c msg =
         let w = wstat_of t name in
         w.peer <- t.io.peer c.c_conn;
         w.domains <- domains;
+        w.connected <- true;
+        w.last_seen_ns <- Clock.now_ns t.clock;
         w.reconnects <- w.reconnects + 1;
         if w.reconnects > 0 then Metrics.incr m_reconnects;
         Metrics.incr m_connects;
@@ -421,7 +476,16 @@ let handle_msg t c msg =
               (Fmt.str "lease #%d completed with %d trial(s) unjournaled — requeued" id
                  missing)
           end)
-  | Codec.Heartbeat -> ()
+  | Codec.Heartbeat { snapshot; spans } -> (
+      (* the piggybacked observability payload: latest snapshot wins,
+         span batches accumulate for the merged trace *)
+      match stat_of_client t c with
+      | None -> ()
+      | Some w ->
+          (match snapshot with Some s -> w.telemetry <- Some s | None -> ());
+          (match spans with
+          | Some (Json.List batch) -> w.spans_rev <- List.rev_append batch w.spans_rev
+          | Some _ | None -> ()))
   | Codec.Bye { reason } -> drop_client t ~why:(Fmt.str "bye: %s" reason) c
   | Codec.Welcome _ | Codec.Lease _ | Codec.Wait _ ->
       drop_client t ~why:"coordinator-bound stream carried a coordinator message" c
@@ -489,10 +553,108 @@ let summary t ~wall_s =
     Hashtbl.fold (fun _ w acc -> stats_of_wstat w :: acc) t.wstats []
     |> List.sort (fun a b -> compare a.w_name b.w_name)
   in
+  let worker_spans =
+    Hashtbl.fold
+      (fun _ w acc ->
+        if w.spans_rev = [] then acc else (w.name, List.rev w.spans_rev) :: acc)
+      t.wstats []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
   {
     pool;
     workers;
     leases_granted = Lease.granted_total t.leases;
     leases_completed = Lease.completed_total t.leases;
     leases_expired = Lease.expired_total t.leases;
+    worker_spans;
+  }
+
+(* ---- live inspection (feeds Status) ---- *)
+
+type wview = {
+  v_name : string;
+  v_peer : string;
+  v_domains : int;
+  v_connected : bool;
+  v_hb_age_s : float option;  (* since the last frame; None = never heard *)
+  v_granted : int;
+  v_completed : int;
+  v_expired : int;
+  v_results : int;
+  v_deduped : int;
+  v_reconnects : int;
+  v_telemetry : Json.t option;
+}
+
+type view = {
+  vw_campaign : string;
+  vw_protocol : string;
+  vw_running : bool;
+  vw_total : int;
+  vw_done : int;  (* journaled, including prior-run skips *)
+  vw_skipped : int;
+  vw_executed : int;
+  vw_failures : int;
+  vw_timeouts : int;
+  vw_retried : int;
+  vw_quarantined : int;
+  vw_elapsed_s : float;
+  vw_workers_connected : int;
+  vw_hb_interval_s : float;
+  vw_lease_timeout_s : float;
+  vw_leases_outstanding : int;
+  vw_leases_pending : int;
+  vw_leases_granted : int;
+  vw_leases_completed : int;
+  vw_leases_expired : int;
+  vw_workers : wview list;
+}
+
+let view t =
+  let now = Clock.now_ns t.clock in
+  let workers =
+    Hashtbl.fold
+      (fun _ w acc ->
+        {
+          v_name = w.name;
+          v_peer = w.peer;
+          v_domains = w.domains;
+          v_connected = w.connected;
+          v_hb_age_s =
+            (if w.last_seen_ns < 0 then None
+             else Some (float_of_int (now - w.last_seen_ns) /. 1e9));
+          v_granted = w.granted;
+          v_completed = w.completed;
+          v_expired = w.expired;
+          v_results = w.results;
+          v_deduped = w.deduped;
+          v_reconnects = w.reconnects;
+          v_telemetry = w.telemetry;
+        }
+        :: acc)
+      t.wstats []
+    |> List.sort (fun a b -> compare a.v_name b.v_name)
+  in
+  {
+    vw_campaign = t.spec.Spec.name;
+    vw_protocol = t.spec.Spec.protocol;
+    vw_running = not (is_done t);
+    vw_total = t.total;
+    vw_done = Checkpoint.completed t.st;
+    vw_skipped = t.skipped;
+    vw_executed = t.executed;
+    vw_failures = t.failures;
+    vw_timeouts = t.timeouts;
+    vw_retried = t.retried;
+    vw_quarantined = t.quarantined;
+    vw_elapsed_s = float_of_int (now - t.created_ns) /. 1e9;
+    vw_workers_connected = List.length (List.filter (fun c -> not c.c_dropped) t.clients);
+    vw_hb_interval_s = t.hb_interval_s;
+    vw_lease_timeout_s = t.lease_timeout_s;
+    vw_leases_outstanding = Lease.outstanding t.leases;
+    vw_leases_pending = Lease.pending t.leases;
+    vw_leases_granted = Lease.granted_total t.leases;
+    vw_leases_completed = Lease.completed_total t.leases;
+    vw_leases_expired = Lease.expired_total t.leases;
+    vw_workers = workers;
   }

@@ -38,6 +38,10 @@ type worker_stats = {
   w_results : int;  (** records journaled from this worker *)
   w_deduped : int;  (** zombie results dropped by trial-id dedup *)
   w_reconnects : int;
+  w_telemetry : Campaign.Json.t option;
+      (** last telemetry snapshot this worker piggybacked on a heartbeat
+          ({!Ffault_campaign.Telemetry_io} shape); [None] for
+          pre-observability workers *)
 }
 
 type summary = {
@@ -46,9 +50,69 @@ type summary = {
   leases_granted : int;
   leases_completed : int;
   leases_expired : int;
+  worker_spans : (string * Campaign.Json.t list) list;
+      (** Chrome-format span events each worker shipped on its
+          heartbeats, oldest first, name-sorted; only workers that
+          shipped any appear. Feeds {!Ffault_campaign.Trace_merge}. *)
 }
 
 val workers_json : summary -> Campaign.Json.t
+(** The [workers.json] artifact (version 2): per-worker stats plus, when
+    any worker piggybacked telemetry, its last snapshot and a top-level
+    ["fleet"] object summing the per-worker counters by name. *)
+
+val merge_counter_snapshots : Campaign.Json.t list -> (string * int) list
+(** Sum the ["counters"] objects of telemetry snapshots by counter name,
+    name-sorted — the fleet-wide totals. *)
+
+(** {2 Live inspection}
+
+    A transport-free snapshot of the engine for the status endpoint:
+    {!Status} renders it to JSON, the HTTP layer only moves bytes. Pure
+    reads — taking a view never mutates the engine. *)
+
+type wview = {
+  v_name : string;
+  v_peer : string;
+  v_domains : int;
+  v_connected : bool;
+  v_hb_age_s : float option;
+      (** seconds since the engine last heard any frame from this
+          worker, on the engine's clock; [None] before the first frame *)
+  v_granted : int;
+  v_completed : int;
+  v_expired : int;
+  v_results : int;
+  v_deduped : int;
+  v_reconnects : int;
+  v_telemetry : Campaign.Json.t option;
+}
+
+type view = {
+  vw_campaign : string;
+  vw_protocol : string;
+  vw_running : bool;
+  vw_total : int;
+  vw_done : int;  (** journaled, including prior-run skips *)
+  vw_skipped : int;
+  vw_executed : int;
+  vw_failures : int;
+  vw_timeouts : int;
+  vw_retried : int;
+  vw_quarantined : int;
+  vw_elapsed_s : float;  (** engine-clock seconds since {!create} *)
+  vw_workers_connected : int;
+  vw_hb_interval_s : float;
+  vw_lease_timeout_s : float;
+  vw_leases_outstanding : int;
+  vw_leases_pending : int;
+  vw_leases_granted : int;
+  vw_leases_completed : int;
+  vw_leases_expired : int;
+  vw_workers : wview list;  (** name-sorted, disconnected included *)
+}
+
+val view : 'c t -> view
 
 (** {2 Engine lifecycle} *)
 

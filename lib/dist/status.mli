@@ -1,0 +1,42 @@
+(** Response building for the coordinator's read-only status endpoint —
+    transport-free.
+
+    {!Http} moves bytes; this module decides them. Everything here is a
+    pure function of a {!Core.view}, an event tail, and a metrics
+    exposition, so the netsim driver can probe the very same responses
+    under virtual time and golden-test them byte-for-byte (no pids, no
+    wall-clock, no socket addresses sneak in). *)
+
+(** Where responses read their data. [view] is {!Core.view} partially
+    applied to the engine; [events] tails the coordinator's
+    {!Ffault_telemetry.Events} log; [metrics] is
+    {!Ffault_telemetry.Metrics.expose} (or a pinned exposition in
+    tests). *)
+type source = {
+  view : unit -> Core.view;
+  events : limit:int -> Ffault_telemetry.Events.event list;
+  metrics : unit -> string;
+}
+
+type response = { code : int; content_type : string; body : string }
+
+val events_limit : int
+(** Newest events served by [/events] (256). *)
+
+val status_json : Core.view -> Ffault_campaign.Json.t
+(** The [/status] document: campaign identity, progress counts,
+    [elapsed_s]/[trials_per_s]/[eta_s] ([eta_s] is [null] when done or
+    rate-less), connected workers, and the lease table totals. *)
+
+val workers_json : Core.view -> Ffault_campaign.Json.t
+(** The [/workers] document: per-worker rows (name-sorted, disconnected
+    workers included) with [connected], [hb_age_s] ([null] before any
+    frame), and [stale] — heartbeat age above twice the heartbeat
+    interval, judged by age alone so a killed worker is flagged whether
+    or not its socket has EOFed yet. *)
+
+val respond : source -> string -> response
+(** Dispatch a request path ([/status], [/workers], [/metrics],
+    [/events]; [/] aliases [/status]; query strings ignored) to its
+    response. Unknown paths get a 404 JSON body listing the
+    endpoints. *)

@@ -19,6 +19,11 @@ val endpoint_of_string : string -> (endpoint, string) result
 val endpoint_to_string : endpoint -> string
 val pp_endpoint : Format.formatter -> endpoint -> unit
 
+val sockaddr_of : endpoint -> (Unix.sockaddr, string) result
+(** Resolve to a socket address (TCP hosts via [gethostbyname], then as
+    a literal). Exposed for {!Http}, which speaks raw HTTP over its own
+    sockets rather than {!Wire} frames. *)
+
 (** {2 Connections} *)
 
 type conn

@@ -1,7 +1,10 @@
 module Campaign = Ffault_campaign
 module Pool = Campaign.Pool
 module Journal = Campaign.Journal
+module Json = Campaign.Json
+module Telemetry_io = Campaign.Telemetry_io
 module Metrics = Ffault_telemetry.Metrics
+module Tracer = Ffault_telemetry.Tracer
 
 let m_leases = Metrics.counter "dist.worker_leases"
 let m_trials = Metrics.counter "dist.worker_trials"
@@ -70,7 +73,7 @@ module Protocol = struct
     | Codec.Lease { lease; lo; hi; done_ids } -> Granted { lease; lo; hi; done_ids }
     | Codec.Wait { seconds } -> Backoff seconds
     | Codec.Bye { reason } -> Stop reason
-    | Codec.Heartbeat -> Ignore (* tolerated, not expected *)
+    | Codec.Heartbeat _ -> Ignore (* tolerated, not expected *)
     | m -> Unexpected (Fmt.str "expected lease, got %a" Codec.pp m)
 
   let ids_to_run ~lo ~hi ~done_ids =
@@ -81,10 +84,29 @@ module Protocol = struct
       (List.init (hi - lo) (fun i -> lo + i))
 end
 
+(* The observability payload of one beat: the current metrics snapshot
+   (cheap — a few hundred counter reads) and, when tracing, whatever
+   spans accumulated since the last beat (pid-less Chrome shape — the
+   coordinator's merge assigns the pid row). [keep] also records the
+   spans locally so [--trace] can write this worker's own file at the
+   end. *)
+let piggyback ~keep () =
+  let snapshot = Some (Telemetry_io.to_json (Metrics.snapshot ())) in
+  let spans =
+    if not (Tracer.enabled ()) then None
+    else
+      match Campaign.Trace_merge.of_tracer_events (Tracer.drain ()) with
+      | [] -> None
+      | batch ->
+          keep batch;
+          Some (Json.List batch)
+  in
+  Codec.Heartbeat { snapshot; spans }
+
 (* The heartbeat thread: one [Heartbeat] frame per interval until
    stopped. Send failures are ignored here — the main loop is about to
    see the same broken socket on its next send or recv. *)
-let start_heartbeat conn ~interval_s =
+let start_heartbeat conn ~interval_s ~beat =
   let stop = Atomic.make false in
   let thread =
     Thread.create
@@ -97,7 +119,7 @@ let start_heartbeat conn ~interval_s =
           end
         in
         while not (Atomic.get stop) do
-          ignore (Transport.send_msg conn Codec.Heartbeat);
+          ignore (Transport.send_msg conn (beat ()));
           sleep interval_s
         done)
       ()
@@ -106,7 +128,26 @@ let start_heartbeat conn ~interval_s =
     Atomic.set stop true;
     Thread.join thread
 
-let run ?(on_event = fun _ -> ()) cfg =
+let write_local_trace path spans =
+  let pid = Unix.getpid () in
+  let stamped =
+    List.map
+      (fun s ->
+        match s with
+        | Json.Obj fields -> Json.Obj (fields @ [ ("pid", Json.Int pid) ])
+        | other -> other)
+      spans
+  in
+  let doc =
+    Json.Obj
+      [ ("traceEvents", Json.List stamped); ("displayTimeUnit", Json.Str "ms") ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string doc))
+
+let run ?(on_event = fun _ -> ()) ?trace_path cfg =
   let ( let* ) = Result.bind in
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let* conn = Transport.connect cfg.endpoint in
@@ -127,12 +168,27 @@ let run ?(on_event = fun _ -> ()) cfg =
     | `Error e -> finish (Error e)
   in
   let supervision = supervision_of_wire supervision in
-  let stop_hb = start_heartbeat conn ~interval_s:hb_interval_s in
+  (* the heartbeat thread and the main loop both drain the tracer;
+     [keep] is the only shared state and stays mutex-guarded *)
+  let spans_lock = Mutex.create () in
+  let local_spans_rev = ref [] in
+  let keep batch =
+    if trace_path <> None then begin
+      Mutex.lock spans_lock;
+      local_spans_rev := List.rev_append batch !local_spans_rev;
+      Mutex.unlock spans_lock
+    end
+  in
+  let beat = piggyback ~keep in
+  let stop_hb = start_heartbeat conn ~interval_s:hb_interval_s ~beat in
   let leases_run = ref 0 in
   let trials_run = ref 0 in
   let trials_skipped = ref 0 in
   let finish r =
     stop_hb ();
+    if trace_path <> None && Tracer.enabled () then
+      keep (Campaign.Trace_merge.of_tracer_events (Tracer.drain ()));
+    Option.iter (fun path -> write_local_trace path (List.rev !local_spans_rev)) trace_path;
     finish r
   in
   let run_lease ~lease ~lo ~hi ~done_ids =
@@ -161,7 +217,12 @@ let run ?(on_event = fun _ -> ()) cfg =
     trials_skipped := !trials_skipped + List.length done_ids;
     match !send_error with
     | Some e -> Error (Fmt.str "streaming results: %s" e)
-    | None -> Transport.send_msg conn (Codec.Complete { lease })
+    | None ->
+        (* flush beat ahead of [Complete]: the coordinator sees this
+           lease's tail spans and final counters even if the campaign
+           ends on our completion *)
+        ignore (Transport.send_msg conn (beat ()));
+        Transport.send_msg conn (Codec.Complete { lease })
   in
   (* A failed send may have raced the coordinator's shutdown: the [Bye]
      is written before the socket closes, so it is ordered before the

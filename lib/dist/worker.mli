@@ -16,6 +16,13 @@
     engine's serialized [on_record] path and heartbeats from the
     thread; the connection's send mutex interleaves them safely.
 
+    Each beat piggybacks this process's telemetry snapshot and — when
+    {!Ffault_telemetry.Tracer} is enabled — the span events recorded
+    since the last beat, so the coordinator can aggregate fleet-wide
+    metrics and a cross-process trace without any extra connection. A
+    final flush beat precedes every [Complete], catching the tail of
+    the last lease.
+
     Workers are deliberately crash-oblivious: they journal nothing and
     resume nothing. If one dies mid-lease, the coordinator re-leases the
     shard with the journaled trial ids excluded — the exactly-once
@@ -73,8 +80,11 @@ type summary = {
 
 val run :
   ?on_event:(string -> unit) ->
+  ?trace_path:string ->
   config ->
   (summary, string) result
 (** Serve leases until the coordinator says [Bye] (normal completion,
     [Ok]) or the connection fails ([Error]). [on_event] receives
-    one-line lease lifecycle messages. *)
+    one-line lease lifecycle messages. [trace_path] additionally writes
+    this worker's own spans as a standalone Chrome trace on exit
+    (requires the tracer enabled to record anything). *)

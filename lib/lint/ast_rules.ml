@@ -40,6 +40,17 @@ let io_idents =
     [ "Fmt"; "pr" ]; [ "Fmt"; "epr" ];
   ]
 
+(* Socket-level syscalls: driver-layer territory. Library code that
+   opens, accepts or selects on sockets is doing transport work and
+   must live behind an allowlisted driver module (lib/dist). *)
+let socket_idents =
+  [
+    [ "Unix"; "socket" ]; [ "Unix"; "bind" ]; [ "Unix"; "listen" ];
+    [ "Unix"; "accept" ]; [ "Unix"; "connect" ]; [ "Unix"; "select" ];
+    [ "Unix"; "read" ]; [ "Unix"; "write" ]; [ "Unix"; "write_substring" ];
+    [ "Unix"; "single_write" ]; [ "Unix"; "sendto" ]; [ "Unix"; "recvfrom" ];
+  ]
+
 (* Constructors whose result at module level is cross-run shared state. *)
 let mutable_makers =
   [
@@ -93,6 +104,13 @@ let check ~file structure =
           (Fmt.str
              "%s performs direct terminal IO/exit from library code; return data, or \
               go through Ffault_telemetry / the report layer"
+             (dotted path))
+    | _ when List.mem path socket_idents ->
+        emit ~rule:"io-in-lib" loc
+          (Fmt.str
+             "%s is socket-level IO from library code; transport work belongs in the \
+              dist driver layer (Transport/Http), which is allowlisted with a \
+              justification"
              (dotted path))
     | [ "Effect"; "Deep"; "try_with" ] | [ "Deep"; "try_with" ] ->
         emit ~rule:"effect-discipline" loc

@@ -125,6 +125,28 @@ let default =
              through Faulty_cas";
         };
         {
+          prefix = "lib/dist/transport.ml";
+          rules = [ "io-in-lib" ];
+          why =
+            "the socket driver itself: framing over Unix fds is this module's whole \
+             job; everything above it exchanges Codec.msg values";
+        };
+        {
+          prefix = "lib/dist/http.ml";
+          rules = [ "io-in-lib" ];
+          why =
+            "the status endpoint's socket shim: accept/read/write confined to the \
+             dist driver layer; all response-building stays in the pure Dist.Status, \
+             which is golden-tested under netsim and must remain lint-clean";
+        };
+        {
+          prefix = "lib/dist/coordinator.ml";
+          rules = [ "io-in-lib" ];
+          why =
+            "the blocking driver's select loop multiplexes transport and status \
+             sockets; protocol decisions stay in the pure Dist.Core";
+        };
+        {
           prefix = "lib/campaign/live.ml";
           rules = [ "raw-atomic" ];
           why =

@@ -52,6 +52,12 @@ type result = {
   trace : string list;  (** deterministic event trace, forward order *)
   events : int;  (** scheduler events executed *)
   end_ns : int;  (** virtual time at exit *)
+  status_probes : (int * string * string) list;
+      (** [(virtual_ns, path, body)] — the exact {!Ffault_dist.Status}
+          responses the live endpoint would serve, scraped at 1 s of
+          virtual time and again at completion for [/status],
+          [/workers] and [/events]. Pure function of [(config, seed)],
+          so the tests pin them byte-for-byte. *)
 }
 
 val run : ?atoms:Fault_plan.atom list -> config -> seed:int64 -> result

@@ -1,0 +1,162 @@
+(* A structured event log: one process-wide ring per instance, newest
+   events overwriting the oldest under pressure (counted, never
+   blocking). The shape mirrors Tracer's rings — a mutex-guarded array
+   with a wrap flag — but events are rare (joins, lease churn,
+   lifecycle), so one ring per log is enough and the lock is cold. *)
+
+type severity = Debug | Info | Warn | Error
+
+let severity_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let severity_of_string = function
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+type event = {
+  seq : int;
+  ts_ns : int;
+  severity : severity;
+  scope : string;
+  message : string;
+  fields : (string * string) list;
+}
+
+type t = {
+  lock : Mutex.t;
+  now : unit -> int;
+  events : event array;  (* length = capacity *)
+  mutable head : int;  (* next write position *)
+  mutable filled : bool;  (* head has wrapped at least once *)
+  mutable seq : int;  (* total events ever emitted *)
+  mutable dropped : int;  (* overwritten before anyone read them *)
+  mutable sink : (string -> unit) option;
+}
+
+let dummy =
+  { seq = -1; ts_ns = 0; severity = Debug; scope = ""; message = ""; fields = [] }
+
+let default_capacity = 1024
+
+let create ?(capacity = default_capacity) ?(now = Clock.now_ns) () =
+  if capacity < 2 then invalid_arg "Events.create: capacity < 2";
+  {
+    lock = Mutex.create ();
+    now;
+    events = Array.make capacity dummy;
+    head = 0;
+    filled = false;
+    seq = 0;
+    dropped = 0;
+    sink = None;
+  }
+
+(* ---- JSONL rendering ---- *)
+
+(* Quotes, backslashes and control characters — exactly the JSON
+   string escapes the hand-rolled campaign parser understands. *)
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_line (e : event) =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"seq\":%d,\"ts_ns\":%d,\"severity\":\"%s\",\"scope\":\"%s\",\"msg\":\"%s\""
+       e.seq e.ts_ns (severity_to_string e.severity) (escape e.scope)
+       (escape e.message));
+  if e.fields <> [] then begin
+    Buffer.add_string b ",\"fields\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v)))
+      e.fields;
+    Buffer.add_char b '}'
+  end;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* ---- recording ---- *)
+
+let set_sink t sink =
+  Mutex.lock t.lock;
+  t.sink <- sink;
+  Mutex.unlock t.lock
+
+let emit t ?(severity = Info) ?(fields = []) ~scope message =
+  let ts_ns = t.now () in
+  Mutex.lock t.lock;
+  let e = { seq = t.seq; ts_ns; severity; scope; message; fields } in
+  t.seq <- t.seq + 1;
+  if t.filled then t.dropped <- t.dropped + 1;
+  t.events.(t.head) <- e;
+  t.head <- t.head + 1;
+  if t.head = Array.length t.events then begin
+    t.head <- 0;
+    t.filled <- true
+  end;
+  let sink = t.sink in
+  Mutex.unlock t.lock;
+  (* the sink runs outside the lock: it may do file IO *)
+  match sink with Some f -> f (json_line e) | None -> ()
+
+(* ---- reading ---- *)
+
+let tail ?limit t =
+  Mutex.lock t.lock;
+  let n = Array.length t.events in
+  let len = if t.filled then n else t.head in
+  let start = if t.filled then t.head else 0 in
+  let kept = match limit with Some l when l < len -> max 0 l | _ -> len in
+  let out = ref [] in
+  for k = len - 1 downto len - kept do
+    out := t.events.((start + k) mod n) :: !out
+  done;
+  Mutex.unlock t.lock;
+  !out
+
+let emitted t =
+  Mutex.lock t.lock;
+  let v = t.seq in
+  Mutex.unlock t.lock;
+  v
+
+let buffered t =
+  Mutex.lock t.lock;
+  let v = if t.filled then Array.length t.events else t.head in
+  Mutex.unlock t.lock;
+  v
+
+let dropped t =
+  Mutex.lock t.lock;
+  let v = t.dropped in
+  Mutex.unlock t.lock;
+  v
+
+let clear t =
+  Mutex.lock t.lock;
+  Array.fill t.events 0 (Array.length t.events) dummy;
+  t.head <- 0;
+  t.filled <- false;
+  t.seq <- 0;
+  t.dropped <- 0;
+  Mutex.unlock t.lock

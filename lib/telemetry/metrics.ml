@@ -207,6 +207,47 @@ let reset () =
                 h.h_shards)
         registry)
 
+(* ---- Prometheus-style text exposition ---- *)
+
+(* Metric names here are dotted ("dist.leases_granted"); the exposition
+   format allows only [a-zA-Z0-9_:], so everything else becomes '_' and
+   the whole name gets an "ffault_" namespace prefix. *)
+let expose_name name =
+  "ffault_"
+  ^ String.map
+      (fun c ->
+        match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+      name
+
+let expose ?snapshot:snap () =
+  let s = match snap with Some s -> s | None -> snapshot () in
+  let b = Buffer.create 1024 in
+  let scalar kind (name, v) =
+    Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" (expose_name name) kind);
+    Buffer.add_string b (Printf.sprintf "%s %d\n" (expose_name name) v)
+  in
+  List.iter (scalar "counter") s.counters;
+  List.iter (scalar "gauge") s.gauges;
+  List.iter
+    (fun h ->
+      let n = expose_name h.h_name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
+      (* h_buckets holds per-bucket counts for the non-empty buckets,
+         ascending; Prometheus buckets are cumulative with an explicit
+         +Inf equal to the total count. *)
+      let cum = ref 0 in
+      List.iter
+        (fun (ub, c) ->
+          cum := !cum + c;
+          if ub < max_int then
+            Buffer.add_string b (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" n ub !cum))
+        h.h_buckets;
+      Buffer.add_string b (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n h.h_count);
+      Buffer.add_string b (Printf.sprintf "%s_sum %d\n" n h.h_sum);
+      Buffer.add_string b (Printf.sprintf "%s_count %d\n" n h.h_count))
+    s.histograms;
+  Buffer.contents b
+
 let pp_snapshot ppf s =
   List.iter (fun (n, v) -> Fmt.pf ppf "%s = %d@." n v) s.counters;
   List.iter (fun (n, v) -> Fmt.pf ppf "%s ~ %d@." n v) s.gauges;

@@ -86,3 +86,12 @@ val reset : unit -> unit
 
 val pp_snapshot : Format.formatter -> snapshot -> unit
 (** Human-readable dump, one metric per line. *)
+
+val expose : ?snapshot:snapshot -> unit -> string
+(** Prometheus text exposition of a snapshot (taken now if not given):
+    every metric renamed to [ffault_<name>] with non-identifier
+    characters mangled to ['_'], counters and gauges as single samples,
+    histograms as cumulative [_bucket{le="..."}] series plus [_sum] and
+    [_count]. Deterministic for a given snapshot (names are sorted),
+    which is what the golden test and the [/metrics] endpoint rely
+    on. *)

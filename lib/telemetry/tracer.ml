@@ -90,6 +90,29 @@ let collect () =
     rings;
   List.stable_sort (fun a b -> compare a.ts_ns b.ts_ns) !acc
 
+(* Collect-and-reset: the piggyback path (a worker shipping span
+   batches on its heartbeat frames) wants each event exactly once, so
+   draining empties every ring while keeping the cumulative drop
+   count. *)
+let drain () =
+  let acc = ref [] in
+  Array.iter
+    (fun r ->
+      Mutex.lock r.lock;
+      let n = Array.length r.events in
+      if n > 0 then begin
+        let len = if r.filled then n else r.head in
+        let start = if r.filled then r.head else 0 in
+        for k = 0 to len - 1 do
+          acc := r.events.((start + k) mod n) :: !acc
+        done;
+        r.head <- 0;
+        r.filled <- false
+      end;
+      Mutex.unlock r.lock)
+    rings;
+  List.stable_sort (fun a b -> compare a.ts_ns b.ts_ns) !acc
+
 (* Ring overwrite can orphan events: an 'E' whose 'B' was overwritten,
    or a 'B' whose 'E' is still pending at export time. Chrome refuses
    (or misrenders) unbalanced tracks, so repair per tid: drop orphan

@@ -43,6 +43,22 @@ val with_span : ?cat:string -> string -> (unit -> 'a) -> 'a
 
 (** {2 Export} *)
 
+(** One buffered event, exposed for cross-process aggregation: a worker
+    drains its rings and ships batches to the coordinator, which merges
+    them into one Chrome trace with a pid row per worker. *)
+type event = {
+  ph : char;  (** ['B'] | ['E'] | ['i'] *)
+  name : string;
+  cat : string;
+  ts_ns : int;
+  tid : int;  (** domain id *)
+}
+
+val drain : unit -> event list
+(** Remove and return every buffered event, oldest first. Unlike
+    {!export} this empties the rings (the drop count is kept), so
+    repeated drains see each event exactly once. *)
+
 val export : unit -> string
 (** The buffered events as a Chrome trace JSON object
     [{"traceEvents": [...], "displayTimeUnit": "ms"}], events sorted by

@@ -10,6 +10,7 @@ module Lease = Dist.Lease
 module Transport = Dist.Transport
 module Campaign = Ffault_campaign
 module Spec = Campaign.Spec
+module Json = Campaign.Json
 module Grid = Campaign.Grid
 module Journal = Campaign.Journal
 module Checkpoint = Campaign.Checkpoint
@@ -195,7 +196,12 @@ let all_msgs =
     Codec.Lease { lease = 0; lo = 0; hi = 50; done_ids = [] };
     Codec.Result fixture_record;
     Codec.Complete { lease = 7 };
-    Codec.Heartbeat;
+    Codec.heartbeat;
+    Codec.Heartbeat
+      {
+        snapshot = Some (Json.Obj [ ("counters", Json.Obj [ ("x", Json.Int 3) ]) ]);
+        spans = Some (Json.List [ Json.Obj [ ("name", Json.Str "t") ] ]);
+      };
     Codec.Wait { seconds = 0.25 };
     Codec.Bye { reason = "campaign complete" };
   ]

@@ -121,6 +121,24 @@ let test_io_in_lib_spared () =
   let o = lint ~file:"lib/telemetry/fixture.ml" "let f () = print_endline \"hi\"\n" in
   check Alcotest.int "telemetry allowlisted" 0 (count_rule "io-in-lib" o)
 
+let test_io_in_lib_sockets () =
+  (* socket syscalls are transport work: flagged anywhere in lib... *)
+  let src =
+    "let f () = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0\n\
+     let g fd = Unix.accept fd\n\
+     let h r = Unix.select r [] [] 0.1\n"
+  in
+  let o = lint ~file:"lib/campaign/fixture.ml" src in
+  check Alcotest.int "three findings" 3 (count_rule "io-in-lib" o);
+  (* ...except the dist driver layer, allowlisted by file *)
+  let o = lint ~file:"lib/dist/http.ml" src in
+  check Alcotest.int "http driver allowlisted" 0 (count_rule "io-in-lib" o);
+  let o = lint ~file:"lib/dist/transport.ml" src in
+  check Alcotest.int "transport driver allowlisted" 0 (count_rule "io-in-lib" o);
+  (* the pure responder stays covered: a socket call in status.ml fails *)
+  let o = lint ~file:"lib/dist/status.ml" src in
+  check Alcotest.int "status must stay pure" 3 (count_rule "io-in-lib" o)
+
 (* ---- catch-all ---- *)
 
 let test_catch_all_fires () =
@@ -509,6 +527,7 @@ let suites =
         Alcotest.test_case "toplevel-mutable spared" `Quick test_toplevel_mutable_spared;
         Alcotest.test_case "io-in-lib fires" `Quick test_io_in_lib_fires;
         Alcotest.test_case "io-in-lib spared" `Quick test_io_in_lib_spared;
+        Alcotest.test_case "io-in-lib sockets" `Quick test_io_in_lib_sockets;
         Alcotest.test_case "catch-all fires" `Quick test_catch_all_fires;
         Alcotest.test_case "catch-all spared" `Quick test_catch_all_spared;
         Alcotest.test_case "effect-discipline fires" `Quick test_effect_discipline_fires;

@@ -195,7 +195,7 @@ let test_conformance_corpus () =
   let hello =
     Wire.encode (Codec.to_frame (Codec.Hello { version = Wire.version; name = "w"; domains = 1 }))
   in
-  let hb = Wire.encode (Codec.to_frame Codec.Heartbeat) in
+  let hb = Wire.encode (Codec.to_frame Codec.heartbeat) in
   check_conformance "two clean frames" [ hello; hb ];
   check_conformance "split mid-frame"
     [ String.sub hello 0 3; String.sub hello 3 (String.length hello - 3) ];
