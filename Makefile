@@ -1,6 +1,6 @@
 # Convenience targets for the ffault reproduction.
 
-.PHONY: all build test lint lint-json lint-baseline experiments experiments-quick bench bench-smoke examples campaign-smoke chaos-smoke dist-chaos-smoke netsim-smoke check clean
+.PHONY: all build test lint lint-json lint-baseline lint-prune experiments experiments-quick bench bench-smoke examples campaign-smoke chaos-smoke dist-chaos-smoke netsim-smoke check clean
 
 all: build
 
@@ -11,18 +11,28 @@ test:
 	dune runtest --force --no-buffer
 
 # Static analysis: the fault-injection / determinism invariants
-# (doc/LINT.md). Fails on any finding not suppressed in-source or
-# grandfathered in lint-baseline.json.
+# (doc/LINT.md), parsetree AND typed-tree passes. Builds first —
+# @check leaves a cmt for every module, executables included — so
+# --typed=on can demand one per .ml. Fails on any finding not
+# suppressed in-source or grandfathered in lint-baseline.json.
 lint:
-	dune exec bin/main.exe -- lint --baseline lint-baseline.json
+	dune build @check
+	dune exec bin/main.exe -- lint --typed=on --baseline lint-baseline.json
 
 # Same run, machine-readable; CI archives the output as lint.json.
 lint-json:
-	dune exec bin/main.exe -- lint --baseline lint-baseline.json --format json
+	dune build @check
+	dune exec bin/main.exe -- lint --typed=on --baseline lint-baseline.json --format json
 
 # Regenerate the grandfathering baseline from the current findings.
 lint-baseline:
-	dune exec bin/main.exe -- lint --baseline lint-baseline.json --write-baseline
+	dune build @check
+	dune exec bin/main.exe -- lint --typed=on --baseline lint-baseline.json --write-baseline
+
+# Drop baseline entries that no longer match any current finding.
+lint-prune:
+	dune build @check
+	dune exec bin/main.exe -- lint --typed=on --baseline lint-baseline.json --prune-baseline
 
 # The full local gate: what CI runs, minus the artifact uploads.
 check: build test lint campaign-smoke chaos-smoke dist-chaos-smoke netsim-smoke

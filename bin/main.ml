@@ -1121,25 +1121,66 @@ let lint_cmd =
     let doc = "Rewrite the --baseline file from the current findings and exit 0." in
     Arg.(value & flag & info [ "write-baseline" ] ~doc)
   in
+  let prune_baseline_arg =
+    let doc =
+      "Rewrite the --baseline file with entries that no longer match any current \
+       finding removed, and exit 0."
+    in
+    Arg.(value & flag & info [ "prune-baseline" ] ~doc)
+  in
   let list_rules_arg =
-    let doc = "List the rules (name, severity, rationale) and exit." in
+    let doc = "List the rules (name, layer, severity, summary) and exit." in
     Arg.(value & flag & info [ "list-rules" ] ~doc)
+  in
+  let explain_arg =
+    let doc =
+      "Print one rule's summary, rationale and an example finding, then exit."
+    in
+    Arg.(value & opt (some string) None & info [ "explain" ] ~docv:"RULE" ~doc)
+  in
+  let typed_arg =
+    let doc =
+      "Typed-tree pass over cmt files: $(b,auto) runs it when a built tree exists \
+       and turns missing/stale cmts into notes; $(b,on) turns them into cmt-missing \
+       findings (the CI mode); $(b,off) skips the pass. Bare $(b,--typed) means \
+       $(b,on)."
+    in
+    Arg.(
+      value
+      & opt ~vopt:`On (enum [ ("auto", `Auto); ("on", `On); ("off", `Off) ]) `Auto
+      & info [ "typed" ] ~docv:"MODE" ~doc)
   in
   let paths_arg =
     let doc = "Files or directories to lint (default: lib bin test bench examples)." in
     Arg.(value & pos_all string [] & info [] ~docv:"PATH" ~doc)
   in
-  let run format rules baseline write_baseline list_rules paths =
+  let run format rules baseline write_baseline prune_baseline list_rules explain typed
+      paths =
     if list_rules then begin
       List.iter
         (fun r ->
-          Fmt.pr "%-16s %-8s %s@." r.Lint.Rule.name
+          Fmt.pr "%-22s %-6s %-8s %s@." r.Lint.Rule.name
+            (Lint.Rule.layer_to_string r.Lint.Rule.layer)
             (Lint.Finding.severity_to_string r.Lint.Rule.severity)
             r.Lint.Rule.summary)
         Lint.Rule.all;
       0
     end
     else
+      match explain with
+      | Some name -> (
+          match Lint.Rule.find name with
+          | None ->
+              Fmt.epr "error: unknown rule %S (see `ffault lint --list-rules')@." name;
+              2
+          | Some r ->
+              Fmt.pr "%s (%s rule, %s layer)@.@.  %s@.@.why@.  %s@.@.example@.  %s@."
+                r.Lint.Rule.name
+                (Lint.Finding.severity_to_string r.Lint.Rule.severity)
+                (Lint.Rule.layer_to_string r.Lint.Rule.layer)
+                r.Lint.Rule.summary r.Lint.Rule.rationale r.Lint.Rule.example;
+              0)
+      | None -> (
       let rules =
         match
           String.split_on_char ',' rules
@@ -1164,7 +1205,13 @@ let lint_cmd =
               List.filter Sys.file_exists [ "lib"; "bin"; "test"; "bench"; "examples" ]
             else paths
           in
-          let result = Lint.Driver.run ?rules ~policy:Lint.Policy.default paths in
+          let typed =
+            match typed with
+            | `Auto -> Lint.Driver.Typed_auto
+            | `On -> Lint.Driver.Typed_on
+            | `Off -> Lint.Driver.Typed_off
+          in
+          let result = Lint.Driver.run ?rules ~policy:Lint.Policy.default ~typed paths in
           if write_baseline then
             match baseline with
             | None ->
@@ -1177,6 +1224,26 @@ let lint_cmd =
                   (if List.length result.Lint.Driver.findings = 1 then "y" else "ies")
                   path;
                 0
+          else if prune_baseline then
+            match baseline with
+            | None ->
+                Fmt.epr "error: --prune-baseline requires --baseline FILE@.";
+                2
+            | Some path -> (
+                match Lint.Baseline.load ~path with
+                | Error m ->
+                    Fmt.epr "error: %s@." m;
+                    2
+                | Ok b ->
+                    let kept, dropped =
+                      Lint.Baseline.prune b result.Lint.Driver.findings
+                    in
+                    Lint.Baseline.save ~path kept;
+                    Fmt.pr "pruned %d expired entr%s from %s (%d kept)@."
+                      (List.length dropped)
+                      (if List.length dropped = 1 then "y" else "ies")
+                      path (List.length kept);
+                    0)
           else
             let baseline =
               match baseline with
@@ -1194,17 +1261,19 @@ let lint_cmd =
                 | `Json ->
                     Fmt.pr "%s@."
                       (Campaign.Json.to_string (Lint.Report.to_json report)));
-                Lint.Report.exit_code report)
+                Lint.Report.exit_code report))
   in
   let doc =
-    "Statically check the fault-injection and determinism invariants (raw-atomic, \
-     nondeterminism, toplevel-mutable, io-in-lib, catch-all, mli-required, obj-magic, \
-     effect-discipline) over the source tree."
+    "Statically check the fault-injection and determinism invariants over the source \
+     tree: a parsetree pass (raw-atomic, nondeterminism, toplevel-mutable, io-in-lib, \
+     catch-all, mli-required, obj-magic, effect-discipline) plus a typed-tree pass \
+     over cmt files (alias-escape, poly-compare-abstract, domain-unsafe-capture) \
+    that sees through aliases and opens. See `--list-rules' and `--explain RULE'."
   in
   Cmd.v (Cmd.info "lint" ~doc)
     Term.(
       const run $ format_arg $ rules_arg $ baseline_arg $ write_baseline_arg
-      $ list_rules_arg $ paths_arg)
+      $ prune_baseline_arg $ list_rules_arg $ explain_arg $ typed_arg $ paths_arg)
 
 (* ---- netsim ---- *)
 

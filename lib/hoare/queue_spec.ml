@@ -11,7 +11,7 @@ let on_dequeue f (step : Triple.step) =
 let standard_dequeue =
   on_dequeue (fun ~pre ~post ~response ->
       match pre with
-      | [] -> Value.is_bottom response && post = []
+      | [] -> Value.is_bottom response && List.is_empty post
       | head :: tail ->
           Value.equal response head
           && List.length post = List.length tail
@@ -58,7 +58,7 @@ let dequeue_distance (step : Triple.step) =
 let relaxed_dequeue ~k =
   on_dequeue (fun ~pre ~post ~response ->
       match pre with
-      | [] -> Value.is_bottom response && post = []
+      | [] -> Value.is_bottom response && List.is_empty post
       | _ -> (
           match removal_position ~pre ~post ~response with
           | Some i -> i < k
@@ -67,7 +67,7 @@ let relaxed_dequeue ~k =
 let relaxed_any =
   on_dequeue (fun ~pre ~post ~response ->
       match pre with
-      | [] -> Value.is_bottom response && post = []
+      | [] -> Value.is_bottom response && List.is_empty post
       | _ -> removal_position ~pre ~post ~response <> None)
 
 let queue_alternatives = [ ("relaxation", relaxed_any) ]

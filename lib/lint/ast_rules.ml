@@ -65,6 +65,20 @@ let mutable_makers =
     [ "Mutex"; "create" ]; [ "Condition"; "create" ];
   ]
 
+(* Would the parsetree pass flag this longident as written? Used by
+   Typed_rules to report only the occurrences that *evade* this pass
+   (aliases, opens, includes) rather than double-reporting. *)
+let flags_ident lid =
+  let path = strip_stdlib (flatten lid) in
+  match path with
+  | [ "Atomic"; op ] -> List.mem op atomic_mutators
+  | "Random" :: _ -> path <> [ "Random" ]
+  | "Obj" :: _ :: _ -> true
+  | [ "Effect"; "Deep"; "try_with" ] | [ "Deep"; "try_with" ] -> true
+  | _ ->
+      List.mem path nondet_idents || List.mem path io_idents
+      || List.mem path socket_idents
+
 (* ---- the pass ---- *)
 
 let check ~file structure =

@@ -7,3 +7,8 @@
 
 val check : file:string -> Parsetree.structure -> Finding.t list
 (** Findings in source order. *)
+
+val flags_ident : Longident.t -> bool
+(** Would this pass flag an identifier written exactly so? {!Typed_rules}
+    uses it to report only resolved occurrences whose surface syntax
+    evaded the parsetree tables (aliases, opens, includes). *)

@@ -141,6 +141,13 @@ let apply t findings =
   Array.iteri (fun ei e -> if not e_used.(ei) then expired := e :: !expired) ea;
   { fresh = List.rev !fresh; baselined = List.rev !baselined; expired = List.rev !expired }
 
+(* Expired entries come out of [apply] physically equal to the input's,
+   so dropping them is a [memq] filter — order and duplicates (distinct
+   physical entries with equal fields) survive intact. *)
+let prune t findings =
+  let split = apply t findings in
+  (List.filter (fun e -> not (List.memq e split.expired)) t, split.expired)
+
 (* ---- persistence ---- *)
 
 let entry_to_json e =

@@ -51,6 +51,11 @@ val apply : t -> Finding.t list -> split
 (** One-to-one: each entry absorbs at most one finding, candidate pairs
     assigned nearest-line first. *)
 
+val prune : t -> Finding.t list -> t * entry list
+(** [(kept, dropped)]: the baseline with entries expired against the
+    given findings removed, preserving order; behind
+    [ffault lint --prune-baseline]. *)
+
 val to_json : t -> Ffault_campaign.Json.t
 (** Version 2; version-1 files (entries without [ctx]) still load. *)
 

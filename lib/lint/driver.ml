@@ -1,10 +1,13 @@
-(* Parse every .ml/.mli, run the AST rules, apply policy and
-   suppressions, and add the filesystem-level mli-required check. *)
+(* Parse every .ml/.mli, run the AST rules, merge the typed-tree rules
+   for files whose cmt is fresh (Cmt_loader + Typed_rules), apply policy
+   and suppressions, and add the filesystem-level mli-required check. *)
 
 type outcome = {
   findings : Finding.t list;
   suppressed : (Finding.t * Suppress.t) list;
 }
+
+type typed_mode = Typed_off | Typed_auto | Typed_on
 
 let no_outcome = { findings = []; suppressed = [] }
 
@@ -31,11 +34,11 @@ let parse_intf ~file source = with_lexbuf ~file source Parse.interface
 let scoped policy file findings =
   List.filter (fun (f : Finding.t) -> Policy.applies policy ~rule:f.rule ~file) findings
 
-let lint_impl_source ?(policy = Policy.default) ~file source =
+let lint_impl_source ?(policy = Policy.default) ?(typed = []) ~file source =
   match parse_impl ~file source with
   | Error f -> { no_outcome with findings = [ f ] }
   | Ok structure ->
-      let raw = Ast_rules.check ~file structure in
+      let raw = Ast_rules.check ~file structure @ typed in
       let sups, sup_errors = Suppress.of_structure ~file structure in
       let raw = scoped policy file raw in
       let findings, suppressed = Suppress.apply sups raw in
@@ -92,8 +95,10 @@ let mli_required ~policy files =
 
 type result = {
   files : int;
+  typed_files : int;
   findings : Finding.t list;
   suppressed : (Finding.t * Suppress.t) list;
+  notes : (string * string) list;
 }
 
 let read_file file =
@@ -106,11 +111,61 @@ let rule_enabled rules (f : Finding.t) =
   | None -> true
   | Some rs -> List.mem f.rule rs || Rule.is_meta f.rule
 
-let run ?rules ?(policy = Policy.default) paths =
+(* The typed half of one file: its findings (merged into the outcome
+   pre-policy, so scoping and suppressions treat both layers the same),
+   or how it degraded. Under auto a degraded file is a note; under on it
+   is a cmt-missing finding, so a build regression cannot silently
+   shrink coverage in CI. *)
+type typed_file =
+  | T_skip
+  | T_findings of Finding.t list
+  | T_note of string
+  | T_missing of Finding.t
+
+let typed_for_file ~mode ~loader ~build_dir ~policy file =
+  if mode = Typed_off || not (Filename.check_suffix file ".ml") then T_skip
+  else
+    let status =
+      match loader with
+      | Some l -> Cmt_loader.for_source l file
+      | None -> Cmt_loader.No_cmt
+    in
+    match status with
+    | Cmt_loader.Typed cmt -> T_findings (Typed_rules.check ~policy ~file cmt)
+    | degraded -> (
+        let msg =
+          Option.value ~default:"typed rules skipped"
+            (Cmt_loader.describe ~build_dir degraded)
+        in
+        match mode with
+        | Typed_on ->
+            T_missing
+              (Finding.v ~rule:"cmt-missing" ~severity:(Rule.severity "cmt-missing")
+                 ~file ~line:1 ~col:0 msg)
+        | _ -> T_note msg)
+
+let run ?rules ?(policy = Policy.default) ?(typed = Typed_auto)
+    ?(build_dir = Cmt_loader.default_build_dir) paths =
   let files = collect_files paths in
+  let loader = if typed = Typed_off then None else Cmt_loader.create ~build_dir () in
+  (* auto: the typed layer exists only when a built tree does *)
+  let mode = if typed = Typed_auto && loader = None then Typed_off else typed in
+  let typed_files = ref 0 in
+  let notes = ref [] in
   let outcomes =
     List.map
       (fun file ->
+        let typed_findings =
+          match typed_for_file ~mode ~loader ~build_dir ~policy file with
+          | T_skip -> []
+          | T_findings fs ->
+              incr typed_files;
+              fs
+          | T_note msg ->
+              notes := (file, msg) :: !notes;
+              []
+          | T_missing f -> [ f ]
+        in
         match read_file file with
         | Error m ->
             {
@@ -123,7 +178,7 @@ let run ?rules ?(policy = Policy.default) paths =
             }
         | Ok source ->
             if Filename.check_suffix file ".ml" then
-              lint_impl_source ~policy ~file source
+              lint_impl_source ~policy ~typed:typed_findings ~file source
             else lint_intf_source ~policy ~file source)
       files
   in
@@ -134,6 +189,8 @@ let run ?rules ?(policy = Policy.default) paths =
   let suppressed = List.concat_map (fun (o : outcome) -> o.suppressed) outcomes in
   {
     files = List.length files;
+    typed_files = !typed_files;
     findings = List.sort Finding.compare (List.filter (rule_enabled rules) findings);
     suppressed;
+    notes = List.rev !notes;
   }

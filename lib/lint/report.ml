@@ -2,20 +2,24 @@ module Json = Ffault_campaign.Json
 
 type t = {
   files : int;
+  typed_files : int;
   fresh : Finding.t list;  (** unsuppressed, unbaselined: these fail *)
   baselined : Finding.t list;
   suppressed : (Finding.t * Suppress.t) list;
   expired : Baseline.entry list;
+  notes : (string * string) list;
 }
 
 let make ?(baseline = Baseline.empty) (r : Driver.result) =
   let split = Baseline.apply baseline r.Driver.findings in
   {
     files = r.Driver.files;
+    typed_files = r.Driver.typed_files;
     fresh = split.Baseline.fresh;
     baselined = split.Baseline.baselined;
     suppressed = r.Driver.suppressed;
     expired = split.Baseline.expired;
+    notes = r.Driver.notes;
   }
 
 let exit_code t = if t.fresh = [] then 0 else 1
@@ -41,16 +45,18 @@ let to_text t =
       line "%s:%d: note: expired baseline entry for %s (fixed or moved) — regenerate \
             the baseline" e.Baseline.file e.Baseline.line e.Baseline.rule)
     t.expired;
+  List.iter (fun (file, msg) -> line "%s:1: note: %s" file msg) t.notes;
   if t.fresh <> [] then line "";
   (match by_rule t.fresh with
   | [] -> ()
   | counts ->
       line "findings by rule: %s"
         (String.concat ", " (List.map (fun (r, n) -> Fmt.str "%s=%d" r n) counts)));
-  line "%d file%s checked: %d finding%s, %d baselined, %d suppressed, %d expired \
-        baseline entr%s"
+  line "%d file%s checked (%d typed): %d finding%s, %d baselined, %d suppressed, %d \
+        expired baseline entr%s"
     t.files
     (if t.files = 1 then "" else "s")
+    t.typed_files
     (List.length t.fresh)
     (if List.length t.fresh = 1 then "" else "s")
     (List.length t.baselined)
@@ -65,6 +71,7 @@ let finding_to_json ?(extra = []) (f : Finding.t) =
   Json.Obj
     ([
        ("rule", Json.Str f.rule);
+       ("layer", Json.Str (Rule.layer_to_string (Rule.layer f.rule)));
        ("severity", Json.Str (Finding.severity_to_string f.severity));
        ("file", Json.Str (Policy.normalize f.file));
        ("line", Json.Int f.line);
@@ -79,6 +86,17 @@ let to_json t =
     [
       ("version", Json.Int 1);
       ("files", Json.Int t.files);
+      ( "typed",
+        Json.Obj
+          [
+            ("files", Json.Int t.typed_files);
+            ( "notes",
+              Json.List
+                (List.map
+                   (fun (file, msg) ->
+                     Json.Obj [ ("file", Json.Str file); ("message", Json.Str msg) ])
+                   t.notes) );
+          ] );
       ( "findings",
         Json.List
           (List.map (finding_to_json ~extra:[ ("baselined", Json.Bool false) ]) t.fresh

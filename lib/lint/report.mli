@@ -2,10 +2,13 @@
 
 type t = {
   files : int;
+  typed_files : int;  (** .ml files the typed pass covered *)
   fresh : Finding.t list;  (** unsuppressed, unbaselined: these fail *)
   baselined : Finding.t list;
   suppressed : (Finding.t * Suppress.t) list;
   expired : Baseline.entry list;
+  notes : (string * string) list;
+      (** typed-pass degradations under auto; informational *)
 }
 
 val make : ?baseline:Baseline.t -> Driver.result -> t
@@ -18,5 +21,7 @@ val to_text : t -> string
 (** file:line:col lines (grep-able) plus a one-line summary. *)
 
 val to_json : t -> Ffault_campaign.Json.t
-(** [{version; files; findings; suppressed; expired_baseline; summary}] —
-    the shape CI archives as lint.json. *)
+(** [{version; files; typed; findings; suppressed; expired_baseline;
+    summary}] — the shape CI archives as lint.json. Findings carry a
+    ["layer"] ([ast]/[typed]/[fs]) so the two passes stay
+    distinguishable. *)

@@ -1,0 +1,323 @@
+(* The Tast_iterator pass behind the three typed rules. Where the
+   parsetree rules match surface syntax, this pass works on resolved
+   identities: every [Texp_ident] carries the value description of the
+   thing it denotes, and that description's [val_loc] names the .mli the
+   value was declared in — the same for [Atomic.set], [A.set] after
+   [module A = Atomic], a bare [set] after [open Atomic], and
+   [W.set] after [include Atomic]. Matching on (declaration file, value
+   name) is therefore alias-proof by construction.
+
+   Like {!Ast_rules}, findings come back unfiltered except for one
+   deliberate asymmetry: [alias-escape] consults the *underlying* rule's
+   policy (an aliased clock read where nondeterminism is not active is
+   not a finding), because the driver can only scope the alias-escape
+   rule itself. *)
+
+open Typedtree
+
+(* ---- resolved-identity tables: (declaring .mli, value names) ---- *)
+
+(* Names as in Ast_rules; the declaring interface replaces the path. *)
+let atomic_mutators =
+  [ "compare_and_set"; "exchange"; "set"; "fetch_and_add"; "incr"; "decr" ]
+
+let io_stdlib =
+  [
+    "print_string"; "print_bytes"; "print_int"; "print_char"; "print_float";
+    "print_endline"; "print_newline"; "prerr_string"; "prerr_bytes"; "prerr_int";
+    "prerr_char"; "prerr_float"; "prerr_endline"; "prerr_newline"; "exit";
+  ]
+
+let io_unix_sockets =
+  [
+    "socket"; "bind"; "listen"; "accept"; "connect"; "select"; "read"; "write";
+    "write_substring"; "single_write"; "sendto"; "recvfrom";
+  ]
+
+(* underlying rule, declaring interface, names ([None] = every value
+   declared there). *)
+let ident_sets =
+  [
+    ("raw-atomic", "atomic.mli", Some atomic_mutators);
+    ("nondeterminism", "random.mli", None);
+    ("nondeterminism", "sys.mli", Some [ "time" ]);
+    ("nondeterminism", "unix.mli", Some [ "gettimeofday"; "time" ]);
+    ("nondeterminism", "hashtbl.mli", Some [ "randomize" ]);
+    ("io-in-lib", "stdlib.mli", Some io_stdlib);
+    ("io-in-lib", "printf.mli", Some [ "printf"; "eprintf" ]);
+    ("io-in-lib", "format.mli",
+     Some [ "printf"; "eprintf"; "print_string"; "print_newline" ]);
+    ("io-in-lib", "fmt.mli", Some [ "pr"; "epr" ]);
+    ("io-in-lib", "unix.mli", Some io_unix_sockets);
+  ]
+
+(* Types that own their comparison semantics: structural compare on them
+   is representational, not semantic, and breaks the moment they gain
+   closures or mutable internals. Matched on the normalized head path of
+   the instantiated type (module aliases local to the file are resolved
+   first; "__"-mangled unit names are unmangled). *)
+let semantic_types = [ "Value.t"; "History.t" ]
+
+(* Polymorphic entry points whose first parameter type decides the
+   hazard: (declaring interface, name). *)
+let poly_compare_fns =
+  [
+    ("stdlib.mli", "="); ("stdlib.mli", "<>"); ("stdlib.mli", "compare");
+    ("hashtbl.mli", "hash"); ("list.mli", "mem");
+  ]
+
+(* Mutations of a captured target inside a Domain.spawn closure:
+   (declaring interface, name, what to call it). *)
+let mutation_fns =
+  [
+    ("stdlib.mli", ":=", "ref");
+    ("stdlib.mli", "incr", "ref");
+    ("stdlib.mli", "decr", "ref");
+    ("array.mli", "set", "array");
+    ("array.mli", "unsafe_set", "array");
+    ("array.mli", "fill", "array");
+    ("array.mli", "blit", "array");
+    ("bytes.mli", "set", "bytes");
+    ("bytes.mli", "unsafe_set", "bytes");
+  ]
+
+(* ---- resolution helpers ---- *)
+
+let decl_file (vd : Types.value_description) =
+  Filename.basename vd.Types.val_loc.Location.loc_start.Lexing.pos_fname
+
+let resolve path vd = (decl_file vd, Path.last path)
+
+(* "Ffault_objects__Value.t" -> "Ffault_objects.Value.t" *)
+let unmangle s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 1 < n && s.[!i] = '_' && s.[!i + 1] = '_' then begin
+      Buffer.add_char buf '.';
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let ends_with ~suffix s =
+  let ls = String.length s and lx = String.length suffix in
+  ls >= lx && String.sub s (ls - lx) lx = suffix
+
+(* ---- the pass ---- *)
+
+let check ?(policy = Policy.default) ~file (cmt : Cmt_format.cmt_infos) =
+  match cmt.Cmt_format.cmt_annots with
+  | Cmt_format.Implementation structure ->
+      let findings = ref [] in
+      let emit ?severity ~rule loc message =
+        let severity = Option.value severity ~default:(Rule.severity rule) in
+        findings := Finding.of_location ~rule ~severity ~file loc message :: !findings
+      in
+
+      (* Local module aliases (module V = Ffault_objects.Value), so a
+         type written V.t still matches the semantic-type table. *)
+      let aliases = Hashtbl.create 8 in
+      let record_alias (mb : module_binding) =
+        match (mb.mb_id, mb.mb_expr.mod_desc) with
+        | Some id, Tmod_ident (p, _) -> Hashtbl.replace aliases (Ident.name id) (Path.name p)
+        | _ -> ()
+      in
+      let rec resolve_head depth name =
+        if depth > 8 then name
+        else
+          match String.index_opt name '.' with
+          | None -> name
+          | Some i -> (
+              let head = String.sub name 0 i in
+              let rest = String.sub name i (String.length name - i) in
+              match Hashtbl.find_opt aliases head with
+              | Some target -> resolve_head (depth + 1) (target ^ rest)
+              | None -> name)
+      in
+      let semantic_match path =
+        let n = unmangle (resolve_head 0 (Path.name path)) in
+        List.find_opt
+          (fun t -> n = t || ends_with ~suffix:("." ^ t) n)
+          semantic_types
+      in
+      (* Walk the instantiated type: the hazard may sit in a parameter
+         (Value.t list is still compared structurally). *)
+      let rec scan_type depth ty =
+        if depth <= 0 then None
+        else
+          match Types.get_desc ty with
+          | Types.Tconstr (p, params, _) -> (
+              match semantic_match p with
+              | Some _ as hit -> hit
+              | None -> List.find_map (scan_type (depth - 1)) params)
+          | Types.Ttuple ts -> List.find_map (scan_type (depth - 1)) ts
+          | _ -> None
+      in
+      let first_param ty =
+        match Types.get_desc ty with
+        | Types.Tarrow (_, a, _, _) -> Some a
+        | _ -> None
+      in
+
+      (* canonical rendering of a resolved identity, for messages *)
+      let canonical (decl, name) =
+        match decl with
+        | "stdlib.mli" -> name
+        | d -> String.capitalize_ascii (Filename.remove_extension d) ^ "." ^ name
+      in
+      let surface_of lid =
+        let rec flat = function
+          | Longident.Lident s -> [ s ]
+          | Longident.Ldot (l, s) -> flat l @ [ s ]
+          | Longident.Lapply _ -> []
+        in
+        String.concat "." (flat lid)
+      in
+
+      let check_ident (e : expression) path lid vd =
+        let decl = decl_file vd in
+        let name = Path.last path in
+        (* alias-escape: resolved identity in a guarded set, surface
+           syntax invisible to the parsetree pass *)
+        (match
+           List.find_opt
+             (fun (_, d, names) ->
+               d = decl
+               && match names with None -> true | Some ns -> List.mem name ns)
+             ident_sets
+         with
+        | Some (rule, _, _)
+          when (not (Ast_rules.flags_ident lid.Location.txt))
+               && Policy.applies policy ~rule ~file ->
+            emit ~rule:"alias-escape" e.exp_loc
+              (Fmt.str
+                 "this identifier resolves to %s (%s territory) though written as \
+                  `%s': aliasing, open and include do not evade the typed lint \
+                  \xe2\x80\x94 fix it as the %s rule directs, or allowlist with a \
+                  justification"
+                 (canonical (decl, name))
+                 rule
+                 (surface_of lid.Location.txt)
+                 rule)
+        | _ -> ());
+        (* poly-compare-abstract: a polymorphic comparison entry point
+           instantiated (applied or passed) at a semantic type *)
+        if List.mem (decl, name) poly_compare_fns then
+          match Option.bind (first_param e.exp_type) (scan_type 4) with
+          | Some semantic ->
+              let owner =
+                match String.index_opt semantic '.' with
+                | Some i -> String.sub semantic 0 i
+                | None -> semantic
+              in
+              emit ~rule:"poly-compare-abstract" e.exp_loc
+                (Fmt.str
+                   "polymorphic %s instantiated at %s: structural comparison is \
+                    representational and breaks the moment the type gains closures \
+                    or mutable internals; use %s.equal/%s.compare (semantic, \
+                    committed in the interface)"
+                   (canonical (decl, name))
+                   semantic owner owner)
+          | None -> ()
+      in
+
+      (* domain-unsafe-capture: mutations of captured state inside a
+         literal Domain.spawn closure *)
+      let closure_contains (closure : expression) (loc : Location.t) =
+        let c = closure.exp_loc in
+        loc.Location.loc_start.Lexing.pos_fname = c.Location.loc_start.Lexing.pos_fname
+        && loc.Location.loc_start.Lexing.pos_cnum >= c.Location.loc_start.Lexing.pos_cnum
+        && loc.Location.loc_end.Lexing.pos_cnum <= c.Location.loc_end.Lexing.pos_cnum
+      in
+      let capture_severity =
+        if Policy.has_prefix ~prefix:"lib/sim" file then Some Finding.Error else None
+      in
+      let flag_capture closure kind loc (target : expression) =
+        match target.exp_desc with
+        | Texp_ident (tp, _, tvd) ->
+            if not (closure_contains closure tvd.Types.val_loc) then
+              emit ?severity:capture_severity ~rule:"domain-unsafe-capture" loc
+                (Fmt.str
+                   "%s `%s' is allocated outside this Domain.spawn closure and \
+                    mutated inside it: unsynchronized cross-domain mutation is a \
+                    data race under the OCaml memory model; use Atomic, keep the \
+                    state domain-local, or pass results through Domain.join"
+                   kind (Path.last tp))
+        | _ -> ()
+      in
+      let scan_closure (closure : expression) =
+        let sub =
+          {
+            Tast_iterator.default_iterator with
+            expr =
+              (fun it e ->
+                (match e.exp_desc with
+                | Texp_apply
+                    ( { exp_desc = Texp_ident (p, _, vd); _ },
+                      (_, Some target) :: _ ) -> (
+                    let key = (decl_file vd, Path.last p) in
+                    match
+                      List.find_opt (fun (d, n, _) -> (d, n) = key) mutation_fns
+                    with
+                    | Some (_, _, kind) -> flag_capture closure kind e.exp_loc target
+                    | None -> ())
+                | Texp_setfield (target, _, lbl, _) ->
+                    flag_capture closure
+                      (Fmt.str "mutable field `%s' of record" lbl.Types.lbl_name)
+                      e.exp_loc target
+                | _ -> ());
+                Tast_iterator.default_iterator.expr it e);
+          }
+        in
+        sub.expr sub closure
+      in
+      let check_spawn (e : expression) =
+        match e.exp_desc with
+        | Texp_apply ({ exp_desc = Texp_ident (p, _, vd); _ }, args)
+          when resolve p vd = ("domain.mli", "spawn") -> (
+            match
+              List.find_map
+                (function Asttypes.Nolabel, Some a -> Some a | _ -> None)
+                args
+            with
+            | Some ({ exp_desc = Texp_function _; _ } as closure) ->
+                scan_closure closure
+            | _ -> ())
+        | _ -> ()
+      in
+
+      let it =
+        {
+          Tast_iterator.default_iterator with
+          module_binding =
+            (fun it mb ->
+              record_alias mb;
+              Tast_iterator.default_iterator.module_binding it mb);
+          expr =
+            (fun it e ->
+              (match e.exp_desc with
+              | Texp_ident (path, lid, vd) -> check_ident e path lid vd
+              | Texp_apply _ -> check_spawn e
+              | _ -> ());
+              Tast_iterator.default_iterator.expr it e);
+        }
+      in
+      (* module aliases can appear after their uses in the iterator
+         order only within mutually recursive modules; a first pass over
+         top-level structure items keeps the common case exact *)
+      List.iter
+        (fun item ->
+          match item.str_desc with
+          | Tstr_module mb -> record_alias mb
+          | Tstr_recmodule mbs -> List.iter record_alias mbs
+          | _ -> ())
+        structure.str_items;
+      it.structure it structure;
+      List.rev !findings
+  | _ -> []

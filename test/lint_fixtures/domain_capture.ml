@@ -1,0 +1,33 @@
+(* Planted: state allocated outside a [Domain.spawn] closure and
+   mutated inside it — a ref, a mutable record field, and an array
+   cell. [local_ok] is the negative control: mutation of state the
+   closure itself allocates is domain-local and not a finding. *)
+
+let racy_ref () =
+  let counter = ref 0 in
+  let d = Domain.spawn (fun () -> incr counter) in
+  Domain.join d;
+  !counter
+
+type cell = { mutable n : int }
+
+let racy_field () =
+  let c = { n = 0 } in
+  let d = Domain.spawn (fun () -> c.n <- 1) in
+  Domain.join d;
+  c.n
+
+let racy_array () =
+  let a = Array.make 4 0 in
+  let d = Domain.spawn (fun () -> a.(0) <- 7) in
+  Domain.join d;
+  a.(0)
+
+let local_ok () =
+  let d =
+    Domain.spawn (fun () ->
+        let local = ref 0 in
+        incr local;
+        !local)
+  in
+  Domain.join d

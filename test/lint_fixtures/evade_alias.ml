@@ -1,0 +1,8 @@
+(* Planted evasion: a module alias around Atomic. The parsetree rule
+   matches the literal path [Atomic.<op>], so [A.set] is invisible to
+   it; the typed pass resolves [A.set]'s value description to
+   atomic.mli and reports alias-escape. *)
+
+module A = Atomic
+
+let unlock (flag : bool A.t) = A.set flag false

@@ -1,0 +1,9 @@
+(* Planted evasion: eta-reduction and partial application through an
+   alias. [quiet_set] never syntactically applies anything — even an
+   application-sensitive surface pass has nothing to match — and the
+   partial application leaves no [Atomic.] prefix anywhere. *)
+
+module A = Atomic
+
+let quiet_set : int A.t -> int -> unit = A.set
+let arm (flag : bool A.t) = A.compare_and_set flag false

@@ -1,0 +1,13 @@
+(* Planted: polymorphic comparison entry points instantiated at
+   lib-owned semantic types, through a local module alias and inside a
+   type parameter. [fine] is the negative control: the same operators
+   at [int] are not findings. *)
+
+module V = Ffault_objects.Value
+
+let direct (a : Ffault_objects.Value.t) b = a = b
+let through_alias (a : V.t) b = compare a b
+let in_params (xs : V.t list) ys = xs = ys
+let member (v : V.t) vs = List.mem v vs
+let hashed (v : V.t) = Hashtbl.hash v
+let fine (a : int) b = a = b

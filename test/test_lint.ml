@@ -456,21 +456,25 @@ let report_fixture () =
   let fresh = finding ~rule:"obj-magic" ~file:"lib/a.ml" ~line:3 in
   let based = finding ~rule:"catch-all" ~file:"lib/b.ml" ~line:7 in
   let result =
-    { Driver.files = 2; findings = [ fresh; based ]; suppressed = [] }
+    { Driver.files = 2; typed_files = 0; findings = [ fresh; based ];
+      suppressed = []; notes = [] }
   in
   Report.make ~baseline:(Baseline.of_findings [ based ]) result
 
 let test_report_exit_codes () =
   let r = report_fixture () in
   check Alcotest.int "fresh finding fails" 1 (Report.exit_code r);
-  let clean = Report.make { Driver.files = 1; findings = []; suppressed = [] } in
+  let clean =
+    Report.make
+      { Driver.files = 1; typed_files = 0; findings = []; suppressed = []; notes = [] }
+  in
   check Alcotest.int "clean passes" 0 (Report.exit_code clean);
   let all_baselined =
     Report.make
       ~baseline:(Baseline.of_findings [ finding ~rule:"obj-magic" ~file:"lib/a.ml" ~line:3 ])
-      { Driver.files = 1;
+      { Driver.files = 1; typed_files = 0;
         findings = [ finding ~rule:"obj-magic" ~file:"lib/a.ml" ~line:3 ];
-        suppressed = [] }
+        suppressed = []; notes = [] }
   in
   check Alcotest.int "baselined does not fail" 0 (Report.exit_code all_baselined)
 
@@ -479,7 +483,16 @@ let test_report_text () =
   check Alcotest.bool "grep-able location" true
     (contains ~sub:"lib/a.ml:3:0: error obj-magic" text);
   check Alcotest.bool "baselined tagged" true (contains ~sub:"[baselined]" text);
-  check Alcotest.bool "summary line" true (contains ~sub:"2 files checked" text)
+  check Alcotest.bool "summary line" true (contains ~sub:"2 files checked" text);
+  let with_notes =
+    Report.make
+      { Driver.files = 3; typed_files = 2; findings = []; suppressed = [];
+        notes = [ ("lib/x.ml", "cmt stale; typed rules skipped") ] }
+  in
+  let text = Report.to_text with_notes in
+  check Alcotest.bool "typed count in summary" true (contains ~sub:"(2 typed)" text);
+  check Alcotest.bool "note rendered" true
+    (contains ~sub:"lib/x.ml:1: note: cmt stale" text)
 
 let test_report_json () =
   let json = Report.to_json (report_fixture ()) in
@@ -495,7 +508,10 @@ let test_report_json () =
         (fun key ->
           check Alcotest.bool (Fmt.str "finding has %s" key) true
             (Json.member key f <> None))
-        [ "rule"; "severity"; "file"; "line"; "col"; "message"; "baselined" ];
+        [ "rule"; "layer"; "severity"; "file"; "line"; "col"; "message"; "baselined" ];
+      check Alcotest.string "findings carry their layer" "ast"
+        (Option.get (Option.bind (Json.member "layer" f) Json.get_str));
+      check Alcotest.bool "typed object present" true (Json.member "typed" j <> None);
       let summary = Option.get (Json.member "summary" j) in
       check Alcotest.int "summary.fresh" 1
         (Option.get (Option.bind (Json.member "fresh" summary) Json.get_int));
@@ -506,14 +522,234 @@ let test_report_json () =
 (* ---- the lint on this repo's own invariants ---- *)
 
 let test_rule_registry () =
-  check Alcotest.int "eight substantive rules" 8 (List.length Lint.Rule.substantive);
+  check Alcotest.int "eleven substantive rules" 11 (List.length Lint.Rule.substantive);
   List.iter
     (fun name ->
       check Alcotest.bool (Fmt.str "%s registered" name) true (Lint.Rule.find name <> None))
     [ "raw-atomic"; "nondeterminism"; "toplevel-mutable"; "io-in-lib"; "catch-all";
-      "mli-required"; "obj-magic"; "effect-discipline" ];
+      "mli-required"; "obj-magic"; "effect-discipline"; "poly-compare-abstract";
+      "alias-escape"; "domain-unsafe-capture" ];
   check Alcotest.bool "parse-error is meta" true (Lint.Rule.is_meta "parse-error");
+  check Alcotest.bool "cmt-missing is meta" true (Lint.Rule.is_meta "cmt-missing");
   check Alcotest.bool "raw-atomic is not" false (Lint.Rule.is_meta "raw-atomic")
+
+let test_rule_metadata () =
+  (* the metadata behind --explain: every rule carries it *)
+  List.iter
+    (fun (r : Lint.Rule.t) ->
+      check Alcotest.bool (Fmt.str "%s has a rationale" r.Lint.Rule.name) true
+        (String.length r.Lint.Rule.rationale > 0);
+      check Alcotest.bool (Fmt.str "%s has an example" r.Lint.Rule.name) true
+        (String.length r.Lint.Rule.example > 0))
+    Lint.Rule.all;
+  check Alcotest.string "poly-compare is typed-layer" "typed"
+    (Lint.Rule.layer_to_string (Lint.Rule.layer "poly-compare-abstract"));
+  check Alcotest.string "mli-required is fs-layer" "fs"
+    (Lint.Rule.layer_to_string (Lint.Rule.layer "mli-required"));
+  check Alcotest.string "raw-atomic is ast-layer" "ast"
+    (Lint.Rule.layer_to_string (Lint.Rule.layer "raw-atomic"))
+
+(* ---- typed pass: the planted-evasion fixture corpus ----
+
+   test/lint_fixtures is compiled as a library the test binary depends
+   on, so dune guarantees fresh cmts under the test cwd
+   (_build/default/test). Each test asserts BOTH halves of the claim:
+   the parsetree pass misses the planted construct, the typed pass
+   catches it. Fixture paths are remapped into lib/ because the typed
+   rules' policy scoping keys on the reported file. *)
+
+module Cmt_loader = Lint.Cmt_loader
+module Typed_rules = Lint.Typed_rules
+
+let fixture_src name = "lint_fixtures/" ^ name ^ ".ml"
+
+let fixture_cmt name =
+  match Cmt_loader.create ~build_dir:"." () with
+  | None -> Alcotest.fail "no built tree next to the test binary"
+  | Some l -> (
+      match Cmt_loader.for_source l (fixture_src name) with
+      | Cmt_loader.Typed cmt -> cmt
+      | status ->
+          Alcotest.fail
+            (Option.value
+               ~default:(Fmt.str "fixture cmt unusable for %s" name)
+               (Cmt_loader.describe ~build_dir:"." status)))
+
+let read_fixture name =
+  In_channel.with_open_text (fixture_src name) In_channel.input_all
+
+let typed_findings ~file name = Typed_rules.check ~file (fixture_cmt name)
+
+let count_typed rule fs =
+  List.length (List.filter (fun (f : Finding.t) -> f.Finding.rule = rule) fs)
+
+(* the parsetree pass, run over the fixture's own source under a fake
+   lib path, must report nothing for [rules] — that is what makes the
+   fixture an *evasion* *)
+let assert_parsetree_misses ~fake ~rules name =
+  let o = lint ~file:fake (read_fixture name) in
+  List.iter
+    (fun r ->
+      check Alcotest.int (Fmt.str "%s: parsetree misses %s" name r) 0 (count_rule r o))
+    rules
+
+let test_evasion_alias () =
+  assert_parsetree_misses ~fake:"lib/consensus/evade_alias.ml"
+    ~rules:[ "raw-atomic"; "alias-escape" ] "evade_alias";
+  let fs = typed_findings ~file:"lib/consensus/evade_alias.ml" "evade_alias" in
+  check Alcotest.int "typed catches the aliased Atomic.set" 1
+    (count_typed "alias-escape" fs);
+  let f = List.hd fs in
+  check Alcotest.bool "message names the resolved identity" true
+    (contains ~sub:"Atomic.set" f.Finding.message);
+  check Alcotest.bool "message names the surface syntax" true
+    (contains ~sub:"A.set" f.Finding.message)
+
+let test_evasion_open () =
+  assert_parsetree_misses ~fake:"lib/sim/evade_open.ml"
+    ~rules:[ "nondeterminism"; "alias-escape" ] "evade_open";
+  let fs = typed_findings ~file:"lib/sim/evade_open.ml" "evade_open" in
+  check Alcotest.int "typed catches the bare Random.int" 1
+    (count_typed "alias-escape" fs);
+  (* the underlying rule's policy still applies: nondeterminism is not
+     active outside the deterministic dirs, so neither is its escape *)
+  let fs = typed_findings ~file:"lib/campaign/evade_open.ml" "evade_open" in
+  check Alcotest.int "out of the underlying rule's scope" 0
+    (count_typed "alias-escape" fs)
+
+let test_evasion_eta () =
+  assert_parsetree_misses ~fake:"lib/consensus/evade_eta.ml"
+    ~rules:[ "raw-atomic"; "alias-escape" ] "evade_eta";
+  let fs = typed_findings ~file:"lib/consensus/evade_eta.ml" "evade_eta" in
+  check Alcotest.int "eta-reduced + partial application both caught" 2
+    (count_typed "alias-escape" fs)
+
+let test_poly_compare_fixture () =
+  assert_parsetree_misses ~fake:"lib/hoare/poly_compare.ml"
+    ~rules:[ "poly-compare-abstract" ] "poly_compare";
+  let fs = typed_findings ~file:"lib/hoare/poly_compare.ml" "poly_compare" in
+  (* direct =, aliased compare, = at Value.t list, List.mem,
+     Hashtbl.hash — and NOT the int-typed negative control *)
+  check Alcotest.int "five instantiations at Value.t" 5
+    (count_typed "poly-compare-abstract" fs);
+  let f = List.hd (List.filter (fun (f : Finding.t) -> f.Finding.rule = "poly-compare-abstract") fs) in
+  check Alcotest.bool "message points at the semantic API" true
+    (contains ~sub:"Value.equal" f.Finding.message)
+
+let test_domain_capture_fixture () =
+  let fs = typed_findings ~file:"lib/campaign/domain_capture.ml" "domain_capture" in
+  let hits = List.filter (fun (f : Finding.t) -> f.Finding.rule = "domain-unsafe-capture") fs in
+  (* ref, mutable field, array cell — and NOT the closure-local ref *)
+  check Alcotest.int "three captured mutations" 3 (List.length hits);
+  List.iter
+    (fun (f : Finding.t) ->
+      check Alcotest.string "warning outside lib/sim" "warning"
+        (Finding.severity_to_string f.Finding.severity))
+    hits;
+  let fs = typed_findings ~file:"lib/sim/domain_capture.ml" "domain_capture" in
+  List.iter
+    (fun (f : Finding.t) ->
+      check Alcotest.string "error under lib/sim" "error"
+        (Finding.severity_to_string f.Finding.severity))
+    (List.filter (fun (f : Finding.t) -> f.Finding.rule = "domain-unsafe-capture") fs)
+
+let test_typed_findings_suppressible () =
+  (* typed findings merge before suppression, so the existing
+     [@@@ffault.lint.allow] machinery covers them unchanged *)
+  let src = "[@@@ffault.lint.allow \"alias-escape\", \"audited escape\"]\nlet x = 1\n" in
+  let typed = [ finding ~rule:"alias-escape" ~file:"lib/sim/a.ml" ~line:2 ] in
+  let o = Driver.lint_impl_source ~policy:Policy.default ~typed ~file:"lib/sim/a.ml" src in
+  check Alcotest.int "typed finding suppressed" 0 (count_rule "alias-escape" o);
+  check Alcotest.int "suppression recorded" 1 (List.length o.Driver.suppressed)
+
+(* ---- cmt loader: freshness and graceful degradation ---- *)
+
+let copy_binary src dst =
+  Ffault_campaign.Checkpoint.mkdir_p (Filename.dirname dst);
+  let bytes = In_channel.with_open_bin src In_channel.input_all in
+  Out_channel.with_open_bin dst (fun oc -> output_string oc bytes)
+
+let fixture_cmt_path name =
+  Fmt.str "lint_fixtures/.ffault_lint_fixtures.objs/byte/ffault_lint_fixtures__%s.cmt"
+    (String.capitalize_ascii name)
+
+(* a tmp repo layout whose lib/sim/evade_alias.ml matches the built
+   fixture cmt byte-for-byte *)
+let staleness_root () =
+  let root = tmp_root () in
+  let src = Filename.concat root "lib/sim/evade_alias.ml" in
+  write_file src (read_fixture "evade_alias");
+  write_file (Filename.concat root "lib/sim/evade_alias.mli") "";
+  let bld = Filename.concat root "bld" in
+  copy_binary
+    (fixture_cmt_path "evade_alias")
+    (Filename.concat bld "lib/sim/.fix.objs/byte/fix__Evade_alias.cmt");
+  (root, src, bld)
+
+let test_cmt_loader_fresh_then_stale () =
+  let _, src, bld = staleness_root () in
+  let l = Option.get (Cmt_loader.create ~build_dir:bld ()) in
+  (match Cmt_loader.for_source l src with
+  | Cmt_loader.Typed _ -> ()
+  | s ->
+      Alcotest.fail
+        (Option.value ~default:"not fresh" (Cmt_loader.describe ~build_dir:bld s)));
+  (* edit the source after the build: the digest no longer matches *)
+  write_file src (read_fixture "evade_alias" ^ "\nlet edited_after_build = ()\n");
+  match Cmt_loader.for_source l src with
+  | Cmt_loader.Stale m ->
+      check Alcotest.bool "says the source changed" true (contains ~sub:"source changed" m)
+  | _ -> Alcotest.fail "expected Stale"
+
+let test_cmt_stale_degrades_to_note () =
+  let root, src, bld = staleness_root () in
+  write_file src (read_fixture "evade_alias" ^ "\nlet edited_after_build = ()\n");
+  (* auto: a per-file note, never a failure, and no typed findings from
+     the stale tree *)
+  let r = Driver.run ~policy:Policy.default ~typed:Driver.Typed_auto ~build_dir:bld [ root ] in
+  check Alcotest.int "no typed findings from a stale cmt" 0
+    (List.length
+       (List.filter (fun (f : Finding.t) -> f.Finding.rule = "alias-escape") r.Driver.findings));
+  check Alcotest.int "no cmt-missing under auto" 0
+    (List.length
+       (List.filter (fun (f : Finding.t) -> f.Finding.rule = "cmt-missing") r.Driver.findings));
+  (match r.Driver.notes with
+  | [ (file, msg) ] ->
+      check Alcotest.bool "note names the file" true (contains ~sub:"evade_alias.ml" file);
+      check Alcotest.bool "note says why" true (contains ~sub:"source changed" msg)
+  | notes -> Alcotest.fail (Fmt.str "expected one note, got %d" (List.length notes)));
+  (* on: the same degradation is a finding — CI fails loudly *)
+  let r = Driver.run ~policy:Policy.default ~typed:Driver.Typed_on ~build_dir:bld [ root ] in
+  check Alcotest.int "cmt-missing under on" 1
+    (List.length
+       (List.filter (fun (f : Finding.t) -> f.Finding.rule = "cmt-missing") r.Driver.findings))
+
+let test_cmt_fresh_via_driver () =
+  (* with an untouched source the driver runs the typed rules off the
+     copied cmt and surfaces the planted escape *)
+  let root, _, bld = staleness_root () in
+  let r = Driver.run ~policy:Policy.default ~typed:Driver.Typed_auto ~build_dir:bld [ root ] in
+  check Alcotest.int "typed pass covered the file" 1 r.Driver.typed_files;
+  check Alcotest.int "planted escape surfaced" 1
+    (List.length
+       (List.filter (fun (f : Finding.t) -> f.Finding.rule = "alias-escape") r.Driver.findings))
+
+(* ---- baseline prune ---- *)
+
+let test_baseline_prune () =
+  let root = tmp_root () in
+  let file = Filename.concat root "keep.ml" in
+  write_file file body;
+  let live = finding ~rule:"raw-atomic" ~file ~line:3 in
+  let dead =
+    { Baseline.rule = "io-in-lib"; file = "lib/gone.ml"; line = 9; ctx = None; note = "" }
+  in
+  let base = Baseline.of_findings [ live ] @ [ dead ] in
+  let kept, dropped = Baseline.prune base [ live ] in
+  check Alcotest.int "one dropped" 1 (List.length dropped);
+  check Alcotest.int "one kept" 1 (List.length kept);
+  check Alcotest.string "kept the live entry" "raw-atomic" (List.hd kept).Baseline.rule;
+  check Alcotest.string "dropped the dead entry" "io-in-lib" (List.hd dropped).Baseline.rule
 
 let suites =
   [
@@ -537,6 +773,20 @@ let suites =
         Alcotest.test_case "mli-required" `Quick test_mli_required;
         Alcotest.test_case "parse-error" `Quick test_parse_error;
         Alcotest.test_case "registry" `Quick test_rule_registry;
+        Alcotest.test_case "rule metadata" `Quick test_rule_metadata;
+      ] );
+    ( "lint.typed",
+      [
+        Alcotest.test_case "evasion: alias" `Quick test_evasion_alias;
+        Alcotest.test_case "evasion: open" `Quick test_evasion_open;
+        Alcotest.test_case "evasion: eta/partial" `Quick test_evasion_eta;
+        Alcotest.test_case "poly-compare fixture" `Quick test_poly_compare_fixture;
+        Alcotest.test_case "domain-capture fixture" `Quick test_domain_capture_fixture;
+        Alcotest.test_case "typed findings suppressible" `Quick
+          test_typed_findings_suppressible;
+        Alcotest.test_case "loader fresh then stale" `Quick test_cmt_loader_fresh_then_stale;
+        Alcotest.test_case "stale degrades to note" `Quick test_cmt_stale_degrades_to_note;
+        Alcotest.test_case "fresh cmt via driver" `Quick test_cmt_fresh_via_driver;
       ] );
     ( "lint.suppress",
       [
@@ -567,6 +817,7 @@ let suites =
           test_baseline_fuzzy_edit_resurfaces;
         Alcotest.test_case "fuzzy: line tiebreak" `Quick test_baseline_fuzzy_line_tiebreak;
         Alcotest.test_case "v1 compat" `Quick test_baseline_v1_compat;
+        Alcotest.test_case "prune" `Quick test_baseline_prune;
       ] );
     ( "lint.report",
       [
