@@ -1,6 +1,6 @@
 # Convenience targets for the ffault reproduction.
 
-.PHONY: all build test lint lint-json lint-baseline lint-prune experiments experiments-quick bench bench-smoke examples campaign-smoke chaos-smoke dist-chaos-smoke netsim-smoke check clean
+.PHONY: all build test lint lint-json lint-baseline lint-prune experiments experiments-quick bench bench-smoke examples campaign-smoke chaos-smoke dist-chaos-smoke coord-chaos-smoke netsim-smoke check clean
 
 all: build
 
@@ -35,7 +35,7 @@ lint-prune:
 	dune exec bin/main.exe -- lint --typed=on --baseline lint-baseline.json --prune-baseline
 
 # The full local gate: what CI runs, minus the artifact uploads.
-check: build test lint campaign-smoke chaos-smoke dist-chaos-smoke netsim-smoke
+check: build test lint campaign-smoke chaos-smoke dist-chaos-smoke coord-chaos-smoke netsim-smoke
 
 experiments:
 	dune exec bin/main.exe -- experiment
@@ -82,18 +82,35 @@ chaos-smoke:
 dist-chaos-smoke:
 	sh scripts/dist_chaos_smoke.sh
 
+# Coordinator failover end to end: SIGKILL the live coordinator
+# mid-campaign, `serve --resume` it as the next epoch, and assert the
+# exactly-once journal plus every worker reattaching through its
+# reconnect backoff without a process restart.
+coord-chaos-smoke:
+	sh scripts/coord_chaos_smoke.sh
+
+# The fencing self-test sweep stops at its first catch (seed 2 hits at
+# schedule 7); the 50-schedule bound is headroom, not the usual cost.
+FENCING_SEED = 2
+FENCING_SCHEDULES = 50
+
 # Deterministic simulation of the distributed layer: a few hundred
 # seed-derived fault schedules (drops, dups, reordering, partitions,
-# crashes) against the real coordinator engine; any exactly-once
-# violation fails the target, printing a shrunk reproducer. Also
-# self-tests the search by planting the lease-retirement bug and
-# requiring it to be caught.
+# worker AND coordinator crashes) against the real coordinator engine;
+# any exactly-once violation fails the target, printing a shrunk
+# reproducer. Also self-tests the search by planting two bugs — lease
+# retirement without a journal check, and trusting stale-epoch
+# Completes from a dead incarnation — and requiring both to be caught.
 netsim-smoke:
 	dune exec bin/main.exe -- netsim --schedules 300 --seed 7
 	@echo "-- planted-bug self-test (expected to catch a violation) --"
 	@if dune exec bin/main.exe -- netsim --schedules 50 --seed 7 --break-complete; then \
 	  echo "netsim-smoke: planted bug NOT caught"; exit 1; \
 	else echo "netsim-smoke: planted bug caught and shrunk (expected)"; fi
+	@echo "-- planted fencing-bug self-test (expected to catch a violation) --"
+	@if dune exec bin/main.exe -- netsim --schedules $(FENCING_SCHEDULES) --seed $(FENCING_SEED) --break-fencing; then \
+	  echo "netsim-smoke: planted fencing bug NOT caught"; exit 1; \
+	else echo "netsim-smoke: planted fencing bug caught and shrunk (expected)"; fi
 
 clean:
 	dune clean

@@ -904,15 +904,19 @@ let worker_cmd =
         match
           Dist.Worker.run
             ~on_event:(fun m -> if not quiet then Fmt.epr "[worker] %s@." m)
+            ~on_warn:(fun m -> Fmt.epr "[worker] warn: %s@." m)
             ?trace_path:trace cfg
         with
         | Error m ->
             Fmt.epr "error: %s@." m;
             1
         | Ok s ->
-            Fmt.pr "worker %s: %d lease(s), %d trial(s) run, %d already journaled — %s@."
+            Fmt.pr
+              "worker %s: %d lease(s), %d trial(s) run, %d already journaled, \
+               %d reconnect(s) — %s@."
               cfg.Dist.Worker.name s.Dist.Worker.leases_run s.Dist.Worker.trials_run
-              s.Dist.Worker.trials_skipped s.Dist.Worker.stop_reason;
+              s.Dist.Worker.trials_skipped s.Dist.Worker.reconnects
+              s.Dist.Worker.stop_reason;
             Option.iter (fun path -> Fmt.pr "trace: %s@." path) trace;
             0)
   in
@@ -1313,6 +1317,14 @@ let netsim_cmd =
     in
     Arg.(value & flag & info [ "break-complete" ] ~doc)
   in
+  let break_fencing_arg =
+    let doc =
+      "Plant the epoch-fencing bug (trust a stale-epoch Complete from a \
+       previous coordinator incarnation) — a self-test that the search \
+       catches and shrinks a coordinator-crash violation."
+    in
+    Arg.(value & flag & info [ "break-fencing" ] ~doc)
+  in
   let pp_violation_report (v : Netsim.Search.report) ~seed_cli =
     Fmt.pr "@.VIOLATION at schedule %d (seed %Ld): %s@." v.Netsim.Search.s_index
       v.Netsim.Search.s_seed
@@ -1329,10 +1341,11 @@ let netsim_cmd =
       seed_cli v.Netsim.Search.s_index
   in
   let run schedules seed workers trials lease_trials schedule print_trace
-      break_complete =
+      break_complete break_fencing =
     let config =
       Netsim.Sim.config ~workers ~trials ~lease_trials
-        ~verify_complete:(not break_complete) ()
+        ~verify_complete:(not break_complete)
+        ~fence_epochs:(not break_fencing) ()
     in
     let root = Int64.of_int seed in
     match schedule with
@@ -1382,7 +1395,8 @@ let netsim_cmd =
   Cmd.v (Cmd.info "netsim" ~doc)
     Term.(
       const run $ schedules_arg $ seed_arg $ workers_arg $ trials_arg
-      $ lease_trials_arg $ schedule_arg $ print_trace_arg $ break_complete_arg)
+      $ lease_trials_arg $ schedule_arg $ print_trace_arg $ break_complete_arg
+      $ break_fencing_arg)
 
 let main_cmd =
   let doc = "reproduction of \"Functional Faults\" (Sheffi & Petrank, 2020)" in

@@ -2,11 +2,13 @@ let manifest_file = "manifest.json"
 let journal_file = "journal.jsonl"
 let telemetry_file = "telemetry.json"
 let workers_file = "workers.json"
+let owner_file = "owner.json"
 
 let manifest_path ~dir = Filename.concat dir manifest_file
 let journal_path ~dir = Filename.concat dir journal_file
 let telemetry_path ~dir = Filename.concat dir telemetry_file
 let workers_path ~dir = Filename.concat dir workers_file
+let owner_path ~dir = Filename.concat dir owner_file
 let campaign_dir ~root spec = Filename.concat root spec.Spec.name
 
 let rec mkdir_p dir =
@@ -43,6 +45,39 @@ let load_manifest ~dir =
     match In_channel.with_open_text path In_channel.input_all with
     | text -> Result.bind (Json.of_string (String.trim text)) Spec.of_json
     | exception Sys_error m -> Error m
+
+(* ---- journal ownership (coordinator incarnations) ---- *)
+
+let load_epoch ~dir =
+  match In_channel.with_open_text (owner_path ~dir) In_channel.input_all with
+  | text -> (
+      match Json.of_string (String.trim text) with
+      | Ok j -> (
+          match Option.bind (Json.member "epoch" j) Json.get_int with
+          | Some e when e > 0 -> e
+          | Some _ | None -> 0)
+      | Error _ -> 0)
+  | exception Sys_error _ -> 0
+
+(* Epochs are strictly increasing across incarnations and start at 1;
+   an unreadable or torn owner file counts as epoch 0 (never owned), so
+   a first claim after corruption still fences every older grant. The
+   write is atomic — a crash mid-claim leaves the previous owner file,
+   and the next claim bumps past it again. *)
+let claim_ownership ~dir =
+  mkdir_p dir;
+  let epoch = load_epoch ~dir + 1 in
+  write_atomic ~path:(owner_path ~dir)
+    (Json.to_string
+       (Json.Obj
+          [
+            ("version", Json.Int 1);
+            ("epoch", Json.Int epoch);
+            ("pid", Json.Int (Unix.getpid ()));
+            ("claimed_at", Json.Float (Unix.gettimeofday ()));
+          ])
+    ^ "\n");
+  epoch
 
 (* ---- resume state ---- *)
 

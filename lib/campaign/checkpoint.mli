@@ -20,6 +20,11 @@ val workers_path : dir:string -> string
     renders it as the report's Workers section. Absent on
     single-process campaigns. *)
 
+val owner_path : dir:string -> string
+(** [owner.json] — the journal-ownership record of the distributed
+    coordinator: which incarnation (epoch) currently owns the right to
+    append. Absent on single-process campaigns. *)
+
 val mkdir_p : string -> unit
 
 val write_atomic : path:string -> string -> unit
@@ -34,6 +39,20 @@ val save_manifest : dir:string -> Spec.t -> unit
     ({!write_atomic}). *)
 
 val load_manifest : dir:string -> (Spec.t, string) result
+
+(** {2 Journal ownership} *)
+
+val load_epoch : dir:string -> int
+(** The epoch recorded in [owner.json]; 0 when the file is absent,
+    torn, or carries no positive epoch — "never owned". *)
+
+val claim_ownership : dir:string -> int
+(** Take (or re-take) journal ownership: bump the recorded epoch by one
+    and persist it via {!write_atomic}, returning the new epoch
+    (strictly positive, strictly increasing across claims). A restarted
+    coordinator claims before serving, so every grant it makes carries
+    an epoch no previous incarnation ever used — the fencing token of
+    recoverable-consensus-style crash recovery. *)
 
 (** {2 Resume state} *)
 

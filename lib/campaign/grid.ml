@@ -70,7 +70,7 @@ let in_envelope cell protocol =
     if protocol.Protocol.name = "silent-retry" then Fault_kind.Silent
     else Fault_kind.Overriding
   in
-  cell.kind = covered_kind
+  Fault_kind.equal cell.kind covered_kind
   &&
   let params = Protocol.params ?t:cell.t ~n_procs:cell.n ~f:cell.f () in
   protocol.Protocol.in_envelope params

@@ -283,6 +283,21 @@ let workers_markdown json =
               (if expired > 0 then " and reassigned" else "")
         | None -> ""
       in
+      (* coordinator incarnation (workers.json with epoch fencing):
+         anything past epoch 1 means the coordinator crashed and a
+         restart recovered the campaign from the journal — worth a line
+         in the human report. Absent on older artifacts. *)
+      let incarnation =
+        match Option.bind json (int_of "epoch") with
+        | Some epoch when epoch > 1 ->
+            let restarts =
+              match Option.bind json (int_of "restarts") with Some r -> r | None -> epoch - 1
+            in
+            Fmt.str
+              "Coordinator epoch %d: %d restart(s) recovered from the journal.@.@."
+              epoch restarts
+        | _ -> ""
+      in
       (* fleet-wide counters (workers.json v2): per-worker snapshots
          summed by the coordinator — absent on pre-observability
          artifacts, and then so is this table *)
@@ -298,7 +313,7 @@ let workers_markdown json =
             Fmt.str "@.### Fleet telemetry@.@.%s" (Table.to_string ft)
         | _ -> ""
       in
-      Fmt.str "@.## Workers@.@.%s%s%s" leases (Table.to_string t) fleet
+      Fmt.str "@.## Workers@.@.%s%s%s%s" incarnation leases (Table.to_string t) fleet
   | _ -> ""
 
 (* Rendered only when there is something to say: an all-healthy

@@ -56,7 +56,7 @@ let validate spec =
         then err "bounded t values must be >= 1"
         else if spec.n_values = [] then err "empty n list"
         else if List.exists (fun n -> n < 1) spec.n_values then err "n values must be >= 1"
-        else if spec.kinds = [] then err "empty fault-kind list"
+        else if List.is_empty spec.kinds then err "empty fault-kind list"
         else if spec.rates = [] then err "empty rate list"
         else if List.exists (fun r -> r < 0.0 || r > 1.0) spec.rates then
           err "rates must lie in [0, 1]"

@@ -13,17 +13,18 @@ let no_supervision =
   { deadline_s = None; max_retries = 2; quarantine_after = 3; adaptive_deadline = false }
 
 type msg =
-  | Hello of { version : int; name : string; domains : int }
+  | Hello of { version : int; name : string; domains : int; last_epoch : int }
   | Welcome of {
       version : int;
+      epoch : int;
       spec : Spec.t;
       supervision : supervision;
       hb_interval_s : float;
     }
   | Request
-  | Lease of { lease : int; lo : int; hi : int; done_ids : int list }
+  | Lease of { lease : int; epoch : int; lo : int; hi : int; done_ids : int list }
   | Result of Journal.record
-  | Complete of { lease : int }
+  | Complete of { lease : int; epoch : int }
   | Heartbeat of { snapshot : Json.t option; spans : Json.t option }
   | Wait of { seconds : float }
   | Bye of { reason : string }
@@ -70,17 +71,19 @@ let supervision_of_json j =
   }
 
 let payload_of = function
-  | Hello { version; name; domains } ->
+  | Hello { version; name; domains; last_epoch } ->
       Json.Obj
         [
           ("version", Json.Int version);
           ("name", Json.Str name);
           ("domains", Json.Int domains);
+          ("last_epoch", Json.Int last_epoch);
         ]
-  | Welcome { version; spec; supervision; hb_interval_s } ->
+  | Welcome { version; epoch; spec; supervision; hb_interval_s } ->
       Json.Obj
         [
           ("version", Json.Int version);
+          ("epoch", Json.Int epoch);
           ("spec", Spec.to_json spec);
           ("supervision", supervision_to_json supervision);
           ("hb_interval_s", Json.Float hb_interval_s);
@@ -92,16 +95,18 @@ let payload_of = function
       Json.Obj
         ((match snapshot with Some s -> [ ("snapshot", s) ] | None -> [])
         @ match spans with Some s -> [ ("spans", s) ] | None -> [])
-  | Lease { lease; lo; hi; done_ids } ->
+  | Lease { lease; epoch; lo; hi; done_ids } ->
       Json.Obj
         [
           ("lease", Json.Int lease);
+          ("epoch", Json.Int epoch);
           ("lo", Json.Int lo);
           ("hi", Json.Int hi);
           ("done", Json.List (List.map (fun i -> Json.Int i) done_ids));
         ]
   | Result r -> Journal.to_json r
-  | Complete { lease } -> Json.Obj [ ("lease", Json.Int lease) ]
+  | Complete { lease; epoch } ->
+      Json.Obj [ ("lease", Json.Int lease); ("epoch", Json.Int epoch) ]
   | Wait { seconds } -> Json.Obj [ ("seconds", Json.Float seconds) ]
   | Bye { reason } -> Json.Obj [ ("reason", Json.Str reason) ]
 
@@ -114,6 +119,13 @@ let field name get j =
   | Some v -> Ok v
   | None -> Error (Printf.sprintf "codec: missing or malformed %S" name)
 
+(* Epoch fields default to 0 when absent, so pre-failover frames keep
+   decoding: 0 is "no incarnation" — a coordinator's epochs start at 1,
+   and a 0 on the wire is simply always-stale (fenced, then repaired by
+   the reconcile-at-request rule rather than trusted). *)
+let epoch_field name j =
+  match Option.bind (Json.member name j) Json.get_int with Some e -> e | None -> 0
+
 let of_frame { Wire.tag; payload } =
   let* j = Json.of_string payload in
   match tag with
@@ -121,7 +133,7 @@ let of_frame { Wire.tag; payload } =
       let* version = field "version" Json.get_int j in
       let* name = field "name" Json.get_str j in
       let* domains = field "domains" Json.get_int j in
-      Ok (Hello { version; name; domains })
+      Ok (Hello { version; name; domains; last_epoch = epoch_field "last_epoch" j })
   | 'w' ->
       let* version = field "version" Json.get_int j in
       let* spec_json = field "spec" Option.some j in
@@ -130,7 +142,13 @@ let of_frame { Wire.tag; payload } =
       let* hb_interval_s = field "hb_interval_s" Json.get_float j in
       Ok
         (Welcome
-           { version; spec; supervision = supervision_of_json sup_json; hb_interval_s })
+           {
+             version;
+             epoch = epoch_field "epoch" j;
+             spec;
+             supervision = supervision_of_json sup_json;
+             hb_interval_s;
+           })
   | 'r' -> Ok Request
   | 'l' ->
       let* lease = field "lease" Json.get_int j in
@@ -140,13 +158,13 @@ let of_frame { Wire.tag; payload } =
       let done_ids = List.filter_map Json.get_int done_list in
       if List.length done_ids <> List.length done_list then
         Error "codec: non-integer trial id in done list"
-      else Ok (Lease { lease; lo; hi; done_ids })
+      else Ok (Lease { lease; epoch = epoch_field "epoch" j; lo; hi; done_ids })
   | 'R' ->
       let* r = Journal.of_json j in
       Ok (Result r)
   | 'c' ->
       let* lease = field "lease" Json.get_int j in
-      Ok (Complete { lease })
+      Ok (Complete { lease; epoch = epoch_field "epoch" j })
   | 'b' ->
       (* legacy beats carry "{}"; new ones may piggyback a telemetry
          snapshot and a span batch — both optional either way *)
@@ -160,15 +178,17 @@ let of_frame { Wire.tag; payload } =
   | c -> Error (Printf.sprintf "codec: unknown message tag %C" c)
 
 let pp ppf = function
-  | Hello { version; name; domains } ->
-      Fmt.pf ppf "hello v%d %s (%d domains)" version name domains
-  | Welcome { version; hb_interval_s; _ } ->
-      Fmt.pf ppf "welcome v%d (heartbeat every %gs)" version hb_interval_s
+  | Hello { version; name; domains; last_epoch } ->
+      Fmt.pf ppf "hello v%d %s (%d domains)%s" version name domains
+        (if last_epoch > 0 then Fmt.str " last epoch %d" last_epoch else "")
+  | Welcome { version; epoch; hb_interval_s; _ } ->
+      Fmt.pf ppf "welcome v%d epoch %d (heartbeat every %gs)" version epoch hb_interval_s
   | Request -> Fmt.string ppf "request"
-  | Lease { lease; lo; hi; done_ids } ->
-      Fmt.pf ppf "lease #%d [%d,%d) (%d already done)" lease lo hi (List.length done_ids)
+  | Lease { lease; epoch; lo; hi; done_ids } ->
+      Fmt.pf ppf "lease #%d@%d [%d,%d) (%d already done)" lease epoch lo hi
+        (List.length done_ids)
   | Result r -> Fmt.pf ppf "result trial %d" r.Journal.trial
-  | Complete { lease } -> Fmt.pf ppf "complete #%d" lease
+  | Complete { lease; epoch } -> Fmt.pf ppf "complete #%d@%d" lease epoch
   | Heartbeat { snapshot; spans } ->
       Fmt.pf ppf "heartbeat%s%s"
         (if snapshot <> None then "+telemetry" else "")

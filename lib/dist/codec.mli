@@ -24,20 +24,33 @@ type supervision = {
 val no_supervision : supervision
 
 type msg =
-  | Hello of { version : int; name : string; domains : int }
-      (** worker → coordinator, first frame of a connection *)
+  | Hello of { version : int; name : string; domains : int; last_epoch : int }
+      (** worker → coordinator, first frame of a connection.
+          [last_epoch] is the coordinator incarnation the worker last
+          spoke to (0 on a first connect), so a restarted coordinator
+          can tell a returning worker from a fresh one. *)
   | Welcome of {
       version : int;
+      epoch : int;  (** this coordinator incarnation (from [owner.json]) *)
       spec : Spec.t;
       supervision : supervision;
       hb_interval_s : float;  (** how often the worker must heartbeat *)
     }  (** coordinator → worker, accepting the hello *)
   | Request  (** worker → coordinator: give me a lease *)
-  | Lease of { lease : int; lo : int; hi : int; done_ids : int list }
+  | Lease of { lease : int; epoch : int; lo : int; hi : int; done_ids : int list }
       (** coordinator → worker: run trials [\[lo, hi)] minus [done_ids]
-          (already journaled — set on re-leases after a worker death) *)
+          (already journaled — set on re-leases after a worker death).
+          [epoch] is the granting incarnation; the worker echoes it on
+          the matching [Complete] so a post-restart coordinator can
+          fence grants it never made. *)
   | Result of Journal.record  (** worker → coordinator, one per trial *)
-  | Complete of { lease : int }  (** worker → coordinator: lease finished *)
+  | Complete of { lease : int; epoch : int }
+      (** worker → coordinator: lease finished. [epoch] is the grant's
+          epoch, not the current one — a [Complete] whose epoch is not
+          the coordinator's own incarnation is fenced (the journal, not
+          a stale incarnation's bookkeeping, decides the shard's fate).
+          Epoch fields are optional on the wire and default to 0, so
+          pre-failover frames still decode. *)
   | Heartbeat of { snapshot : Json.t option; spans : Json.t option }
       (** worker → coordinator, liveness while a lease runs. New workers
           piggyback a telemetry snapshot ({!Ffault_campaign.Telemetry_io}

@@ -43,6 +43,7 @@ type worker_stats = Core.worker_stats = {
 type summary = Core.summary = {
   pool : Pool.summary;
   workers : worker_stats list;
+  epoch : int;
   leases_granted : int;
   leases_completed : int;
   leases_expired : int;
@@ -62,7 +63,7 @@ let classify msg =
   in
   if
     List.exists contains
-      [ "expired"; "reclaimed"; "requeued"; "unjournaled"; "left"; "mismatch" ]
+      [ "expired"; "reclaimed"; "requeued"; "unjournaled"; "left"; "mismatch"; "fenced" ]
   then Events.Warn
   else Events.Info
 
@@ -78,6 +79,11 @@ let serve ?(resume = false) ?(observe = fun _ -> ()) ?(on_skip = fun () -> ())
      signal. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let* dir, st = Checkpoint.open_campaign ~resume ~on_warn ~root spec in
+  (* Take journal ownership before listening: the epoch every grant of
+     this incarnation carries is persisted first, so even if we crash
+     right after, the next incarnation bumps past us and fences
+     anything we might have granted. *)
+  let epoch = Checkpoint.claim_ownership ~dir in
   let* listener = Transport.listen cfg.endpoint in
   let* http =
     match status with
@@ -110,7 +116,7 @@ let serve ?(resume = false) ?(observe = fun _ -> ()) ?(on_skip = fun () -> ())
     Hashtbl.create 16
   in
   let core =
-    Core.create ~observe ~on_event
+    Core.create ~epoch ~observe ~on_event
       ~on_drop:(fun c -> Hashtbl.remove clients (Transport.fd (Core.conn c)))
       ~io
       ~append:(Journal.append writer)
@@ -127,8 +133,10 @@ let serve ?(resume = false) ?(observe = fun _ -> ()) ?(on_skip = fun () -> ())
       }
   in
   Events.emit events ~scope:"dist"
-    (Fmt.str "serving %s on %s%s" spec.Campaign.Spec.name
+    (Fmt.str "serving %s on %s as epoch %d%s%s" spec.Campaign.Spec.name
        (Transport.endpoint_to_string cfg.endpoint)
+       epoch
+       (if epoch > 1 then Fmt.str " (restart #%d)" (epoch - 1) else "")
        (match status with
        | Some ep -> Fmt.str " (status on %s)" (Transport.endpoint_to_string ep)
        | None -> ""));

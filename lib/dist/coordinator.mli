@@ -74,6 +74,7 @@ type worker_stats = Core.worker_stats = {
 type summary = Core.summary = {
   pool : Ffault_campaign.Pool.summary;  (** same shape as a local run *)
   workers : worker_stats list;
+  epoch : int;  (** the finishing incarnation ([owner.json]) *)
   leases_granted : int;
   leases_completed : int;
   leases_expired : int;

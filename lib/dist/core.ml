@@ -17,6 +17,7 @@ let m_results = Metrics.counter "dist.results"
 let m_deduped = Metrics.counter "dist.results_deduped"
 let m_connects = Metrics.counter "dist.worker_connects"
 let m_reconnects = Metrics.counter "dist.worker_reconnects"
+let m_stale_completes = Metrics.counter "dist.stale_completes"
 let g_workers = Metrics.gauge "dist.workers_connected"
 
 type 'c io = {
@@ -41,6 +42,7 @@ type worker_stats = {
 type summary = {
   pool : Pool.summary;
   workers : worker_stats list;
+  epoch : int;
   leases_granted : int;
   leases_completed : int;
   leases_expired : int;
@@ -108,6 +110,8 @@ let workers_json s =
   Json.Obj
     ([
        ("version", Json.Int 2);
+       ("epoch", Json.Int s.epoch);
+       ("restarts", Json.Int (max 0 (s.epoch - 1)));
        ( "leases",
          Json.Obj
            [
@@ -163,12 +167,15 @@ type 'c t = {
   created_ns : int;  (* clock at create: elapsed time base for rates *)
   total : int;
   skipped : int;
+  epoch : int;  (* this incarnation (owner.json); grants carry it *)
+  fence_epochs : bool;
   lease_timeout_s : float;
   hb_interval_s : float;
   supervision : Codec.supervision;
   verify_complete : bool;
   observe : Journal.record -> unit;
   on_event : string -> unit;
+  on_requeue : string -> int -> unit;
   on_drop : 'c client -> unit;
   leases : Lease.t;
   hb : Heartbeat.t;
@@ -182,18 +189,43 @@ type 'c t = {
   mutable retried : int;
   mutable quarantined : int;
   mutable shrunk : int;
+  mutable stale_completes : int;  (* Completes fenced for a stale epoch *)
 }
 
-let create ?(clock = Clock.monotonic) ?(verify_complete = true)
-    ?(observe = fun _ -> ()) ?(on_event = fun _ -> ()) ?(on_drop = fun _ -> ())
+let create ?(clock = Clock.monotonic) ?(epoch = 1) ?(fence_epochs = true)
+    ?(verify_complete = true) ?(observe = fun _ -> ()) ?(on_event = fun _ -> ())
+    ?(on_requeue = fun _ _ -> ()) ?(on_drop = fun _ -> ())
     ~io ~append ~st ~spec ~lease_trials ~lease_timeout_s ~hb_interval_s
     ~max_workers ~supervision () =
+  if epoch < 1 then invalid_arg "Core.create: epoch < 1";
   let total = Grid.total_trials spec in
   let leases =
     Lease.create ~clock ~total ~lease_trials
       ~timeout_ns:(int_of_float (lease_timeout_s *. 1e9))
       ()
   in
+  (* Recovery: whatever the journal already proves finished is never
+     granted again. A fresh campaign pre-retires nothing; a restarted
+     incarnation rebuilds its retired set here, from the journal's
+     done-mask — the lease table itself died with the old process and
+     is deliberately not trusted (cf. recoverable consensus: private
+     state is lost on crash, only the persistent log survives). *)
+  let recovered = ref 0 in
+  for shard = 0 to Lease.n_shards leases - 1 do
+    let lo, hi = Lease.shard_range leases shard in
+    let full = ref (hi > lo) in
+    for trial = lo to hi - 1 do
+      if not (Checkpoint.is_done st trial) then full := false
+    done;
+    if !full then begin
+      Lease.retire leases ~shard;
+      incr recovered
+    end
+  done;
+  if !recovered > 0 then
+    on_event
+      (Fmt.str "recovery: %d of %d shard(s) already complete in the journal"
+         !recovered (Lease.n_shards leases));
   let hb = Heartbeat.create ~clock ~slots:max_workers () in
   let wd =
     Watchdog.create ~heartbeat:hb
@@ -209,12 +241,15 @@ let create ?(clock = Clock.monotonic) ?(verify_complete = true)
     created_ns = Clock.now_ns clock;
     total;
     skipped = Checkpoint.completed st;
+    epoch;
+    fence_epochs;
     lease_timeout_s;
     hb_interval_s;
     supervision;
     verify_complete;
     observe;
     on_event;
+    on_requeue;
     on_drop;
     leases;
     hb;
@@ -228,6 +263,7 @@ let create ?(clock = Clock.monotonic) ?(verify_complete = true)
     retried = 0;
     quarantined = 0;
     shrunk = 0;
+    stale_completes = 0;
   }
 
 let conn c = c.c_conn
@@ -275,6 +311,7 @@ let drop_leases_of t ~why name =
       Metrics.add m_leases_expired (List.length lost);
       List.iter
         (fun (l : Lease.lease) ->
+          t.on_requeue name l.Lease.id;
           t.on_event
             (Fmt.str "lease #%d [%d,%d) reclaimed from %s (%s)" l.Lease.id l.Lease.lo
                l.Lease.hi name why))
@@ -346,6 +383,7 @@ let reconcile t name =
           ignore (Lease.revoke t.leases ~id:l.Lease.id);
           w.expired <- w.expired + 1;
           Metrics.incr m_leases_expired;
+          t.on_requeue name l.Lease.id;
           t.on_event
             (Fmt.str
                "lease #%d [%d,%d) of %s reconciled at request: %d trial(s) unjournaled — requeued"
@@ -363,7 +401,7 @@ let handle_msg t c msg =
       Lease.renew t.leases ~owner:name
   | None -> ());
   match (msg : Codec.msg) with
-  | Codec.Hello { version; name; domains } ->
+  | Codec.Hello { version; name; domains; last_epoch } ->
       if version <> Wire.version then begin
         send_or_drop t c
           (Codec.Bye
@@ -391,12 +429,16 @@ let handle_msg t c msg =
             Heartbeat.beat t.hb ~slot
         | [] -> () (* more workers than slots: liveness by lease expiry only *));
         t.on_event
-          (Fmt.str "worker %s joined from %s (%d domains)%s" name w.peer domains
-             (if w.reconnects > 0 then Fmt.str " — reconnect #%d" w.reconnects else ""));
+          (Fmt.str "worker %s joined from %s (%d domains)%s%s" name w.peer domains
+             (if w.reconnects > 0 then Fmt.str " — reconnect #%d" w.reconnects else "")
+             (if last_epoch > 0 && last_epoch <> t.epoch then
+                Fmt.str " — returning from epoch %d" last_epoch
+              else ""));
         send_or_drop t c
           (Codec.Welcome
              {
                version = Wire.version;
+               epoch = t.epoch;
                spec = t.spec;
                supervision = t.supervision;
                hb_interval_s = t.hb_interval_s;
@@ -421,6 +463,7 @@ let handle_msg t c msg =
                   (Codec.Lease
                      {
                        lease = l.Lease.id;
+                       epoch = t.epoch;
                        lo = l.Lease.lo;
                        hi = l.Lease.hi;
                        done_ids = done_ids_in t l.Lease.lo l.Lease.hi;
@@ -457,25 +500,54 @@ let handle_msg t c msg =
         Metrics.incr m_results;
         t.observe r
       end
-  | Codec.Complete { lease = id } -> (
-      match Lease.find t.leases ~id with
-      | None -> () (* stale lease: expired and re-issued; the re-lease owns it *)
-      | Some l ->
-          let missing = if t.verify_complete then missing_in t l else 0 in
-          if missing = 0 then begin
-            ignore (Lease.complete t.leases ~id);
-            Option.iter (fun w -> w.completed <- w.completed + 1) (stat_of_client t c);
-            Metrics.incr m_leases_completed
-          end
-          else begin
-            (* completed with holes: take the shard back *)
-            ignore (Lease.revoke t.leases ~id);
-            Option.iter (fun w -> w.expired <- w.expired + 1) (stat_of_client t c);
-            Metrics.incr m_leases_expired;
-            t.on_event
-              (Fmt.str "lease #%d completed with %d trial(s) unjournaled — requeued" id
-                 missing)
-          end)
+  | Codec.Complete { lease = id; epoch } ->
+      if epoch <> t.epoch then begin
+        (* A grant from another incarnation. Lease ids restart at 0 per
+           incarnation, so [id] may well collide with a live lease this
+           incarnation granted to someone else — the id means nothing
+           here. Fence the frame and let the reconcile-at-request rule
+           settle the sender's actual leases from the journal; its
+           Results (same trial ids) were already dedup-accepted above. *)
+        if t.fence_epochs then begin
+          t.stale_completes <- t.stale_completes + 1;
+          Metrics.incr m_stale_completes;
+          t.on_event
+            (Fmt.str "complete #%d fenced: grant epoch %d, coordinator epoch %d%s" id
+               epoch t.epoch
+               (match c.cname with Some n -> Fmt.str " (from %s)" n | None -> ""));
+          Option.iter (fun name -> reconcile t name) c.cname
+        end
+        else
+          (* the planted fencing bug (netsim --break-fencing): "the old
+             incarnation verified this work before granting, trust its
+             Complete" — retiring whatever live lease happens to carry
+             the stale id, journal unchecked *)
+          match Lease.complete t.leases ~id with
+          | `Completed _ ->
+              Option.iter (fun w -> w.completed <- w.completed + 1) (stat_of_client t c);
+              Metrics.incr m_leases_completed
+          | `Unknown -> ()
+      end
+      else (
+        match Lease.find t.leases ~id with
+        | None -> () (* stale lease: expired and re-issued; the re-lease owns it *)
+        | Some l ->
+            let missing = if t.verify_complete then missing_in t l else 0 in
+            if missing = 0 then begin
+              ignore (Lease.complete t.leases ~id);
+              Option.iter (fun w -> w.completed <- w.completed + 1) (stat_of_client t c);
+              Metrics.incr m_leases_completed
+            end
+            else begin
+              (* completed with holes: take the shard back *)
+              ignore (Lease.revoke t.leases ~id);
+              Option.iter (fun w -> w.expired <- w.expired + 1) (stat_of_client t c);
+              Metrics.incr m_leases_expired;
+              Option.iter (fun name -> t.on_requeue name id) c.cname;
+              t.on_event
+                (Fmt.str "lease #%d completed with %d trial(s) unjournaled — requeued" id
+                   missing)
+            end)
   | Codec.Heartbeat { snapshot; spans } -> (
       (* the piggybacked observability payload: latest snapshot wins,
          span batches accumulate for the merged trace *)
@@ -504,6 +576,7 @@ let tick t =
       let w = wstat_of t owner in
       w.expired <- w.expired + 1;
       Metrics.incr m_leases_expired;
+      t.on_requeue owner l.Lease.id;
       t.on_event
         (Fmt.str "lease #%d [%d,%d) of %s expired (no traffic for %gs)" l.Lease.id
            l.Lease.lo l.Lease.hi owner t.lease_timeout_s))
@@ -563,6 +636,7 @@ let summary t ~wall_s =
   {
     pool;
     workers;
+    epoch = t.epoch;
     leases_granted = Lease.granted_total t.leases;
     leases_completed = Lease.completed_total t.leases;
     leases_expired = Lease.expired_total t.leases;
@@ -589,6 +663,9 @@ type wview = {
 type view = {
   vw_campaign : string;
   vw_protocol : string;
+  vw_epoch : int;
+  vw_restarts : int;
+  vw_stale_completes : int;
   vw_running : bool;
   vw_total : int;
   vw_done : int;  (* journaled, including prior-run skips *)
@@ -638,6 +715,9 @@ let view t =
   {
     vw_campaign = t.spec.Spec.name;
     vw_protocol = t.spec.Spec.protocol;
+    vw_epoch = t.epoch;
+    vw_restarts = max 0 (t.epoch - 1);
+    vw_stale_completes = t.stale_completes;
     vw_running = not (is_done t);
     vw_total = t.total;
     vw_done = Checkpoint.completed t.st;

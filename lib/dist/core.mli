@@ -47,6 +47,7 @@ type worker_stats = {
 type summary = {
   pool : Campaign.Pool.summary;  (** same shape as a local run *)
   workers : worker_stats list;
+  epoch : int;  (** the finishing incarnation; restarts = epoch - 1 *)
   leases_granted : int;
   leases_completed : int;
   leases_expired : int;
@@ -91,6 +92,9 @@ type wview = {
 type view = {
   vw_campaign : string;
   vw_protocol : string;
+  vw_epoch : int;  (** this incarnation (see {!create}'s [epoch]) *)
+  vw_restarts : int;  (** [max 0 (epoch - 1)] — crash-restarts survived *)
+  vw_stale_completes : int;  (** [Complete] frames fenced for a stale epoch *)
   vw_running : bool;
   vw_total : int;
   vw_done : int;  (** journaled, including prior-run skips *)
@@ -118,9 +122,12 @@ val view : 'c t -> view
 
 val create :
   ?clock:Ffault_runtime.Clock.t ->
+  ?epoch:int ->
+  ?fence_epochs:bool ->
   ?verify_complete:bool ->
   ?observe:(Campaign.Journal.record -> unit) ->
   ?on_event:(string -> unit) ->
+  ?on_requeue:(string -> int -> unit) ->
   ?on_drop:('c client -> unit) ->
   io:'c io ->
   append:(Campaign.Journal.record -> unit) ->
@@ -135,12 +142,29 @@ val create :
   'c t
 (** [append] journals one record (the socket driver appends to the
     journal file, netsim to an in-memory buffer); [st] is the resume
-    mask [append] must stay consistent with. [on_drop] fires once per
-    dropped client, before its connection is closed — the driver
-    unindexes it there. [verify_complete] (default [true]) guards the
-    journal-completeness check behind [Complete]; netsim's mutation
-    test switches it off to plant the lease-retirement bug that the
-    fault-schedule search must catch. *)
+    mask [append] must stay consistent with. Creation runs {e recovery}:
+    every shard [st] proves fully journaled is pre-retired, so a
+    restarted incarnation never re-grants finished work — the lease
+    table of the previous incarnation is lost with its process and
+    deliberately not trusted.
+
+    [epoch] (default 1, must be positive) is this incarnation's fencing
+    token, from {!Campaign.Checkpoint.claim_ownership}: every [Welcome]
+    and [Lease] carries it, and a [Complete] whose grant epoch differs
+    is fenced — its trial results are still dedup-accepted by id, but
+    the shard's fate is decided by the journal via the
+    reconcile-at-request rule, never by a stale incarnation's
+    bookkeeping. [fence_epochs:false] plants the stale-epoch-trust bug
+    (netsim's fencing self-test). [on_requeue owner lease_id] fires
+    whenever a lease of [owner] is requeued (expiry, disconnect,
+    reconcile, or a holey [Complete]) — netsim's re-execution checker
+    marks its reconcile points there.
+
+    [on_drop] fires once per dropped client, before its connection is
+    closed — the driver unindexes it there. [verify_complete] (default
+    [true]) guards the journal-completeness check behind [Complete];
+    netsim's mutation test switches it off to plant the
+    lease-retirement bug that the fault-schedule search must catch. *)
 
 val add_client : 'c t -> 'c -> 'c client
 (** Register a fresh inbound connection (nothing is granted until its

@@ -39,6 +39,14 @@ let create ?(clock = Clock.monotonic) ~total ~lease_trials ~timeout_ns () =
 
 let n_shards t = (t.total + t.lease_trials - 1) / t.lease_trials
 let is_retired t shard = Bytes.get t.retired shard = '\001'
+let shard_range t shard = (shard * t.lease_trials, min t.total ((shard + 1) * t.lease_trials))
+
+(* Recovery path: a restarted coordinator proves a shard finished from
+   the journal alone — there is no lease (and no completion credit) to
+   account, the shard is simply never granted again. *)
+let retire t ~shard =
+  if shard < 0 || shard >= n_shards t then invalid_arg "Lease.retire: bad shard";
+  Bytes.set t.retired shard '\001'
 
 let grant t ~owner =
   let rec pop = function

@@ -38,6 +38,16 @@ val create :
 
 val n_shards : t -> int
 
+val shard_range : t -> int -> int * int
+(** [\[lo, hi)] of a shard index. *)
+
+val retire : t -> shard:int -> unit
+(** Mark [shard] done without a lease — the recovery path of a
+    restarted coordinator, which proves completion from the journal
+    rather than from a [Complete] frame. Does not touch the completion
+    counters (no lease was granted in this incarnation).
+    @raise Invalid_argument on a shard outside [\[0, n_shards)]. *)
+
 val grant : t -> owner:string -> lease option
 (** Lease the next free shard to [owner]; [None] if every shard is
     currently leased or retired. *)

@@ -36,6 +36,9 @@ let status_json (v : Core.view) =
       ("version", Json.Int 1);
       ("campaign", Json.Str v.Core.vw_campaign);
       ("protocol", Json.Str v.Core.vw_protocol);
+      ("epoch", Json.Int v.Core.vw_epoch);
+      ("restarts", Json.Int v.Core.vw_restarts);
+      ("stale_completes", Json.Int v.Core.vw_stale_completes);
       ("state", Json.Str (if v.Core.vw_running then "running" else "done"));
       ("total", Json.Int v.Core.vw_total);
       ("done", Json.Int v.Core.vw_done);
@@ -96,6 +99,8 @@ let workers_json (v : Core.view) =
   Json.Obj
     [
       ("version", Json.Int 1);
+      ("epoch", Json.Int v.Core.vw_epoch);
+      ("restarts", Json.Int v.Core.vw_restarts);
       ("hb_interval_s", Json.Float v.Core.vw_hb_interval_s);
       ("lease_timeout_s", Json.Float v.Core.vw_lease_timeout_s);
       ("workers", Json.List (List.map worker v.Core.vw_workers));

@@ -10,6 +10,20 @@
     [Wait] backs it off when every shard is leased; [Bye] (or a closed
     socket once the campaign is done) ends it.
 
+    {b Reconnection.} A lost connection — including a coordinator that
+    crashed and is restarting — does not kill the worker. It retries
+    the connect under a bounded {!Ffault_supervise.Retry} backoff
+    schedule (seeded by the worker name, so a fleet does not
+    thundering-herd), re-[Hello]s carrying the last coordinator epoch
+    it saw, and resumes requesting leases. A lease that was in flight
+    when the connection died is {e not} re-executed: its records were
+    produced locally and are replayed to the new connection together
+    with its [Complete] under the original grant epoch — the
+    coordinator dedups the records by trial id and fences a stale-epoch
+    [Complete], so at most bookkeeping (never trials) is redone.
+    Consecutive failures beyond the policy's [max_retries] end the
+    worker with an error.
+
     A background thread heartbeats at the cadence the [Welcome]
     dictates, so a worker grinding through a slow trial range never
     looks dead to the coordinator's watchdog. Results are sent from the
@@ -39,25 +53,32 @@ val config : ?name:string -> ?domains:int -> ?chunk:int -> Transport.endpoint ->
 (** Default name [<hostname>-<pid>], 1 domain, chunk 64.
     @raise Invalid_argument if [domains < 1] or [chunk < 1]. *)
 
+val default_retry : Ffault_supervise.Retry.policy
+(** The default (re)connect backoff: 8 retries, 250 ms base, 5 s cap —
+    sized to ride out a coordinator crash plus restart. *)
+
 (** The worker side of the protocol as pure frame classification,
     shared by this blocking socket driver and the netsim worker actor
     (so the simulated worker cannot drift from the real one). *)
 module Protocol : sig
   type welcome = {
+    epoch : int;  (** the coordinator incarnation granting from here on *)
     spec : Ffault_campaign.Spec.t;
     supervision : Codec.supervision;
     hb_interval_s : float;
   }
 
-  val hello : name:string -> domains:int -> Codec.msg
-  (** The [Hello] carrying {!Wire.version}. *)
+  val hello : name:string -> domains:int -> last_epoch:int -> Codec.msg
+  (** The [Hello] carrying {!Wire.version} and the last coordinator
+      epoch this worker saw (0 before any [Welcome]). *)
 
   val welcome_reply : Codec.msg -> (welcome, string) result
   (** Classify the reply to [Hello]: a matching-version [Welcome], or
       the error to stop with (version mismatch, [Bye], junk). *)
 
   type reply =
-    | Granted of { lease : int; lo : int; hi : int; done_ids : int list }
+    | Granted of { lease : int; epoch : int; lo : int; hi : int; done_ids : int list }
+        (** [epoch] is the grant's fencing token, echoed on [Complete] *)
     | Backoff of float  (** [Wait]: retry the request after this many seconds *)
     | Stop of string  (** [Bye]: campaign over *)
     | Ignore  (** a stray [Heartbeat]: tolerated, request again *)
@@ -75,16 +96,22 @@ type summary = {
   leases_run : int;
   trials_run : int;  (** records streamed (excludes [done_ids] skips) *)
   trials_skipped : int;  (** [done_ids] on re-leases — already journaled *)
+  reconnects : int;  (** established sessions lost and re-established *)
   stop_reason : string;  (** the coordinator's [Bye] reason, or the error *)
 }
 
 val run :
   ?on_event:(string -> unit) ->
+  ?on_warn:(string -> unit) ->
+  ?retry:Ffault_supervise.Retry.policy ->
   ?trace_path:string ->
   config ->
   (summary, string) result
 (** Serve leases until the coordinator says [Bye] (normal completion,
-    [Ok]) or the connection fails ([Error]). [on_event] receives
-    one-line lease lifecycle messages. [trace_path] additionally writes
-    this worker's own spans as a standalone Chrome trace on exit
+    [Ok]) or the connect/reconnect budget is exhausted ([Error]).
+    [on_event] receives one-line lease lifecycle messages; [on_warn]
+    receives connection-trouble messages (failed connects, lost
+    sessions) with the scheduled retry. [retry] bounds the backoff
+    schedule ({!default_retry} if omitted). [trace_path] additionally
+    writes this worker's own spans as a standalone Chrome trace on exit
     (requires the tracer enabled to record anything). *)

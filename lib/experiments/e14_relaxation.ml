@@ -80,7 +80,7 @@ let run_workload ~n ~items ~k ~p ~seed =
               { Triple.kind = Kind.Queue; pre_state; op = Op.Dequeue; post_state; response }
             in
             let d = Option.value ~default:0 (Queue_spec.dequeue_distance step) in
-            (max dmax d, if injected <> None then count + 1 else count)
+            (max dmax d, if Option.is_some injected then count + 1 else count)
         | _ -> (dmax, count))
       (0, 0) result.Engine.trace
   in

@@ -56,7 +56,21 @@ let ident_sets =
    closures or mutable internals. Matched on the normalized head path of
    the instantiated type (module aliases local to the file are resolved
    first; "__"-mangled unit names are unmangled). *)
-let semantic_types = [ "Value.t"; "History.t" ]
+let semantic_types =
+  [
+    "Value.t"; "History.t";
+    (* ops embed Value.t payloads, so structural compare inherits every
+       hazard Value.t has *)
+    "Op.t";
+    (* identity types with their own compare — today ints, but the
+       representation is theirs to change *)
+    "Obj_id.t"; "Fault_kind.t";
+    (* specs carry an int64 seed and kind lists; Spec.equal is the
+       semantic (and boxing-aware) comparison *)
+    "Spec.t";
+    (* a private int whose equal is physical by design — spell it *)
+    "Packed.t";
+  ]
 
 (* Polymorphic entry points whose first parameter type decides the
    hazard: (declaring interface, name). *)

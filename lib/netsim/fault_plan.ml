@@ -10,6 +10,7 @@ type atom =
   | Frame of { link : int; k : int; d : directive }
   | Partition of { at_ns : int; heal_ns : int; group : int list }
   | Crash of { worker : int; at_ns : int; restart_ns : int }
+  | CoordCrash of { at_ns : int; restart_ns : int }
 
 let directive_to_string = function
   | Drop -> "drop"
@@ -30,6 +31,9 @@ let atom_to_string = function
   | Crash { worker; at_ns; restart_ns } ->
       Printf.sprintf "crash w%d @%dms restart@%dms" worker (at_ns / 1_000_000)
         (restart_ns / 1_000_000)
+  | CoordCrash { at_ns; restart_ns } ->
+      Printf.sprintf "crash coord @%dms restart@%dms" (at_ns / 1_000_000)
+        (restart_ns / 1_000_000)
 
 let pp_atom ppf a = Fmt.string ppf (atom_to_string a)
 
@@ -49,6 +53,7 @@ type t = {
   mode : mode;
   all_partitions : (int * int * int list) list;
   all_crashes : (int * int * int) list;
+  all_coord_crashes : (int * int) list;
   mutable fired_rev : atom list;
   seen : (int * int, unit) Hashtbl.t;  (* frame queries already recorded *)
 }
@@ -88,6 +93,19 @@ let derive_crashes seed ~workers =
       let restart_ns = at_ns + 20_000_000 + Rng.int g 400_000_000 in
       (worker, at_ns, restart_ns))
 
+(* Coordinator crash windows use a fresh label so every pre-existing
+   stream (params, partitions, crashes, frame fates) of a given seed is
+   untouched — old regression seeds keep their schedules, they just may
+   gain a coordinator crash on top. At most one window: a second crash
+   of the same process adds no new interleaving class, only run time. *)
+let derive_coord_crashes seed =
+  let g = Rng.make ~seed:(Rng.seed_of_string (Printf.sprintf "%Ld/coordcrash" seed)) in
+  let n = Rng.int g 2 in
+  List.init n (fun _ ->
+      let at_ns = Rng.int g 3_000_000_000 in
+      let restart_ns = at_ns + 20_000_000 + Rng.int g 400_000_000 in
+      (at_ns, restart_ns))
+
 let generate ~seed ~workers =
   let t =
     {
@@ -96,6 +114,7 @@ let generate ~seed ~workers =
       mode = Generate;
       all_partitions = derive_partitions seed ~workers;
       all_crashes = derive_crashes seed ~workers;
+      all_coord_crashes = derive_coord_crashes seed;
       fired_rev = [];
       seen = Hashtbl.create 256;
     }
@@ -110,23 +129,34 @@ let generate ~seed ~workers =
     (fun (worker, at_ns, restart_ns) ->
       t.fired_rev <- Crash { worker; at_ns; restart_ns } :: t.fired_rev)
     t.all_crashes;
+  List.iter
+    (fun (at_ns, restart_ns) ->
+      t.fired_rev <- CoordCrash { at_ns; restart_ns } :: t.fired_rev)
+    t.all_coord_crashes;
   t
 
 let replay t ~atoms =
   let tbl = Hashtbl.create (List.length atoms * 2 + 1) in
   List.iter (fun a -> Hashtbl.replace tbl a ()) atoms;
-  let enabled a = Hashtbl.mem tbl a in
+  (* window atoms are taken verbatim from [atoms] — a listed window
+     fires, an unlisted one is suppressed. This is the subset semantics
+     the shrinker needs, and it also admits hand-written crash windows
+     (regression reproducers) that the seed never sampled. *)
   {
     t with
     mode = Replay tbl;
     all_partitions =
-      List.filter
-        (fun (at_ns, heal_ns, group) -> enabled (Partition { at_ns; heal_ns; group }))
-        t.all_partitions;
+      List.filter_map
+        (function Partition { at_ns; heal_ns; group } -> Some (at_ns, heal_ns, group) | _ -> None)
+        atoms;
     all_crashes =
-      List.filter
-        (fun (worker, at_ns, restart_ns) -> enabled (Crash { worker; at_ns; restart_ns }))
-        t.all_crashes;
+      List.filter_map
+        (function Crash { worker; at_ns; restart_ns } -> Some (worker, at_ns, restart_ns) | _ -> None)
+        atoms;
+    all_coord_crashes =
+      List.filter_map
+        (function CoordCrash { at_ns; restart_ns } -> Some (at_ns, restart_ns) | _ -> None)
+        atoms;
     fired_rev = [];
     seen = Hashtbl.create 256;
   }
@@ -164,4 +194,5 @@ let latency_ns t ~link =
 
 let partitions t = t.all_partitions
 let crashes t = t.all_crashes
+let coord_crashes t = t.all_coord_crashes
 let fired t = List.rev t.fired_rev

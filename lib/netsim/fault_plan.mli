@@ -32,6 +32,10 @@ type atom =
       (** the workers in [group] are cut off from the coordinator in
           both directions for the window *)
   | Crash of { worker : int; at_ns : int; restart_ns : int }
+  | CoordCrash of { at_ns : int; restart_ns : int }
+      (** the coordinator process dies — in-memory lease table and
+          connections lost, the journal survives — and restarts as the
+          next incarnation at [restart_ns] *)
 
 val atom_to_string : atom -> string
 val pp_atom : Format.formatter -> atom -> unit
@@ -46,7 +50,10 @@ val generate : seed:int64 -> workers:int -> t
 
 val replay : t -> atoms:atom list -> t
 (** Same seed and topology, but only [atoms] fire; every other fault
-    is suppressed. *)
+    is suppressed. Window atoms (partitions, crashes) are taken
+    verbatim, so a replay can also inject hand-written windows the
+    seed never sampled — frame atoms still only fire where the seed's
+    own sample matches. *)
 
 val frame_fault : t -> link:int -> k:int -> directive option
 (** The fate of frame [k] on [link]; records the atom as fired when
@@ -61,6 +68,12 @@ val partitions : t -> (int * int * int list) list
 
 val crashes : t -> (int * int * int) list
 (** [(worker, at_ns, restart_ns)], enabled ones only. *)
+
+val coord_crashes : t -> (int * int) list
+(** [(at_ns, restart_ns)] coordinator crash windows (at most one per
+    schedule), enabled ones only. Derived under a label of their own,
+    so a seed's partitions, worker crashes and frame fates are exactly
+    what they were before coordinator crashes existed. *)
 
 val fired : t -> atom list
 (** Every atom that fired this run, in firing order (partitions and

@@ -187,6 +187,19 @@ let crash_worker t ~worker =
       if e.e_worker = worker && e.e_link land 1 = 0 && e.e_state = Open then e.e_state <- Dead)
     t.endpoints
 
+(* The mirror image of [crash_worker]: the coordinator-side endpoints
+   (odd links) die and the listener goes away, so worker frames black-
+   hole and fresh connects are refused until the restarted incarnation
+   installs a new listener. Worker sides stay [Open] and silent — the
+   workers must notice by reply silence, exactly like a real SIGKILL'd
+   coordinator whose host keeps the port unreachable. *)
+let crash_coordinator t =
+  tr t "crash coordinator";
+  t.listener <- None;
+  List.iter
+    (fun e -> if e.e_link land 1 = 1 && e.e_state = Open then e.e_state <- Dead)
+    t.endpoints
+
 let set_partitioned t ~worker v =
   if t.partitioned.(worker) <> v then begin
     tr t "%s w%d" (if v then "partition" else "heal") worker;

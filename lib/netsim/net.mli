@@ -56,6 +56,13 @@ val crash_worker : t -> worker:int -> unit
 (** Black-hole every conn of [worker]: undelivered and future frames to
     or from it vanish, no EOF anywhere. *)
 
+val crash_coordinator : t -> unit
+(** Black-hole every coordinator-side endpoint and drop the listener:
+    worker frames vanish without EOF and new connects are refused until
+    {!set_listener} installs the restarted incarnation's accept path.
+    Worker-side endpoints stay open — they learn of the crash only by
+    silence. *)
+
 val set_partitioned : t -> worker:int -> bool -> unit
 (** While set, frames to or from [worker] are dropped at send time
     (in-flight frames still arrive — the cut is a link cut, not a

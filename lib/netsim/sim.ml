@@ -9,6 +9,7 @@ module Core = Ffault_dist.Core
 module Status = Ffault_dist.Status
 module Coordinator = Ffault_dist.Coordinator
 module Protocol = Ffault_dist.Worker.Protocol
+module Retry = Ffault_supervise.Retry
 module Events = Ffault_telemetry.Events
 
 type config = {
@@ -16,23 +17,31 @@ type config = {
   trials : int;
   lease_trials : int;
   verify_complete : bool;
+  fence_epochs : bool;
   horizon_ns : int;
 }
 
 let config ?(workers = 3) ?(trials = 200) ?(lease_trials = 32)
-    ?(verify_complete = true) ?(horizon_ns = 60_000_000_000) () =
+    ?(verify_complete = true) ?(fence_epochs = true) ?(horizon_ns = 60_000_000_000) () =
   if workers < 1 then invalid_arg "Sim.config: workers must be >= 1";
   if trials < 1 then invalid_arg "Sim.config: trials must be >= 1";
   if lease_trials < 1 then invalid_arg "Sim.config: lease_trials must be >= 1";
   if horizon_ns < 1_000_000_000 then invalid_arg "Sim.config: horizon under 1s";
-  { workers; trials; lease_trials; verify_complete; horizon_ns }
+  { workers; trials; lease_trials; verify_complete; fence_epochs; horizon_ns }
 
-type violation = Duplicate of int | Hole of int | Stalled of string
+type violation =
+  | Duplicate of int
+  | Hole of int
+  | Stalled of string
+  | Reexec of { worker : string; trial : int }
 
 let violation_to_string = function
   | Duplicate id -> Printf.sprintf "trial %d journaled more than once" id
   | Hole id -> Printf.sprintf "trial %d never journaled" id
   | Stalled why -> "stalled: " ^ why
+  | Reexec { worker; trial } ->
+      Printf.sprintf "trial %d re-executed by %s without a reconcile between" trial
+        worker
 
 type result = {
   violation : violation option;
@@ -56,6 +65,13 @@ let silence_ns = 1_000_000_000 (* worker's reply deadline before reconnecting *)
 let reconnect_ns = 25_000_000
 let trial_cost_ns = 2_000_000 (* virtual compute per trial *)
 let hb_ns = 500_000_000
+
+(* Refused connects (coordinator down between crash and restart) back
+   off under the same bounded Retry schedule the socket worker uses —
+   enough budget to outlast any crash window the plan can derive. *)
+let connect_retry =
+  Retry.policy ~max_retries:20 ~base_backoff_ns:50_000_000
+    ~max_backoff_ns:1_000_000_000 ()
 
 (* The sim exercises the distribution layer, not the trial engine:
    every trial "runs" to the same synthetic pass record, a pure
@@ -81,6 +97,17 @@ let record_of spec id =
 
 type wphase = Joining | Awaiting | Running | Stopped
 
+(* The lease a worker is (or was last) working: enough to finish the
+   range without a connection and to replay it — records plus the
+   epoch-stamped [Complete] — to the next session, as the socket worker
+   does. *)
+type wlease = {
+  wl_id : int;
+  wl_epoch : int; (* the grant's fencing token, echoed on Complete *)
+  wl_ids : int list;
+  mutable wl_prod_rev : int list; (* executed so far, newest first *)
+}
+
 type wactor = {
   idx : int;
   wname : string;
@@ -89,7 +116,10 @@ type wactor = {
   mutable wconn : Net.conn option;
   mutable phase : wphase;
   mutable seq : int; (* invalidates pending reply-deadline timers *)
-  mutable sent : int; (* results streamed — the synthetic telemetry counter *)
+  mutable sent : int; (* result frames streamed — the synthetic telemetry counter *)
+  mutable wepoch : int; (* last coordinator epoch seen; 0 before any Welcome *)
+  mutable wcur : wlease option;
+  mutable conn_fails : int; (* consecutive refused connects *)
 }
 
 let run ?atoms cfg ~seed =
@@ -112,72 +142,127 @@ let run ?atoms cfg ~seed =
   let net = Net.create ~sched ~plan ~trace:push ~workers:cfg.workers () in
   let spec = Spec.v ~name:"netsim" ~protocol:"fig1" ~trials:cfg.trials () in
   let total = Grid.total_trials spec in
-  let st = Checkpoint.fresh ~total in
   let records_rev = ref [] in
-  let io = { Core.peer = Net.peer; send = Net.send; close = Net.close } in
   (* the coordinator's structured event log, on virtual time and graded
-     by the real coordinator's classifier — /events is golden-testable *)
+     by the real coordinator's classifier — /events is golden-testable.
+     One log across incarnations, like the appended events.jsonl. *)
   let evlog = Events.create ~now:(fun () -> Sched.now_ns sched) () in
-  let core =
-    Core.create ~clock:(Sched.clock sched) ~verify_complete:cfg.verify_complete
-      ~on_event:(fun s ->
-        Events.emit evlog ~severity:(Coordinator.classify s) ~scope:"dist" s;
-        tracef "coord: %s" s)
-      ~io
-      ~append:(fun r -> records_rev := r :: !records_rev)
-      ~st ~spec ~lease_trials:cfg.lease_trials ~lease_timeout_s ~hb_interval_s
-      ~max_workers:(cfg.workers * 4) ~supervision:Codec.no_supervision ()
+  let io = { Core.peer = Net.peer; send = Net.send; close = Net.close } in
+  (* ---- the worker-side exactly-once log ----
+     Every execution is recorded as (worker, trial, grant epoch, lease
+     id, worker incarnation). The same worker executing the same trial
+     twice is legitimate only when the coordinator reconciled in
+     between — and because a shard lives in at most one lease at a
+     time, that ordering is visible at the grants: the earlier lease
+     must have been requeued (expiry, disconnect, reconcile-at-request,
+     holey Complete) before the range could travel again, or the
+     earlier grant belongs to a dead incarnation whose whole lease
+     table was re-derived from the journal (epoch differs). A repeat
+     under the {e same} lease id is the network duplicating a grant
+     frame — the worker honestly re-ran what it was handed; dedup
+     absorbs it. [Core.create]'s [on_requeue] records the requeues. *)
+  let exec_rev = ref [] in
+  let requeued : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  (* ---- the restartable coordinator ----
+     The engine and its lease table live in [core]; a CoordCrash drops
+     them (private state dies with the process) and the restart boots a
+     fresh incarnation whose only input is the journal — exactly the
+     recovery the real [serve --resume] runs. *)
+  let epoch = ref 0 in
+  let core : Net.conn Core.t option ref = ref None in
+  let finished = ref false in
+  let install_listener () =
+    Net.set_listener net
+      (Some
+         (fun conn ->
+           match !core with
+           | None -> ()
+           | Some co ->
+               let c = Core.add_client co conn in
+               (* a connection accepted by one incarnation must never
+                  poke a later one: guard every callback on the engine
+                  it was registered with still being current *)
+               let live () = match !core with Some co' -> co' == co | None -> false in
+               Net.set_handler conn
+                 {
+                   Net.h_frames =
+                     (fun frames ->
+                       if live () then List.iter (Core.deliver co c) frames);
+                   h_closed =
+                     (fun () ->
+                       if live () && not (Core.dropped c) then
+                         Core.client_closed co c ~why:"eof");
+                   h_error =
+                     (fun e ->
+                       if live () && not (Core.dropped c) then
+                         Core.client_closed co c ~why:e);
+                 }))
   in
+  let boot () =
+    incr epoch;
+    let this_epoch = !epoch in
+    let st = Checkpoint.fresh ~total in
+    List.iter
+      (fun (r : Journal.record) ->
+        if not (Checkpoint.is_done st r.Journal.trial) then
+          Checkpoint.mark st r.Journal.trial ~ok:r.Journal.ok)
+      !records_rev;
+    let co =
+      Core.create ~clock:(Sched.clock sched) ~epoch:this_epoch
+        ~fence_epochs:cfg.fence_epochs ~verify_complete:cfg.verify_complete
+        ~on_event:(fun s ->
+          Events.emit evlog ~severity:(Coordinator.classify s) ~scope:"dist" s;
+          tracef "coord: %s" s)
+        ~on_requeue:(fun _name lease -> Hashtbl.replace requeued (this_epoch, lease) ())
+        ~io
+        ~append:(fun r -> records_rev := r :: !records_rev)
+        ~st ~spec ~lease_trials:cfg.lease_trials ~lease_timeout_s ~hb_interval_s
+        ~max_workers:(cfg.workers * 4) ~supervision:Codec.no_supervision ()
+    in
+    core := Some co;
+    install_listener ()
+  in
+  boot ();
   (* status probes: the very responses the live HTTP endpoint would
      serve, taken under virtual time. Process metrics are shared global
      state across a test binary, so /metrics is not probed here. *)
   let status_probes_rev = ref [] in
-  let source =
-    {
-      Status.view = (fun () -> Core.view core);
-      events = (fun ~limit -> Events.tail ~limit evlog);
-      metrics = (fun () -> "");
-    }
-  in
   let probe () =
-    List.iter
-      (fun path ->
-        let r = Status.respond source path in
-        status_probes_rev :=
-          (Sched.now_ns sched, path, r.Status.body) :: !status_probes_rev)
-      [ "/status"; "/workers"; "/events" ]
+    match !core with
+    | None -> () (* coordinator down: nothing is serving /status *)
+    | Some co ->
+        let source =
+          {
+            Status.view = (fun () -> Core.view co);
+            events = (fun ~limit -> Events.tail ~limit evlog);
+            metrics = (fun () -> "");
+          }
+        in
+        List.iter
+          (fun path ->
+            let r = Status.respond source path in
+            status_probes_rev :=
+              (Sched.now_ns sched, path, r.Status.body) :: !status_probes_rev)
+          [ "/status"; "/workers"; "/events" ]
   in
-  Net.set_listener net
-    (Some
-       (fun conn ->
-         let c = Core.add_client core conn in
-         Net.set_handler conn
-           {
-             Net.h_frames = (fun frames -> List.iter (Core.deliver core c) frames);
-             h_closed =
-               (fun () ->
-                 if not (Core.dropped c) then Core.client_closed core c ~why:"eof");
-             h_error =
-               (fun e ->
-                 if not (Core.dropped c) then Core.client_closed core c ~why:e);
-           }));
   (* coordinator completion is observed on the tick timer; once done,
      finish + close the listener so restarting workers stop cleanly and
      the event queue can drain *)
-  let finished = ref false in
   let rec tick () =
-    if not !finished then
-      if Core.is_done core then begin
-        finished := true;
-        tracef "coord: campaign complete";
-        Core.finish core;
-        Net.set_listener net None;
-        probe ()
-      end
-      else begin
-        Core.tick core;
-        Sched.after sched ~ns:tick_ns tick
-      end
+    if not !finished then begin
+      (match !core with
+      | None -> () (* down: the restart event re-enters via [boot] *)
+      | Some co ->
+          if Core.is_done co then begin
+            finished := true;
+            tracef "coord: campaign complete";
+            Core.finish co;
+            Net.set_listener net None;
+            probe ()
+          end
+          else Core.tick co);
+      if not !finished then Sched.after sched ~ns:tick_ns tick
+    end
   in
   Sched.after sched ~ns:tick_ns tick;
   Sched.at sched ~ns:probe_ns (fun () -> if not !finished then probe ());
@@ -194,16 +279,39 @@ let run ?atoms cfg ~seed =
           phase = Joining;
           seq = 0;
           sent = 0;
+          wepoch = 0;
+          wcur = None;
+          conn_fails = 0;
         })
   in
   let bump w = w.seq <- w.seq + 1 in
   let send_msg w msg =
     match w.wconn with None -> () | Some c -> ignore (Net.send c msg)
   in
+  let log_exec w ~epoch ~lease id =
+    exec_rev := (w.idx, id, epoch, lease, w.inc) :: !exec_rev
+  in
   let rec start w =
     match Net.connect net ~worker:w.idx with
-    | Error why -> stop w ~why
+    | Error why ->
+        (* coordinator down (or campaign over and the listener closed):
+           bounded backoff, like the socket worker — not instant death *)
+        w.conn_fails <- w.conn_fails + 1;
+        if w.conn_fails > connect_retry.Retry.max_retries then
+          stop w ~why:(why ^ " — connect retries exhausted")
+        else begin
+          let ns =
+            Retry.backoff_ns connect_retry ~seed:(Int64.of_int w.idx)
+              ~attempt:w.conn_fails
+          in
+          tracef "%s: %s — connect retry %d in %dms" w.wname why w.conn_fails
+            (ns / 1_000_000);
+          bump w;
+          let inc = w.inc in
+          Sched.after sched ~ns (fun () -> if w.alive && w.inc = inc then start w)
+        end
     | Ok conn ->
+        w.conn_fails <- 0;
         w.wconn <- Some conn;
         w.phase <- Joining;
         bump w;
@@ -228,8 +336,8 @@ let run ?atoms cfg ~seed =
                   reconnect w
                 end);
           };
-        tracef "%s: hello" w.wname;
-        send_msg w (Protocol.hello ~name:w.wname ~domains:1);
+        tracef "%s: hello (last epoch %d)" w.wname w.wepoch;
+        send_msg w (Protocol.hello ~name:w.wname ~domains:1 ~last_epoch:w.wepoch);
         arm_silence w;
         arm_heartbeat w
   and arm_silence w =
@@ -268,16 +376,36 @@ let run ?atoms cfg ~seed =
     w.phase <- Awaiting;
     send_msg w Codec.Request;
     arm_silence w
-  and run_lease w ~lease ~ids =
+  and resend w =
+    (* replay the last lease to a fresh session: its records (the
+       coordinator dedups them by trial id) and its Complete under the
+       original grant epoch (fenced there if an incarnation has passed).
+       Nothing is re-executed — this is retransmission, not rework. *)
+    match w.wcur with
+    | None -> ()
+    | Some wl ->
+        tracef "%s: resend lease #%d@%d — %d record(s)" w.wname wl.wl_id wl.wl_epoch
+          (List.length wl.wl_prod_rev);
+        List.iter
+          (fun id ->
+            w.sent <- w.sent + 1;
+            send_msg w (Codec.Result (record_of spec id)))
+          (List.rev wl.wl_prod_rev);
+        send_msg w (Codec.Complete { lease = wl.wl_id; epoch = wl.wl_epoch })
+  and run_lease w ~lease ~epoch ~ids =
     bump w;
     w.phase <- Running;
-    tracef "%s: lease #%d — %d trial(s)" w.wname lease (List.length ids);
+    tracef "%s: lease #%d@%d — %d trial(s)" w.wname lease epoch (List.length ids);
+    let wl = { wl_id = lease; wl_epoch = epoch; wl_ids = ids; wl_prod_rev = [] } in
+    w.wcur <- Some wl;
     let inc = w.inc in
     List.iteri
       (fun j id ->
         Sched.after sched ~ns:((j + 1) * trial_cost_ns) (fun () ->
             if w.alive && w.inc = inc then begin
               w.sent <- w.sent + 1;
+              log_exec w ~epoch ~lease id;
+              wl.wl_prod_rev <- id :: wl.wl_prod_rev;
               send_msg w (Codec.Result (record_of spec id))
             end))
       ids;
@@ -285,9 +413,28 @@ let run ?atoms cfg ~seed =
       ~ns:((List.length ids + 1) * trial_cost_ns)
       (fun () ->
         if w.alive && w.inc = inc then begin
-          send_msg w (Codec.Complete { lease });
+          send_msg w (Codec.Complete { lease; epoch });
           request w
         end)
+  and finish_lease_offline w =
+    (* a connection lost mid-lease cancels the production timers (they
+       are incarnation-guarded), but the socket worker's bounded range
+       still finishes without its coordinator — mirror that here so the
+       resent Complete is honest *)
+    match w.wcur with
+    | Some wl when w.phase = Running ->
+        let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl in
+        (match drop (List.length wl.wl_prod_rev) wl.wl_ids with
+        | [] -> ()
+        | remaining ->
+            tracef "%s: finishing lease #%d offline — %d trial(s)" w.wname wl.wl_id
+              (List.length remaining);
+            List.iter
+              (fun id ->
+                log_exec w ~epoch:wl.wl_epoch ~lease:wl.wl_id id;
+                wl.wl_prod_rev <- id :: wl.wl_prod_rev)
+              remaining)
+    | Some _ | None -> ()
   and stop w ~why =
     if w.phase <> Stopped then begin
       tracef "%s: stop (%s)" w.wname why;
@@ -299,6 +446,7 @@ let run ?atoms cfg ~seed =
       w.wconn <- None
     end
   and reconnect w =
+    finish_lease_offline w;
     w.inc <- w.inc + 1;
     bump w;
     (match w.wconn with Some c -> Net.close c | None -> ());
@@ -321,7 +469,13 @@ let run ?atoms cfg ~seed =
         | Codec.Bye { reason } -> stop w ~why:("bye: " ^ reason)
         | _ -> (
             match Protocol.welcome_reply msg with
-            | Ok _welcome -> request w
+            | Ok welcome ->
+                if w.wepoch > 0 && welcome.Protocol.epoch <> w.wepoch then
+                  tracef "%s: coordinator is now epoch %d (was %d)" w.wname
+                    welcome.Protocol.epoch w.wepoch;
+                w.wepoch <- welcome.Protocol.epoch;
+                resend w;
+                request w
             | Error _ ->
                 (* junk or a reordered stray — keep waiting for the
                    real Welcome, with a fresh reply deadline *)
@@ -329,8 +483,8 @@ let run ?atoms cfg ~seed =
                 arm_silence w))
     | Awaiting -> (
         match Protocol.lease_reply msg with
-        | Protocol.Granted { lease; lo; hi; done_ids } ->
-            run_lease w ~lease ~ids:(Protocol.ids_to_run ~lo ~hi ~done_ids)
+        | Protocol.Granted { lease; epoch; lo; hi; done_ids } ->
+            run_lease w ~lease ~epoch ~ids:(Protocol.ids_to_run ~lo ~hi ~done_ids)
         | Protocol.Backoff s ->
             bump w;
             let inc = w.inc and seq = w.seq in
@@ -371,6 +525,10 @@ let run ?atoms cfg ~seed =
           w.alive <- false;
           w.phase <- Stopped;
           w.wconn <- None;
+          (* a crashed process remembers nothing *)
+          w.wepoch <- 0;
+          w.wcur <- None;
+          w.conn_fails <- 0;
           Net.crash_worker net ~worker:wi);
       Sched.at sched ~ns:restart_ns (fun () ->
           tracef "%s: restart" w.wname;
@@ -378,9 +536,24 @@ let run ?atoms cfg ~seed =
           bump w;
           (match w.wconn with Some c -> Net.close c | None -> ());
           w.wconn <- None;
+          w.conn_fails <- 0;
           w.alive <- true;
           start w))
     (Fault_plan.crashes plan);
+  List.iter
+    (fun (at_ns, restart_ns) ->
+      Sched.at sched ~ns:at_ns (fun () ->
+          if (not !finished) && Option.is_some !core then begin
+            tracef "coord: crash — epoch %d 's lease table and connections lost" !epoch;
+            Net.crash_coordinator net;
+            core := None
+          end);
+      Sched.at sched ~ns:restart_ns (fun () ->
+          if (not !finished) && Option.is_none !core then begin
+            boot ();
+            tracef "coord: restarted as epoch %d" !epoch
+          end))
+    (Fault_plan.coord_crashes plan);
 
   (* ---- run to completion or the horizon ---- *)
   let ending = Sched.run sched ~until_ns:cfg.horizon_ns in
@@ -396,6 +569,36 @@ let run ?atoms cfg ~seed =
       if i >= total then None else if p counts.(i) then Some i else go (i + 1)
     in
     go 0
+  in
+  (* The worker-side checker. A repeat under the same (epoch, lease) is
+     a duplicated grant frame — benign, dedup absorbs it. A repeat
+     under a different epoch rode a coordinator recovery — the whole
+     lease table was re-derived from the journal, which is a reconcile.
+     A repeat within one epoch under two different leases is legitimate
+     only if the earlier-granted lease was requeued: a shard lives in
+     at most one lease at a time, so for the range to travel twice the
+     first grant must have been settled, and a verified retire proves
+     the trials journaled (they would not travel again). An un-requeued
+     repeat means a lease was retired on a stale incarnation's word —
+     the fencing bug. Grant order is by lease id (ids are issued
+     monotonically within an incarnation), not by execution order: a
+     reordered grant frame can arrive — and run — after its range was
+     requeued and re-granted. *)
+  let reexec () =
+    let tbl : (int * int, int * int * int) Hashtbl.t = Hashtbl.create 256 in
+    let rec scan = function
+      | [] -> None
+      | (widx, id, epoch, lease, inc) :: rest -> (
+          match Hashtbl.find_opt tbl (widx, id) with
+          | Some (epoch', lease', inc')
+            when epoch = epoch' && lease <> lease' && inc = inc'
+                 && not (Hashtbl.mem requeued (epoch, min lease lease')) ->
+              Some (Reexec { worker = Printf.sprintf "w%d" widx; trial = id })
+          | _ ->
+              Hashtbl.replace tbl (widx, id) (epoch, lease, inc);
+              scan rest)
+    in
+    scan (List.rev !exec_rev)
   in
   let violation =
     match first (fun c -> c > 1) with
@@ -413,7 +616,7 @@ let run ?atoms cfg ~seed =
         else (
           match first (fun c -> c = 0) with
           | Some id -> Some (Hole id)
-          | None -> None)
+          | None -> reexec ())
   in
   {
     violation;

@@ -10,10 +10,21 @@
     [(config, seed)] — byte-identical across re-runs, which the tests
     pin.
 
-    The invariant checked is exactly-once: when the run ends, the
-    journal must hold every trial id exactly once and the coordinator
-    must have declared completion within the virtual-time horizon.
-    Anything else is a {!violation}. *)
+    The coordinator itself is a crashable actor: a
+    {!Fault_plan.atom.CoordCrash} window drops the engine — lease
+    table, connections, epoch state, everything in memory — while the
+    in-memory journal (the stand-in for the journal file) survives; the
+    restart boots the next incarnation through the same
+    journal-recovery path [serve --resume] runs, and the worker actors
+    ride it out with bounded connect backoff plus an in-flight-lease
+    replay, like the socket worker.
+
+    Two invariants are checked: {e exactly-once} — when the run ends,
+    the journal must hold every trial id exactly once and the
+    coordinator must have declared completion within the virtual-time
+    horizon — and the {e worker-side} rule that no worker executes the
+    same trial twice without a reconcile (a lease requeue or a
+    coordinator recovery) between. Anything else is a {!violation}. *)
 
 type config = {
   workers : int;
@@ -23,6 +34,11 @@ type config = {
       (** [false] plants the lease-retirement bug (a [Complete] retires
           its lease without checking the journal) — the mutation the
           schedule search must catch *)
+  fence_epochs : bool;
+      (** [false] plants the fencing bug (a [Complete] carrying a stale
+          incarnation's grant epoch is trusted, retiring whatever live
+          lease happens to reuse the id) — only coordinator-crash
+          schedules can expose it *)
   horizon_ns : int;  (** virtual-time backstop for stalled schedules *)
 }
 
@@ -31,16 +47,24 @@ val config :
   ?trials:int ->
   ?lease_trials:int ->
   ?verify_complete:bool ->
+  ?fence_epochs:bool ->
   ?horizon_ns:int ->
   unit ->
   config
 (** Defaults: 3 workers, 200 trials, shards of 32, verification on,
-    60 s (virtual) horizon. *)
+    fencing on, 60 s (virtual) horizon. *)
 
 type violation =
   | Duplicate of int  (** this trial id journaled more than once *)
   | Hole of int  (** never journaled, yet the run ended *)
   | Stalled of string  (** horizon hit or events drained before completion *)
+  | Reexec of { worker : string; trial : int }
+      (** the worker-side checker: this worker executed the trial under
+          two different leases of one coordinator incarnation with no
+          reconcile between — the earlier lease was never requeued, so
+          the range could only travel twice if a lease was retired on a
+          stale incarnation's word (re-running a duplicated copy of one
+          grant frame is {e not} a violation: dedup absorbs it) *)
 
 val violation_to_string : violation -> string
 

@@ -215,7 +215,8 @@ let run_with_driver cfg driver ~bodies =
         else
           match fk with
           | Fault_kind.Invisible | Fault_kind.Arbitrary | Fault_kind.Relaxation
-            when List.mem fk cfg.allowed_faults && Budget.can_fault cfg.budget obj -> (
+            when List.exists (Fault_kind.equal fk) cfg.allowed_faults
+                 && Budget.can_fault cfg.budget obj -> (
               let kind = World.kind_of world obj in
               match Faulty_semantics.apply fk ?payload ~kind ~state:pre op with
               | Ok (Faulty_semantics.Outcome o) when outcome_differs o correct -> choice

@@ -10,4 +10,7 @@ let through_alias (a : V.t) b = compare a b
 let in_params (xs : V.t list) ys = xs = ys
 let member (v : V.t) vs = List.mem v vs
 let hashed (v : V.t) = Hashtbl.hash v
+
+(* Op.t embeds Value.t payloads, so it sits in the semantic set too. *)
+let op_direct (a : Ffault_objects.Op.t) b = a = b
 let fine (a : int) b = a = b

@@ -170,10 +170,12 @@ let fixture_record =
 
 let all_msgs =
   [
-    Codec.Hello { version = Wire.version; name = "w1"; domains = 4 };
+    Codec.Hello { version = Wire.version; name = "w1"; domains = 4; last_epoch = 0 };
+    Codec.Hello { version = Wire.version; name = "w2"; domains = 1; last_epoch = 3 };
     Codec.Welcome
       {
         version = Wire.version;
+        epoch = 1;
         spec = fixture_spec;
         supervision =
           {
@@ -187,15 +189,16 @@ let all_msgs =
     Codec.Welcome
       {
         version = Wire.version;
+        epoch = 4;
         spec = fixture_spec;
         supervision = Codec.no_supervision;
         hb_interval_s = 0.5;
       };
     Codec.Request;
-    Codec.Lease { lease = 7; lo = 100; hi = 200; done_ids = [ 101; 150; 199 ] };
-    Codec.Lease { lease = 0; lo = 0; hi = 50; done_ids = [] };
+    Codec.Lease { lease = 7; epoch = 2; lo = 100; hi = 200; done_ids = [ 101; 150; 199 ] };
+    Codec.Lease { lease = 0; epoch = 1; lo = 0; hi = 50; done_ids = [] };
     Codec.Result fixture_record;
-    Codec.Complete { lease = 7 };
+    Codec.Complete { lease = 7; epoch = 2 };
     Codec.heartbeat;
     Codec.Heartbeat
       {
@@ -403,6 +406,183 @@ let test_lease_validation () =
 
 (* ---- coordinator config ---- *)
 
+(* ---- engine-level: reconnect backoff, crash recovery, fencing ---- *)
+
+module Core = Dist.Core
+module Retry = Ffault_supervise.Retry
+
+let test_reconnect_backoff_schedule () =
+  (* the worker's reconnect schedule is a pure function of (policy,
+     seed, attempt) — no clock, no sleeping, fully checkable *)
+  let p = Dist.Worker.default_retry in
+  check Alcotest.int "bounded attempts" 8 p.Retry.max_retries;
+  let schedule seed =
+    List.init p.Retry.max_retries (fun i -> Retry.backoff_ns p ~seed ~attempt:(i + 1))
+  in
+  let a = schedule 0xABCL in
+  check (Alcotest.list Alcotest.int) "deterministic" a (schedule 0xABCL);
+  (* exponential nominal with 0.5x..1.5x jitter, capped *)
+  List.iteri
+    (fun i ns ->
+      let nominal = min (p.Retry.base_backoff_ns lsl i) p.Retry.max_backoff_ns in
+      check Alcotest.bool (Fmt.str "attempt %d above half nominal" (i + 1)) true
+        (ns >= nominal / 2);
+      check Alcotest.bool (Fmt.str "attempt %d under cap" (i + 1)) true
+        (ns <= p.Retry.max_backoff_ns * 3 / 2))
+    a;
+  (* two workers (different seeds) never share a thundering herd *)
+  check Alcotest.bool "seeds shear the schedule" true (a <> schedule 0xDEFL)
+
+let fake_io : string Core.io =
+  {
+    Core.peer = (fun name -> "fake://" ^ name);
+    send = (fun _ _ -> Ok ());
+    close = (fun _ -> ());
+  }
+
+let record_for spec trial =
+  let cells = Grid.cells spec in
+  {
+    Journal.trial;
+    cell = cells.(trial / spec.Spec.trials);
+    seed = 0L;
+    ok = true;
+    outcome = Journal.Pass;
+    retries = 0;
+    violations = [];
+    steps = 1;
+    max_steps = 1;
+    stage = -1;
+    faults = 0;
+    wall_us = 1;
+    witness = None;
+  }
+
+(* The serve --resume recovery sequence, against a journal whose last
+   line was torn mid-append by the dying incarnation: claim a fresh
+   epoch from owner.json, rebuild the mask from the intact lines, and
+   re-grant only what the journal cannot prove done. *)
+let test_restart_recovers_torn_journal () =
+  let root = tmp_root () in
+  let spec = Spec.v ~name:"torn" ~protocol:"fig1" ~trials:48 () in
+  let total = Grid.total_trials spec in
+  let dir = Checkpoint.campaign_dir ~root spec in
+  Checkpoint.save_manifest ~dir spec;
+  let path = Checkpoint.journal_path ~dir in
+  let writer = Journal.create_writer ~path in
+  for t = 0 to 19 do
+    Journal.append writer (record_for spec t)
+  done;
+  Journal.close_writer writer;
+  (* the crash tore the 21st record mid-line *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{\"trial\":20,\"cel";
+  close_out oc;
+  (* incarnations fence by claiming strictly increasing epochs *)
+  check Alcotest.int "first claim" 1 (Checkpoint.claim_ownership ~dir);
+  let epoch = Checkpoint.claim_ownership ~dir in
+  check Alcotest.int "second claim" 2 epoch;
+  check Alcotest.int "persisted" 2 (Checkpoint.load_epoch ~dir);
+  let st = Checkpoint.fresh ~total in
+  Journal.fold ~path ~init:() ~f:(fun () r ->
+      if not (Checkpoint.is_done st r.Journal.trial) then
+        Checkpoint.mark st r.Journal.trial ~ok:r.Journal.ok);
+  let events = ref [] in
+  let core =
+    Core.create ~epoch ~io:fake_io
+      ~append:(fun _ -> ())
+      ~on_event:(fun e -> events := e :: !events)
+      ~st ~spec ~lease_trials:16 ~lease_timeout_s:10.0 ~hb_interval_s:0.5
+      ~max_workers:4 ~supervision:Codec.no_supervision ()
+  in
+  let v = Core.view core in
+  check Alcotest.int "epoch" 2 v.Core.vw_epoch;
+  check Alcotest.int "restarts" 1 v.Core.vw_restarts;
+  check Alcotest.int "torn line dropped, 20 done" 20 v.Core.vw_done;
+  check Alcotest.bool "recovery pre-retired the complete shard" true
+    (List.exists
+       (fun e -> e = "recovery: 1 of 3 shard(s) already complete in the journal")
+       !events);
+  (* the first grant is the partial shard, done ids included *)
+  let sent = ref [] in
+  let io = { fake_io with Core.send = (fun _ m -> sent := m :: !sent; Ok ()) } in
+  let core =
+    Core.create ~epoch ~io
+      ~append:(fun _ -> ())
+      ~st ~spec ~lease_trials:16 ~lease_timeout_s:10.0 ~hb_interval_s:0.5
+      ~max_workers:4 ~supervision:Codec.no_supervision ()
+  in
+  let cl = Core.add_client core "w9" in
+  Core.deliver core cl
+    (Codec.to_frame
+       (Codec.Hello { version = Wire.version; name = "w9"; domains = 1; last_epoch = 1 }));
+  Core.deliver core cl (Codec.to_frame Codec.Request);
+  (match !sent with
+  | Codec.Lease { lease = _; epoch = e; lo; hi; done_ids } :: _ ->
+      check Alcotest.int "grant carries the new epoch" 2 e;
+      check Alcotest.int "partial shard lo" 16 lo;
+      check Alcotest.int "partial shard hi" 32 hi;
+      check (Alcotest.list Alcotest.int) "done ids from the journal"
+        [ 16; 17; 18; 19 ] done_ids
+  | ms ->
+      Alcotest.failf "expected a Lease reply, got %d other message(s)" (List.length ms))
+
+(* Epoch fencing at the engine: a Complete stamped with a dead
+   incarnation's grant epoch must not retire the live lease that
+   happens to reuse the id — but the same worker's Results are still
+   dedup-accepted by trial id. *)
+let test_stale_complete_fenced_results_deduped () =
+  let spec = Spec.v ~name:"fence" ~protocol:"fig1" ~trials:32 () in
+  let total = Grid.total_trials spec in
+  let st = Checkpoint.fresh ~total in
+  let appended = ref 0 in
+  let events = ref [] in
+  let core =
+    Core.create ~epoch:2 ~io:fake_io
+      ~append:(fun _ -> incr appended)
+      ~on_event:(fun e -> events := e :: !events)
+      ~st ~spec ~lease_trials:16 ~lease_timeout_s:10.0 ~hb_interval_s:0.5
+      ~max_workers:4 ~supervision:Codec.no_supervision ()
+  in
+  let join name =
+    let cl = Core.add_client core name in
+    Core.deliver core cl
+      (Codec.to_frame
+         (Codec.Hello { version = Wire.version; name; domains = 1; last_epoch = 1 }));
+    Core.deliver core cl (Codec.to_frame Codec.Request);
+    cl
+  in
+  let _a = join "w-a" (* granted lease #0 [0,16) *) in
+  let b = join "w-b" (* granted lease #1 [16,32) *) in
+  let result t = Codec.to_frame (Codec.Result (record_for spec t)) in
+  Core.deliver core b (result 16);
+  Core.deliver core b (result 17);
+  check Alcotest.int "results journaled" 2 !appended;
+  (* w-b claims epoch-1 lease #0 complete — the id collides with w-a's
+     live lease, the epoch gives the staleness away *)
+  Core.deliver core b (Codec.to_frame (Codec.Complete { lease = 0; epoch = 1 }));
+  let v = Core.view core in
+  check Alcotest.int "fenced" 1 v.Core.vw_stale_completes;
+  check Alcotest.bool "fence event" true
+    (List.exists
+       (fun e -> e = "complete #0 fenced: grant epoch 1, coordinator epoch 2 (from w-b)")
+       !events);
+  (* w-a's colliding lease survives; w-b's own lease was reconciled
+     from the journal — 14 trials unjournaled, so requeued *)
+  check Alcotest.int "victim lease still outstanding" 1 v.Core.vw_leases_outstanding;
+  let wb = List.find (fun w -> w.Core.v_name = "w-b") v.Core.vw_workers in
+  check Alcotest.int "w-b lease requeued by reconcile" 1 wb.Core.v_expired;
+  (* a replayed Result for an already-journaled trial is deduped *)
+  Core.deliver core b (result 16);
+  check Alcotest.int "no double append" 2 !appended;
+  let v = Core.view core in
+  let wb = List.find (fun w -> w.Core.v_name = "w-b") v.Core.vw_workers in
+  check Alcotest.int "dedup counted" 1 wb.Core.v_deduped;
+  (* the requeued shard travels again, minus the journaled ids *)
+  Core.deliver core b (Codec.to_frame Codec.Request);
+  let v = Core.view core in
+  check Alcotest.int "requeued shard re-granted" 2 v.Core.vw_leases_outstanding
+
 let test_coordinator_config_validation () =
   let ep = Transport.Unix_sock "/tmp/x.sock" in
   raises_invalid "lease_trials" (fun () -> Dist.Coordinator.config ~lease_trials:0 ep);
@@ -503,7 +683,9 @@ let test_serve_exactly_once () =
         + summary.Dist.Coordinator.pool.Campaign.Pool.skipped);
       check Alcotest.int "worker ran the rest" (total - pre)
         worker.Dist.Worker.trials_run;
-      check Alcotest.int "worker skipped the done ids" pre
+      (* recovery pre-retires the fully-journaled shards, so only the
+         partially-done shard's ids travel as done_ids *)
+      check Alcotest.int "worker skipped the done ids in live shards" (pre mod 16)
         worker.Dist.Worker.trials_skipped;
       check Alcotest.bool "no expired leases" true
         (summary.Dist.Coordinator.leases_expired = 0);
@@ -553,6 +735,12 @@ let suites =
     ( "dist.coordinator",
       [
         Alcotest.test_case "config validation" `Quick test_coordinator_config_validation;
+        Alcotest.test_case "reconnect backoff schedule" `Quick
+          test_reconnect_backoff_schedule;
+        Alcotest.test_case "restart recovers a torn journal" `Quick
+          test_restart_recovers_torn_journal;
+        Alcotest.test_case "stale complete fenced, results deduped" `Quick
+          test_stale_complete_fenced_results_deduped;
         Alcotest.test_case "exactly-once over a socket" `Quick test_serve_exactly_once;
       ] );
   ]

@@ -629,12 +629,20 @@ let test_poly_compare_fixture () =
     ~rules:[ "poly-compare-abstract" ] "poly_compare";
   let fs = typed_findings ~file:"lib/hoare/poly_compare.ml" "poly_compare" in
   (* direct =, aliased compare, = at Value.t list, List.mem,
-     Hashtbl.hash — and NOT the int-typed negative control *)
-  check Alcotest.int "five instantiations at Value.t" 5
+     Hashtbl.hash, = at Op.t — and NOT the int-typed negative control *)
+  check Alcotest.int "six instantiations at semantic types" 6
     (count_typed "poly-compare-abstract" fs);
-  let f = List.hd (List.filter (fun (f : Finding.t) -> f.Finding.rule = "poly-compare-abstract") fs) in
+  let hits =
+    List.filter (fun (f : Finding.t) -> f.Finding.rule = "poly-compare-abstract") fs
+  in
   check Alcotest.bool "message points at the semantic API" true
-    (contains ~sub:"Value.equal" f.Finding.message)
+    (contains ~sub:"Value.equal" (List.hd hits).Finding.message);
+  (* the grown semantic set: the Op.t instantiation is its own finding
+     with its own suggested API *)
+  check Alcotest.bool "Op.t caught with its own API" true
+    (List.exists
+       (fun (f : Finding.t) -> contains ~sub:"Op.equal" f.Finding.message)
+       hits)
 
 let test_domain_capture_fixture () =
   let fs = typed_findings ~file:"lib/campaign/domain_capture.ml" "domain_capture" in
