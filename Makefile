@@ -1,6 +1,6 @@
 # Convenience targets for the ffault reproduction.
 
-.PHONY: all build test lint lint-json lint-baseline lint-prune experiments experiments-quick bench bench-smoke examples campaign-smoke chaos-smoke dist-chaos-smoke coord-chaos-smoke netsim-smoke check clean
+.PHONY: all build test lint lint-json lint-baseline lint-prune experiments experiments-quick bench bench-smoke examples campaign-smoke chaos-smoke dist-chaos-smoke coord-chaos-smoke netsim-smoke recover-smoke check clean
 
 all: build
 
@@ -35,7 +35,7 @@ lint-prune:
 	dune exec bin/main.exe -- lint --typed=on --baseline lint-baseline.json --prune-baseline
 
 # The full local gate: what CI runs, minus the artifact uploads.
-check: build test lint campaign-smoke chaos-smoke dist-chaos-smoke coord-chaos-smoke netsim-smoke
+check: build test lint campaign-smoke chaos-smoke dist-chaos-smoke coord-chaos-smoke netsim-smoke recover-smoke
 
 experiments:
 	dune exec bin/main.exe -- experiment
@@ -50,7 +50,7 @@ bench:
 # bench still runs and emits its BENCH_<group>.json, without the cost of
 # real timing. CI runs this on every push.
 bench-smoke:
-	dune exec bench/main.exe -- --smoke campaign netsim dist b1 e1
+	dune exec bench/main.exe -- --smoke campaign netsim dist recover b1 e1
 
 examples:
 	dune exec examples/quickstart.exe
@@ -88,6 +88,15 @@ dist-chaos-smoke:
 # reconnect backoff without a process restart.
 coord-chaos-smoke:
 	sh scripts/coord_chaos_smoke.sh
+
+# The crash-restart subsystem end to end: the naive baseline must
+# violate recoverable linearizability under crash-only schedules (with
+# the violation crash-attributed and its witness shrunk), the
+# recoverable protocols must stay clean, and a crash-axis campaign must
+# survive SIGKILL+resume and the distributed serve/worker path with the
+# journal exactly-once. See doc/RECOVERY.md.
+recover-smoke:
+	sh scripts/recover_smoke.sh
 
 # The fencing self-test sweep stops at its first catch (seed 2 hits at
 # schedule 7); the 50-schedule bound is headroom, not the usual cost.

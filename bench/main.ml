@@ -242,6 +242,26 @@ let campaign_run ~domains =
     let s = Ffault_campaign.Pool.run_trials ~domains ~on_record:(fun _ -> ()) spec in
     if s.Ffault_campaign.Pool.failures > 0 then failwith "bench: campaign violation"
 
+(* Recover: overhead of the crash-restart machinery — the campaign pool
+   workload with the crash axes live. The recoverable protocols must
+   stay clean under a crash-only schedule (asserted, so the bench
+   doubles as a smoke check); naive-tas is measured without the
+   assertion because its violations are the point of the baseline. *)
+let recover_run ~protocol ~expect_clean ~domains =
+  let spec =
+    Ffault_campaign.Spec.v ~name:"bench-recover" ~protocol ~f:[ 0 ] ~n:[ 2 ] ~rates:[ 0.0 ]
+      ~crashes:[ 1 ] ~crash_rates:[ 0.4 ]
+      ~persistence:[ Ffault_recover.Persistence.Persist_all ] ~trials:256 ~seed:77L ()
+  in
+  fun () ->
+    let s =
+      Ffault_campaign.Pool.run_trials ~domains ~max_shrinks_per_cell:0
+        ~on_record:(fun _ -> ())
+        spec
+    in
+    if expect_clean && s.Ffault_campaign.Pool.failures > 0 then
+      failwith "bench: recoverable protocol violated under crash-only schedule"
+
 (* B1: raw simulator throughput — a tight CAS ping-pong between n
    processes for a fixed number of steps. *)
 let sim_throughput ~n ~steps =
@@ -455,6 +475,14 @@ let groups =
         ("dist/2w-128t", dist_run ~workers:2 ~status:false ~scrape:false);
         ("dist/2w-128t/status", dist_run ~workers:2 ~status:true ~scrape:false);
         ("dist/2w-128t/status+scrape", dist_run ~workers:2 ~status:true ~scrape:true);
+      ];
+    group "recover"
+      [
+        ("recover/rec-tas-256/1dom", recover_run ~protocol:"rec-tas" ~expect_clean:true ~domains:1);
+        ("recover/rec-tas-256/4dom", recover_run ~protocol:"rec-tas" ~expect_clean:true ~domains:4);
+        ("recover/rec-cas-256/1dom", recover_run ~protocol:"rec-cas" ~expect_clean:true ~domains:1);
+        ( "recover/naive-tas-256/1dom",
+          recover_run ~protocol:"naive-tas" ~expect_clean:false ~domains:1 );
       ];
     group "b1"
       [

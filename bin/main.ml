@@ -51,8 +51,10 @@ let protocol_arg =
   let doc =
     "Protocol under test: fig1 (two-process single CAS), fig2 (f-tolerant sweep, f+1 \
      objects), fig3 (bounded-faults staged, f objects), herlihy (fault-free baseline), \
-     silent-retry, tas (2-process test-and-set consensus), or sweepN (the Fig. 2 sweep \
-     over exactly N objects, e.g. sweep2)."
+     silent-retry, tas (2-process test-and-set consensus), sweepN (the Fig. 2 sweep \
+     over exactly N objects, e.g. sweep2), or the recoverable family: rec-cas, rec-tas \
+     (recovery sections, doc/RECOVERY.md) and naive-tas (the deliberately \
+     non-recoverable baseline)."
   in
   Arg.(value & opt string "fig2" & info [ "protocol"; "p" ] ~docv:"PROTO" ~doc)
 
@@ -575,13 +577,17 @@ let trace_arg =
 let show_progress ~progress ~quiet =
   (not quiet) && (progress || Telemetry.Progress.isatty stderr)
 
-let campaign_spec_of_flags ~name ~protocol ~f ~t ~n ~kinds ~rates ~trials ~seed =
+let campaign_spec_of_flags ~name ~protocol ~f ~t ~n ~kinds ~rates ~crashes ~crash_rates
+    ~persistence ~crash_seed ~trials ~seed =
   let ( let* ) = Result.bind in
   let* f = Campaign.Spec.ints_of_string f in
   let* t = Campaign.Spec.t_values_of_string t in
   let* n = Campaign.Spec.ints_of_string n in
   let* kinds = Campaign.Spec.kinds_of_string kinds in
   let* rates = Campaign.Spec.rates_of_string rates in
+  let* crashes = Campaign.Spec.ints_of_string crashes in
+  let* crash_rates = Campaign.Spec.rates_of_string crash_rates in
+  let* persistence = Campaign.Spec.persistence_of_string persistence in
   Campaign.Spec.validate
     {
       Campaign.Spec.name;
@@ -591,6 +597,10 @@ let campaign_spec_of_flags ~name ~protocol ~f ~t ~n ~kinds ~rates ~trials ~seed 
       n_values = n;
       kinds;
       rates;
+      crashes;
+      crash_rates;
+      persistence;
+      crash_seed = Int64.of_int crash_seed;
       trials;
       seed = Int64.of_int seed;
     }
@@ -664,17 +674,44 @@ let rates_arg =
   let doc = "Fault-rate axis in [0,1]." in
   Arg.(value & opt string "0.5" & info [ "rates" ] ~docv:"LIST" ~doc)
 
+let crashes_arg =
+  let doc =
+    "Crash axis: per-process crash-restart caps to sweep (0 = crash-free, the default). \
+     Cells with crashes > 0 run the protocol's recovery section on restart \
+     (doc/RECOVERY.md)."
+  in
+  Arg.(value & opt string "0" & info [ "crashes" ] ~docv:"LIST" ~doc)
+
+let crash_rates_arg =
+  let doc = "Crash-rate axis in [0,1]: per-operation crash probability for the seeded \
+             crash plan." in
+  Arg.(value & opt string "0.0" & info [ "crash-rates" ] ~docv:"LIST" ~doc)
+
+let persistence_arg =
+  let doc = "Persistence-mode axis: comma list of `all', `lossy', or `only:<obj>,..'." in
+  Arg.(value & opt string "all" & info [ "persistence" ] ~docv:"LIST" ~doc)
+
+let crash_seed_arg =
+  let doc =
+    "Extra seed mixed into each trial's crash plan, so crash schedules re-roll \
+     independently of the fault schedules."
+  in
+  Arg.(value & opt int 0 & info [ "crash-seed" ] ~docv:"SEED" ~doc)
+
 let trials_arg =
   let doc = "Trials per grid cell." in
   Arg.(value & opt int 100 & info [ "trials" ] ~docv:"K" ~doc)
 
 let campaign_run_cmd =
-  let run spec_file name protocol f t n kinds rates trials seed root domains deadline
-      max_retries quarantine_after adaptive progress quiet trace =
+  let run spec_file name protocol f t n kinds rates crashes crash_rates persistence
+      crash_seed trials seed root domains deadline max_retries quarantine_after adaptive
+      progress quiet trace =
     let spec =
       match spec_file with
       | Some path -> Campaign.Spec.of_file path
-      | None -> campaign_spec_of_flags ~name ~protocol ~f ~t ~n ~kinds ~rates ~trials ~seed
+      | None ->
+          campaign_spec_of_flags ~name ~protocol ~f ~t ~n ~kinds ~rates ~crashes
+            ~crash_rates ~persistence ~crash_seed ~trials ~seed
     in
     match
       Result.bind spec (fun spec ->
@@ -692,7 +729,8 @@ let campaign_run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ spec_file_arg $ campaign_name_arg $ protocol_arg $ f_list_arg $ t_list_arg
-      $ n_list_arg $ kinds_arg $ rates_arg $ trials_arg $ seed_arg $ campaign_root_arg
+      $ n_list_arg $ kinds_arg $ rates_arg $ crashes_arg $ crash_rates_arg
+      $ persistence_arg $ crash_seed_arg $ trials_arg $ seed_arg $ campaign_root_arg
       $ campaign_domains_arg $ deadline_flag_arg $ max_retries_arg $ quarantine_after_arg
       $ adaptive_deadline_arg $ progress_arg $ quiet_arg $ trace_arg)
 
@@ -773,13 +811,16 @@ let campaign_serve_cmd =
     in
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
   in
-  let run spec_file name protocol f t n kinds rates trials seed root listen lease_trials
-      lease_timeout hb_interval max_workers resume status trace deadline max_retries
-      quarantine_after adaptive progress quiet =
+  let run spec_file name protocol f t n kinds rates crashes crash_rates persistence
+      crash_seed trials seed root listen lease_trials lease_timeout hb_interval
+      max_workers resume status trace deadline max_retries quarantine_after adaptive
+      progress quiet =
     let spec =
       match spec_file with
       | Some path -> Campaign.Spec.of_file path
-      | None -> campaign_spec_of_flags ~name ~protocol ~f ~t ~n ~kinds ~rates ~trials ~seed
+      | None ->
+          campaign_spec_of_flags ~name ~protocol ~f ~t ~n ~kinds ~rates ~crashes
+            ~crash_rates ~persistence ~crash_seed ~trials ~seed
     in
     let checked =
       Result.bind spec (fun spec ->
@@ -869,7 +910,8 @@ let campaign_serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ spec_file_arg $ campaign_name_arg $ protocol_arg $ f_list_arg
-      $ t_list_arg $ n_list_arg $ kinds_arg $ rates_arg $ trials_arg $ seed_arg
+      $ t_list_arg $ n_list_arg $ kinds_arg $ rates_arg $ crashes_arg $ crash_rates_arg
+      $ persistence_arg $ crash_seed_arg $ trials_arg $ seed_arg
       $ campaign_root_arg $ listen_arg $ lease_trials_arg $ lease_timeout_arg
       $ hb_interval_arg $ max_workers_arg $ resume_serve_arg $ status_arg
       $ serve_trace_arg $ deadline_flag_arg $ max_retries_arg $ quarantine_after_arg

@@ -1,8 +1,10 @@
 (** Deterministic expansion of a {!Spec} into the trial grid.
 
     Cells enumerate the cartesian product of the spec's axes in a fixed
-    nesting order (f, then t, then n, then kind, then rate); trial ids
-    are dense: trial [id] belongs to cell [id / trials]. Every trial's
+    nesting order (f, then t, then n, then kind, then rate, then the
+    crash axes: crashes, crash rate, persistence); trial ids are dense:
+    trial [id] belongs to cell [id / trials]. The crash axes are
+    innermost so crash-free specs keep their historical cell order. Every trial's
     seed is derived statelessly from the root seed and its id with the
     SplitMix finalizer, so any domain can compute any trial's seed
     without coordination and a campaign is exactly replayable from its
@@ -14,6 +16,9 @@ type cell = {
   n : int;
   kind : Ffault_fault.Fault_kind.t;
   rate : float;
+  crashes : int;  (** per-process crash cap; 0 = crash-free *)
+  crash_rate : float;  (** per-operation crash probability *)
+  persistence : Ffault_recover.Persistence.mode;
 }
 
 type trial = {
@@ -31,6 +36,12 @@ val total_trials : Spec.t -> int
 val seed_of : Spec.t -> int -> int64
 (** [seed_of spec id] — stateless, O(1). *)
 
+val crash_plan_seed : Spec.t -> int64 -> int64
+(** [crash_plan_seed spec trial_seed] — the seed of the trial's crash
+    plan: the spec's [crash_seed] mixed into the trial seed, so varying
+    [--crash-seed] re-rolls crash schedules without touching the
+    primitive-fault schedules. *)
+
 val trial : Spec.t -> int -> trial
 (** @raise Invalid_argument if [id] is out of range. *)
 
@@ -42,16 +53,21 @@ val cell_of_id : Spec.t -> int -> cell
 
 val setup : cell -> Ffault_consensus.Protocol.t -> Ffault_verify.Consensus_check.setup
 (** The checker setup a cell's trials run under: the cell's (f, t, n)
-    params with only the cell's fault kind allowed. *)
+    params with only the cell's fault kind allowed, and — when the cell
+    has [crashes > 0] — the crash cap and persistence mode armed. *)
 
 val in_envelope : cell -> Ffault_consensus.Protocol.t -> bool
 (** Whether the protocol's theorem covers this cell (violations inside
     the envelope are regressions; outside, expected data). The kind
     matters: each theorem is stated for one fault kind (overriding for
     the CAS constructions, silent for silent-retry) — a cell injecting
-    any other kind is out of envelope regardless of (f, t, n). *)
+    any other kind is out of envelope regardless of (f, t, n). A cell
+    with crash-restarts is only in envelope for protocols that declare a
+    recovery section. *)
 
 val cell_key : cell -> string
-(** Canonical axis string, the join key for campaign diffs. *)
+(** Canonical axis string, the join key for campaign diffs. Crash-free
+    cells render exactly as before the crash axes existed, so old and
+    new journals keep joining. *)
 
 val pp_cell : Format.formatter -> cell -> unit

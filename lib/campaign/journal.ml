@@ -1,4 +1,5 @@
 module Fault_kind = Ffault_fault.Fault_kind
+module Persistence = Ffault_recover.Persistence
 
 type outcome = Pass | Violation | Timeout | Quarantined
 
@@ -29,6 +30,7 @@ type record = {
   max_steps : int;
   stage : int;
   faults : int;
+  crash_faults : int;  (** crash-restarts charged during the trial *)
   wall_us : int;
   witness : int array option;
 }
@@ -56,12 +58,24 @@ let to_json r =
       ("wall_us", Json.Int r.wall_us);
     ]
   in
+  (* Crash fields only appear for crash cells: crash-free records stay
+     byte-identical to pre-recovery journals. *)
+  let crash =
+    if r.cell.Grid.crashes = 0 then []
+    else
+      [
+        ("crashes", Json.Int r.cell.Grid.crashes);
+        ("crash_rate", Json.Float r.cell.Grid.crash_rate);
+        ("persistence", Json.Str (Persistence.to_string r.cell.Grid.persistence));
+        ("crash_faults", Json.Int r.crash_faults);
+      ]
+  in
   let witness =
     match r.witness with
     | None -> []
     | Some w -> [ ("witness", Json.List (Array.to_list (Array.map (fun d -> Json.Int d) w))) ]
   in
-  Json.Obj (base @ witness)
+  Json.Obj (base @ crash @ witness)
 
 let of_json json =
   let ( let* ) = Result.bind in
@@ -109,6 +123,43 @@ let of_json json =
   let* stage = field "stage" Json.get_int in
   let* faults = field "faults" Json.get_int in
   let* wall_us = field "wall_us" Json.get_int in
+  (* Crash fields default for crash-free records (and pre-recovery
+     journals, which predate the crash axes entirely). *)
+  let* crashes =
+    match Json.member "crashes" json with
+    | None -> Ok 0
+    | Some j -> (
+        match Json.get_int j with
+        | Some c when c >= 0 -> Ok c
+        | Some _ | None -> Error "journal record: malformed crashes")
+  in
+  let* crash_rate =
+    match Json.member "crash_rate" json with
+    | None -> Ok 0.0
+    | Some j -> (
+        match Json.get_float j with
+        | Some r -> Ok r
+        | None -> Error "journal record: malformed crash_rate")
+  in
+  let* persistence =
+    match Json.member "persistence" json with
+    | None -> Ok Persistence.Persist_all
+    | Some j -> (
+        match Json.get_str j with
+        | Some s -> (
+            match Persistence.of_string s with
+            | Ok m -> Ok m
+            | Error _ -> Error "journal record: malformed persistence")
+        | None -> Error "journal record: malformed persistence")
+  in
+  let* crash_faults =
+    match Json.member "crash_faults" json with
+    | None -> Ok 0
+    | Some j -> (
+        match Json.get_int j with
+        | Some c when c >= 0 -> Ok c
+        | Some _ | None -> Error "journal record: malformed crash_faults")
+  in
   let* witness =
     match Json.member "witness" json with
     | None -> Ok None
@@ -124,7 +175,7 @@ let of_json json =
   Ok
     {
       trial;
-      cell = { Grid.f; t; n; kind; rate };
+      cell = { Grid.f; t; n; kind; rate; crashes; crash_rate; persistence };
       seed;
       ok;
       outcome;
@@ -134,6 +185,7 @@ let of_json json =
       max_steps;
       stage;
       faults;
+      crash_faults;
       wall_us;
       witness;
     }

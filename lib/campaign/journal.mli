@@ -14,7 +14,13 @@
      "violations":["consistency: ..."],
      "steps":41,"max_steps":17,"stage":3,"faults":2,"wall_us":180,
      "witness":[1,0,2]}
-    v} *)
+    v}
+
+    Records from crash cells additionally carry the cell's crash axes
+    ([crashes], [crash_rate], [persistence]) and the trial's
+    [crash_faults] count; crash-free records omit them entirely and stay
+    byte-identical to pre-recovery journals (and pre-recovery journals
+    parse with the crash-free defaults). *)
 
 type outcome =
   | Pass  (** ran to completion, no violations *)
@@ -40,6 +46,7 @@ type record = {
   max_steps : int;  (** worst per-process operation count *)
   stage : int;  (** max Fig. 3 stage reached in final states; -1 if none *)
   faults : int;  (** observable faults charged *)
+  crash_faults : int;  (** crash-restarts charged; 0 in crash-free cells *)
   wall_us : int;  (** trial wall time, µs (includes shrinking) *)
   witness : int array option;  (** minimized decision vector on failure *)
 }

@@ -143,6 +143,7 @@ let record_of_result ?(retries = 0) trial (res : Shrink_on_fail.result) =
     max_steps;
     stage;
     faults = Budget.total_faults result.Engine.budget;
+    crash_faults = Budget.total_crashes result.Engine.budget;
     wall_us = res.Shrink_on_fail.wall_ns / 1000;
     witness = res.Shrink_on_fail.witness;
   }
@@ -163,6 +164,7 @@ let quarantined_record trial =
     max_steps = 0;
     stage = -1;
     faults = 0;
+    crash_faults = 0;
     wall_us = 0;
     witness = None;
   }
@@ -255,10 +257,23 @@ let run_trials ?(domains = 1) ?(chunk = 64) ?(skip = fun _ -> false)
   let retried = ref 0 in
   let quarantined = ref 0 in
   let started = Unix.gettimeofday () in
+  (* A crash cell's trials run under a crash plan derived from the trial
+     seed mixed with the spec's crash-seed, so --crash-seed re-rolls the
+     crash schedules without touching the primitive-fault streams. *)
+  let crash_plan_of trial =
+    let cell = trial.Grid.cell in
+    if cell.Grid.crashes > 0 && cell.Grid.crash_rate > 0.0 then
+      Some
+        (Ffault_recover.Crash_plan.make
+           ~seed:(Grid.crash_plan_seed spec trial.Grid.seed)
+           ~rate:cell.Grid.crash_rate)
+    else None
+  in
   let run_attempt ?interrupt trial =
     let setup = setups.(trial.Grid.cell_id) in
+    let crash_plan = crash_plan_of trial in
     let res =
-      Shrink_on_fail.run_trial ~shrink:false ?interrupt setup
+      Shrink_on_fail.run_trial ~shrink:false ?interrupt ?crash_plan setup
         ~rate:trial.Grid.cell.Grid.rate ~seed:trial.Grid.seed
     in
     if
@@ -274,7 +289,7 @@ let run_trials ?(domains = 1) ?(chunk = 64) ?(skip = fun _ -> false)
       (* re-run with shrinking on; the recorded run is cheap relative to
          the minimization it feeds *)
       Tracer.with_span ~cat:"campaign" "shrink" (fun () ->
-          Shrink_on_fail.run_trial ~shrink:true ?interrupt setup
+          Shrink_on_fail.run_trial ~shrink:true ?interrupt ?crash_plan setup
             ~rate:trial.Grid.cell.Grid.rate ~seed:trial.Grid.seed)
     end
     else { res with Shrink_on_fail.witness = Some res.Shrink_on_fail.decisions }

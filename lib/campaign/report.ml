@@ -1,5 +1,6 @@
 module Table = Ffault_stats.Table
 module Summary = Ffault_stats.Summary
+module Classify = Ffault_hoare.Classify
 
 type cell_stats = {
   cell : Grid.cell;
@@ -12,6 +13,12 @@ type cell_stats = {
   retries : int;
   steps : Summary.t;  (** per-trial worst per-process operation count *)
   total_faults : int;
+  total_crashes : int;  (** crash-restarts charged across the cell's trials *)
+  attr_crash_only : int;
+      (** violating trials whose only charged faults were crash-restarts *)
+  attr_primitive_only : int;
+      (** violating trials with primitive faults but no crash *)
+  attr_mixed : int;  (** violating trials with both *)
   witnesses : int;
   min_witness_len : int option;
   mean_wall_us : float;
@@ -45,6 +52,10 @@ type acc = {
   mutable a_retries : int;
   a_steps : Summary.t;
   mutable a_faults : int;
+  mutable a_crashes : int;
+  mutable a_attr_crash : int;
+  mutable a_attr_prim : int;
+  mutable a_attr_mixed : int;
   mutable a_witnesses : int;
   mutable a_min_wit : int option;
   mutable a_wall : float;
@@ -68,6 +79,10 @@ let of_records ?telemetry ?workers ?journal_health spec records =
           a_retries = 0;
           a_steps = Summary.create ();
           a_faults = 0;
+          a_crashes = 0;
+          a_attr_crash = 0;
+          a_attr_prim = 0;
+          a_attr_mixed = 0;
           a_witnesses = 0;
           a_min_wit = None;
           a_wall = 0.0;
@@ -86,9 +101,20 @@ let of_records ?telemetry ?workers ?journal_health spec records =
            and a Quarantined trial never ran — neither says anything
            about the protocol, so neither belongs in the failure rate. *)
         (match r.Journal.outcome with
-        | Journal.Violation ->
+        | Journal.Violation -> (
             a.a_failures <- a.a_failures + 1;
-            incr total_failures
+            incr total_failures;
+            (* Attribute each violation to the fault dimensions that were
+               actually charged in the violating run: crash-restarts,
+               primitive faults, or both. *)
+            match
+              Classify.attribute ~crashes:r.Journal.crash_faults
+                ~primitive:r.Journal.faults
+            with
+            | Classify.Crash_only -> a.a_attr_crash <- a.a_attr_crash + 1
+            | Classify.Primitive_only -> a.a_attr_prim <- a.a_attr_prim + 1
+            | Classify.Mixed -> a.a_attr_mixed <- a.a_attr_mixed + 1
+            | Classify.No_fault -> ())
         | Journal.Timeout -> a.a_timeouts <- a.a_timeouts + 1
         | Journal.Quarantined -> a.a_quarantined <- a.a_quarantined + 1
         | Journal.Pass -> ());
@@ -98,6 +124,7 @@ let of_records ?telemetry ?workers ?journal_health spec records =
              would drag every ops statistic toward zero *)
           Summary.add_int a.a_steps r.Journal.max_steps;
           a.a_faults <- a.a_faults + r.Journal.faults;
+          a.a_crashes <- a.a_crashes + r.Journal.crash_faults;
           a.a_wall <- a.a_wall +. float_of_int r.Journal.wall_us
         end;
         match r.Journal.witness with
@@ -130,6 +157,10 @@ let of_records ?telemetry ?workers ?journal_health spec records =
               retries = a.a_retries;
               steps = a.a_steps;
               total_faults = a.a_faults;
+              total_crashes = a.a_crashes;
+              attr_crash_only = a.a_attr_crash;
+              attr_primitive_only = a.a_attr_prim;
+              attr_mixed = a.a_attr_mixed;
               witnesses = a.a_witnesses;
               min_witness_len = a.a_min_wit;
               mean_wall_us = (if ran = 0 then 0.0 else a.a_wall /. float_of_int ran);
@@ -188,37 +219,62 @@ let of_dir ~dir =
 (* ---- rendering ---- *)
 
 let to_table report =
+  (* Crash columns only appear on campaigns that sweep a crash axis, so
+     crash-free reports keep their historical shape byte-for-byte. *)
+  let crashing = Spec.has_crash_axes report.spec in
+  let crash_columns =
+    if crashing then [ "crashes"; "crash rate"; "persist"; "crash faults"; "attribution" ]
+    else []
+  in
   let table =
     Table.create
       ~columns:
-        [
-          "f"; "t"; "n"; "kind"; "rate"; "envelope"; "trials"; "failures"; "fail rate";
-          "mean ops"; "p99 ops"; "max ops"; "faults"; "min witness";
-        ]
+        ([
+           "f"; "t"; "n"; "kind"; "rate"; "envelope"; "trials"; "failures"; "fail rate";
+           "mean ops"; "p99 ops"; "max ops"; "faults"; "min witness";
+         ]
+        @ crash_columns)
   in
   List.iter
     (fun c ->
+      let crash_cells =
+        if not crashing then []
+        else
+          [
+            Table.cell_int c.cell.Grid.crashes;
+            Table.cell_float ~decimals:2 c.cell.Grid.crash_rate;
+            Ffault_recover.Persistence.to_string c.cell.Grid.persistence;
+            Table.cell_int c.total_crashes;
+            (* which fault dimension the cell's violations charge:
+               c = crash-only, p = primitive-only, m = mixed *)
+            (if c.failures = 0 then "-"
+             else
+               Fmt.str "%dc/%dp/%dm" c.attr_crash_only c.attr_primitive_only
+                 c.attr_mixed);
+          ]
+      in
       Table.add_row table
-        [
-          Table.cell_int c.cell.Grid.f;
-          Table.cell_opt Table.cell_int c.cell.Grid.t;
-          Table.cell_int c.cell.Grid.n;
-          Ffault_fault.Fault_kind.to_string c.cell.Grid.kind;
-          Table.cell_float ~decimals:2 c.cell.Grid.rate;
-          (if c.in_envelope then "in" else "out");
-          Table.cell_int c.trials;
-          (* (!!) marks theorem violations: failures in a cell the proof
-             covers. Out-of-envelope failures are expected data. *)
-          (if c.failures = 0 then "0"
-           else if c.in_envelope then Fmt.str "%d (!!)" c.failures
-           else Table.cell_int c.failures);
-          Table.cell_float ~decimals:4 c.failure_rate;
-          Table.cell_float ~decimals:1 (Summary.mean c.steps);
-          Table.cell_float ~decimals:0 (Summary.percentile c.steps 99.0);
-          Table.cell_float ~decimals:0 (Summary.max_value c.steps);
-          Table.cell_int c.total_faults;
-          Table.cell_opt Table.cell_int c.min_witness_len;
-        ])
+        ([
+           Table.cell_int c.cell.Grid.f;
+           Table.cell_opt Table.cell_int c.cell.Grid.t;
+           Table.cell_int c.cell.Grid.n;
+           Ffault_fault.Fault_kind.to_string c.cell.Grid.kind;
+           Table.cell_float ~decimals:2 c.cell.Grid.rate;
+           (if c.in_envelope then "in" else "out");
+           Table.cell_int c.trials;
+           (* (!!) marks theorem violations: failures in a cell the proof
+              covers. Out-of-envelope failures are expected data. *)
+           (if c.failures = 0 then "0"
+            else if c.in_envelope then Fmt.str "%d (!!)" c.failures
+            else Table.cell_int c.failures);
+           Table.cell_float ~decimals:4 c.failure_rate;
+           Table.cell_float ~decimals:1 (Summary.mean c.steps);
+           Table.cell_float ~decimals:0 (Summary.percentile c.steps 99.0);
+           Table.cell_float ~decimals:0 (Summary.max_value c.steps);
+           Table.cell_int c.total_faults;
+           Table.cell_opt Table.cell_int c.min_witness_len;
+         ]
+        @ crash_cells))
     report.cells;
   table
 
@@ -386,23 +442,37 @@ let to_json report =
           (List.map
              (fun c ->
                Json.Obj
-                 [
-                   ("key", Json.Str (Grid.cell_key c.cell));
-                   ("in_envelope", Json.Bool c.in_envelope);
-                   ("trials", Json.Int c.trials);
-                   ("failures", Json.Int c.failures);
-                   ("failure_rate", Json.Float c.failure_rate);
-                   ("timeouts", Json.Int c.timeouts);
-                   ("quarantined", Json.Int c.quarantined);
-                   ("retries", Json.Int c.retries);
-                   ("mean_ops", Json.Float (Summary.mean c.steps));
-                   ("p99_ops", Json.Float (Summary.percentile c.steps 99.0));
-                   ("max_ops", Json.Float (Summary.max_value c.steps));
-                   ("faults", Json.Int c.total_faults);
-                   ( "min_witness_len",
-                     match c.min_witness_len with Some l -> Json.Int l | None -> Json.Null );
-                   ("mean_wall_us", Json.Float c.mean_wall_us);
-                 ])
+                 ([
+                    ("key", Json.Str (Grid.cell_key c.cell));
+                    ("in_envelope", Json.Bool c.in_envelope);
+                    ("trials", Json.Int c.trials);
+                    ("failures", Json.Int c.failures);
+                    ("failure_rate", Json.Float c.failure_rate);
+                    ("timeouts", Json.Int c.timeouts);
+                    ("quarantined", Json.Int c.quarantined);
+                    ("retries", Json.Int c.retries);
+                    ("mean_ops", Json.Float (Summary.mean c.steps));
+                    ("p99_ops", Json.Float (Summary.percentile c.steps 99.0));
+                    ("max_ops", Json.Float (Summary.max_value c.steps));
+                    ("faults", Json.Int c.total_faults);
+                    ( "min_witness_len",
+                      match c.min_witness_len with Some l -> Json.Int l | None -> Json.Null );
+                    ("mean_wall_us", Json.Float c.mean_wall_us);
+                  ]
+                 @
+                 if not (Spec.has_crash_axes report.spec) then []
+                 else
+                   [
+                     ("crashes", Json.Int c.cell.Grid.crashes);
+                     ("crash_rate", Json.Float c.cell.Grid.crash_rate);
+                     ( "persistence",
+                       Json.Str
+                         (Ffault_recover.Persistence.to_string c.cell.Grid.persistence) );
+                     ("crash_faults", Json.Int c.total_crashes);
+                     ("attr_crash_only", Json.Int c.attr_crash_only);
+                     ("attr_primitive_only", Json.Int c.attr_primitive_only);
+                     ("attr_mixed", Json.Int c.attr_mixed);
+                   ]))
              report.cells) );
       ])
 

@@ -19,10 +19,20 @@ type cell_stats = {
   retries : int;
   steps : Ffault_stats.Summary.t;  (** per-trial worst ops/process *)
   total_faults : int;
+  total_crashes : int;  (** crash-restarts charged across the cell's trials *)
+  attr_crash_only : int;
+      (** violating trials whose only charged faults were crash-restarts
+          ({!Ffault_hoare.Classify.attribute}) *)
+  attr_primitive_only : int;
+      (** violating trials with primitive faults but no crash *)
+  attr_mixed : int;  (** violating trials charging both dimensions *)
   witnesses : int;
   min_witness_len : int option;
   mean_wall_us : float;  (** over trials that actually ran *)
 }
+(** Crash statistics render (markdown columns, JSON fields) only when
+    the spec sweeps a crash axis ({!Spec.has_crash_axes}) — crash-free
+    reports keep their historical shape. *)
 
 type health = {
   timeouts : int;

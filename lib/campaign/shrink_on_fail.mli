@@ -12,16 +12,21 @@
 
 val run_recorded :
   ?interrupt:(unit -> bool) ->
+  ?crash_plan:Ffault_recover.Crash_plan.t ->
   Ffault_verify.Consensus_check.setup ->
   rate:float ->
   seed:int64 ->
   Ffault_verify.Consensus_check.report * int array
 (** One seeded run. [rate] is the probability that a step with at least
-    one budget-permitted fault option takes a fault (uniform over the
-    fault options); the schedule choice is uniform over enabled
-    processes. Equal (setup, rate, seed) give equal reports — unless
-    [interrupt] (the engine's cancellation hook, see {!Ffault_sim.Engine})
-    fires, which truncates the run at a wall-clock-dependent point. *)
+    one budget-permitted {e primitive}-fault option takes one (uniform
+    over those options); the schedule choice is uniform over enabled
+    processes. [crash_plan] proposes crash-restart points per (process,
+    op-index) atom — a proposed crash is taken whenever the setup's crash
+    budget still offers one at that step, and crashes are {e only} taken
+    by plan, never by [rate]. Equal (setup, rate, crash_plan, seed) give
+    equal reports — unless [interrupt] (the engine's cancellation hook,
+    see {!Ffault_sim.Engine}) fires, which truncates the run at a
+    wall-clock-dependent point. *)
 
 val minimize :
   Ffault_verify.Consensus_check.setup -> int array -> (int array * Ffault_verify.Consensus_check.report) option
@@ -38,6 +43,7 @@ type result = {
 val run_trial :
   ?shrink:bool ->
   ?interrupt:(unit -> bool) ->
+  ?crash_plan:Ffault_recover.Crash_plan.t ->
   Ffault_verify.Consensus_check.setup ->
   rate:float ->
   seed:int64 ->

@@ -1,5 +1,6 @@
 module Fault_kind = Ffault_fault.Fault_kind
 module Consensus = Ffault_consensus
+module Persistence = Ffault_recover.Persistence
 
 type t = {
   name : string;
@@ -9,9 +10,23 @@ type t = {
   n_values : int list;
   kinds : Fault_kind.t list;
   rates : float list;
+  crashes : int list;
+  crash_rates : float list;
+  persistence : Persistence.mode list;
+  crash_seed : int64;
   trials : int;
   seed : int64;
 }
+
+let default_crashes = [ 0 ]
+let default_crash_rates = [ 0.0 ]
+let default_persistence = [ Persistence.Persist_all ]
+let default_crash_seed = 0L
+
+let has_crash_axes spec =
+  spec.crashes <> default_crashes
+  || spec.crash_rates <> default_crash_rates
+  || not (List.equal Persistence.equal spec.persistence default_persistence)
 
 (* ---- protocol resolution (shared with bin/main.ml) ---- *)
 
@@ -23,13 +38,18 @@ let resolve_protocol name =
   | "herlihy" -> Ok Consensus.Single_cas.herlihy
   | "silent-retry" -> Ok Consensus.Silent_retry.protocol
   | "tas" -> Ok Consensus.Tas_consensus.protocol
+  | "rec-cas" -> Ok Consensus.Recoverable.rec_cas
+  | "rec-tas" -> Ok Consensus.Recoverable.rec_tas
+  | "naive-tas" -> Ok Consensus.Recoverable.naive_tas
   | s when String.length s > 5 && String.sub s 0 5 = "sweep" -> (
       match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
       | Some m when m >= 1 -> Ok (Consensus.F_tolerant.with_objects m)
       | Some _ | None -> Error (Fmt.str "bad sweep object count in %S" s))
   | _ -> Error (Fmt.str "unknown protocol %S" name)
 
-let protocol_names = [ "fig1"; "fig2"; "fig3"; "herlihy"; "silent-retry"; "tas"; "sweepN" ]
+let protocol_names =
+  [ "fig1"; "fig2"; "fig3"; "herlihy"; "silent-retry"; "tas"; "rec-cas"; "rec-tas"; "naive-tas";
+    "sweepN" ]
 
 (* ---- validation ---- *)
 
@@ -60,14 +80,23 @@ let validate spec =
         else if spec.rates = [] then err "empty rate list"
         else if List.exists (fun r -> r < 0.0 || r > 1.0) spec.rates then
           err "rates must lie in [0, 1]"
+        else if spec.crashes = [] then err "empty crashes list"
+        else if List.exists (fun c -> c < 0) spec.crashes then err "crashes must be >= 0"
+        else if spec.crash_rates = [] then err "empty crash-rate list"
+        else if List.exists (fun r -> r < 0.0 || r > 1.0) spec.crash_rates then
+          err "crash rates must lie in [0, 1]"
+        else if spec.persistence = [] then err "empty persistence list"
         else if spec.trials < 1 then err "trials must be >= 1"
         else Ok spec
 
 let v ?(name = "campaign") ~protocol ?(f = [ 1 ]) ?(t = [ None ]) ?(n = [ 3 ])
-    ?(kinds = [ Fault_kind.Overriding ]) ?(rates = [ 0.5 ]) ~trials ?(seed = 0xCA3AL) () =
+    ?(kinds = [ Fault_kind.Overriding ]) ?(rates = [ 0.5 ]) ?(crashes = default_crashes)
+    ?(crash_rates = default_crash_rates) ?(persistence = default_persistence)
+    ?(crash_seed = default_crash_seed) ~trials ?(seed = 0xCA3AL) () =
   match
     validate
-      { name; protocol; f_values = f; t_values = t; n_values = n; kinds; rates; trials; seed }
+      { name; protocol; f_values = f; t_values = t; n_values = n; kinds; rates; crashes;
+        crash_rates; persistence; crash_seed; trials; seed }
   with
   | Ok s -> s
   | Error m -> invalid_arg ("Spec.v: " ^ m)
@@ -132,6 +161,17 @@ let rates_of_string s =
           | None -> Error (Fmt.str "bad rate %S" it)))
     (Ok []) (parse_items s)
 
+let persistence_of_string s =
+  List.fold_left
+    (fun acc it ->
+      match acc with
+      | Error _ as e -> e
+      | Ok ms -> (
+          match Persistence.of_string (String.lowercase_ascii it) with
+          | Ok m -> Ok (ms @ [ m ])
+          | Error m -> Error m))
+    (Ok []) (parse_items s)
+
 (* ---- the declarative text format ---- *)
 
 let parse text =
@@ -173,6 +213,15 @@ let parse text =
   let* n_values = with_default "n" [ 3 ] ints_of_string in
   let* kinds = with_default "kinds" [ Fault_kind.Overriding ] kinds_of_string in
   let* rates = with_default "rates" [ 0.5 ] rates_of_string in
+  let* crashes = with_default "crashes" default_crashes ints_of_string in
+  let* crash_rates = with_default "crash-rates" default_crash_rates rates_of_string in
+  let* persistence = with_default "persistence" default_persistence persistence_of_string in
+  let* crash_seed =
+    with_default "crash-seed" default_crash_seed (fun s ->
+        match Int64.of_string_opt s with
+        | Some v -> Ok v
+        | None -> Error (Fmt.str "bad crash-seed %S" s))
+  in
   let* trials =
     with_default "trials" 100 (fun s ->
         match int_of_string_opt s with Some v -> Ok v | None -> Error (Fmt.str "bad trials %S" s))
@@ -185,13 +234,18 @@ let parse text =
     match
       List.find_opt
         (fun (k, _) ->
-          not (List.mem k [ "name"; "protocol"; "f"; "t"; "n"; "kinds"; "rates"; "trials"; "seed" ]))
+          not
+            (List.mem k
+               [ "name"; "protocol"; "f"; "t"; "n"; "kinds"; "rates"; "crashes"; "crash-rates";
+                 "persistence"; "crash-seed"; "trials"; "seed" ]))
         fields
     with
     | Some (k, _) -> Error (Fmt.str "unknown key %S" k)
     | None -> Ok ()
   in
-  validate { name; protocol; f_values; t_values; n_values; kinds; rates; trials; seed }
+  validate
+    { name; protocol; f_values; t_values; n_values; kinds; rates; crashes; crash_rates;
+      persistence; crash_seed; trials; seed }
 
 let of_file path =
   match In_channel.with_open_text path In_channel.input_all with
@@ -212,6 +266,11 @@ let to_json spec =
       ("n", Json.List (List.map (fun n -> Json.Int n) spec.n_values));
       ("kinds", Json.List (List.map (fun k -> Json.Str (Fault_kind.to_string k)) spec.kinds));
       ("rates", Json.List (List.map (fun r -> Json.Float r) spec.rates));
+      ("crashes", Json.List (List.map (fun c -> Json.Int c) spec.crashes));
+      ("crash_rates", Json.List (List.map (fun r -> Json.Float r) spec.crash_rates));
+      ( "persistence",
+        Json.List (List.map (fun m -> Json.Str (Persistence.to_string m)) spec.persistence) );
+      ("crash_seed", Json.Str (Int64.to_string spec.crash_seed));
       ("trials", Json.Int spec.trials);
       ("seed", Json.Str (Int64.to_string spec.seed));
     ]
@@ -255,9 +314,48 @@ let of_json json =
             let vs = List.filter_map Json.get_float items in
             if List.length vs = List.length items then Some vs else None))
   in
+  (* Crash axes default when absent: manifests written before the crash
+     dimension existed keep parsing (and keep their trial-id assignment —
+     the axes are the innermost grid loops). *)
+  let opt_field key default project =
+    match Json.member key json with
+    | None -> Ok default
+    | Some j -> (
+        match project j with
+        | Some v -> Ok v
+        | None -> Error (Fmt.str "manifest: malformed %S" key))
+  in
+  let* crashes =
+    opt_field "crashes" default_crashes (fun j ->
+        Option.bind (Json.get_list j) (fun items ->
+            let vs = List.filter_map Json.get_int items in
+            if List.length vs = List.length items then Some vs else None))
+  in
+  let* crash_rates =
+    opt_field "crash_rates" default_crash_rates (fun j ->
+        Option.bind (Json.get_list j) (fun items ->
+            let vs = List.filter_map Json.get_float items in
+            if List.length vs = List.length items then Some vs else None))
+  in
+  let* persistence =
+    opt_field "persistence" default_persistence (fun j ->
+        Option.bind (Json.get_list j) (fun items ->
+            let vs =
+              List.filter_map
+                (fun j -> Option.bind (Json.get_str j) (fun s -> Result.to_option (Persistence.of_string s)))
+                items
+            in
+            if List.length vs = List.length items then Some vs else None))
+  in
+  let* crash_seed =
+    opt_field "crash_seed" default_crash_seed (fun j ->
+        Option.bind (Json.get_str j) Int64.of_string_opt)
+  in
   let* trials = field "trials" Json.get_int in
   let* seed = field "seed" (fun j -> Option.bind (Json.get_str j) Int64.of_string_opt) in
-  validate { name; protocol; f_values; t_values; n_values; kinds; rates; trials; seed }
+  validate
+    { name; protocol; f_values; t_values; n_values; kinds; rates; crashes; crash_rates;
+      persistence; crash_seed; trials; seed }
 
 let equal a b = to_json a = to_json b
 
@@ -276,4 +374,12 @@ let pp ppf spec =
     (Fmt.list ~sep:Fmt.comma Fault_kind.pp)
     spec.kinds
     (Fmt.list ~sep:Fmt.comma (Fmt.float_dfrac 2))
-    spec.rates spec.trials spec.seed
+    spec.rates spec.trials spec.seed;
+  if has_crash_axes spec then
+    Fmt.pf ppf "@ (crashes {%a}, crash rates {%a}, persistence {%a}, crash seed %Ld)"
+      (Fmt.list ~sep:Fmt.comma Fmt.int)
+      spec.crashes
+      (Fmt.list ~sep:Fmt.comma (Fmt.float_dfrac 2))
+      spec.crash_rates
+      (Fmt.list ~sep:Fmt.comma Persistence.pp)
+      spec.persistence spec.crash_seed

@@ -11,7 +11,8 @@
 
     {v
     name     = fig3-sweep
-    protocol = fig3          # fig1 fig2 fig3 herlihy silent-retry tas sweepN
+    protocol = fig3          # fig1 fig2 fig3 herlihy silent-retry tas
+                             # rec-cas rec-tas naive-tas sweepN
     f        = 1..3
     t        = 1,2,unbounded
     n        = 3
@@ -19,7 +20,12 @@
     rates    = 0.2,0.6
     trials   = 500
     seed     = 42
-    v} *)
+    v}
+
+    The crash axes ([crashes], [crash-rates], [persistence], [crash-seed])
+    default to the crash-free singletons and expand as the {e innermost}
+    grid loops, so adding them to an existing spec never re-assigns the
+    trial ids of its crash-free cells. *)
 
 type t = {
   name : string;  (** artifact-directory name, [A-Za-z0-9_.-] *)
@@ -30,9 +36,23 @@ type t = {
   kinds : Ffault_fault.Fault_kind.t list;
   rates : float list;
       (** probability that a step with an available fault takes one *)
+  crashes : int list;
+      (** per-process crash caps to sweep; 0 = crash-free (default) *)
+  crash_rates : float list;
+      (** per-operation crash probabilities for the {!Ffault_recover.Crash_plan} *)
+  persistence : Ffault_recover.Persistence.mode list;
+      (** persistence modes to sweep ([all], [lossy], [only:<ids>]) *)
+  crash_seed : int64;
+      (** mixed into each trial's seed to derive its crash plan, so the
+          crash schedule can be varied independently of the fault
+          schedule (default 0) *)
   trials : int;  (** trials per grid cell *)
   seed : int64;  (** root seed; per-trial seeds derive from it *)
 }
+
+val has_crash_axes : t -> bool
+(** Whether any crash axis differs from its crash-free default; reports
+    only render the crash columns when it holds. *)
 
 val v :
   ?name:string ->
@@ -42,6 +62,10 @@ val v :
   ?n:int list ->
   ?kinds:Ffault_fault.Fault_kind.t list ->
   ?rates:float list ->
+  ?crashes:int list ->
+  ?crash_rates:float list ->
+  ?persistence:Ffault_recover.Persistence.mode list ->
+  ?crash_seed:int64 ->
   trials:int ->
   ?seed:int64 ->
   unit ->
@@ -64,8 +88,8 @@ val equal : t -> t -> bool
 
 val resolve_protocol : string -> (Ffault_consensus.Protocol.t, string) result
 (** Canonical protocol names: fig1, fig2, fig3, herlihy, silent-retry,
-    tas, and sweepN (the Fig. 2 sweep over exactly N objects). Shared
-    with the CLI. *)
+    tas, rec-cas, rec-tas, naive-tas (doc/RECOVERY.md), and sweepN (the
+    Fig. 2 sweep over exactly N objects). Shared with the CLI. *)
 
 val protocol_names : string list
 (** For help text. *)
@@ -76,5 +100,6 @@ val ints_of_string : string -> (int list, string) result
 val t_values_of_string : string -> (int option list, string) result
 val kinds_of_string : string -> (Ffault_fault.Fault_kind.t list, string) result
 val rates_of_string : string -> (float list, string) result
+val persistence_of_string : string -> (Ffault_recover.Persistence.mode list, string) result
 
 val pp : Format.formatter -> t -> unit

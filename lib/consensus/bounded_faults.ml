@@ -30,6 +30,7 @@ let make_protocol ~name ~description ~ms_of ~envelope =
       (fun ps ~me:_ ~input ->
         let f = ps.Protocol.f in
         body ~f ~ms:(ms_of ps) ~input);
+    recovery = None;
     in_envelope = envelope;
     max_steps_hint =
       (fun ps -> steps_hint ~f:ps.Protocol.f ~n:ps.Protocol.n_procs ~ms:(ms_of ps));

@@ -13,6 +13,7 @@ let protocol =
        overriding faults per faulty object";
     objects = (fun ps -> objects_n (ps.Protocol.f + 1) ps);
     body = (fun ps ~me:_ ~input -> sweep_body (ps.Protocol.f + 1) ~input);
+    recovery = None;
     in_envelope = (fun _ -> true);
     max_steps_hint = (fun ps -> ps.Protocol.f + 1);
   }
@@ -28,6 +29,7 @@ let with_objects m =
         m m;
     objects = objects_n m;
     body = (fun _ps ~me:_ ~input -> sweep_body m ~input);
+    recovery = None;
     in_envelope = (fun ps -> m >= ps.Protocol.f + 1);
     max_steps_hint = (fun _ -> m);
   }

@@ -18,6 +18,7 @@ type t = {
   description : string;
   objects : params -> World.obj_decl list;
   body : params -> me:int -> input:Value.t -> unit -> Value.t;
+  recovery : (params -> me:int -> input:Value.t -> unit -> Value.t) option;
   in_envelope : params -> bool;
   max_steps_hint : params -> int;
 }
@@ -30,3 +31,11 @@ let bodies p ps ~inputs =
   Array.mapi (fun i input -> p.body ps ~me:i ~input) inputs
 
 let default_inputs ps = Array.init ps.n_procs (fun i -> Value.Int (100 + i))
+
+let recoverable p = Option.is_some p.recovery
+
+let recovery_bodies p ps ~inputs =
+  if Array.length inputs <> ps.n_procs then
+    invalid_arg "Protocol.recovery_bodies: inputs count differs from n_procs";
+  let entry = match p.recovery with Some r -> r | None -> p.body in
+  fun i -> entry ps ~me:i ~input:inputs.(i)

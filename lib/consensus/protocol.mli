@@ -28,6 +28,13 @@ type t = {
   body : params -> me:int -> input:Value.t -> unit -> Value.t;
       (** process [me]'s program; returns its decision. Runs under the
           engine (performs {!Ffault_sim.Proc} effects). *)
+  recovery : (params -> me:int -> input:Value.t -> unit -> Value.t) option;
+      (** the {e recovery section}: where a crash-restarted process
+          re-enters (its private state is gone; only shared state that the
+          persistence mode kept is left to read). [None] means the
+          protocol was not written for crash-restart faults — a restarted
+          process naively re-runs [body] from the top, and no crash
+          setting is inside its envelope. *)
   in_envelope : params -> bool;
       (** whether the construction's theorem guarantees correctness for
           these parameters (given overriding faults within budget) *)
@@ -46,3 +53,12 @@ val bodies : t -> params -> inputs:Value.t array -> (unit -> Value.t) array
 val default_inputs : params -> Value.t array
 (** Distinct inputs [Int 100], [Int 101], … — distinct from ⊥ and from
     each other, as the theorems assume in the interesting case. *)
+
+val recoverable : t -> bool
+(** Whether the protocol declares a recovery section. *)
+
+val recovery_bodies : t -> params -> inputs:Value.t array -> int -> unit -> Value.t
+(** The restart entry point for each process — the recovery section when
+    one is declared, else the naive re-run of [body] from the top. Shaped
+    for {!Ffault_sim.Engine.run_with_driver}'s [recovery] argument.
+    @raise Invalid_argument if [Array.length inputs <> n_procs]. *)

@@ -1,0 +1,102 @@
+open Ffault_objects
+open Ffault_sim
+
+(* ---- rec-cas: Golab-style recoverable CAS consensus ---- *)
+
+let o = Obj_id.of_int 0
+
+let tag ~me ~input = Value.Pair (Value.Int me, input)
+
+(* The proposal installed by CAS carries its owner's id, so a process that
+   crashed mid-CAS can tell, on recovery, whether the winning proposal is
+   its own (its CAS linearized before the crash) or someone else's. The
+   same code is body and recovery section: it is idempotent. *)
+let rec_cas_decide ~me ~input () =
+  let old = Proc.cas o ~expected:Value.Bottom ~desired:(tag ~me ~input) in
+  if Value.is_bottom old then input
+  else
+    match old with
+    | Value.Pair (Value.Int w, v) -> if w = me then input else v
+    | v -> v (* corrupted latch (object fault): decide its payload *)
+
+let rec_cas =
+  {
+    Protocol.name = "rec-cas";
+    description =
+      "recoverable CAS consensus (Golab): the proposal installed by CAS is tagged with its \
+       owner's id, so the recovery section distinguishes own-win from foreign-win after a \
+       crash; body and recovery are the same idempotent decide";
+    objects = (fun _ -> [ World.obj ~label:"O" Kind.Cas_only ]);
+    body = (fun _ ~me ~input -> rec_cas_decide ~me ~input);
+    recovery = Some (fun _ ~me ~input -> rec_cas_decide ~me ~input);
+    in_envelope = (fun ps -> ps.Protocol.f = 0);
+    max_steps_hint = (fun _ -> 1);
+  }
+
+(* ---- rec-tas: tas_consensus with a recoverable owner-tagged latch ---- *)
+
+let r0 = Obj_id.of_int 0
+let r1 = Obj_id.of_int 1
+let latch = Obj_id.of_int 2
+
+let reg me = if me = 0 then r0 else r1
+
+(* The classic TAS bit cannot support recovery: a restarted process that
+   set it has no way to recognize its own win. Replacing it with a CAS
+   register holding the winner's id keeps the two-process structure but
+   makes the win self-identifying. *)
+let claim ~me ~input () =
+  let old = Proc.cas latch ~expected:Value.Bottom ~desired:(Value.Int me) in
+  let winner = match old with Value.Bottom -> me | Value.Int w -> w | _ -> me in
+  if winner = me then input else Proc.read (reg winner)
+
+let rec_tas_body ps ~me ~input () =
+  if ps.Protocol.n_procs > 2 then invalid_arg "Recoverable.rec_tas: two processes only";
+  Proc.write (reg me) input;
+  claim ~me ~input ()
+
+(* Recovery: the latch is ground truth. Unclaimed — start over (rewriting
+   our register first: a lossy crash may have dropped that write).
+   Claimed by us — our CAS linearized before the crash; decide our input.
+   Claimed by the other — its register was written before its CAS, so it
+   is there to read. *)
+let rec_tas_recovery ps ~me ~input () =
+  match Proc.read latch with
+  | Value.Bottom -> rec_tas_body ps ~me ~input ()
+  | Value.Int w when w = me -> input
+  | Value.Int w when w = 0 || w = 1 -> Proc.read (reg w)
+  | _ -> rec_tas_body ps ~me ~input () (* corrupted latch: retry from the top *)
+
+let rec_tas =
+  {
+    Protocol.name = "rec-tas";
+    description =
+      "recoverable two-process consensus: tas_consensus with the TAS bit replaced by an \
+       owner-tagged CAS latch, plus a recovery section that re-reads the latch — correct \
+       under crash-restarts in both the persist-all and lossy persistence modes";
+    objects =
+      (fun _ ->
+        [
+          World.obj ~label:"R0" Kind.Register;
+          World.obj ~label:"R1" Kind.Register;
+          World.obj ~label:"L" Kind.Cas_register;
+        ]);
+    body = rec_tas_body;
+    recovery = Some rec_tas_recovery;
+    in_envelope = (fun ps -> ps.Protocol.n_procs <= 2 && ps.Protocol.f = 0);
+    max_steps_hint = (fun _ -> 4);
+  }
+
+(* ---- naive-tas: the deliberately non-recoverable baseline ---- *)
+
+let naive_tas =
+  {
+    Tas_consensus.protocol with
+    Protocol.name = "naive-tas";
+    description =
+      "deliberately naive baseline: classic TAS consensus with no recovery section, so a \
+       restarted process re-runs the body from the top. A crash that linearizes the \
+       test-and-set leaves a win nobody owns: the restarted winner sees the bit already \
+       set, concludes it lost, and reads the other register \xe2\x80\x94 deciding \xe2\x8a\xa5 \
+       or flipping the decision";
+  }

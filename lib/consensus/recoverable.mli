@@ -1,0 +1,29 @@
+(** Recoverable consensus protocols (Golab, {e Recoverable Consensus in
+    Shared Memory}; Delporte-Gallet et al.), plus the deliberately naive
+    non-recoverable baseline they are measured against.
+
+    All three share the crash-restart model of doc/RECOVERY.md: a crashed
+    process loses its private state and re-enters at the protocol's
+    recovery section (or, for [naive_tas], at the top of its body). *)
+
+val rec_cas : Protocol.t
+(** ["rec-cas"] — one CAS object whose installed proposal is tagged with
+    its owner's id. The decide is idempotent, so body and recovery
+    coincide: a process that crashed mid-CAS re-runs it and recognizes its
+    own earlier win by the tag. Envelope: f = 0, any n, any crash
+    schedule, all persistence modes. *)
+
+val rec_tas : Protocol.t
+(** ["rec-tas"] — two-process consensus from two registers and an
+    owner-tagged CAS latch in place of the classic TAS bit; the recovery
+    section re-reads the latch to learn whether its own claim linearized
+    before the crash. Envelope: n ≤ 2, f = 0, any crash schedule, all
+    persistence modes. *)
+
+val naive_tas : Protocol.t
+(** ["naive-tas"] — {!Tas_consensus.protocol} verbatim with no recovery
+    section: the planted-violation baseline. Correct crash-free, but a
+    crash that linearizes its test-and-set orphans the win, and the
+    restarted process decides ⊥ or flips the decision — the
+    recoverable-linearizability violations E15 and [make recover-smoke]
+    exist to catch. Envelope: n ≤ 2, f = 0, {e no} crashes. *)

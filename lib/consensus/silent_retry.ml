@@ -11,6 +11,7 @@ let protocol =
        faults";
     objects = (fun _ -> [ World.obj ~label:"O" Kind.Cas_only ]);
     body;
+    recovery = None;
     in_envelope = (fun ps -> ps.Protocol.t <> None);
     max_steps_hint =
       (fun ps ->

@@ -11,6 +11,7 @@ let herlihy =
     description = "Herlihy's one-object CAS consensus; correct only without faults";
     objects;
     body;
+    recovery = None;
     in_envelope = (fun ps -> ps.Protocol.f = 0);
     max_steps_hint = (fun _ -> 1);
   }
@@ -23,6 +24,7 @@ let two_process =
        possibly-overriding CAS object";
     objects;
     body;
+    recovery = None;
     in_envelope = (fun ps -> ps.Protocol.n_procs <= 2);
     max_steps_hint = (fun _ -> 1);
   }

@@ -27,6 +27,7 @@ let protocol =
           World.obj ~label:"T" Kind.Test_and_set;
         ]);
     body;
+    recovery = None;
     in_envelope = (fun ps -> ps.Protocol.n_procs <= 2 && ps.Protocol.f = 0);
     max_steps_hint = (fun _ -> 3);
   }

@@ -1,0 +1,25 @@
+(** E15 — recoverable consensus under the crash-restart fault dimension
+    (doc/RECOVERY.md).
+
+    Sweeps the CAS-fault kind × crash rate × persistence cross-product
+    over three 2-process protocols through the campaign engine:
+
+    - {e naive-tas}: the classic TAS construction with {e no} recovery
+      section — a restarted process re-runs its body from scratch. A
+      [Linearize] crash at the test-and-set orphans the win: the
+      restarted winner sees the bit already set, concludes it lost, and
+      reads the other register — deciding ⊥ (validity) or flipping the
+      decision (agreement).
+    - {e rec-tas}: registers + a CAS-register latch whose owner tag makes
+      the recovery section self-identifying (Golab-style recoverable
+      TAS).
+    - {e rec-cas}: single CAS with owner-tagged values; body and recovery
+      are the same idempotent decide.
+
+    Expected: the naive baseline violates on crash-only schedules (f = 0,
+    crash rate > 0, full persistence), every such violation attributed to
+    crashes alone; both recoverable protocols stay clean on all
+    crash-only cells across persistence modes; and the same seed
+    reproduces the same grid outcomes. *)
+
+val run : ?quick:bool -> ?seed:int64 -> unit -> Report.t

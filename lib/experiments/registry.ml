@@ -22,6 +22,7 @@ let all =
     entry "E12" "Failure-probability and cost curves" E12_curves.run;
     entry "E13" "Structured faults of a second primitive: TAS (\xc2\xa77)" E13_tas_faults.run;
     entry "E14" "Relaxed data structures as functional faults (\xc2\xa76)" E14_relaxation.run;
+    entry "E15" "Recoverable consensus under crash-restart faults" E15_recoverable.run;
   ]
 
 let find id =

@@ -15,10 +15,19 @@ open Ffault_objects
 type t
 
 val create :
-  ?victims:Obj_id.t list -> max_faulty_objects:int -> max_faults_per_object:int option -> unit -> t
-(** @raise Invalid_argument if [max_faulty_objects < 0], a bounded
-    [max_faults_per_object] is [< 1], or the victim list exceeds
-    [max_faulty_objects]. *)
+  ?victims:Obj_id.t list ->
+  ?max_crashes_per_proc:int ->
+  max_faulty_objects:int ->
+  max_faults_per_object:int option ->
+  unit ->
+  t
+(** [max_crashes_per_proc] (default 0) bounds the crash-restart dimension:
+    how many times each process may crash during one execution. It is
+    orthogonal to the (f, t) object budget — a crash is a {e process}
+    fault, not an object fault, so it never consumes [f] or [t].
+    @raise Invalid_argument if [max_faulty_objects < 0], a bounded
+    [max_faults_per_object] is [< 1], [max_crashes_per_proc < 0], or the
+    victim list exceeds [max_faulty_objects]. *)
 
 val unlimited : unit -> t
 (** No restriction: every object may fault arbitrarily often. *)
@@ -27,9 +36,16 @@ val none : unit -> t
 (** f = 0: the fault-free world. *)
 
 val copy : t -> t
+(** Deep copy of the mutable charge state — both the per-object fault
+    table and the per-process crash table. Exploration snapshots rely on
+    this: replaying a crash after restoring a snapshot must charge the
+    snapshot's own table, never double-charge a shared one. *)
 
 val f : t -> int
 val t_bound : t -> int option
+
+val crash_bound : t -> int
+(** The per-process crash cap ([0] for crash-free budgets). *)
 
 val can_fault : t -> Obj_id.t -> bool
 (** Whether charging one more observable fault to this object is allowed:
@@ -47,5 +63,17 @@ val faulty_objects : t -> Obj_id.t list
 val faults_on : t -> Obj_id.t -> int
 
 val total_faults : t -> int
+
+val can_crash : t -> proc:int -> bool
+(** Whether process [proc] may crash once more under the per-process cap. *)
+
+val charge_crash : t -> proc:int -> unit
+(** Record one crash-restart of [proc].
+    @raise Invalid_argument if [can_crash] is false. *)
+
+val crashes_on : t -> int -> int
+(** Crashes charged to a process so far. *)
+
+val total_crashes : t -> int
 
 val pp : Format.formatter -> t -> unit

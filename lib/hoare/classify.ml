@@ -46,3 +46,22 @@ let classify_step (step : Triple.step) =
       classify ~alternatives:Queue_spec.queue_alternatives step
   | Ffault_objects.Op.Read | Ffault_objects.Op.Write _ | Ffault_objects.Op.Fetch_and_add _ ->
       classify ~alternatives:[] step
+
+type attribution = No_fault | Crash_only | Primitive_only | Mixed
+
+let attribute ~crashes ~primitive =
+  match (crashes > 0, primitive > 0) with
+  | false, false -> No_fault
+  | true, false -> Crash_only
+  | false, true -> Primitive_only
+  | true, true -> Mixed
+
+let attribution_to_string = function
+  | No_fault -> "none"
+  | Crash_only -> "crash"
+  | Primitive_only -> "primitive"
+  | Mixed -> "mixed"
+
+let pp_attribution ppf a = Fmt.string ppf (attribution_to_string a)
+
+let equal_attribution (a : attribution) b = a = b

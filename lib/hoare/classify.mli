@@ -40,3 +40,20 @@ val classify_step : Triple.step -> verdict
 (** Dispatch on the operation: CAS steps against {!cas_alternatives}, TAS
     and Reset steps against {!tas_alternatives}, queue steps against
     {!Queue_spec.queue_alternatives}, anything else against Φ alone. *)
+
+type attribution = No_fault | Crash_only | Primitive_only | Mixed
+(** What kinds of injected fault were live in an execution that produced a
+    violation: crash-restarts, primitive (object) faults, both, or
+    neither. A campaign report uses this to attribute each violating
+    trial: a [Crash_only] violation implicates the recovery logic, a
+    [Primitive_only] one the fault tolerance of the protocol, [Mixed]
+    their interaction. *)
+
+val attribute : crashes:int -> primitive:int -> attribution
+(** From the counts of charged crashes and charged primitive faults. *)
+
+val attribution_to_string : attribution -> string
+(** ["none"], ["crash"], ["primitive"], ["mixed"]. *)
+
+val pp_attribution : Format.formatter -> attribution -> unit
+val equal_attribution : attribution -> attribution -> bool

@@ -1,0 +1,13 @@
+open Ffault_objects
+
+let vanished (step : Triple.step) = Value.equal step.post_state step.pre_state
+
+let linearized (step : Triple.step) =
+  match Semantics.apply step.kind ~state:step.pre_state step.op with
+  | Ok { Semantics.post_state; response = _ } -> Value.equal step.post_state post_state
+  | Error _ -> false
+
+let legal step = vanished step || linearized step
+
+let crash_alternatives : (string * Triple.post) list =
+  [ ("crash-vanished", vanished); ("crash-linearized", linearized) ]

@@ -1,0 +1,32 @@
+(** Recoverable-linearizability postconditions for crashed operations
+    (Golab's recoverable consensus model, grafted onto the paper's
+    executable-triple machinery).
+
+    When a process crashes with an operation in flight, the operation's
+    response is lost forever — but the {e state transition} must still be
+    one of exactly two legal shapes: the operation {!vanished} (the shared
+    state is as if it was never invoked) or it {!linearized} (the shared
+    state reflects the complete sequential-spec effect). A step that is
+    neither — a half-applied effect — breaks recoverable linearizability
+    even before any decision value is compared.
+
+    The [response] field of a crashed step is unconstrained (by
+    convention the engine records [Value.Bottom]): the caller never saw
+    one. *)
+
+val vanished : Triple.post
+(** Post-state equals pre-state: the crashed operation never took effect. *)
+
+val linearized : Triple.post
+(** Post-state equals the sequential-spec post-state of the invocation:
+    the crashed operation took effect exactly once, its response lost. *)
+
+val legal : Triple.post
+(** [vanished || linearized] — the linearize-or-vanish disjunction. A
+    crashed step may satisfy either, but must satisfy at least one, and a
+    step satisfying {e both} is fine (an effect-free operation vacuously
+    linearizes). *)
+
+val crash_alternatives : (string * Triple.post) list
+(** Named Φ′ family for {!Classify.classify}: ["crash-vanished"] and
+    ["crash-linearized"], in that order. *)

@@ -242,7 +242,22 @@ let check ?(policy = Policy.default) ~file (cmt : Cmt_format.cmt_infos) =
       in
 
       (* domain-unsafe-capture: mutations of captured state inside a
-         literal Domain.spawn closure *)
+         Domain.spawn closure — the literal [Domain.spawn (fun () -> ...)]
+         and the named form [let work () = ... in Domain.spawn work]. The
+         named form is resolved through the spawn argument's value
+         description, whose [val_loc] points back at the binding site;
+         the pre-pass below indexes every function-valued binding in the
+         file by that site. *)
+      let bound_closures = Hashtbl.create 16 in
+      let pos_key (loc : Location.t) =
+        (loc.Location.loc_start.Lexing.pos_fname, loc.Location.loc_start.Lexing.pos_cnum)
+      in
+      let record_closure (vb : value_binding) =
+        match vb.vb_expr.exp_desc with
+        | Texp_function _ ->
+            Hashtbl.replace bound_closures (pos_key vb.vb_pat.pat_loc) vb.vb_expr
+        | _ -> ()
+      in
       let closure_contains (closure : expression) (loc : Location.t) =
         let c = closure.exp_loc in
         loc.Location.loc_start.Lexing.pos_fname = c.Location.loc_start.Lexing.pos_fname
@@ -302,6 +317,12 @@ let check ?(policy = Policy.default) ~file (cmt : Cmt_format.cmt_infos) =
             with
             | Some ({ exp_desc = Texp_function _; _ } as closure) ->
                 scan_closure closure
+            | Some { exp_desc = Texp_ident (_, _, avd); _ } -> (
+                (* a closure bound to a name before the spawn does not
+                   evade the rule: follow the name to its definition *)
+                match Hashtbl.find_opt bound_closures (pos_key avd.Types.val_loc) with
+                | Some closure -> scan_closure closure
+                | None -> ())
             | _ -> ())
         | _ -> ()
       in
@@ -332,6 +353,19 @@ let check ?(policy = Policy.default) ~file (cmt : Cmt_format.cmt_infos) =
           | Tstr_recmodule mbs -> List.iter record_alias mbs
           | _ -> ())
         structure.str_items;
+      (* pre-pass for named closures: a binding may appear after the
+         spawn that uses it (mutual recursion) and local lets are below
+         the top level, so the whole tree is indexed first *)
+      let collect =
+        {
+          Tast_iterator.default_iterator with
+          value_binding =
+            (fun it vb ->
+              record_closure vb;
+              Tast_iterator.default_iterator.value_binding it vb);
+        }
+      in
+      collect.structure collect structure;
       it.structure it structure;
       List.rev !findings
   | _ -> []

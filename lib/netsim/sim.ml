@@ -91,6 +91,7 @@ let record_of spec id =
     max_steps = 1;
     stage = -1;
     faults = 0;
+    crash_faults = 0;
     wall_us = 1;
     witness = None;
   }

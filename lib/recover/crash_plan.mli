@@ -1,0 +1,39 @@
+(** Seed-derived crash schedules.
+
+    A plan is a pure function from (process, per-process operation index)
+    to an optional crash decision, computed from per-atom keyed RNG
+    streams (the same idiom as netsim's [Fault_plan]): the same seed and
+    rate always yield the same schedule, independent of execution order,
+    and two processes' schedules never share a stream.
+
+    The plan only {e proposes} crash points; the per-process crash cap is
+    enforced by [Fault.Budget], and the simulation engine only offers a
+    crash at points where one is actually possible (a recovery entry
+    exists and the budget has headroom). A proposed {!Linearize} degrades
+    to {!Vanish} when the crashed operation has no state effect to
+    linearize or the persistence mode forbids it. *)
+
+type crash_effect =
+  | Vanish  (** the in-flight operation never happened: shared state as before it *)
+  | Linearize
+      (** the in-flight operation took effect, but its response was lost
+          with the crash *)
+
+val equal_crash_effect : crash_effect -> crash_effect -> bool
+val crash_effect_to_string : crash_effect -> string
+val pp_crash_effect : Format.formatter -> crash_effect -> unit
+
+type t
+
+val make : seed:int64 -> rate:float -> t
+(** @raise Invalid_argument if [rate] is outside [\[0, 1\]]. *)
+
+val seed : t -> int64
+val rate : t -> float
+
+val decide : t -> proc:int -> k:int -> crash_effect option
+(** Should [proc]'s [k]-th operation (0-based, counted across restarts)
+    crash instead of completing, and with which effect? Deterministic in
+    [(seed, rate, proc, k)]. *)
+
+val pp : Format.formatter -> t -> unit

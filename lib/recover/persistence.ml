@@ -1,0 +1,38 @@
+open Ffault_objects
+
+type mode =
+  | Persist_all
+  | Persist_lossy
+  | Persist_only of Obj_id.t list
+
+let survives mode obj =
+  match mode with
+  | Persist_all | Persist_lossy -> true
+  | Persist_only ids -> List.exists (fun o -> Obj_id.to_int o = Obj_id.to_int obj) ids
+
+let lossy = function Persist_lossy -> true | Persist_all | Persist_only _ -> false
+
+let to_string = function
+  | Persist_all -> "all"
+  | Persist_lossy -> "lossy"
+  | Persist_only ids ->
+      "only:" ^ String.concat "," (List.map (fun o -> string_of_int (Obj_id.to_int o)) ids)
+
+let of_string s =
+  match s with
+  | "all" -> Ok Persist_all
+  | "lossy" -> Ok Persist_lossy
+  | _ when String.length s > 5 && String.sub s 0 5 = "only:" -> (
+      let body = String.sub s 5 (String.length s - 5) in
+      try
+        let ids =
+          String.split_on_char ',' body
+          |> List.map (fun x -> Obj_id.of_int (int_of_string (String.trim x)))
+        in
+        Ok (Persist_only ids)
+      with Failure _ | Invalid_argument _ ->
+        Error (Printf.sprintf "persistence: bad object list %S" body))
+  | _ -> Error (Printf.sprintf "persistence: expected all|lossy|only:<ids>, got %S" s)
+
+let equal a b = String.equal (to_string a) (to_string b)
+let pp ppf m = Fmt.string ppf (to_string m)

@@ -6,6 +6,8 @@ module Budget = Fault.Budget
 module Data_fault = Fault.Data_fault
 module Faulty_semantics = Fault.Faulty_semantics
 module Metrics = Ffault_telemetry.Metrics
+module Persistence = Ffault_recover.Persistence
+module Crash_plan = Ffault_recover.Crash_plan
 
 (* Engine-level instruments: sharded counters (one atomic add on the
    domain's own slot), cheap enough for the per-step hot path. *)
@@ -13,6 +15,7 @@ let m_runs = Metrics.counter "sim.runs"
 let m_steps = Metrics.counter "sim.steps"
 let m_cas = Metrics.counter "sim.cas_attempts"
 let m_corruptions = Metrics.counter "sim.corruptions"
+let m_crashes = Metrics.counter "sim.crash_restarts"
 
 let m_fault_of =
   let overriding = Metrics.counter "sim.faults.overriding"
@@ -29,7 +32,10 @@ let m_fault_of =
   | Fault_kind.Nonresponsive -> nonresponsive
   | Fault_kind.Relaxation -> relaxation
 
-type outcome_choice = Correct_outcome | Inject of Fault_kind.t * Value.t option
+type outcome_choice =
+  | Correct_outcome
+  | Inject of Fault_kind.t * Value.t option
+  | Crash_point of Crash_plan.crash_effect
 
 let pp_outcome_choice ppf = function
   | Correct_outcome -> Fmt.string ppf "correct"
@@ -37,13 +43,15 @@ let pp_outcome_choice ppf = function
       Fmt.pf ppf "inject:%a%a" Fault_kind.pp k
         (Fmt.option (fun ppf v -> Fmt.pf ppf "(%a)" Value.pp v))
         payload
+  | Crash_point e -> Fmt.pf ppf "crash:%a" Crash_plan.pp_crash_effect e
 
 let equal_outcome_choice a b =
   match a, b with
   | Correct_outcome, Correct_outcome -> true
   | Inject (k1, p1), Inject (k2, p2) ->
       Fault_kind.equal k1 k2 && Option.equal Value.equal p1 p2
-  | (Correct_outcome | Inject _), _ -> false
+  | Crash_point e1, Crash_point e2 -> Crash_plan.equal_crash_effect e1 e2
+  | (Correct_outcome | Inject _ | Crash_point _), _ -> false
 
 type driver = {
   choose_proc : enabled:int list -> step:int -> int;
@@ -95,11 +103,12 @@ type config = {
   max_steps_per_proc : int;
   max_total_steps : int;
   interrupt : unit -> bool;
+  persistence : Persistence.mode;
 }
 
 let config ?(allowed_faults = [ Fault_kind.Overriding ]) ?(payload_palette = [])
     ?(max_steps_per_proc = 10_000) ?(max_total_steps = 1_000_000)
-    ?(interrupt = fun () -> false) ~world ~budget () =
+    ?(interrupt = fun () -> false) ?(persistence = Persistence.Persist_all) ~world ~budget () =
   {
     world;
     budget;
@@ -108,6 +117,7 @@ let config ?(allowed_faults = [ Fault_kind.Overriding ]) ?(payload_palette = [])
     max_steps_per_proc;
     max_total_steps;
     interrupt;
+    persistence;
   }
 
 (* Per-process runtime status. *)
@@ -121,7 +131,7 @@ type status =
 let outcome_differs (a : Semantics.outcome) (b : Semantics.outcome) =
   not (Value.equal a.post_state b.post_state && Value.equal a.response b.response)
 
-let run_with_driver cfg driver ~bodies =
+let run_with_driver ?recovery cfg driver ~bodies =
   let world = cfg.world in
   let n = World.n_procs world in
   if Array.length bodies <> n then
@@ -131,6 +141,10 @@ let run_with_driver cfg driver ~bodies =
   let obj_states = Array.init n_objs (fun i -> World.init_of world (Obj_id.of_int i)) in
   let statuses = Array.make n (Failed "not started") in
   let steps_taken = Array.make n 0 in
+  (* Per-process most recent completed state-changing op (object index,
+     pre, post): the write the lossy persistence mode may drop when that
+     process crashes. *)
+  let last_write = Array.make n None in
   let trace_rev = ref [] in
   let step_counter = ref 0 in
   let op_counter = ref 0 in
@@ -177,30 +191,48 @@ let run_with_driver cfg driver ~bodies =
   in
 
   (* Menu of observable, budget-permitted faulty outcomes for this step,
-     headed by the correct outcome. *)
-  let options_for obj op pre correct =
+     headed by the correct outcome. Crash points ride the same menu: when
+     a recovery entry exists and the crash budget has headroom, the
+     invoking process may crash here instead of completing — vanishing
+     the op, or (when the persistence mode keeps committed effects and
+     the op has one) linearizing it with the response lost. *)
+  let options_for proc obj op pre correct =
     let kind = World.kind_of world obj in
-    if not (Budget.can_fault cfg.budget obj) then [ Correct_outcome ]
-    else
-      let faulty_differs fk payload =
-        match Faulty_semantics.apply fk ?payload ~kind ~state:pre op with
-        | Ok (Faulty_semantics.Outcome o) -> outcome_differs o correct
-        | Ok Faulty_semantics.Hangs -> true
-        | Error _ -> false
-      in
-      let per_kind fk =
-        match fk with
-        | Fault_kind.Overriding | Fault_kind.Silent ->
-            if faulty_differs fk None then [ Inject (fk, None) ] else []
-        | Fault_kind.Nonresponsive -> [ Inject (fk, None) ]
-        | Fault_kind.Invisible | Fault_kind.Arbitrary | Fault_kind.Relaxation ->
-            List.filter_map
-              (fun payload ->
-                if faulty_differs fk (Some payload) then Some (Inject (fk, Some payload))
-                else None)
-              cfg.payload_palette
-      in
-      Correct_outcome :: List.concat_map per_kind cfg.allowed_faults
+    let crash_options =
+      match recovery with
+      | None -> []
+      | Some _ ->
+          if not (Budget.can_crash cfg.budget ~proc) then []
+          else if
+            Persistence.lossy cfg.persistence
+            || Value.equal correct.Semantics.post_state pre
+          then [ Crash_point Crash_plan.Vanish ]
+          else [ Crash_point Crash_plan.Vanish; Crash_point Crash_plan.Linearize ]
+    in
+    let fault_options =
+      if not (Budget.can_fault cfg.budget obj) then []
+      else
+        let faulty_differs fk payload =
+          match Faulty_semantics.apply fk ?payload ~kind ~state:pre op with
+          | Ok (Faulty_semantics.Outcome o) -> outcome_differs o correct
+          | Ok Faulty_semantics.Hangs -> true
+          | Error _ -> false
+        in
+        let per_kind fk =
+          match fk with
+          | Fault_kind.Overriding | Fault_kind.Silent ->
+              if faulty_differs fk None then [ Inject (fk, None) ] else []
+          | Fault_kind.Nonresponsive -> [ Inject (fk, None) ]
+          | Fault_kind.Invisible | Fault_kind.Arbitrary | Fault_kind.Relaxation ->
+              List.filter_map
+                (fun payload ->
+                  if faulty_differs fk (Some payload) then Some (Inject (fk, Some payload))
+                  else None)
+                cfg.payload_palette
+        in
+        List.concat_map per_kind cfg.allowed_faults
+    in
+    (Correct_outcome :: fault_options) @ crash_options
   in
 
   (* A driver choice is honored if it is in the menu, or if it is a
@@ -210,6 +242,10 @@ let run_with_driver cfg driver ~bodies =
   let validate_choice choice options obj op pre correct =
     match choice with
     | Correct_outcome -> Correct_outcome
+    | Crash_point _ ->
+        (* Crash points are never validated out of band: the menu already
+           encodes the budget, recovery-entry, and persistence gates. *)
+        if List.exists (equal_outcome_choice choice) options then choice else Correct_outcome
     | Inject (fk, payload) -> (
         if List.exists (equal_outcome_choice choice) options then choice
         else
@@ -250,12 +286,14 @@ let run_with_driver cfg driver ~bodies =
                 budget = cfg.budget;
               }
             in
-            let options = options_for obj op pre correct in
+            let options = options_for proc obj op pre correct in
             let choice = driver.choose_outcome ctx ~options in
             let choice = validate_choice choice options obj op pre correct in
             incr op_counter;
             let continue_with outcome injected =
               obj_states.(oi) <- outcome.Semantics.post_state;
+              if not (Value.equal pre outcome.Semantics.post_state) then
+                last_write.(proc) <- Some (oi, pre, outcome.Semantics.post_state);
               emit
                 (Trace.Op_step
                    {
@@ -274,8 +312,65 @@ let run_with_driver cfg driver ~bodies =
               | Failed msg -> emit (Trace.Crashed { step = !step_counter; proc; error = msg })
               | Pending _ | Hung_at _ | Limited -> ()
             in
+            let crash_restart effect =
+              Budget.charge_crash cfg.budget ~proc;
+              Metrics.incr m_crashes;
+              let post =
+                match effect with
+                | Crash_plan.Vanish -> pre
+                | Crash_plan.Linearize -> correct.Semantics.post_state
+              in
+              obj_states.(oi) <- post;
+              (* The captured continuation [k] is dropped, never resumed:
+                 that IS the crash — program counter and locals are gone
+                 (same mechanism as a nonresponsive hang, but the process
+                 comes back below). *)
+              emit
+                (Trace.Proc_crash
+                   { step = !step_counter; proc; obj; op; pre_state = pre; post_state = post;
+                     effect });
+              (* Lossy persistence: the crashing process's most recent
+                 completed write may not have been flushed — roll it back
+                 if the object still holds that exact value. *)
+              (if Persistence.lossy cfg.persistence then
+                 match last_write.(proc) with
+                 | Some (wi, wpre, wpost)
+                   when Value.equal obj_states.(wi) wpost && not (Value.equal wpre wpost) ->
+                     obj_states.(wi) <- wpre;
+                     emit
+                       (Trace.Nvm_loss
+                          { step = !step_counter; obj = Obj_id.of_int wi; before = wpost;
+                            after = wpre })
+                 | _ -> ());
+              (* Volatile objects (not NVM-tagged) do not survive the
+                 crash: they revert to their initial value. *)
+              (match cfg.persistence with
+              | Persistence.Persist_only _ ->
+                  for i = 0 to n_objs - 1 do
+                    let id = Obj_id.of_int i in
+                    if not (Persistence.survives cfg.persistence id) then begin
+                      let before = obj_states.(i) in
+                      let init = World.init_of world id in
+                      if not (Value.equal before init) then begin
+                        obj_states.(i) <- init;
+                        emit
+                          (Trace.Nvm_loss
+                             { step = !step_counter; obj = id; before; after = init })
+                      end
+                    end
+                  done
+              | Persistence.Persist_all | Persistence.Persist_lossy -> ());
+              last_write.(proc) <- None;
+              emit (Trace.Restart { step = !step_counter; proc });
+              start proc ((Option.get recovery) proc);
+              match statuses.(proc) with
+              | Finished v -> emit (Trace.Decided { step = !step_counter; proc; value = v })
+              | Failed msg -> emit (Trace.Crashed { step = !step_counter; proc; error = msg })
+              | Pending _ | Hung_at _ | Limited -> ()
+            in
             (match choice with
             | Correct_outcome -> continue_with correct None
+            | Crash_point effect -> crash_restart effect
             | Inject (fk, payload) -> (
                 match Faulty_semantics.apply fk ?payload ~kind ~state:pre op with
                 | Error e ->

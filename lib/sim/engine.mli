@@ -24,6 +24,15 @@ type outcome_choice =
   | Correct_outcome
   | Inject of Fault.Fault_kind.t * Value.t option
       (** kind and payload (for invisible/arbitrary faults) *)
+  | Crash_point of Ffault_recover.Crash_plan.crash_effect
+      (** the invoking process crash-restarts at this step instead of
+          completing the operation: the op vanishes or linearizes (its
+          response lost either way), private state is wiped, and the
+          process re-enters at its recovery section. Only offered when the
+          run has a recovery entry ({!run_with_driver}'s [recovery]) and
+          the crash budget has headroom; [Linearize] is only offered when
+          the op has a state effect and the persistence mode is not
+          lossy. *)
 
 val pp_outcome_choice : Format.formatter -> outcome_choice -> unit
 val equal_outcome_choice : outcome_choice -> outcome_choice -> bool
@@ -90,6 +99,9 @@ type config = {
           processes [Cancelled] and sets [interrupted]. Must be cheap and
           thread-safe (typically [Cancel.cancelled] on a token a watchdog
           may trip). *)
+  persistence : Ffault_recover.Persistence.mode;
+      (** what shared state survives a crash-restart (doc/RECOVERY.md);
+          irrelevant when no crashes can occur *)
 }
 
 val config :
@@ -98,18 +110,31 @@ val config :
   ?max_steps_per_proc:int ->
   ?max_total_steps:int ->
   ?interrupt:(unit -> bool) ->
+  ?persistence:Ffault_recover.Persistence.mode ->
   world:World.t ->
   budget:Fault.Budget.t ->
   unit ->
   config
 (** Defaults: [allowed_faults] = [[Overriding]], empty palette,
     [max_steps_per_proc] = 10_000, [max_total_steps] = 1_000_000,
-    [interrupt] never fires. *)
+    [interrupt] never fires, [persistence] = [Persist_all]. *)
 
-val run_with_driver : config -> driver -> bodies:(unit -> Value.t) array -> result
+val run_with_driver :
+  ?recovery:(int -> unit -> Value.t) -> config -> driver -> bodies:(unit -> Value.t) array -> result
 (** [bodies.(i)] is process i's program; it runs to its first operation at
-    engine start. @raise Invalid_argument if the number of bodies differs
-    from [world]'s process count. *)
+    engine start.
+
+    [recovery i] is process i's {e recovery section}: the program a
+    crash-restarted process re-enters (its original continuation is gone
+    with the crash). Supplying it arms crash-restart faults — the driver's
+    outcome menus gain [Crash_point] entries wherever the budget's
+    per-process crash cap ([Fault.Budget.crash_bound]) has headroom. Without
+    it no crash is ever offered and behaviour is exactly as before.
+    [steps_taken] accumulates across a process's incarnations, so size
+    [max_steps_per_proc] for the whole lifetime, restarts included.
+
+    @raise Invalid_argument if the number of bodies differs from [world]'s
+    process count. *)
 
 val run :
   config ->

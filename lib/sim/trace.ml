@@ -2,6 +2,8 @@ open Ffault_objects
 module Fault_kind = Ffault_fault.Fault_kind
 module Classify = Ffault_hoare.Classify
 module Triple = Ffault_hoare.Triple
+module Recover_spec = Ffault_hoare.Recover_spec
+module Crash_plan = Ffault_recover.Crash_plan
 
 type event =
   | Op_step of {
@@ -19,6 +21,17 @@ type event =
   | Decided of { step : int; proc : int; value : Value.t }
   | Step_limit_hit of { step : int; proc : int }
   | Crashed of { step : int; proc : int; error : string }
+  | Proc_crash of {
+      step : int;
+      proc : int;
+      obj : Obj_id.t;
+      op : Op.t;
+      pre_state : Value.t;
+      post_state : Value.t;
+      effect : Crash_plan.crash_effect;
+    }
+  | Nvm_loss of { step : int; obj : Obj_id.t; before : Value.t; after : Value.t }
+  | Restart of { step : int; proc : int }
 
 type t = event list
 
@@ -39,6 +52,15 @@ let pp_event ~world ppf = function
       Fmt.pf ppf "[%4d] p%d decides %a" step proc Value.pp value
   | Step_limit_hit { step; proc } -> Fmt.pf ppf "[%4d] p%d exceeded its step budget" step proc
   | Crashed { step; proc; error } -> Fmt.pf ppf "[%4d] p%d crashed: %s" step proc error
+  | Proc_crash { step; proc; obj; op; pre_state; post_state; effect } ->
+      Fmt.pf ppf "[%4d] p%d crash-restarts in %s.%a : %a \xe2\x86\x92 %a (op %a)" step proc
+        (World.label_of world obj) Op.pp op Value.pp pre_state Value.pp post_state
+        Crash_plan.pp_crash_effect effect
+  | Nvm_loss { step; obj; before; after } ->
+      Fmt.pf ppf "[%4d] nvm loss: %s : %a \xe2\x86\x92 %a" step (World.label_of world obj)
+        Value.pp before Value.pp after
+  | Restart { step; proc } ->
+      Fmt.pf ppf "[%4d] p%d restarts at its recovery section" step proc
 
 let pp ~world ppf t = Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut (pp_event ~world)) t
 
@@ -50,8 +72,16 @@ let injected_faults t =
     (function
       | Op_step { obj; injected = Some k; _ } -> Some (obj, k)
       | Hang { obj; _ } -> Some (obj, Fault_kind.Nonresponsive)
-      | Op_step _ | Corruption _ | Decided _ | Step_limit_hit _ | Crashed _ -> None)
+      | Op_step _ | Corruption _ | Decided _ | Step_limit_hit _ | Crashed _ | Proc_crash _
+      | Nvm_loss _ | Restart _ ->
+          None)
     t
+
+let crash_count t =
+  List.fold_left (fun acc -> function Proc_crash _ -> acc + 1 | _ -> acc) 0 t
+
+let restart_count t =
+  List.fold_left (fun acc -> function Restart _ -> acc + 1 | _ -> acc) 0 t
 
 type audit_error = { at_step : int; reason : string }
 
@@ -105,5 +135,30 @@ let audit ~world t =
                             Fmt.str "no \xce\xa6' is defined for %a on this operation"
                               Fault_kind.pp k;
                         }))
-      | Hang _ | Corruption _ | Decided _ | Step_limit_hit _ | Crashed _ -> None)
+      | Proc_crash { step; obj; op; pre_state; post_state; effect; _ } ->
+          (* Recoverable linearizability at the step level: the crashed
+             operation's state transition must match its label — vanished
+             (no effect) or linearized (full sequential-spec effect), and
+             never some third, half-applied shape. The response was lost
+             with the process, so only states are compared. *)
+          let kind = World.kind_of world obj in
+          let hstep = { Triple.kind; pre_state; op; post_state; response = Value.Bottom } in
+          let holds =
+            match effect with
+            | Crash_plan.Vanish -> Recover_spec.vanished hstep
+            | Crash_plan.Linearize -> Recover_spec.linearized hstep
+          in
+          if holds then None
+          else
+            Some
+              {
+                at_step = step;
+                reason =
+                  Fmt.str
+                    "crashed step labeled %a is neither a vanish nor a linearization of %a"
+                    Crash_plan.pp_crash_effect effect Op.pp op;
+              }
+      | Hang _ | Corruption _ | Decided _ | Step_limit_hit _ | Crashed _ | Nvm_loss _
+      | Restart _ ->
+          None)
     t

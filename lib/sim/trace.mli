@@ -28,6 +28,25 @@ type event =
   | Decided of { step : int; proc : int; value : Value.t }
   | Step_limit_hit of { step : int; proc : int }
   | Crashed of { step : int; proc : int; error : string }
+      (** the process body raised — a programming error, not a model fault *)
+  | Proc_crash of {
+      step : int;
+      proc : int;
+      obj : Obj_id.t;
+      op : Op.t;
+      pre_state : Value.t;
+      post_state : Value.t;
+      effect : Ffault_recover.Crash_plan.crash_effect;
+    }
+      (** a crash-restart fault consumed the in-flight invocation: the
+          operation vanished or linearized (see [post_state]), its
+          response was lost, and the process's private state was wiped *)
+  | Nvm_loss of { step : int; obj : Obj_id.t; before : Value.t; after : Value.t }
+      (** shared state lost to the crash: a volatile object reverting to
+          its initial value, or the lossy mode dropping the crashing
+          process's last unpersisted write *)
+  | Restart of { step : int; proc : int }
+      (** the crashed process re-enters at its recovery section *)
 
 type t = event list
 (** In execution order. *)
@@ -39,7 +58,16 @@ val op_steps : t -> int
 (** Number of [Op_step] events. *)
 
 val injected_faults : t -> (Obj_id.t * Ffault_fault.Fault_kind.t) list
-(** Fault injections in order (from [Op_step.injected] and [Hang]). *)
+(** Primitive fault injections in order (from [Op_step.injected] and
+    [Hang]); crash-restarts are a process fault and counted separately by
+    {!crash_count}. *)
+
+val crash_count : t -> int
+(** Number of [Proc_crash] events. *)
+
+val restart_count : t -> int
+(** Number of [Restart] events (equal to {!crash_count} in engine-produced
+    traces: every crash restarts). *)
 
 type audit_error = { at_step : int; reason : string }
 
@@ -50,5 +78,8 @@ val audit : world:World.t -> t -> audit_error list
     engine's execution path: an unlabeled step must satisfy Φ (the
     sequential specification); a step labeled with fault kind [k] must
     {e violate} Φ and satisfy the Φ′ that [k] denotes for its operation
-    ({!Ffault_fault.Fault_kind.phi'_for}). An empty list means the
-    engine's bookkeeping and the trace evidence agree exactly. *)
+    ({!Ffault_fault.Fault_kind.phi'_for}). Every [Proc_crash] is checked
+    against the recoverable-linearizability step contract
+    ({!Ffault_hoare.Recover_spec}): its state transition must match its
+    vanish/linearize label. An empty list means the engine's bookkeeping
+    and the trace evidence agree exactly. *)

@@ -3,6 +3,7 @@ open Ffault_sim
 module Fault = Ffault_fault
 module Consensus = Ffault_consensus
 module Protocol = Consensus.Protocol
+module Persistence = Ffault_recover.Persistence
 
 type violation =
   | Validity of { proc : int; decided : Value.t }
@@ -22,6 +23,8 @@ type report = { violations : violation list; result : Engine.result; setup_name 
 
 let ok r = r.violations = []
 
+type recover_opts = { crashes_per_proc : int; persistence : Persistence.mode }
+
 type setup = {
   protocol : Protocol.t;
   params : Protocol.params;
@@ -30,28 +33,42 @@ type setup = {
   payload_palette : Value.t list;
   victims : Obj_id.t list option;
   step_slack : int;
+  recover : recover_opts option;
 }
 
 let setup ?inputs ?(allowed_faults = [ Fault.Fault_kind.Overriding ]) ?(payload_palette = [])
-    ?victims ?(step_slack = 2) protocol params =
+    ?victims ?(step_slack = 2) ?recover protocol params =
   let inputs = match inputs with Some i -> i | None -> Protocol.default_inputs params in
   if Array.length inputs <> params.Protocol.n_procs then
     invalid_arg "Consensus_check.setup: inputs count differs from n_procs";
-  { protocol; params; inputs; allowed_faults; payload_palette; victims; step_slack }
+  (match recover with
+  | Some { crashes_per_proc; _ } when crashes_per_proc < 0 ->
+      invalid_arg "Consensus_check.setup: crashes_per_proc < 0"
+  | _ -> ());
+  { protocol; params; inputs; allowed_faults; payload_palette; victims; step_slack; recover }
+
+let crashes_per_proc s =
+  match s.recover with None -> 0 | Some r -> r.crashes_per_proc
+
+let persistence s =
+  match s.recover with None -> Persistence.Persist_all | Some r -> r.persistence
 
 let world s = Protocol.world s.protocol s.params
 
 let budget s =
-  Fault.Budget.create ?victims:s.victims ~max_faulty_objects:s.params.Protocol.f
-    ~max_faults_per_object:s.params.Protocol.t ()
+  Fault.Budget.create ?victims:s.victims ~max_crashes_per_proc:(crashes_per_proc s)
+    ~max_faulty_objects:s.params.Protocol.f ~max_faults_per_object:s.params.Protocol.t ()
 
 let engine_config ?interrupt s =
   let hint = s.protocol.Protocol.max_steps_hint s.params in
-  let per_proc = s.step_slack * hint in
+  (* Each crash-restart re-runs up to a full incarnation, so the
+     wait-freedom budget scales with the crash cap: a restart must never
+     read as a spurious Exhausted. *)
+  let per_proc = s.step_slack * hint * (1 + crashes_per_proc s) in
   Engine.config ~allowed_faults:s.allowed_faults ~payload_palette:s.payload_palette
     ~max_steps_per_proc:per_proc
     ~max_total_steps:(per_proc * s.params.Protocol.n_procs)
-    ?interrupt ~world:(world s) ~budget:(budget s) ()
+    ?interrupt ~persistence:(persistence s) ~world:(world s) ~budget:(budget s) ()
 
 let check_result s (r : Engine.result) =
   let violations = ref [] in
@@ -82,6 +99,10 @@ let check_result s (r : Engine.result) =
 
 let setup_name s = Fmt.str "%s %a" s.protocol.Protocol.name Protocol.pp_params s.params
 
+let recovery_of s =
+  if crashes_per_proc s = 0 then None
+  else Some (Protocol.recovery_bodies s.protocol s.params ~inputs:s.inputs)
+
 let run ?interrupt s ~scheduler ~injector ?data_faults () =
   let cfg = engine_config ?interrupt s in
   let bodies = Protocol.bodies s.protocol s.params ~inputs:s.inputs in
@@ -91,5 +112,5 @@ let run ?interrupt s ~scheduler ~injector ?data_faults () =
 let run_with_driver ?interrupt s driver =
   let cfg = engine_config ?interrupt s in
   let bodies = Protocol.bodies s.protocol s.params ~inputs:s.inputs in
-  let result = Engine.run_with_driver cfg driver ~bodies in
+  let result = Engine.run_with_driver ?recovery:(recovery_of s) cfg driver ~bodies in
   { violations = check_result s result; result; setup_name = setup_name s }

@@ -35,6 +35,15 @@ type report = {
 
 val ok : report -> bool
 
+type recover_opts = {
+  crashes_per_proc : int;  (** the budget's per-process crash cap *)
+  persistence : Ffault_recover.Persistence.mode;
+      (** what shared state survives each crash *)
+}
+(** Arms crash-restart faults for a setup: every run gets a recovery
+    entry (the protocol's recovery section, or its body re-run from the
+    top when it declares none) and a crash dimension in its budget. *)
+
 type setup = {
   protocol : Consensus.Protocol.t;
   params : Consensus.Protocol.params;
@@ -46,6 +55,8 @@ type setup = {
   step_slack : int;
       (** multiplier headroom over [max_steps_hint] before declaring a
           wait-freedom failure *)
+  recover : recover_opts option;
+      (** crash-restart faults; [None] keeps runs crash-free *)
 }
 
 val setup :
@@ -54,17 +65,22 @@ val setup :
   ?payload_palette:Value.t list ->
   ?victims:Obj_id.t list ->
   ?step_slack:int ->
+  ?recover:recover_opts ->
   Consensus.Protocol.t ->
   Consensus.Protocol.params ->
   setup
 (** Defaults: [Protocol.default_inputs], overriding faults only, empty
-    palette, no victim restriction, slack 2. *)
+    palette, no victim restriction, slack 2, no crashes.
+    @raise Invalid_argument on a negative [crashes_per_proc]. *)
 
 val world : setup -> World.t
 
 val engine_config : ?interrupt:(unit -> bool) -> setup -> Engine.config
 (** A fresh configuration (fresh budget) for one run. [interrupt] is the
-    engine's cooperative-cancellation hook (see {!Engine.config}). *)
+    engine's cooperative-cancellation hook (see {!Engine.config}). With a
+    [recover] setting, the step budgets scale by [1 + crashes_per_proc] —
+    a restarted incarnation must not trip a spurious wait-freedom
+    Exhausted — and the budget carries the crash cap. *)
 
 val check_result : setup -> Engine.result -> violation list
 (** Judge a finished run. *)

@@ -48,7 +48,7 @@ let responses_of trace =
     (function
       | Trace.Op_step { proc; op; response; _ } -> Some (proc, op, response)
       | Trace.Hang _ | Trace.Corruption _ | Trace.Decided _ | Trace.Step_limit_hit _
-      | Trace.Crashed _ ->
+      | Trace.Crashed _ | Trace.Proc_crash _ | Trace.Nvm_loss _ | Trace.Restart _ ->
           None)
     trace
 

@@ -1,0 +1,33 @@
+(* Planted evasion: the racy closure is bound to a name before the
+   [Domain.spawn], so a rule that only scans a literal
+   [Domain.spawn (fun () -> ...)] argument never sees the mutation.
+   The typed pass follows the spawn argument's value description back
+   to the binding and scans the named closure's body.
+
+   [named_local_ok] is the negative control: the named closure only
+   mutates state it allocates itself, which is domain-local. *)
+
+let named_racy () =
+  let counter = ref 0 in
+  let work () = incr counter in
+  let d = Domain.spawn work in
+  Domain.join d;
+  !counter
+
+type cell = { mutable n : int }
+
+let named_racy_field () =
+  let c = { n = 0 } in
+  let work () = c.n <- 1 in
+  let d = Domain.spawn work in
+  Domain.join d;
+  c.n
+
+let named_local_ok () =
+  let work () =
+    let local = ref 0 in
+    incr local;
+    !local
+  in
+  let d = Domain.spawn work in
+  Domain.join d

@@ -172,7 +172,18 @@ let test_grid_envelope_kind_aware () =
      nonresponsive cell's failures are expected data, never theorem
      violations. silent-retry's theorem covers the silent kind instead. *)
   let fig3 = Result.get_ok (Spec.resolve_protocol "fig3") in
-  let cell kind = { Grid.f = 2; t = Some 1; n = 3; kind; rate = 0.3 } in
+  let cell kind =
+    {
+      Grid.f = 2;
+      t = Some 1;
+      n = 3;
+      kind;
+      rate = 0.3;
+      crashes = 0;
+      crash_rate = 0.0;
+      persistence = Ffault_recover.Persistence.Persist_all;
+    }
+  in
   check Alcotest.bool "overriding in" true (Grid.in_envelope (cell Fault_kind.Overriding) fig3);
   check Alcotest.bool "nonresponsive out" false
     (Grid.in_envelope (cell Fault_kind.Nonresponsive) fig3);
@@ -225,7 +236,17 @@ let test_shrink_produces_replayable_witness () =
 let sample_record ?(trial = 17) ?(ok = false) ?witness () =
   {
     Journal.trial;
-    cell = { Grid.f = 2; t = Some 1; n = 3; kind = Fault_kind.Overriding; rate = 0.4 };
+    cell =
+      {
+        Grid.f = 2;
+        t = Some 1;
+        n = 3;
+        kind = Fault_kind.Overriding;
+        rate = 0.4;
+        crashes = 0;
+        crash_rate = 0.0;
+        persistence = Ffault_recover.Persistence.Persist_all;
+      };
     seed = -5530000000000000001L;
     ok;
     outcome = (if ok then Journal.Pass else Journal.Violation);
@@ -235,6 +256,7 @@ let sample_record ?(trial = 17) ?(ok = false) ?witness () =
     max_steps = 17;
     stage = 3;
     faults = 2;
+    crash_faults = 0;
     wall_us = 180;
     witness;
   }

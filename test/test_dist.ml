@@ -164,6 +164,7 @@ let fixture_record =
     max_steps = 17;
     stage = 3;
     faults = 2;
+    crash_faults = 0;
     wall_us = 180;
     witness = Some [| 1; 0; 2 |];
   }
@@ -454,6 +455,7 @@ let record_for spec trial =
     max_steps = 1;
     stage = -1;
     faults = 0;
+    crash_faults = 0;
     wall_us = 1;
     witness = None;
   }
@@ -627,6 +629,7 @@ let test_serve_exactly_once () =
         max_steps = 1;
         stage = -1;
         faults = 0;
+        crash_faults = 0;
         wall_us = 1;
         witness = None;
       }

@@ -13,7 +13,7 @@ module Rng = Ffault_prng.Rng
 let check = Alcotest.check
 
 let test_registry_complete () =
-  check Alcotest.int "fourteen experiments" 14 (List.length Experiments.Registry.all);
+  check Alcotest.int "fifteen experiments" 15 (List.length Experiments.Registry.all);
   check Alcotest.bool "find E5" true (Experiments.Registry.find "e5" <> None);
   check Alcotest.bool "find unknown" true (Experiments.Registry.find "E99" = None)
 
@@ -112,6 +112,7 @@ let suites =
         experiment_case "E12";
         experiment_case "E13";
         experiment_case "E14";
+        experiment_case "E15";
         Alcotest.test_case "fig3 envelope sweep" `Slow test_fig3_envelope_sweep;
         Alcotest.test_case "fig2 envelope sweep" `Slow test_fig2_envelope_sweep;
         Alcotest.test_case "step hints have headroom" `Slow test_step_hints_have_headroom;

@@ -661,6 +661,19 @@ let test_domain_capture_fixture () =
         (Finding.severity_to_string f.Finding.severity))
     (List.filter (fun (f : Finding.t) -> f.Finding.rule = "domain-unsafe-capture") fs)
 
+let test_named_closure_fixture () =
+  let fs =
+    typed_findings ~file:"lib/campaign/evade_named_closure.ml" "evade_named_closure"
+  in
+  let hits =
+    List.filter (fun (f : Finding.t) -> f.Finding.rule = "domain-unsafe-capture") fs
+  in
+  (* the named ref mutation and the named field mutation — and NOT the
+     named closure that only touches its own local ref *)
+  check Alcotest.int "named closures followed to their bindings" 2 (List.length hits);
+  check Alcotest.bool "message names the captured target" true
+    (List.exists (fun (f : Finding.t) -> contains ~sub:"counter" f.Finding.message) hits)
+
 let test_typed_findings_suppressible () =
   (* typed findings merge before suppression, so the existing
      [@@@ffault.lint.allow] machinery covers them unchanged *)
@@ -790,6 +803,7 @@ let suites =
         Alcotest.test_case "evasion: eta/partial" `Quick test_evasion_eta;
         Alcotest.test_case "poly-compare fixture" `Quick test_poly_compare_fixture;
         Alcotest.test_case "domain-capture fixture" `Quick test_domain_capture_fixture;
+        Alcotest.test_case "named-closure fixture" `Quick test_named_closure_fixture;
         Alcotest.test_case "typed findings suppressible" `Quick
           test_typed_findings_suppressible;
         Alcotest.test_case "loader fresh then stale" `Quick test_cmt_loader_fresh_then_stale;
